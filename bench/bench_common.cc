@@ -1,0 +1,144 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/timer.h"
+#include "mechanism/hierarchical.h"
+#include "mechanism/laplace.h"
+#include "mechanism/matrix_mechanism.h"
+#include "mechanism/wavelet.h"
+
+namespace lrm::bench {
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      args.full = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      args.repetitions = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--full] [--reps=N] [--seed=S]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "warning: ignoring unknown flag '%s'\n",
+                   arg.c_str());
+    }
+  }
+  return args;
+}
+
+void PrintHeader(const BenchArgs& args, const std::string& figure,
+                 const std::string& what) {
+  std::printf("=== %s — %s ===\n", figure.c_str(), what.c_str());
+  std::printf("mode: %s grid, %d repetitions, seed %llu%s\n\n",
+              args.full ? "FULL (paper Table 1)" : "default (scaled-down)",
+              args.Reps(), static_cast<unsigned long long>(args.seed),
+              args.full ? "" : "   [pass --full for the paper grid]");
+}
+
+std::string MechanismName(MechanismId id) {
+  switch (id) {
+    case MechanismId::kMM:
+      return "MM";
+    case MechanismId::kLM:
+      return "LM";
+    case MechanismId::kWM:
+      return "WM";
+    case MechanismId::kHM:
+      return "HM";
+    case MechanismId::kLRM:
+      return "LRM";
+    case MechanismId::kNOR:
+      return "NOR";
+  }
+  return "?";
+}
+
+std::unique_ptr<mechanism::Mechanism> MakeMechanism(MechanismId id,
+                                                    double gamma,
+                                                    linalg::Index rank) {
+  switch (id) {
+    case MechanismId::kMM: {
+      mechanism::MatrixMechanismOptions options;
+      options.max_iterations = 25;
+      return std::make_unique<mechanism::MatrixMechanism>(options);
+    }
+    case MechanismId::kLM:
+      return std::make_unique<mechanism::NoiseOnDataMechanism>();
+    case MechanismId::kWM:
+      return std::make_unique<mechanism::WaveletMechanism>();
+    case MechanismId::kHM:
+      return std::make_unique<mechanism::HierarchicalMechanism>();
+    case MechanismId::kNOR:
+      return std::make_unique<mechanism::NoiseOnResultsMechanism>();
+    case MechanismId::kLRM: {
+      core::LowRankMechanismOptions options;
+      options.decomposition.gamma = gamma;
+      options.decomposition.rank = rank;
+      // Bench-calibrated solver budget. Inner B/L alternations are the
+      // quality-critical knob (3 alternations costs ~2.4x the error of 8
+      // on WRange; see bench_ablation_optimizer); the L-solver iteration
+      // cap mostly trades time.
+      options.decomposition.max_inner_iterations = 8;
+      options.decomposition.l_max_iterations = 25;
+      options.decomposition.l_tolerance = 1e-6;
+      options.decomposition.max_outer_iterations = 150;
+      options.decomposition.polish_patience = 5;
+      return std::make_unique<core::LowRankMechanism>(options);
+    }
+  }
+  return nullptr;
+}
+
+StatusOr<linalg::Vector> MakeData(data::DatasetKind kind, linalg::Index n,
+                                  std::uint64_t seed) {
+  const data::Dataset native = data::GenerateDataset(kind, seed);
+  LRM_ASSIGN_OR_RETURN(data::Dataset merged,
+                       data::MergeToDomainSize(native, n));
+  return merged.counts;
+}
+
+StatusOr<double> PrepareMechanism(mechanism::Mechanism& mech,
+                                  const workload::Workload& workload) {
+  WallTimer timer;
+  LRM_RETURN_IF_ERROR(mech.Prepare(workload));
+  return timer.ElapsedSeconds();
+}
+
+StatusOr<eval::RunResult> Evaluate(const mechanism::Mechanism& mech,
+                                   const workload::Workload& workload,
+                                   data::DatasetKind dkind, double epsilon,
+                                   const BenchArgs& args) {
+  LRM_ASSIGN_OR_RETURN(
+      linalg::Vector data,
+      MakeData(dkind, workload.domain_size(), args.seed ^ 0xDA7AULL));
+  eval::RunOptions options;
+  options.repetitions = args.Reps();
+  options.seed = args.seed ^ 0x5EEDULL;
+  return eval::EvaluatePreparedMechanism(mech, workload, data, epsilon,
+                                         options);
+}
+
+StatusOr<eval::RunResult> RunCell(mechanism::Mechanism& mech,
+                                  workload::WorkloadKind wkind,
+                                  data::DatasetKind dkind, linalg::Index m,
+                                  linalg::Index n, linalg::Index base_rank,
+                                  double epsilon, const BenchArgs& args) {
+  LRM_ASSIGN_OR_RETURN(
+      workload::Workload workload,
+      workload::GenerateWorkload(wkind, m, n, base_rank, args.seed));
+  LRM_ASSIGN_OR_RETURN(double prepare_seconds,
+                       PrepareMechanism(mech, workload));
+  LRM_ASSIGN_OR_RETURN(eval::RunResult result,
+                       Evaluate(mech, workload, dkind, epsilon, args));
+  result.prepare_seconds = prepare_seconds;
+  return result;
+}
+
+}  // namespace lrm::bench

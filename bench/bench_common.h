@@ -1,0 +1,94 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --full        use the paper's full grid (Table 1) instead of the
+//                 container-friendly default grid
+//   --reps=N      override the number of noise draws averaged per cell
+//   --seed=S      override the master seed
+//
+// Output convention: one aligned table per (workload × dataset) pane of the
+// figure, one row per x-axis point, one column per series the paper plots.
+
+#ifndef LRM_BENCH_BENCH_COMMON_H_
+#define LRM_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/status_or.h"
+#include "core/low_rank_mechanism.h"
+#include "data/dataset.h"
+#include "eval/experiment_grids.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "mechanism/mechanism.h"
+#include "workload/generators.h"
+
+namespace lrm::bench {
+
+/// \brief Parsed command-line options shared by all figure benches.
+struct BenchArgs {
+  bool full = false;
+  int repetitions = 0;  // 0 = grid default
+  std::uint64_t seed = 20120827;
+
+  /// Repetitions to use given the grid default.
+  int Reps() const {
+    if (repetitions > 0) return repetitions;
+    return full ? eval::PaperGrid::kRepetitions
+                : eval::DefaultGrid::kRepetitions;
+  }
+};
+
+/// \brief Parses --full / --reps=N / --seed=S; unknown flags warn.
+BenchArgs ParseArgs(int argc, char** argv);
+
+/// \brief Prints the standard bench header (figure id, mode, grid note).
+void PrintHeader(const BenchArgs& args, const std::string& figure,
+                 const std::string& what);
+
+/// \brief Baseline mechanism labels as the paper's figures use them.
+enum class MechanismId { kMM, kLM, kWM, kHM, kLRM, kNOR };
+
+/// \brief Display name ("MM", "LM", …).
+std::string MechanismName(MechanismId id);
+
+/// \brief Constructs a mechanism with bench-appropriate options. For kLRM,
+/// `gamma` and `rank` feed the decomposition (rank 0 = auto 1.2·rank(W)).
+/// The default γ is small because the datasets' bucket counts are large:
+/// the structural error of a residual ρ is up to ρ²·Σxᵢ² (Theorem 3), and
+/// the ALM typically lands 10–100× below γ at no extra cost.
+std::unique_ptr<mechanism::Mechanism> MakeMechanism(MechanismId id,
+                                                    double gamma = 0.01,
+                                                    linalg::Index rank = 0);
+
+/// \brief Generates the dataset surrogate at native size and merges it to
+/// domain size n (exactly the paper's §6 procedure).
+StatusOr<linalg::Vector> MakeData(data::DatasetKind kind, linalg::Index n,
+                                  std::uint64_t seed);
+
+/// \brief Prepares `mech` on `workload`, returning the wall-clock seconds
+/// the (data-independent) strategy search took.
+StatusOr<double> PrepareMechanism(mechanism::Mechanism& mech,
+                                  const workload::Workload& workload);
+
+/// \brief Evaluates a prepared mechanism on one dataset/ε cell. Sweeps over
+/// datasets or privacy budgets should call PrepareMechanism once and this
+/// per cell — the strategy does not depend on either.
+StatusOr<eval::RunResult> Evaluate(const mechanism::Mechanism& mech,
+                                   const workload::Workload& workload,
+                                   data::DatasetKind dkind, double epsilon,
+                                   const BenchArgs& args);
+
+/// \brief One-shot experiment cell: generate workload + data, prepare and
+/// run `mech`, and return the paper's Average Squared Error plus timings.
+StatusOr<eval::RunResult> RunCell(mechanism::Mechanism& mech,
+                                  workload::WorkloadKind wkind,
+                                  data::DatasetKind dkind, linalg::Index m,
+                                  linalg::Index n, linalg::Index base_rank,
+                                  double epsilon, const BenchArgs& args);
+
+}  // namespace lrm::bench
+
+#endif  // LRM_BENCH_BENCH_COMMON_H_

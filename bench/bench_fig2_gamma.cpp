@@ -1,0 +1,70 @@
+// Figure 2 — effect of the relaxation parameter γ on LRM (Search Logs).
+//
+// For each workload family (panes a–c) sweep γ and report the Average
+// Squared Error at ε ∈ {1, 0.1, 0.01} plus the decomposition time — the
+// same four series the paper plots. Expected shape: error flat across
+// γ ∈ [1e-4, 10]; time decreasing in γ; error ∝ 1/ε².
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/string_util.h"
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lrm;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader(args, "Figure 2",
+                     "LRM error & time vs relaxation gamma (Search Logs)");
+
+  const linalg::Index m = args.full ? eval::PaperGrid::kDefaultQueryCount
+                                    : eval::DefaultGrid::kSweepQueryCount;
+  const linalg::Index n = args.full ? eval::PaperGrid::kDefaultDomainSize
+                                    : eval::DefaultGrid::kDefaultDomainSize;
+  const auto gammas = args.full ? eval::PaperGrid::GammaValues()
+                                : eval::DefaultGrid::GammaValues();
+  const auto epsilons = eval::PaperGrid::Epsilons();
+
+  for (auto wkind : {workload::WorkloadKind::kWDiscrete,
+                     workload::WorkloadKind::kWRange,
+                     workload::WorkloadKind::kWRelated}) {
+    std::printf("-- %s (m=%td, n=%td) --\n",
+                workload::WorkloadKindName(wkind).c_str(), m, n);
+    const auto workload = workload::GenerateWorkload(
+        wkind, m, n, std::max<linalg::Index>(1, m / 5), args.seed);
+    if (!workload.ok()) return 1;
+
+    eval::Table table({"gamma", "err eps=1", "err eps=0.1", "err eps=0.01",
+                       "decomp time (s)"});
+    for (double gamma : gammas) {
+      std::vector<std::string> row{StrFormat("%g", gamma)};
+      // One decomposition per gamma; the noise scale (and thus each ε
+      // column) reuses it.
+      auto mech = bench::MakeMechanism(bench::MechanismId::kLRM, gamma);
+      const auto prepare_seconds = bench::PrepareMechanism(*mech, *workload);
+      if (!prepare_seconds.ok()) {
+        std::fprintf(stderr, "decomposition failed: %s\n",
+                     prepare_seconds.status().ToString().c_str());
+        return 1;
+      }
+      for (double epsilon : epsilons) {
+        const auto result =
+            bench::Evaluate(*mech, *workload,
+                            data::DatasetKind::kSearchLogs, epsilon, args);
+        if (!result.ok()) {
+          std::fprintf(stderr, "cell failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        row.push_back(SciFormat(result->avg_squared_error));
+      }
+      row.push_back(StrFormat("%.2f", *prepare_seconds));
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Paper check: error flat in gamma over 1e-4..10; time drops "
+              "as gamma grows;\nerror scales ~100x per 10x drop in eps.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 4 — error vs domain size n on WDiscrete, ε = 0.1.
+
+#include "bench/domain_sweep.h"
+
+int main(int argc, char** argv) {
+  return lrm::bench::RunDomainSweep(argc, argv, "Figure 4",
+                                    lrm::workload::WorkloadKind::kWDiscrete);
+}

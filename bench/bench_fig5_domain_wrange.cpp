@@ -1,0 +1,8 @@
+// Figure 5 — error vs domain size n on WRange, ε = 0.1.
+
+#include "bench/domain_sweep.h"
+
+int main(int argc, char** argv) {
+  return lrm::bench::RunDomainSweep(argc, argv, "Figure 5",
+                                    lrm::workload::WorkloadKind::kWRange);
+}

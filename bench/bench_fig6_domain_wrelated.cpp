@@ -1,0 +1,8 @@
+// Figure 6 — error vs domain size n on WRelated, ε = 0.1.
+
+#include "bench/domain_sweep.h"
+
+int main(int argc, char** argv) {
+  return lrm::bench::RunDomainSweep(argc, argv, "Figure 6",
+                                    lrm::workload::WorkloadKind::kWRelated);
+}

@@ -1,0 +1,9 @@
+// Figure 7 — error vs number of queries m on WRange, ε = 0.1.
+// Expected: LRM best while m << n; the gap closes (WM can win) as m → n.
+
+#include "bench/query_sweep.h"
+
+int main(int argc, char** argv) {
+  return lrm::bench::RunQuerySweep(argc, argv, "Figure 7",
+                                   lrm::workload::WorkloadKind::kWRange);
+}

@@ -1,0 +1,9 @@
+// Figure 8 — error vs number of queries m on WRelated, ε = 0.1.
+// Expected: LRM dominates at every m (rank(W) stays s regardless of m).
+
+#include "bench/query_sweep.h"
+
+int main(int argc, char** argv) {
+  return lrm::bench::RunQuerySweep(argc, argv, "Figure 8",
+                                   lrm::workload::WorkloadKind::kWRelated);
+}

@@ -1,0 +1,67 @@
+// Figure 9 — error vs workload rank s = ratio·min(m, n) on WRelated,
+// ε = 0.1, series LM / WM / HM / LRM, one pane per dataset.
+//
+// Expected: LRM's ~2-orders-of-magnitude advantage at small s shrinking as
+// s → min(m, n) — the rank of W is the entire source of LRM's win.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "base/string_util.h"
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lrm;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader(args, "Figure 9",
+                     "error vs workload rank s = ratio x min(m,n), "
+                     "WRelated, eps=0.1");
+
+  const double epsilon = eval::PaperGrid::kDefaultEpsilon;
+  const linalg::Index n = args.full ? eval::PaperGrid::kDefaultDomainSize
+                                    : eval::DefaultGrid::kDefaultDomainSize;
+  const linalg::Index m = args.full ? eval::PaperGrid::kDefaultQueryCount
+                                    : eval::DefaultGrid::kDefaultQueryCount;
+  const auto ratios = args.full ? eval::PaperGrid::BaseRankRatios()
+                                : eval::DefaultGrid::BaseRankRatios();
+
+  const std::vector<bench::MechanismId> series = {
+      bench::MechanismId::kLM, bench::MechanismId::kWM,
+      bench::MechanismId::kHM, bench::MechanismId::kLRM};
+
+  for (auto dkind : {data::DatasetKind::kSearchLogs,
+                     data::DatasetKind::kNetTrace,
+                     data::DatasetKind::kSocialNetwork}) {
+    std::printf("-- %s (m=%td, n=%td) --\n",
+                data::DatasetKindName(dkind).c_str(), m, n);
+    eval::Table table({"ratio", "s", "LM", "WM", "HM", "LRM"});
+    for (double ratio : ratios) {
+      const auto s = static_cast<linalg::Index>(std::max(
+          1.0, std::round(ratio * static_cast<double>(std::min(m, n)))));
+      std::vector<std::string> row{StrFormat("%.1f", ratio),
+                                   StrFormat("%td", s)};
+      const auto workload = workload::GenerateWorkload(
+          workload::WorkloadKind::kWRelated, m, n, s, args.seed);
+      if (!workload.ok()) return 1;
+      for (bench::MechanismId id : series) {
+        auto mech = bench::MakeMechanism(id);
+        const auto prepared = bench::PrepareMechanism(*mech, *workload);
+        if (!prepared.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        const auto result =
+            bench::Evaluate(*mech, *workload, dkind, epsilon, args);
+        row.push_back(result.ok() ? SciFormat(result->avg_squared_error)
+                                  : "ERR");
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Paper check: other mechanisms flat in s; LRM's error grows "
+              "with s and the\nadvantage evaporates as s -> min(m,n).\n");
+  return 0;
+}

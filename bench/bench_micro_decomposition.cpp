@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks of the LRM workload decomposition and
+// its building blocks across problem shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/decomposition.h"
+#include "opt/l1_projection.h"
+#include "opt/quadratic_apg.h"
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+#include "workload/generators.h"
+
+namespace {
+
+using lrm::linalg::Index;
+using lrm::linalg::Matrix;
+
+lrm::core::DecompositionOptions BenchOptions() {
+  lrm::core::DecompositionOptions options;
+  options.gamma = 1.0;
+  options.max_inner_iterations = 3;
+  options.l_max_iterations = 25;
+  options.l_tolerance = 1e-6;
+  options.max_outer_iterations = 120;
+  options.polish_patience = 5;
+  return options;
+}
+
+void BM_DecomposeWRelated(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index n = 4 * m;
+  const Index s = std::max<Index>(1, m / 5);
+  const auto workload = lrm::workload::GenerateWRelated(m, n, s, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lrm::core::DecomposeWorkload(workload->matrix(), BenchOptions()));
+  }
+}
+BENCHMARK(BM_DecomposeWRelated)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecomposeWRange(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index n = 4 * m;
+  const auto workload = lrm::workload::GenerateWRange(m, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lrm::core::DecomposeWorkload(workload->matrix(), BenchOptions()));
+  }
+}
+BENCHMARK(BM_DecomposeWRange)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_L1ColumnProjection(benchmark::State& state) {
+  const Index r = state.range(0);
+  const Index n = 8 * r;
+  lrm::rng::Engine engine(3);
+  const Matrix l = lrm::linalg::RandomGaussianMatrix(engine, r, n);
+  for (auto _ : state) {
+    Matrix work = l;
+    lrm::opt::ProjectColumnsOntoL1Ball(work, 1.0);
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_L1ColumnProjection)->Arg(32)->Arg(77)->Arg(154);
+
+void BM_QuadraticApgSolve(benchmark::State& state) {
+  // One L-subproblem at the shape the figure benches hit hardest.
+  const Index r = state.range(0);
+  const Index n = 8 * r;
+  lrm::rng::Engine engine(4);
+  const Matrix g = lrm::linalg::RandomGaussianMatrix(engine, r, r);
+  Matrix h = lrm::linalg::GramAtA(g);
+  for (Index i = 0; i < r; ++i) h(i, i) += 1.0;
+  const Matrix t = lrm::linalg::RandomGaussianMatrix(engine, r, n);
+  const Matrix l0(r, n);
+  auto projection = [](Matrix& x) {
+    lrm::opt::ProjectColumnsOntoL1Ball(x, 1.0);
+  };
+  lrm::opt::QuadraticApgOptions options;
+  options.max_iterations = 25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lrm::opt::QuadraticApg(h, t, projection, l0, options));
+  }
+}
+BENCHMARK(BM_QuadraticApgSolve)->Arg(32)->Arg(77)->Arg(154)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

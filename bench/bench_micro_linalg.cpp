@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks of the linear-algebra substrate — the
+// kernels that dominate the decomposition and the matrix mechanism.
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
+#include "linalg/random_matrix.h"
+#include "linalg/svd.h"
+#include "rng/engine.h"
+
+namespace {
+
+using lrm::linalg::Index;
+using lrm::linalg::Matrix;
+
+Matrix MakeRandom(Index rows, Index cols, std::uint64_t seed) {
+  lrm::rng::Engine engine(seed);
+  return lrm::linalg::RandomGaussianMatrix(engine, rows, cols);
+}
+
+Matrix MakeSpd(Index n, std::uint64_t seed) {
+  const Matrix g = MakeRandom(n, n, seed);
+  Matrix a = lrm::linalg::GramAtA(g);
+  for (Index i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(n, n, 1);
+  const Matrix b = MakeRandom(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmAtB_RectangularLrmShape(benchmark::State& state) {
+  // The decomposition's hot product: H·L with H r×r, L r×n.
+  const Index r = state.range(0);
+  const Index n = 8 * r;
+  const Matrix h = MakeSpd(r, 3);
+  const Matrix l = MakeRandom(r, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h * l);
+  }
+  state.SetItemsProcessed(state.iterations() * r * r * n);
+}
+BENCHMARK(BM_GemmAtB_RectangularLrmShape)->Arg(32)->Arg(77)->Arg(154);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeSpd(n, 5);
+  const Matrix b = MakeRandom(n, n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::SolveSpd(a, b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeSpd(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::SymmetricEigen(a));
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(2 * n, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::JacobiSvd(a));
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GramSvd(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(2 * n, n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::GramSvd(a));
+  }
+}
+BENCHMARK(BM_GramSvd)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  const Index n = state.range(0);
+  // Rank-16 matrix, top-16 sketch — the decomposition's init path.
+  lrm::rng::Engine engine(10);
+  const Matrix a = lrm::linalg::RandomGaussianMatrix(engine, n, 16) *
+                   lrm::linalg::RandomGaussianMatrix(engine, 16, 4 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::RandomizedSvd(a, 16));
+  }
+}
+BENCHMARK(BM_RandomizedSvd)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(4 * n, n, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::HouseholderQr(a));
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

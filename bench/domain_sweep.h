@@ -1,0 +1,106 @@
+// Shared implementation of Figures 4–6: Average Squared Error vs domain
+// size n at ε = 0.1, series MM / LM / WM / HM / LRM, one pane per dataset.
+//
+// Each mechanism is prepared once per n and evaluated on all three
+// datasets — the strategy search is data-independent, so this mirrors how
+// the paper's experiments amortize optimization cost.
+//
+// MM solves an O(n³)-per-iteration semidefinite program; following the
+// paper's own observation that it is impractical at scale, the default
+// grid caps the domain size at which MM runs (cells beyond print "-").
+
+#ifndef LRM_BENCH_DOMAIN_SWEEP_H_
+#define LRM_BENCH_DOMAIN_SWEEP_H_
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/string_util.h"
+#include "bench/bench_common.h"
+
+namespace lrm::bench {
+
+inline int RunDomainSweep(int argc, char** argv, const std::string& figure,
+                          workload::WorkloadKind wkind) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader(args, figure,
+              StrFormat("error vs domain size n, workload %s, eps=0.1",
+                        workload::WorkloadKindName(wkind).c_str()));
+
+  const double epsilon = eval::PaperGrid::kDefaultEpsilon;
+  const linalg::Index m = args.full ? eval::PaperGrid::kDefaultQueryCount
+                                    : eval::DefaultGrid::kDefaultQueryCount;
+  const auto domain_sizes = args.full ? eval::PaperGrid::DomainSizes()
+                                      : eval::DefaultGrid::DomainSizes();
+  const linalg::Index mm_cap =
+      args.full ? 1024 : eval::DefaultGrid::kMatrixMechanismDomainCap;
+
+  const std::vector<MechanismId> series = {MechanismId::kMM,
+                                           MechanismId::kLM,
+                                           MechanismId::kWM,
+                                           MechanismId::kHM,
+                                           MechanismId::kLRM};
+  const std::vector<data::DatasetKind> datasets = {
+      data::DatasetKind::kSearchLogs, data::DatasetKind::kNetTrace,
+      data::DatasetKind::kSocialNetwork};
+
+  // cells[dataset][n][mechanism] = rendered error.
+  std::map<data::DatasetKind, std::map<linalg::Index,
+                                       std::map<MechanismId, std::string>>>
+      cells;
+
+  for (linalg::Index n : domain_sizes) {
+    const linalg::Index m_used = std::min(m, n);
+    const auto workload = workload::GenerateWorkload(
+        wkind, m_used, n, std::max<linalg::Index>(1, m_used / 5), args.seed);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload at n=%td failed: %s\n", n,
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    for (MechanismId id : series) {
+      if (id == MechanismId::kMM && n > mm_cap) {
+        for (auto dkind : datasets) cells[dkind][n][id] = "-";
+        continue;
+      }
+      auto mech = MakeMechanism(id);
+      const auto prepared = PrepareMechanism(*mech, *workload);
+      if (!prepared.ok()) {
+        std::fprintf(stderr, "%s prepare at n=%td failed: %s\n",
+                     MechanismName(id).c_str(), n,
+                     prepared.status().ToString().c_str());
+        for (auto dkind : datasets) cells[dkind][n][id] = "ERR";
+        continue;
+      }
+      for (auto dkind : datasets) {
+        const auto result = Evaluate(*mech, *workload, dkind, epsilon, args);
+        cells[dkind][n][id] =
+            result.ok() ? SciFormat(result->avg_squared_error) : "ERR";
+      }
+    }
+  }
+
+  for (auto dkind : datasets) {
+    std::printf("-- %s (m=%td) --\n", data::DatasetKindName(dkind).c_str(),
+                m);
+    eval::Table table({"n", "MM", "LM", "WM", "HM", "LRM"});
+    for (linalg::Index n : domain_sizes) {
+      std::vector<std::string> row{StrFormat("%td", n)};
+      for (MechanismId id : series) row.push_back(cells[dkind][n][id]);
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Paper check: MM worst everywhere (never beats LM); LRM "
+              "flattens once n >> rank(W)\n('-' = MM skipped beyond its "
+              "O(n^3) cost cap, as the paper also had to do).\n");
+  return 0;
+}
+
+}  // namespace lrm::bench
+
+#endif  // LRM_BENCH_DOMAIN_SWEEP_H_

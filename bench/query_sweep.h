@@ -1,0 +1,86 @@
+// Shared implementation of Figures 7–8: Average Squared Error vs number of
+// queries m at ε = 0.1, series LM / WM / HM / LRM (MM dropped by the paper
+// after Figure 6), one pane per dataset. m sweeps up to the domain size n.
+// Mechanisms are prepared once per m and evaluated on all three datasets.
+
+#ifndef LRM_BENCH_QUERY_SWEEP_H_
+#define LRM_BENCH_QUERY_SWEEP_H_
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/string_util.h"
+#include "bench/bench_common.h"
+
+namespace lrm::bench {
+
+inline int RunQuerySweep(int argc, char** argv, const std::string& figure,
+                         workload::WorkloadKind wkind) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader(args, figure,
+              StrFormat("error vs number of queries m, workload %s, eps=0.1",
+                        workload::WorkloadKindName(wkind).c_str()));
+
+  const double epsilon = eval::PaperGrid::kDefaultEpsilon;
+  const linalg::Index n = args.full ? eval::PaperGrid::kDefaultDomainSize
+                                    : eval::DefaultGrid::kDefaultDomainSize;
+  const auto query_counts = args.full ? eval::PaperGrid::QueryCounts()
+                                      : eval::DefaultGrid::QueryCounts();
+
+  const std::vector<MechanismId> series = {MechanismId::kLM,
+                                           MechanismId::kWM,
+                                           MechanismId::kHM,
+                                           MechanismId::kLRM};
+  const std::vector<data::DatasetKind> datasets = {
+      data::DatasetKind::kSearchLogs, data::DatasetKind::kNetTrace,
+      data::DatasetKind::kSocialNetwork};
+
+  std::map<data::DatasetKind, std::map<linalg::Index,
+                                       std::map<MechanismId, std::string>>>
+      cells;
+
+  for (linalg::Index m : query_counts) {
+    if (m > n) continue;  // the paper studies m <= n
+    const auto workload = workload::GenerateWorkload(
+        wkind, m, n, std::max<linalg::Index>(1, m / 5), args.seed);
+    if (!workload.ok()) return 1;
+    for (MechanismId id : series) {
+      auto mech = MakeMechanism(id);
+      const auto prepared = PrepareMechanism(*mech, *workload);
+      if (!prepared.ok()) {
+        std::fprintf(stderr, "%s prepare at m=%td failed: %s\n",
+                     MechanismName(id).c_str(), m,
+                     prepared.status().ToString().c_str());
+        for (auto dkind : datasets) cells[dkind][m][id] = "ERR";
+        continue;
+      }
+      for (auto dkind : datasets) {
+        const auto result = Evaluate(*mech, *workload, dkind, epsilon, args);
+        cells[dkind][m][id] =
+            result.ok() ? SciFormat(result->avg_squared_error) : "ERR";
+      }
+    }
+  }
+
+  for (auto dkind : datasets) {
+    std::printf("-- %s (n=%td) --\n", data::DatasetKindName(dkind).c_str(),
+                n);
+    eval::Table table({"m", "LM", "WM", "HM", "LRM"});
+    for (linalg::Index m : query_counts) {
+      if (m > n) continue;
+      std::vector<std::string> row{StrFormat("%td", m)};
+      for (MechanismId id : series) row.push_back(cells[dkind][m][id]);
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace lrm::bench
+
+#endif  // LRM_BENCH_QUERY_SWEEP_H_

@@ -1,0 +1,161 @@
+// Command-line utility: compare every mechanism on a chosen workload
+// family, dataset and size — the "which mechanism should I deploy?"
+// question a practitioner actually has.
+//
+// Usage:
+//   compare_mechanisms [--workload=discrete|range|related]
+//                      [--dataset=searchlogs|nettrace|social]
+//                      [--m=64] [--n=512] [--s=13] [--eps=0.1] [--reps=20]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/string_util.h"
+#include "core/low_rank_mechanism.h"
+#include "data/dataset.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "mechanism/hierarchical.h"
+#include "mechanism/laplace.h"
+#include "mechanism/wavelet.h"
+#include "workload/generators.h"
+
+namespace {
+
+struct Options {
+  lrm::workload::WorkloadKind workload =
+      lrm::workload::WorkloadKind::kWRange;
+  lrm::data::DatasetKind dataset = lrm::data::DatasetKind::kSearchLogs;
+  lrm::linalg::Index m = 64;
+  lrm::linalg::Index n = 512;
+  lrm::linalg::Index s = 13;
+  double epsilon = 0.1;
+  int repetitions = 20;
+};
+
+bool ParseFlag(const std::string& arg, const char* name,
+               std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+Options Parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "workload", &value)) {
+      if (value == "discrete") {
+        options.workload = lrm::workload::WorkloadKind::kWDiscrete;
+      } else if (value == "range") {
+        options.workload = lrm::workload::WorkloadKind::kWRange;
+      } else if (value == "related") {
+        options.workload = lrm::workload::WorkloadKind::kWRelated;
+      } else {
+        std::fprintf(stderr, "unknown workload '%s'\n", value.c_str());
+        std::exit(1);
+      }
+    } else if (ParseFlag(arg, "dataset", &value)) {
+      if (value == "searchlogs") {
+        options.dataset = lrm::data::DatasetKind::kSearchLogs;
+      } else if (value == "nettrace") {
+        options.dataset = lrm::data::DatasetKind::kNetTrace;
+      } else if (value == "social") {
+        options.dataset = lrm::data::DatasetKind::kSocialNetwork;
+      } else {
+        std::fprintf(stderr, "unknown dataset '%s'\n", value.c_str());
+        std::exit(1);
+      }
+    } else if (ParseFlag(arg, "m", &value)) {
+      options.m = std::atol(value.c_str());
+    } else if (ParseFlag(arg, "n", &value)) {
+      options.n = std::atol(value.c_str());
+    } else if (ParseFlag(arg, "s", &value)) {
+      options.s = std::atol(value.c_str());
+    } else if (ParseFlag(arg, "eps", &value)) {
+      options.epsilon = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "reps", &value)) {
+      options.repetitions = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workload=discrete|range|related] "
+                   "[--dataset=searchlogs|nettrace|social] [--m=N] [--n=N] "
+                   "[--s=N] [--eps=X] [--reps=N]\n",
+                   argv[0]);
+      std::exit(arg == "--help" || arg == "-h" ? 0 : 1);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = Parse(argc, argv);
+
+  const auto workload = lrm::workload::GenerateWorkload(
+      options.workload, options.m, options.n, options.s, /*seed=*/2012);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  const lrm::data::Dataset native =
+      lrm::data::GenerateDataset(options.dataset, /*seed=*/7);
+  const auto merged = lrm::data::MergeToDomainSize(native, options.n);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s on %s, m=%td n=%td eps=%g (%d noise draws)\n\n",
+              workload->name().c_str(), native.name.c_str(), options.m,
+              options.n, options.epsilon, options.repetitions);
+
+  std::vector<std::unique_ptr<lrm::mechanism::Mechanism>> mechanisms;
+  mechanisms.push_back(
+      std::make_unique<lrm::mechanism::NoiseOnDataMechanism>());
+  mechanisms.push_back(
+      std::make_unique<lrm::mechanism::NoiseOnResultsMechanism>());
+  mechanisms.push_back(std::make_unique<lrm::mechanism::WaveletMechanism>());
+  mechanisms.push_back(
+      std::make_unique<lrm::mechanism::HierarchicalMechanism>());
+  lrm::core::LowRankMechanismOptions lrm_options;
+  lrm_options.decomposition.gamma = 0.01;
+  mechanisms.push_back(
+      std::make_unique<lrm::core::LowRankMechanism>(lrm_options));
+
+  lrm::eval::RunOptions run_options;
+  run_options.repetitions = options.repetitions;
+
+  lrm::eval::Table table({"mechanism", "avg squared error", "vs best",
+                          "prepare (s)"});
+  std::vector<std::tuple<std::string, double, double>> rows;
+  double best = std::numeric_limits<double>::infinity();
+  for (auto& mech : mechanisms) {
+    const auto result = lrm::eval::RunMechanism(
+        *mech, *workload, merged->counts, options.epsilon, run_options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", mech->name().data(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    rows.emplace_back(std::string(mech->name()),
+                      result->avg_squared_error, result->prepare_seconds);
+    best = std::min(best, result->avg_squared_error);
+  }
+  for (const auto& [name, error, prepare] : rows) {
+    table.AddRow({name, lrm::SciFormat(error),
+                  lrm::StrFormat("%.1fx", error / best),
+                  lrm::StrFormat("%.2f", prepare)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

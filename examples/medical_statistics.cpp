@@ -1,0 +1,95 @@
+// The paper's running example (Section 1): publishing HIV+ patient
+// statistics per US state under ε-differential privacy.
+//
+// Reproduces the introduction's numbers — the sensitivities of the naive
+// strategies, their expected errors, and the error of the decomposition
+// LRM finds — and then actually releases noisy answers, comparing all
+// mechanisms on the same data.
+//
+// Build & run:  ./build/examples/medical_statistics
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/low_rank_mechanism.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "mechanism/laplace.h"
+#include "base/string_util.h"
+
+#include <iostream>
+
+int main() {
+  using lrm::linalg::Matrix;
+  using lrm::linalg::Vector;
+
+  // Figure 1(b): unit counts per state (NY, NJ, CA, WA).
+  const Vector patients{82700.0, 19000.0, 67000.0, 5900.0};
+
+  // The intro's second, harder workload:
+  //   q1 = 2·xNJ + xCA + xWA
+  //   q2 = xNJ + 2·xWA
+  //   q3 = xNY + 2·xCA + 2·xWA
+  const lrm::workload::Workload workload(
+      "medical", Matrix{{0.0, 2.0, 1.0, 1.0},
+                        {0.0, 1.0, 0.0, 2.0},
+                        {1.0, 0.0, 2.0, 2.0}});
+
+  std::printf("Workload sensitivities (Section 1):\n");
+  std::printf("  noise-on-results (NOQ) sensitivity: %.0f  (paper: 5)\n",
+              workload.L1Sensitivity());
+  std::printf("  noise-on-data expected SSE at eps=1: %.0f  (paper: 40)\n\n",
+              lrm::workload::ExpectedErrorNoiseOnData(workload, 1.0));
+
+  // LRM's decomposition: the optimizer should match or beat the paper's
+  // hand-crafted strategy (SSE 39/eps^2).
+  // γ must be small relative to the data magnitude: the release carries a
+  // structural error of up to ‖W−BL‖²_F·Σxᵢ² (Theorem 3), and the patient
+  // counts are ~1e5. γ = 1e-6 makes that term negligible (~1e-2).
+  lrm::core::LowRankMechanismOptions lrm_options;
+  lrm_options.decomposition.rank = 4;
+  lrm_options.decomposition.gamma = 1e-6;
+  lrm_options.decomposition.max_outer_iterations = 400;
+  lrm::core::LowRankMechanism lrm(lrm_options);
+  if (lrm::Status s = lrm.Prepare(workload); !s.ok()) {
+    std::fprintf(stderr, "LRM Prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("LRM found a decomposition with expected SSE %.2f/eps^2 "
+              "(paper's hand strategy: 39, NOD: 40)\n\n",
+              *lrm.ExpectedSquaredError(1.0));
+
+  // Head-to-head release at two privacy levels, 1000 trials each.
+  lrm::eval::RunOptions run_options;
+  run_options.repetitions = 1000;
+
+  lrm::eval::Table table({"mechanism", "eps", "avg squared error",
+                          "expected"});
+  for (double epsilon : {1.0, 0.1}) {
+    std::vector<std::unique_ptr<lrm::mechanism::Mechanism>> mechanisms;
+    mechanisms.push_back(
+        std::make_unique<lrm::mechanism::NoiseOnDataMechanism>());
+    mechanisms.push_back(
+        std::make_unique<lrm::mechanism::NoiseOnResultsMechanism>());
+    mechanisms.push_back(
+        std::make_unique<lrm::core::LowRankMechanism>(lrm_options));
+    for (auto& mech : mechanisms) {
+      const auto result = lrm::eval::RunMechanism(*mech, workload, patients,
+                                                  epsilon, run_options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", mech->name().data(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const auto expected = mech->ExpectedSquaredError(epsilon);
+      table.AddRow({std::string(mech->name()), lrm::StrFormat("%g", epsilon),
+                    lrm::SciFormat(result->avg_squared_error),
+                    expected ? lrm::SciFormat(*expected) : "-"});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nLRM answers the same three statistics with the least "
+              "noise at every budget.\n");
+  return 0;
+}

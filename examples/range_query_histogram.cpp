@@ -1,0 +1,87 @@
+// Domain scenario: a network operator publishes per-IP traffic histograms
+// and analysts ask range queries ("packets across this subnet block").
+//
+// Compares the range-query specialists (Wavelet, Hierarchical) against the
+// Laplace baseline and LRM on a synthetic Net Trace dataset — the Figure 5
+// setting at laptop scale.
+//
+// Build & run:  ./build/examples/range_query_histogram
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "base/string_util.h"
+#include "core/low_rank_mechanism.h"
+#include "data/dataset.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "mechanism/hierarchical.h"
+#include "mechanism/laplace.h"
+#include "mechanism/wavelet.h"
+#include "workload/generators.h"
+
+int main() {
+  constexpr lrm::linalg::Index kDomain = 256;  // merged IP buckets
+  constexpr lrm::linalg::Index kQueries = 64;  // random subnet ranges
+  constexpr double kEpsilon = 0.1;
+
+  // Synthetic campus trace (see DESIGN.md §4 for the substitution note),
+  // merged down to the working domain exactly as the paper does.
+  const lrm::data::Dataset trace =
+      lrm::data::GenerateNetTrace(4096, /*seed=*/7);
+  const auto merged = lrm::data::MergeToDomainSize(trace, kDomain);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto workload =
+      lrm::workload::GenerateWRange(kQueries, kDomain, /*seed=*/42);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Releasing %td range queries over %td traffic buckets, "
+              "eps = %g\n\n", kQueries, kDomain, kEpsilon);
+
+  std::vector<std::unique_ptr<lrm::mechanism::Mechanism>> mechanisms;
+  mechanisms.push_back(
+      std::make_unique<lrm::mechanism::NoiseOnDataMechanism>());
+  mechanisms.push_back(std::make_unique<lrm::mechanism::WaveletMechanism>());
+  mechanisms.push_back(
+      std::make_unique<lrm::mechanism::HierarchicalMechanism>());
+  lrm::core::LowRankMechanismOptions lrm_options;
+  lrm_options.decomposition.gamma = 1.0;
+  mechanisms.push_back(
+      std::make_unique<lrm::core::LowRankMechanism>(lrm_options));
+
+  lrm::eval::RunOptions run_options;
+  run_options.repetitions = 20;  // the paper's averaging depth
+
+  lrm::eval::Table table({"mechanism", "avg squared error",
+                          "prepare (s)", "per release (s)"});
+  for (auto& mech : mechanisms) {
+    const auto result = lrm::eval::RunMechanism(
+        *mech, *workload, merged->counts, kEpsilon, run_options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", mech->name().data(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({std::string(mech->name()),
+                  lrm::SciFormat(result->avg_squared_error),
+                  lrm::StrFormat("%.3f", result->prepare_seconds),
+                  lrm::StrFormat("%.4f", result->avg_answer_seconds)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nWith m << n and correlated ranges, LRM's decomposition answers "
+      "far fewer\nintermediate queries than there are buckets, which is "
+      "where its advantage\ncomes from (paper Figure 7, left side).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Workload analysis: inspect the spectrum of a query batch, decide whether
+// LRM will pay off, and check the theory bounds of Section 4.1 before
+// spending any privacy budget.
+//
+// Everything here is data-independent — it can run on the workload alone.
+//
+// Build & run:  ./build/examples/workload_analysis
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/string_util.h"
+#include "core/decomposition.h"
+#include "core/theory.h"
+#include "eval/table.h"
+#include "linalg/svd.h"
+#include "workload/generators.h"
+
+int main() {
+  // m = n/4: far enough from m = n that the rank structure pays (the gain
+  // vanishes as m -> n, paper Figure 7).
+  constexpr lrm::linalg::Index kQueries = 64;
+  constexpr lrm::linalg::Index kDomain = 256;
+  constexpr double kEpsilon = 0.1;
+
+  lrm::eval::Table table({"workload", "rank(W)", "r used", "LRM error",
+                          "NOD error", "gain", "Lemma3 bound x2"});
+
+  for (auto kind : {lrm::workload::WorkloadKind::kWDiscrete,
+                    lrm::workload::WorkloadKind::kWRange,
+                    lrm::workload::WorkloadKind::kWRelated}) {
+    const auto workload = lrm::workload::GenerateWorkload(
+        kind, kQueries, kDomain, /*base_rank=*/8, /*seed=*/123);
+    if (!workload.ok()) return 1;
+
+    const auto svd = lrm::linalg::Svd(workload->matrix());
+    if (!svd.ok()) return 1;
+    const lrm::linalg::Index rank = lrm::linalg::NumericalRank(*svd);
+
+    lrm::core::DecompositionOptions options;
+    options.gamma = 0.1;
+    const auto decomposition =
+        lrm::core::DecomposeWorkload(workload->matrix(), options);
+    if (!decomposition.ok()) return 1;
+
+    const double lrm_error = decomposition->ExpectedNoiseError(kEpsilon);
+    const double nod_error =
+        lrm::workload::ExpectedErrorNoiseOnData(*workload, kEpsilon);
+    const double lemma3 = 2.0 * lrm::core::Lemma3UpperBound(
+                                    svd->singular_values, rank, kEpsilon);
+
+    table.AddRow({lrm::workload::WorkloadKindName(kind),
+                  lrm::StrFormat("%td", rank),
+                  lrm::StrFormat("%td", decomposition->b.cols()),
+                  lrm::SciFormat(lrm_error), lrm::SciFormat(nod_error),
+                  lrm::StrFormat("%.1fx", nod_error / lrm_error),
+                  lrm::SciFormat(lemma3)});
+  }
+  table.Print(std::cout);
+
+  // Theorem 2: how tight is LRM on a flat-spectrum workload?
+  const auto related = lrm::workload::GenerateWRelated(
+      kQueries, kDomain, /*base_rank=*/8, /*seed=*/123);
+  if (!related.ok()) return 1;
+  const auto svd = lrm::linalg::Svd(related->matrix());
+  if (!svd.ok()) return 1;
+  const lrm::linalg::Index rank = lrm::linalg::NumericalRank(*svd);
+  const auto ratio =
+      lrm::core::Theorem2ApproximationRatio(svd->singular_values, rank);
+  if (ratio.ok()) {
+    std::printf(
+        "\nWRelated spectrum spread C = lambda_1/lambda_r = %.2f; Theorem 2 "
+        "guarantees LRM is\nwithin a factor %.1f of ANY eps-DP mechanism "
+        "for this workload (r = %td > 5).\n",
+        svd->singular_values[0] / svd->singular_values[rank - 1], *ratio,
+        rank);
+  }
+  std::printf(
+      "\nReading the table: LRM's win over noise-on-data tracks how far "
+      "rank(W) sits\nbelow min(m, n) — WRelated (rank 8) gains most, "
+      "full-rank WDiscrete least.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// CHECK macros for programmer-error invariants (not recoverable conditions —
+// those use Status). A failed check prints the location and aborts.
+
+#ifndef LRM_BASE_CHECK_H_
+#define LRM_BASE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+namespace lrm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::cerr << "CHECK failed at " << file << ":" << line << ": " << condition
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace lrm::internal
+
+/// \brief Aborts with a diagnostic if `condition` is false. Always enabled
+/// (release builds included): these guard memory safety, so the cost is paid
+/// deliberately. Hot inner loops use unchecked accessors instead.
+#define LRM_CHECK(condition)                                        \
+  do {                                                              \
+    if (!(condition)) {                                             \
+      ::lrm::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                               \
+  } while (false)
+
+#define LRM_CHECK_EQ(a, b) LRM_CHECK((a) == (b))
+#define LRM_CHECK_NE(a, b) LRM_CHECK((a) != (b))
+#define LRM_CHECK_LT(a, b) LRM_CHECK((a) < (b))
+#define LRM_CHECK_LE(a, b) LRM_CHECK((a) <= (b))
+#define LRM_CHECK_GT(a, b) LRM_CHECK((a) > (b))
+#define LRM_CHECK_GE(a, b) LRM_CHECK((a) >= (b))
+
+/// \brief Like LRM_CHECK but compiled out of release builds; use in hot code.
+#ifdef NDEBUG
+#define LRM_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define LRM_DCHECK(condition) LRM_CHECK(condition)
+#endif
+
+#endif  // LRM_BASE_CHECK_H_

@@ -1,0 +1,75 @@
+// Minimal leveled logging to stderr. Solvers use LRM_VLOG for per-iteration
+// traces that are silent unless the caller raises the verbosity.
+
+#ifndef LRM_BASE_LOGGING_H_
+#define LRM_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lrm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+
+/// \brief Sets the process-wide minimum level. Defaults to kWarning so that
+/// library internals stay quiet in tests and benchmarks.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LRM_LOG(level)                                                 \
+  (::lrm::GetLogLevel() > ::lrm::LogLevel::level)                      \
+      ? static_cast<void>(0)                                           \
+      : static_cast<void>(                                             \
+            ::lrm::internal::LogMessage(::lrm::LogLevel::level,        \
+                                        __FILE__, __LINE__)            \
+            << "")
+
+// LRM_LOG cannot chain <<s through the ternary, so provide macros that
+// expand to a live stream object directly.
+#define LRM_LOG_INFO                                                  \
+  ::lrm::internal::LogMessage(::lrm::LogLevel::kInfo, __FILE__, __LINE__)
+#define LRM_LOG_WARNING                                               \
+  ::lrm::internal::LogMessage(::lrm::LogLevel::kWarning, __FILE__, __LINE__)
+#define LRM_LOG_ERROR                                                 \
+  ::lrm::internal::LogMessage(::lrm::LogLevel::kError, __FILE__, __LINE__)
+#define LRM_LOG_DEBUG                                                 \
+  ::lrm::internal::LogMessage(::lrm::LogLevel::kDebug, __FILE__, __LINE__)
+
+}  // namespace lrm
+
+#endif  // LRM_BASE_LOGGING_H_

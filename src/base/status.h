@@ -1,0 +1,124 @@
+// Status: lightweight error propagation without exceptions.
+//
+// The library never throws across public API boundaries. Fallible operations
+// return Status (or StatusOr<T>, see status_or.h). This mirrors the idiom
+// used by RocksDB and Apache Arrow.
+
+#ifndef LRM_BASE_STATUS_H_
+#define LRM_BASE_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace lrm {
+
+/// \brief Canonical error categories used throughout the library.
+enum class StatusCode : int {
+  kOk = 0,
+  /// The caller passed an argument that violates the documented contract
+  /// (e.g. mismatched matrix dimensions, negative rank).
+  kInvalidArgument = 1,
+  /// The object is not in a state where the operation is allowed
+  /// (e.g. Answer() before Prepare()).
+  kFailedPrecondition = 2,
+  /// An index or parameter lies outside the valid range.
+  kOutOfRange = 3,
+  /// An iterative solver exhausted its iteration budget without meeting the
+  /// requested tolerance. Results may still be usable; inspect the payload.
+  kNotConverged = 4,
+  /// A numerical operation failed (singular matrix, loss of positive
+  /// definiteness, NaN encountered).
+  kNumericalError = 5,
+  /// An invariant the library itself maintains was violated; indicates a bug.
+  kInternal = 6,
+  /// The requested feature/configuration combination is not implemented.
+  kUnimplemented = 7,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation: either OK or a code plus a message.
+///
+/// The OK state carries no allocation; error states store their message on
+/// the heap, so passing Status by value is cheap in the common path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. Prefer the named
+  /// factory functions (Status::InvalidArgument etc.) in new code.
+  Status(StatusCode code, std::string_view message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status NotConverged(std::string_view msg) {
+    return Status(StatusCode::kNotConverged, msg);
+  }
+  static Status NumericalError(std::string_view msg) {
+    return Status(StatusCode::kNumericalError, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code (kOk when ok()).
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  /// Renders "CODE: message" (or "OK").
+  std::string ToString() const;
+
+  /// Two statuses compare equal iff code and message match.
+  friend bool operator==(const Status& a, const Status& b);
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK.
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Propagates errors: evaluates `expr`; if the resulting Status is not
+/// OK, returns it from the enclosing function.
+#define LRM_RETURN_IF_ERROR(expr)                          \
+  do {                                                     \
+    ::lrm::Status lrm_status_internal_ = (expr);           \
+    if (!lrm_status_internal_.ok()) {                      \
+      return lrm_status_internal_;                         \
+    }                                                      \
+  } while (false)
+
+}  // namespace lrm
+
+#endif  // LRM_BASE_STATUS_H_

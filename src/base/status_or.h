@@ -1,0 +1,96 @@
+// StatusOr<T>: a value or the error explaining why there is no value.
+
+#ifndef LRM_BASE_STATUS_OR_H_
+#define LRM_BASE_STATUS_OR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "base/status.h"
+
+namespace lrm {
+
+/// \brief Holds either a T (success) or a non-OK Status (failure).
+///
+/// Typical use:
+/// \code
+///   StatusOr<Matrix> result = CholeskyFactor(a);
+///   if (!result.ok()) return result.status();
+///   Matrix l = std::move(result).value();
+/// \endcode
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a success value.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Aborts if `status` is OK, since an OK
+  /// StatusOr must carry a value.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      std::cerr << "StatusOr constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Accessors for the contained value. Abort if !ok(); callers must check
+  /// ok() (or use LRM_ASSIGN_OR_RETURN) first.
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "StatusOr::value() on error: "
+                << std::get<Status>(rep_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+#define LRM_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define LRM_STATUS_MACROS_CONCAT_(x, y) LRM_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// \brief Evaluates `rexpr` (a StatusOr); on error returns the status from
+/// the enclosing function, otherwise assigns the value to `lhs`.
+#define LRM_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  LRM_ASSIGN_OR_RETURN_IMPL_(                                              \
+      LRM_STATUS_MACROS_CONCAT_(lrm_statusor_, __LINE__), lhs, rexpr)
+
+#define LRM_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) {                                  \
+    return statusor.status();                            \
+  }                                                      \
+  lhs = std::move(statusor).value()
+
+}  // namespace lrm
+
+#endif  // LRM_BASE_STATUS_OR_H_

@@ -1,0 +1,49 @@
+#include "base/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace lrm {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string result(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string SciFormat(double value, int precision) {
+  return StrFormat("%.*e", precision, value);
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& separator) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string PadLeft(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace lrm

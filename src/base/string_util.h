@@ -1,0 +1,30 @@
+// Small string helpers shared by the eval harness and examples.
+
+#ifndef LRM_BASE_STRING_UTIL_H_
+#define LRM_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace lrm {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Renders a double in compact scientific form, e.g. "3.21e+07".
+std::string SciFormat(double value, int precision = 3);
+
+/// \brief Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& separator);
+
+/// \brief Pads `s` on the left with spaces to at least `width` characters.
+std::string PadLeft(const std::string& s, std::size_t width);
+
+/// \brief Pads `s` on the right with spaces to at least `width` characters.
+std::string PadRight(const std::string& s, std::size_t width);
+
+}  // namespace lrm
+
+#endif  // LRM_BASE_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing for the experiment harness and benchmarks.
+
+#ifndef LRM_BASE_TIMER_H_
+#define LRM_BASE_TIMER_H_
+
+#include <chrono>
+
+namespace lrm {
+
+/// \brief Measures elapsed wall-clock time. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lrm
+
+#endif  // LRM_BASE_TIMER_H_

@@ -1,0 +1,59 @@
+// The Low-Rank Mechanism (paper Eq. 6): given the workload decomposition
+// W ≈ B·L, publish
+//
+//     M_P(Q, D) = B·(L·D + Lap(Δ(B,L)/ε)^r)
+//
+// which is ε-differentially private because L·D is a batch of r linear
+// queries with L1 sensitivity Δ(B,L) ≤ 1, answered by the Laplace
+// mechanism, and B is data-independent post-processing.
+
+#ifndef LRM_CORE_LOW_RANK_MECHANISM_H_
+#define LRM_CORE_LOW_RANK_MECHANISM_H_
+
+#include "core/decomposition.h"
+#include "mechanism/mechanism.h"
+
+namespace lrm::core {
+
+/// \brief Options for LowRankMechanism.
+struct LowRankMechanismOptions {
+  /// Settings of the ALM workload decomposition.
+  DecompositionOptions decomposition;
+};
+
+/// \brief The paper's mechanism: decomposition at Prepare() time (public,
+/// data-independent), noisy release at Answer() time.
+class LowRankMechanism : public mechanism::Mechanism {
+ public:
+  LowRankMechanism() = default;
+  explicit LowRankMechanism(LowRankMechanismOptions options)
+      : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "LRM"; }
+
+  /// Lemma 1 noise error 2·Φ·Δ²/ε². Exact when the decomposition residual
+  /// is zero; with a non-zero residual the (data-dependent) structural term
+  /// ‖(W−BL)·D‖² adds on top — see StructuralError().
+  std::optional<double> ExpectedSquaredError(double epsilon) const override;
+
+  /// The exact structural error ‖(W − B·L)·data‖₂² added by the relaxation
+  /// (the deterministic part of Theorem 3's bound).
+  double StructuralError(const linalg::Vector& data) const;
+
+  /// The decomposition found at Prepare() time.
+  const Decomposition& decomposition() const { return decomposition_; }
+
+ protected:
+  Status PrepareImpl() override;
+  StatusOr<linalg::Vector> AnswerImpl(const linalg::Vector& data,
+                                      double epsilon,
+                                      rng::Engine& engine) const override;
+
+ private:
+  LowRankMechanismOptions options_;
+  Decomposition decomposition_;
+};
+
+}  // namespace lrm::core
+
+#endif  // LRM_CORE_LOW_RANK_MECHANISM_H_

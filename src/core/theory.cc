@@ -1,0 +1,72 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace lrm::core {
+
+using linalg::Index;
+using linalg::Vector;
+
+double Lemma3UpperBound(const Vector& singular_values, Index r,
+                        double epsilon) {
+  LRM_CHECK_GT(r, 0);
+  LRM_CHECK_GT(epsilon, 0.0);
+  const Index k = std::min(r, singular_values.size());
+  double sum_sq = 0.0;
+  for (Index i = 0; i < k; ++i) {
+    sum_sq += singular_values[i] * singular_values[i];
+  }
+  return sum_sq * static_cast<double>(r) / (epsilon * epsilon);
+}
+
+double Lemma4LowerBound(const Vector& singular_values, Index r,
+                        double epsilon) {
+  LRM_CHECK_GT(r, 0);
+  LRM_CHECK_GT(epsilon, 0.0);
+  LRM_CHECK_GE(singular_values.size(), r);
+  // log Vol factor: (2/r)·(r·log 2 − log r! + Σ log λₖ).
+  double log_product = 0.0;
+  for (Index i = 0; i < r; ++i) {
+    if (singular_values[i] <= 0.0) return 0.0;  // degenerate body
+    log_product += std::log(singular_values[i]);
+  }
+  const double rd = static_cast<double>(r);
+  const double log_ball = rd * std::log(2.0) - std::lgamma(rd + 1.0);
+  const double log_bound = (2.0 / rd) * (log_ball + log_product) +
+                           3.0 * std::log(rd) - 2.0 * std::log(epsilon);
+  return std::exp(log_bound);
+}
+
+StatusOr<double> Theorem2ApproximationRatio(const Vector& singular_values,
+                                            Index r) {
+  if (r <= 5) {
+    return Status::InvalidArgument(StrFormat(
+        "Theorem2ApproximationRatio: needs r > 5, got %td", r));
+  }
+  if (singular_values.size() < r) {
+    return Status::InvalidArgument(
+        "Theorem2ApproximationRatio: spectrum shorter than r");
+  }
+  const double lambda_1 = singular_values[0];
+  const double lambda_r = singular_values[r - 1];
+  if (lambda_r <= 0.0) {
+    return Status::InvalidArgument(
+        "Theorem2ApproximationRatio: λ_r must be positive");
+  }
+  const double c = lambda_1 / lambda_r;
+  return (c / 4.0) * (c / 4.0) * static_cast<double>(r);
+}
+
+double Theorem3ErrorBound(double trace_btb, double residual,
+                          double data_squared_sum, double epsilon) {
+  LRM_CHECK_GT(epsilon, 0.0);
+  LRM_CHECK_GE(residual, 0.0);
+  LRM_CHECK_GE(data_squared_sum, 0.0);
+  return 2.0 * trace_btb / (epsilon * epsilon) +
+         residual * residual * data_squared_sum;
+}
+
+}  // namespace lrm::core

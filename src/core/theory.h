@@ -1,0 +1,54 @@
+// The paper's optimality analysis (§4.1–§4.2) as executable bounds:
+//
+//   Lemma 3   — upper bound r·Σλₖ²/ε² on LRM's error via the SVD-based
+//               feasible decomposition B = √r·UΣ, L = Vᵀ/√r.
+//   Lemma 4   — Hardt–Talwar geometric lower bound
+//               ((2^r/r!)·Πλₖ)^{2/r}·r³/ε² for ANY ε-DP mechanism.
+//   Theorem 2 — LRM is O(C²·r)-approximately optimal, C = λ₁/λᵣ.
+//   Theorem 3 — error of the relaxed decomposition is at most
+//               2·tr(BᵀB)/ε² + ‖W−BL‖²_F·Σxᵢ².
+//
+// λₖ are the non-zero singular values of W (the paper calls them
+// eigenvalues). Products are evaluated in log space to survive r in the
+// hundreds.
+
+#ifndef LRM_CORE_THEORY_H_
+#define LRM_CORE_THEORY_H_
+
+#include "base/status_or.h"
+#include "linalg/vector.h"
+
+namespace lrm::core {
+
+/// \brief Lemma 3: r·Σₖλₖ²/ε², an upper bound on the expected squared error
+/// of LRM with the optimal exact decomposition at rank r.
+///
+/// `singular_values` must hold the non-zero spectrum of W (length ≥ r uses
+/// the top r values; extra entries are ignored).
+double Lemma3UpperBound(const linalg::Vector& singular_values,
+                        linalg::Index r, double epsilon);
+
+/// \brief Lemma 4: the Ω(((2^r/r!)·Πₖλₖ)^{2/r}·r³/ε²) lower bound on the
+/// expected squared error of any ε-DP mechanism for a rank-r workload.
+/// Computed in log space; returns 0 if any of the top-r values is zero.
+double Lemma4LowerBound(const linalg::Vector& singular_values,
+                        linalg::Index r, double epsilon);
+
+/// \brief Theorem 2: the (C/4)²·r approximation-ratio bound (valid for
+/// r > 5), C = λ₁/λᵣ the spectral spread of the non-zero spectrum.
+///
+/// \returns kInvalidArgument if r ≤ 5 (the paper's inequality r! < (r/2)^r
+/// needs r > 5) or if λᵣ ≤ 0.
+StatusOr<double> Theorem2ApproximationRatio(
+    const linalg::Vector& singular_values, linalg::Index r);
+
+/// \brief Theorem 3: upper bound on the relaxed mechanism's total error,
+/// 2·tr(BᵀB)/ε² + residual²·Σᵢxᵢ². `residual` is ‖W − BL‖_F (≤ γ); the
+/// theorem's statement uses γ directly, which this generalizes (tighter
+/// when the solver beat its tolerance).
+double Theorem3ErrorBound(double trace_btb, double residual,
+                          double data_squared_sum, double epsilon);
+
+}  // namespace lrm::core
+
+#endif  // LRM_CORE_THEORY_H_

@@ -1,0 +1,180 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "rng/distributions.h"
+#include "rng/engine.h"
+
+namespace lrm::data {
+
+using linalg::Index;
+using linalg::Vector;
+
+std::string DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kSearchLogs:
+      return "Search Logs";
+    case DatasetKind::kNetTrace:
+      return "Net Trace";
+    case DatasetKind::kSocialNetwork:
+      return "Social Network";
+  }
+  return "Unknown";
+}
+
+Index NativeDatasetSize(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kSearchLogs:
+      return 65536;  // 2^16
+    case DatasetKind::kNetTrace:
+      return 32768;  // 2^15
+    case DatasetKind::kSocialNetwork:
+      return 11342;
+  }
+  return 0;
+}
+
+Dataset GenerateSearchLogs(Index n, std::uint64_t seed) {
+  LRM_CHECK_GT(n, 0);
+  rng::Engine engine(seed ^ 0x5EA2C410C5ULL);
+  Vector counts(n);
+
+  // Daily keyword-frequency series: smooth baseline + weekly and annual
+  // periodicity + lognormal bursts (news events). Magnitudes sized so that
+  // total counts resemble a six-year query log (mean count ~ a few hundred).
+  const double base = 220.0;
+  const double week = 7.0;
+  const double year = 365.25;
+  // A handful of burst events with heavy-tailed heights.
+  const int num_bursts = static_cast<int>(std::max<Index>(4, n / 512));
+  std::vector<double> burst_center(static_cast<std::size_t>(num_bursts));
+  std::vector<double> burst_height(static_cast<std::size_t>(num_bursts));
+  std::vector<double> burst_width(static_cast<std::size_t>(num_bursts));
+  for (int b = 0; b < num_bursts; ++b) {
+    burst_center[static_cast<std::size_t>(b)] =
+        rng::SampleUniform(engine, 0.0, static_cast<double>(n));
+    burst_height[static_cast<std::size_t>(b)] =
+        std::exp(rng::SampleGaussian(engine) * 1.2 + 5.0);  // lognormal
+    burst_width[static_cast<std::size_t>(b)] =
+        rng::SampleUniform(engine, 2.0, 24.0);
+  }
+
+  for (Index i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    double value = base;
+    value += 60.0 * std::sin(2.0 * M_PI * t / week);
+    value += 90.0 * std::sin(2.0 * M_PI * t / year + 0.7);
+    // Slow multi-year drift in popularity.
+    value += 40.0 * std::sin(2.0 * M_PI * t / (3.1 * year) + 2.1);
+    for (int b = 0; b < num_bursts; ++b) {
+      const double d =
+          (t - burst_center[static_cast<std::size_t>(b)]) /
+          burst_width[static_cast<std::size_t>(b)];
+      value += burst_height[static_cast<std::size_t>(b)] *
+               std::exp(-0.5 * d * d);
+    }
+    value += 25.0 * rng::SampleGaussian(engine);  // sampling noise
+    counts[i] = std::max(0.0, std::round(value));
+  }
+  return Dataset{StrFormat("Search Logs (n=%td)", n), std::move(counts)};
+}
+
+Dataset GenerateNetTrace(Index n, std::uint64_t seed) {
+  LRM_CHECK_GT(n, 0);
+  rng::Engine engine(seed ^ 0x4E7721ACEULL);
+  Vector counts(n);
+
+  // Per-IP TCP packet counts in a campus trace: a Zipf-heavy tail over the
+  // active hosts and a large population of silent addresses.
+  const double active_fraction = 0.35;
+  const rng::ZipfSampler zipf(std::max<std::size_t>(
+                                  16, static_cast<std::size_t>(n) / 4),
+                              1.2);
+  const Index total_packets = 80 * n;  // average load per visible address
+  Index remaining = total_packets;
+  for (Index i = 0; i < n && remaining > 0; ++i) {
+    if (!rng::SampleBernoulli(engine, active_fraction)) continue;
+    // Rank-based packet volume: low Zipf ranks are chatty hosts.
+    const auto rank = static_cast<double>(zipf.Sample(engine));
+    const double volume = 4000.0 / std::pow(rank, 0.9) *
+                          std::exp(0.25 * rng::SampleGaussian(engine));
+    const Index packets =
+        std::min<Index>(remaining, static_cast<Index>(volume));
+    counts[i] = static_cast<double>(packets);
+    remaining -= packets;
+  }
+  // Addresses are not ordered by volume in a real trace; shuffle.
+  for (Index i = n - 1; i > 0; --i) {
+    const Index j = rng::SampleUniformInt(engine, 0, i);
+    std::swap(counts[i], counts[j]);
+  }
+  return Dataset{StrFormat("Net Trace (n=%td)", n), std::move(counts)};
+}
+
+Dataset GenerateSocialNetwork(Index n, std::uint64_t seed) {
+  LRM_CHECK_GT(n, 0);
+  rng::Engine engine(seed ^ 0x50C1A15ULL);
+  Vector counts(n);
+
+  // Entry i = number of users whose degree is i+1. Power law with exponent
+  // 2.5 (typical for social graphs), multiplicative noise, and an
+  // exponential cutoff at very high degrees.
+  const double exponent = 2.5;
+  const double users = 2.0e6;
+  double normalizer = 0.0;
+  for (Index d = 1; d <= n; ++d) {
+    normalizer += std::pow(static_cast<double>(d), -exponent);
+  }
+  for (Index i = 0; i < n; ++i) {
+    const double degree = static_cast<double>(i + 1);
+    double expected = users * std::pow(degree, -exponent) / normalizer;
+    expected *= std::exp(-degree / (0.9 * static_cast<double>(n)));
+    expected *= std::exp(0.15 * rng::SampleGaussian(engine));
+    counts[i] = std::round(expected);
+  }
+  return Dataset{StrFormat("Social Network (n=%td)", n), std::move(counts)};
+}
+
+Dataset GenerateDataset(DatasetKind kind, std::uint64_t seed) {
+  return GenerateDataset(kind, NativeDatasetSize(kind), seed);
+}
+
+Dataset GenerateDataset(DatasetKind kind, Index n, std::uint64_t seed) {
+  switch (kind) {
+    case DatasetKind::kSearchLogs:
+      return GenerateSearchLogs(n, seed);
+    case DatasetKind::kNetTrace:
+      return GenerateNetTrace(n, seed);
+    case DatasetKind::kSocialNetwork:
+      return GenerateSocialNetwork(n, seed);
+  }
+  LRM_CHECK(false);
+  return {};
+}
+
+StatusOr<Dataset> MergeToDomainSize(const Dataset& dataset,
+                                    Index target_size) {
+  const Index n = dataset.size();
+  if (target_size < 1 || target_size > n) {
+    return Status::InvalidArgument(StrFormat(
+        "MergeToDomainSize: target %td outside [1, %td]", target_size, n));
+  }
+  Vector merged(target_size);
+  // Even partition of the n source counts into target_size consecutive
+  // buckets (bucket sizes differ by at most one).
+  for (Index b = 0; b < target_size; ++b) {
+    const Index begin = b * n / target_size;
+    const Index end = (b + 1) * n / target_size;
+    double sum = 0.0;
+    for (Index i = begin; i < end; ++i) sum += dataset.counts[i];
+    merged[b] = sum;
+  }
+  return Dataset{
+      StrFormat("%s merged to n=%td", dataset.name.c_str(), target_size),
+      std::move(merged)};
+}
+
+}  // namespace lrm::data

@@ -1,0 +1,79 @@
+// Dataset substrate: count vectors standing in for the paper's three real
+// datasets, plus the domain-size reduction the evaluation uses.
+//
+// The paper evaluates on Search Logs (65,536 counts), Net Trace (32,768) and
+// Social Network (11,342). Those files are not redistributable, so this
+// module synthesizes count vectors with the same statistical character (see
+// DESIGN.md §4 for why this preserves every experimental shape: mechanism
+// noise is data-independent; the data vector only enters through the exact
+// answers and through the structural-error term of relaxed LRM).
+
+#ifndef LRM_DATA_DATASET_H_
+#define LRM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status_or.h"
+#include "linalg/vector.h"
+
+namespace lrm::data {
+
+/// \brief A database as the paper defines it: a vector of n unit counts
+/// (Section 3), plus a display name for reports.
+struct Dataset {
+  std::string name;
+  linalg::Vector counts;
+
+  /// Number of unit counts n.
+  linalg::Index size() const { return counts.size(); }
+
+  /// Σᵢ xᵢ² — the data-dependent term in the Theorem 3 error bound.
+  double SquaredSum() const { return linalg::SquaredNorm(counts); }
+};
+
+/// \brief Identifies one of the three paper datasets.
+enum class DatasetKind {
+  kSearchLogs,
+  kNetTrace,
+  kSocialNetwork,
+};
+
+/// \brief Returns the display name used in the paper ("Search Logs", …).
+std::string DatasetKindName(DatasetKind kind);
+
+/// \brief Native entry count of each dataset in the paper
+/// (65,536 / 32,768 / 11,342).
+linalg::Index NativeDatasetSize(DatasetKind kind);
+
+/// \brief Synthesizes the Search Logs surrogate: a keyword-frequency time
+/// series 2004–2010 with weekly/annual seasonality and heavy-tailed bursts.
+Dataset GenerateSearchLogs(linalg::Index n, std::uint64_t seed);
+
+/// \brief Synthesizes the Net Trace surrogate: per-IP TCP packet counts,
+/// Zipf-distributed with a large fraction of zero entries.
+Dataset GenerateNetTrace(linalg::Index n, std::uint64_t seed);
+
+/// \brief Synthesizes the Social Network surrogate: number of users per
+/// social-graph degree, following a power law of exponent ≈ 2.5.
+Dataset GenerateSocialNetwork(linalg::Index n, std::uint64_t seed);
+
+/// \brief Generates the surrogate for `kind` at its native size.
+Dataset GenerateDataset(DatasetKind kind, std::uint64_t seed);
+
+/// \brief Generates the surrogate for `kind` with exactly n entries.
+Dataset GenerateDataset(DatasetKind kind, linalg::Index n,
+                        std::uint64_t seed);
+
+/// \brief Reduces the domain to `target_size` buckets by summing consecutive
+/// counts, exactly as the paper's evaluation varies the domain size n
+/// ("we transform the original counts into a vector of fixed size n, by
+/// merging consecutive counts in order").
+///
+/// \returns kInvalidArgument if target_size is not in [1, dataset size].
+StatusOr<Dataset> MergeToDomainSize(const Dataset& dataset,
+                                    linalg::Index target_size);
+
+}  // namespace lrm::data
+
+#endif  // LRM_DATA_DATASET_H_

@@ -1,0 +1,39 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace lrm::eval {
+
+double TotalSquaredError(const linalg::Vector& exact,
+                         const linalg::Vector& noisy) {
+  LRM_CHECK_EQ(exact.size(), noisy.size());
+  double total = 0.0;
+  for (linalg::Index i = 0; i < exact.size(); ++i) {
+    const double diff = noisy[i] - exact[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+double MeanSquaredError(const linalg::Vector& exact,
+                        const linalg::Vector& noisy) {
+  LRM_CHECK_GT(exact.size(), 0);
+  return TotalSquaredError(exact, noisy) /
+         static_cast<double>(exact.size());
+}
+
+void ErrorAccumulator::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / count_;
+  m2_ += delta * (value - mean_);
+}
+
+double ErrorAccumulator::StdDev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / (count_ - 1));
+}
+
+}  // namespace lrm::eval

@@ -1,0 +1,44 @@
+// Error metrics used by the paper's evaluation (§6): the "Average Squared
+// Error" of a run is the squared L2 distance between exact and noisy answer
+// vectors, averaged over repetitions.
+
+#ifndef LRM_EVAL_METRICS_H_
+#define LRM_EVAL_METRICS_H_
+
+#include "linalg/vector.h"
+
+namespace lrm::eval {
+
+/// \brief Total squared error ‖noisy − exact‖₂² of one release — the
+/// paper's per-run metric.
+double TotalSquaredError(const linalg::Vector& exact,
+                         const linalg::Vector& noisy);
+
+/// \brief Per-query mean squared error ‖noisy − exact‖₂²/m.
+double MeanSquaredError(const linalg::Vector& exact,
+                        const linalg::Vector& noisy);
+
+/// \brief Running mean/variance accumulator (Welford) for repeated trials.
+class ErrorAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Number of observations so far.
+  int count() const { return count_; }
+
+  /// Sample mean (0 when empty).
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample standard deviation (0 with < 2 observations).
+  double StdDev() const;
+
+ private:
+  int count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace lrm::eval
+
+#endif  // LRM_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+#include "eval/runner.h"
+
+#include "base/timer.h"
+#include "eval/metrics.h"
+#include "rng/engine.h"
+
+namespace lrm::eval {
+
+StatusOr<RunResult> RunMechanism(mechanism::Mechanism& mech,
+                                 const workload::Workload& workload,
+                                 const linalg::Vector& data, double epsilon,
+                                 const RunOptions& options) {
+  WallTimer prepare_timer;
+  LRM_RETURN_IF_ERROR(mech.Prepare(workload));
+  const double prepare_seconds = prepare_timer.ElapsedSeconds();
+
+  LRM_ASSIGN_OR_RETURN(
+      RunResult result,
+      EvaluatePreparedMechanism(mech, workload, data, epsilon, options));
+  result.prepare_seconds = prepare_seconds;
+  return result;
+}
+
+StatusOr<RunResult> EvaluatePreparedMechanism(
+    const mechanism::Mechanism& mech, const workload::Workload& workload,
+    const linalg::Vector& data, double epsilon, const RunOptions& options) {
+  if (options.repetitions <= 0) {
+    return Status::InvalidArgument(
+        "EvaluatePreparedMechanism: repetitions must be > 0");
+  }
+  if (!mech.prepared()) {
+    return Status::FailedPrecondition(
+        "EvaluatePreparedMechanism: mechanism not prepared");
+  }
+
+  const linalg::Vector exact = workload.Answer(data);
+  rng::Engine master(options.seed);
+
+  ErrorAccumulator errors;
+  double answer_seconds = 0.0;
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    rng::Engine stream = master.Split();
+    WallTimer answer_timer;
+    LRM_ASSIGN_OR_RETURN(linalg::Vector noisy,
+                         mech.Answer(data, epsilon, stream));
+    answer_seconds += answer_timer.ElapsedSeconds();
+    errors.Add(TotalSquaredError(exact, noisy));
+  }
+
+  RunResult result;
+  result.avg_squared_error = errors.Mean();
+  result.stddev_squared_error = errors.StdDev();
+  result.prepare_seconds = 0.0;
+  result.avg_answer_seconds = answer_seconds / options.repetitions;
+  result.repetitions = options.repetitions;
+  return result;
+}
+
+}  // namespace lrm::eval

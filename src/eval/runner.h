@@ -1,0 +1,56 @@
+// Repeated-trial experiment runner: prepares a mechanism once per workload
+// (the strategy search is data-independent), answers `repetitions` times
+// with independent noise streams, and reports the paper's Average Squared
+// Error plus wall-clock timings.
+
+#ifndef LRM_EVAL_RUNNER_H_
+#define LRM_EVAL_RUNNER_H_
+
+#include <cstdint>
+
+#include "base/status_or.h"
+#include "mechanism/mechanism.h"
+#include "workload/workload.h"
+
+namespace lrm::eval {
+
+/// \brief Options for RunMechanism.
+struct RunOptions {
+  /// Independent noise draws to average over (paper: 20).
+  int repetitions = 20;
+  /// Master seed; each repetition gets a split stream.
+  std::uint64_t seed = 20120827;  // VLDB'12 opening day
+};
+
+/// \brief Measured outcome of one (mechanism, workload, data, ε) cell.
+struct RunResult {
+  /// Mean total squared error over the repetitions (the paper's metric).
+  double avg_squared_error = 0.0;
+  /// Sample standard deviation across repetitions.
+  double stddev_squared_error = 0.0;
+  /// One-off strategy/optimization time.
+  double prepare_seconds = 0.0;
+  /// Mean per-release time.
+  double avg_answer_seconds = 0.0;
+  int repetitions = 0;
+};
+
+/// \brief Prepares `mech` on `workload` and averages the release error on
+/// `data` at privacy budget `epsilon`.
+StatusOr<RunResult> RunMechanism(mechanism::Mechanism& mech,
+                                 const workload::Workload& workload,
+                                 const linalg::Vector& data, double epsilon,
+                                 const RunOptions& options = {});
+
+/// \brief Like RunMechanism but assumes Prepare() already ran (strategy
+/// search is data- and ε-independent, so sweeps over datasets or privacy
+/// budgets should prepare once and call this per cell). The result's
+/// prepare_seconds is 0.
+StatusOr<RunResult> EvaluatePreparedMechanism(
+    const mechanism::Mechanism& mech, const workload::Workload& workload,
+    const linalg::Vector& data, double epsilon,
+    const RunOptions& options = {});
+
+}  // namespace lrm::eval
+
+#endif  // LRM_EVAL_RUNNER_H_

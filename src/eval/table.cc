@@ -1,0 +1,56 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace lrm::eval {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LRM_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  LRM_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "  ";
+    os << PadLeft(headers_[c], widths[c]);
+  }
+  os << "\n";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << PadLeft(row[c], widths[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Table::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace lrm::eval

@@ -1,0 +1,38 @@
+// Aligned plain-text tables; every bench binary prints its figure's series
+// through this so outputs are uniform and diffable.
+
+#ifndef LRM_EVAL_TABLE_H_
+#define LRM_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lrm::eval {
+
+/// \brief Column-aligned text table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with right-aligned columns, a header underline, and two-space
+  /// gutters.
+  std::string ToString() const;
+
+  /// Writes ToString() to `os`.
+  void Print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lrm::eval
+
+#endif  // LRM_EVAL_TABLE_H_

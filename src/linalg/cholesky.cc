@@ -1,0 +1,111 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "base/string_util.h"
+
+namespace lrm::linalg {
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("CholeskyFactor: matrix is %td x %td, expected square",
+                  a.rows(), a.cols()));
+  }
+  const Index n = a.rows();
+  Matrix l(n, n);
+  for (Index j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (Index k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(StrFormat(
+          "CholeskyFactor: matrix not positive definite at pivot %td "
+          "(value %g)",
+          j, diag));
+    }
+    const double l_jj = std::sqrt(diag);
+    l(j, j) = l_jj;
+    const double inv_l_jj = 1.0 / l_jj;
+    for (Index i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (Index k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum * inv_l_jj;
+    }
+  }
+  return l;
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  const Index n = l.rows();
+  LRM_CHECK_EQ(l.cols(), n);
+  LRM_CHECK_EQ(b.size(), n);
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = l.RowPtr(i);
+    for (Index k = 0; k < i; ++k) sum -= row[k] * y[k];
+    y[i] = sum / row[i];
+  }
+  // Back substitution: Lᵀ x = y.
+  Vector x(n);
+  for (Index i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (Index k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b) {
+  const Index n = l.rows();
+  LRM_CHECK_EQ(l.cols(), n);
+  LRM_CHECK_EQ(b.rows(), n);
+  const Index ncols = b.cols();
+  // Solve all right-hand sides together, iterating row-wise so that the
+  // inner loops stream contiguously over the row-major storage.
+  Matrix y(n, ncols);
+  for (Index i = 0; i < n; ++i) {
+    double* y_i = y.RowPtr(i);
+    std::copy(b.RowPtr(i), b.RowPtr(i) + ncols, y_i);
+    const double* l_row = l.RowPtr(i);
+    for (Index k = 0; k < i; ++k) {
+      const double l_ik = l_row[k];
+      if (l_ik == 0.0) continue;
+      const double* y_k = y.RowPtr(k);
+      for (Index j = 0; j < ncols; ++j) y_i[j] -= l_ik * y_k[j];
+    }
+    const double inv = 1.0 / l_row[i];
+    for (Index j = 0; j < ncols; ++j) y_i[j] *= inv;
+  }
+  Matrix x(n, ncols);
+  for (Index i = n - 1; i >= 0; --i) {
+    double* x_i = x.RowPtr(i);
+    std::copy(y.RowPtr(i), y.RowPtr(i) + ncols, x_i);
+    for (Index k = i + 1; k < n; ++k) {
+      const double l_ki = l(k, i);
+      if (l_ki == 0.0) continue;
+      const double* x_k = x.RowPtr(k);
+      for (Index j = 0; j < ncols; ++j) x_i[j] -= l_ki * x_k[j];
+    }
+    const double inv = 1.0 / l(i, i);
+    for (Index j = 0; j < ncols; ++j) x_i[j] *= inv;
+  }
+  return x;
+}
+
+StatusOr<Matrix> SolveSpd(const Matrix& a, const Matrix& b) {
+  LRM_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  return CholeskySolveMatrix(l, b);
+}
+
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  LRM_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  return CholeskySolve(l, b);
+}
+
+StatusOr<Matrix> SpdInverse(const Matrix& a) {
+  return SolveSpd(a, Matrix::Identity(a.rows()));
+}
+
+}  // namespace lrm::linalg

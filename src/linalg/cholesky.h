@@ -1,0 +1,37 @@
+// Cholesky factorization and SPD solves.
+//
+// The LRM B-update (paper Eq. 9) solves B (β L Lᵀ + I) = (β W Lᵀ + π Lᵀ)
+// where the r×r system matrix is symmetric positive definite; Cholesky is
+// the cheapest stable factorization for it.
+
+#ifndef LRM_LINALG_CHOLESKY_H_
+#define LRM_LINALG_CHOLESKY_H_
+
+#include "base/status_or.h"
+#include "linalg/matrix.h"
+
+namespace lrm::linalg {
+
+/// \brief Computes the lower-triangular L with A = L·Lᵀ.
+///
+/// \returns kNumericalError if A is not positive definite (within roundoff).
+StatusOr<Matrix> CholeskyFactor(const Matrix& a);
+
+/// \brief Solves A·x = b given the Cholesky factor L of A.
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+/// \brief Solves A·X = B (column block solve) given the Cholesky factor L.
+Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b);
+
+/// \brief Solves A·X = B for symmetric positive definite A.
+StatusOr<Matrix> SolveSpd(const Matrix& a, const Matrix& b);
+
+/// \brief Solves A·x = b for symmetric positive definite A.
+StatusOr<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// \brief Inverse of a symmetric positive definite matrix.
+StatusOr<Matrix> SpdInverse(const Matrix& a);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_CHOLESKY_H_

@@ -1,0 +1,226 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_util.h"
+
+namespace lrm::linalg {
+
+namespace {
+
+double Hypot(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of a symmetric matrix (stored in v, modified in
+// place to accumulate the transformation) to tridiagonal form. `d` receives
+// the diagonal, `e` the subdiagonal (e[0] unused). Port of EISPACK tred2.
+void Tred2(Matrix& v, Vector& d, Vector& e) {
+  const Index n = v.rows();
+  for (Index j = 0; j < n; ++j) d[j] = v(n - 1, j);
+
+  for (Index i = n - 1; i > 0; --i) {
+    double scale = 0.0;
+    double h = 0.0;
+    for (Index k = 0; k < i; ++k) scale += std::abs(d[k]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (Index j = 0; j < i; ++j) {
+        d[j] = v(i - 1, j);
+        v(i, j) = 0.0;
+        v(j, i) = 0.0;
+      }
+    } else {
+      for (Index k = 0; k < i; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+      for (Index j = 0; j < i; ++j) e[j] = 0.0;
+
+      for (Index j = 0; j < i; ++j) {
+        f = d[j];
+        v(j, i) = f;
+        g = e[j] + v(j, j) * f;
+        for (Index k = j + 1; k <= i - 1; ++k) {
+          g += v(k, j) * d[k];
+          e[k] += v(k, j) * f;
+        }
+        e[j] = g;
+      }
+      f = 0.0;
+      for (Index j = 0; j < i; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (Index j = 0; j < i; ++j) e[j] -= hh * d[j];
+      for (Index j = 0; j < i; ++j) {
+        f = d[j];
+        g = e[j];
+        for (Index k = j; k <= i - 1; ++k) {
+          v(k, j) -= (f * e[k] + g * d[k]);
+        }
+        d[j] = v(i - 1, j);
+        v(i, j) = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+
+  // Accumulate transformations.
+  for (Index i = 0; i < n - 1; ++i) {
+    v(n - 1, i) = v(i, i);
+    v(i, i) = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (Index k = 0; k <= i; ++k) d[k] = v(k, i + 1) / h;
+      for (Index j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (Index k = 0; k <= i; ++k) g += v(k, i + 1) * v(k, j);
+        for (Index k = 0; k <= i; ++k) v(k, j) -= g * d[k];
+      }
+    }
+    for (Index k = 0; k <= i; ++k) v(k, i + 1) = 0.0;
+  }
+  for (Index j = 0; j < n; ++j) {
+    d[j] = v(n - 1, j);
+    v(n - 1, j) = 0.0;
+  }
+  v(n - 1, n - 1) = 1.0;
+  e[0] = 0.0;
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e); eigenvectors are
+// accumulated into v. Port of EISPACK tql2. Returns false on non-convergence.
+bool Tql2(Matrix& v, Vector& d, Vector& e) {
+  const Index n = v.rows();
+  for (Index i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (Index l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    Index m = l;
+    while (m < n) {
+      if (std::abs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+    if (m > l) {
+      int iter = 0;
+      do {
+        if (++iter > 50) return false;
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = Hypot(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (Index i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (Index i = m - 1; i >= l; --i) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = Hypot(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+          for (Index k = 0; k < n; ++k) {
+            h = v(k, i + 1);
+            v(k, i + 1) = s * v(k, i) + c * h;
+            v(k, i) = c * v(k, i) - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvectors along.
+  for (Index i = 0; i < n - 1; ++i) {
+    Index k = i;
+    double p = d[i];
+    for (Index j = i + 1; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      d[k] = d[i];
+      d[i] = p;
+      for (Index j = 0; j < n; ++j) std::swap(v(j, i), v(j, k));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("SymmetricEigen: matrix is %td x %td, expected square",
+                  a.rows(), a.cols()));
+  }
+  const Index n = a.rows();
+  if (n == 0) {
+    return SymmetricEigenResult{Vector(), Matrix()};
+  }
+
+  // Symmetrize to absorb roundoff asymmetry in the caller's input.
+  Matrix v(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      v(i, j) = 0.5 * (a(i, j) + a(j, i));
+    }
+  }
+
+  Vector d(n);
+  Vector e(n);
+  Tred2(v, d, e);
+  if (!Tql2(v, d, e)) {
+    return Status::NumericalError(
+        "SymmetricEigen: QL iteration failed to converge");
+  }
+  return SymmetricEigenResult{std::move(d), std::move(v)};
+}
+
+StatusOr<Matrix> ProjectToPsdCone(const Matrix& a, double floor) {
+  LRM_ASSIGN_OR_RETURN(SymmetricEigenResult eig, SymmetricEigen(a));
+  const Index n = a.rows();
+  // Reassemble V·diag(max(λ, floor))·Vᵀ.
+  Matrix scaled = eig.eigenvectors;  // columns scaled by clamped eigenvalues
+  for (Index j = 0; j < n; ++j) {
+    const double lambda = std::max(eig.eigenvalues[j], floor);
+    for (Index i = 0; i < n; ++i) scaled(i, j) *= lambda;
+  }
+  return MultiplyABt(scaled, eig.eigenvectors);
+}
+
+}  // namespace lrm::linalg

@@ -1,0 +1,40 @@
+// Symmetric eigendecomposition via Householder tridiagonalization followed
+// by the implicit-shift QL iteration (the classic EISPACK tred2/tql2 pair).
+//
+// Used by: the Gram-matrix SVD (singular values of W from eigenvalues of the
+// smaller Gram matrix), the matrix mechanism's PSD-cone projection, and the
+// strategy reconstruction A = Σ √λᵢ vᵢ vᵢᵀ (paper Appendix B).
+
+#ifndef LRM_LINALG_EIGEN_SYM_H_
+#define LRM_LINALG_EIGEN_SYM_H_
+
+#include "base/status_or.h"
+#include "linalg/matrix.h"
+
+namespace lrm::linalg {
+
+/// \brief Eigendecomposition A = V·diag(λ)·Vᵀ of a symmetric matrix.
+struct SymmetricEigenResult {
+  /// Eigenvalues in ascending order.
+  Vector eigenvalues;
+  /// Orthonormal eigenvectors as columns, aligned with `eigenvalues`.
+  Matrix eigenvectors;
+};
+
+/// \brief Computes all eigenpairs of a symmetric matrix.
+///
+/// The input is symmetrized as (A + Aᵀ)/2 to absorb roundoff asymmetry.
+/// O(n³) with a small constant; handles n in the thousands.
+///
+/// \returns kNumericalError if the QL iteration fails to converge (virtually
+/// impossible for genuinely symmetric input).
+StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a);
+
+/// \brief Projects a symmetric matrix onto the cone of positive
+/// semi-definite matrices with minimum eigenvalue `floor` (clamps the
+/// spectrum from below and reassembles).
+StatusOr<Matrix> ProjectToPsdCone(const Matrix& a, double floor = 0.0);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_EIGEN_SYM_H_

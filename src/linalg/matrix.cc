@@ -1,0 +1,365 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lrm::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<Index>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<Index>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+  for (const auto& row : rows) {
+    LRM_CHECK_EQ(static_cast<Index>(row.size()), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(Index n) {
+  Matrix result(n, n);
+  for (Index i = 0; i < n; ++i) result(i, i) = 1.0;
+  return result;
+}
+
+Matrix Matrix::Diagonal(const Vector& diagonal) {
+  const Index n = diagonal.size();
+  Matrix result(n, n);
+  for (Index i = 0; i < n; ++i) result(i, i) = diagonal[i];
+  return result;
+}
+
+Matrix Matrix::FromRowMajor(Index rows, Index cols,
+                            std::vector<double> values) {
+  LRM_CHECK_EQ(static_cast<Index>(values.size()), rows * cols);
+  Matrix result;
+  result.rows_ = rows;
+  result.cols_ = cols;
+  result.data_ = std::move(values);
+  return result;
+}
+
+Vector Matrix::Row(Index i) const {
+  LRM_CHECK(i >= 0 && i < rows_);
+  Vector result(cols_);
+  const double* src = RowPtr(i);
+  std::copy(src, src + cols_, result.data());
+  return result;
+}
+
+Vector Matrix::Column(Index j) const {
+  LRM_CHECK(j >= 0 && j < cols_);
+  Vector result(rows_);
+  for (Index i = 0; i < rows_; ++i) result[i] = (*this)(i, j);
+  return result;
+}
+
+void Matrix::SetRow(Index i, const Vector& values) {
+  LRM_CHECK(i >= 0 && i < rows_);
+  LRM_CHECK_EQ(values.size(), cols_);
+  std::copy(values.data(), values.data() + cols_, RowPtr(i));
+}
+
+void Matrix::SetColumn(Index j, const Vector& values) {
+  LRM_CHECK(j >= 0 && j < cols_);
+  LRM_CHECK_EQ(values.size(), rows_);
+  for (Index i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+void Matrix::Fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+void Matrix::Resize(Index rows, Index cols) {
+  LRM_CHECK_GE(rows, 0);
+  LRM_CHECK_GE(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<std::size_t>(rows * cols), 0.0);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  LRM_CHECK_EQ(rows_, other.rows_);
+  LRM_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  LRM_CHECK_EQ(rows_, other.rows_);
+  LRM_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::operator/=(double scalar) {
+  LRM_DCHECK(scalar != 0.0);
+  return (*this) *= (1.0 / scalar);
+}
+
+void Matrix::Axpy(double scalar, const Matrix& other) {
+  LRM_CHECK_EQ(rows_, other.rows_);
+  LRM_CHECK_EQ(cols_, other.cols_);
+  const double* __restrict src = other.data();
+  double* __restrict dst = data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] += scalar * src[i];
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  for (Index i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (Index j = 0; j < cols_; ++j) {
+      if (j > 0) os << ", ";
+      os << (*this)(i, j);
+    }
+    os << (i + 1 == rows_ ? "]]" : "]\n");
+  }
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix a, double scalar) {
+  a *= scalar;
+  return a;
+}
+
+Matrix operator*(double scalar, Matrix a) {
+  a *= scalar;
+  return a;
+}
+
+Matrix operator-(Matrix a) {
+  a *= -1.0;
+  return a;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  LRM_CHECK_EQ(a.cols(), b.rows());
+  const Index m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  // i-k-j ordering: the innermost loop streams rows of B and C, which keeps
+  // both in cache and auto-vectorizes.
+  for (Index i = 0; i < m; ++i) {
+    double* __restrict c_row = c.RowPtr(i);
+    const double* a_row = a.RowPtr(i);
+    for (Index l = 0; l < k; ++l) {
+      const double a_il = a_row[l];
+      if (a_il == 0.0) continue;
+      const double* __restrict b_row = b.RowPtr(l);
+      for (Index j = 0; j < n; ++j) {
+        c_row[j] += a_il * b_row[j];
+      }
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  LRM_CHECK_EQ(a.cols(), x.size());
+  Vector y(a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double acc = 0.0;
+    for (Index j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix MultiplyAtB(const Matrix& a, const Matrix& b) {
+  LRM_CHECK_EQ(a.rows(), b.rows());
+  const Index m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(k, n);
+  // C = Σ_l a_l ⊗ b_l (rank-1 updates over shared rows); streams rows of
+  // both inputs.
+  for (Index l = 0; l < m; ++l) {
+    const double* a_row = a.RowPtr(l);
+    const double* __restrict b_row = b.RowPtr(l);
+    for (Index i = 0; i < k; ++i) {
+      const double a_li = a_row[i];
+      if (a_li == 0.0) continue;
+      double* __restrict c_row = c.RowPtr(i);
+      for (Index j = 0; j < n; ++j) {
+        c_row[j] += a_li * b_row[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyABt(const Matrix& a, const Matrix& b) {
+  LRM_CHECK_EQ(a.cols(), b.cols());
+  const Index m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  // c_ij = <row_i(A), row_j(B)>: contiguous dot products.
+  for (Index i = 0; i < m; ++i) {
+    const double* a_row = a.RowPtr(i);
+    double* c_row = c.RowPtr(i);
+    for (Index j = 0; j < n; ++j) {
+      const double* b_row = b.RowPtr(j);
+      double acc = 0.0;
+      for (Index l = 0; l < k; ++l) acc += a_row[l] * b_row[l];
+      c_row[j] = acc;
+    }
+  }
+  return c;
+}
+
+Vector MultiplyAtX(const Matrix& a, const Vector& x) {
+  LRM_CHECK_EQ(a.rows(), x.size());
+  Vector y(a.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    const double x_i = x[i];
+    if (x_i == 0.0) continue;
+    for (Index j = 0; j < a.cols(); ++j) y[j] += x_i * row[j];
+  }
+  return y;
+}
+
+Matrix GramAtA(const Matrix& a) { return MultiplyAtB(a, a); }
+
+Matrix GramAAt(const Matrix& a) { return MultiplyABt(a, a); }
+
+Matrix Transpose(const Matrix& a) {
+  Matrix result(a.cols(), a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    for (Index j = 0; j < a.cols(); ++j) {
+      result(j, i) = row[j];
+    }
+  }
+  return result;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  return std::sqrt(SquaredFrobeniusNorm(a));
+}
+
+double SquaredFrobeniusNorm(const Matrix& a) {
+  double result = 0.0;
+  const double* p = a.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) result += p[i] * p[i];
+  return result;
+}
+
+double Trace(const Matrix& a) {
+  LRM_CHECK_EQ(a.rows(), a.cols());
+  double result = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) result += a(i, i);
+  return result;
+}
+
+double MaxColumnAbsSum(const Matrix& a) {
+  Vector sums(a.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    for (Index j = 0; j < a.cols(); ++j) sums[j] += std::abs(row[j]);
+  }
+  return a.cols() == 0 ? 0.0 : NormInf(sums);
+}
+
+double ColumnAbsSum(const Matrix& a, Index j) {
+  LRM_CHECK(j >= 0 && j < a.cols());
+  double result = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) result += std::abs(a(i, j));
+  return result;
+}
+
+double MaxAbs(const Matrix& a) {
+  double result = 0.0;
+  const double* p = a.data();
+  for (Index i = 0; i < a.size(); ++i) {
+    result = std::max(result, std::abs(p[i]));
+  }
+  return result;
+}
+
+bool ApproxEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (Index i = 0; i < a.size(); ++i) {
+    if (std::abs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const Matrix& a) {
+  const double* p = a.data();
+  for (Index i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const Vector& a) {
+  for (Index i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) return false;
+  }
+  return true;
+}
+
+bool IsSymmetric(const Matrix& a, double tol) {
+  if (a.rows() != a.cols()) return false;
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = i + 1; j < a.cols(); ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Matrix HStack(const Matrix& a, const Matrix& b) {
+  LRM_CHECK_EQ(a.rows(), b.rows());
+  Matrix result(a.rows(), a.cols() + b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    std::copy(a.RowPtr(i), a.RowPtr(i) + a.cols(), result.RowPtr(i));
+    std::copy(b.RowPtr(i), b.RowPtr(i) + b.cols(),
+              result.RowPtr(i) + a.cols());
+  }
+  return result;
+}
+
+Matrix VStack(const Matrix& a, const Matrix& b) {
+  LRM_CHECK_EQ(a.cols(), b.cols());
+  Matrix result(a.rows() + b.rows(), a.cols());
+  std::copy(a.data(), a.data() + a.size(), result.data());
+  std::copy(b.data(), b.data() + b.size(), result.data() + a.size());
+  return result;
+}
+
+Matrix SliceRows(const Matrix& a, Index row_begin, Index row_end) {
+  LRM_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= a.rows());
+  Matrix result(row_end - row_begin, a.cols());
+  std::copy(a.RowPtr(row_begin), a.RowPtr(row_begin) + result.size(),
+            result.data());
+  return result;
+}
+
+Matrix SliceCols(const Matrix& a, Index col_begin, Index col_end) {
+  LRM_CHECK(col_begin >= 0 && col_begin <= col_end && col_end <= a.cols());
+  Matrix result(a.rows(), col_end - col_begin);
+  for (Index i = 0; i < a.rows(); ++i) {
+    std::copy(a.RowPtr(i) + col_begin, a.RowPtr(i) + col_end,
+              result.RowPtr(i));
+  }
+  return result;
+}
+
+}  // namespace lrm::linalg

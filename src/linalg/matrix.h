@@ -1,0 +1,189 @@
+// Dense row-major double-precision matrix with the operations the paper's
+// algorithms need: GEMM (all transpose variants), norms, traces, column
+// manipulation, and elementwise arithmetic.
+
+#ifndef LRM_LINALG_MATRIX_H_
+#define LRM_LINALG_MATRIX_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/vector.h"
+
+namespace lrm::linalg {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Storage is a single contiguous buffer; entry (i, j) lives at
+/// data()[i * cols() + j]. Debug builds bounds-check every access.
+class Matrix {
+ public:
+  /// Empty 0×0 matrix.
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(Index rows, Index cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
+    LRM_CHECK_GE(rows, 0);
+    LRM_CHECK_GE(cols, 0);
+  }
+
+  /// Matrix of the given shape filled with `value`.
+  Matrix(Index rows, Index cols, double value)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), value) {
+    LRM_CHECK_GE(rows, 0);
+    LRM_CHECK_GE(cols, 0);
+  }
+
+  /// From nested braced lists (row major):
+  /// Matrix m{{1, 2}, {3, 4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n×n identity.
+  static Matrix Identity(Index n);
+
+  /// Square matrix with `diagonal` on the diagonal, zero elsewhere.
+  static Matrix Diagonal(const Vector& diagonal);
+
+  /// Adopts a row-major buffer of size rows*cols.
+  static Matrix FromRowMajor(Index rows, Index cols,
+                             std::vector<double> values);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  /// Total number of entries.
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(Index i, Index j) {
+    LRM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  double operator()(Index i, Index j) const {
+    LRM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* RowPtr(Index i) { return data() + i * cols_; }
+  const double* RowPtr(Index i) const { return data() + i * cols_; }
+
+  /// Copies row i into a Vector.
+  Vector Row(Index i) const;
+
+  /// Copies column j into a Vector.
+  Vector Column(Index j) const;
+
+  /// Overwrites row i.
+  void SetRow(Index i, const Vector& values);
+
+  /// Overwrites column j.
+  void SetColumn(Index j, const Vector& values);
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Resizes to rows×cols, zero-filling (old contents discarded).
+  void Resize(Index rows, Index cols);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  Matrix& operator/=(double scalar);
+
+  /// this += scalar * other.
+  void Axpy(double scalar, const Matrix& other);
+
+  /// Debug rendering with one line per row.
+  std::string ToString() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double scalar);
+Matrix operator*(double scalar, Matrix a);
+Matrix operator-(Matrix a);  // negation
+
+/// \brief C = A·B. Dimensions must agree. Cache-blocked i-k-j kernel.
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// \brief y = A·x.
+Vector operator*(const Matrix& a, const Vector& x);
+
+/// \brief C = Aᵀ·B without materializing Aᵀ.
+Matrix MultiplyAtB(const Matrix& a, const Matrix& b);
+
+/// \brief C = A·Bᵀ without materializing Bᵀ.
+Matrix MultiplyABt(const Matrix& a, const Matrix& b);
+
+/// \brief y = Aᵀ·x without materializing Aᵀ.
+Vector MultiplyAtX(const Matrix& a, const Vector& x);
+
+/// \brief Gram matrix AᵀA (symmetric, cols×cols).
+Matrix GramAtA(const Matrix& a);
+
+/// \brief Gram matrix AAᵀ (symmetric, rows×rows).
+Matrix GramAAt(const Matrix& a);
+
+/// \brief Transposed copy.
+Matrix Transpose(const Matrix& a);
+
+/// \brief √(Σᵢⱼ aᵢⱼ²).
+double FrobeniusNorm(const Matrix& a);
+
+/// \brief Σᵢⱼ aᵢⱼ² — the paper's "query scale" Φ when applied to B
+/// (Definition 1); equals tr(AᵀA).
+double SquaredFrobeniusNorm(const Matrix& a);
+
+/// \brief Sum of diagonal entries; matrix must be square.
+double Trace(const Matrix& a);
+
+/// \brief maxⱼ Σᵢ |aᵢⱼ| — the induced L1 norm. Applied to a strategy matrix
+/// this is exactly the paper's query sensitivity Δ (Definition 2).
+double MaxColumnAbsSum(const Matrix& a);
+
+/// \brief Σᵢ |aᵢⱼ| for one column j.
+double ColumnAbsSum(const Matrix& a, Index j);
+
+/// \brief Largest |aᵢⱼ|.
+double MaxAbs(const Matrix& a);
+
+/// \brief True iff shapes match and entries differ by at most `tol`.
+bool ApproxEqual(const Matrix& a, const Matrix& b, double tol);
+
+/// \brief True iff every entry is finite (no NaN/±Inf).
+bool AllFinite(const Matrix& a);
+
+/// \brief True iff every entry is finite (no NaN/±Inf).
+bool AllFinite(const Vector& a);
+
+/// \brief True iff the matrix equals its transpose within `tol`.
+bool IsSymmetric(const Matrix& a, double tol = 1e-12);
+
+/// \brief Horizontal concatenation [a | b]; row counts must match.
+Matrix HStack(const Matrix& a, const Matrix& b);
+
+/// \brief Vertical concatenation; column counts must match.
+Matrix VStack(const Matrix& a, const Matrix& b);
+
+/// \brief Copy of rows [row_begin, row_end) of `a`.
+Matrix SliceRows(const Matrix& a, Index row_begin, Index row_end);
+
+/// \brief Copy of columns [col_begin, col_end) of `a`.
+Matrix SliceCols(const Matrix& a, Index col_begin, Index col_end);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_MATRIX_H_

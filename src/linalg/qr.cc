@@ -1,0 +1,67 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+namespace lrm::linalg {
+
+StatusOr<QrResult> HouseholderQr(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("HouseholderQr: empty matrix");
+  }
+  const Index k = std::min(m, n);
+
+  // Work on a copy; Householder vectors overwrite the lower triangle.
+  Matrix r = a;
+  std::vector<double> rdiag(static_cast<std::size_t>(k), 0.0);
+
+  for (Index col = 0; col < k; ++col) {
+    // Norm of the column below (and including) the diagonal.
+    double norm = 0.0;
+    for (Index i = col; i < m; ++i) norm = std::hypot(norm, r(i, col));
+    if (norm != 0.0) {
+      if (r(col, col) < 0) norm = -norm;
+      for (Index i = col; i < m; ++i) r(i, col) /= norm;
+      r(col, col) += 1.0;
+      // Apply the reflector to the remaining columns.
+      for (Index j = col + 1; j < n; ++j) {
+        double s = 0.0;
+        for (Index i = col; i < m; ++i) s += r(i, col) * r(i, j);
+        s = -s / r(col, col);
+        for (Index i = col; i < m; ++i) r(i, j) += s * r(i, col);
+      }
+    }
+    rdiag[static_cast<std::size_t>(col)] = -norm;
+  }
+
+  // Accumulate Q explicitly (thin: m×k).
+  Matrix q(m, k);
+  for (Index col = k - 1; col >= 0; --col) {
+    for (Index i = 0; i < m; ++i) q(i, col) = 0.0;
+    q(col, col) = 1.0;
+    for (Index j = col; j < k; ++j) {
+      if (r(col, col) != 0.0) {
+        double s = 0.0;
+        for (Index i = col; i < m; ++i) s += r(i, col) * q(i, j);
+        s = -s / r(col, col);
+        for (Index i = col; i < m; ++i) q(i, j) += s * r(i, col);
+      }
+    }
+  }
+
+  // Extract the upper-triangular R (k×n).
+  Matrix r_out(k, n);
+  for (Index i = 0; i < k; ++i) {
+    r_out(i, i) = rdiag[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n; ++j) r_out(i, j) = r(i, j);
+  }
+  return QrResult{std::move(q), std::move(r_out)};
+}
+
+StatusOr<Matrix> OrthonormalizeColumns(const Matrix& a) {
+  LRM_ASSIGN_OR_RETURN(QrResult qr, HouseholderQr(a));
+  return std::move(qr.q);
+}
+
+}  // namespace lrm::linalg

@@ -1,0 +1,28 @@
+// Thin Householder QR, used by the randomized SVD range finder and as an
+// orthonormalization primitive.
+
+#ifndef LRM_LINALG_QR_H_
+#define LRM_LINALG_QR_H_
+
+#include "base/status_or.h"
+#include "linalg/matrix.h"
+
+namespace lrm::linalg {
+
+/// \brief Thin QR factorization A = Q·R with Q m×k orthonormal columns and
+/// R k×n upper triangular, k = min(m, n).
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// \brief Computes the thin Householder QR of `a` (any shape).
+StatusOr<QrResult> HouseholderQr(const Matrix& a);
+
+/// \brief Returns a matrix whose columns orthonormally span the column space
+/// of `a` (the Q factor of the thin QR).
+StatusOr<Matrix> OrthonormalizeColumns(const Matrix& a);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_QR_H_

@@ -1,0 +1,91 @@
+// Singular value decomposition, three ways:
+//
+//  * JacobiSvd      — one-sided Jacobi (Hestenes). Most accurate; O(mn²) per
+//                     sweep, best for min(m,n) up to a few hundred.
+//  * GramSvd        — eigendecomposition of the smaller Gram matrix. Squares
+//                     the condition number but is much faster for the larger
+//                     shapes in the experiment grids.
+//  * RandomizedSvd  — Halko/Martinsson/Tropp sketch for the top-k factors;
+//                     used to seed the LRM decomposition (B₀ = √r·U·Σ,
+//                     L₀ = Vᵀ/√r per the Lemma 3 construction) and to
+//                     estimate numerical rank at scale.
+//
+// Svd() dispatches between the first two by size.
+
+#ifndef LRM_LINALG_SVD_H_
+#define LRM_LINALG_SVD_H_
+
+#include "base/status_or.h"
+#include "linalg/matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::linalg {
+
+/// \brief Thin SVD A ≈ U·diag(σ)·Vᵀ.
+struct SvdResult {
+  /// m×k, orthonormal columns.
+  Matrix u;
+  /// k singular values, non-increasing, non-negative.
+  Vector singular_values;
+  /// n×k, orthonormal columns (note: V, not Vᵀ).
+  Matrix v;
+
+  /// Reconstructs U·diag(σ)·Vᵀ (for testing).
+  Matrix Reconstruct() const;
+};
+
+/// \brief Options for the iterative SVD algorithms.
+struct SvdOptions {
+  /// Convergence threshold on the relative off-diagonal mass.
+  double tolerance = 1e-12;
+  /// Maximum Jacobi sweeps before giving up.
+  int max_sweeps = 60;
+};
+
+/// \brief One-sided Jacobi SVD. Full thin decomposition, highest accuracy.
+StatusOr<SvdResult> JacobiSvd(const Matrix& a, const SvdOptions& options = {});
+
+/// \brief SVD via symmetric eigendecomposition of the smaller Gram matrix.
+///
+/// Singular values below √ε·σ₁ lose relative accuracy (the Gram step squares
+/// the condition number); fine for rank estimation and solver seeding.
+StatusOr<SvdResult> GramSvd(const Matrix& a);
+
+/// \brief Options for RandomizedSvd.
+struct RandomizedSvdOptions {
+  /// Oversampling columns added to the target rank.
+  Index oversample = 8;
+  /// Power (subspace) iterations; 2 suffices for rapidly decaying spectra.
+  int power_iterations = 2;
+  /// Seed for the Gaussian test matrix.
+  std::uint64_t seed = 42;
+};
+
+/// \brief Randomized top-`target_rank` SVD (Halko et al. 2011).
+StatusOr<SvdResult> RandomizedSvd(const Matrix& a, Index target_rank,
+                                  const RandomizedSvdOptions& options = {});
+
+/// \brief Shape threshold of the Svd() dispatcher: min(m, n) at or below
+/// this uses JacobiSvd, larger shapes use GramSvd.
+inline constexpr Index kSvdJacobiDispatchLimit = 160;
+
+/// \brief Dispatches to JacobiSvd for small matrices and GramSvd otherwise.
+StatusOr<SvdResult> Svd(const Matrix& a);
+
+/// \brief Number of singular values > rel_tol · σ_max.
+Index NumericalRank(const SvdResult& svd, double rel_tol = 1e-9);
+
+/// \brief Numerical rank of `a`: exact (full SVD) when min(m,n) ≤ 1024,
+/// sketched otherwise.
+StatusOr<Index> EstimateRank(const Matrix& a, double rel_tol = 1e-9);
+
+/// \brief Moore–Penrose pseudo-inverse from a precomputed SVD; singular
+/// values ≤ rel_tol·σ_max are treated as zero.
+Matrix PseudoInverseFromSvd(const SvdResult& svd, double rel_tol = 1e-12);
+
+/// \brief Moore–Penrose pseudo-inverse of `a`.
+StatusOr<Matrix> PseudoInverse(const Matrix& a, double rel_tol = 1e-12);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_SVD_H_

@@ -1,0 +1,122 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace lrm::linalg {
+
+void Vector::Fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  LRM_CHECK_EQ(size(), other.size());
+  for (Index i = 0; i < size(); ++i) (*this)[i] += other[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  LRM_CHECK_EQ(size(), other.size());
+  for (Index i = 0; i < size(); ++i) (*this)[i] -= other[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  LRM_DCHECK(scalar != 0.0);
+  return (*this) *= (1.0 / scalar);
+}
+
+void Vector::Axpy(double scalar, const Vector& other) {
+  LRM_CHECK_EQ(size(), other.size());
+  const double* __restrict src = other.data();
+  double* __restrict dst = data();
+  const Index n = size();
+  for (Index i = 0; i < n; ++i) dst[i] += scalar * src[i];
+}
+
+std::string Vector::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (Index i = 0; i < size(); ++i) {
+    if (i > 0) os << ", ";
+    os << (*this)[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  a += b;
+  return a;
+}
+
+Vector operator-(Vector a, const Vector& b) {
+  a -= b;
+  return a;
+}
+
+Vector operator*(Vector a, double scalar) {
+  a *= scalar;
+  return a;
+}
+
+Vector operator*(double scalar, Vector a) {
+  a *= scalar;
+  return a;
+}
+
+Vector operator-(Vector a) {
+  a *= -1.0;
+  return a;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  LRM_CHECK_EQ(a.size(), b.size());
+  double result = 0.0;
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) result += a[i] * b[i];
+  return result;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(SquaredNorm(a)); }
+
+double SquaredNorm(const Vector& a) {
+  double result = 0.0;
+  for (Index i = 0; i < a.size(); ++i) result += a[i] * a[i];
+  return result;
+}
+
+double Norm1(const Vector& a) {
+  double result = 0.0;
+  for (Index i = 0; i < a.size(); ++i) result += std::abs(a[i]);
+  return result;
+}
+
+double NormInf(const Vector& a) {
+  double result = 0.0;
+  for (Index i = 0; i < a.size(); ++i) {
+    result = std::max(result, std::abs(a[i]));
+  }
+  return result;
+}
+
+double Sum(const Vector& a) {
+  double result = 0.0;
+  for (Index i = 0; i < a.size(); ++i) result += a[i];
+  return result;
+}
+
+bool ApproxEqual(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (Index i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace lrm::linalg

@@ -1,0 +1,108 @@
+// Dense double-precision vector.
+
+#ifndef LRM_LINALG_VECTOR_H_
+#define LRM_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace lrm::linalg {
+
+/// Signed index type used across the linear-algebra layer (Google style:
+/// avoid unsigned arithmetic in loop logic).
+using Index = std::ptrdiff_t;
+
+/// \brief Dense vector of doubles with bounds-checked access in debug builds.
+class Vector {
+ public:
+  /// Empty vector.
+  Vector() = default;
+
+  /// Zero vector of dimension n.
+  explicit Vector(Index n) : data_(static_cast<std::size_t>(n), 0.0) {
+    LRM_CHECK_GE(n, 0);
+  }
+
+  /// Vector of dimension n filled with `value`.
+  Vector(Index n, double value) : data_(static_cast<std::size_t>(n), value) {
+    LRM_CHECK_GE(n, 0);
+  }
+
+  /// From a braced list: Vector v{1.0, 2.0, 3.0}.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  Index size() const { return static_cast<Index>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](Index i) {
+    LRM_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  double operator[](Index i) const {
+    LRM_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::vector<double>::iterator begin() { return data_.begin(); }
+  std::vector<double>::iterator end() { return data_.end(); }
+  std::vector<double>::const_iterator begin() const { return data_.begin(); }
+  std::vector<double>::const_iterator end() const { return data_.end(); }
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  /// this += scalar * other (fused AXPY, the hot path in solvers).
+  void Axpy(double scalar, const Vector& other);
+
+  /// Debug rendering, e.g. "[1, 2, 3]".
+  std::string ToString() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector a, double scalar);
+Vector operator*(double scalar, Vector a);
+Vector operator-(Vector a);  // negation
+
+/// \brief Inner product; dimensions must match.
+double Dot(const Vector& a, const Vector& b);
+
+/// \brief Euclidean norm.
+double Norm2(const Vector& a);
+
+/// \brief Sum of squares (‖a‖₂²).
+double SquaredNorm(const Vector& a);
+
+/// \brief L1 norm.
+double Norm1(const Vector& a);
+
+/// \brief Max-absolute-entry norm.
+double NormInf(const Vector& a);
+
+/// \brief Sum of entries.
+double Sum(const Vector& a);
+
+/// \brief True iff dimensions match and entries differ by at most `tol`.
+bool ApproxEqual(const Vector& a, const Vector& b, double tol);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_VECTOR_H_

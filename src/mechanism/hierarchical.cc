@@ -1,0 +1,143 @@
+#include "mechanism/hierarchical.h"
+
+#include <cmath>
+#include <vector>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "rng/distributions.h"
+
+namespace lrm::mechanism {
+
+using linalg::Index;
+using linalg::Vector;
+
+namespace {
+
+// Tree stored as one std::vector<double> per level; level 0 is the root,
+// the last level holds the leaves.
+using Tree = std::vector<std::vector<double>>;
+
+double PowInt(Index base, Index exp) {
+  double result = 1.0;
+  for (Index i = 0; i < exp; ++i) result *= static_cast<double>(base);
+  return result;
+}
+
+}  // namespace
+
+Status HierarchicalMechanism::PrepareImpl() {
+  if (options_.fanout < 2) {
+    return Status::InvalidArgument(
+        StrFormat("HierarchicalMechanism: fanout %td < 2", options_.fanout));
+  }
+  const Index n = workload().domain_size();
+  padded_size_ = 1;
+  num_levels_ = 1;
+  while (padded_size_ < n) {
+    padded_size_ *= options_.fanout;
+    ++num_levels_;
+  }
+  return Status::OK();
+}
+
+StatusOr<Vector> HierarchicalMechanism::AnswerImpl(
+    const Vector& data, double epsilon, rng::Engine& engine) const {
+  const Index k = options_.fanout;
+  const Index n = data.size();
+  const Index levels = num_levels_;
+
+  // Exact node sums, bottom-up.
+  Tree exact(static_cast<std::size_t>(levels));
+  {
+    auto& leaves = exact[static_cast<std::size_t>(levels - 1)];
+    leaves.assign(static_cast<std::size_t>(padded_size_), 0.0);
+    for (Index i = 0; i < n; ++i) {
+      leaves[static_cast<std::size_t>(i)] = data[i];
+    }
+  }
+  for (Index l = levels - 2; l >= 0; --l) {
+    const auto& below = exact[static_cast<std::size_t>(l + 1)];
+    auto& here = exact[static_cast<std::size_t>(l)];
+    here.assign(below.size() / static_cast<std::size_t>(k), 0.0);
+    for (std::size_t i = 0; i < here.size(); ++i) {
+      double sum = 0.0;
+      for (Index c = 0; c < k; ++c) {
+        sum += below[i * static_cast<std::size_t>(k) +
+                     static_cast<std::size_t>(c)];
+      }
+      here[i] = sum;
+    }
+  }
+
+  // One record touches one node per level, so the L1 sensitivity of the
+  // whole tree release is `levels`; every node gets Lap(levels/ε).
+  const double scale = static_cast<double>(levels) / epsilon;
+  Tree noisy = exact;
+  for (auto& level : noisy) {
+    for (double& value : level) {
+      value += rng::SampleLaplace(engine, scale);
+    }
+  }
+
+  std::vector<double> estimate;
+  if (!options_.constrained_inference) {
+    estimate = noisy.back();
+  } else {
+    // Pass 1 — bottom-up weighted averaging. Height ℓ counts from the
+    // leaves (ℓ = 1); node v at height ℓ blends its own noisy count with
+    // the sum of its children's z-values.
+    Tree z = noisy;
+    for (Index l = levels - 2; l >= 0; --l) {
+      const Index height = levels - l;  // leaves are height 1
+      const double k_pow_h = PowInt(k, height);
+      const double k_pow_h1 = PowInt(k, height - 1);
+      const double own_weight = (k_pow_h - k_pow_h1) / (k_pow_h - 1.0);
+      const double child_weight = (k_pow_h1 - 1.0) / (k_pow_h - 1.0);
+      const auto& z_below = z[static_cast<std::size_t>(l + 1)];
+      auto& z_here = z[static_cast<std::size_t>(l)];
+      for (std::size_t i = 0; i < z_here.size(); ++i) {
+        double child_sum = 0.0;
+        for (Index c = 0; c < k; ++c) {
+          child_sum += z_below[i * static_cast<std::size_t>(k) +
+                               static_cast<std::size_t>(c)];
+        }
+        z_here[i] = own_weight *
+                        noisy[static_cast<std::size_t>(l)][i] +
+                    child_weight * child_sum;
+      }
+    }
+
+    // Pass 2 — top-down mean consistency: distribute each node's surplus
+    // equally among its children.
+    Tree u = z;
+    for (Index l = 0; l < levels - 1; ++l) {
+      const auto& u_here = u[static_cast<std::size_t>(l)];
+      const auto& z_below = z[static_cast<std::size_t>(l + 1)];
+      auto& u_below = u[static_cast<std::size_t>(l + 1)];
+      for (std::size_t i = 0; i < u_here.size(); ++i) {
+        double child_sum = 0.0;
+        for (Index c = 0; c < k; ++c) {
+          child_sum += z_below[i * static_cast<std::size_t>(k) +
+                               static_cast<std::size_t>(c)];
+        }
+        const double surplus =
+            (u_here[i] - child_sum) / static_cast<double>(k);
+        for (Index c = 0; c < k; ++c) {
+          const std::size_t child =
+              i * static_cast<std::size_t>(k) + static_cast<std::size_t>(c);
+          u_below[child] = z_below[child] + surplus;
+        }
+      }
+    }
+    estimate = u.back();
+  }
+
+  Vector counts(n);
+  for (Index i = 0; i < n; ++i) {
+    counts[i] = estimate[static_cast<std::size_t>(i)];
+  }
+  return workload().Answer(counts);
+}
+
+}  // namespace lrm::mechanism

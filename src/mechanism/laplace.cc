@@ -1,0 +1,47 @@
+#include "mechanism/laplace.h"
+
+#include "linalg/random_matrix.h"
+
+namespace lrm::mechanism {
+
+using linalg::Vector;
+
+Status NoiseOnDataMechanism::PrepareImpl() { return Status::OK(); }
+
+StatusOr<Vector> NoiseOnDataMechanism::AnswerImpl(const Vector& data,
+                                                  double epsilon,
+                                                  rng::Engine& engine) const {
+  // D' = D + Lap(1/ε)^n; release W·D' (paper Eq. 4; unit-count
+  // sensitivity Δ = 1).
+  Vector noisy = data;
+  noisy += linalg::RandomLaplaceVector(engine, data.size(), 1.0 / epsilon);
+  return workload().Answer(noisy);
+}
+
+std::optional<double> NoiseOnDataMechanism::ExpectedSquaredError(
+    double epsilon) const {
+  if (!prepared()) return std::nullopt;
+  return workload::ExpectedErrorNoiseOnData(workload(), epsilon);
+}
+
+Status NoiseOnResultsMechanism::PrepareImpl() {
+  sensitivity_ = workload().L1Sensitivity();
+  return Status::OK();
+}
+
+StatusOr<Vector> NoiseOnResultsMechanism::AnswerImpl(
+    const Vector& data, double epsilon, rng::Engine& engine) const {
+  // W·D + Lap(Δ'/ε)^m (paper Eq. 5).
+  Vector answers = workload().Answer(data);
+  answers += linalg::RandomLaplaceVector(engine, answers.size(),
+                                         sensitivity_ / epsilon);
+  return answers;
+}
+
+std::optional<double> NoiseOnResultsMechanism::ExpectedSquaredError(
+    double epsilon) const {
+  if (!prepared()) return std::nullopt;
+  return workload::ExpectedErrorNoiseOnResults(workload(), epsilon);
+}
+
+}  // namespace lrm::mechanism

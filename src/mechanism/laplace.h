@@ -1,0 +1,53 @@
+// The two Laplace-mechanism baselines from paper §3.2:
+//
+//   NoiseOnDataMechanism    (M_D, "NOD")  — perturb each unit count with
+//       Lap(1/ε) and evaluate W on the noisy counts (Eq. 4). This is the
+//       "LM" series in the paper's figures.
+//   NoiseOnResultsMechanism (M_R, "NOR")  — evaluate W exactly, then perturb
+//       each answer with Lap(Δ'/ε) where Δ' is the workload L1 sensitivity
+//       (Eq. 5). Called "noise on queries"/NOQ in the introduction.
+
+#ifndef LRM_MECHANISM_LAPLACE_H_
+#define LRM_MECHANISM_LAPLACE_H_
+
+#include "mechanism/mechanism.h"
+
+namespace lrm::mechanism {
+
+/// \brief M_D: adds Lap(1/ε) to every unit count, then evaluates the
+/// workload on the noisy vector. Expected squared error
+/// 2/ε² · Σᵢⱼ Wᵢⱼ² (paper §3.2).
+class NoiseOnDataMechanism : public Mechanism {
+ public:
+  std::string_view name() const override { return "LM"; }
+
+  std::optional<double> ExpectedSquaredError(double epsilon) const override;
+
+ protected:
+  Status PrepareImpl() override;
+  StatusOr<linalg::Vector> AnswerImpl(const linalg::Vector& data,
+                                      double epsilon,
+                                      rng::Engine& engine) const override;
+};
+
+/// \brief M_R: evaluates the workload exactly and adds Lap(Δ'/ε) to each of
+/// the m answers, Δ' = maxⱼ Σᵢ |Wᵢⱼ|. Expected squared error 2m·Δ'²/ε².
+class NoiseOnResultsMechanism : public Mechanism {
+ public:
+  std::string_view name() const override { return "NOR"; }
+
+  std::optional<double> ExpectedSquaredError(double epsilon) const override;
+
+ protected:
+  Status PrepareImpl() override;
+  StatusOr<linalg::Vector> AnswerImpl(const linalg::Vector& data,
+                                      double epsilon,
+                                      rng::Engine& engine) const override;
+
+ private:
+  double sensitivity_ = 0.0;
+};
+
+}  // namespace lrm::mechanism
+
+#endif  // LRM_MECHANISM_LAPLACE_H_

@@ -1,0 +1,137 @@
+#include "mechanism/matrix_mechanism.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/random_matrix.h"
+#include "opt/smooth_max.h"
+#include "opt/spg.h"
+
+namespace lrm::mechanism {
+
+using linalg::Index;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+Vector Diag(const Matrix& m) {
+  Vector d(m.rows());
+  for (Index i = 0; i < m.rows(); ++i) d[i] = m(i, i);
+  return d;
+}
+
+}  // namespace
+
+Status MatrixMechanism::PrepareImpl() {
+  const Index n = workload().domain_size();
+  const Matrix wtw = linalg::GramAtA(workload().matrix());
+  const double mu = options_.mu;
+
+  // tr(WᵀW·M⁻¹) via an SPD solve; returns +inf on loss of definiteness so
+  // the line search backs off instead of aborting.
+  auto trace_term = [&wtw](const Matrix& m) -> double {
+    StatusOr<Matrix> solved = linalg::SolveSpd(m, wtw);
+    if (!solved.ok()) return std::numeric_limits<double>::infinity();
+    return linalg::Trace(*solved);
+  };
+
+  auto objective = [&, mu](const Matrix& m) -> double {
+    const double t = trace_term(m);
+    if (!std::isfinite(t)) return t;
+    return opt::SmoothMax(Diag(m), mu) * t;
+  };
+
+  auto gradient = [&, mu](const Matrix& m) -> Matrix {
+    // ∇[fμ(diag M)·g(M)] = g·diag(∇fμ) − fμ·M⁻¹WᵀWM⁻¹.
+    const Vector d = Diag(m);
+    const double f = opt::SmoothMax(d, mu);
+    StatusOr<Matrix> inv = linalg::SpdInverse(m);
+    if (!inv.ok()) {
+      // Gradient at an infeasible point: steer back by identity descent.
+      return Matrix::Identity(m.rows());
+    }
+    const Matrix k = (*inv) * wtw * (*inv);
+    const double g = linalg::Trace((*inv) * wtw);
+    Matrix grad = -f * k;
+    const Vector softmax = opt::SmoothMaxGradient(d, mu);
+    for (Index i = 0; i < m.rows(); ++i) grad(i, i) += g * softmax[i];
+    return grad;
+  };
+
+  auto projection = [this](Matrix& m) {
+    // Symmetrize, clamp the spectrum, and renormalize max(diag) to 1 (the
+    // objective is scale-invariant, so this only conditions the iterate).
+    StatusOr<linalg::SymmetricEigenResult> eig = linalg::SymmetricEigen(m);
+    if (!eig.ok()) return;
+    const Index n_local = m.rows();
+    double lambda_max = 0.0;
+    for (Index i = 0; i < n_local; ++i) {
+      lambda_max = std::max(lambda_max, eig->eigenvalues[i]);
+    }
+    const double floor =
+        std::max(lambda_max * options_.psd_floor_relative, 1e-12);
+    Matrix scaled = eig->eigenvectors;
+    for (Index j = 0; j < n_local; ++j) {
+      const double lambda = std::max(eig->eigenvalues[j], floor);
+      for (Index i = 0; i < n_local; ++i) scaled(i, j) *= lambda;
+    }
+    m = linalg::MultiplyABt(scaled, eig->eigenvectors);
+    double max_diag = 0.0;
+    for (Index i = 0; i < n_local; ++i) max_diag = std::max(max_diag, m(i, i));
+    if (max_diag > 0.0) m /= max_diag;
+  };
+
+  opt::SpgOptions spg_options;
+  spg_options.max_iterations = options_.max_iterations;
+  spg_options.tolerance = options_.tolerance;
+  LRM_ASSIGN_OR_RETURN(
+      opt::SpgResult spg,
+      opt::SpectralProjectedGradient(objective, gradient, projection,
+                                     Matrix::Identity(n), spg_options));
+  LRM_LOG_DEBUG << "MatrixMechanism SPG: " << spg.iterations
+                << " iterations, objective " << spg.final_objective;
+
+  // Strategy A = M^{1/2} = Σ √λᵢ·vᵢvᵢᵀ (Appendix B).
+  Matrix m_star = spg.solution;
+  LRM_ASSIGN_OR_RETURN(linalg::SymmetricEigenResult eig,
+                       linalg::SymmetricEigen(m_star));
+  Matrix scaled = eig.eigenvectors;
+  for (Index j = 0; j < n; ++j) {
+    const double lambda = std::max(eig.eigenvalues[j], 0.0);
+    const double root = std::sqrt(lambda);
+    for (Index i = 0; i < n; ++i) scaled(i, j) *= root;
+  }
+  strategy_ = linalg::MultiplyABt(scaled, eig.eigenvectors);
+
+  LRM_ASSIGN_OR_RETURN(strategy_cholesky_, linalg::CholeskyFactor(strategy_));
+  sensitivity_ = linalg::MaxColumnAbsSum(strategy_);
+  unit_error_ = trace_term(m_star);
+  if (!std::isfinite(unit_error_)) {
+    return Status::NumericalError(
+        "MatrixMechanism: optimized strategy is numerically singular");
+  }
+  return Status::OK();
+}
+
+StatusOr<Vector> MatrixMechanism::AnswerImpl(const Vector& data,
+                                             double epsilon,
+                                             rng::Engine& engine) const {
+  // y = A·x + Lap(Δ_A/ε)^n; x̂ = A⁻¹·y; release W·x̂.
+  Vector y = strategy_ * data;
+  y += linalg::RandomLaplaceVector(engine, y.size(),
+                                   sensitivity_ / epsilon);
+  const Vector estimate = linalg::CholeskySolve(strategy_cholesky_, y);
+  return workload().Answer(estimate);
+}
+
+std::optional<double> MatrixMechanism::ExpectedSquaredError(
+    double epsilon) const {
+  if (!prepared()) return std::nullopt;
+  return 2.0 * sensitivity_ * sensitivity_ * unit_error_ /
+         (epsilon * epsilon);
+}
+
+}  // namespace lrm::mechanism

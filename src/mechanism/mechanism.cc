@@ -1,0 +1,47 @@
+#include "mechanism/mechanism.h"
+
+#include "base/string_util.h"
+
+namespace lrm::mechanism {
+
+Status Mechanism::Prepare(const workload::Workload& workload) {
+  // Unbind first: after a failed (re-)Prepare the mechanism must report
+  // unprepared rather than silently answer from stale state.
+  prepared_ = false;
+  if (workload.num_queries() == 0 || workload.domain_size() == 0) {
+    return Status::InvalidArgument("Mechanism::Prepare: empty workload");
+  }
+  if (!linalg::AllFinite(workload.matrix())) {
+    return Status::InvalidArgument(
+        "Mechanism::Prepare: workload contains NaN or Inf");
+  }
+  workload_ = workload;
+  LRM_RETURN_IF_ERROR(PrepareImpl());
+  prepared_ = true;
+  return Status::OK();
+}
+
+StatusOr<linalg::Vector> Mechanism::Answer(const linalg::Vector& data,
+                                           double epsilon,
+                                           rng::Engine& engine) const {
+  if (!prepared_) {
+    return Status::FailedPrecondition(
+        "Mechanism::Answer called before Prepare()");
+  }
+  if (data.size() != workload_.domain_size()) {
+    return Status::InvalidArgument(StrFormat(
+        "Mechanism::Answer: data has %td entries, workload domain is %td",
+        data.size(), workload_.domain_size()));
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "Mechanism::Answer: epsilon must be positive");
+  }
+  if (!linalg::AllFinite(data)) {
+    return Status::InvalidArgument(
+        "Mechanism::Answer: data contains NaN or Inf");
+  }
+  return AnswerImpl(data, epsilon, engine);
+}
+
+}  // namespace lrm::mechanism

@@ -1,0 +1,77 @@
+// Abstract interface every differentially private batch-query mechanism in
+// this library implements.
+//
+// The two-phase contract matters for privacy: Prepare() may look only at the
+// workload W (public), never at the data, so the strategy search consumes no
+// privacy budget. Answer() is the randomized release and is the only place
+// the data vector is touched.
+
+#ifndef LRM_MECHANISM_MECHANISM_H_
+#define LRM_MECHANISM_MECHANISM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/status_or.h"
+#include "linalg/vector.h"
+#include "rng/engine.h"
+#include "workload/workload.h"
+
+namespace lrm::mechanism {
+
+/// \brief An ε-differentially private mechanism for answering a batch of
+/// linear queries.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Short display name ("LRM", "LM", "WM", "HM", "MM", …).
+  virtual std::string_view name() const = 0;
+
+  /// Binds the mechanism to a workload and runs any (data-independent)
+  /// strategy optimization. Must be called before Answer().
+  Status Prepare(const workload::Workload& workload);
+
+  /// Releases ε-differentially private answers to all m queries.
+  ///
+  /// `data` is the unit-count vector (length = domain size), `epsilon` the
+  /// privacy budget, `engine` the noise source. Unit-count sensitivity is 1
+  /// (adding/removing one record changes one count by 1), matching the
+  /// paper's setting.
+  StatusOr<linalg::Vector> Answer(const linalg::Vector& data, double epsilon,
+                                  rng::Engine& engine) const;
+
+  /// Analytic expected total squared error Σᵢ E[(ỹᵢ − yᵢ)²] where known;
+  /// nullopt if only empirical measurement is possible. Data-independent for
+  /// every mechanism except relaxed LRM (which adds a structural term; see
+  /// LowRankMechanism::StructuralError).
+  virtual std::optional<double> ExpectedSquaredError(double epsilon) const {
+    (void)epsilon;
+    return std::nullopt;
+  }
+
+  /// True once Prepare() has succeeded.
+  bool prepared() const { return prepared_; }
+
+ protected:
+  /// Mechanism-specific preparation; `workload()` is already set.
+  virtual Status PrepareImpl() = 0;
+
+  /// Mechanism-specific answering; preconditions already validated.
+  virtual StatusOr<linalg::Vector> AnswerImpl(const linalg::Vector& data,
+                                              double epsilon,
+                                              rng::Engine& engine) const = 0;
+
+  /// The workload bound by Prepare(). Only valid when prepared().
+  const workload::Workload& workload() const { return workload_; }
+
+ private:
+  workload::Workload workload_;
+  bool prepared_ = false;
+};
+
+}  // namespace lrm::mechanism
+
+#endif  // LRM_MECHANISM_MECHANISM_H_

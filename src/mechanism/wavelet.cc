@@ -1,0 +1,156 @@
+#include "mechanism/wavelet.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "rng/distributions.h"
+
+namespace lrm::mechanism {
+
+using linalg::Index;
+using linalg::Vector;
+
+namespace {
+
+bool IsPowerOfTwo(Index n) { return n > 0 && (n & (n - 1)) == 0; }
+
+Index Log2(Index n) {
+  Index result = 0;
+  while ((Index{1} << result) < n) ++result;
+  return result;
+}
+
+}  // namespace
+
+Index NextPowerOfTwo(Index n) {
+  LRM_CHECK_GT(n, 0);
+  Index p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Vector HaarTransform(const Vector& x) {
+  const Index n = x.size();
+  LRM_CHECK(IsPowerOfTwo(n));
+  Vector coefficients(n);
+  Vector averages = x;
+  Index len = n;
+  // Bottom-up: averages halve in length each level; differences land at
+  // coefficient slots [len/2, len).
+  while (len > 1) {
+    const Index half = len / 2;
+    for (Index i = 0; i < half; ++i) {
+      const double left = averages[2 * i];
+      const double right = averages[2 * i + 1];
+      averages[i] = 0.5 * (left + right);
+      coefficients[half + i] = 0.5 * (left - right);
+    }
+    len = half;
+  }
+  coefficients[0] = averages[0];
+  return coefficients;
+}
+
+Vector InverseHaarTransform(const Vector& c) {
+  const Index n = c.size();
+  LRM_CHECK(IsPowerOfTwo(n));
+  Vector values(n);
+  values[0] = c[0];
+  Index len = 1;
+  // Top-down: expand each average into (avg + diff, avg − diff).
+  while (len < n) {
+    for (Index i = len - 1; i >= 0; --i) {
+      const double avg = values[i];
+      const double diff = c[len + i];
+      values[2 * i] = avg + diff;
+      values[2 * i + 1] = avg - diff;
+    }
+    len *= 2;
+  }
+  return values;
+}
+
+double HaarCoefficientWeight(Index index, Index n) {
+  LRM_CHECK(IsPowerOfTwo(n));
+  LRM_CHECK(index >= 0 && index < n);
+  if (index == 0) return static_cast<double>(n);
+  // Coefficient 2^l + i sits at level l = floor(log2(index)); its subtree
+  // covers n / 2^l leaves.
+  Index l = 0;
+  while ((Index{2} << l) <= index) ++l;
+  return static_cast<double>(n >> l);
+}
+
+double HaarGeneralizedSensitivity(Index n) {
+  LRM_CHECK(IsPowerOfTwo(n));
+  return 1.0 + static_cast<double>(Log2(n));
+}
+
+Status WaveletMechanism::PrepareImpl() {
+  const Index n = workload().domain_size();
+  padded_size_ = NextPowerOfTwo(n);
+  const Index big_n = padded_size_;
+  const double rho = HaarGeneralizedSensitivity(big_n);
+
+  // Precompute the analytic unit error: for each workload row w, the signed
+  // subtree sums v = (H⁻¹)ᵀ·w give the row's exposure to each coefficient's
+  // noise; accumulate Σ v_c²·(ρ/weight_c)².
+  unit_error_ = 0.0;
+  std::vector<double> sums(static_cast<std::size_t>(big_n));
+  const auto& w = workload().matrix();
+  for (Index row = 0; row < w.rows(); ++row) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (Index j = 0; j < n; ++j) {
+      sums[static_cast<std::size_t>(j)] = w(row, j);
+    }
+    Index len = big_n;
+    while (len > 1) {
+      const Index half = len / 2;
+      for (Index i = 0; i < half; ++i) {
+        const double left = sums[static_cast<std::size_t>(2 * i)];
+        const double right = sums[static_cast<std::size_t>(2 * i + 1)];
+        // Exposure to the difference coefficient at slot half+i.
+        const double v = left - right;
+        const double weight =
+            HaarCoefficientWeight(half + i, big_n);
+        unit_error_ += v * v * (rho / weight) * (rho / weight);
+        sums[static_cast<std::size_t>(i)] = left + right;
+      }
+      len = half;
+    }
+    const double v0 = sums[0];
+    unit_error_ += v0 * v0 * (rho / static_cast<double>(big_n)) *
+                   (rho / static_cast<double>(big_n));
+  }
+  return Status::OK();
+}
+
+StatusOr<Vector> WaveletMechanism::AnswerImpl(const Vector& data,
+                                              double epsilon,
+                                              rng::Engine& engine) const {
+  const Index n = data.size();
+  const Index big_n = padded_size_;
+  Vector padded(big_n);
+  for (Index i = 0; i < n; ++i) padded[i] = data[i];
+
+  Vector coefficients = HaarTransform(padded);
+  const double rho = HaarGeneralizedSensitivity(big_n);
+  for (Index c = 0; c < big_n; ++c) {
+    const double scale = rho / (epsilon * HaarCoefficientWeight(c, big_n));
+    coefficients[c] += rng::SampleLaplace(engine, scale);
+  }
+  const Vector reconstructed = InverseHaarTransform(coefficients);
+
+  Vector estimate(n);
+  for (Index i = 0; i < n; ++i) estimate[i] = reconstructed[i];
+  return workload().Answer(estimate);
+}
+
+std::optional<double> WaveletMechanism::ExpectedSquaredError(
+    double epsilon) const {
+  if (!prepared()) return std::nullopt;
+  return 2.0 * unit_error_ / (epsilon * epsilon);
+}
+
+}  // namespace lrm::mechanism

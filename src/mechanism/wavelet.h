@@ -1,0 +1,70 @@
+// Wavelet Mechanism ("WM") — Privelet (Xiao, Wang, Gehrke, ICDE 2010).
+//
+// Publishes the Haar wavelet coefficients of the count vector, each
+// perturbed with Laplace noise inversely proportional to its Privelet
+// weight. The weighted transform has generalized sensitivity
+// ρ = 1 + log₂ n, so range queries enjoy polylog noise variance while the
+// release remains ε-differentially private. Arbitrary linear workloads are
+// answered by reconstructing the noisy counts and applying W.
+//
+// The transform helpers are exposed for testing and reuse.
+
+#ifndef LRM_MECHANISM_WAVELET_H_
+#define LRM_MECHANISM_WAVELET_H_
+
+#include "mechanism/mechanism.h"
+
+namespace lrm::mechanism {
+
+/// \brief Forward Haar wavelet transform; x.size() must be a power of two.
+///
+/// Coefficient layout: c[0] is the overall average; c[2^l + i] is the
+/// difference coefficient (mean of left half − mean of right half)/2 of the
+/// i-th node at tree level l (l = 0 is the root split).
+linalg::Vector HaarTransform(const linalg::Vector& x);
+
+/// \brief Inverse of HaarTransform.
+linalg::Vector InverseHaarTransform(const linalg::Vector& c);
+
+/// \brief Privelet weight of coefficient `index` for (power-of-two) domain
+/// size n: the base coefficient has weight n; a difference coefficient whose
+/// subtree covers s leaves has weight s. One unit change in a count moves
+/// coefficient c by at most 1/weight(c), so Σ weight·|Δc| = 1 + log₂ n = ρ.
+double HaarCoefficientWeight(linalg::Index index, linalg::Index n);
+
+/// \brief The Privelet generalized sensitivity ρ = 1 + log₂ n.
+double HaarGeneralizedSensitivity(linalg::Index n);
+
+/// \brief Smallest power of two ≥ n.
+linalg::Index NextPowerOfTwo(linalg::Index n);
+
+/// \brief The Privelet wavelet mechanism.
+///
+/// Domains that are not powers of two are padded with zero counts; padding
+/// is part of the (public) domain definition, so privacy is unaffected.
+class WaveletMechanism : public Mechanism {
+ public:
+  std::string_view name() const override { return "WM"; }
+
+  /// Exact analytic expected squared error: the release is x̂ = x + H⁻¹ξ
+  /// with independent coefficient noise ξ, so the error is a weighted sum
+  /// of per-coefficient variances (computed in PrepareImpl).
+  std::optional<double> ExpectedSquaredError(double epsilon) const override;
+
+ protected:
+  Status PrepareImpl() override;
+  StatusOr<linalg::Vector> AnswerImpl(const linalg::Vector& data,
+                                      double epsilon,
+                                      rng::Engine& engine) const override;
+
+ private:
+  /// Padded (power-of-two) domain size.
+  linalg::Index padded_size_ = 0;
+  /// Σ over coefficients c of (Σ workload-row adjoint weight²)·(ρ/weight_c)²
+  /// so that ExpectedSquaredError = 2·unit_error_/ε².
+  double unit_error_ = 0.0;
+};
+
+}  // namespace lrm::mechanism
+
+#endif  // LRM_MECHANISM_WAVELET_H_

@@ -1,0 +1,66 @@
+#include "opt/l1_projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/check.h"
+
+namespace lrm::opt {
+
+using linalg::Index;
+
+void ProjectOntoL1Ball(double* v, Index d, double radius, double* scratch) {
+  LRM_CHECK_GE(radius, 0.0);
+  if (d == 0) return;
+  if (radius == 0.0) {
+    std::fill(v, v + d, 0.0);
+    return;
+  }
+  double l1 = 0.0;
+  for (Index i = 0; i < d; ++i) l1 += std::abs(v[i]);
+  if (l1 <= radius) return;  // already feasible
+
+  // Duchi et al.: find the soft threshold theta from the sorted magnitudes.
+  for (Index i = 0; i < d; ++i) scratch[i] = std::abs(v[i]);
+  std::sort(scratch, scratch + d, std::greater<double>());
+  double cumulative = 0.0;
+  double theta = 0.0;
+  Index rho = 0;
+  for (Index j = 0; j < d; ++j) {
+    cumulative += scratch[j];
+    const double candidate =
+        (cumulative - radius) / static_cast<double>(j + 1);
+    if (scratch[j] - candidate > 0.0) {
+      rho = j + 1;
+      theta = candidate;
+    } else {
+      break;
+    }
+  }
+  LRM_DCHECK(rho > 0);
+  (void)rho;  // rho participates only in the debug check
+  for (Index i = 0; i < d; ++i) {
+    const double magnitude = std::abs(v[i]) - theta;
+    v[i] = magnitude > 0.0 ? std::copysign(magnitude, v[i]) : 0.0;
+  }
+}
+
+void ProjectOntoL1Ball(linalg::Vector& v, double radius) {
+  std::vector<double> scratch(static_cast<std::size_t>(v.size()));
+  ProjectOntoL1Ball(v.data(), v.size(), radius, scratch.data());
+}
+
+void ProjectColumnsOntoL1Ball(linalg::Matrix& m, double radius) {
+  const Index rows = m.rows();
+  const Index cols = m.cols();
+  std::vector<double> column(static_cast<std::size_t>(rows));
+  std::vector<double> scratch(static_cast<std::size_t>(rows));
+  for (Index j = 0; j < cols; ++j) {
+    for (Index i = 0; i < rows; ++i) column[static_cast<std::size_t>(i)] = m(i, j);
+    ProjectOntoL1Ball(column.data(), rows, radius, scratch.data());
+    for (Index i = 0; i < rows; ++i) m(i, j) = column[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace lrm::opt

@@ -1,0 +1,30 @@
+// Euclidean projection onto the L1 ball (Duchi, Shalev-Shwartz, Singer,
+// Chandra, ICML 2008) — the projection step of paper Algorithm 2 / Formula
+// (11). Each column of L is projected onto {v : ‖v‖₁ ≤ radius}.
+
+#ifndef LRM_OPT_L1_PROJECTION_H_
+#define LRM_OPT_L1_PROJECTION_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace lrm::opt {
+
+/// \brief Projects `v` in place onto {x : ‖x‖₁ ≤ radius} in O(d log d).
+///
+/// If v is already inside the ball it is returned unchanged (the projection
+/// is the identity there). radius must be ≥ 0; radius = 0 zeroes the vector.
+void ProjectOntoL1Ball(linalg::Vector& v, double radius);
+
+/// \brief Scratch-buffer variant for hot loops: projects the `d` doubles at
+/// `v` using `scratch` (capacity ≥ d) to avoid per-call allocation.
+void ProjectOntoL1Ball(double* v, linalg::Index d, double radius,
+                       double* scratch);
+
+/// \brief Projects every column of `m` onto the L1 ball of the given radius
+/// — Formula (11) decouples into independent per-column problems.
+void ProjectColumnsOntoL1Ball(linalg::Matrix& m, double radius);
+
+}  // namespace lrm::opt
+
+#endif  // LRM_OPT_L1_PROJECTION_H_

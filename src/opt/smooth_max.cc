@@ -1,0 +1,39 @@
+#include "opt/smooth_max.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace lrm::opt {
+
+using linalg::Index;
+using linalg::Vector;
+
+double SmoothMax(const Vector& v, double mu) {
+  LRM_CHECK_GT(v.size(), 0);
+  LRM_CHECK_GT(mu, 0.0);
+  double vmax = v[0];
+  for (Index i = 1; i < v.size(); ++i) vmax = std::max(vmax, v[i]);
+  double sum = 0.0;
+  for (Index i = 0; i < v.size(); ++i) {
+    sum += std::exp((v[i] - vmax) / mu);
+  }
+  return vmax + mu * std::log(sum);
+}
+
+Vector SmoothMaxGradient(const Vector& v, double mu) {
+  LRM_CHECK_GT(v.size(), 0);
+  LRM_CHECK_GT(mu, 0.0);
+  double vmax = v[0];
+  for (Index i = 1; i < v.size(); ++i) vmax = std::max(vmax, v[i]);
+  Vector weights(v.size());
+  double sum = 0.0;
+  for (Index i = 0; i < v.size(); ++i) {
+    weights[i] = std::exp((v[i] - vmax) / mu);
+    sum += weights[i];
+  }
+  weights /= sum;
+  return weights;
+}
+
+}  // namespace lrm::opt

@@ -1,0 +1,25 @@
+// Log-sum-exp smoothing of max(v) — Appendix B of the paper.
+//
+// fμ(v) = max(v) + μ·log Σᵢ exp((vᵢ − max(v))/μ) satisfies
+// max(v) ≤ fμ(v) ≤ max(v) + μ·log n and has a Lipschitz-continuous gradient
+// with constant 1/μ. The matrix mechanism minimizes
+// max(diag(M))·tr(WᵀWM⁻¹); the smoothing makes the first factor
+// differentiable.
+
+#ifndef LRM_OPT_SMOOTH_MAX_H_
+#define LRM_OPT_SMOOTH_MAX_H_
+
+#include "linalg/vector.h"
+
+namespace lrm::opt {
+
+/// \brief fμ(v); `mu` must be > 0, `v` non-empty.
+double SmoothMax(const linalg::Vector& v, double mu);
+
+/// \brief ∇fμ(v): the softmax weights exp((vᵢ − max)/μ) / Σⱼ exp((vⱼ −
+/// max)/μ), computed in the overflow-safe form of Appendix B.
+linalg::Vector SmoothMaxGradient(const linalg::Vector& v, double mu);
+
+}  // namespace lrm::opt
+
+#endif  // LRM_OPT_SMOOTH_MAX_H_

@@ -1,0 +1,113 @@
+#include "opt/spg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace lrm::opt {
+
+using linalg::Index;
+using linalg::Matrix;
+
+namespace {
+
+double InnerProduct(const Matrix& a, const Matrix& b) {
+  double result = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) result += pa[i] * pb[i];
+  return result;
+}
+
+}  // namespace
+
+StatusOr<SpgResult> SpectralProjectedGradient(
+    const MatrixObjective& objective, const MatrixGradient& gradient,
+    const MatrixProjection& projection, const linalg::Matrix& initial,
+    const SpgOptions& options) {
+  if (!objective || !gradient || !projection) {
+    return Status::InvalidArgument("SpectralProjectedGradient: null callback");
+  }
+  if (options.max_iterations <= 0 || options.history <= 0) {
+    return Status::InvalidArgument(
+        "SpectralProjectedGradient: iteration/history must be > 0");
+  }
+
+  Matrix x = initial;
+  projection(x);
+  double f_x = objective(x);
+  Matrix grad = gradient(x);
+
+  std::deque<double> recent{f_x};
+  double step = 1.0;
+
+  SpgResult result;
+  for (int t = 0; t < options.max_iterations; ++t) {
+    // Projected-gradient direction d = P(x − step·∇f) − x.
+    Matrix candidate = x;
+    candidate.Axpy(-step, grad);
+    projection(candidate);
+    Matrix d = candidate;
+    d -= x;
+
+    const double d_norm = linalg::FrobeniusNorm(d);
+    if (d_norm <= options.tolerance * std::max(1.0, linalg::FrobeniusNorm(x))) {
+      result.converged = true;
+      result.iterations = t;
+      break;
+    }
+
+    const double gtd = InnerProduct(grad, d);
+    const double f_ref = *std::max_element(recent.begin(), recent.end());
+
+    // Nonmonotone Armijo backtracking along x + λ·d.
+    double lambda = 1.0;
+    Matrix x_new;
+    double f_new = 0.0;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search; ++ls) {
+      x_new = x;
+      x_new.Axpy(lambda, d);
+      f_new = objective(x_new);
+      if (f_new <= f_ref + options.armijo * lambda * gtd) {
+        accepted = true;
+        break;
+      }
+      lambda *= 0.5;
+    }
+    if (!accepted) {
+      result.iterations = t;
+      break;  // stalled; return current iterate
+    }
+
+    Matrix grad_new = gradient(x_new);
+    // Barzilai–Borwein step: <s,s>/<s,y> with s = x⁺−x, y = ∇f⁺−∇f.
+    Matrix s = x_new;
+    s -= x;
+    Matrix y = grad_new;
+    y -= grad;
+    const double sty = InnerProduct(s, y);
+    if (sty > 0.0) {
+      step = std::clamp(InnerProduct(s, s) / sty, options.min_step,
+                        options.max_step);
+    } else {
+      step = options.max_step;
+    }
+
+    x = std::move(x_new);
+    grad = std::move(grad_new);
+    f_x = f_new;
+    recent.push_back(f_x);
+    if (static_cast<int>(recent.size()) > options.history) {
+      recent.pop_front();
+    }
+    result.iterations = t + 1;
+  }
+
+  result.solution = std::move(x);
+  result.final_objective = f_x;
+  return result;
+}
+
+}  // namespace lrm::opt

@@ -1,0 +1,54 @@
+// Nonmonotone spectral projected gradient (Birgin, Martínez, Raydan 2000) —
+// the solver Appendix B prescribes for the matrix mechanism's smoothed
+// semidefinite program.
+//
+// SPG takes Barzilai–Borwein (spectral) step lengths and accepts steps under
+// a nonmonotone Armijo rule that compares against the maximum objective over
+// the last `history` iterates, which lets it traverse the ill-conditioned
+// landscape of M ↦ max(diag M)·tr(WᵀWM⁻¹) far faster than monotone descent.
+
+#ifndef LRM_OPT_SPG_H_
+#define LRM_OPT_SPG_H_
+
+#include <functional>
+
+#include "base/status_or.h"
+#include "linalg/matrix.h"
+#include "opt/apg.h"  // MatrixObjective / MatrixGradient / MatrixProjection
+
+namespace lrm::opt {
+
+/// \brief Options for SpectralProjectedGradient.
+struct SpgOptions {
+  int max_iterations = 150;
+  /// Stop when the projected-gradient step is this small (relative).
+  double tolerance = 1e-7;
+  /// Window for the nonmonotone Armijo reference value.
+  int history = 10;
+  /// Armijo sufficient-decrease constant.
+  double armijo = 1e-4;
+  /// Spectral step clamps.
+  double min_step = 1e-10;
+  double max_step = 1e10;
+  /// Cap on line-search halvings per iteration.
+  int max_line_search = 40;
+};
+
+/// \brief Result of an SPG run.
+struct SpgResult {
+  linalg::Matrix solution;
+  int iterations = 0;
+  bool converged = false;
+  double final_objective = 0.0;
+};
+
+/// \brief Minimizes f over the feasible set from `initial` (projected on
+/// entry). Same callback contract as AcceleratedProjectedGradient.
+StatusOr<SpgResult> SpectralProjectedGradient(
+    const MatrixObjective& objective, const MatrixGradient& gradient,
+    const MatrixProjection& projection, const linalg::Matrix& initial,
+    const SpgOptions& options = {});
+
+}  // namespace lrm::opt
+
+#endif  // LRM_OPT_SPG_H_

@@ -1,0 +1,104 @@
+#include "rng/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace lrm::rng {
+
+double SampleUniform(Engine& engine, double lo, double hi) {
+  LRM_DCHECK(lo <= hi);
+  return lo + (hi - lo) * engine.NextDouble();
+}
+
+std::int64_t SampleUniformInt(Engine& engine, std::int64_t lo,
+                              std::int64_t hi) {
+  LRM_CHECK(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(engine.Next());
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      std::numeric_limits<std::uint64_t>::max() % range;
+  std::uint64_t draw;
+  do {
+    draw = engine.Next();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+bool SampleBernoulli(Engine& engine, double p) {
+  LRM_DCHECK(p >= 0.0 && p <= 1.0);
+  return engine.NextDouble() < p;
+}
+
+double SampleGaussian(Engine& engine) {
+  // Marsaglia polar method; rejects ~21.5% of candidate pairs.
+  while (true) {
+    const double u = 2.0 * engine.NextDouble() - 1.0;
+    const double v = 2.0 * engine.NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double SampleLaplace(Engine& engine, double scale) {
+  LRM_DCHECK(scale >= 0.0);
+  if (scale == 0.0) return 0.0;
+  // Inverse CDF: u uniform in (-1/2, 1/2],
+  // x = -b * sgn(u) * ln(1 - 2|u|).
+  const double u = engine.NextDouble() - 0.5;
+  const double sign = (u >= 0.0) ? 1.0 : -1.0;
+  const double magnitude = std::min(std::abs(u) * 2.0,
+                                    1.0 - 1e-16);  // avoid log(0)
+  return -scale * sign * std::log1p(-magnitude);
+}
+
+std::vector<double> SampleLaplaceVector(Engine& engine, std::size_t n,
+                                        double scale) {
+  std::vector<double> result(n);
+  for (double& value : result) {
+    value = SampleLaplace(engine, scale);
+  }
+  return result;
+}
+
+double SampleExponential(Engine& engine, double lambda) {
+  LRM_DCHECK(lambda > 0.0);
+  // 1 - NextDouble() is in (0, 1], so the log argument never hits zero.
+  return -std::log(1.0 - engine.NextDouble()) / lambda;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  LRM_CHECK(n >= 1);
+  LRM_CHECK(exponent > 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -exponent);
+    cdf_[k - 1] = total;
+  }
+  for (double& value : cdf_) {
+    value /= total;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::Sample(Engine& engine) const {
+  const double u = engine.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Pmf(std::size_t k) const {
+  LRM_CHECK(k >= 1 && k <= cdf_.size());
+  if (k == 1) return cdf_[0];
+  return cdf_[k - 1] - cdf_[k - 2];
+}
+
+}  // namespace lrm::rng

@@ -1,0 +1,63 @@
+// Scalar samplers on top of rng::Engine.
+//
+// The Laplace sampler is the privacy-critical primitive: the Laplace
+// mechanism (paper Eq. 3) and every derived mechanism draw their noise here.
+
+#ifndef LRM_RNG_DISTRIBUTIONS_H_
+#define LRM_RNG_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/engine.h"
+
+namespace lrm::rng {
+
+/// \brief Uniform double in [lo, hi).
+double SampleUniform(Engine& engine, double lo, double hi);
+
+/// \brief Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+std::int64_t SampleUniformInt(Engine& engine, std::int64_t lo,
+                              std::int64_t hi);
+
+/// \brief Bernoulli trial with success probability p in [0, 1].
+bool SampleBernoulli(Engine& engine, double p);
+
+/// \brief Standard normal via the Marsaglia polar method.
+double SampleGaussian(Engine& engine);
+
+/// \brief Zero-mean Laplace with scale b: density (1/2b)·exp(−|x|/b),
+/// variance 2b². Sampled by inverse CDF; requires b >= 0 (b == 0 returns 0,
+/// matching the ε→∞ no-noise limit).
+double SampleLaplace(Engine& engine, double scale);
+
+/// \brief n i.i.d. Laplace(scale) draws.
+std::vector<double> SampleLaplaceVector(Engine& engine, std::size_t n,
+                                        double scale);
+
+/// \brief Exponential with rate lambda (> 0).
+double SampleExponential(Engine& engine, double lambda);
+
+/// \brief Zipf-distributed integers over {1, …, n} with P(k) ∝ k^(−exponent).
+///
+/// Precomputes the CDF once (O(n)) so each draw is a binary search; used by
+/// the Net Trace dataset synthesizer where n is the key universe.
+class ZipfSampler {
+ public:
+  /// \param n        support size, >= 1
+  /// \param exponent skew parameter, > 0
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Draws a value in [1, n].
+  std::size_t Sample(Engine& engine) const;
+
+  /// Probability mass of value k (1-based).
+  double Pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lrm::rng
+
+#endif  // LRM_RNG_DISTRIBUTIONS_H_

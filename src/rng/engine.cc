@@ -1,0 +1,71 @@
+#include "rng/engine.h"
+
+namespace lrm::rng {
+
+namespace {
+
+inline std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Engine::Engine(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+std::uint64_t Engine::Next() {
+  const std::uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Engine::NextDouble() {
+  // Take the top 53 bits; 2^-53 spacing covers [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+Engine Engine::Split() {
+  // Seed the child from two parent draws folded through SplitMix64 so the
+  // child stream is decorrelated from the parent's future output.
+  std::uint64_t s = Next();
+  std::uint64_t mixed = SplitMix64(s) ^ Next();
+  return Engine(mixed);
+}
+
+void Engine::Jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      Next();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+}  // namespace lrm::rng

@@ -1,0 +1,132 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+#include "linalg/random_matrix.h"
+#include "rng/distributions.h"
+#include "rng/engine.h"
+
+namespace lrm::workload {
+
+using linalg::Index;
+using linalg::Matrix;
+
+StatusOr<Workload> GenerateWDiscrete(Index num_queries, Index domain_size,
+                                     std::uint64_t seed,
+                                     const WDiscreteOptions& options) {
+  if (num_queries <= 0 || domain_size <= 0) {
+    return Status::InvalidArgument("GenerateWDiscrete: m and n must be > 0");
+  }
+  if (options.positive_probability < 0.0 ||
+      options.positive_probability > 1.0) {
+    return Status::InvalidArgument(
+        "GenerateWDiscrete: positive_probability must lie in [0, 1]");
+  }
+  rng::Engine engine(seed ^ 0xD15C1E7EULL);
+  Matrix w(num_queries, domain_size);
+  for (Index i = 0; i < num_queries; ++i) {
+    double* row = w.RowPtr(i);
+    for (Index j = 0; j < domain_size; ++j) {
+      row[j] = rng::SampleBernoulli(engine, options.positive_probability)
+                   ? 1.0
+                   : -1.0;
+    }
+  }
+  return Workload(
+      StrFormat("WDiscrete(m=%td, n=%td)", num_queries, domain_size),
+      std::move(w));
+}
+
+StatusOr<Workload> GenerateWRange(Index num_queries, Index domain_size,
+                                  std::uint64_t seed) {
+  if (num_queries <= 0 || domain_size <= 0) {
+    return Status::InvalidArgument("GenerateWRange: m and n must be > 0");
+  }
+  rng::Engine engine(seed ^ 0x3A46EULL);
+  Matrix w(num_queries, domain_size);
+  for (Index i = 0; i < num_queries; ++i) {
+    Index a = rng::SampleUniformInt(engine, 0, domain_size - 1);
+    Index b = rng::SampleUniformInt(engine, 0, domain_size - 1);
+    if (a > b) std::swap(a, b);
+    double* row = w.RowPtr(i);
+    for (Index j = a; j <= b; ++j) row[j] = 1.0;
+  }
+  return Workload(StrFormat("WRange(m=%td, n=%td)", num_queries, domain_size),
+                  std::move(w));
+}
+
+StatusOr<Workload> GenerateWRelated(Index num_queries, Index domain_size,
+                                    Index base_rank, std::uint64_t seed) {
+  if (num_queries <= 0 || domain_size <= 0) {
+    return Status::InvalidArgument("GenerateWRelated: m and n must be > 0");
+  }
+  if (base_rank <= 0) {
+    return Status::InvalidArgument("GenerateWRelated: base_rank must be > 0");
+  }
+  rng::Engine engine(seed ^ 0x4E1A7EDULL);
+  // Base queries A (s×n) and correlation matrix C (m×s), both standard
+  // normal as in the paper.
+  const Matrix a =
+      linalg::RandomGaussianMatrix(engine, base_rank, domain_size);
+  const Matrix c =
+      linalg::RandomGaussianMatrix(engine, num_queries, base_rank);
+  return Workload(StrFormat("WRelated(m=%td, n=%td, s=%td)", num_queries,
+                            domain_size, base_rank),
+                  c * a);
+}
+
+StatusOr<Workload> GeneratePrefixSums(Index domain_size) {
+  if (domain_size <= 0) {
+    return Status::InvalidArgument("GeneratePrefixSums: n must be > 0");
+  }
+  Matrix w(domain_size, domain_size);
+  for (Index i = 0; i < domain_size; ++i) {
+    for (Index j = 0; j <= i; ++j) w(i, j) = 1.0;
+  }
+  return Workload(StrFormat("PrefixSums(n=%td)", domain_size), std::move(w));
+}
+
+StatusOr<Workload> GenerateAllRanges(Index domain_size) {
+  if (domain_size <= 0) {
+    return Status::InvalidArgument("GenerateAllRanges: n must be > 0");
+  }
+  const Index num_queries = domain_size * (domain_size + 1) / 2;
+  Matrix w(num_queries, domain_size);
+  Index row = 0;
+  for (Index a = 0; a < domain_size; ++a) {
+    for (Index b = a; b < domain_size; ++b) {
+      for (Index j = a; j <= b; ++j) w(row, j) = 1.0;
+      ++row;
+    }
+  }
+  return Workload(StrFormat("AllRanges(n=%td)", domain_size), std::move(w));
+}
+
+std::string WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kWDiscrete:
+      return "WDiscrete";
+    case WorkloadKind::kWRange:
+      return "WRange";
+    case WorkloadKind::kWRelated:
+      return "WRelated";
+  }
+  return "Unknown";
+}
+
+StatusOr<Workload> GenerateWorkload(WorkloadKind kind, Index num_queries,
+                                    Index domain_size, Index base_rank,
+                                    std::uint64_t seed) {
+  switch (kind) {
+    case WorkloadKind::kWDiscrete:
+      return GenerateWDiscrete(num_queries, domain_size, seed);
+    case WorkloadKind::kWRange:
+      return GenerateWRange(num_queries, domain_size, seed);
+    case WorkloadKind::kWRelated:
+      return GenerateWRelated(num_queries, domain_size, base_rank, seed);
+  }
+  return Status::InvalidArgument("GenerateWorkload: unknown kind");
+}
+
+}  // namespace lrm::workload

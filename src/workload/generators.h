@@ -1,0 +1,72 @@
+// The three synthetic workload families from the paper's evaluation (§6):
+//
+//   WDiscrete — each weight is +1 with probability p (default 0.02) and −1
+//               otherwise. Nearly rank-one, which is what lets LRM flatten
+//               in Figure 4.
+//   WRange    — random range queries: uniform endpoints (a, b); weights 1
+//               on [a, b], 0 elsewhere.
+//   WRelated  — W = C·A with C m×s and A s×n standard normal, so
+//               rank(W) = s almost surely. The knob s drives Figure 9.
+
+#ifndef LRM_WORKLOAD_GENERATORS_H_
+#define LRM_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "base/status_or.h"
+#include "workload/workload.h"
+
+namespace lrm::workload {
+
+/// \brief Options for GenerateWDiscrete.
+struct WDiscreteOptions {
+  /// Probability of a +1 weight (paper: 0.02).
+  double positive_probability = 0.02;
+};
+
+/// \brief m×n WDiscrete workload.
+StatusOr<Workload> GenerateWDiscrete(linalg::Index num_queries,
+                                     linalg::Index domain_size,
+                                     std::uint64_t seed,
+                                     const WDiscreteOptions& options = {});
+
+/// \brief m×n WRange workload of uniform random range queries.
+StatusOr<Workload> GenerateWRange(linalg::Index num_queries,
+                                  linalg::Index domain_size,
+                                  std::uint64_t seed);
+
+/// \brief m×n WRelated workload W = C·A with inner dimension `base_rank`
+/// (the paper's s); rank(W) = min(base_rank, m, n) almost surely.
+StatusOr<Workload> GenerateWRelated(linalg::Index num_queries,
+                                    linalg::Index domain_size,
+                                    linalg::Index base_rank,
+                                    std::uint64_t seed);
+
+/// \brief The n prefix-sum queries qᵢ = x₁ + … + xᵢ — the cumulative
+/// histogram ("W_pre") workload from the matrix-mechanism literature
+/// (Li et al., PODS 2010). Strongly correlated rows make it a natural LRM
+/// showcase beyond the paper's three families.
+StatusOr<Workload> GeneratePrefixSums(linalg::Index domain_size);
+
+/// \brief All n(n+1)/2 contiguous range queries over the domain ("W_all" in
+/// the matrix-mechanism literature). Quadratic in n — intended for small
+/// domains and tests.
+StatusOr<Workload> GenerateAllRanges(linalg::Index domain_size);
+
+/// \brief Workload family tag used by the experiment grids.
+enum class WorkloadKind { kWDiscrete, kWRange, kWRelated };
+
+/// \brief Paper name of the family ("WDiscrete", …).
+std::string WorkloadKindName(WorkloadKind kind);
+
+/// \brief Dispatch generator. For kWRelated, `base_rank` must be ≥ 1; it is
+/// ignored by the other families.
+StatusOr<Workload> GenerateWorkload(WorkloadKind kind,
+                                    linalg::Index num_queries,
+                                    linalg::Index domain_size,
+                                    linalg::Index base_rank,
+                                    std::uint64_t seed);
+
+}  // namespace lrm::workload
+
+#endif  // LRM_WORKLOAD_GENERATORS_H_

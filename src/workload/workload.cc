@@ -1,0 +1,15 @@
+#include "workload/workload.h"
+
+namespace lrm::workload {
+
+double ExpectedErrorNoiseOnData(const Workload& workload, double epsilon) {
+  return 2.0 * workload.SquaredFrobeniusNorm() / (epsilon * epsilon);
+}
+
+double ExpectedErrorNoiseOnResults(const Workload& workload, double epsilon) {
+  const double delta = workload.L1Sensitivity();
+  return 2.0 * static_cast<double>(workload.num_queries()) * delta * delta /
+         (epsilon * epsilon);
+}
+
+}  // namespace lrm::workload

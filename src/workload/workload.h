@@ -1,0 +1,66 @@
+// Workload substrate: the m×n matrix of linear counting queries (paper §3.2)
+// plus sensitivity/scale utilities shared by all mechanisms.
+
+#ifndef LRM_WORKLOAD_WORKLOAD_H_
+#define LRM_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+
+#include "base/status_or.h"
+#include "linalg/matrix.h"
+
+namespace lrm::workload {
+
+/// \brief A batch of m linear queries over n unit counts.
+///
+/// Row i holds the coefficients of query qᵢ; the exact batch answer is
+/// `matrix() * data`. Immutable after construction so mechanisms can cache
+/// derived quantities safely.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Wraps a workload matrix. `name` is used in reports.
+  Workload(std::string name, linalg::Matrix matrix)
+      : name_(std::move(name)), matrix_(std::move(matrix)) {}
+
+  const std::string& name() const { return name_; }
+  const linalg::Matrix& matrix() const { return matrix_; }
+
+  /// Number of queries m.
+  linalg::Index num_queries() const { return matrix_.rows(); }
+
+  /// Domain size n.
+  linalg::Index domain_size() const { return matrix_.cols(); }
+
+  /// Exact answers W·x.
+  linalg::Vector Answer(const linalg::Vector& data) const {
+    return matrix_ * data;
+  }
+
+  /// L1 sensitivity of answering the batch directly (noise-on-results):
+  /// Δ' = maxⱼ Σᵢ |Wᵢⱼ| — how much one record can move the whole output
+  /// vector (paper §3.2).
+  double L1Sensitivity() const { return linalg::MaxColumnAbsSum(matrix_); }
+
+  /// Squared Frobenius norm Σᵢⱼ Wᵢⱼ²; drives the noise-on-data error.
+  double SquaredFrobeniusNorm() const {
+    return linalg::SquaredFrobeniusNorm(matrix_);
+  }
+
+ private:
+  std::string name_;
+  linalg::Matrix matrix_;
+};
+
+/// \brief Expected total squared error of noise-on-data (paper §3.2, M_D):
+/// 2·Δ²/ε² · Σᵢⱼ Wᵢⱼ², with unit-count sensitivity Δ = 1.
+double ExpectedErrorNoiseOnData(const Workload& workload, double epsilon);
+
+/// \brief Expected total squared error of noise-on-results (paper §3.2,
+/// M_R): 2m·Δ'²/ε² with Δ' the workload's L1 sensitivity.
+double ExpectedErrorNoiseOnResults(const Workload& workload, double epsilon);
+
+}  // namespace lrm::workload
+
+#endif  // LRM_WORKLOAD_WORKLOAD_H_

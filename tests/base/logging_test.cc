@@ -1,0 +1,46 @@
+#include "base/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace lrm {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  // The library must stay quiet in tests/benches unless asked otherwise.
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kWarning));
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotCrash) {
+  SetLogLevel(LogLevel::kError);
+  LRM_LOG_DEBUG << "invisible " << 42;
+  LRM_LOG_INFO << "also invisible";
+  LRM_LOG_WARNING << "still invisible";
+}
+
+TEST_F(LoggingTest, EmittedMessagesDoNotCrash) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  LRM_LOG_INFO << "value=" << 3.5;
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("value=3.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lrm

@@ -1,0 +1,132 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status_or.h"
+
+namespace lrm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rank");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad rank");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, CopySemantics) {
+  const Status original = Status::NumericalError("singular");
+  Status copy = original;            // copy constructor
+  Status assigned;
+  assigned = original;               // copy assignment
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(assigned, original);
+  EXPECT_EQ(copy.message(), "singular");
+}
+
+TEST(StatusTest, MoveSemantics) {
+  Status original = Status::Internal("bug");
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  EXPECT_EQ(moved.message(), "bug");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::InvalidArgument("a"), Status::InvalidArgument("a"));
+  EXPECT_FALSE(Status::InvalidArgument("a") == Status::InvalidArgument("b"));
+  EXPECT_FALSE(Status::InvalidArgument("a") == Status::OutOfRange("a"));
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotConverged), "NOT_CONVERGED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status ChainedCheck(int x) {
+  LRM_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(ChainedCheck(3).ok());
+  const Status s = ChainedCheck(-1);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> extracted = std::move(result).value();
+  EXPECT_EQ(*extracted, 7);
+}
+
+StatusOr<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> QuarterViaMacro(int x) {
+  LRM_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  LRM_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(StatusOrTest, AssignOrReturnChains) {
+  StatusOr<int> ok = QuarterViaMacro(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  StatusOr<int> bad = QuarterViaMacro(6);  // 6/2 = 3 is odd
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "odd");
+}
+
+TEST(StatusOrTest, ArrowAndStarOperators) {
+  StatusOr<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+  EXPECT_EQ(*result, "hello");
+}
+
+}  // namespace
+}  // namespace lrm

@@ -1,0 +1,40 @@
+#include "base/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lrm {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("m=%d n=%d", 3, 4), "m=3 n=4");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "abc"), "abc");
+}
+
+TEST(StrFormatTest, EmptyAndLongStrings) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  const std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()), big);
+}
+
+TEST(SciFormatTest, ScientificNotation) {
+  EXPECT_EQ(SciFormat(12345.678, 2), "1.23e+04");
+  EXPECT_EQ(SciFormat(0.00123, 1), "1.2e-03");
+  EXPECT_EQ(SciFormat(0.0, 3), "0.000e+00");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ", "), "solo");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+}
+
+TEST(PadTest, PadsToWidth) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace lrm

@@ -1,0 +1,158 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decomposition.h"
+#include "linalg/random_matrix.h"
+#include "linalg/svd.h"
+#include "rng/engine.h"
+
+namespace lrm::core {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+TEST(Lemma3Test, FlatSpectrumClosedForm) {
+  // r equal singular values λ: bound = r·r·λ²/ε².
+  const Vector spectrum{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(Lemma3UpperBound(spectrum, 3, 1.0), 36.0);
+}
+
+TEST(Lemma3Test, UsesOnlyTopRValues) {
+  const Vector spectrum{3.0, 2.0, 1.0};
+  // r = 2: 2·(9+4)/ε².
+  EXPECT_DOUBLE_EQ(Lemma3UpperBound(spectrum, 2, 1.0), 26.0);
+}
+
+TEST(Lemma3Test, EpsilonScaling) {
+  const Vector spectrum{1.0, 1.0};
+  EXPECT_NEAR(Lemma3UpperBound(spectrum, 2, 0.1) /
+                  Lemma3UpperBound(spectrum, 2, 1.0),
+              100.0, 1e-9);
+}
+
+TEST(Lemma4Test, ZeroSingularValueCollapsesBound) {
+  const Vector spectrum{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(Lemma4LowerBound(spectrum, 2, 1.0), 0.0);
+}
+
+TEST(Lemma4Test, FlatSpectrumValue) {
+  // r = 2, λ = 1: ((4/2)·1)^(2/2)·8 = 16 (Γ-ball volume 2^r/r! = 2).
+  const Vector spectrum{1.0, 1.0};
+  EXPECT_NEAR(Lemma4LowerBound(spectrum, 2, 1.0), 16.0, 1e-9);
+}
+
+TEST(Lemma4Test, SurvivesLargeRankWithoutOverflow) {
+  // 2^r/r! underflows past r ≈ 170 if computed naively; the log-space path
+  // must return a finite value.
+  const Index r = 400;
+  Vector spectrum(r, 3.0);
+  const double bound = Lemma4LowerBound(spectrum, r, 0.1);
+  EXPECT_TRUE(std::isfinite(bound));
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(BoundOrderingTest, Theorem2RatioBoundsUpperOverLower) {
+  // The provable relationship (Theorem 2's proof): for r > 5,
+  //   Lemma3/Lemma4 ≤ C²/((2^r/r!)^{2/r}·r) ≤ (C/4)²·r.
+  // (A raw Lemma3 ≥ Lemma4 ordering does NOT hold numerically — Lemma 4 is
+  // an Ω() bound whose constant the paper leaves unspecified.)
+  rng::Engine engine(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Index r = 6 + static_cast<Index>(engine.Next() % 10);
+    Vector spectrum(r);
+    for (Index i = 0; i < r; ++i) {
+      spectrum[i] = std::exp(2.0 * engine.NextDouble());
+    }
+    std::sort(spectrum.begin(), spectrum.end(), std::greater<double>());
+    const double upper = Lemma3UpperBound(spectrum, r, 0.5);
+    const double lower = Lemma4LowerBound(spectrum, r, 0.5);
+    ASSERT_GT(lower, 0.0);
+    const StatusOr<double> ratio = Theorem2ApproximationRatio(spectrum, r);
+    ASSERT_TRUE(ratio.ok());
+    EXPECT_LE(upper / lower, *ratio * (1.0 + 1e-9)) << "r=" << r;
+  }
+}
+
+TEST(BoundOrderingTest, LrmNoiseErrorRespectsLemma3) {
+  // End-to-end theory check: the ALM decomposition can never do worse than
+  // the Lemma-3 feasible construction it is seeded with.
+  rng::Engine engine(2);
+  const Index m = 14, n = 20, rank = 4;
+  const linalg::Matrix w =
+      linalg::RandomGaussianMatrix(engine, m, rank) *
+      linalg::RandomGaussianMatrix(engine, rank, n);
+  const StatusOr<linalg::SvdResult> svd = linalg::JacobiSvd(w);
+  ASSERT_TRUE(svd.ok());
+
+  DecompositionOptions options;
+  options.rank = rank;
+  options.gamma = 1e-3;
+  const StatusOr<Decomposition> d = DecomposeWorkload(w, options);
+  ASSERT_TRUE(d.ok());
+
+  const double epsilon = 1.0;
+  const double error = d->ExpectedNoiseError(epsilon);
+  const double upper = 2.0 * Lemma3UpperBound(svd->singular_values, rank,
+                                              epsilon);
+  // (Lemma 3 bounds tr(BᵀB)/ε²; the mechanism error is 2·tr(BᵀB)·Δ²/ε².)
+  EXPECT_LE(error, upper * 1.05);
+  // The Hardt–Talwar bound is finite and positive for this full-spectrum
+  // workload (its Ω-constant precludes a direct dominance check).
+  const double lower = Lemma4LowerBound(svd->singular_values, rank, epsilon);
+  EXPECT_GT(lower, 0.0);
+  EXPECT_TRUE(std::isfinite(lower));
+}
+
+TEST(Theorem2Test, RejectsSmallRank) {
+  const Vector spectrum{1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_FALSE(Theorem2ApproximationRatio(spectrum, 5).ok());
+  EXPECT_TRUE(Theorem2ApproximationRatio(spectrum, 6).ok());
+}
+
+TEST(Theorem2Test, FlatSpectrumGivesROverSixteen) {
+  // C = 1: ratio = r/16.
+  const Vector spectrum(8, 2.5);
+  const StatusOr<double> ratio = Theorem2ApproximationRatio(spectrum, 8);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 0.5, 1e-12);
+}
+
+TEST(Theorem2Test, GrowsWithConditionNumber) {
+  Vector spread{10.0, 5.0, 4.0, 3.0, 2.0, 2.0, 1.0};
+  Vector flat(7, 10.0);
+  const StatusOr<double> r_spread = Theorem2ApproximationRatio(spread, 7);
+  const StatusOr<double> r_flat = Theorem2ApproximationRatio(flat, 7);
+  ASSERT_TRUE(r_spread.ok());
+  ASSERT_TRUE(r_flat.ok());
+  EXPECT_GT(*r_spread, *r_flat);
+}
+
+TEST(Theorem2Test, RejectsZeroTailValue) {
+  Vector spectrum(7, 1.0);
+  spectrum[6] = 0.0;
+  EXPECT_FALSE(Theorem2ApproximationRatio(spectrum, 7).ok());
+}
+
+TEST(Theorem3Test, CombinesNoiseAndStructuralTerms) {
+  // 2·tr/ε² + residual²·Σx²: 2·5/1 + 0.01·100 = 11.
+  EXPECT_DOUBLE_EQ(Theorem3ErrorBound(5.0, 0.1, 100.0, 1.0), 11.0);
+}
+
+TEST(Theorem3Test, ZeroResidualLeavesOnlyNoise) {
+  EXPECT_DOUBLE_EQ(Theorem3ErrorBound(7.0, 0.0, 1e9, 1.0), 14.0);
+}
+
+TEST(Theorem3Test, BoundIsMonotoneInEachArgument) {
+  const double base = Theorem3ErrorBound(5.0, 0.1, 100.0, 1.0);
+  EXPECT_GT(Theorem3ErrorBound(6.0, 0.1, 100.0, 1.0), base);
+  EXPECT_GT(Theorem3ErrorBound(5.0, 0.2, 100.0, 1.0), base);
+  EXPECT_GT(Theorem3ErrorBound(5.0, 0.1, 200.0, 1.0), base);
+  EXPECT_GT(Theorem3ErrorBound(5.0, 0.1, 100.0, 0.5), base);
+}
+
+}  // namespace
+}  // namespace lrm::core

@@ -1,0 +1,138 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lrm::data {
+namespace {
+
+using linalg::Index;
+
+TEST(DatasetTest, KindNamesMatchPaper) {
+  EXPECT_EQ(DatasetKindName(DatasetKind::kSearchLogs), "Search Logs");
+  EXPECT_EQ(DatasetKindName(DatasetKind::kNetTrace), "Net Trace");
+  EXPECT_EQ(DatasetKindName(DatasetKind::kSocialNetwork), "Social Network");
+}
+
+TEST(DatasetTest, NativeSizesMatchPaper) {
+  EXPECT_EQ(NativeDatasetSize(DatasetKind::kSearchLogs), 65536);
+  EXPECT_EQ(NativeDatasetSize(DatasetKind::kNetTrace), 32768);
+  EXPECT_EQ(NativeDatasetSize(DatasetKind::kSocialNetwork), 11342);
+}
+
+class DatasetGeneratorTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetGeneratorTest, CountsAreNonNegativeAndFinite) {
+  const Dataset d = GenerateDataset(GetParam(), 2048, 1);
+  ASSERT_EQ(d.size(), 2048);
+  for (Index i = 0; i < d.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(d.counts[i]));
+    EXPECT_GE(d.counts[i], 0.0);
+  }
+}
+
+TEST_P(DatasetGeneratorTest, NotAllZero) {
+  const Dataset d = GenerateDataset(GetParam(), 1024, 2);
+  EXPECT_GT(linalg::Sum(d.counts), 0.0);
+}
+
+TEST_P(DatasetGeneratorTest, DeterministicBySeed) {
+  const Dataset a = GenerateDataset(GetParam(), 512, 99);
+  const Dataset b = GenerateDataset(GetParam(), 512, 99);
+  EXPECT_TRUE(linalg::ApproxEqual(a.counts, b.counts, 0.0));
+}
+
+TEST_P(DatasetGeneratorTest, DifferentSeedsDiffer) {
+  const Dataset a = GenerateDataset(GetParam(), 512, 1);
+  const Dataset b = GenerateDataset(GetParam(), 512, 2);
+  EXPECT_FALSE(linalg::ApproxEqual(a.counts, b.counts, 1e-9));
+}
+
+TEST_P(DatasetGeneratorTest, SquaredSumMatchesDefinition) {
+  const Dataset d = GenerateDataset(GetParam(), 256, 3);
+  double expected = 0.0;
+  for (Index i = 0; i < d.size(); ++i) {
+    expected += d.counts[i] * d.counts[i];
+  }
+  EXPECT_DOUBLE_EQ(d.SquaredSum(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetGeneratorTest,
+                         ::testing::Values(DatasetKind::kSearchLogs,
+                                           DatasetKind::kNetTrace,
+                                           DatasetKind::kSocialNetwork));
+
+TEST(DatasetCharacterTest, NetTraceIsSparse) {
+  const Dataset d = GenerateNetTrace(4096, 5);
+  Index zeros = 0;
+  for (Index i = 0; i < d.size(); ++i) {
+    if (d.counts[i] == 0.0) ++zeros;
+  }
+  // ~65% of addresses are silent by construction.
+  EXPECT_GT(zeros, d.size() / 3);
+}
+
+TEST(DatasetCharacterTest, SocialNetworkIsHeavyTailedDecreasing) {
+  const Dataset d = GenerateSocialNetwork(1000, 7);
+  // Power law: the first decile carries most of the mass.
+  double head = 0.0, tail = 0.0;
+  for (Index i = 0; i < 100; ++i) head += d.counts[i];
+  for (Index i = 900; i < 1000; ++i) tail += d.counts[i];
+  EXPECT_GT(head, 100.0 * (tail + 1.0));
+}
+
+TEST(DatasetCharacterTest, SearchLogsHasSeasonalStructure) {
+  const Dataset d = GenerateSearchLogs(2048, 9);
+  // Mean should sit near the generator baseline, not at zero.
+  const double mean = linalg::Sum(d.counts) / static_cast<double>(d.size());
+  EXPECT_GT(mean, 50.0);
+}
+
+TEST(MergeTest, PreservesTotalMass) {
+  const Dataset d = GenerateSearchLogs(1000, 11);
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, 128);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 128);
+  EXPECT_NEAR(linalg::Sum(merged->counts), linalg::Sum(d.counts), 1e-6);
+}
+
+TEST(MergeTest, ExactDivisionMergesEvenly) {
+  Dataset d{"unit", linalg::Vector{1.0, 2.0, 3.0, 4.0, 5.0, 6.0}};
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, 3);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(linalg::ApproxEqual(merged->counts,
+                                  linalg::Vector{3.0, 7.0, 11.0}, 1e-12));
+}
+
+TEST(MergeTest, UnevenDivisionCoversAllEntries) {
+  Dataset d{"unit", linalg::Vector{1.0, 1.0, 1.0, 1.0, 1.0}};
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, 2);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_NEAR(linalg::Sum(merged->counts), 5.0, 1e-12);
+}
+
+TEST(MergeTest, IdentityWhenTargetEqualsSize) {
+  Dataset d{"unit", linalg::Vector{1.0, 2.0, 3.0}};
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, 3);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(linalg::ApproxEqual(merged->counts, d.counts, 0.0));
+}
+
+TEST(MergeTest, RejectsBadTargets) {
+  Dataset d{"unit", linalg::Vector{1.0, 2.0}};
+  EXPECT_EQ(MergeToDomainSize(d, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MergeToDomainSize(d, 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, MergeToOneBucketSumsEverything) {
+  const Dataset d = GenerateNetTrace(100, 13);
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, 1);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_NEAR(merged->counts[0], linalg::Sum(d.counts), 1e-9);
+}
+
+}  // namespace
+}  // namespace lrm::data

@@ -1,0 +1,92 @@
+// Property sweep of the domain-merging operator (paper §6's domain-size
+// reduction): mass conservation, bucket-boundary monotonicity, and
+// composition behaviour across arbitrary source/target size pairs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/dataset.h"
+#include "rng/distributions.h"
+#include "rng/engine.h"
+
+namespace lrm::data {
+namespace {
+
+using linalg::Index;
+
+class MergePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MergePropertyTest, MassIsConserved) {
+  const auto [source, target] = GetParam();
+  const Dataset d = GenerateNetTrace(source, 11);
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, target);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), target);
+  EXPECT_NEAR(linalg::Sum(merged->counts), linalg::Sum(d.counts),
+              1e-9 * (1.0 + std::abs(linalg::Sum(d.counts))));
+}
+
+TEST_P(MergePropertyTest, BucketsAreContiguousPrefixSums) {
+  // The prefix sums of the merged vector must be a subsequence of the
+  // source prefix sums — merging only ever fuses *consecutive* counts.
+  const auto [source, target] = GetParam();
+  const Dataset d = GenerateSearchLogs(source, 13);
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, target);
+  ASSERT_TRUE(merged.ok());
+
+  std::vector<double> source_prefix(static_cast<std::size_t>(source) + 1,
+                                    0.0);
+  for (Index i = 0; i < source; ++i) {
+    source_prefix[static_cast<std::size_t>(i) + 1] =
+        source_prefix[static_cast<std::size_t>(i)] + d.counts[i];
+  }
+  double running = 0.0;
+  for (Index b = 0; b < target; ++b) {
+    running += merged->counts[b];
+    // Find `running` among the source prefix sums (within rounding).
+    bool found = false;
+    for (double p : source_prefix) {
+      if (std::abs(p - running) <= 1e-6 * (1.0 + std::abs(p))) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "bucket " << b;
+  }
+}
+
+TEST_P(MergePropertyTest, NonNegativityIsPreserved) {
+  const auto [source, target] = GetParam();
+  const Dataset d = GenerateSocialNetwork(source, 17);
+  const StatusOr<Dataset> merged = MergeToDomainSize(d, target);
+  ASSERT_TRUE(merged.ok());
+  for (Index i = 0; i < merged->size(); ++i) {
+    EXPECT_GE(merged->counts[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizePairs, MergePropertyTest,
+    ::testing::Values(std::make_tuple(100, 100), std::make_tuple(100, 64),
+                      std::make_tuple(100, 7), std::make_tuple(1000, 128),
+                      std::make_tuple(33, 32), std::make_tuple(1024, 1),
+                      std::make_tuple(11342, 512)));
+
+TEST(MergeCompositionTest, TwoStepMergeEqualsDirectWhenAligned) {
+  // Merging 1024 → 256 → 64 equals 1024 → 64 when every stage divides
+  // evenly (bucket boundaries align).
+  const Dataset d = GenerateNetTrace(1024, 19);
+  const StatusOr<Dataset> two_a = MergeToDomainSize(d, 256);
+  ASSERT_TRUE(two_a.ok());
+  const StatusOr<Dataset> two_b = MergeToDomainSize(*two_a, 64);
+  const StatusOr<Dataset> direct = MergeToDomainSize(d, 64);
+  ASSERT_TRUE(two_b.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(linalg::ApproxEqual(two_b->counts, direct->counts, 1e-9));
+}
+
+}  // namespace
+}  // namespace lrm::data

@@ -1,0 +1,75 @@
+#include "eval/experiment_grids.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lrm::eval {
+namespace {
+
+TEST(PaperGridTest, MatchesTableOne) {
+  // Table 1 of the paper, row by row.
+  EXPECT_EQ(PaperGrid::GammaValues(),
+            (std::vector<double>{1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0}));
+  EXPECT_EQ(PaperGrid::RankRatios(),
+            (std::vector<double>{0.8, 1.0, 1.2, 1.4, 1.7, 2.1, 2.5, 3.0,
+                                 3.6}));
+  EXPECT_EQ(PaperGrid::DomainSizes(),
+            (std::vector<linalg::Index>{128, 256, 512, 1024, 2048, 4096,
+                                        8192}));
+  EXPECT_EQ(PaperGrid::QueryCounts(),
+            (std::vector<linalg::Index>{64, 128, 256, 512, 1024}));
+  EXPECT_EQ(PaperGrid::BaseRankRatios(),
+            (std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                                 0.9, 1.0}));
+  EXPECT_EQ(PaperGrid::Epsilons(), (std::vector<double>{1.0, 0.1, 0.01}));
+  EXPECT_EQ(PaperGrid::kRepetitions, 20);  // §6: 20 runs averaged
+  EXPECT_DOUBLE_EQ(PaperGrid::kDefaultRankRatio, 1.2);  // §6.1
+}
+
+TEST(DefaultGridTest, IsASubsetOfThePaperGrid) {
+  // The scaled-down grid must only contain paper grid points (plus smaller
+  // query counts), so --full strictly extends default runs.
+  const auto paper_gammas = PaperGrid::GammaValues();
+  for (double g : DefaultGrid::GammaValues()) {
+    EXPECT_NE(std::find(paper_gammas.begin(), paper_gammas.end(), g),
+              paper_gammas.end());
+  }
+  const auto paper_ratios = PaperGrid::RankRatios();
+  for (double r : DefaultGrid::RankRatios()) {
+    EXPECT_NE(std::find(paper_ratios.begin(), paper_ratios.end(), r),
+              paper_ratios.end());
+  }
+  const auto paper_domains = PaperGrid::DomainSizes();
+  for (linalg::Index n : DefaultGrid::DomainSizes()) {
+    EXPECT_NE(std::find(paper_domains.begin(), paper_domains.end(), n),
+              paper_domains.end());
+  }
+}
+
+TEST(DefaultGridTest, SizesAreContainerFriendly) {
+  for (linalg::Index n : DefaultGrid::DomainSizes()) {
+    EXPECT_LE(n, 1024);
+  }
+  for (linalg::Index m : DefaultGrid::QueryCounts()) {
+    EXPECT_LE(m, DefaultGrid::kDefaultDomainSize);
+  }
+  EXPECT_LE(DefaultGrid::kMatrixMechanismDomainCap, 512);
+  EXPECT_LT(DefaultGrid::kRepetitions, PaperGrid::kRepetitions);
+}
+
+TEST(GridTest, GridsAreSortedAscending) {
+  auto expect_sorted = [](const auto& values) {
+    EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  };
+  expect_sorted(PaperGrid::GammaValues());
+  expect_sorted(PaperGrid::RankRatios());
+  expect_sorted(PaperGrid::DomainSizes());
+  expect_sorted(PaperGrid::QueryCounts());
+  expect_sorted(PaperGrid::BaseRankRatios());
+  expect_sorted(DefaultGrid::DomainSizes());
+  expect_sorted(DefaultGrid::QueryCounts());
+}
+
+}  // namespace
+}  // namespace lrm::eval

@@ -1,0 +1,63 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lrm::eval {
+namespace {
+
+using linalg::Vector;
+
+TEST(TotalSquaredErrorTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(
+      TotalSquaredError(Vector{1.0, 2.0}, Vector{1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      TotalSquaredError(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 25.0);
+}
+
+TEST(TotalSquaredErrorTest, SymmetricInArguments) {
+  const Vector a{1.0, 5.0, -2.0};
+  const Vector b{0.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(TotalSquaredError(a, b), TotalSquaredError(b, a));
+}
+
+TEST(MeanSquaredErrorTest, DividesByQueryCount) {
+  EXPECT_DOUBLE_EQ(
+      MeanSquaredError(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 12.5);
+}
+
+TEST(ErrorAccumulatorTest, EmptyState) {
+  ErrorAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 0.0);
+}
+
+TEST(ErrorAccumulatorTest, SingleValue) {
+  ErrorAccumulator acc;
+  acc.Add(7.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 0.0);
+}
+
+TEST(ErrorAccumulatorTest, KnownMeanAndStdDev) {
+  ErrorAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(acc.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(ErrorAccumulatorTest, WelfordIsStableForLargeOffsets) {
+  // Naive sum-of-squares cancels catastrophically here; Welford must not.
+  ErrorAccumulator acc;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.Add(x);
+  EXPECT_NEAR(acc.Mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.StdDev(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lrm::eval

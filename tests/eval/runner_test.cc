@@ -1,0 +1,116 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "mechanism/laplace.h"
+#include "workload/generators.h"
+
+namespace lrm::eval {
+namespace {
+
+using linalg::Vector;
+
+TEST(RunnerTest, RejectsNonPositiveRepetitions) {
+  mechanism::NoiseOnDataMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(4, 8, 1);
+  ASSERT_TRUE(w.ok());
+  RunOptions options;
+  options.repetitions = 0;
+  EXPECT_FALSE(
+      RunMechanism(mech, *w, Vector(8, 1.0), 1.0, options).ok());
+}
+
+TEST(RunnerTest, ReportsRequestedRepetitions) {
+  mechanism::NoiseOnDataMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(4, 8, 2);
+  ASSERT_TRUE(w.ok());
+  RunOptions options;
+  options.repetitions = 5;
+  const StatusOr<RunResult> result =
+      RunMechanism(mech, *w, Vector(8, 1.0), 1.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repetitions, 5);
+  EXPECT_GT(result->avg_squared_error, 0.0);
+  EXPECT_GE(result->prepare_seconds, 0.0);
+  EXPECT_GE(result->avg_answer_seconds, 0.0);
+}
+
+TEST(RunnerTest, DeterministicGivenSeed) {
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(6, 16, 3);
+  ASSERT_TRUE(w.ok());
+  RunOptions options;
+  options.repetitions = 4;
+  options.seed = 99;
+
+  mechanism::NoiseOnDataMechanism m1, m2;
+  const StatusOr<RunResult> r1 =
+      RunMechanism(m1, *w, Vector(16, 2.0), 0.5, options);
+  const StatusOr<RunResult> r2 =
+      RunMechanism(m2, *w, Vector(16, 2.0), 0.5, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->avg_squared_error, r2->avg_squared_error);
+}
+
+TEST(RunnerTest, MeanApproachesAnalyticErrorWithManyReps) {
+  mechanism::NoiseOnDataMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(8, 32, 4);
+  ASSERT_TRUE(w.ok());
+  RunOptions options;
+  options.repetitions = 3000;
+  const StatusOr<RunResult> result =
+      RunMechanism(mech, *w, Vector(32, 1.0), 1.0, options);
+  ASSERT_TRUE(result.ok());
+  const double analytic = workload::ExpectedErrorNoiseOnData(*w, 1.0);
+  EXPECT_NEAR(result->avg_squared_error / analytic, 1.0, 0.1);
+}
+
+TEST(RunnerTest, EvaluatePreparedMatchesRunMechanism) {
+  // The prepare-reuse fast path used by the figure benches must produce
+  // bit-identical errors to the one-shot path under the same seed.
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(6, 16, 8);
+  ASSERT_TRUE(w.ok());
+  RunOptions options;
+  options.repetitions = 6;
+  options.seed = 4242;
+  const Vector data(16, 3.0);
+
+  mechanism::NoiseOnDataMechanism one_shot;
+  const StatusOr<RunResult> a =
+      RunMechanism(one_shot, *w, data, 0.5, options);
+  ASSERT_TRUE(a.ok());
+
+  mechanism::NoiseOnDataMechanism reused;
+  ASSERT_TRUE(reused.Prepare(*w).ok());
+  const StatusOr<RunResult> b =
+      EvaluatePreparedMechanism(reused, *w, data, 0.5, options);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->avg_squared_error, b->avg_squared_error);
+  EXPECT_DOUBLE_EQ(a->stddev_squared_error, b->stddev_squared_error);
+  EXPECT_EQ(b->prepare_seconds, 0.0);
+}
+
+TEST(RunnerTest, EvaluatePreparedRejectsUnpreparedMechanism) {
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(4, 8, 9);
+  ASSERT_TRUE(w.ok());
+  mechanism::NoiseOnDataMechanism mech;
+  EXPECT_EQ(EvaluatePreparedMechanism(mech, *w, Vector(8, 1.0), 1.0, {})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RunnerTest, StdDevIsPositiveForRandomMechanism) {
+  mechanism::NoiseOnResultsMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(4, 8, 5);
+  ASSERT_TRUE(w.ok());
+  RunOptions options;
+  options.repetitions = 10;
+  const StatusOr<RunResult> result =
+      RunMechanism(mech, *w, Vector(8, 1.0), 1.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stddev_squared_error, 0.0);
+}
+
+}  // namespace
+}  // namespace lrm::eval

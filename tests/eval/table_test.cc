@@ -1,0 +1,52 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lrm::eval {
+namespace {
+
+TEST(TableTest, RendersHeaderUnderlineAndRows) {
+  Table table({"n", "LRM", "LM"});
+  table.AddRow({"128", "1.0e+05", "3.2e+06"});
+  table.AddRow({"256", "1.1e+05", "6.4e+06"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("n"), std::string::npos);
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+  EXPECT_NE(rendered.find("1.0e+05"), std::string::npos);
+  EXPECT_NE(rendered.find("256"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table table({"x", "value"});
+  table.AddRow({"1", "short"});
+  table.AddRow({"1000", "longer-cell"});
+  std::istringstream lines(table.ToString());
+  std::string header, underline, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.size(), underline.size());
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(TableTest, PrintWritesToStream) {
+  Table table({"a"});
+  table.AddRow({"42"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str(), table.ToString());
+}
+
+TEST(TableTest, EmptyTableStillRendersHeader) {
+  Table table({"only", "headers"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("only"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace lrm::eval

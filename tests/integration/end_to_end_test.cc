@@ -1,0 +1,173 @@
+// Cross-module integration: datasets → workloads → every mechanism →
+// runner, at miniature scale, verifying the relationships the paper's
+// evaluation is built on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/low_rank_mechanism.h"
+#include "data/dataset.h"
+#include "eval/runner.h"
+#include "mechanism/hierarchical.h"
+#include "mechanism/laplace.h"
+#include "mechanism/matrix_mechanism.h"
+#include "mechanism/wavelet.h"
+#include "workload/generators.h"
+
+namespace lrm {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+std::vector<std::unique_ptr<mechanism::Mechanism>> AllMechanisms() {
+  std::vector<std::unique_ptr<mechanism::Mechanism>> mechanisms;
+  mechanisms.push_back(std::make_unique<mechanism::NoiseOnDataMechanism>());
+  mechanisms.push_back(
+      std::make_unique<mechanism::NoiseOnResultsMechanism>());
+  mechanisms.push_back(std::make_unique<mechanism::WaveletMechanism>());
+  mechanisms.push_back(std::make_unique<mechanism::HierarchicalMechanism>());
+  mechanism::MatrixMechanismOptions mm;
+  mm.max_iterations = 15;
+  mechanisms.push_back(std::make_unique<mechanism::MatrixMechanism>(mm));
+  core::LowRankMechanismOptions lrm_options;
+  lrm_options.decomposition.gamma = 0.05;
+  mechanisms.push_back(
+      std::make_unique<core::LowRankMechanism>(lrm_options));
+  return mechanisms;
+}
+
+class EveryMechanismOnEveryWorkloadTest
+    : public ::testing::TestWithParam<
+          std::tuple<workload::WorkloadKind, data::DatasetKind>> {};
+
+TEST_P(EveryMechanismOnEveryWorkloadTest, ProducesFiniteErrors) {
+  const auto [wkind, dkind] = GetParam();
+  const Index n = 32, m = 12;
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWorkload(wkind, m, n, 4, 11);
+  ASSERT_TRUE(w.ok());
+  const data::Dataset source = data::GenerateDataset(dkind, 256, 3);
+  const StatusOr<data::Dataset> merged = data::MergeToDomainSize(source, n);
+  ASSERT_TRUE(merged.ok());
+
+  eval::RunOptions run_options;
+  run_options.repetitions = 3;
+  for (auto& mech : AllMechanisms()) {
+    const StatusOr<eval::RunResult> result =
+        eval::RunMechanism(*mech, *w, merged->counts, 0.1, run_options);
+    ASSERT_TRUE(result.ok()) << mech->name();
+    EXPECT_TRUE(std::isfinite(result->avg_squared_error)) << mech->name();
+    EXPECT_GT(result->avg_squared_error, 0.0) << mech->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EveryMechanismOnEveryWorkloadTest,
+    ::testing::Combine(::testing::Values(workload::WorkloadKind::kWDiscrete,
+                                         workload::WorkloadKind::kWRange,
+                                         workload::WorkloadKind::kWRelated),
+                       ::testing::Values(data::DatasetKind::kSearchLogs,
+                                         data::DatasetKind::kNetTrace,
+                                         data::DatasetKind::kSocialNetwork)));
+
+TEST(EndToEndTest, LrmWinsOnLowRankWorkload) {
+  // Figure 8's shape in miniature: WRelated with s ≪ min(m, n).
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRelated(24, 48, 3, 21);
+  ASSERT_TRUE(w.ok());
+  const data::Dataset d = data::GenerateSearchLogs(48, 5);
+
+  eval::RunOptions options;
+  options.repetitions = 12;
+
+  core::LowRankMechanismOptions lrm_options;
+  lrm_options.decomposition.gamma = 0.05;
+  core::LowRankMechanism lrm(lrm_options);
+  mechanism::NoiseOnDataMechanism lm;
+  mechanism::WaveletMechanism wm;
+  mechanism::HierarchicalMechanism hm;
+
+  const StatusOr<eval::RunResult> lrm_result =
+      eval::RunMechanism(lrm, *w, d.counts, 0.1, options);
+  const StatusOr<eval::RunResult> lm_result =
+      eval::RunMechanism(lm, *w, d.counts, 0.1, options);
+  const StatusOr<eval::RunResult> wm_result =
+      eval::RunMechanism(wm, *w, d.counts, 0.1, options);
+  const StatusOr<eval::RunResult> hm_result =
+      eval::RunMechanism(hm, *w, d.counts, 0.1, options);
+  ASSERT_TRUE(lrm_result.ok());
+  ASSERT_TRUE(lm_result.ok());
+  ASSERT_TRUE(wm_result.ok());
+  ASSERT_TRUE(hm_result.ok());
+
+  EXPECT_LT(lrm_result->avg_squared_error,
+            lm_result->avg_squared_error / 2.0);
+  EXPECT_LT(lrm_result->avg_squared_error,
+            wm_result->avg_squared_error / 2.0);
+  EXPECT_LT(lrm_result->avg_squared_error,
+            hm_result->avg_squared_error / 2.0);
+}
+
+TEST(EndToEndTest, MatrixMechanismNeverBeatsNoiseOnData) {
+  // §6.2: "we have never found a single setting where the matrix mechanism
+  // obtains lower overall error than [NOD]". Check a few settings.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const StatusOr<workload::Workload> w =
+        workload::GenerateWDiscrete(10, 16, seed);
+    ASSERT_TRUE(w.ok());
+    mechanism::MatrixMechanismOptions mm_options;
+    mm_options.max_iterations = 20;
+    mechanism::MatrixMechanism mm(mm_options);
+    ASSERT_TRUE(mm.Prepare(*w).ok());
+    const double mm_error = *mm.ExpectedSquaredError(0.1);
+    const double nod_error = workload::ExpectedErrorNoiseOnData(*w, 0.1);
+    EXPECT_GE(mm_error, nod_error * 0.7) << "seed " << seed;
+  }
+}
+
+TEST(EndToEndTest, FullPipelineIsReproducible) {
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(10, 32, 7);
+  ASSERT_TRUE(w.ok());
+  const data::Dataset d = data::GenerateNetTrace(32, 9);
+  eval::RunOptions options;
+  options.repetitions = 5;
+  options.seed = 1234;
+
+  core::LowRankMechanismOptions lrm_options;
+  lrm_options.decomposition.gamma = 0.05;
+  core::LowRankMechanism m1(lrm_options), m2(lrm_options);
+  const StatusOr<eval::RunResult> r1 =
+      eval::RunMechanism(m1, *w, d.counts, 1.0, options);
+  const StatusOr<eval::RunResult> r2 =
+      eval::RunMechanism(m2, *w, d.counts, 1.0, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->avg_squared_error, r2->avg_squared_error);
+}
+
+TEST(EndToEndTest, EpsilonOrderingHolsForAllMechanisms) {
+  // Smaller ε ⇒ more noise ⇒ larger error, for every mechanism.
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(8, 32, 13);
+  ASSERT_TRUE(w.ok());
+  const data::Dataset d = data::GenerateSocialNetwork(32, 1);
+  eval::RunOptions options;
+  options.repetitions = 10;
+  for (auto& mech : AllMechanisms()) {
+    const StatusOr<eval::RunResult> strict =
+        eval::RunMechanism(*mech, *w, d.counts, 0.01, options);
+    const StatusOr<eval::RunResult> loose =
+        eval::RunMechanism(*mech, *w, d.counts, 1.0, options);
+    ASSERT_TRUE(strict.ok());
+    ASSERT_TRUE(loose.ok());
+    EXPECT_GT(strict->avg_squared_error, loose->avg_squared_error)
+        << mech->name();
+  }
+}
+
+}  // namespace
+}  // namespace lrm

@@ -1,0 +1,106 @@
+// Failure-injection tests: corrupted inputs must produce clean Status
+// errors at the API boundary, never UB, NaN releases, or aborts.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/decomposition.h"
+#include "core/low_rank_mechanism.h"
+#include "eval/runner.h"
+#include "mechanism/laplace.h"
+#include "mechanism/wavelet.h"
+#include "workload/workload.h"
+
+namespace lrm {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+using linalg::Vector;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Matrix CleanMatrix() {
+  return Matrix{{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}};
+}
+
+TEST(FailureInjectionTest, NanWorkloadRejectedByEveryEntryPoint) {
+  Matrix poisoned = CleanMatrix();
+  poisoned(0, 1) = kNaN;
+  const workload::Workload w("poisoned", poisoned);
+
+  mechanism::NoiseOnDataMechanism nod;
+  EXPECT_EQ(nod.Prepare(w).code(), StatusCode::kInvalidArgument);
+
+  core::LowRankMechanism lrm;
+  EXPECT_EQ(lrm.Prepare(w).code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(core::DecomposeWorkload(poisoned).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, InfiniteWorkloadRejected) {
+  Matrix poisoned = CleanMatrix();
+  poisoned(1, 2) = kInf;
+  mechanism::WaveletMechanism wm;
+  EXPECT_EQ(wm.Prepare(workload::Workload("inf", poisoned)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, NanDataRejectedAtAnswerTime) {
+  mechanism::NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(workload::Workload("w", CleanMatrix())).ok());
+  Vector data{1.0, kNaN, 3.0};
+  rng::Engine engine(1);
+  EXPECT_EQ(mech.Answer(data, 1.0, engine).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, PreparedFlagStaysFalseAfterRejectedPrepare) {
+  Matrix poisoned = CleanMatrix();
+  poisoned(0, 0) = kNaN;
+  mechanism::NoiseOnDataMechanism mech;
+  EXPECT_FALSE(mech.Prepare(workload::Workload("bad", poisoned)).ok());
+  EXPECT_FALSE(mech.prepared());
+  rng::Engine engine(2);
+  EXPECT_EQ(mech.Answer(Vector(3, 1.0), 1.0, engine).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureInjectionTest, RejectedPrepareDoesNotClobberPreviousBinding) {
+  // A mechanism bound to a good workload, then fed a bad one: the failed
+  // Prepare must not leave it half-bound.
+  mechanism::NoiseOnResultsMechanism mech;
+  ASSERT_TRUE(mech.Prepare(workload::Workload("good", CleanMatrix())).ok());
+  Matrix poisoned = CleanMatrix();
+  poisoned(0, 0) = kInf;
+  EXPECT_FALSE(mech.Prepare(workload::Workload("bad", poisoned)).ok());
+  // The contract is conservative: after a failed re-Prepare the mechanism
+  // reports unprepared rather than silently answering with stale state.
+  EXPECT_FALSE(mech.prepared());
+}
+
+TEST(FailureInjectionTest, RunnerPropagatesMechanismErrors) {
+  Matrix poisoned = CleanMatrix();
+  poisoned(0, 0) = kNaN;
+  mechanism::NoiseOnDataMechanism mech;
+  const auto result = eval::RunMechanism(
+      mech, workload::Workload("bad", poisoned), Vector(3, 1.0), 1.0, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, DecompositionRejectsAbsurdRanks) {
+  const Matrix w = CleanMatrix();
+  core::DecompositionOptions options;
+  options.rank = 10000;  // 8·min(m,n) guard
+  EXPECT_EQ(core::DecomposeWorkload(w, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.rank = -3;
+  EXPECT_EQ(core::DecomposeWorkload(w, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lrm

@@ -1,0 +1,146 @@
+// Executable checks of the worked examples and numeric claims in the
+// paper's introduction and preliminaries (§1, §3.2).
+
+#include <gtest/gtest.h>
+
+#include "core/decomposition.h"
+#include "core/low_rank_mechanism.h"
+#include "linalg/matrix.h"
+#include "workload/workload.h"
+
+namespace lrm {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+using linalg::Vector;
+
+// §1 example 1: q1 = all four states, q2 = NY+NJ, q3 = CA+WA.
+Matrix IntroMatrix() {
+  return Matrix{{1.0, 1.0, 1.0, 1.0},
+                {1.0, 1.0, 0.0, 0.0},
+                {0.0, 0.0, 1.0, 1.0}};
+}
+
+TEST(PaperIntroTest, SensitivityClaims) {
+  // "{q2, q3} is 1 … {q1, q2, q3} has a sensitivity of 2."
+  EXPECT_DOUBLE_EQ(
+      linalg::MaxColumnAbsSum(Matrix{{1.0, 1.0, 0.0, 0.0},
+                                     {0.0, 0.0, 1.0, 1.0}}),
+      1.0);
+  EXPECT_DOUBLE_EQ(linalg::MaxColumnAbsSum(IntroMatrix()), 2.0);
+}
+
+TEST(PaperIntroTest, DirectProcessingVariances) {
+  // "processing {q1,q2,q3} directly incurs a noise variance of 8/ε² for
+  // each query" — Laplace with Δ = 2: Var = 2·Δ²/ε² = 8/ε².
+  const double epsilon = 1.0;
+  const double delta = linalg::MaxColumnAbsSum(IntroMatrix());
+  EXPECT_DOUBLE_EQ(2.0 * delta * delta / (epsilon * epsilon), 8.0);
+}
+
+TEST(PaperIntroTest, DerivedStrategyVariances) {
+  // "executing {q2, q3} leads to noise variance 2/ε² each, and their sum
+  // q1 has 4/ε²": answering via B = [[1,1],[1,0],[0,1]], L = rows(q2,q3).
+  const Matrix l{{1.0, 1.0, 0.0, 0.0}, {0.0, 0.0, 1.0, 1.0}};
+  const Matrix b{{1.0, 1.0}, {1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_TRUE(ApproxEqual(b * l, IntroMatrix(), 1e-15));
+  const double delta = linalg::MaxColumnAbsSum(l);
+  EXPECT_DOUBLE_EQ(delta, 1.0);
+  // Per-query variance of B·(Lx + Lap(1/ε)²): row i gets Σⱼ Bᵢⱼ²·2/ε².
+  const double epsilon = 1.0;
+  const double var_q1 = (1.0 + 1.0) * 2.0 / (epsilon * epsilon);
+  const double var_q2 = 1.0 * 2.0 / (epsilon * epsilon);
+  EXPECT_DOUBLE_EQ(var_q1, 4.0);
+  EXPECT_DOUBLE_EQ(var_q2, 2.0);
+  // Total SSE 8/ε² vs 24/ε² direct and 16/ε² NOD.
+  const double total = var_q1 + 2.0 * var_q2;
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+// §1 example 2: the harder three-query workload.
+Matrix Intro2Matrix() {
+  // Columns: NY, NJ, CA, WA.
+  return Matrix{{0.0, 2.0, 1.0, 1.0},   // q1 = 2NJ + CA + WA
+                {0.0, 1.0, 0.0, 2.0},   // q2 = NJ + 2WA
+                {1.0, 0.0, 2.0, 2.0}};  // q3 = NY + 2CA + 2WA
+}
+
+TEST(PaperIntro2Test, NoqSensitivityIsFive) {
+  EXPECT_DOUBLE_EQ(linalg::MaxColumnAbsSum(Intro2Matrix()), 5.0);
+}
+
+TEST(PaperIntro2Test, NodErrorIsFortyOverEpsilonSquared) {
+  // "NOD … answers q1, q2, q3 with noise variance 12/ε², 10/ε² and 18/ε²
+  // … SSE of 40/ε²."
+  const Matrix w = Intro2Matrix();
+  const double epsilon = 1.0;
+  Vector per_query(3);
+  for (Index i = 0; i < 3; ++i) {
+    double row_sq = 0.0;
+    for (Index j = 0; j < 4; ++j) row_sq += w(i, j) * w(i, j);
+    per_query[i] = 2.0 * row_sq / (epsilon * epsilon);
+  }
+  EXPECT_DOUBLE_EQ(per_query[0], 12.0);
+  EXPECT_DOUBLE_EQ(per_query[1], 10.0);
+  EXPECT_DOUBLE_EQ(per_query[2], 18.0);
+  EXPECT_DOUBLE_EQ(Sum(per_query), 40.0);
+}
+
+TEST(PaperIntro2Test, PaperOptimalStrategyAchievesThirtyNine) {
+  // The paper's hand-built strategy: noisy xNJ, xWA, q1' = xNY/3 + xCA,
+  // q2' = 2xNY/3 — sensitivity 1, SSE 39/ε².
+  const Matrix l{{0.0, 1.0, 0.0, 0.0},          // xNJ
+                 {0.0, 0.0, 0.0, 1.0},          // xWA
+                 {1.0 / 3.0, 0.0, 1.0, 0.0},    // q1'
+                 {2.0 / 3.0, 0.0, 0.0, 0.0}};   // q2'
+  EXPECT_DOUBLE_EQ(linalg::MaxColumnAbsSum(l), 1.0);
+  // Recombination from the paper's equations.
+  const Matrix b{{2.0, 1.0, 1.0, -0.5},
+                 {1.0, 2.0, 0.0, 0.0},
+                 {0.0, 2.0, 2.0, 0.5}};
+  EXPECT_TRUE(ApproxEqual(b * l, Intro2Matrix(), 1e-12));
+  // Row variances 2·‖B_i‖²/ε²: 12.5, 10, 16.5 → SSE 39/ε².
+  const double epsilon = 1.0;
+  Vector variance(3);
+  for (Index i = 0; i < 3; ++i) {
+    double row_sq = 0.0;
+    for (Index j = 0; j < 4; ++j) row_sq += b(i, j) * b(i, j);
+    variance[i] = 2.0 * row_sq / (epsilon * epsilon);
+  }
+  EXPECT_DOUBLE_EQ(variance[0], 12.5);
+  EXPECT_DOUBLE_EQ(variance[1], 10.0);
+  EXPECT_DOUBLE_EQ(variance[2], 16.5);
+  EXPECT_DOUBLE_EQ(Sum(variance), 39.0);
+}
+
+TEST(PaperIntro2Test, AlmMatchesOrBeatsThePaperHandStrategy) {
+  // LRM's optimizer should find a decomposition at least as good as the
+  // paper's hand-crafted 39/ε² (and strictly better than NOD's 40/ε²).
+  core::DecompositionOptions options;
+  options.rank = 4;
+  options.gamma = 1e-4;
+  options.max_outer_iterations = 400;
+  const StatusOr<core::Decomposition> d =
+      DecomposeWorkload(Intro2Matrix(), options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->converged);
+  EXPECT_LE(d->ExpectedNoiseError(1.0), 39.5);
+}
+
+TEST(PaperSection32Test, NorVersusNodCrossover) {
+  // "MR outperforms MD iff m·maxⱼΣᵢWᵢⱼ² < ΣᵢⱼWᵢⱼ²; when m ≥ n this can
+  // never hold." Verify the inequality's direction on both sides.
+  const Matrix tall{{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}};  // m=3 ≥ n=2
+  const workload::Workload w_tall("tall", tall);
+  EXPECT_GE(workload::ExpectedErrorNoiseOnResults(w_tall, 1.0),
+            workload::ExpectedErrorNoiseOnData(w_tall, 1.0));
+
+  const Matrix wide(1, 8, 1.0);  // m=1 < n=8: NOR wins
+  const workload::Workload w_wide("wide", wide);
+  EXPECT_LT(workload::ExpectedErrorNoiseOnResults(w_wide, 1.0),
+            workload::ExpectedErrorNoiseOnData(w_wide, 1.0));
+}
+
+}  // namespace
+}  // namespace lrm

@@ -1,0 +1,112 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::linalg {
+namespace {
+
+// Random SPD matrix A = GᵀG + n·I (well conditioned by construction).
+Matrix RandomSpd(rng::Engine& engine, Index n) {
+  const Matrix g = RandomGaussianMatrix(engine, n, n);
+  Matrix a = GramAtA(g);
+  for (Index i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(CholeskyTest, FactorOfKnownMatrix) {
+  // A = [[4, 2], [2, 3]] = L·Lᵀ with L = [[2, 0], [1, √2]].
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const StatusOr<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR((*l)(0, 1), 0.0, 1e-15);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_EQ(CholeskyFactor(Matrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_EQ(CholeskyFactor(indefinite).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsNegativeDefinite) {
+  EXPECT_EQ(CholeskyFactor(Matrix{{-1.0}}).status().code(),
+            StatusCode::kNumericalError);
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, FactorReconstructs) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 7919);
+  const Matrix a = RandomSpd(engine, n);
+  const StatusOr<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(ApproxEqual(MultiplyABt(*l, *l), a, 1e-8 * n));
+  // L is lower triangular.
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) EXPECT_EQ((*l)(i, j), 0.0);
+  }
+}
+
+TEST_P(CholeskyPropertyTest, SolveResidualIsTiny) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 104729);
+  const Matrix a = RandomSpd(engine, n);
+  const Vector b = RandomGaussianVector(engine, n);
+  const StatusOr<Vector> x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(ApproxEqual(a * (*x), b, 1e-8 * n));
+}
+
+TEST_P(CholeskyPropertyTest, BlockSolveMatchesColumnwise) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 1299709);
+  const Matrix a = RandomSpd(engine, n);
+  const Matrix b = RandomGaussianMatrix(engine, n, 3);
+  const StatusOr<Matrix> x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(ApproxEqual(a * (*x), b, 1e-8 * n));
+
+  // Each column independently matches the vector solve.
+  LRM_CHECK(x.ok());
+  for (Index j = 0; j < 3; ++j) {
+    const StatusOr<Vector> col = SolveSpd(a, b.Column(j));
+    ASSERT_TRUE(col.ok());
+    EXPECT_TRUE(ApproxEqual(x->Column(j), *col, 1e-8 * n));
+  }
+}
+
+TEST_P(CholeskyPropertyTest, InverseSatisfiesDefinition) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 15485863);
+  const Matrix a = RandomSpd(engine, n);
+  const StatusOr<Matrix> inv = SpdInverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(ApproxEqual(a * (*inv), Matrix::Identity(n), 1e-8 * n));
+  EXPECT_TRUE(ApproxEqual((*inv) * a, Matrix::Identity(n), 1e-8 * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40));
+
+TEST(CholeskyTest, IdentitySolveIsIdentity) {
+  const Matrix i5 = Matrix::Identity(5);
+  const StatusOr<Matrix> inv = SpdInverse(i5);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(ApproxEqual(*inv, i5, 1e-14));
+}
+
+}  // namespace
+}  // namespace lrm::linalg

@@ -1,0 +1,124 @@
+#include "linalg/eigen_sym.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::linalg {
+namespace {
+
+Matrix RandomSymmetric(rng::Engine& engine, Index n) {
+  const Matrix g = RandomGaussianMatrix(engine, n, n);
+  Matrix a = g + Transpose(g);
+  a *= 0.5;
+  return a;
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  const StatusOr<SymmetricEigenResult> eig =
+      SymmetricEigen(Matrix::Diagonal(Vector{3.0, 1.0, 2.0}));
+  ASSERT_TRUE(eig.ok());
+  // Ascending order.
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  const StatusOr<SymmetricEigenResult> eig =
+      SymmetricEigen(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSquare) {
+  EXPECT_EQ(SymmetricEigen(Matrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SymmetricEigenTest, EmptyMatrix) {
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(Matrix());
+  ASSERT_TRUE(eig.ok());
+  EXPECT_EQ(eig->eigenvalues.size(), 0);
+}
+
+class SymmetricEigenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricEigenPropertyTest, ReconstructsInput) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 2654435761ULL);
+  const Matrix a = RandomSymmetric(engine, n);
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+
+  // V·diag(λ)·Vᵀ = A.
+  Matrix scaled = eig->eigenvectors;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) scaled(i, j) *= eig->eigenvalues[j];
+  }
+  EXPECT_TRUE(ApproxEqual(MultiplyABt(scaled, eig->eigenvectors), a,
+                          1e-9 * n));
+}
+
+TEST_P(SymmetricEigenPropertyTest, EigenvectorsAreOrthonormal) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 40503ULL + 1);
+  const Matrix a = RandomSymmetric(engine, n);
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_TRUE(ApproxEqual(GramAtA(eig->eigenvectors), Matrix::Identity(n),
+                          1e-10 * n));
+}
+
+TEST_P(SymmetricEigenPropertyTest, EigenvaluesAscendAndMatchTrace) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 7777ULL + 3);
+  const Matrix a = RandomSymmetric(engine, n);
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  double sum = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    sum += eig->eigenvalues[i];
+    if (i > 0) EXPECT_GE(eig->eigenvalues[i], eig->eigenvalues[i - 1]);
+  }
+  EXPECT_NEAR(sum, Trace(a), 1e-9 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetricEigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 17, 33, 64));
+
+TEST(ProjectToPsdConeTest, PsdInputUnchanged) {
+  rng::Engine engine(5);
+  const Matrix g = RandomGaussianMatrix(engine, 4, 4);
+  Matrix spd = GramAtA(g);
+  for (Index i = 0; i < 4; ++i) spd(i, i) += 4.0;
+  const StatusOr<Matrix> projected = ProjectToPsdCone(spd);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_TRUE(ApproxEqual(*projected, spd, 1e-8));
+}
+
+TEST(ProjectToPsdConeTest, ClampsNegativeEigenvalues) {
+  // diag(2, -3) projects to diag(2, 0).
+  const StatusOr<Matrix> projected =
+      ProjectToPsdCone(Matrix::Diagonal(Vector{2.0, -3.0}));
+  ASSERT_TRUE(projected.ok());
+  EXPECT_TRUE(ApproxEqual(*projected, Matrix::Diagonal(Vector{2.0, 0.0}),
+                          1e-10));
+}
+
+TEST(ProjectToPsdConeTest, FloorRaisesSpectrum) {
+  const StatusOr<Matrix> projected =
+      ProjectToPsdCone(Matrix::Diagonal(Vector{5.0, 0.001}), 0.5);
+  ASSERT_TRUE(projected.ok());
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(*projected);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_GE(eig->eigenvalues[0], 0.5 - 1e-12);
+}
+
+}  // namespace
+}  // namespace lrm::linalg

@@ -1,0 +1,216 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::linalg {
+namespace {
+
+// Textbook triple-loop reference used to validate the optimized kernels.
+Matrix NaiveMultiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (Index k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix zero(2, 3);
+  EXPECT_EQ(zero.rows(), 2);
+  EXPECT_EQ(zero.cols(), 3);
+  EXPECT_EQ(zero.size(), 6);
+  EXPECT_EQ(zero(1, 2), 0.0);
+
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+
+  Matrix filled(2, 2, 5.0);
+  EXPECT_EQ(filled(0, 0), 5.0);
+
+  Matrix empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix i3 = Matrix::Identity(3);
+  EXPECT_EQ(i3(0, 0), 1.0);
+  EXPECT_EQ(i3(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Trace(i3), 3.0);
+
+  const Matrix d = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, FromRowMajorAdoptsBuffer) {
+  const Matrix m = Matrix::FromRowMajor(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RowColumnAccessors) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_TRUE(ApproxEqual(m.Row(1), Vector{4.0, 5.0, 6.0}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(m.Column(2), Vector{3.0, 6.0}, 1e-15));
+
+  m.SetRow(0, Vector{7.0, 8.0, 9.0});
+  EXPECT_EQ(m(0, 0), 7.0);
+  m.SetColumn(1, Vector{0.0, 0.0});
+  EXPECT_EQ(m(1, 1), 0.0);
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_TRUE(ApproxEqual(a + b, Matrix{{6.0, 8.0}, {10.0, 12.0}}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(b - a, Matrix{{4.0, 4.0}, {4.0, 4.0}}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(a * 2.0, Matrix{{2.0, 4.0}, {6.0, 8.0}}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(-a, Matrix{{-1.0, -2.0}, {-3.0, -4.0}}, 1e-15));
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector x{1.0, -1.0};
+  EXPECT_TRUE(ApproxEqual(a * x, Vector{-1.0, -1.0, -1.0}, 1e-15));
+}
+
+TEST(MatrixTest, KnownMatrixProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_TRUE(ApproxEqual(a * b, Matrix{{19.0, 22.0}, {43.0, 50.0}}, 1e-15));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix at = Transpose(a);
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  EXPECT_EQ(at(2, 1), 6.0);
+  EXPECT_TRUE(ApproxEqual(Transpose(at), a, 1e-15));
+}
+
+TEST(MatrixTest, NormsAndReductions) {
+  const Matrix a{{3.0, 0.0}, {-4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredFrobeniusNorm(a), 25.0);
+  EXPECT_DOUBLE_EQ(MaxColumnAbsSum(a), 7.0);
+  EXPECT_DOUBLE_EQ(ColumnAbsSum(a, 0), 7.0);
+  EXPECT_DOUBLE_EQ(ColumnAbsSum(a, 1), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbs(a), 4.0);
+}
+
+TEST(MatrixTest, MaxColumnAbsSumIsThePaperSensitivity) {
+  // Intro example (§1): the workload {q1, q2, q3} over 4 states has
+  // sensitivity 2 (a record affects q1 plus one of q2/q3).
+  const Matrix w{{1.0, 1.0, 1.0, 1.0},   // q1 = NY+NJ+CA+WA
+                 {1.0, 1.0, 0.0, 0.0},   // q2 = NY+NJ
+                 {0.0, 0.0, 1.0, 1.0}};  // q3 = CA+WA
+  EXPECT_DOUBLE_EQ(MaxColumnAbsSum(w), 2.0);
+}
+
+TEST(MatrixTest, SymmetryDetection) {
+  EXPECT_TRUE(IsSymmetric(Matrix{{1.0, 2.0}, {2.0, 3.0}}));
+  EXPECT_FALSE(IsSymmetric(Matrix{{1.0, 2.0}, {2.1, 3.0}}));
+  EXPECT_FALSE(IsSymmetric(Matrix(2, 3)));
+}
+
+TEST(MatrixTest, StackAndSlice) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}};
+  const Matrix v = VStack(a, b);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v(2, 1), 6.0);
+
+  const Matrix h = HStack(a, Transpose(b));
+  EXPECT_EQ(h.cols(), 3);
+  EXPECT_EQ(h(1, 2), 6.0);
+
+  EXPECT_TRUE(ApproxEqual(SliceRows(v, 1, 3),
+                          Matrix{{3.0, 4.0}, {5.0, 6.0}}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(SliceCols(a, 1, 2), Matrix{{2.0}, {4.0}}, 1e-15));
+}
+
+TEST(MatrixTest, AxpyAndFill) {
+  Matrix a(2, 2, 1.0);
+  a.Axpy(2.0, Matrix{{1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_TRUE(ApproxEqual(a, Matrix{{3.0, 1.0}, {1.0, 3.0}}, 1e-15));
+  a.Fill(0.0);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 0.0);
+}
+
+// Property suite: the fast kernels must agree with the naive reference on
+// random rectangular shapes.
+class GemmPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmPropertyTest, AllKernelVariantsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  const Matrix a = RandomGaussianMatrix(engine, m, k);
+  const Matrix b = RandomGaussianMatrix(engine, k, n);
+
+  const Matrix expected = NaiveMultiply(a, b);
+  EXPECT_TRUE(ApproxEqual(a * b, expected, 1e-9));
+  EXPECT_TRUE(ApproxEqual(MultiplyAtB(Transpose(a), b), expected, 1e-9));
+  EXPECT_TRUE(ApproxEqual(MultiplyABt(a, Transpose(b)), expected, 1e-9));
+
+  // Matrix-vector against matrix-matrix with a single column.
+  const Vector x = RandomGaussianVector(engine, n);
+  Matrix x_col(n, 1);
+  x_col.SetColumn(0, x);
+  const Matrix bx = NaiveMultiply(b, x_col);
+  const Vector y = b * x;
+  for (Index i = 0; i < k; ++i) EXPECT_NEAR(y[i], bx(i, 0), 1e-9);
+
+  // MultiplyAtX against the reference.
+  const Vector z = RandomGaussianVector(engine, m);
+  const Vector aty = MultiplyAtX(a, z);
+  const Matrix at = Transpose(a);
+  const Vector expected_aty = at * z;
+  EXPECT_TRUE(ApproxEqual(aty, expected_aty, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 7), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 9), std::make_tuple(7, 64, 3),
+                      std::make_tuple(50, 40, 60)));
+
+class GramPropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(GramPropertyTest, GramMatricesAreSymmetricAndCorrect) {
+  const auto [m, n] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(m * 31 + n));
+  const Matrix a = RandomGaussianMatrix(engine, m, n);
+
+  const Matrix ata = GramAtA(a);
+  const Matrix aat = GramAAt(a);
+  EXPECT_TRUE(IsSymmetric(ata, 1e-10));
+  EXPECT_TRUE(IsSymmetric(aat, 1e-10));
+  EXPECT_TRUE(ApproxEqual(ata, NaiveMultiply(Transpose(a), a), 1e-9));
+  EXPECT_TRUE(ApproxEqual(aat, NaiveMultiply(a, Transpose(a)), 1e-9));
+  // tr(AᵀA) = tr(AAᵀ) = ‖A‖_F².
+  EXPECT_NEAR(Trace(ata), SquaredFrobeniusNorm(a), 1e-8);
+  EXPECT_NEAR(Trace(aat), SquaredFrobeniusNorm(a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GramPropertyTest,
+                         ::testing::Values(std::make_tuple(3, 5),
+                                           std::make_tuple(10, 10),
+                                           std::make_tuple(20, 4),
+                                           std::make_tuple(1, 8)));
+
+}  // namespace
+}  // namespace lrm::linalg

@@ -1,0 +1,83 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::linalg {
+namespace {
+
+TEST(QrTest, RejectsEmpty) {
+  EXPECT_EQ(HouseholderQr(Matrix()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QrTest, IdentityFactorsTrivially) {
+  const StatusOr<QrResult> qr = HouseholderQr(Matrix::Identity(3));
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(ApproxEqual(qr->q * qr->r, Matrix::Identity(3), 1e-12));
+}
+
+class QrPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QrPropertyTest, ReconstructsAndQOrthonormal) {
+  const auto [m, n] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(m * 131 + n));
+  const Matrix a = RandomGaussianMatrix(engine, m, n);
+  const StatusOr<QrResult> qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+
+  const Index k = std::min<Index>(m, n);
+  EXPECT_EQ(qr->q.rows(), m);
+  EXPECT_EQ(qr->q.cols(), k);
+  EXPECT_EQ(qr->r.rows(), k);
+  EXPECT_EQ(qr->r.cols(), n);
+
+  EXPECT_TRUE(ApproxEqual(qr->q * qr->r, a, 1e-9 * std::max(m, n)));
+  EXPECT_TRUE(ApproxEqual(GramAtA(qr->q), Matrix::Identity(k), 1e-10 * k));
+
+  // R upper triangular.
+  for (Index i = 0; i < k; ++i) {
+    for (Index j = 0; j < std::min<Index>(i, n); ++j) {
+      EXPECT_EQ(qr->r(i, j), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(4, 4),
+                      std::make_tuple(10, 4), std::make_tuple(4, 10),
+                      std::make_tuple(25, 25), std::make_tuple(60, 20)));
+
+TEST(OrthonormalizeColumnsTest, SpansSameSpace) {
+  rng::Engine engine(77);
+  // Rank-2 matrix: 5×2 random times 2×4 random.
+  const Matrix basis = RandomGaussianMatrix(engine, 5, 2);
+  const Matrix coeff = RandomGaussianMatrix(engine, 2, 4);
+  const Matrix a = basis * coeff;
+
+  const StatusOr<Matrix> q = OrthonormalizeColumns(SliceCols(a, 0, 2));
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ApproxEqual(GramAtA(*q), Matrix::Identity(2), 1e-10));
+  // Every column of `a` lies in span(Q): (I − QQᵀ)a ≈ 0.
+  const Matrix residual = a - (*q) * MultiplyAtB(*q, a);
+  EXPECT_LT(FrobeniusNorm(residual), 1e-8 * FrobeniusNorm(a));
+}
+
+TEST(OrthonormalizeColumnsTest, HandlesRankDeficientInput) {
+  // Two identical columns: Q still has orthonormal columns and Q·R = A.
+  Matrix a(3, 2);
+  a.SetColumn(0, Vector{1.0, 2.0, 3.0});
+  a.SetColumn(1, Vector{1.0, 2.0, 3.0});
+  const StatusOr<QrResult> qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(ApproxEqual(qr->q * qr->r, a, 1e-10));
+}
+
+}  // namespace
+}  // namespace lrm::linalg

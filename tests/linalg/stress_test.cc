@@ -1,0 +1,128 @@
+// Numerics stress tests: ill-conditioned and structured inputs that expose
+// weaknesses textbook implementations often have.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+
+namespace lrm::linalg {
+namespace {
+
+// Hilbert matrix H_ij = 1/(i+j+1): symmetric positive definite but
+// catastrophically ill-conditioned (cond ≈ e^{3.5n}).
+Matrix Hilbert(Index n) {
+  Matrix h(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    }
+  }
+  return h;
+}
+
+TEST(StressTest, HilbertCholeskySucceedsThroughN10) {
+  // cond(H_10) ~ 1e13 — still within double Cholesky's reach.
+  for (Index n : {2, 4, 8, 10}) {
+    const StatusOr<Matrix> l = CholeskyFactor(Hilbert(n));
+    ASSERT_TRUE(l.ok()) << "n=" << n;
+    EXPECT_TRUE(ApproxEqual(MultiplyABt(*l, *l), Hilbert(n), 1e-10));
+  }
+}
+
+TEST(StressTest, HilbertEigenvaluesArePositiveAndTiny) {
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(Hilbert(8));
+  ASSERT_TRUE(eig.ok());
+  // Known: λ_min(H_8) ≈ 1.1e-10, λ_max ≈ 1.696.
+  EXPECT_GT(eig->eigenvalues[0], 0.0);
+  EXPECT_LT(eig->eigenvalues[0], 1e-9);
+  EXPECT_NEAR(eig->eigenvalues[7], 1.6959, 1e-3);
+}
+
+TEST(StressTest, SvdOfGradedMatrix) {
+  // Singular values spanning 12 orders of magnitude: Jacobi must keep
+  // relative accuracy on the large end.
+  const Index n = 6;
+  Vector spectrum(n);
+  for (Index i = 0; i < n; ++i) {
+    spectrum[i] = std::pow(10.0, -2.0 * static_cast<double>(i));
+  }
+  const Matrix a = Matrix::Diagonal(spectrum);
+  const StatusOr<SvdResult> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(svd->singular_values[i] / spectrum[i], 1.0, 1e-10) << i;
+  }
+}
+
+TEST(StressTest, SvdWithRepeatedSingularValues) {
+  // A degenerate spectrum (σ = 2, 2, 2) still needs orthonormal factors
+  // and exact reconstruction even though the subspace is not unique.
+  Matrix a = Matrix::Identity(3) * 2.0;
+  const StatusOr<SvdResult> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_NEAR(svd->singular_values[i], 2.0, 1e-12);
+  }
+  EXPECT_TRUE(ApproxEqual(svd->Reconstruct(), a, 1e-12));
+  EXPECT_TRUE(ApproxEqual(GramAtA(svd->u), Matrix::Identity(3), 1e-12));
+}
+
+TEST(StressTest, EigenOfZeroMatrix) {
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(Matrix(5, 5));
+  ASSERT_TRUE(eig.ok());
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_NEAR(eig->eigenvalues[i], 0.0, 1e-14);
+  }
+  // Eigenvectors must still be orthonormal.
+  EXPECT_TRUE(ApproxEqual(GramAtA(eig->eigenvectors), Matrix::Identity(5),
+                          1e-12));
+}
+
+TEST(StressTest, SvdOfSingleColumnAndRow) {
+  const Matrix column{{3.0}, {4.0}};
+  const StatusOr<SvdResult> c = JacobiSvd(column);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->singular_values[0], 5.0, 1e-12);
+
+  const Matrix row{{3.0, 4.0}};
+  const StatusOr<SvdResult> r = JacobiSvd(row);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->singular_values[0], 5.0, 1e-12);
+}
+
+TEST(StressTest, AllFiniteDetectors) {
+  Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(AllFinite(m));
+  m(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(AllFinite(m));
+  m(1, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AllFinite(m));
+
+  Vector v{1.0, 2.0};
+  EXPECT_TRUE(AllFinite(v));
+  v[0] = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AllFinite(v));
+}
+
+TEST(StressTest, CholeskyNearSingularStillFactorsOrFailsCleanly) {
+  // A = diag(1, δ) for shrinking δ: must either factor correctly or
+  // return kNumericalError — never crash or emit NaN.
+  for (double delta : {1e-8, 1e-12, 1e-16, 0.0}) {
+    Matrix a = Matrix::Diagonal(Vector{1.0, delta});
+    const StatusOr<Matrix> l = CholeskyFactor(a);
+    if (l.ok()) {
+      EXPECT_TRUE(AllFinite(*l));
+      EXPECT_TRUE(ApproxEqual(MultiplyABt(*l, *l), a, 1e-12));
+    } else {
+      EXPECT_EQ(l.status().code(), StatusCode::kNumericalError);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrm::linalg

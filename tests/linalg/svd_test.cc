@@ -1,0 +1,226 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::linalg {
+namespace {
+
+Matrix RandomLowRank(rng::Engine& engine, Index m, Index n, Index rank) {
+  const Matrix u = RandomGaussianMatrix(engine, m, rank);
+  const Matrix v = RandomGaussianMatrix(engine, rank, n);
+  return u * v;
+}
+
+void ExpectValidThinSvd(const Matrix& a, const SvdResult& svd, double tol) {
+  const Index k = svd.singular_values.size();
+  ASSERT_EQ(svd.u.cols(), k);
+  ASSERT_EQ(svd.v.cols(), k);
+  ASSERT_EQ(svd.u.rows(), a.rows());
+  ASSERT_EQ(svd.v.rows(), a.cols());
+  // Non-increasing, non-negative spectrum.
+  for (Index i = 0; i < k; ++i) {
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(svd.singular_values[i], svd.singular_values[i - 1] + 1e-12);
+    }
+  }
+  EXPECT_TRUE(ApproxEqual(svd.Reconstruct(), a, tol));
+}
+
+TEST(JacobiSvdTest, RejectsEmpty) {
+  EXPECT_EQ(JacobiSvd(Matrix()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JacobiSvdTest, DiagonalMatrixSpectrumIsKnown) {
+  const StatusOr<SvdResult> svd =
+      JacobiSvd(Matrix::Diagonal(Vector{3.0, 5.0, 1.0}));
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(svd->singular_values[1], 3.0, 1e-12);
+  EXPECT_NEAR(svd->singular_values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiSvdTest, KnownSingularValues) {
+  // A = [[3, 0], [4, 5]]: σ = (√45 ± √5)/... — classic example with
+  // σ₁ = 3√5, σ₂ = √5.
+  const Matrix a{{3.0, 0.0}, {4.0, 5.0}};
+  const StatusOr<SvdResult> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 3.0 * std::sqrt(5.0), 1e-10);
+  EXPECT_NEAR(svd->singular_values[1], std::sqrt(5.0), 1e-10);
+}
+
+class SvdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SvdPropertyTest, JacobiReconstructsWithOrthonormalFactors) {
+  const auto [m, n] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(m * 997 + n));
+  const Matrix a = RandomGaussianMatrix(engine, m, n);
+  const StatusOr<SvdResult> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  ExpectValidThinSvd(a, *svd, 1e-9 * std::max(m, n));
+
+  const Index k = svd->singular_values.size();
+  EXPECT_TRUE(ApproxEqual(GramAtA(svd->u), Matrix::Identity(k), 1e-9 * k));
+  EXPECT_TRUE(ApproxEqual(GramAtA(svd->v), Matrix::Identity(k), 1e-9 * k));
+}
+
+TEST_P(SvdPropertyTest, GramSvdAgreesWithJacobiOnSpectrum) {
+  const auto [m, n] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(m * 31 + n * 7 + 5));
+  const Matrix a = RandomGaussianMatrix(engine, m, n);
+  const StatusOr<SvdResult> jacobi = JacobiSvd(a);
+  const StatusOr<SvdResult> gram = GramSvd(a);
+  ASSERT_TRUE(jacobi.ok());
+  ASSERT_TRUE(gram.ok());
+  ExpectValidThinSvd(a, *gram, 1e-7 * std::max(m, n));
+  const Index k = std::min(jacobi->singular_values.size(),
+                           gram->singular_values.size());
+  for (Index i = 0; i < k; ++i) {
+    EXPECT_NEAR(gram->singular_values[i], jacobi->singular_values[i],
+                1e-7 * (1.0 + jacobi->singular_values[0]));
+  }
+}
+
+TEST_P(SvdPropertyTest, FrobeniusNormEqualsSpectrumNorm) {
+  const auto [m, n] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(m * 11 + n * 3 + 1));
+  const Matrix a = RandomGaussianMatrix(engine, m, n);
+  const StatusOr<SvdResult> svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  double spectrum_sq = 0.0;
+  for (Index i = 0; i < svd->singular_values.size(); ++i) {
+    spectrum_sq += svd->singular_values[i] * svd->singular_values[i];
+  }
+  EXPECT_NEAR(spectrum_sq, SquaredFrobeniusNorm(a),
+              1e-8 * (1.0 + SquaredFrobeniusNorm(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(3, 3),
+                      std::make_tuple(8, 3), std::make_tuple(3, 8),
+                      std::make_tuple(20, 20), std::make_tuple(40, 15),
+                      std::make_tuple(15, 40)));
+
+TEST(RandomizedSvdTest, RecoversLowRankExactly) {
+  rng::Engine engine(42);
+  const Matrix a = RandomLowRank(engine, 60, 80, 5);
+  const StatusOr<SvdResult> sketch = RandomizedSvd(a, 5);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->singular_values.size(), 5);
+  // Exact rank-5 matrix: the rank-5 sketch reconstructs it.
+  EXPECT_TRUE(ApproxEqual(sketch->Reconstruct(), a,
+                          1e-7 * FrobeniusNorm(a)));
+}
+
+TEST(RandomizedSvdTest, TopSingularValuesMatchFullSvd) {
+  rng::Engine engine(43);
+  const Matrix a = RandomGaussianMatrix(engine, 50, 70);
+  const StatusOr<SvdResult> full = JacobiSvd(a);
+  const StatusOr<SvdResult> sketch = RandomizedSvd(a, 8);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sketch.ok());
+  for (Index i = 0; i < 8; ++i) {
+    // Sketched values never exceed the true ones and are close for the top.
+    EXPECT_LE(sketch->singular_values[i],
+              full->singular_values[i] + 1e-9);
+  }
+  EXPECT_NEAR(sketch->singular_values[0], full->singular_values[0],
+              0.05 * full->singular_values[0]);
+}
+
+TEST(RandomizedSvdTest, RejectsBadRank) {
+  EXPECT_EQ(RandomizedSvd(Matrix::Identity(4), 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RandomizedSvdTest, DeterministicGivenSeed) {
+  rng::Engine engine(44);
+  const Matrix a = RandomGaussianMatrix(engine, 30, 30);
+  RandomizedSvdOptions options;
+  options.seed = 1234;
+  const StatusOr<SvdResult> s1 = RandomizedSvd(a, 4, options);
+  const StatusOr<SvdResult> s2 = RandomizedSvd(a, 4, options);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_TRUE(ApproxEqual(s1->u, s2->u, 0.0));
+  EXPECT_TRUE(ApproxEqual(s1->singular_values, s2->singular_values, 0.0));
+}
+
+TEST(RankTest, ExactRankOfConstructedMatrices) {
+  rng::Engine engine(45);
+  for (Index rank : {1, 2, 5, 9}) {
+    const Matrix a = RandomLowRank(engine, 20, 30, rank);
+    const StatusOr<Index> estimated = EstimateRank(a);
+    ASSERT_TRUE(estimated.ok());
+    EXPECT_EQ(*estimated, rank) << "constructed rank " << rank;
+  }
+}
+
+TEST(RankTest, FullRankRandomMatrix) {
+  rng::Engine engine(46);
+  const Matrix a = RandomGaussianMatrix(engine, 12, 25);
+  const StatusOr<Index> estimated = EstimateRank(a);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_EQ(*estimated, 12);
+}
+
+TEST(RankTest, ZeroMatrixHasRankZero) {
+  const StatusOr<Index> estimated = EstimateRank(Matrix(4, 6));
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_EQ(*estimated, 0);
+}
+
+class PinvPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PinvPropertyTest, MoorePenroseConditions) {
+  const auto [m, n] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(m * 13 + n * 17));
+  const Matrix a = RandomGaussianMatrix(engine, m, n);
+  const StatusOr<Matrix> pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  const Matrix& ap = *pinv;
+  const double tol = 1e-8 * std::max(m, n);
+  // (1) A·A⁺·A = A, (2) A⁺·A·A⁺ = A⁺, (3)(4) both products symmetric.
+  EXPECT_TRUE(ApproxEqual(a * ap * a, a, tol));
+  EXPECT_TRUE(ApproxEqual(ap * a * ap, ap, tol));
+  EXPECT_TRUE(IsSymmetric(a * ap, tol));
+  EXPECT_TRUE(IsSymmetric(ap * a, tol));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PinvPropertyTest,
+                         ::testing::Values(std::make_tuple(4, 4),
+                                           std::make_tuple(10, 6),
+                                           std::make_tuple(6, 10)));
+
+TEST(PinvTest, RankDeficientMatrix) {
+  rng::Engine engine(47);
+  const Matrix a = RandomLowRank(engine, 8, 8, 3);
+  const StatusOr<Matrix> pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_TRUE(ApproxEqual(a * (*pinv) * a, a, 1e-7 * FrobeniusNorm(a)));
+}
+
+TEST(SvdDispatchTest, LargeMatrixUsesGramPath) {
+  rng::Engine engine(48);
+  // min(m,n) = 200 > kSvdJacobiDispatchLimit; exercises the GramSvd
+  // dispatch, whose noise floor EstimateRank accounts for.
+  static_assert(200 > kSvdJacobiDispatchLimit);
+  const Matrix a = RandomLowRank(engine, 200, 210, 10);
+  const StatusOr<Index> rank = EstimateRank(a);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, 10);
+}
+
+}  // namespace
+}  // namespace lrm::linalg

@@ -1,0 +1,99 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+namespace lrm::linalg {
+namespace {
+
+TEST(VectorTest, ConstructionVariants) {
+  Vector zero(4);
+  EXPECT_EQ(zero.size(), 4);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(zero[i], 0.0);
+
+  Vector filled(3, 2.5);
+  for (Index i = 0; i < 3; ++i) EXPECT_EQ(filled[i], 2.5);
+
+  Vector list{1.0, 2.0, 3.0};
+  EXPECT_EQ(list.size(), 3);
+  EXPECT_EQ(list[1], 2.0);
+
+  Vector adopted(std::vector<double>{4.0, 5.0});
+  EXPECT_EQ(adopted[0], 4.0);
+
+  Vector empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+}
+
+TEST(VectorTest, ElementwiseArithmetic) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{10.0, 20.0, 30.0};
+  EXPECT_TRUE(ApproxEqual(a + b, Vector{11.0, 22.0, 33.0}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(b - a, Vector{9.0, 18.0, 27.0}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(a * 2.0, Vector{2.0, 4.0, 6.0}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(2.0 * a, Vector{2.0, 4.0, 6.0}, 1e-15));
+  EXPECT_TRUE(ApproxEqual(-a, Vector{-1.0, -2.0, -3.0}, 1e-15));
+}
+
+TEST(VectorTest, CompoundOperators) {
+  Vector a{1.0, 1.0};
+  a += Vector{2.0, 3.0};
+  EXPECT_TRUE(ApproxEqual(a, Vector{3.0, 4.0}, 1e-15));
+  a -= Vector{1.0, 1.0};
+  EXPECT_TRUE(ApproxEqual(a, Vector{2.0, 3.0}, 1e-15));
+  a *= 3.0;
+  EXPECT_TRUE(ApproxEqual(a, Vector{6.0, 9.0}, 1e-15));
+  a /= 3.0;
+  EXPECT_TRUE(ApproxEqual(a, Vector{2.0, 3.0}, 1e-15));
+}
+
+TEST(VectorTest, AxpyFusesMultiplyAdd) {
+  Vector a{1.0, 2.0};
+  a.Axpy(0.5, Vector{4.0, 8.0});
+  EXPECT_TRUE(ApproxEqual(a, Vector{3.0, 6.0}, 1e-15));
+}
+
+TEST(VectorTest, NormsAndReductions) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(Dot(v, v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(NormInf(v), 4.0);
+  EXPECT_DOUBLE_EQ(Sum(v), -1.0);
+}
+
+TEST(VectorTest, DotIsBilinear) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, 5.0, 6.0};
+  const Vector c{7.0, 8.0, 9.0};
+  EXPECT_DOUBLE_EQ(Dot(a + b, c), Dot(a, c) + Dot(b, c));
+  EXPECT_DOUBLE_EQ(Dot(a * 2.0, b), 2.0 * Dot(a, b));
+}
+
+TEST(VectorTest, FillOverwrites) {
+  Vector v{1.0, 2.0, 3.0};
+  v.Fill(7.0);
+  EXPECT_TRUE(ApproxEqual(v, Vector{7.0, 7.0, 7.0}, 1e-15));
+}
+
+TEST(VectorTest, ApproxEqualRespectsTolerance) {
+  EXPECT_TRUE(ApproxEqual(Vector{1.0}, Vector{1.0 + 1e-12}, 1e-9));
+  EXPECT_FALSE(ApproxEqual(Vector{1.0}, Vector{1.1}, 1e-9));
+  EXPECT_FALSE(ApproxEqual(Vector{1.0}, Vector{1.0, 2.0}, 1e-9));
+}
+
+TEST(VectorTest, ToStringRendersEntries) {
+  EXPECT_EQ((Vector{1.0, 2.5}).ToString(), "[1, 2.5]");
+  EXPECT_EQ(Vector().ToString(), "[]");
+}
+
+TEST(VectorTest, IteratorsSupportRangeFor) {
+  const Vector v{1.0, 2.0, 3.0};
+  double total = 0.0;
+  for (double x : v) total += x;
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+}  // namespace
+}  // namespace lrm::linalg

@@ -1,0 +1,177 @@
+#include "mechanism/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "workload/generators.h"
+
+namespace lrm::mechanism {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+using linalg::Vector;
+
+// Workload whose rows are the unit counts themselves (identity), so the
+// mechanism's output is directly the consistent histogram estimate.
+workload::Workload IdentityWorkload(Index n) {
+  return workload::Workload("identity", Matrix::Identity(n));
+}
+
+// A hierarchy-probing workload: for every internal interval of the binary
+// tree over [0, n), one row summing it, plus all leaves.
+workload::Workload TreeIntervalWorkload(Index n) {
+  std::vector<std::pair<Index, Index>> intervals;
+  for (Index width = n; width >= 1; width /= 2) {
+    for (Index start = 0; start + width <= n; start += width) {
+      intervals.emplace_back(start, start + width);
+    }
+  }
+  Matrix w(static_cast<Index>(intervals.size()), n);
+  for (Index i = 0; i < w.rows(); ++i) {
+    for (Index j = intervals[static_cast<std::size_t>(i)].first;
+         j < intervals[static_cast<std::size_t>(i)].second; ++j) {
+      w(i, j) = 1.0;
+    }
+  }
+  return workload::Workload("tree-intervals", std::move(w));
+}
+
+TEST(HierarchicalTest, RejectsBadFanout) {
+  HierarchicalOptions options;
+  options.fanout = 1;
+  HierarchicalMechanism mech(options);
+  EXPECT_EQ(mech.Prepare(IdentityWorkload(8)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchicalTest, AnswersHaveRightShape) {
+  HierarchicalMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IdentityWorkload(16)).ok());
+  rng::Engine engine(1);
+  const StatusOr<Vector> noisy = mech.Answer(Vector(16, 3.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 16);
+}
+
+TEST(HierarchicalTest, NonPowerOfTwoDomainIsPadded) {
+  HierarchicalMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IdentityWorkload(11)).ok());
+  rng::Engine engine(2);
+  EXPECT_TRUE(mech.Answer(Vector(11, 1.0), 1.0, engine).ok());
+}
+
+TEST(HierarchicalTest, UnbiasedOverManyRuns) {
+  HierarchicalMechanism mech;
+  const workload::Workload w = IdentityWorkload(8);
+  ASSERT_TRUE(mech.Prepare(w).ok());
+  Vector data{10.0, 0.0, 5.0, 20.0, 0.0, 1.0, 7.0, 2.0};
+  rng::Engine engine(3);
+  Vector mean(8);
+  const int reps = 4000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, 2.0, engine);
+    ASSERT_TRUE(noisy.ok());
+    mean += *noisy;
+  }
+  mean /= static_cast<double>(reps);
+  for (Index i = 0; i < 8; ++i) EXPECT_NEAR(mean[i], data[i], 0.25);
+}
+
+TEST(HierarchicalTest, ConstrainedInferenceReducesIntervalError) {
+  // The whole point of Hay et al.'s consistency pass: interval queries get
+  // strictly more accurate.
+  const workload::Workload w = TreeIntervalWorkload(32);
+  Vector data(32);
+  for (Index i = 0; i < 32; ++i) data[i] = static_cast<double>((i * 13) % 40);
+  const Vector exact = w.Answer(data);
+
+  HierarchicalOptions with_inference;  // default: true
+  HierarchicalOptions without_inference;
+  without_inference.constrained_inference = false;
+
+  HierarchicalMechanism smart(with_inference);
+  HierarchicalMechanism naive(without_inference);
+  ASSERT_TRUE(smart.Prepare(w).ok());
+  ASSERT_TRUE(naive.Prepare(w).ok());
+
+  rng::Engine e1(4), e2(4);
+  eval::ErrorAccumulator smart_errors, naive_errors;
+  for (int rep = 0; rep < 400; ++rep) {
+    const StatusOr<Vector> a = smart.Answer(data, 1.0, e1);
+    const StatusOr<Vector> b = naive.Answer(data, 1.0, e2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    smart_errors.Add(eval::TotalSquaredError(exact, *a));
+    naive_errors.Add(eval::TotalSquaredError(exact, *b));
+  }
+  EXPECT_LT(smart_errors.Mean(), naive_errors.Mean());
+}
+
+TEST(HierarchicalTest, LeafVarianceMatchesTreeHeightScaling) {
+  // Without inference, each leaf estimate is the noisy leaf count: variance
+  // 2·(levels/ε)². With n = 16 (5 levels) and ε = 1 that is 50.
+  HierarchicalOptions options;
+  options.constrained_inference = false;
+  HierarchicalMechanism mech(options);
+  const workload::Workload w = IdentityWorkload(16);
+  ASSERT_TRUE(mech.Prepare(w).ok());
+  const Vector data(16, 7.0);
+  rng::Engine engine(5);
+  eval::ErrorAccumulator acc;
+  for (int rep = 0; rep < 4000; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, 1.0, engine);
+    ASSERT_TRUE(noisy.ok());
+    acc.Add(eval::TotalSquaredError(w.Answer(data), *noisy));
+  }
+  const double per_leaf = acc.Mean() / 16.0;
+  EXPECT_NEAR(per_leaf / 50.0, 1.0, 0.15);
+}
+
+TEST(HierarchicalTest, LargerFanoutShrinksTreeHeight) {
+  // Fanout 4 over n = 16 gives 3 levels instead of 5; per-node noise drops.
+  HierarchicalOptions quad;
+  quad.fanout = 4;
+  quad.constrained_inference = false;
+  HierarchicalMechanism mech(quad);
+  const workload::Workload w = IdentityWorkload(16);
+  ASSERT_TRUE(mech.Prepare(w).ok());
+  const Vector data(16, 1.0);
+  rng::Engine engine(6);
+  eval::ErrorAccumulator acc;
+  for (int rep = 0; rep < 3000; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, 1.0, engine);
+    ASSERT_TRUE(noisy.ok());
+    acc.Add(eval::TotalSquaredError(w.Answer(data), *noisy));
+  }
+  // Variance 2·(3/ε)² = 18 per leaf.
+  EXPECT_NEAR(acc.Mean() / 16.0 / 18.0, 1.0, 0.15);
+}
+
+TEST(HierarchicalTest, WorksOnGeneratedRangeWorkloads) {
+  HierarchicalMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(20, 64, 9);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  rng::Engine engine(7);
+  const StatusOr<Vector> noisy = mech.Answer(Vector(64, 2.0), 0.5, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 20);
+  for (Index i = 0; i < noisy->size(); ++i) {
+    EXPECT_TRUE(std::isfinite((*noisy)[i]));
+  }
+}
+
+TEST(HierarchicalTest, SingleBucketDomain) {
+  HierarchicalMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IdentityWorkload(1)).ok());
+  rng::Engine engine(8);
+  const StatusOr<Vector> noisy = mech.Answer(Vector{5.0}, 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 1);
+}
+
+}  // namespace
+}  // namespace lrm::mechanism

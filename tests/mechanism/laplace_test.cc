@@ -1,0 +1,164 @@
+#include "mechanism/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "workload/generators.h"
+
+namespace lrm::mechanism {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+workload::Workload IntroWorkload() {
+  return workload::Workload("intro", Matrix{{1.0, 1.0, 1.0, 1.0},
+                                            {1.0, 1.0, 0.0, 0.0},
+                                            {0.0, 0.0, 1.0, 1.0}});
+}
+
+TEST(MechanismContractTest, AnswerBeforePrepareFails) {
+  NoiseOnDataMechanism mech;
+  rng::Engine engine(1);
+  EXPECT_EQ(mech.Answer(Vector{1.0}, 1.0, engine).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(mech.prepared());
+}
+
+TEST(MechanismContractTest, RejectsEmptyWorkload) {
+  NoiseOnDataMechanism mech;
+  EXPECT_EQ(mech.Prepare(workload::Workload("empty", Matrix())).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MechanismContractTest, RejectsMismatchedData) {
+  NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  rng::Engine engine(2);
+  EXPECT_EQ(mech.Answer(Vector{1.0, 2.0}, 1.0, engine).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MechanismContractTest, RejectsNonPositiveEpsilon) {
+  NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  rng::Engine engine(3);
+  const Vector data{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(mech.Answer(data, 0.0, engine).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mech.Answer(data, -1.0, engine).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NoiseOnDataTest, AnswerHasRightShapeAndIsUnbiasedish) {
+  NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  const Vector data{100.0, 50.0, 80.0, 20.0};
+  const Vector exact = IntroWorkload().Answer(data);
+
+  rng::Engine engine(4);
+  Vector mean(3);
+  const int reps = 4000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, 1.0, engine);
+    ASSERT_TRUE(noisy.ok());
+    ASSERT_EQ(noisy->size(), 3);
+    mean += *noisy;
+  }
+  mean /= static_cast<double>(reps);
+  for (linalg::Index i = 0; i < 3; ++i) {
+    EXPECT_NEAR(mean[i], exact[i], 0.2);  // Lap noise averages out
+  }
+}
+
+// Paper §1 works out NOD per-query variances 8/ε², 4/ε², 4/ε² for the intro
+// workload: total expected squared error 16/ε². Empirical must match.
+TEST(NoiseOnDataTest, EmpiricalErrorMatchesAnalyticFormula) {
+  NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  const double epsilon = 1.0;
+  const auto analytic = mech.ExpectedSquaredError(epsilon);
+  ASSERT_TRUE(analytic.has_value());
+  EXPECT_DOUBLE_EQ(*analytic, 16.0);
+
+  const Vector data{10.0, 20.0, 30.0, 40.0};
+  const Vector exact = IntroWorkload().Answer(data);
+  rng::Engine engine(5);
+  eval::ErrorAccumulator acc;
+  for (int rep = 0; rep < 6000; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, epsilon, engine);
+    ASSERT_TRUE(noisy.ok());
+    acc.Add(eval::TotalSquaredError(exact, *noisy));
+  }
+  EXPECT_NEAR(acc.Mean() / *analytic, 1.0, 0.1);
+}
+
+TEST(NoiseOnResultsTest, EmpiricalErrorMatchesAnalyticFormula) {
+  NoiseOnResultsMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  const double epsilon = 0.5;
+  const auto analytic = mech.ExpectedSquaredError(epsilon);
+  ASSERT_TRUE(analytic.has_value());
+  // 2·m·Δ'²/ε² = 2·3·4/0.25 = 96.
+  EXPECT_DOUBLE_EQ(*analytic, 96.0);
+
+  const Vector data{10.0, 20.0, 30.0, 40.0};
+  const Vector exact = IntroWorkload().Answer(data);
+  rng::Engine engine(6);
+  eval::ErrorAccumulator acc;
+  for (int rep = 0; rep < 6000; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, epsilon, engine);
+    ASSERT_TRUE(noisy.ok());
+    acc.Add(eval::TotalSquaredError(exact, *noisy));
+  }
+  EXPECT_NEAR(acc.Mean() / *analytic, 1.0, 0.1);
+}
+
+TEST(LaplaceMechanismsTest, ErrorScalesWithInverseEpsilonSquared) {
+  NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  const double e1 = *mech.ExpectedSquaredError(1.0);
+  const double e01 = *mech.ExpectedSquaredError(0.1);
+  EXPECT_NEAR(e01 / e1, 100.0, 1e-9);
+}
+
+TEST(LaplaceMechanismsTest, ExpectedErrorUnavailableBeforePrepare) {
+  NoiseOnDataMechanism nod;
+  NoiseOnResultsMechanism nor;
+  EXPECT_FALSE(nod.ExpectedSquaredError(1.0).has_value());
+  EXPECT_FALSE(nor.ExpectedSquaredError(1.0).has_value());
+}
+
+TEST(LaplaceMechanismsTest, NamesMatchPaperLabels) {
+  EXPECT_EQ(NoiseOnDataMechanism().name(), "LM");
+  EXPECT_EQ(NoiseOnResultsMechanism().name(), "NOR");
+}
+
+TEST(LaplaceMechanismsTest, DeterministicGivenSameEngineState) {
+  NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  const Vector data{1.0, 2.0, 3.0, 4.0};
+  rng::Engine e1(42), e2(42);
+  const StatusOr<Vector> a = mech.Answer(data, 1.0, e1);
+  const StatusOr<Vector> b = mech.Answer(data, 1.0, e2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(ApproxEqual(*a, *b, 0.0));
+}
+
+TEST(LaplaceMechanismsTest, RePrepareSwitchesWorkload) {
+  NoiseOnResultsMechanism mech;
+  ASSERT_TRUE(mech.Prepare(IntroWorkload()).ok());
+  const StatusOr<workload::Workload> bigger =
+      workload::GenerateWRange(8, 16, 9);
+  ASSERT_TRUE(bigger.ok());
+  ASSERT_TRUE(mech.Prepare(*bigger).ok());
+  rng::Engine engine(7);
+  const StatusOr<Vector> noisy =
+      mech.Answer(Vector(16, 1.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 8);
+}
+
+}  // namespace
+}  // namespace lrm::mechanism

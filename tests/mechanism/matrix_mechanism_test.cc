@@ -1,0 +1,140 @@
+#include "mechanism/matrix_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "linalg/eigen_sym.h"
+#include "workload/generators.h"
+#include "workload/workload.h"
+
+namespace lrm::mechanism {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+using linalg::Vector;
+
+MatrixMechanismOptions FastOptions() {
+  MatrixMechanismOptions options;
+  options.max_iterations = 25;
+  return options;
+}
+
+TEST(MatrixMechanismTest, PreparesOnSmallWorkload) {
+  MatrixMechanism mech(FastOptions());
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(10, 16, 1);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  EXPECT_TRUE(mech.prepared());
+}
+
+TEST(MatrixMechanismTest, StrategyIsSymmetricPositiveDefinite) {
+  MatrixMechanism mech(FastOptions());
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWDiscrete(8, 12, 2);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+
+  const Matrix& a = mech.strategy();
+  ASSERT_EQ(a.rows(), 12);
+  ASSERT_EQ(a.cols(), 12);
+  EXPECT_TRUE(IsSymmetric(a, 1e-8));
+  const StatusOr<linalg::SymmetricEigenResult> eig =
+      linalg::SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_GT(eig->eigenvalues[0], 0.0);  // ascending: smallest first
+}
+
+TEST(MatrixMechanismTest, AnswerShapeAndFiniteness) {
+  MatrixMechanism mech(FastOptions());
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(6, 10, 3);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  rng::Engine engine(1);
+  const StatusOr<Vector> noisy = mech.Answer(Vector(10, 4.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  ASSERT_EQ(noisy->size(), 6);
+  for (Index i = 0; i < 6; ++i) EXPECT_TRUE(std::isfinite((*noisy)[i]));
+}
+
+TEST(MatrixMechanismTest, EmpiricalErrorMatchesAnalytic) {
+  MatrixMechanism mech(FastOptions());
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(5, 8, 4);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const double epsilon = 1.0;
+  const auto analytic = mech.ExpectedSquaredError(epsilon);
+  ASSERT_TRUE(analytic.has_value());
+
+  const Vector data{1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0};
+  const Vector exact = w->Answer(data);
+  rng::Engine engine(2);
+  eval::ErrorAccumulator acc;
+  for (int rep = 0; rep < 4000; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, epsilon, engine);
+    ASSERT_TRUE(noisy.ok());
+    acc.Add(eval::TotalSquaredError(exact, *noisy));
+  }
+  EXPECT_NEAR(acc.Mean() / *analytic, 1.0, 0.15);
+}
+
+TEST(MatrixMechanismTest, UnbiasedRecovery) {
+  MatrixMechanism mech(FastOptions());
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(4, 8, 5);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const Vector data{2.0, 4.0, 6.0, 8.0, 1.0, 3.0, 5.0, 7.0};
+  const Vector exact = w->Answer(data);
+  rng::Engine engine(3);
+  Vector mean(4);
+  const int reps = 3000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, 2.0, engine);
+    ASSERT_TRUE(noisy.ok());
+    mean += *noisy;
+  }
+  mean /= static_cast<double>(reps);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_NEAR(mean[i], exact[i], 0.1 * std::abs(exact[i]) + 2.0);
+  }
+}
+
+// The paper's headline observation (§6.2): MM never beats plain
+// noise-on-data in practice because of its L2-approximated objective and
+// full-rank restriction.
+TEST(MatrixMechanismTest, DoesNotBeatNoiseOnDataOnDiscreteWorkloads) {
+  MatrixMechanism mech(FastOptions());
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWDiscrete(16, 24, 6);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const double mm_error = *mech.ExpectedSquaredError(0.1);
+  const double nod_error = workload::ExpectedErrorNoiseOnData(*w, 0.1);
+  EXPECT_GE(mm_error, 0.5 * nod_error);  // at best comparable, never ≪
+}
+
+TEST(MatrixMechanismTest, IdentityWorkloadStrategyStaysNearIdentity) {
+  // For W = I the optimal strategy is (a scalar multiple of) the identity;
+  // the optimizer must not wander into a worse full matrix.
+  MatrixMechanism mech(FastOptions());
+  workload::Workload w("identity", Matrix::Identity(6));
+  ASSERT_TRUE(mech.Prepare(w).ok());
+  const double mm_error = *mech.ExpectedSquaredError(1.0);
+  const double identity_error = workload::ExpectedErrorNoiseOnData(w, 1.0);
+  EXPECT_LE(mm_error, identity_error * 1.5);
+}
+
+TEST(MatrixMechanismTest, ErrorScalesWithInverseEpsilonSquared) {
+  MatrixMechanism mech(FastOptions());
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(5, 8, 7);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  EXPECT_NEAR(*mech.ExpectedSquaredError(0.1) /
+                  *mech.ExpectedSquaredError(1.0),
+              100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lrm::mechanism

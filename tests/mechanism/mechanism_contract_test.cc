@@ -1,0 +1,190 @@
+// Contract tests every Mechanism implementation must satisfy, run
+// parameterized over all six mechanisms in the library. These guard the
+// interface invariants the eval harness and the privacy argument rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/low_rank_mechanism.h"
+#include "eval/metrics.h"
+#include "mechanism/hierarchical.h"
+#include "mechanism/laplace.h"
+#include "mechanism/matrix_mechanism.h"
+#include "mechanism/wavelet.h"
+#include "workload/generators.h"
+
+namespace lrm {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+struct MechanismCase {
+  std::string name;
+  std::function<std::unique_ptr<mechanism::Mechanism>()> make;
+};
+
+std::vector<MechanismCase> AllCases() {
+  std::vector<MechanismCase> cases;
+  cases.push_back({"NOD", [] {
+                     return std::make_unique<
+                         mechanism::NoiseOnDataMechanism>();
+                   }});
+  cases.push_back({"NOR", [] {
+                     return std::make_unique<
+                         mechanism::NoiseOnResultsMechanism>();
+                   }});
+  cases.push_back({"WM", [] {
+                     return std::make_unique<mechanism::WaveletMechanism>();
+                   }});
+  cases.push_back({"HM", [] {
+                     return std::make_unique<
+                         mechanism::HierarchicalMechanism>();
+                   }});
+  cases.push_back({"MM", [] {
+                     mechanism::MatrixMechanismOptions options;
+                     options.max_iterations = 10;
+                     return std::make_unique<mechanism::MatrixMechanism>(
+                         options);
+                   }});
+  cases.push_back({"LRM", [] {
+                     core::LowRankMechanismOptions options;
+                     options.decomposition.gamma = 0.01;
+                     return std::make_unique<core::LowRankMechanism>(
+                         options);
+                   }});
+  return cases;
+}
+
+class MechanismContractTest
+    : public ::testing::TestWithParam<MechanismCase> {
+ protected:
+  workload::Workload SmallWorkload() {
+    auto w = workload::GenerateWRange(6, 16, 77);
+    LRM_CHECK(w.ok());
+    return *std::move(w);
+  }
+};
+
+TEST_P(MechanismContractTest, AnswerBeforePrepareIsFailedPrecondition) {
+  auto mech = GetParam().make();
+  rng::Engine engine(1);
+  EXPECT_EQ(mech->Answer(Vector(16, 1.0), 1.0, engine).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_P(MechanismContractTest, EmptyWorkloadRejected) {
+  auto mech = GetParam().make();
+  EXPECT_EQ(mech->Prepare(workload::Workload("empty", linalg::Matrix()))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(mech->prepared());
+}
+
+TEST_P(MechanismContractTest, WrongDataDimensionRejected) {
+  auto mech = GetParam().make();
+  ASSERT_TRUE(mech->Prepare(SmallWorkload()).ok());
+  rng::Engine engine(2);
+  EXPECT_EQ(mech->Answer(Vector(7, 0.0), 1.0, engine).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(MechanismContractTest, NonPositiveEpsilonRejected) {
+  auto mech = GetParam().make();
+  ASSERT_TRUE(mech->Prepare(SmallWorkload()).ok());
+  rng::Engine engine(3);
+  EXPECT_FALSE(mech->Answer(Vector(16, 1.0), 0.0, engine).ok());
+  EXPECT_FALSE(mech->Answer(Vector(16, 1.0), -2.0, engine).ok());
+}
+
+TEST_P(MechanismContractTest, AnswerHasOneEntryPerQuery) {
+  auto mech = GetParam().make();
+  ASSERT_TRUE(mech->Prepare(SmallWorkload()).ok());
+  rng::Engine engine(4);
+  const auto noisy = mech->Answer(Vector(16, 3.0), 0.5, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 6);
+  for (Index i = 0; i < noisy->size(); ++i) {
+    EXPECT_TRUE(std::isfinite((*noisy)[i])) << GetParam().name;
+  }
+}
+
+TEST_P(MechanismContractTest, DeterministicGivenEngineState) {
+  auto m1 = GetParam().make();
+  auto m2 = GetParam().make();
+  const workload::Workload w = SmallWorkload();
+  ASSERT_TRUE(m1->Prepare(w).ok());
+  ASSERT_TRUE(m2->Prepare(w).ok());
+  rng::Engine e1(42), e2(42);
+  const auto a = m1->Answer(Vector(16, 2.0), 1.0, e1);
+  const auto b = m2->Answer(Vector(16, 2.0), 1.0, e2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(ApproxEqual(*a, *b, 0.0)) << GetParam().name;
+}
+
+TEST_P(MechanismContractTest, ApproximatelyUnbiased) {
+  auto mech = GetParam().make();
+  const workload::Workload w = SmallWorkload();
+  ASSERT_TRUE(mech->Prepare(w).ok());
+  Vector data(16);
+  for (Index i = 0; i < 16; ++i) data[i] = 10.0 + static_cast<double>(i);
+  const Vector exact = w.Answer(data);
+  rng::Engine engine(5);
+  Vector mean(6);
+  const int reps = 3000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto noisy = mech->Answer(data, 2.0, engine);
+    ASSERT_TRUE(noisy.ok());
+    mean += *noisy;
+  }
+  mean /= static_cast<double>(reps);
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_NEAR(mean[i], exact[i], 0.05 * std::abs(exact[i]) + 2.0)
+        << GetParam().name << " query " << i;
+  }
+}
+
+TEST_P(MechanismContractTest, MoreBudgetNeverHurts) {
+  auto mech = GetParam().make();
+  const workload::Workload w = SmallWorkload();
+  ASSERT_TRUE(mech->Prepare(w).ok());
+  const Vector data(16, 50.0);
+  const Vector exact = w.Answer(data);
+  rng::Engine e1(6), e2(6);
+  eval::ErrorAccumulator strict, loose;
+  for (int rep = 0; rep < 600; ++rep) {
+    const auto a = mech->Answer(data, 0.05, e1);
+    const auto b = mech->Answer(data, 5.0, e2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    strict.Add(eval::TotalSquaredError(exact, *a));
+    loose.Add(eval::TotalSquaredError(exact, *b));
+  }
+  EXPECT_GT(strict.Mean(), loose.Mean()) << GetParam().name;
+}
+
+TEST_P(MechanismContractTest, RePrepareRebindsCleanly) {
+  auto mech = GetParam().make();
+  ASSERT_TRUE(mech->Prepare(SmallWorkload()).ok());
+  const auto other = workload::GenerateWRange(3, 8, 99);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(mech->Prepare(*other).ok());
+  rng::Engine engine(7);
+  const auto noisy = mech->Answer(Vector(8, 1.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismContractTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<MechanismCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace lrm

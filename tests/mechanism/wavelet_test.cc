@@ -1,0 +1,189 @@
+#include "mechanism/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "linalg/random_matrix.h"
+#include "workload/generators.h"
+
+namespace lrm::mechanism {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+TEST(HaarTransformTest, KnownSmallTransform) {
+  // x = (5, 1): base = 3, diff = 2.
+  const Vector c = HaarTransform(Vector{5.0, 1.0});
+  EXPECT_NEAR(c[0], 3.0, 1e-12);
+  EXPECT_NEAR(c[1], 2.0, 1e-12);
+}
+
+TEST(HaarTransformTest, SizeFourLayout) {
+  // x = (4, 2, 6, 0): averages (3, 3) → base 3, root diff 0;
+  // level-1 diffs: (4−2)/2 = 1 and (6−0)/2 = 3.
+  const Vector c = HaarTransform(Vector{4.0, 2.0, 6.0, 0.0});
+  EXPECT_NEAR(c[0], 3.0, 1e-12);
+  EXPECT_NEAR(c[1], 0.0, 1e-12);
+  EXPECT_NEAR(c[2], 1.0, 1e-12);
+  EXPECT_NEAR(c[3], 3.0, 1e-12);
+}
+
+class HaarRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaarRoundTripTest, InverseUndoesForward) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 17 + 1);
+  const Vector x = linalg::RandomGaussianVector(engine, n) * 100.0;
+  const Vector restored = InverseHaarTransform(HaarTransform(x));
+  EXPECT_TRUE(ApproxEqual(restored, x, 1e-9));
+}
+
+TEST_P(HaarRoundTripTest, ForwardUndoesInverse) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 23 + 2);
+  const Vector c = linalg::RandomGaussianVector(engine, n);
+  const Vector round = HaarTransform(InverseHaarTransform(c));
+  EXPECT_TRUE(ApproxEqual(round, c, 1e-9));
+}
+
+TEST_P(HaarRoundTripTest, TransformIsLinear) {
+  const Index n = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 29 + 3);
+  const Vector x = linalg::RandomGaussianVector(engine, n);
+  const Vector y = linalg::RandomGaussianVector(engine, n);
+  const Vector lhs = HaarTransform(x + y * 2.0);
+  const Vector rhs = HaarTransform(x) + HaarTransform(y) * 2.0;
+  EXPECT_TRUE(ApproxEqual(lhs, rhs, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, HaarRoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 1024));
+
+TEST(HaarWeightTest, WeightsFollowSubtreeSizes) {
+  // n = 8: base weight 8; root diff (index 1) weight 8; level-1 (2, 3)
+  // weight 4; level-2 (4..7) weight 2.
+  EXPECT_DOUBLE_EQ(HaarCoefficientWeight(0, 8), 8.0);
+  EXPECT_DOUBLE_EQ(HaarCoefficientWeight(1, 8), 8.0);
+  EXPECT_DOUBLE_EQ(HaarCoefficientWeight(2, 8), 4.0);
+  EXPECT_DOUBLE_EQ(HaarCoefficientWeight(3, 8), 4.0);
+  for (Index i = 4; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(HaarCoefficientWeight(i, 8), 2.0);
+  }
+}
+
+TEST(HaarWeightTest, GeneralizedSensitivityIsOnePlusLogN) {
+  EXPECT_DOUBLE_EQ(HaarGeneralizedSensitivity(1), 1.0);
+  EXPECT_DOUBLE_EQ(HaarGeneralizedSensitivity(2), 2.0);
+  EXPECT_DOUBLE_EQ(HaarGeneralizedSensitivity(1024), 11.0);
+}
+
+TEST(HaarWeightTest, UnitChangeSensitivityHoldsCoefficientwise) {
+  // Privelet's invariant: changing one count by 1 changes coefficient c by
+  // at most 1/weight(c), so Σ weight·|Δc| = ρ.
+  const Index n = 16;
+  for (Index j = 0; j < n; ++j) {
+    Vector x(n);
+    Vector x2(n);
+    x2[j] = 1.0;
+    const Vector c1 = HaarTransform(x);
+    const Vector c2 = HaarTransform(x2);
+    double weighted_change = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      weighted_change += HaarCoefficientWeight(i, n) * std::abs(c2[i] - c1[i]);
+    }
+    EXPECT_NEAR(weighted_change, HaarGeneralizedSensitivity(n), 1e-9)
+        << "unit change at " << j;
+  }
+}
+
+TEST(NextPowerOfTwoTest, RoundsUp) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024);
+}
+
+TEST(WaveletMechanismTest, AnswersHaveRightShape) {
+  WaveletMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(12, 50, 3);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  rng::Engine engine(11);
+  const StatusOr<Vector> noisy = mech.Answer(Vector(50, 2.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 12);
+}
+
+TEST(WaveletMechanismTest, NonPowerOfTwoDomainIsPadded) {
+  WaveletMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(5, 13, 5);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  rng::Engine engine(12);
+  EXPECT_TRUE(mech.Answer(Vector(13, 1.0), 1.0, engine).ok());
+}
+
+TEST(WaveletMechanismTest, UnbiasedOverManyRuns) {
+  WaveletMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(4, 16, 7);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  rng::Engine engine(13);
+  Vector data(16);
+  for (Index i = 0; i < 16; ++i) data[i] = static_cast<double>(i * i);
+  const Vector exact = w->Answer(data);
+  Vector mean(4);
+  const int reps = 3000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, 2.0, engine);
+    ASSERT_TRUE(noisy.ok());
+    mean += *noisy;
+  }
+  mean /= static_cast<double>(reps);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_NEAR(mean[i], exact[i], 0.12 * std::abs(exact[i]) + 2.0);
+  }
+}
+
+TEST(WaveletMechanismTest, EmpiricalErrorMatchesAnalytic) {
+  WaveletMechanism mech;
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(6, 32, 17);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const double epsilon = 1.0;
+  const auto analytic = mech.ExpectedSquaredError(epsilon);
+  ASSERT_TRUE(analytic.has_value());
+  ASSERT_GT(*analytic, 0.0);
+
+  const Vector data(32, 5.0);
+  const Vector exact = w->Answer(data);
+  rng::Engine engine(14);
+  eval::ErrorAccumulator acc;
+  for (int rep = 0; rep < 4000; ++rep) {
+    const StatusOr<Vector> noisy = mech.Answer(data, epsilon, engine);
+    ASSERT_TRUE(noisy.ok());
+    acc.Add(eval::TotalSquaredError(exact, *noisy));
+  }
+  EXPECT_NEAR(acc.Mean() / *analytic, 1.0, 0.15);
+}
+
+TEST(WaveletMechanismTest, BeatsNoiseOnDataForLargeRangeQueries) {
+  // Privelet's raison d'être: long range queries see polylog noise instead
+  // of linear-in-length noise.
+  const Index n = 256;
+  linalg::Matrix full_range(1, n, 1.0);  // one query summing everything
+  workload::Workload w("full-range", std::move(full_range));
+
+  WaveletMechanism wavelet;
+  ASSERT_TRUE(wavelet.Prepare(w).ok());
+  const double wavelet_error = *wavelet.ExpectedSquaredError(1.0);
+  const double nod_error = workload::ExpectedErrorNoiseOnData(w, 1.0);
+  EXPECT_LT(wavelet_error, nod_error / 2.0);
+}
+
+}  // namespace
+}  // namespace lrm::mechanism

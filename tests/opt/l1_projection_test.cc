@@ -1,0 +1,171 @@
+#include "opt/l1_projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::opt {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+using linalg::Vector;
+
+// Exhaustive reference: the projection equals soft-thresholding with the
+// theta that makes the result's L1 norm hit the radius. Verified by a
+// fine-grained scan over theta.
+Vector ReferenceProjection(const Vector& v, double radius) {
+  if (linalg::Norm1(v) <= radius) return v;
+  double lo = 0.0, hi = linalg::NormInf(v);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double theta = 0.5 * (lo + hi);
+    double norm = 0.0;
+    for (Index i = 0; i < v.size(); ++i) {
+      norm += std::max(std::abs(v[i]) - theta, 0.0);
+    }
+    if (norm > radius) {
+      lo = theta;
+    } else {
+      hi = theta;
+    }
+  }
+  const double theta = 0.5 * (lo + hi);
+  Vector result(v.size());
+  for (Index i = 0; i < v.size(); ++i) {
+    const double magnitude = std::max(std::abs(v[i]) - theta, 0.0);
+    result[i] = std::copysign(magnitude, v[i]);
+  }
+  return result;
+}
+
+TEST(L1ProjectionTest, PointInsideBallUnchanged) {
+  Vector v{0.2, -0.3, 0.1};
+  const Vector original = v;
+  ProjectOntoL1Ball(v, 1.0);
+  EXPECT_TRUE(ApproxEqual(v, original, 0.0));
+}
+
+TEST(L1ProjectionTest, PointOnBoundaryUnchanged) {
+  Vector v{0.5, -0.5};
+  const Vector original = v;
+  ProjectOntoL1Ball(v, 1.0);
+  EXPECT_TRUE(ApproxEqual(v, original, 1e-15));
+}
+
+TEST(L1ProjectionTest, KnownProjection) {
+  // Projecting (2, 0) onto the unit L1 ball gives (1, 0).
+  Vector v{2.0, 0.0};
+  ProjectOntoL1Ball(v, 1.0);
+  EXPECT_TRUE(ApproxEqual(v, Vector{1.0, 0.0}, 1e-12));
+}
+
+TEST(L1ProjectionTest, SymmetricPointShrinksUniformly) {
+  // (1, 1) projects to (0.5, 0.5) on the unit ball.
+  Vector v{1.0, 1.0};
+  ProjectOntoL1Ball(v, 1.0);
+  EXPECT_TRUE(ApproxEqual(v, Vector{0.5, 0.5}, 1e-12));
+}
+
+TEST(L1ProjectionTest, SignsArePreserved) {
+  Vector v{3.0, -4.0, 0.5};
+  ProjectOntoL1Ball(v, 2.0);
+  EXPECT_GE(v[0], 0.0);
+  EXPECT_LE(v[1], 0.0);
+  EXPECT_GE(v[2], 0.0);
+}
+
+TEST(L1ProjectionTest, ZeroRadiusZeroesVector) {
+  Vector v{1.0, -2.0};
+  ProjectOntoL1Ball(v, 0.0);
+  EXPECT_TRUE(ApproxEqual(v, Vector{0.0, 0.0}, 0.0));
+}
+
+TEST(L1ProjectionTest, EmptyVectorIsNoop) {
+  Vector v;
+  ProjectOntoL1Ball(v, 1.0);
+  EXPECT_TRUE(v.empty());
+}
+
+class L1ProjectionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(L1ProjectionPropertyTest, ResultIsFeasible) {
+  const auto [dim, radius] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(dim * 1000 + radius * 10));
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector v = linalg::RandomGaussianVector(engine, dim) * 5.0;
+    ProjectOntoL1Ball(v, radius);
+    EXPECT_LE(linalg::Norm1(v), radius + 1e-9);
+  }
+}
+
+TEST_P(L1ProjectionPropertyTest, ProjectionIsIdempotent) {
+  const auto [dim, radius] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(dim * 77 + radius));
+  Vector v = linalg::RandomGaussianVector(engine, dim) * 3.0;
+  ProjectOntoL1Ball(v, radius);
+  Vector again = v;
+  ProjectOntoL1Ball(again, radius);
+  EXPECT_TRUE(ApproxEqual(again, v, 1e-12));
+}
+
+TEST_P(L1ProjectionPropertyTest, MatchesReferenceBisection) {
+  const auto [dim, radius] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(dim * 31 + radius * 7 + 1));
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vector original = linalg::RandomGaussianVector(engine, dim) * 4.0;
+    Vector fast = original;
+    ProjectOntoL1Ball(fast, radius);
+    const Vector reference = ReferenceProjection(original, radius);
+    EXPECT_TRUE(ApproxEqual(fast, reference, 1e-6))
+        << "dim=" << dim << " radius=" << radius;
+  }
+}
+
+TEST_P(L1ProjectionPropertyTest, NoFeasiblePointIsCloser) {
+  // Optimality spot-check: random feasible points are never closer to the
+  // original than the projection.
+  const auto [dim, radius] = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(dim * 13 + radius * 3 + 2));
+  const Vector original = linalg::RandomGaussianVector(engine, dim) * 4.0;
+  Vector projected = original;
+  ProjectOntoL1Ball(projected, radius);
+  const double d_star = linalg::SquaredNorm(original - projected);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector candidate = linalg::RandomGaussianVector(engine, dim);
+    ProjectOntoL1Ball(candidate, radius);  // make it feasible
+    EXPECT_GE(linalg::SquaredNorm(original - candidate), d_star - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndRadii, L1ProjectionPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 20, 100),
+                       ::testing::Values(0.5, 1.0, 3.0)));
+
+TEST(ProjectColumnsTest, EveryColumnFeasible) {
+  rng::Engine engine(99);
+  Matrix m = linalg::RandomGaussianMatrix(engine, 10, 8) * 3.0;
+  ProjectColumnsOntoL1Ball(m, 1.0);
+  for (Index j = 0; j < m.cols(); ++j) {
+    EXPECT_LE(linalg::ColumnAbsSum(m, j), 1.0 + 1e-9);
+  }
+}
+
+TEST(ProjectColumnsTest, MatchesPerVectorProjection) {
+  rng::Engine engine(100);
+  const Matrix original = linalg::RandomGaussianMatrix(engine, 6, 4) * 2.0;
+  Matrix projected = original;
+  ProjectColumnsOntoL1Ball(projected, 1.0);
+  for (Index j = 0; j < original.cols(); ++j) {
+    Vector column = original.Column(j);
+    ProjectOntoL1Ball(column, 1.0);
+    EXPECT_TRUE(ApproxEqual(projected.Column(j), column, 1e-12));
+  }
+}
+
+}  // namespace
+}  // namespace lrm::opt

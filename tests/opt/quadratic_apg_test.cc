@@ -1,0 +1,134 @@
+#include "opt/quadratic_apg.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random_matrix.h"
+#include "opt/apg.h"
+#include "opt/l1_projection.h"
+#include "rng/engine.h"
+
+namespace lrm::opt {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+
+double InnerProduct(const Matrix& a, const Matrix& b) {
+  double result = 0.0;
+  for (Index i = 0; i < a.size(); ++i) result += a.data()[i] * b.data()[i];
+  return result;
+}
+
+Matrix RandomSpd(rng::Engine& engine, Index r, double ridge) {
+  const Matrix g = linalg::RandomGaussianMatrix(engine, r, r);
+  Matrix h = linalg::GramAtA(g);
+  for (Index i = 0; i < r; ++i) h(i, i) += ridge;
+  return h;
+}
+
+TEST(QuadraticApgTest, RejectsBadInputs) {
+  const Matrix h = Matrix::Identity(3);
+  const Matrix t(3, 5);
+  EXPECT_FALSE(QuadraticApg(h, t, nullptr, Matrix(3, 5)).ok());
+  EXPECT_FALSE(
+      QuadraticApg(Matrix(3, 2), t, [](Matrix&) {}, Matrix(3, 5)).ok());
+  EXPECT_FALSE(QuadraticApg(h, t, [](Matrix&) {}, Matrix(2, 5)).ok());
+}
+
+TEST(QuadraticApgTest, UnconstrainedSolvesLinearSystem) {
+  // min ½<X,HX> − <T,X> without constraints ⇒ H·X = T.
+  rng::Engine engine(1);
+  const Matrix h = RandomSpd(engine, 4, 2.0);
+  const Matrix t = linalg::RandomGaussianMatrix(engine, 4, 6);
+  const auto result =
+      QuadraticApg(h, t, [](Matrix&) {}, Matrix(4, 6),
+                   {.max_iterations = 2000, .tolerance = 1e-12});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ApproxEqual(h * result->solution, t, 1e-5));
+}
+
+TEST(QuadraticApgTest, ZeroHessianPushesToBoundary) {
+  // H = 0 makes the objective linear: maximize <T, X> over the ball.
+  const Matrix h(2, 2);
+  Matrix t(2, 3);
+  t(0, 0) = 1.0;  // column 0 wants all mass on row 0
+  const auto result = QuadraticApg(
+      h, t, [](Matrix& x) { ProjectColumnsOntoL1Ball(x, 1.0); },
+      Matrix(2, 3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution(0, 0), 1.0, 1e-9);
+}
+
+class QuadraticApgAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadraticApgAgreementTest, MatchesGenericApgOnLSubproblemShape) {
+  // The fast path must land on the same objective value as the generic
+  // backtracking solver for the paper's Formula-10 shape.
+  rng::Engine engine(static_cast<std::uint64_t>(GetParam()));
+  const Index r = 5, n = 9;
+  const Matrix h = RandomSpd(engine, r, 0.5);
+  const Matrix t = linalg::RandomGaussianMatrix(engine, r, n);
+  auto projection = [](Matrix& x) { ProjectColumnsOntoL1Ball(x, 1.0); };
+  auto objective = [&](const Matrix& x) {
+    return 0.5 * InnerProduct(x, h * x) - InnerProduct(t, x);
+  };
+  auto gradient = [&](const Matrix& x) {
+    Matrix g = h * x;
+    g -= t;
+    return g;
+  };
+
+  const auto fast = QuadraticApg(h, t, projection, Matrix(r, n),
+                                 {.max_iterations = 3000,
+                                  .tolerance = 1e-13});
+  const auto generic = AcceleratedProjectedGradient(
+      objective, gradient, projection, Matrix(r, n),
+      {.max_iterations = 3000, .tolerance = 1e-13});
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(generic.ok());
+  const double f_fast = objective(fast->solution);
+  EXPECT_NEAR(f_fast, generic->final_objective,
+              1e-6 * (1.0 + std::abs(f_fast)));
+}
+
+TEST_P(QuadraticApgAgreementTest, SolutionIsFeasibleAndStationary) {
+  rng::Engine engine(static_cast<std::uint64_t>(GetParam()) + 100);
+  const Index r = 4, n = 7;
+  const Matrix h = RandomSpd(engine, r, 0.2);
+  const Matrix t = linalg::RandomGaussianMatrix(engine, r, n);
+  auto projection = [](Matrix& x) { ProjectColumnsOntoL1Ball(x, 1.0); };
+  const auto result = QuadraticApg(h, t, projection, Matrix(r, n),
+                                   {.max_iterations = 5000,
+                                    .tolerance = 1e-13});
+  ASSERT_TRUE(result.ok());
+  const Matrix& x_star = result->solution;
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_LE(linalg::ColumnAbsSum(x_star, j), 1.0 + 1e-9);
+  }
+  // Variational inequality at the solution.
+  Matrix grad = h * x_star;
+  grad -= t;
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix y = linalg::RandomGaussianMatrix(engine, r, n);
+    projection(y);
+    Matrix direction = y;
+    direction -= x_star;
+    EXPECT_GE(InnerProduct(grad, direction), -1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuadraticApgAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(QuadraticApgTest, LipschitzMatchesLargestEigenvalue) {
+  // For diag(1, 9) the top eigenvalue is 9; the solver's estimate must be
+  // within the documented 2% safety margin.
+  const Matrix h = Matrix::Diagonal(linalg::Vector{1.0, 9.0});
+  const Matrix t(2, 2);
+  const auto result = QuadraticApg(h, t, [](Matrix&) {}, Matrix(2, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->lipschitz, 9.0 * 1.02, 0.2);
+}
+
+}  // namespace
+}  // namespace lrm::opt

@@ -1,0 +1,98 @@
+#include "opt/smooth_max.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::opt {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+double HardMax(const Vector& v) {
+  double m = v[0];
+  for (Index i = 1; i < v.size(); ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+class SmoothMaxPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmoothMaxPropertyTest, BoundsFromAppendixB) {
+  // max(v) ≤ fμ(v) ≤ max(v) + μ·log n.
+  const double mu = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(mu * 1e6) + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector v = linalg::RandomGaussianVector(engine, 17) * 10.0;
+    const double smooth = SmoothMax(v, mu);
+    const double hard = HardMax(v);
+    EXPECT_GE(smooth, hard - 1e-12);
+    EXPECT_LE(smooth, hard + mu * std::log(17.0) + 1e-12);
+  }
+}
+
+TEST_P(SmoothMaxPropertyTest, GradientIsSoftmax) {
+  const double mu = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(mu * 1e5) + 7);
+  const Vector v = linalg::RandomGaussianVector(engine, 9) * 5.0;
+  const Vector g = SmoothMaxGradient(v, mu);
+  // Softmax weights: non-negative, sum to 1.
+  double total = 0.0;
+  for (Index i = 0; i < g.size(); ++i) {
+    EXPECT_GE(g[i], 0.0);
+    total += g[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST_P(SmoothMaxPropertyTest, GradientMatchesFiniteDifferences) {
+  const double mu = GetParam();
+  rng::Engine engine(static_cast<std::uint64_t>(mu * 1e4) + 11);
+  Vector v = linalg::RandomGaussianVector(engine, 6);
+  const Vector g = SmoothMaxGradient(v, mu);
+  const double h = 1e-6;
+  for (Index i = 0; i < v.size(); ++i) {
+    Vector plus = v, minus = v;
+    plus[i] += h;
+    minus[i] -= h;
+    const double fd = (SmoothMax(plus, mu) - SmoothMax(minus, mu)) / (2 * h);
+    EXPECT_NEAR(g[i], fd, 1e-4) << "component " << i << " mu " << mu;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, SmoothMaxPropertyTest,
+                         ::testing::Values(0.01, 0.1, 1.0));
+
+TEST(SmoothMaxTest, LargeValuesDoNotOverflow) {
+  const Vector v{1e8, 1e8 - 1.0, 0.0};
+  const double result = SmoothMax(v, 0.5);
+  EXPECT_TRUE(std::isfinite(result));
+  EXPECT_GE(result, 1e8);
+  const Vector g = SmoothMaxGradient(v, 0.5);
+  for (Index i = 0; i < 3; ++i) EXPECT_TRUE(std::isfinite(g[i]));
+}
+
+TEST(SmoothMaxTest, SingleElement) {
+  EXPECT_NEAR(SmoothMax(Vector{4.2}, 0.1), 4.2, 1e-12);
+  EXPECT_NEAR(SmoothMaxGradient(Vector{4.2}, 0.1)[0], 1.0, 1e-12);
+}
+
+TEST(SmoothMaxTest, TiesShareGradientEqually) {
+  const Vector g = SmoothMaxGradient(Vector{3.0, 3.0, -100.0}, 0.1);
+  EXPECT_NEAR(g[0], 0.5, 1e-9);
+  EXPECT_NEAR(g[1], 0.5, 1e-9);
+  EXPECT_NEAR(g[2], 0.0, 1e-9);
+}
+
+TEST(SmoothMaxTest, SmallMuApproachesHardMax) {
+  const Vector v{1.0, 2.0, 5.0, 3.0};
+  EXPECT_NEAR(SmoothMax(v, 1e-4), 5.0, 1e-3);
+  const Vector g = SmoothMaxGradient(v, 1e-4);
+  EXPECT_NEAR(g[2], 1.0, 1e-6);  // argmax gets all the weight
+}
+
+}  // namespace
+}  // namespace lrm::opt

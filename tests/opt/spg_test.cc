@@ -1,0 +1,136 @@
+#include "opt/spg.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+
+namespace lrm::opt {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+
+TEST(SpgTest, RejectsNullCallbacks) {
+  EXPECT_FALSE(
+      SpectralProjectedGradient(nullptr, nullptr, nullptr, Matrix(2, 2))
+          .ok());
+}
+
+TEST(SpgTest, UnconstrainedQuadratic) {
+  const Matrix target{{2.0, 1.0}, {-1.0, 0.0}};
+  auto objective = [&target](const Matrix& x) {
+    Matrix d = x;
+    d -= target;
+    return 0.5 * linalg::SquaredFrobeniusNorm(d);
+  };
+  auto gradient = [&target](const Matrix& x) {
+    Matrix d = x;
+    d -= target;
+    return d;
+  };
+  auto projection = [](Matrix&) {};
+  const StatusOr<SpgResult> result = SpectralProjectedGradient(
+      objective, gradient, projection, Matrix(2, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ApproxEqual(result->solution, target, 1e-5));
+}
+
+TEST(SpgTest, BoxConstrainedQuadratic) {
+  // min ½‖X − T‖² over entries clamped to [0, 1]: solution is clamp(T).
+  const Matrix target{{2.0, -1.0}, {0.5, 0.3}};
+  auto objective = [&target](const Matrix& x) {
+    Matrix d = x;
+    d -= target;
+    return 0.5 * linalg::SquaredFrobeniusNorm(d);
+  };
+  auto gradient = [&target](const Matrix& x) {
+    Matrix d = x;
+    d -= target;
+    return d;
+  };
+  auto projection = [](Matrix& x) {
+    for (Index i = 0; i < x.size(); ++i) {
+      x.data()[i] = std::clamp(x.data()[i], 0.0, 1.0);
+    }
+  };
+  const StatusOr<SpgResult> result = SpectralProjectedGradient(
+      objective, gradient, projection, Matrix(2, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ApproxEqual(result->solution,
+                          Matrix{{1.0, 0.0}, {0.5, 0.3}}, 1e-5));
+}
+
+TEST(SpgTest, PsdConstrainedProblem) {
+  // The matrix-mechanism shape in miniature: minimize ½‖M − T‖² over the
+  // PSD cone; the solution is the PSD projection of (symmetrized) T.
+  const Matrix t{{1.0, 0.0}, {0.0, -2.0}};
+  auto objective = [&t](const Matrix& m) {
+    Matrix d = m;
+    d -= t;
+    return 0.5 * linalg::SquaredFrobeniusNorm(d);
+  };
+  auto gradient = [&t](const Matrix& m) {
+    Matrix d = m;
+    d -= t;
+    return d;
+  };
+  auto projection = [](Matrix& m) {
+    const StatusOr<Matrix> p = linalg::ProjectToPsdCone(m);
+    if (p.ok()) m = *p;
+  };
+  const StatusOr<SpgResult> result = SpectralProjectedGradient(
+      objective, gradient, projection, Matrix::Identity(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ApproxEqual(result->solution,
+                          Matrix{{1.0, 0.0}, {0.0, 0.0}}, 1e-5));
+}
+
+TEST(SpgTest, NonmonotoneSearchHandlesIllConditioning) {
+  // Strongly anisotropic quadratic: f(x) = ½ xᵀ diag(1, 1000) x; spectral
+  // steps should still converge quickly from a far-away start.
+  auto objective = [](const Matrix& x) {
+    return 0.5 * (x(0, 0) * x(0, 0) + 1000.0 * x(1, 0) * x(1, 0));
+  };
+  auto gradient = [](const Matrix& x) {
+    Matrix g(2, 1);
+    g(0, 0) = x(0, 0);
+    g(1, 0) = 1000.0 * x(1, 0);
+    return g;
+  };
+  auto projection = [](Matrix&) {};
+  Matrix x0(2, 1);
+  x0(0, 0) = 50.0;
+  x0(1, 0) = 50.0;
+  SpgOptions options;
+  options.max_iterations = 300;
+  const StatusOr<SpgResult> result = SpectralProjectedGradient(
+      objective, gradient, projection, x0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->final_objective, 0.0, 1e-6);
+}
+
+TEST(SpgTest, InitialPointIsProjectedToFeasibility) {
+  auto objective = [](const Matrix& x) {
+    return linalg::SquaredFrobeniusNorm(x);
+  };
+  auto gradient = [](const Matrix& x) {
+    Matrix g = x;
+    g *= 2.0;
+    return g;
+  };
+  // Feasible set: entries ≥ 2.
+  auto projection = [](Matrix& x) {
+    for (Index i = 0; i < x.size(); ++i) {
+      x.data()[i] = std::max(x.data()[i], 2.0);
+    }
+  };
+  const StatusOr<SpgResult> result = SpectralProjectedGradient(
+      objective, gradient, projection, Matrix(1, 1));  // infeasible start
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution(0, 0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lrm::opt

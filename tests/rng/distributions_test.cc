@@ -1,0 +1,178 @@
+#include "rng/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/engine.h"
+
+namespace lrm::rng {
+namespace {
+
+TEST(UniformTest, WithinBounds) {
+  Engine e(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = SampleUniform(e, -3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(UniformIntTest, CoversFullRangeInclusive) {
+  Engine e(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = SampleUniformInt(e, 0, 9);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, 9);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformIntTest, DegenerateRange) {
+  Engine e(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SampleUniformInt(e, 4, 4), 4);
+}
+
+TEST(UniformIntTest, NegativeRange) {
+  Engine e(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = SampleUniformInt(e, -5, -1);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, -1);
+  }
+}
+
+TEST(BernoulliTest, MatchesProbability) {
+  Engine e(5);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (SampleBernoulli(e, 0.02)) ++hits;
+  }
+  // p = 0.02: stderr ≈ sqrt(0.02·0.98/1e5) ≈ 4.4e-4; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.02, 0.0025);
+}
+
+TEST(BernoulliTest, ExtremeProbabilities) {
+  Engine e(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SampleBernoulli(e, 0.0));
+    EXPECT_TRUE(SampleBernoulli(e, 1.0));
+  }
+}
+
+TEST(GaussianTest, FirstTwoMoments) {
+  Engine e(7);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleGaussian(e);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+// The privacy-critical property: Laplace(b) must have mean 0 and variance
+// 2b² (paper §3.1 relies on Var[Lap(s)] = 2s²). Checked across scales.
+class LaplaceVarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceVarianceTest, MeanZeroVarianceTwoBSquared) {
+  const double scale = GetParam();
+  Engine e(static_cast<std::uint64_t>(scale * 1000) + 11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleLaplace(e, scale);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05 * scale + 1e-12);
+  EXPECT_NEAR(variance / (2.0 * scale * scale + 1e-300), 1.0, 0.06)
+      << "scale=" << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, LaplaceVarianceTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 25.0));
+
+TEST(LaplaceTest, ZeroScaleIsNoiseless) {
+  Engine e(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleLaplace(e, 0.0), 0.0);
+}
+
+TEST(LaplaceTest, SymmetricAroundZero) {
+  Engine e(17);
+  const int n = 100000;
+  int positive = 0;
+  for (int i = 0; i < n; ++i) {
+    if (SampleLaplace(e, 2.0) > 0.0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.01);
+}
+
+TEST(LaplaceVectorTest, SizeAndIndependence) {
+  Engine e(19);
+  const std::vector<double> v = SampleLaplaceVector(e, 1000, 1.0);
+  ASSERT_EQ(v.size(), 1000u);
+  // Neighboring draws should be uncorrelated.
+  double corr = 0.0;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) corr += v[i] * v[i + 1];
+  corr /= static_cast<double>(v.size() - 1);
+  EXPECT_NEAR(corr, 0.0, 0.5);
+}
+
+TEST(ExponentialTest, MeanIsOneOverLambda) {
+  Engine e(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += SampleExponential(e, 4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.5);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= 100; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  const ZipfSampler zipf(50, 1.2);
+  for (std::size_t k = 2; k <= 50; ++k) {
+    EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1));
+  }
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  const ZipfSampler zipf(10, 1.0);
+  Engine e(29);
+  const int n = 200000;
+  std::vector<int> histogram(11, 0);
+  for (int i = 0; i < n; ++i) {
+    const std::size_t k = zipf.Sample(e);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 10u);
+    ++histogram[k];
+  }
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(histogram[k]) / n, zipf.Pmf(k), 0.01)
+        << "k=" << k;
+  }
+}
+
+TEST(ZipfTest, SupportSizeOne) {
+  const ZipfSampler zipf(1, 2.0);
+  Engine e(31);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(e), 1u);
+  EXPECT_NEAR(zipf.Pmf(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lrm::rng

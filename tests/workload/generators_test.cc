@@ -1,0 +1,203 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/svd.h"
+
+namespace lrm::workload {
+namespace {
+
+using linalg::Index;
+
+TEST(WDiscreteTest, EntriesArePlusMinusOne) {
+  const StatusOr<Workload> w = GenerateWDiscrete(20, 50, 1);
+  ASSERT_TRUE(w.ok());
+  for (Index i = 0; i < w->num_queries(); ++i) {
+    for (Index j = 0; j < w->domain_size(); ++j) {
+      const double value = w->matrix()(i, j);
+      EXPECT_TRUE(value == 1.0 || value == -1.0);
+    }
+  }
+}
+
+TEST(WDiscreteTest, PositiveFractionNearProbability) {
+  const StatusOr<Workload> w = GenerateWDiscrete(100, 500, 2);
+  ASSERT_TRUE(w.ok());
+  Index positives = 0;
+  for (Index i = 0; i < w->num_queries(); ++i) {
+    for (Index j = 0; j < w->domain_size(); ++j) {
+      if (w->matrix()(i, j) == 1.0) ++positives;
+    }
+  }
+  const double fraction =
+      static_cast<double>(positives) / static_cast<double>(100 * 500);
+  EXPECT_NEAR(fraction, 0.02, 0.005);  // paper default p = 0.02
+}
+
+TEST(WDiscreteTest, CustomProbability) {
+  WDiscreteOptions options;
+  options.positive_probability = 0.5;
+  const StatusOr<Workload> w = GenerateWDiscrete(50, 200, 3, options);
+  ASSERT_TRUE(w.ok());
+  Index positives = 0;
+  for (Index i = 0; i < 50; ++i) {
+    for (Index j = 0; j < 200; ++j) {
+      if (w->matrix()(i, j) == 1.0) ++positives;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(positives) / 10000.0, 0.5, 0.05);
+}
+
+TEST(WDiscreteTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(GenerateWDiscrete(0, 10, 1).ok());
+  EXPECT_FALSE(GenerateWDiscrete(10, 0, 1).ok());
+  WDiscreteOptions bad;
+  bad.positive_probability = 1.5;
+  EXPECT_FALSE(GenerateWDiscrete(10, 10, 1, bad).ok());
+}
+
+TEST(WRangeTest, RowsAreContiguousRanges) {
+  const StatusOr<Workload> w = GenerateWRange(50, 64, 4);
+  ASSERT_TRUE(w.ok());
+  for (Index i = 0; i < w->num_queries(); ++i) {
+    // Each row must be 0…0 1…1 0…0 with at least one 1.
+    Index first = -1, last = -1;
+    for (Index j = 0; j < w->domain_size(); ++j) {
+      const double value = w->matrix()(i, j);
+      ASSERT_TRUE(value == 0.0 || value == 1.0);
+      if (value == 1.0) {
+        if (first < 0) first = j;
+        last = j;
+      }
+    }
+    ASSERT_GE(first, 0) << "empty range in row " << i;
+    for (Index j = first; j <= last; ++j) {
+      EXPECT_EQ(w->matrix()(i, j), 1.0) << "hole in range at row " << i;
+    }
+  }
+}
+
+TEST(WRangeTest, SensitivityGrowsWithQueries) {
+  // More overlapping ranges → larger column sums.
+  const StatusOr<Workload> small = GenerateWRange(10, 64, 5);
+  const StatusOr<Workload> large = GenerateWRange(200, 64, 5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->L1Sensitivity(), small->L1Sensitivity());
+}
+
+TEST(WRelatedTest, RankEqualsBaseRank) {
+  const StatusOr<Workload> w = GenerateWRelated(30, 40, 6, 6);
+  ASSERT_TRUE(w.ok());
+  const StatusOr<Index> rank = linalg::EstimateRank(w->matrix());
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, 6);
+}
+
+TEST(WRelatedTest, RankSaturatesAtMinDimension) {
+  const StatusOr<Workload> w = GenerateWRelated(10, 40, 25, 7);
+  ASSERT_TRUE(w.ok());
+  const StatusOr<Index> rank = linalg::EstimateRank(w->matrix());
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, 10);  // min(m, n, s) = m = 10
+}
+
+TEST(WRelatedTest, RejectsInvalidBaseRank) {
+  EXPECT_FALSE(GenerateWRelated(10, 10, 0, 1).ok());
+}
+
+class GeneratorDeterminismTest
+    : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameWorkload) {
+  const StatusOr<Workload> a = GenerateWorkload(GetParam(), 16, 32, 4, 77);
+  const StatusOr<Workload> b = GenerateWorkload(GetParam(), 16, 32, 4, 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(linalg::ApproxEqual(a->matrix(), b->matrix(), 0.0));
+}
+
+TEST_P(GeneratorDeterminismTest, DifferentSeedsDiffer) {
+  const StatusOr<Workload> a = GenerateWorkload(GetParam(), 16, 32, 4, 1);
+  const StatusOr<Workload> b = GenerateWorkload(GetParam(), 16, 32, 4, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(linalg::ApproxEqual(a->matrix(), b->matrix(), 1e-12));
+}
+
+TEST_P(GeneratorDeterminismTest, ShapeMatchesRequest) {
+  const StatusOr<Workload> w = GenerateWorkload(GetParam(), 16, 32, 4, 3);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_queries(), 16);
+  EXPECT_EQ(w->domain_size(), 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorDeterminismTest,
+                         ::testing::Values(WorkloadKind::kWDiscrete,
+                                           WorkloadKind::kWRange,
+                                           WorkloadKind::kWRelated));
+
+TEST(PrefixSumsTest, LowerTriangularStructure) {
+  const StatusOr<Workload> w = GeneratePrefixSums(5);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_queries(), 5);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      EXPECT_EQ(w->matrix()(i, j), j <= i ? 1.0 : 0.0);
+    }
+  }
+  // Every count appears in the suffix of queries: sensitivity n (first
+  // column: all n queries contain x_1).
+  EXPECT_DOUBLE_EQ(w->L1Sensitivity(), 5.0);
+}
+
+TEST(PrefixSumsTest, FullRank) {
+  const StatusOr<Workload> w = GeneratePrefixSums(12);
+  ASSERT_TRUE(w.ok());
+  const StatusOr<Index> rank = linalg::EstimateRank(w->matrix());
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, 12);  // the prefix matrix is invertible
+}
+
+TEST(AllRangesTest, CountAndStructure) {
+  const StatusOr<Workload> w = GenerateAllRanges(4);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_queries(), 10);  // 4·5/2
+  // Each row is one contiguous run of ones; all rows distinct.
+  for (Index i = 0; i < w->num_queries(); ++i) {
+    Index first = -1, last = -1;
+    for (Index j = 0; j < 4; ++j) {
+      if (w->matrix()(i, j) == 1.0) {
+        if (first < 0) first = j;
+        last = j;
+      } else {
+        EXPECT_EQ(w->matrix()(i, j), 0.0);
+      }
+    }
+    ASSERT_GE(first, 0);
+    for (Index j = first; j <= last; ++j) {
+      EXPECT_EQ(w->matrix()(i, j), 1.0);
+    }
+  }
+}
+
+TEST(AllRangesTest, MiddleColumnHasMaxSensitivity) {
+  // x_j appears in (j+1)·(n−j) ranges; the middle column maximizes it.
+  const StatusOr<Workload> w = GenerateAllRanges(5);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w->L1Sensitivity(), 9.0);  // 3·3 at the center
+}
+
+TEST(ExtendedWorkloadsTest, RejectBadSizes) {
+  EXPECT_FALSE(GeneratePrefixSums(0).ok());
+  EXPECT_FALSE(GenerateAllRanges(-1).ok());
+}
+
+TEST(WorkloadKindTest, NamesMatchPaper) {
+  EXPECT_EQ(WorkloadKindName(WorkloadKind::kWDiscrete), "WDiscrete");
+  EXPECT_EQ(WorkloadKindName(WorkloadKind::kWRange), "WRange");
+  EXPECT_EQ(WorkloadKindName(WorkloadKind::kWRelated), "WRelated");
+}
+
+}  // namespace
+}  // namespace lrm::workload

@@ -1,0 +1,99 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace lrm::workload {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Workload IntroWorkload() {
+  // The paper's §1 example: q1 = q2 + q3 over four states.
+  return Workload("intro", Matrix{{1.0, 1.0, 1.0, 1.0},
+                                  {1.0, 1.0, 0.0, 0.0},
+                                  {0.0, 0.0, 1.0, 1.0}});
+}
+
+TEST(WorkloadTest, DimensionsAndName) {
+  const Workload w = IntroWorkload();
+  EXPECT_EQ(w.name(), "intro");
+  EXPECT_EQ(w.num_queries(), 3);
+  EXPECT_EQ(w.domain_size(), 4);
+}
+
+TEST(WorkloadTest, AnswerComputesExactResults) {
+  const Workload w = IntroWorkload();
+  // Patient counts from Figure 1(b): NY, NJ, CA, WA.
+  const Vector data{82700.0, 19000.0, 67000.0, 5900.0};
+  const Vector answers = w.Answer(data);
+  EXPECT_DOUBLE_EQ(answers[0], 174600.0);  // q1: all four states
+  EXPECT_DOUBLE_EQ(answers[1], 101700.0);  // q2: NY + NJ
+  EXPECT_DOUBLE_EQ(answers[2], 72900.0);   // q3: CA + WA
+}
+
+TEST(WorkloadTest, IntroExampleSensitivityIsTwo) {
+  // §1: "the query set {q1, q2, q3} has a sensitivity of 2".
+  EXPECT_DOUBLE_EQ(IntroWorkload().L1Sensitivity(), 2.0);
+}
+
+TEST(WorkloadTest, SubsetSensitivityIsOne) {
+  // §1: "the sensitivity of the query set {q2, q3} is 1".
+  const Workload w("subset", Matrix{{1.0, 1.0, 0.0, 0.0},
+                                    {0.0, 0.0, 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(w.L1Sensitivity(), 1.0);
+}
+
+TEST(WorkloadTest, SecondIntroExampleSensitivityIsFive) {
+  // §1's harder example: a WA record affects q1 by 1 and q2, q3 by 2 each.
+  const Workload w("intro2", Matrix{{0.0, 2.0, 1.0, 1.0},
+                                    {0.0, 1.0, 0.0, 2.0},
+                                    {1.0, 0.0, 2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(w.L1Sensitivity(), 5.0);
+}
+
+TEST(WorkloadTest, SquaredFrobeniusNorm) {
+  const Workload w("f", Matrix{{1.0, -2.0}, {2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(w.SquaredFrobeniusNorm(), 9.0);
+}
+
+TEST(ExpectedErrorTest, NoiseOnDataFormula) {
+  // §3.2: E = 2Δ²/ε²·ΣWᵢⱼ² with Δ = 1.
+  const Workload w = IntroWorkload();
+  // ΣW² = 8 → at ε = 0.5: 2·8/0.25 = 64.
+  EXPECT_DOUBLE_EQ(ExpectedErrorNoiseOnData(w, 0.5), 64.0);
+}
+
+TEST(ExpectedErrorTest, NoiseOnResultsFormula) {
+  // §3.2: E = 2m·Δ'²/ε².
+  const Workload w = IntroWorkload();
+  // m = 3, Δ' = 2 → at ε = 1: 2·3·4 = 24.
+  EXPECT_DOUBLE_EQ(ExpectedErrorNoiseOnResults(w, 1.0), 24.0);
+}
+
+TEST(ExpectedErrorTest, IntroNodBeatsNorOnThisWorkload) {
+  // §1 computes NOD per-query variances 8/ε², 4/ε², 4/ε² (total 16/ε²)
+  // for the intro workload; NOR costs 2·3·4/ε² = 24/ε².
+  const Workload w = IntroWorkload();
+  EXPECT_DOUBLE_EQ(ExpectedErrorNoiseOnData(w, 1.0), 16.0);
+  EXPECT_LT(ExpectedErrorNoiseOnData(w, 1.0),
+            ExpectedErrorNoiseOnResults(w, 1.0));
+}
+
+TEST(ExpectedErrorTest, CrossoverMatchesTheory) {
+  // §3.2: NOR beats NOD iff m·maxⱼΣᵢWᵢⱼ² < ΣⱼΣᵢWᵢⱼ². A single-row
+  // workload over many columns is such a case.
+  const Workload wide("wide", Matrix{{1.0, 1.0, 1.0, 1.0, 1.0, 1.0}});
+  EXPECT_LT(ExpectedErrorNoiseOnResults(wide, 1.0),
+            ExpectedErrorNoiseOnData(wide, 1.0));
+}
+
+TEST(ExpectedErrorTest, ScalesInverseQuadraticallyWithEpsilon) {
+  const Workload w = IntroWorkload();
+  EXPECT_NEAR(ExpectedErrorNoiseOnData(w, 0.1) /
+                  ExpectedErrorNoiseOnData(w, 1.0),
+              100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lrm::workload
