@@ -1,0 +1,56 @@
+# Resolve a GoogleTest to link tests against, preferring offline sources.
+#
+# Resolution order:
+#   1. LRM_GTEST_SOURCE_DIR (explicit override) or the distro source package
+#      at /usr/src/googletest — built in-tree, also provides gmock.
+#   2. An installed GTest CMake package (find_package).
+#   3. FetchContent download from GitHub (requires network).
+#
+# Defines the imported/alias targets GTest::gtest and GTest::gtest_main, and
+# sets LRM_HAVE_GMOCK when gmock targets are available.
+
+include(FetchContent)
+
+set(LRM_GTEST_SOURCE_DIR "" CACHE PATH
+  "Path to a GoogleTest source tree to build in-tree (empty = auto-detect)")
+
+set(LRM_HAVE_GMOCK OFF)
+
+set(_lrm_gtest_src "${LRM_GTEST_SOURCE_DIR}")
+if(NOT _lrm_gtest_src AND EXISTS "/usr/src/googletest/CMakeLists.txt")
+  set(_lrm_gtest_src "/usr/src/googletest")
+endif()
+
+if(_lrm_gtest_src)
+  message(STATUS "GoogleTest: building from source tree at ${_lrm_gtest_src}")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK ON CACHE BOOL "" FORCE)
+  # For Windows: prevent overriding the parent project's runtime settings.
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_Declare(googletest SOURCE_DIR "${_lrm_gtest_src}")
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  if(TARGET gmock)
+    set(LRM_HAVE_GMOCK ON)
+  endif()
+else()
+  find_package(GTest CONFIG QUIET)
+  if(GTest_FOUND)
+    message(STATUS "GoogleTest: using installed package ${GTest_DIR}")
+    if(TARGET GTest::gmock)
+      set(LRM_HAVE_GMOCK ON)
+    endif()
+  else()
+    message(STATUS "GoogleTest: downloading via FetchContent")
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    FetchContent_MakeAvailable(googletest)
+    set(LRM_HAVE_GMOCK ON)
+  endif()
+endif()

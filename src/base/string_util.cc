@@ -36,6 +36,20 @@ std::string StrJoin(const std::vector<std::string>& parts,
   return result;
 }
 
+std::vector<std::string> StrSplit(const std::string& s, char delimiter) {
+  std::vector<std::string> pieces;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = s.find(delimiter, begin);
+    if (end == std::string::npos) {
+      pieces.push_back(s.substr(begin));
+      return pieces;
+    }
+    pieces.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
 std::string PadLeft(const std::string& s, std::size_t width) {
   if (s.size() >= width) return s;
   return std::string(width - s.size(), ' ') + s;

@@ -19,6 +19,13 @@ std::string SciFormat(double value, int precision = 3);
 std::string StrJoin(const std::vector<std::string>& parts,
                     const std::string& separator);
 
+/// \brief Splits `s` at each occurrence of `delimiter`.
+///
+/// Matches absl::StrSplit semantics: the empty string yields {""}; adjacent
+/// delimiters and leading/trailing delimiters yield empty pieces, so
+/// StrJoin(StrSplit(s, d), d) round-trips any input.
+std::vector<std::string> StrSplit(const std::string& s, char delimiter);
+
 /// \brief Pads `s` on the left with spaces to at least `width` characters.
 std::string PadLeft(const std::string& s, std::size_t width);
 

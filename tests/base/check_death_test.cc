@@ -1,0 +1,69 @@
+// Death tests for the LRM_CHECK family: a failed check must abort with a
+// diagnostic naming the condition, and passing checks must be side-effect
+// free. Kept in their own binary so the fork-per-assertion cost of death
+// tests does not slow the rest of the base suite.
+
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "base/status.h"
+#include "base/status_or.h"
+
+namespace lrm {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailedCheckAbortsWithCondition) {
+  EXPECT_DEATH(LRM_CHECK(1 == 2), "CHECK failed");
+  EXPECT_DEATH(LRM_CHECK(false), "false");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosAbortOnViolation) {
+  EXPECT_DEATH(LRM_CHECK_EQ(1, 2), "CHECK failed");
+  EXPECT_DEATH(LRM_CHECK_NE(3, 3), "CHECK failed");
+  EXPECT_DEATH(LRM_CHECK_LT(2, 1), "CHECK failed");
+  EXPECT_DEATH(LRM_CHECK_LE(2, 1), "CHECK failed");
+  EXPECT_DEATH(LRM_CHECK_GT(1, 2), "CHECK failed");
+  EXPECT_DEATH(LRM_CHECK_GE(1, 2), "CHECK failed");
+}
+
+TEST(CheckDeathTest, PassingChecksDoNotAbortOrDoubleEvaluate) {
+  int evaluations = 0;
+  LRM_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+  LRM_CHECK_EQ(2 + 2, 4);
+  LRM_CHECK_GE(1, 1);
+}
+
+#ifdef NDEBUG
+TEST(CheckDeathTest, DcheckCompiledOutInRelease) {
+  // Must neither abort nor evaluate the condition.
+  int evaluations = 0;
+  LRM_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckAbortsInDebug) {
+  EXPECT_DEATH(LRM_DCHECK(false), "CHECK failed");
+}
+#endif
+
+TEST(CheckDeathTest, StatusOrValueOnErrorAborts) {
+  const StatusOr<int> err(Status::InvalidArgument("bad arg"));
+  EXPECT_DEATH(err.value(), "bad arg");
+}
+
+TEST(CheckDeathTest, StatusOrFromOkStatusAborts) {
+  EXPECT_DEATH(StatusOr<int>(Status::OK()),
+               "OK status without a value");
+}
+
+}  // namespace
+}  // namespace lrm

@@ -128,5 +128,79 @@ TEST(StatusOrTest, ArrowAndStarOperators) {
   EXPECT_EQ(*result, "hello");
 }
 
+// Counts special-member calls so tests can assert exactly when copies happen.
+struct Instrumented {
+  explicit Instrumented(int v) : value(v) {}
+  Instrumented(const Instrumented& other) : value(other.value) {
+    ++copies;
+  }
+  Instrumented(Instrumented&& other) noexcept : value(other.value) {
+    other.value = -1;  // mark moved-from
+    ++moves;
+  }
+  Instrumented& operator=(const Instrumented&) = default;
+  Instrumented& operator=(Instrumented&&) = default;
+
+  int value;
+  static int copies;
+  static int moves;
+  static void Reset() { copies = moves = 0; }
+};
+int Instrumented::copies = 0;
+int Instrumented::moves = 0;
+
+TEST(StatusOrMoveTest, RvalueValueMovesOutWithoutCopying) {
+  Instrumented::Reset();
+  StatusOr<Instrumented> result(Instrumented(3));
+  ASSERT_TRUE(result.ok());
+  const int moves_before = Instrumented::moves;
+  Instrumented extracted = std::move(result).value();
+  EXPECT_EQ(extracted.value, 3);
+  EXPECT_EQ(Instrumented::copies, 0);
+  EXPECT_GT(Instrumented::moves, moves_before);
+}
+
+TEST(StatusOrMoveTest, LvalueValueDoesNotDisturbContents) {
+  StatusOr<Instrumented> result(Instrumented(9));
+  ASSERT_TRUE(result.ok());
+  Instrumented copy = result.value();  // copies, must not move out
+  EXPECT_EQ(copy.value, 9);
+  EXPECT_EQ(result.value().value, 9);
+}
+
+TEST(StatusOrMoveTest, MoveConstructedStatusOrKeepsValue) {
+  StatusOr<std::unique_ptr<int>> source(std::make_unique<int>(11));
+  StatusOr<std::unique_ptr<int>> moved(std::move(source));
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(**moved, 11);
+}
+
+TEST(StatusOrMoveTest, MoveConstructedErrorKeepsStatus) {
+  StatusOr<std::unique_ptr<int>> source(Status::NotConverged("budget"));
+  StatusOr<std::unique_ptr<int>> moved(std::move(source));
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kNotConverged);
+  EXPECT_EQ(moved.status().message(), "budget");
+}
+
+StatusOr<std::unique_ptr<int>> ForwardViaMacro(
+    StatusOr<std::unique_ptr<int>> input) {
+  LRM_ASSIGN_OR_RETURN(std::unique_ptr<int> p, std::move(input));
+  *p += 1;
+  return p;
+}
+
+TEST(StatusOrMoveTest, AssignOrReturnHandlesMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> ok =
+      ForwardViaMacro(std::make_unique<int>(1));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(**ok, 2);
+
+  StatusOr<std::unique_ptr<int>> bad =
+      ForwardViaMacro(Status::Internal("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
 }  // namespace
 }  // namespace lrm

@@ -29,6 +29,34 @@ TEST(StrJoinTest, JoinsWithSeparator) {
   EXPECT_EQ(StrJoin({}, ", "), "");
 }
 
+TEST(StrSplitTest, SplitsAtDelimiter) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(StrSplitTest, EmptyInputYieldsOneEmptyPiece) {
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrSplitTest, AdjacentAndEdgeDelimitersYieldEmptyPieces) {
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(StrSplitTest, RoundTripsThroughStrJoin) {
+  for (const std::string s : {"", ",", "a", "a,b", ",,x,,", "no delim"}) {
+    EXPECT_EQ(StrJoin(StrSplit(s, ','), ","), s) << "input: \"" << s << "\"";
+  }
+}
+
+TEST(StrJoinTest, EmptyPartsAndEmptySeparator) {
+  EXPECT_EQ(StrJoin({"", "", ""}, ","), ",,");
+  EXPECT_EQ(StrJoin({"a", "b"}, ""), "ab");
+  EXPECT_EQ(StrJoin({""}, ","), "");
+}
+
 TEST(PadTest, PadsToWidth) {
   EXPECT_EQ(PadLeft("ab", 5), "   ab");
   EXPECT_EQ(PadRight("ab", 5), "ab   ");

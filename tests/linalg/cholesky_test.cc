@@ -6,6 +6,7 @@
 
 #include "linalg/random_matrix.h"
 #include "rng/engine.h"
+#include "tests/support/matchers.h"
 
 namespace lrm::linalg {
 namespace {
@@ -53,7 +54,7 @@ TEST_P(CholeskyPropertyTest, FactorReconstructs) {
   const Matrix a = RandomSpd(engine, n);
   const StatusOr<Matrix> l = CholeskyFactor(a);
   ASSERT_TRUE(l.ok());
-  EXPECT_TRUE(ApproxEqual(MultiplyABt(*l, *l), a, 1e-8 * n));
+  EXPECT_MATRIX_NEAR(MultiplyABt(*l, *l), a, 1e-8 * n);
   // L is lower triangular.
   for (Index i = 0; i < n; ++i) {
     for (Index j = i + 1; j < n; ++j) EXPECT_EQ((*l)(i, j), 0.0);
@@ -67,7 +68,7 @@ TEST_P(CholeskyPropertyTest, SolveResidualIsTiny) {
   const Vector b = RandomGaussianVector(engine, n);
   const StatusOr<Vector> x = SolveSpd(a, b);
   ASSERT_TRUE(x.ok());
-  EXPECT_TRUE(ApproxEqual(a * (*x), b, 1e-8 * n));
+  EXPECT_VECTOR_NEAR(a * (*x), b, 1e-8 * n);
 }
 
 TEST_P(CholeskyPropertyTest, BlockSolveMatchesColumnwise) {
@@ -77,14 +78,14 @@ TEST_P(CholeskyPropertyTest, BlockSolveMatchesColumnwise) {
   const Matrix b = RandomGaussianMatrix(engine, n, 3);
   const StatusOr<Matrix> x = SolveSpd(a, b);
   ASSERT_TRUE(x.ok());
-  EXPECT_TRUE(ApproxEqual(a * (*x), b, 1e-8 * n));
+  EXPECT_MATRIX_NEAR(a * (*x), b, 1e-8 * n);
 
   // Each column independently matches the vector solve.
   LRM_CHECK(x.ok());
   for (Index j = 0; j < 3; ++j) {
     const StatusOr<Vector> col = SolveSpd(a, b.Column(j));
     ASSERT_TRUE(col.ok());
-    EXPECT_TRUE(ApproxEqual(x->Column(j), *col, 1e-8 * n));
+    EXPECT_VECTOR_NEAR(x->Column(j), *col, 1e-8 * n);
   }
 }
 
@@ -94,8 +95,8 @@ TEST_P(CholeskyPropertyTest, InverseSatisfiesDefinition) {
   const Matrix a = RandomSpd(engine, n);
   const StatusOr<Matrix> inv = SpdInverse(a);
   ASSERT_TRUE(inv.ok());
-  EXPECT_TRUE(ApproxEqual(a * (*inv), Matrix::Identity(n), 1e-8 * n));
-  EXPECT_TRUE(ApproxEqual((*inv) * a, Matrix::Identity(n), 1e-8 * n));
+  EXPECT_MATRIX_NEAR(a * (*inv), Matrix::Identity(n), 1e-8 * n);
+  EXPECT_MATRIX_NEAR((*inv) * a, Matrix::Identity(n), 1e-8 * n);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
@@ -105,7 +106,7 @@ TEST(CholeskyTest, IdentitySolveIsIdentity) {
   const Matrix i5 = Matrix::Identity(5);
   const StatusOr<Matrix> inv = SpdInverse(i5);
   ASSERT_TRUE(inv.ok());
-  EXPECT_TRUE(ApproxEqual(*inv, i5, 1e-14));
+  EXPECT_MATRIX_NEAR(*inv, i5, 1e-14);
 }
 
 }  // namespace

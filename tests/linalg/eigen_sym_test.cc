@@ -6,6 +6,7 @@
 
 #include "linalg/random_matrix.h"
 #include "rng/engine.h"
+#include "tests/support/matchers.h"
 
 namespace lrm::linalg {
 namespace {
@@ -61,8 +62,7 @@ TEST_P(SymmetricEigenPropertyTest, ReconstructsInput) {
   for (Index j = 0; j < n; ++j) {
     for (Index i = 0; i < n; ++i) scaled(i, j) *= eig->eigenvalues[j];
   }
-  EXPECT_TRUE(ApproxEqual(MultiplyABt(scaled, eig->eigenvectors), a,
-                          1e-9 * n));
+  EXPECT_MATRIX_NEAR(MultiplyABt(scaled, eig->eigenvectors), a, 1e-9 * n);
 }
 
 TEST_P(SymmetricEigenPropertyTest, EigenvectorsAreOrthonormal) {
@@ -71,8 +71,8 @@ TEST_P(SymmetricEigenPropertyTest, EigenvectorsAreOrthonormal) {
   const Matrix a = RandomSymmetric(engine, n);
   const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
   ASSERT_TRUE(eig.ok());
-  EXPECT_TRUE(ApproxEqual(GramAtA(eig->eigenvectors), Matrix::Identity(n),
-                          1e-10 * n));
+  EXPECT_MATRIX_NEAR(GramAtA(eig->eigenvectors), Matrix::Identity(n),
+                     1e-10 * n);
 }
 
 TEST_P(SymmetricEigenPropertyTest, EigenvaluesAscendAndMatchTrace) {
@@ -84,7 +84,9 @@ TEST_P(SymmetricEigenPropertyTest, EigenvaluesAscendAndMatchTrace) {
   double sum = 0.0;
   for (Index i = 0; i < n; ++i) {
     sum += eig->eigenvalues[i];
-    if (i > 0) EXPECT_GE(eig->eigenvalues[i], eig->eigenvalues[i - 1]);
+    if (i > 0) {
+      EXPECT_GE(eig->eigenvalues[i], eig->eigenvalues[i - 1]);
+    }
   }
   EXPECT_NEAR(sum, Trace(a), 1e-9 * n);
 }
@@ -99,7 +101,7 @@ TEST(ProjectToPsdConeTest, PsdInputUnchanged) {
   for (Index i = 0; i < 4; ++i) spd(i, i) += 4.0;
   const StatusOr<Matrix> projected = ProjectToPsdCone(spd);
   ASSERT_TRUE(projected.ok());
-  EXPECT_TRUE(ApproxEqual(*projected, spd, 1e-8));
+  EXPECT_MATRIX_NEAR(*projected, spd, 1e-8);
 }
 
 TEST(ProjectToPsdConeTest, ClampsNegativeEigenvalues) {
@@ -107,8 +109,7 @@ TEST(ProjectToPsdConeTest, ClampsNegativeEigenvalues) {
   const StatusOr<Matrix> projected =
       ProjectToPsdCone(Matrix::Diagonal(Vector{2.0, -3.0}));
   ASSERT_TRUE(projected.ok());
-  EXPECT_TRUE(ApproxEqual(*projected, Matrix::Diagonal(Vector{2.0, 0.0}),
-                          1e-10));
+  EXPECT_MATRIX_NEAR(*projected, (Matrix::Diagonal(Vector{2.0, 0.0})), 1e-10);
 }
 
 TEST(ProjectToPsdConeTest, FloorRaisesSpectrum) {

@@ -6,6 +6,7 @@
 
 #include "linalg/random_matrix.h"
 #include "rng/engine.h"
+#include "tests/support/matchers.h"
 
 namespace lrm::linalg {
 namespace {
@@ -60,8 +61,8 @@ TEST(MatrixTest, FromRowMajorAdoptsBuffer) {
 
 TEST(MatrixTest, RowColumnAccessors) {
   Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
-  EXPECT_TRUE(ApproxEqual(m.Row(1), Vector{4.0, 5.0, 6.0}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(m.Column(2), Vector{3.0, 6.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(m.Row(1), (Vector{4.0, 5.0, 6.0}), 1e-15);
+  EXPECT_VECTOR_NEAR(m.Column(2), (Vector{3.0, 6.0}), 1e-15);
 
   m.SetRow(0, Vector{7.0, 8.0, 9.0});
   EXPECT_EQ(m(0, 0), 7.0);
@@ -72,22 +73,22 @@ TEST(MatrixTest, RowColumnAccessors) {
 TEST(MatrixTest, ArithmeticOperators) {
   const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
   const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
-  EXPECT_TRUE(ApproxEqual(a + b, Matrix{{6.0, 8.0}, {10.0, 12.0}}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(b - a, Matrix{{4.0, 4.0}, {4.0, 4.0}}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(a * 2.0, Matrix{{2.0, 4.0}, {6.0, 8.0}}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(-a, Matrix{{-1.0, -2.0}, {-3.0, -4.0}}, 1e-15));
+  EXPECT_MATRIX_NEAR(a + b, (Matrix{{6.0, 8.0}, {10.0, 12.0}}), 1e-15);
+  EXPECT_MATRIX_NEAR(b - a, (Matrix{{4.0, 4.0}, {4.0, 4.0}}), 1e-15);
+  EXPECT_MATRIX_NEAR(a * 2.0, (Matrix{{2.0, 4.0}, {6.0, 8.0}}), 1e-15);
+  EXPECT_MATRIX_NEAR(-a, (Matrix{{-1.0, -2.0}, {-3.0, -4.0}}), 1e-15);
 }
 
 TEST(MatrixTest, MatrixVectorProduct) {
   const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
   const Vector x{1.0, -1.0};
-  EXPECT_TRUE(ApproxEqual(a * x, Vector{-1.0, -1.0, -1.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(a * x, (Vector{-1.0, -1.0, -1.0}), 1e-15);
 }
 
 TEST(MatrixTest, KnownMatrixProduct) {
   const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
   const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
-  EXPECT_TRUE(ApproxEqual(a * b, Matrix{{19.0, 22.0}, {43.0, 50.0}}, 1e-15));
+  EXPECT_MATRIX_NEAR(a * b, (Matrix{{19.0, 22.0}, {43.0, 50.0}}), 1e-15);
 }
 
 TEST(MatrixTest, TransposeInvolution) {
@@ -96,7 +97,7 @@ TEST(MatrixTest, TransposeInvolution) {
   EXPECT_EQ(at.rows(), 3);
   EXPECT_EQ(at.cols(), 2);
   EXPECT_EQ(at(2, 1), 6.0);
-  EXPECT_TRUE(ApproxEqual(Transpose(at), a, 1e-15));
+  EXPECT_MATRIX_NEAR(Transpose(at), a, 1e-15);
 }
 
 TEST(MatrixTest, NormsAndReductions) {
@@ -135,15 +136,15 @@ TEST(MatrixTest, StackAndSlice) {
   EXPECT_EQ(h.cols(), 3);
   EXPECT_EQ(h(1, 2), 6.0);
 
-  EXPECT_TRUE(ApproxEqual(SliceRows(v, 1, 3),
-                          Matrix{{3.0, 4.0}, {5.0, 6.0}}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(SliceCols(a, 1, 2), Matrix{{2.0}, {4.0}}, 1e-15));
+  EXPECT_MATRIX_NEAR(SliceRows(v, 1, 3), (Matrix{{3.0, 4.0}, {5.0, 6.0}}),
+                     1e-15);
+  EXPECT_MATRIX_NEAR(SliceCols(a, 1, 2), (Matrix{{2.0}, {4.0}}), 1e-15);
 }
 
 TEST(MatrixTest, AxpyAndFill) {
   Matrix a(2, 2, 1.0);
   a.Axpy(2.0, Matrix{{1.0, 0.0}, {0.0, 1.0}});
-  EXPECT_TRUE(ApproxEqual(a, Matrix{{3.0, 1.0}, {1.0, 3.0}}, 1e-15));
+  EXPECT_MATRIX_NEAR(a, (Matrix{{3.0, 1.0}, {1.0, 3.0}}), 1e-15);
   a.Fill(0.0);
   EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 0.0);
 }
@@ -160,9 +161,9 @@ TEST_P(GemmPropertyTest, AllKernelVariantsMatchNaive) {
   const Matrix b = RandomGaussianMatrix(engine, k, n);
 
   const Matrix expected = NaiveMultiply(a, b);
-  EXPECT_TRUE(ApproxEqual(a * b, expected, 1e-9));
-  EXPECT_TRUE(ApproxEqual(MultiplyAtB(Transpose(a), b), expected, 1e-9));
-  EXPECT_TRUE(ApproxEqual(MultiplyABt(a, Transpose(b)), expected, 1e-9));
+  EXPECT_MATRIX_NEAR(a * b, expected, 1e-9);
+  EXPECT_MATRIX_NEAR(MultiplyAtB(Transpose(a), b), expected, 1e-9);
+  EXPECT_MATRIX_NEAR(MultiplyABt(a, Transpose(b)), expected, 1e-9);
 
   // Matrix-vector against matrix-matrix with a single column.
   const Vector x = RandomGaussianVector(engine, n);
@@ -177,7 +178,7 @@ TEST_P(GemmPropertyTest, AllKernelVariantsMatchNaive) {
   const Vector aty = MultiplyAtX(a, z);
   const Matrix at = Transpose(a);
   const Vector expected_aty = at * z;
-  EXPECT_TRUE(ApproxEqual(aty, expected_aty, 1e-9));
+  EXPECT_VECTOR_NEAR(aty, expected_aty, 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -197,10 +198,10 @@ TEST_P(GramPropertyTest, GramMatricesAreSymmetricAndCorrect) {
 
   const Matrix ata = GramAtA(a);
   const Matrix aat = GramAAt(a);
-  EXPECT_TRUE(IsSymmetric(ata, 1e-10));
-  EXPECT_TRUE(IsSymmetric(aat, 1e-10));
-  EXPECT_TRUE(ApproxEqual(ata, NaiveMultiply(Transpose(a), a), 1e-9));
-  EXPECT_TRUE(ApproxEqual(aat, NaiveMultiply(a, Transpose(a)), 1e-9));
+  EXPECT_MATRIX_SYMMETRIC(ata, 1e-10);
+  EXPECT_MATRIX_SYMMETRIC(aat, 1e-10);
+  EXPECT_MATRIX_NEAR(ata, NaiveMultiply(Transpose(a), a), 1e-9);
+  EXPECT_MATRIX_NEAR(aat, NaiveMultiply(a, Transpose(a)), 1e-9);
   // tr(AᵀA) = tr(AAᵀ) = ‖A‖_F².
   EXPECT_NEAR(Trace(ata), SquaredFrobeniusNorm(a), 1e-8);
   EXPECT_NEAR(Trace(aat), SquaredFrobeniusNorm(a), 1e-8);

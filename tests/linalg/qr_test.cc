@@ -6,6 +6,7 @@
 
 #include "linalg/random_matrix.h"
 #include "rng/engine.h"
+#include "tests/support/matchers.h"
 
 namespace lrm::linalg {
 namespace {
@@ -18,7 +19,7 @@ TEST(QrTest, RejectsEmpty) {
 TEST(QrTest, IdentityFactorsTrivially) {
   const StatusOr<QrResult> qr = HouseholderQr(Matrix::Identity(3));
   ASSERT_TRUE(qr.ok());
-  EXPECT_TRUE(ApproxEqual(qr->q * qr->r, Matrix::Identity(3), 1e-12));
+  EXPECT_MATRIX_NEAR(qr->q * qr->r, Matrix::Identity(3), 1e-12);
 }
 
 class QrPropertyTest
@@ -37,8 +38,8 @@ TEST_P(QrPropertyTest, ReconstructsAndQOrthonormal) {
   EXPECT_EQ(qr->r.rows(), k);
   EXPECT_EQ(qr->r.cols(), n);
 
-  EXPECT_TRUE(ApproxEqual(qr->q * qr->r, a, 1e-9 * std::max(m, n)));
-  EXPECT_TRUE(ApproxEqual(GramAtA(qr->q), Matrix::Identity(k), 1e-10 * k));
+  EXPECT_MATRIX_NEAR(qr->q * qr->r, a, 1e-9 * std::max(m, n));
+  EXPECT_MATRIX_NEAR(GramAtA(qr->q), Matrix::Identity(k), 1e-10 * k);
 
   // R upper triangular.
   for (Index i = 0; i < k; ++i) {
@@ -63,7 +64,7 @@ TEST(OrthonormalizeColumnsTest, SpansSameSpace) {
 
   const StatusOr<Matrix> q = OrthonormalizeColumns(SliceCols(a, 0, 2));
   ASSERT_TRUE(q.ok());
-  EXPECT_TRUE(ApproxEqual(GramAtA(*q), Matrix::Identity(2), 1e-10));
+  EXPECT_MATRIX_NEAR(GramAtA(*q), Matrix::Identity(2), 1e-10);
   // Every column of `a` lies in span(Q): (I − QQᵀ)a ≈ 0.
   const Matrix residual = a - (*q) * MultiplyAtB(*q, a);
   EXPECT_LT(FrobeniusNorm(residual), 1e-8 * FrobeniusNorm(a));
@@ -76,7 +77,7 @@ TEST(OrthonormalizeColumnsTest, HandlesRankDeficientInput) {
   a.SetColumn(1, Vector{1.0, 2.0, 3.0});
   const StatusOr<QrResult> qr = HouseholderQr(a);
   ASSERT_TRUE(qr.ok());
-  EXPECT_TRUE(ApproxEqual(qr->q * qr->r, a, 1e-10));
+  EXPECT_MATRIX_NEAR(qr->q * qr->r, a, 1e-10);
 }
 
 }  // namespace

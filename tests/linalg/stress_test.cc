@@ -9,6 +9,7 @@
 #include "linalg/eigen_sym.h"
 #include "linalg/matrix.h"
 #include "linalg/svd.h"
+#include "tests/support/matchers.h"
 
 namespace lrm::linalg {
 namespace {
@@ -30,7 +31,7 @@ TEST(StressTest, HilbertCholeskySucceedsThroughN10) {
   for (Index n : {2, 4, 8, 10}) {
     const StatusOr<Matrix> l = CholeskyFactor(Hilbert(n));
     ASSERT_TRUE(l.ok()) << "n=" << n;
-    EXPECT_TRUE(ApproxEqual(MultiplyABt(*l, *l), Hilbert(n), 1e-10));
+    EXPECT_MATRIX_NEAR(MultiplyABt(*l, *l), Hilbert(n), 1e-10);
   }
 }
 
@@ -68,8 +69,8 @@ TEST(StressTest, SvdWithRepeatedSingularValues) {
   for (Index i = 0; i < 3; ++i) {
     EXPECT_NEAR(svd->singular_values[i], 2.0, 1e-12);
   }
-  EXPECT_TRUE(ApproxEqual(svd->Reconstruct(), a, 1e-12));
-  EXPECT_TRUE(ApproxEqual(GramAtA(svd->u), Matrix::Identity(3), 1e-12));
+  EXPECT_MATRIX_NEAR(svd->Reconstruct(), a, 1e-12);
+  EXPECT_MATRIX_NEAR(GramAtA(svd->u), Matrix::Identity(3), 1e-12);
 }
 
 TEST(StressTest, EigenOfZeroMatrix) {
@@ -79,8 +80,7 @@ TEST(StressTest, EigenOfZeroMatrix) {
     EXPECT_NEAR(eig->eigenvalues[i], 0.0, 1e-14);
   }
   // Eigenvectors must still be orthonormal.
-  EXPECT_TRUE(ApproxEqual(GramAtA(eig->eigenvectors), Matrix::Identity(5),
-                          1e-12));
+  EXPECT_MATRIX_NEAR(GramAtA(eig->eigenvectors), Matrix::Identity(5), 1e-12);
 }
 
 TEST(StressTest, SvdOfSingleColumnAndRow) {
@@ -116,8 +116,8 @@ TEST(StressTest, CholeskyNearSingularStillFactorsOrFailsCleanly) {
     Matrix a = Matrix::Diagonal(Vector{1.0, delta});
     const StatusOr<Matrix> l = CholeskyFactor(a);
     if (l.ok()) {
-      EXPECT_TRUE(AllFinite(*l));
-      EXPECT_TRUE(ApproxEqual(MultiplyABt(*l, *l), a, 1e-12));
+      EXPECT_MATRIX_FINITE(*l);
+      EXPECT_MATRIX_NEAR(MultiplyABt(*l, *l), a, 1e-12);
     } else {
       EXPECT_EQ(l.status().code(), StatusCode::kNumericalError);
     }

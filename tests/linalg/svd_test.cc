@@ -7,6 +7,7 @@
 
 #include "linalg/random_matrix.h"
 #include "rng/engine.h"
+#include "tests/support/matchers.h"
 
 namespace lrm::linalg {
 namespace {
@@ -30,7 +31,7 @@ void ExpectValidThinSvd(const Matrix& a, const SvdResult& svd, double tol) {
       EXPECT_LE(svd.singular_values[i], svd.singular_values[i - 1] + 1e-12);
     }
   }
-  EXPECT_TRUE(ApproxEqual(svd.Reconstruct(), a, tol));
+  EXPECT_MATRIX_NEAR(svd.Reconstruct(), a, tol);
 }
 
 TEST(JacobiSvdTest, RejectsEmpty) {
@@ -69,8 +70,8 @@ TEST_P(SvdPropertyTest, JacobiReconstructsWithOrthonormalFactors) {
   ExpectValidThinSvd(a, *svd, 1e-9 * std::max(m, n));
 
   const Index k = svd->singular_values.size();
-  EXPECT_TRUE(ApproxEqual(GramAtA(svd->u), Matrix::Identity(k), 1e-9 * k));
-  EXPECT_TRUE(ApproxEqual(GramAtA(svd->v), Matrix::Identity(k), 1e-9 * k));
+  EXPECT_MATRIX_NEAR(GramAtA(svd->u), Matrix::Identity(k), 1e-9 * k);
+  EXPECT_MATRIX_NEAR(GramAtA(svd->v), Matrix::Identity(k), 1e-9 * k);
 }
 
 TEST_P(SvdPropertyTest, GramSvdAgreesWithJacobiOnSpectrum) {
@@ -118,8 +119,7 @@ TEST(RandomizedSvdTest, RecoversLowRankExactly) {
   ASSERT_TRUE(sketch.ok());
   EXPECT_EQ(sketch->singular_values.size(), 5);
   // Exact rank-5 matrix: the rank-5 sketch reconstructs it.
-  EXPECT_TRUE(ApproxEqual(sketch->Reconstruct(), a,
-                          1e-7 * FrobeniusNorm(a)));
+  EXPECT_MATRIX_NEAR(sketch->Reconstruct(), a, 1e-7 * FrobeniusNorm(a));
 }
 
 TEST(RandomizedSvdTest, TopSingularValuesMatchFullSvd) {
@@ -152,8 +152,8 @@ TEST(RandomizedSvdTest, DeterministicGivenSeed) {
   const StatusOr<SvdResult> s2 = RandomizedSvd(a, 4, options);
   ASSERT_TRUE(s1.ok());
   ASSERT_TRUE(s2.ok());
-  EXPECT_TRUE(ApproxEqual(s1->u, s2->u, 0.0));
-  EXPECT_TRUE(ApproxEqual(s1->singular_values, s2->singular_values, 0.0));
+  EXPECT_MATRIX_NEAR(s1->u, s2->u, 0.0);
+  EXPECT_VECTOR_NEAR(s1->singular_values, s2->singular_values, 0.0);
 }
 
 TEST(RankTest, ExactRankOfConstructedMatrices) {
@@ -192,8 +192,8 @@ TEST_P(PinvPropertyTest, MoorePenroseConditions) {
   const Matrix& ap = *pinv;
   const double tol = 1e-8 * std::max(m, n);
   // (1) A·A⁺·A = A, (2) A⁺·A·A⁺ = A⁺, (3)(4) both products symmetric.
-  EXPECT_TRUE(ApproxEqual(a * ap * a, a, tol));
-  EXPECT_TRUE(ApproxEqual(ap * a * ap, ap, tol));
+  EXPECT_MATRIX_NEAR(a * ap * a, a, tol);
+  EXPECT_MATRIX_NEAR(ap * a * ap, ap, tol);
   EXPECT_TRUE(IsSymmetric(a * ap, tol));
   EXPECT_TRUE(IsSymmetric(ap * a, tol));
 }
@@ -208,7 +208,7 @@ TEST(PinvTest, RankDeficientMatrix) {
   const Matrix a = RandomLowRank(engine, 8, 8, 3);
   const StatusOr<Matrix> pinv = PseudoInverse(a);
   ASSERT_TRUE(pinv.ok());
-  EXPECT_TRUE(ApproxEqual(a * (*pinv) * a, a, 1e-7 * FrobeniusNorm(a)));
+  EXPECT_MATRIX_NEAR(a * (*pinv) * a, a, 1e-7 * FrobeniusNorm(a));
 }
 
 TEST(SvdDispatchTest, LargeMatrixUsesGramPath) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/support/matchers.h"
+
 namespace lrm::linalg {
 namespace {
 
@@ -28,29 +30,29 @@ TEST(VectorTest, ConstructionVariants) {
 TEST(VectorTest, ElementwiseArithmetic) {
   Vector a{1.0, 2.0, 3.0};
   Vector b{10.0, 20.0, 30.0};
-  EXPECT_TRUE(ApproxEqual(a + b, Vector{11.0, 22.0, 33.0}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(b - a, Vector{9.0, 18.0, 27.0}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(a * 2.0, Vector{2.0, 4.0, 6.0}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(2.0 * a, Vector{2.0, 4.0, 6.0}, 1e-15));
-  EXPECT_TRUE(ApproxEqual(-a, Vector{-1.0, -2.0, -3.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(a + b, (Vector{11.0, 22.0, 33.0}), 1e-15);
+  EXPECT_VECTOR_NEAR(b - a, (Vector{9.0, 18.0, 27.0}), 1e-15);
+  EXPECT_VECTOR_NEAR(a * 2.0, (Vector{2.0, 4.0, 6.0}), 1e-15);
+  EXPECT_VECTOR_NEAR(2.0 * a, (Vector{2.0, 4.0, 6.0}), 1e-15);
+  EXPECT_VECTOR_NEAR(-a, (Vector{-1.0, -2.0, -3.0}), 1e-15);
 }
 
 TEST(VectorTest, CompoundOperators) {
   Vector a{1.0, 1.0};
   a += Vector{2.0, 3.0};
-  EXPECT_TRUE(ApproxEqual(a, Vector{3.0, 4.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(a, (Vector{3.0, 4.0}), 1e-15);
   a -= Vector{1.0, 1.0};
-  EXPECT_TRUE(ApproxEqual(a, Vector{2.0, 3.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(a, (Vector{2.0, 3.0}), 1e-15);
   a *= 3.0;
-  EXPECT_TRUE(ApproxEqual(a, Vector{6.0, 9.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(a, (Vector{6.0, 9.0}), 1e-15);
   a /= 3.0;
-  EXPECT_TRUE(ApproxEqual(a, Vector{2.0, 3.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(a, (Vector{2.0, 3.0}), 1e-15);
 }
 
 TEST(VectorTest, AxpyFusesMultiplyAdd) {
   Vector a{1.0, 2.0};
   a.Axpy(0.5, Vector{4.0, 8.0});
-  EXPECT_TRUE(ApproxEqual(a, Vector{3.0, 6.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(a, (Vector{3.0, 6.0}), 1e-15);
 }
 
 TEST(VectorTest, NormsAndReductions) {
@@ -74,7 +76,7 @@ TEST(VectorTest, DotIsBilinear) {
 TEST(VectorTest, FillOverwrites) {
   Vector v{1.0, 2.0, 3.0};
   v.Fill(7.0);
-  EXPECT_TRUE(ApproxEqual(v, Vector{7.0, 7.0, 7.0}, 1e-15));
+  EXPECT_VECTOR_NEAR(v, (Vector{7.0, 7.0, 7.0}), 1e-15);
 }
 
 TEST(VectorTest, ApproxEqualRespectsTolerance) {

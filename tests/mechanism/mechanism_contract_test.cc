@@ -15,6 +15,7 @@
 #include "mechanism/laplace.h"
 #include "mechanism/matrix_mechanism.h"
 #include "mechanism/wavelet.h"
+#include "tests/support/matchers.h"
 #include "workload/generators.h"
 
 namespace lrm {
@@ -124,7 +125,7 @@ TEST_P(MechanismContractTest, DeterministicGivenEngineState) {
   const auto b = m2->Answer(Vector(16, 2.0), 1.0, e2);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_TRUE(ApproxEqual(*a, *b, 0.0)) << GetParam().name;
+  EXPECT_VECTOR_NEAR(*a, *b, 0.0) << GetParam().name;
 }
 
 TEST_P(MechanismContractTest, ApproximatelyUnbiased) {

@@ -6,6 +6,7 @@
 
 #include "eval/metrics.h"
 #include "linalg/random_matrix.h"
+#include "tests/support/matchers.h"
 #include "workload/generators.h"
 
 namespace lrm::mechanism {
@@ -38,7 +39,7 @@ TEST_P(HaarRoundTripTest, InverseUndoesForward) {
   rng::Engine engine(static_cast<std::uint64_t>(n) * 17 + 1);
   const Vector x = linalg::RandomGaussianVector(engine, n) * 100.0;
   const Vector restored = InverseHaarTransform(HaarTransform(x));
-  EXPECT_TRUE(ApproxEqual(restored, x, 1e-9));
+  EXPECT_VECTOR_NEAR(restored, x, 1e-9);
 }
 
 TEST_P(HaarRoundTripTest, ForwardUndoesInverse) {
@@ -46,7 +47,7 @@ TEST_P(HaarRoundTripTest, ForwardUndoesInverse) {
   rng::Engine engine(static_cast<std::uint64_t>(n) * 23 + 2);
   const Vector c = linalg::RandomGaussianVector(engine, n);
   const Vector round = HaarTransform(InverseHaarTransform(c));
-  EXPECT_TRUE(ApproxEqual(round, c, 1e-9));
+  EXPECT_VECTOR_NEAR(round, c, 1e-9);
 }
 
 TEST_P(HaarRoundTripTest, TransformIsLinear) {
@@ -56,7 +57,7 @@ TEST_P(HaarRoundTripTest, TransformIsLinear) {
   const Vector y = linalg::RandomGaussianVector(engine, n);
   const Vector lhs = HaarTransform(x + y * 2.0);
   const Vector rhs = HaarTransform(x) + HaarTransform(y) * 2.0;
-  EXPECT_TRUE(ApproxEqual(lhs, rhs, 1e-9));
+  EXPECT_VECTOR_NEAR(lhs, rhs, 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, HaarRoundTripTest,

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "rng/engine.h"
+#include "tests/support/statistics.h"
 
 namespace lrm::rng {
 namespace {
@@ -86,17 +88,11 @@ TEST_P(LaplaceVarianceTest, MeanZeroVarianceTwoBSquared) {
   const double scale = GetParam();
   Engine e(static_cast<std::uint64_t>(scale * 1000) + 11);
   const int n = 200000;
-  double sum = 0.0, sum_sq = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const double x = SampleLaplace(e, scale);
-    sum += x;
-    sum_sq += x * x;
-  }
-  const double mean = sum / n;
-  const double variance = sum_sq / n - mean * mean;
-  EXPECT_NEAR(mean, 0.0, 0.05 * scale + 1e-12);
-  EXPECT_NEAR(variance / (2.0 * scale * scale + 1e-300), 1.0, 0.06)
-      << "scale=" << scale;
+  std::vector<double> samples(n);
+  for (double& x : samples) x = SampleLaplace(e, scale);
+  // Var[Lap(b)] = 2b², so stddev = sqrt(2)·b.
+  EXPECT_SAMPLE_MEAN_NEAR(samples, 0.0, std::sqrt(2.0) * scale, 6.0);
+  EXPECT_SAMPLE_VARIANCE_NEAR(samples, 2.0 * scale * scale, 0.06);
 }
 
 INSTANTIATE_TEST_SUITE_P(Scales, LaplaceVarianceTest,

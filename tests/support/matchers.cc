@@ -1,0 +1,144 @@
+#include "tests/support/matchers.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace lrm::test {
+namespace {
+
+// Renders small containers in full; large ones report only the worst entry,
+// so a failing 1000×1000 comparison stays readable.
+constexpr linalg::Index kMaxRenderedSize = 64;
+
+}  // namespace
+
+::testing::AssertionResult VectorNearPred(const char* actual_expr,
+                                          const char* expected_expr,
+                                          const char* tol_expr,
+                                          const linalg::Vector& actual,
+                                          const linalg::Vector& expected,
+                                          double tol) {
+  if (actual.size() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << "dimension mismatch: " << actual_expr << " has size "
+           << actual.size() << ", " << expected_expr << " has size "
+           << expected.size();
+  }
+  linalg::Index worst = -1;
+  double worst_diff = 0.0;
+  for (linalg::Index i = 0; i < actual.size(); ++i) {
+    const double diff = std::abs(actual[i] - expected[i]);
+    if (std::isnan(diff) || diff > worst_diff) {
+      worst = i;
+      worst_diff = diff;
+      if (std::isnan(diff)) break;
+    }
+  }
+  if (worst < 0 || worst_diff <= tol) return ::testing::AssertionSuccess();
+
+  std::ostringstream os;
+  os << actual_expr << " and " << expected_expr << " differ by " << worst_diff
+     << " at index " << worst << " (" << actual[worst] << " vs "
+     << expected[worst] << "), exceeding " << tol_expr << " = " << tol;
+  if (actual.size() <= kMaxRenderedSize) {
+    os << "\n  actual:   " << actual.ToString()
+       << "\n  expected: " << expected.ToString();
+  }
+  return ::testing::AssertionFailure() << os.str();
+}
+
+::testing::AssertionResult MatrixNearPred(const char* actual_expr,
+                                          const char* expected_expr,
+                                          const char* tol_expr,
+                                          const linalg::Matrix& actual,
+                                          const linalg::Matrix& expected,
+                                          double tol) {
+  if (actual.rows() != expected.rows() || actual.cols() != expected.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << actual_expr << " is " << actual.rows()
+           << "x" << actual.cols() << ", " << expected_expr << " is "
+           << expected.rows() << "x" << expected.cols();
+  }
+  linalg::Index worst_i = -1;
+  linalg::Index worst_j = -1;
+  double worst_diff = 0.0;
+  bool saw_nan = false;
+  for (linalg::Index i = 0; i < actual.rows() && !saw_nan; ++i) {
+    for (linalg::Index j = 0; j < actual.cols(); ++j) {
+      const double diff = std::abs(actual(i, j) - expected(i, j));
+      if (std::isnan(diff) || diff > worst_diff) {
+        worst_i = i;
+        worst_j = j;
+        worst_diff = diff;
+        if (std::isnan(diff)) {
+          saw_nan = true;
+          break;
+        }
+      }
+    }
+  }
+  if (worst_i < 0 || (!saw_nan && worst_diff <= tol)) {
+    return ::testing::AssertionSuccess();
+  }
+
+  std::ostringstream os;
+  os << actual_expr << " and " << expected_expr << " differ by " << worst_diff
+     << " at (" << worst_i << ", " << worst_j << ") ("
+     << actual(worst_i, worst_j) << " vs " << expected(worst_i, worst_j)
+     << "), exceeding " << tol_expr << " = " << tol;
+  if (actual.size() <= kMaxRenderedSize) {
+    os << "\n  actual:\n" << actual.ToString()
+       << "  expected:\n" << expected.ToString();
+  }
+  return ::testing::AssertionFailure() << os.str();
+}
+
+::testing::AssertionResult MatrixFinitePred(const char* expr,
+                                            const linalg::Matrix& m) {
+  for (linalg::Index i = 0; i < m.rows(); ++i) {
+    for (linalg::Index j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(m(i, j))) {
+        return ::testing::AssertionFailure()
+               << expr << " has non-finite entry " << m(i, j) << " at (" << i
+               << ", " << j << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult VectorFinitePred(const char* expr,
+                                            const linalg::Vector& v) {
+  for (linalg::Index i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      return ::testing::AssertionFailure()
+             << expr << " has non-finite entry " << v[i] << " at index " << i;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult MatrixSymmetricPred(const char* expr,
+                                               const char* tol_expr,
+                                               const linalg::Matrix& m,
+                                               double tol) {
+  if (m.rows() != m.cols()) {
+    return ::testing::AssertionFailure()
+           << expr << " is not square: " << m.rows() << "x" << m.cols();
+  }
+  for (linalg::Index i = 0; i < m.rows(); ++i) {
+    for (linalg::Index j = i + 1; j < m.cols(); ++j) {
+      const double diff = std::abs(m(i, j) - m(j, i));
+      if (!(diff <= tol)) {
+        return ::testing::AssertionFailure()
+               << expr << " is asymmetric at (" << i << ", " << j << "): "
+               << m(i, j) << " vs " << m(j, i) << " (|diff| = " << diff
+               << " > " << tol_expr << " = " << tol << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace lrm::test

@@ -1,0 +1,73 @@
+// Gtest assertion helpers for linalg types with explicit tolerance control.
+//
+// These are predicate-formatters (not gmock matchers) so they work with the
+// gtest-only fallback build and print full shape/entry diagnostics on
+// failure:
+//
+//   EXPECT_VECTOR_NEAR(actual, expected, 1e-12);
+//   EXPECT_MATRIX_NEAR(product, Matrix::Identity(4), 1e-9);
+//   EXPECT_MATRIX_FINITE(decomposition.b);
+
+#ifndef LRM_TESTS_SUPPORT_MATCHERS_H_
+#define LRM_TESTS_SUPPORT_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace lrm::test {
+
+// Predicate-formatters. Use through the macros below; the exprs arguments are
+// the stringified caller expressions gtest passes in.
+::testing::AssertionResult VectorNearPred(const char* actual_expr,
+                                          const char* expected_expr,
+                                          const char* tol_expr,
+                                          const linalg::Vector& actual,
+                                          const linalg::Vector& expected,
+                                          double tol);
+
+::testing::AssertionResult MatrixNearPred(const char* actual_expr,
+                                          const char* expected_expr,
+                                          const char* tol_expr,
+                                          const linalg::Matrix& actual,
+                                          const linalg::Matrix& expected,
+                                          double tol);
+
+::testing::AssertionResult MatrixFinitePred(const char* expr,
+                                            const linalg::Matrix& m);
+
+::testing::AssertionResult VectorFinitePred(const char* expr,
+                                            const linalg::Vector& v);
+
+// True iff `m` equals its transpose within `tol`; reports the worst pair.
+::testing::AssertionResult MatrixSymmetricPred(const char* expr,
+                                               const char* tol_expr,
+                                               const linalg::Matrix& m,
+                                               double tol);
+
+}  // namespace lrm::test
+
+// Entrywise |actual - expected| <= tol, with matching dimensions.
+#define EXPECT_VECTOR_NEAR(actual, expected, tol) \
+  EXPECT_PRED_FORMAT3(::lrm::test::VectorNearPred, actual, expected, tol)
+#define ASSERT_VECTOR_NEAR(actual, expected, tol) \
+  ASSERT_PRED_FORMAT3(::lrm::test::VectorNearPred, actual, expected, tol)
+
+// Entrywise |actual - expected| <= tol, with matching shapes.
+#define EXPECT_MATRIX_NEAR(actual, expected, tol) \
+  EXPECT_PRED_FORMAT3(::lrm::test::MatrixNearPred, actual, expected, tol)
+#define ASSERT_MATRIX_NEAR(actual, expected, tol) \
+  ASSERT_PRED_FORMAT3(::lrm::test::MatrixNearPred, actual, expected, tol)
+
+// Every entry is finite (no NaN/Inf).
+#define EXPECT_MATRIX_FINITE(m) \
+  EXPECT_PRED_FORMAT1(::lrm::test::MatrixFinitePred, m)
+#define EXPECT_VECTOR_FINITE(v) \
+  EXPECT_PRED_FORMAT1(::lrm::test::VectorFinitePred, v)
+
+// m == Transpose(m) within tol.
+#define EXPECT_MATRIX_SYMMETRIC(m, tol) \
+  EXPECT_PRED_FORMAT2(::lrm::test::MatrixSymmetricPred, m, tol)
+
+#endif  // LRM_TESTS_SUPPORT_MATCHERS_H_

@@ -1,0 +1,86 @@
+#include "tests/support/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lrm::test {
+
+SampleStats Summarize(const std::vector<double>& samples) {
+  SampleStats stats;
+  double m2 = 0.0;
+  for (const double x : samples) {
+    if (stats.count == 0) {
+      stats.min = x;
+      stats.max = x;
+    } else {
+      stats.min = std::min(stats.min, x);
+      stats.max = std::max(stats.max, x);
+    }
+    ++stats.count;
+    const double delta = x - stats.mean;
+    stats.mean += delta / static_cast<double>(stats.count);
+    m2 += delta * (x - stats.mean);
+  }
+  if (stats.count >= 2) {
+    stats.variance = m2 / static_cast<double>(stats.count - 1);
+  }
+  return stats;
+}
+
+::testing::AssertionResult SampleMeanNearPred(
+    const char* samples_expr, const char* mean_expr, const char* stddev_expr,
+    const char* sigmas_expr, const std::vector<double>& samples,
+    double expected_mean, double expected_stddev, double sigmas) {
+  if (samples.empty()) {
+    return ::testing::AssertionFailure() << samples_expr << " is empty";
+  }
+  const SampleStats stats = Summarize(samples);
+  const double standard_error =
+      expected_stddev / std::sqrt(static_cast<double>(stats.count));
+  const double bound = sigmas * standard_error;
+  const double diff = std::abs(stats.mean - expected_mean);
+  if (diff <= bound) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "mean(" << samples_expr << ") = " << stats.mean << " is "
+         << diff / (standard_error > 0 ? standard_error : 1.0)
+         << " standard errors from " << mean_expr << " = " << expected_mean
+         << " (allowed " << sigmas_expr << " = " << sigmas << " with stddev "
+         << stddev_expr << " = " << expected_stddev << ", n = " << stats.count
+         << ")";
+}
+
+::testing::AssertionResult SampleVarianceNearPred(
+    const char* samples_expr, const char* var_expr, const char* tol_expr,
+    const std::vector<double>& samples, double expected_variance,
+    double rel_tol) {
+  if (samples.size() < 2) {
+    return ::testing::AssertionFailure()
+           << samples_expr << " needs at least 2 samples, has "
+           << samples.size();
+  }
+  const SampleStats stats = Summarize(samples);
+  const double bound = rel_tol * std::abs(expected_variance);
+  const double diff = std::abs(stats.variance - expected_variance);
+  if (diff <= bound) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "variance(" << samples_expr << ") = " << stats.variance
+         << " differs from " << var_expr << " = " << expected_variance
+         << " by " << diff << ", exceeding " << tol_expr << " = " << rel_tol
+         << " relative (" << bound << " absolute, n = " << stats.count << ")";
+}
+
+::testing::AssertionResult SamplesInRangePred(
+    const char* samples_expr, const char* lo_expr, const char* hi_expr,
+    const std::vector<double>& samples, double lo, double hi) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (!(samples[i] >= lo && samples[i] <= hi)) {
+      return ::testing::AssertionFailure()
+             << samples_expr << "[" << i << "] = " << samples[i]
+             << " is outside [" << lo_expr << ", " << hi_expr << "] = [" << lo
+             << ", " << hi << "]";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace lrm::test

@@ -1,0 +1,64 @@
+// Statistical assertion helpers for randomized tests (Laplace noise, RNG
+// distribution checks). All bounds are deterministic given a fixed seed; the
+// sigma-based helpers size their tolerance from the CLT so tests stay robust
+// to sample count changes:
+//
+//   std::vector<double> samples = Draw(100000);
+//   // |mean(samples) - 0.0| <= 6 * (2.0 / sqrt(n))
+//   EXPECT_SAMPLE_MEAN_NEAR(samples, 0.0, /*stddev=*/2.0, /*sigmas=*/6.0);
+//   EXPECT_SAMPLE_VARIANCE_NEAR(samples, 4.0, /*rel_tol=*/0.1);
+
+#ifndef LRM_TESTS_SUPPORT_STATISTICS_H_
+#define LRM_TESTS_SUPPORT_STATISTICS_H_
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace lrm::test {
+
+/// Moments of a sample, computed in one pass (Welford).
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n-1 denominator); 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+};
+
+SampleStats Summarize(const std::vector<double>& samples);
+
+// Predicate-formatters behind the macros below.
+::testing::AssertionResult SampleMeanNearPred(
+    const char* samples_expr, const char* mean_expr, const char* stddev_expr,
+    const char* sigmas_expr, const std::vector<double>& samples,
+    double expected_mean, double expected_stddev, double sigmas);
+
+::testing::AssertionResult SampleVarianceNearPred(
+    const char* samples_expr, const char* var_expr, const char* tol_expr,
+    const std::vector<double>& samples, double expected_variance,
+    double rel_tol);
+
+::testing::AssertionResult SamplesInRangePred(
+    const char* samples_expr, const char* lo_expr, const char* hi_expr,
+    const std::vector<double>& samples, double lo, double hi);
+
+}  // namespace lrm::test
+
+// Sample mean within `sigmas` standard errors (stddev/sqrt(n)) of
+// `expected_mean`. sigmas = 6 gives a ~1e-9 flake rate.
+#define EXPECT_SAMPLE_MEAN_NEAR(samples, expected_mean, stddev, sigmas)   \
+  EXPECT_PRED_FORMAT4(::lrm::test::SampleMeanNearPred, samples,           \
+                      expected_mean, stddev, sigmas)
+
+// Unbiased sample variance within rel_tol (relative) of expected_variance.
+#define EXPECT_SAMPLE_VARIANCE_NEAR(samples, expected_variance, rel_tol) \
+  EXPECT_PRED_FORMAT3(::lrm::test::SampleVarianceNearPred, samples,      \
+                      expected_variance, rel_tol)
+
+// Every sample lies in [lo, hi].
+#define EXPECT_SAMPLES_IN_RANGE(samples, lo, hi) \
+  EXPECT_PRED_FORMAT3(::lrm::test::SamplesInRangePred, samples, lo, hi)
+
+#endif  // LRM_TESTS_SUPPORT_STATISTICS_H_

@@ -1,0 +1,137 @@
+// Self-tests for the shared test-support library: the matchers must accept
+// what they should accept, reject what they should reject, and the
+// statistical helpers must agree with closed-form moments.
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "tests/support/matchers.h"
+#include "tests/support/rng_fixture.h"
+#include "tests/support/statistics.h"
+
+namespace lrm::test {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(VectorNearTest, AcceptsWithinTolerance) {
+  EXPECT_VECTOR_NEAR((Vector{1.0, 2.0}), (Vector{1.0, 2.0 + 1e-13}), 1e-12);
+}
+
+TEST(VectorNearTest, RejectsBeyondTolerance) {
+  EXPECT_NONFATAL_FAILURE(
+      EXPECT_VECTOR_NEAR((Vector{1.0, 2.0}), (Vector{1.0, 2.1}), 1e-12),
+      "differ by");
+}
+
+TEST(VectorNearTest, RejectsDimensionMismatch) {
+  EXPECT_NONFATAL_FAILURE(
+      EXPECT_VECTOR_NEAR((Vector{1.0}), (Vector{1.0, 2.0}), 1.0),
+      "dimension mismatch");
+}
+
+TEST(VectorNearTest, RejectsNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NONFATAL_FAILURE(
+      EXPECT_VECTOR_NEAR((Vector{nan}), (Vector{0.0}), 1e9), "differ by");
+}
+
+TEST(MatrixNearTest, AcceptsWithinTolerance) {
+  EXPECT_MATRIX_NEAR(Matrix::Identity(3), Matrix::Identity(3), 0.0);
+}
+
+TEST(MatrixNearTest, RejectsBeyondTolerance) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b = Matrix::Identity(2);
+  b(1, 0) = 0.5;
+  EXPECT_NONFATAL_FAILURE(EXPECT_MATRIX_NEAR(a, b, 1e-9), "at (1, 0)");
+}
+
+TEST(MatrixNearTest, RejectsShapeMismatch) {
+  EXPECT_NONFATAL_FAILURE(
+      EXPECT_MATRIX_NEAR(Matrix(2, 3), Matrix(3, 2), 1.0), "shape mismatch");
+}
+
+TEST(FiniteTest, AcceptsFiniteRejectsInf) {
+  Matrix m(2, 2, 1.0);
+  EXPECT_MATRIX_FINITE(m);
+  m(0, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_NONFATAL_FAILURE(EXPECT_MATRIX_FINITE(m), "non-finite");
+
+  Vector v{1.0, 2.0};
+  EXPECT_VECTOR_FINITE(v);
+  v[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NONFATAL_FAILURE(EXPECT_VECTOR_FINITE(v), "non-finite");
+}
+
+TEST(SymmetricTest, AcceptsSymmetricRejectsAsymmetric) {
+  Matrix s{{1.0, 2.0}, {2.0, 5.0}};
+  EXPECT_MATRIX_SYMMETRIC(s, 1e-12);
+  s(0, 1) = 2.5;
+  EXPECT_NONFATAL_FAILURE(EXPECT_MATRIX_SYMMETRIC(s, 1e-12), "asymmetric");
+}
+
+TEST(SummarizeTest, MatchesClosedForm) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  const SampleStats stats = Summarize(samples);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.variance, 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+}
+
+TEST(SummarizeTest, EmptyAndSingleton) {
+  EXPECT_EQ(Summarize({}).count, 0u);
+  const SampleStats one = Summarize({7.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.variance, 0.0);
+}
+
+TEST(SampleMeanTest, AcceptsUniformMoments) {
+  // Uniform[0,1): mean 1/2, stddev 1/sqrt(12).
+  rng::Engine engine(123);
+  std::vector<double> samples(20000);
+  for (double& x : samples) x = engine.NextDouble();
+  EXPECT_SAMPLE_MEAN_NEAR(samples, 0.5, std::sqrt(1.0 / 12.0), 6.0);
+  EXPECT_SAMPLE_VARIANCE_NEAR(samples, 1.0 / 12.0, 0.1);
+  EXPECT_SAMPLES_IN_RANGE(samples, 0.0, 1.0);
+}
+
+TEST(SampleMeanTest, RejectsWrongMean) {
+  std::vector<double> samples(1000, 1.0);
+  EXPECT_NONFATAL_FAILURE(
+      EXPECT_SAMPLE_MEAN_NEAR(samples, 0.0, 1.0, 6.0), "standard errors");
+}
+
+TEST(SamplesInRangeTest, ReportsOffendingIndex) {
+  const std::vector<double> samples = {0.5, 1.5};
+  EXPECT_NONFATAL_FAILURE(EXPECT_SAMPLES_IN_RANGE(samples, 0.0, 1.0),
+                          "[1] = 1.5");
+}
+
+class RngFixtureTest : public DeterministicRngTest {};
+
+TEST_F(RngFixtureTest, StreamsAreDeterministic) {
+  rng::Engine fresh(seed());
+  EXPECT_EQ(engine().Next(), fresh.Next());
+}
+
+TEST_F(RngFixtureTest, SaltedEnginesDiffer) {
+  rng::Engine a = MakeEngine(1);
+  rng::Engine b = MakeEngine(2);
+  rng::Engine a2 = MakeEngine(1);
+  EXPECT_NE(a.Next(), b.Next());
+  EXPECT_EQ(MakeEngine(1).Next(), a2.Next());
+}
+
+}  // namespace
+}  // namespace lrm::test
