@@ -51,6 +51,37 @@ void BM_DecomposeWRange(benchmark::State& state) {
 BENCHMARK(BM_DecomposeWRange)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// Initialization cost at figure scale (n = 2048): the sketched
+// (use_randomized_init, the default) vs. exact-SVD automatic-rank path. One
+// outer/inner iteration isolates init + a single ALM sweep; the exact
+// variant runs a full Gram eigendecomposition of the 512×512 spectrum.
+void RunInitBench(benchmark::State& state, bool randomized) {
+  const Index m = 512, n = 2048, s = 64;
+  const auto workload = lrm::workload::GenerateWRelated(m, n, s, 5);
+  lrm::core::DecompositionOptions options = BenchOptions();
+  options.use_randomized_init = randomized;
+  options.max_outer_iterations = 1;
+  options.max_inner_iterations = 1;
+  options.l_max_iterations = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lrm::core::DecomposeWorkload(workload->matrix(), options));
+  }
+}
+
+void BM_DecompositionInit2048_Randomized(benchmark::State& state) {
+  RunInitBench(state, true);
+}
+BENCHMARK(BM_DecompositionInit2048_Randomized)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecompositionInit2048_ExactSvd(benchmark::State& state) {
+  RunInitBench(state, false);
+}
+BENCHMARK(BM_DecompositionInit2048_ExactSvd)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);  // minutes-scale eigendecomposition; once is plenty
+
 void BM_L1ColumnProjection(benchmark::State& state) {
   const Index r = state.range(0);
   const Index n = 8 * r;

@@ -5,6 +5,8 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/kernels/kernels.h"
+#include "linalg/matrix_view.h"
 #include "linalg/qr.h"
 #include "linalg/random_matrix.h"
 #include "linalg/svd.h"
@@ -14,6 +16,7 @@ namespace {
 
 using lrm::linalg::Index;
 using lrm::linalg::Matrix;
+namespace kernels = lrm::linalg::kernels;
 
 Matrix MakeRandom(Index rows, Index cols, std::uint64_t seed) {
   lrm::rng::Engine engine(seed);
@@ -36,7 +39,71 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The three kernel tiers at one shape, for the perf-regression gate: the
+// scalar reference (the pre-kernel-layer seed behavior), the blocked kernel
+// pinned to one thread (blocking/tiling win alone), and the full dispatch
+// with threads enabled.
+void BM_GemmReference(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(n, n, 1);
+  const Matrix b = MakeRandom(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    kernels::GemmReference(kernels::Op::kNone, kernels::Op::kNone, n, n, n,
+                           1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(256)->Arg(512);
+
+void BM_GemmBlockedSingleThread(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(n, n, 1);
+  const Matrix b = MakeRandom(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    kernels::GemmBlocked(kernels::Op::kNone, kernels::Op::kNone, n, n, n, 1.0,
+                         a.data(), n, b.data(), n, 0.0, c.data(), n,
+                         /*threads=*/1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmBlockedSingleThread)->Arg(256)->Arg(512);
+
+void BM_GemmBlockedThreaded(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(n, n, 1);
+  const Matrix b = MakeRandom(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    kernels::GemmBlocked(kernels::Op::kNone, kernels::Op::kNone, n, n, n, 1.0,
+                         a.data(), n, b.data(), n, 0.0, c.data(), n,
+                         kernels::GemmThreads());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmBlockedThreaded)->Arg(256)->Arg(512);
+
+// Allocation-free product via the workspace API vs. the allocating
+// operator* — the per-iteration pattern of the ALM loops.
+void BM_MultiplyInto(benchmark::State& state) {
+  const Index r = state.range(0);
+  const Index n = 8 * r;
+  const Matrix h = MakeSpd(r, 3);
+  const Matrix l = MakeRandom(r, n, 4);
+  Matrix out;
+  for (auto _ : state) {
+    lrm::linalg::MultiplyInto(h, l, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * r * r * n);
+}
+BENCHMARK(BM_MultiplyInto)->Arg(32)->Arg(77)->Arg(154);
 
 void BM_GemmAtB_RectangularLrmShape(benchmark::State& state) {
   // The decomposition's hot product: H·L with H r×r, L r×n.

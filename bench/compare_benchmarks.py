@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Run a Google Benchmark binary and gate it against a stored JSON baseline.
+
+Used by the `ctest -L bench` smoke tier: each bench_micro_* binary runs a
+short filtered subset with a few repetitions, the per-benchmark minimum of
+`real_time` is compared against bench/baselines/<binary>.json, and any
+benchmark slower than baseline by more than the tolerance fails the test.
+
+    compare_benchmarks.py --binary build/bench/bench_micro_linalg \
+        --baseline bench/baselines/bench_micro_linalg.json \
+        --filter 'BM_Gemm/256' [--tolerance 0.25] [--update]
+
+Baselines are machine-specific (they record absolute nanoseconds on the box
+that generated them); regenerate with --update after an intentional change
+or on new hardware. Environment knobs:
+
+    LRM_BENCH_TOLERANCE    overrides --tolerance (fraction, e.g. 0.4)
+    LRM_BENCH_REPORT_ONLY  "1" reports regressions without failing — for CI
+                           runners whose hardware does not match the stored
+                           baseline.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+TIME_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_benchmark(binary, bench_filter, min_time, repetitions):
+    cmd = [
+        binary,
+        f"--benchmark_filter={bench_filter}",
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_repetitions={repetitions}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark binary failed: {' '.join(cmd)}")
+    return json.loads(proc.stdout)
+
+
+def min_real_times_ns(report):
+    """Minimum real_time in ns per benchmark name across repetitions."""
+    times = {}
+    for entry in report.get("benchmarks", []):
+        # Skip mean/median/stddev aggregate rows (run_type is absent in old
+        # library versions, where no aggregates are emitted either).
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry.get("run_name", entry["name"])
+        ns = entry["real_time"] * TIME_UNIT_TO_NS[entry.get("time_unit", "ns")]
+        if name not in times or ns < times[name]:
+            times[name] = ns
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--filter", default=".")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown vs. baseline")
+    parser.add_argument("--min-time", default="0.1")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args()
+
+    tolerance = float(os.environ.get("LRM_BENCH_TOLERANCE", args.tolerance))
+    report_only = os.environ.get("LRM_BENCH_REPORT_ONLY") == "1"
+
+    report = run_benchmark(args.binary, args.filter, args.min_time,
+                           args.repetitions)
+    measured = min_real_times_ns(report)
+    if not measured:
+        raise SystemExit(f"filter '{args.filter}' matched no benchmarks")
+
+    if args.update:
+        baseline = {
+            "filter": args.filter,
+            "benchmarks": {
+                name: {"real_time_ns": ns} for name, ns in sorted(
+                    measured.items())
+            },
+        }
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {len(measured)} baselines to {args.baseline}")
+        return
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["benchmarks"]
+    except FileNotFoundError:
+        raise SystemExit(
+            f"no baseline at {args.baseline}; generate one with --update")
+
+    regressions = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'now':>12} {'ratio':>7}")
+    for name, ns in sorted(measured.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<44} {'(new)':>12} {ns / 1e6:>10.2f}ms       -")
+            continue
+        base_ns = base["real_time_ns"]
+        ratio = ns / base_ns if base_ns > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + tolerance:
+            regressions.append((name, ratio))
+            flag = "  REGRESSION"
+        elif ratio < 1.0 - tolerance:
+            flag = "  improved (consider --update)"
+        print(f"{name:<44} {base_ns / 1e6:>10.2f}ms {ns / 1e6:>10.2f}ms "
+              f"{ratio:>6.2f}x{flag}")
+    for name in sorted(set(baseline) - set(measured)):
+        print(f"{name:<44} missing from this run (baseline stale?)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{tolerance:.0%} vs. {args.baseline}")
+        if report_only:
+            print("LRM_BENCH_REPORT_ONLY=1: reporting without failing")
+            return
+        raise SystemExit(1)
+    print("\nall benchmarks within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@
 #include "base/logging.h"
 #include "base/string_util.h"
 #include "linalg/cholesky.h"
+#include "linalg/matrix_view.h"
 #include "linalg/svd.h"
 #include "opt/l1_projection.h"
 #include "opt/quadratic_apg.h"
@@ -14,7 +15,6 @@ namespace lrm::core {
 
 using linalg::Index;
 using linalg::Matrix;
-using linalg::Vector;
 using linalg::Vector;
 
 namespace {
@@ -63,6 +63,65 @@ void InitializeFromSvd(const linalg::SvdResult& svd, Index r, Index m,
   // recruit them as extra intermediate queries.
 }
 
+// Scratch for every temporary the ALM loop touches, allocated once per
+// solve. The loop body below writes each buffer through the `*Into` kernels
+// (linalg/matrix_view.h), so iterations after the first are allocation-free
+// apart from the L-solver's returned solution.
+struct AlmWorkspace {
+  Matrix rhs;       // βWLᵀ + πLᵀ              (m×r)
+  Matrix rhs_t;     // rhsᵀ                     (r×m)
+  Matrix gram;      // βLLᵀ + I                 (r×r)
+  Matrix b_t;       // Bᵀ from the SPD solve    (r×m)
+  Matrix h;         // βBᵀB                     (r×r)
+  Matrix target;    // βW + π                   (m×n)
+  Matrix t_matrix;  // Bᵀ·target                (r×n)
+  Matrix residual;  // W − BL                   (m×n)
+  Matrix llt, grad, curv;  // gradient-ablation B update
+  opt::QuadraticApgWorkspace apg;
+};
+
+// ws.residual = W − B·L without materializing the product.
+void ResidualInto(const Matrix& w, const Matrix& b, const Matrix& l,
+                  Matrix* residual) {
+  *residual = w;
+  linalg::GemmInto(-1.0, b, false, l, false, 1.0, residual);
+}
+
+// Sketched initialization for the automatic-rank path: grows a randomized
+// SVD until the spectrum tail drops below the rank cutoff, so both the rank
+// estimate and the (B₀, L₀) triplets come out of one sketch. Returns false
+// (leaving `svd`/`r` untouched) when the sketch hits min(m, n)/2 without
+// resolving the tail — a near-full-rank W, where the exact path is the
+// right tool anyway.
+bool TrySketchedInit(const Matrix& w, const DecompositionOptions& options,
+                     linalg::SvdResult* svd, Index* r) {
+  const Index min_dim = std::min(w.rows(), w.cols());
+  const Index cap = min_dim / 2;
+  // The Gram-path caveat in EstimateRank applies to sketches too: tail
+  // values below ~√ε·σ₁ are numerical noise, not spectrum.
+  const double rel_tol = std::max(options.rank_tolerance, 1e-7);
+  // 96 starting columns resolve the common figure workloads (rank ≈ m/5 at
+  // m ≤ 512) in one sketch; an exactly-saturated sketch cannot prove the
+  // tail is empty, so saturation doubles the width and retries.
+  for (Index sketch = std::min<Index>(96, cap);; sketch = 2 * sketch) {
+    sketch = std::min(sketch, cap);
+    linalg::RandomizedSvdOptions rsvd;
+    rsvd.seed = options.seed;
+    auto attempt = linalg::RandomizedSvd(w, sketch, rsvd);
+    if (!attempt.ok()) return false;
+    const Index rank = linalg::NumericalRank(attempt.value(), rel_tol);
+    if (rank < sketch) {
+      *svd = std::move(attempt).value();
+      *r = static_cast<Index>(
+          std::ceil(1.2 * static_cast<double>(std::max<Index>(rank, 1))));
+      LRM_LOG_DEBUG << "DecomposeWorkload: sketched rank(W)=" << rank
+                    << " (sketch " << sketch << "), using r=" << *r;
+      return true;
+    }
+    if (sketch >= cap) return false;
+  }
+}
+
 }  // namespace
 
 Vector Decomposition::PerQueryNoiseVariance(double epsilon) const {
@@ -104,12 +163,19 @@ StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
   // --- Choose r and initialize from the spectrum of W. ---
   Index r = options.rank;
   linalg::SvdResult svd;
-  if (r > 0 && r < std::min(m, n) / 2) {
-    // Only the top-r triplets are needed; sketch instead of a full SVD.
-    linalg::RandomizedSvdOptions rsvd;
-    rsvd.seed = options.seed;
-    LRM_ASSIGN_OR_RETURN(svd, linalg::RandomizedSvd(w, r, rsvd));
-  } else {
+  bool initialized = false;
+  if (options.use_randomized_init) {
+    if (r > 0 && r < std::min(m, n) / 2) {
+      // Only the top-r triplets are needed; sketch instead of a full SVD.
+      linalg::RandomizedSvdOptions rsvd;
+      rsvd.seed = options.seed;
+      LRM_ASSIGN_OR_RETURN(svd, linalg::RandomizedSvd(w, r, rsvd));
+      initialized = true;
+    } else if (r == 0 && std::min(m, n) >= kRandomizedInitMinDim) {
+      initialized = TrySketchedInit(w, options, &svd, &r);
+    }
+  }
+  if (!initialized) {
     LRM_ASSIGN_OR_RETURN(svd, linalg::Svd(w));
     if (r == 0) {
       const Index rank_w = linalg::NumericalRank(svd, options.rank_tolerance);
@@ -145,13 +211,15 @@ StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
   double beta = options.beta_initial * static_cast<double>(std::max<Index>(r, 1));
 
   Decomposition result;
+  AlmWorkspace ws;
   // Best feasible iterate (τ ≤ γ) by scale — the relaxed program's true
   // objective — plus the minimum-residual iterate as a fallback.
   Matrix best_b, best_l;
   double best_scale = std::numeric_limits<double>::infinity();
   double best_residual = std::numeric_limits<double>::infinity();
   Matrix fallback_b = b, fallback_l = l;
-  double fallback_residual = linalg::FrobeniusNorm(w - b * l);
+  ResidualInto(w, b, l, &ws.residual);
+  double fallback_residual = linalg::FrobeniusNorm(ws.residual);
 
   double apg_lipschitz = 1.0;  // warm-started Lipschitz estimate
   double previous_tau = std::numeric_limits<double>::infinity();
@@ -163,41 +231,39 @@ StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
     for (int inner = 0; inner < options.max_inner_iterations; ++inner) {
       // B update (Eq. 9): B = (βWLᵀ + πLᵀ)(βLLᵀ + I)⁻¹.
       if (options.use_closed_form_b) {
-        Matrix rhs = linalg::MultiplyABt(w, l);  // W·Lᵀ
-        rhs *= beta;
-        rhs += linalg::MultiplyABt(pi, l);       // + π·Lᵀ
-        Matrix gram = linalg::GramAAt(l);        // L·Lᵀ (r×r)
-        gram *= beta;
-        gram += Matrix::Identity(r);
+        linalg::GemmInto(beta, w, false, l, true, 0.0, &ws.rhs);  // βW·Lᵀ
+        linalg::GemmInto(1.0, pi, false, l, true, 1.0, &ws.rhs);  // + π·Lᵀ
+        linalg::GramAAtInto(l, &ws.gram);  // L·Lᵀ (r×r)
+        ws.gram *= beta;
+        for (Index d = 0; d < r; ++d) ws.gram(d, d) += 1.0;
         // B·G = RHS with G SPD ⇒ Bᵀ = G⁻¹·RHSᵀ.
-        LRM_ASSIGN_OR_RETURN(Matrix bt,
-                             linalg::SolveSpd(gram, linalg::Transpose(rhs)));
-        b = linalg::Transpose(bt);
+        linalg::TransposeInto(ws.rhs, &ws.rhs_t);
+        LRM_ASSIGN_OR_RETURN(ws.b_t, linalg::SolveSpd(ws.gram, ws.rhs_t));
+        linalg::TransposeInto(ws.b_t, &b);
       } else {
         // Ablation path: one gradient step on B with exact line search.
         // ∂J/∂B = B − πLᵀ + βB(LLᵀ) − βWLᵀ.
-        Matrix grad = b;
-        grad -= linalg::MultiplyABt(pi, l);
-        Matrix llt = linalg::GramAAt(l);
-        grad += beta * (b * llt);
-        grad.Axpy(-beta, linalg::MultiplyABt(w, l));
+        ws.grad = b;
+        linalg::GemmInto(-1.0, pi, false, l, true, 1.0, &ws.grad);
+        linalg::GramAAtInto(l, &ws.llt);
+        linalg::GemmInto(beta, b, false, ws.llt, false, 1.0, &ws.grad);
+        linalg::GemmInto(-beta, w, false, l, true, 1.0, &ws.grad);
         // Exact step for this quadratic: t = ‖∇‖² / <∇, ∇(I + βLLᵀ)>.
-        Matrix curv = grad;
-        curv += beta * (grad * llt);
-        const double denom = InnerProduct(grad, curv);
+        ws.curv = ws.grad;
+        linalg::GemmInto(beta, ws.grad, false, ws.llt, false, 1.0, &ws.curv);
+        const double denom = InnerProduct(ws.grad, ws.curv);
         const double t =
-            denom > 0.0 ? InnerProduct(grad, grad) / denom : 0.0;
-        b.Axpy(-t, grad);
+            denom > 0.0 ? InnerProduct(ws.grad, ws.grad) / denom : 0.0;
+        b.Axpy(-t, ws.grad);
       }
 
       // L update (Formula 10) by Nesterov APG with per-column L1
       // projection. Precompute H = βBᵀB and T = Bᵀ(βW + π).
-      Matrix h = linalg::GramAtA(b);
-      h *= beta;
-      Matrix target = w;
-      target *= beta;
-      target += pi;
-      const Matrix t_matrix = linalg::MultiplyAtB(b, target);  // r×n
+      linalg::GramAtAInto(b, &ws.h);
+      ws.h *= beta;
+      ws.target = pi;
+      ws.target.Axpy(beta, w);  // βW + π
+      linalg::MultiplyAtBInto(b, ws.target, &ws.t_matrix);  // r×n
 
       auto projection = [](Matrix& candidate) {
         opt::ProjectColumnsOntoL1Ball(candidate, 1.0);
@@ -209,18 +275,19 @@ StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
         q_options.tolerance = options.l_tolerance;
         LRM_ASSIGN_OR_RETURN(
             opt::QuadraticApgResult q,
-            opt::QuadraticApg(h, t_matrix, projection, l, q_options));
+            opt::QuadraticApg(ws.h, ws.t_matrix, projection, l, q_options,
+                              &ws.apg));
         l = std::move(q.solution);
       } else {
-        auto objective = [&h, &t_matrix](const Matrix& candidate) {
+        auto objective = [&ws](const Matrix& candidate) {
           // G(L) = ½<L, H·L> − <T, L> (β folded into H and T).
-          const Matrix hl = h * candidate;
+          const Matrix hl = ws.h * candidate;
           return 0.5 * InnerProduct(candidate, hl) -
-                 InnerProduct(t_matrix, candidate);
+                 InnerProduct(ws.t_matrix, candidate);
         };
-        auto gradient = [&h, &t_matrix](const Matrix& candidate) {
-          Matrix g = h * candidate;
-          g -= t_matrix;
+        auto gradient = [&ws](const Matrix& candidate) {
+          Matrix g = ws.h * candidate;
+          g -= ws.t_matrix;
           return g;
         };
         opt::ApgOptions apg_options;
@@ -238,11 +305,11 @@ StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
       }
 
       // Subproblem objective J for the inner stopping rule.
-      Matrix residual_matrix = w - b * l;
+      ResidualInto(w, b, l, &ws.residual);
       const double j_value = 0.5 * linalg::SquaredFrobeniusNorm(b) +
-                             InnerProduct(pi, residual_matrix) +
+                             InnerProduct(pi, ws.residual) +
                              0.5 * beta *
-                                 linalg::SquaredFrobeniusNorm(residual_matrix);
+                                 linalg::SquaredFrobeniusNorm(ws.residual);
       if (std::abs(previous_objective - j_value) <=
           options.inner_tolerance * std::max(1.0, std::abs(j_value))) {
         break;
@@ -251,8 +318,8 @@ StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
     }
 
     // -- Outer bookkeeping (Algorithm 1 lines 7–13). --
-    Matrix residual_matrix = w - b * l;
-    const double tau = linalg::FrobeniusNorm(residual_matrix);
+    ResidualInto(w, b, l, &ws.residual);
+    const double tau = linalg::FrobeniusNorm(ws.residual);
     result.outer_iterations = outer;
 
     if (tau <= options.gamma) {
@@ -279,7 +346,7 @@ StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
       beta *= options.beta_growth;
     }
     previous_tau = tau;
-    pi.Axpy(beta, residual_matrix);
+    pi.Axpy(beta, ws.residual);
   }
 
   if (std::isfinite(best_scale)) {

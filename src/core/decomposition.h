@@ -29,6 +29,11 @@
 
 namespace lrm::core {
 
+/// \brief Smallest min(m, n) at which DecompositionOptions::
+/// use_randomized_init switches the automatic-rank path to a sketched SVD.
+/// Below this the exact SVD is already cheap and strictly more accurate.
+inline constexpr linalg::Index kRandomizedInitMinDim = 192;
+
 /// \brief Tunables of the ALM decomposition (defaults follow the paper).
 struct DecompositionOptions {
   /// Number of intermediate queries r (columns of B / rows of L).
@@ -79,6 +84,15 @@ struct DecompositionOptions {
   /// Relative singular-value cutoff when estimating rank(W) for the
   /// automatic r.
   double rank_tolerance = 1e-9;
+
+  /// Initialize (B, L) — and, when rank == 0, estimate rank(W) — from a
+  /// randomized sketch (Halko et al.) instead of a full SVD. Engages only
+  /// when W is large (min(m, n) ≥ kRandomizedInitMinDim, or an explicit
+  /// small rank target); small problems keep the exact path, and the exact
+  /// path also remains the fallback when the sketch cannot resolve the
+  /// spectrum (near-full-rank W). Defaults on: at n = 2048 the exact
+  /// eigendecomposition dominates the whole decomposition's wall clock.
+  bool use_randomized_init = true;
 
   /// Seed for the randomized SVD used to initialize (B, L) at scale.
   std::uint64_t seed = 7;

@@ -1,0 +1,68 @@
+// Runtime dispatch configuration for the kernel layer. Environment variables
+// are read once (first query); programmatic overrides win over the
+// environment so tests and benchmarks can flip implementations on the fly.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg::kernels {
+
+namespace {
+
+// 0 = "not overridden, use the environment default".
+std::atomic<int> g_thread_override{0};
+
+// Matches GemmImpl values shifted by one; 0 = "not overridden".
+std::atomic<int> g_impl_override{0};
+
+int EnvThreadDefault() {
+  if (const char* env = std::getenv("LRM_GEMM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+GemmImpl EnvImplDefault() {
+  if (const char* env = std::getenv("LRM_GEMM_KERNEL")) {
+    if (std::strcmp(env, "reference") == 0) return GemmImpl::kReference;
+    if (std::strcmp(env, "blocked") == 0) return GemmImpl::kBlocked;
+  }
+  return GemmImpl::kAuto;
+}
+
+}  // namespace
+
+int GemmThreads() {
+  const int override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  static const int env_default = EnvThreadDefault();
+  return env_default;
+}
+
+void SetGemmThreads(int threads) {
+  g_thread_override.store(threads > 0 ? threads : 0,
+                          std::memory_order_relaxed);
+}
+
+GemmImpl ActiveGemmImpl() {
+  const int override = g_impl_override.load(std::memory_order_relaxed);
+  if (override > 0) return static_cast<GemmImpl>(override - 1);
+  static const GemmImpl env_default = EnvImplDefault();
+  return env_default;
+}
+
+void SetGemmImpl(GemmImpl impl) {
+  // kAuto clears the override (symmetric with SetGemmThreads(0)), so the
+  // LRM_GEMM_KERNEL environment choice shows through again afterwards.
+  g_impl_override.store(
+      impl == GemmImpl::kAuto ? 0 : static_cast<int>(impl) + 1,
+      std::memory_order_relaxed);
+}
+
+}  // namespace lrm::linalg::kernels

@@ -1,0 +1,58 @@
+// Level-1 kernels: fused AXPY/scale and column-wise reductions. Simple
+// __restrict loops the compiler vectorizes; kept behind the kernel API so
+// the Matrix layer has a single place to swap implementations.
+
+#include <cmath>
+
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg::kernels {
+
+void Axpy(Index n, double alpha, const double* x, double* y) {
+  const double* __restrict src = x;
+  double* __restrict dst = y;
+  for (Index i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Axpby(Index n, double alpha, const double* x, double beta, double* y) {
+  const double* __restrict src = x;
+  double* __restrict dst = y;
+  for (Index i = 0; i < n; ++i) dst[i] = alpha * src[i] + beta * dst[i];
+}
+
+void Scale(Index n, double alpha, double* x) {
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double Dot(Index n, const double* x, const double* y) {
+  double acc = 0.0;
+  for (Index i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double SquaredNorm(Index n, const double* x) {
+  double acc = 0.0;
+  for (Index i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+void ColumnAbsSums(Index m, Index n, const double* a, Index lda, double* out) {
+  for (Index j = 0; j < n; ++j) out[j] = 0.0;
+  for (Index i = 0; i < m; ++i) {
+    const double* __restrict row = a + i * lda;
+    double* __restrict acc = out;
+    for (Index j = 0; j < n; ++j) acc[j] += std::abs(row[j]);
+  }
+}
+
+void ColumnSquaredNorms(Index m, Index n, const double* a, Index lda,
+                        double* out) {
+  for (Index j = 0; j < n; ++j) out[j] = 0.0;
+  for (Index i = 0; i < m; ++i) {
+    const double* __restrict row = a + i * lda;
+    double* __restrict acc = out;
+    for (Index j = 0; j < n; ++j) acc[j] += row[j] * row[j];
+  }
+}
+
+}  // namespace lrm::linalg::kernels

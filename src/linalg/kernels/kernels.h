@@ -1,0 +1,103 @@
+// Raw pointer-level compute kernels behind the linalg layer.
+//
+// Everything in this namespace operates on row-major double buffers with an
+// explicit leading dimension (`lda` = distance in doubles between the starts
+// of consecutive rows), so both owning `Matrix` storage and strided
+// `MatrixView`s lower to the same calls. Two GEMM implementations exist:
+//
+//  * GemmReference — the scalar i-k-j triple loop. Obviously correct; the
+//                    validation oracle for kernels_test and the fallback for
+//                    tiny shapes where packing overhead dominates.
+//  * GemmBlocked   — cache-blocked (BLIS-style mc/kc/nc panels), register-
+//                    tiled micro-kernel, optionally multithreaded by row
+//                    strips. All four transpose variants share one packed
+//                    micro-kernel.
+//
+// Gemm() dispatches between them from runtime configuration (see below) and
+// problem size. Dispatch knobs, resolved once on first use:
+//
+//   LRM_GEMM_THREADS  — worker thread cap (default: hardware concurrency);
+//                       SetGemmThreads() overrides programmatically.
+//   LRM_GEMM_KERNEL   — "auto" (default), "reference", or "blocked".
+
+#ifndef LRM_LINALG_KERNELS_KERNELS_H_
+#define LRM_LINALG_KERNELS_KERNELS_H_
+
+#include <cstddef>
+
+namespace lrm::linalg::kernels {
+
+using Index = std::ptrdiff_t;
+
+/// Whether a GEMM operand is used as stored or transposed.
+enum class Op { kNone, kTranspose };
+
+/// GEMM implementation selector (see Gemm() dispatch rules).
+enum class GemmImpl { kAuto, kReference, kBlocked };
+
+/// \brief Worker threads GEMM may use. Resolved once from LRM_GEMM_THREADS
+/// (falling back to std::thread::hardware_concurrency), unless overridden.
+int GemmThreads();
+
+/// \brief Overrides GemmThreads(); `threads` <= 0 restores the environment
+/// default. Thread-safe.
+void SetGemmThreads(int threads);
+
+/// \brief Active implementation choice. Resolved once from LRM_GEMM_KERNEL
+/// unless overridden.
+GemmImpl ActiveGemmImpl();
+
+/// \brief Overrides ActiveGemmImpl() (tests/benchmarks); `kAuto` restores
+/// the LRM_GEMM_KERNEL environment default. Thread-safe.
+void SetGemmImpl(GemmImpl impl);
+
+/// \brief C = alpha·op(A)·op(B) + beta·C with op(A) m×k, op(B) k×n, C m×n.
+///
+/// A is stored m×k when op_a == kNone and k×m when kTranspose (analogously
+/// for B); leading dimensions refer to the stored layout. beta == 0
+/// overwrites C without reading it (so C may start uninitialized). Dispatch:
+/// the reference kernel for tiny products or when configured, otherwise the
+/// blocked kernel, threaded when the flop count and GemmThreads() allow.
+void Gemm(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
+          const double* a, Index lda, const double* b, Index ldb, double beta,
+          double* c, Index ldc);
+
+/// \brief Scalar reference GEMM; same contract as Gemm(). The validation
+/// oracle — keep it boring.
+void GemmReference(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
+                   const double* a, Index lda, const double* b, Index ldb,
+                   double beta, double* c, Index ldc);
+
+/// \brief Cache-blocked GEMM; same contract as Gemm(). `threads` <= 1 runs
+/// on the calling thread; results are bitwise independent of `threads`
+/// (the row partition never splits a dot product).
+void GemmBlocked(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
+                 const double* a, Index lda, const double* b, Index ldb,
+                 double beta, double* c, Index ldc, int threads);
+
+/// \brief y += alpha·x over n entries.
+void Axpy(Index n, double alpha, const double* x, double* y);
+
+/// \brief y = alpha·x + beta·y over n entries (fused scale-and-add).
+void Axpby(Index n, double alpha, const double* x, double beta, double* y);
+
+/// \brief x *= alpha over n entries.
+void Scale(Index n, double alpha, double* x);
+
+/// \brief Σᵢ xᵢ·yᵢ.
+double Dot(Index n, const double* x, const double* y);
+
+/// \brief Σᵢ xᵢ².
+double SquaredNorm(Index n, const double* x);
+
+/// \brief out[j] = Σᵢ |a(i,j)| for a row-major m×n matrix `a` with leading
+/// dimension lda. `out` has n entries and is overwritten.
+void ColumnAbsSums(Index m, Index n, const double* a, Index lda, double* out);
+
+/// \brief out[j] = Σᵢ a(i,j)²; same layout contract as ColumnAbsSums.
+void ColumnSquaredNorms(Index m, Index n, const double* a, Index lda,
+                        double* out);
+
+}  // namespace lrm::linalg::kernels
+
+#endif  // LRM_LINALG_KERNELS_KERNELS_H_

@@ -1,0 +1,50 @@
+// Scalar reference GEMM — the validation oracle and small-shape fallback.
+// Deliberately the plainest loop nest that is still cache-sane: the i-k-j
+// ordering streams rows of op(B) and C for the common kNone case.
+
+#include "base/check.h"
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg::kernels {
+
+namespace {
+
+// Entry (i, k) of op(A) for A stored with leading dimension lda.
+inline double OpAt(const double* a, Index lda, Op op, Index i, Index k) {
+  return op == Op::kNone ? a[i * lda + k] : a[k * lda + i];
+}
+
+}  // namespace
+
+void GemmReference(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
+                   const double* a, Index lda, const double* b, Index ldb,
+                   double beta, double* c, Index ldc) {
+  LRM_CHECK_GE(m, 0);
+  LRM_CHECK_GE(n, 0);
+  LRM_CHECK_GE(k, 0);
+  for (Index i = 0; i < m; ++i) {
+    double* c_row = c + i * ldc;
+    if (beta == 0.0) {
+      for (Index j = 0; j < n; ++j) c_row[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (Index j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+  }
+  if (alpha == 0.0) return;
+  for (Index i = 0; i < m; ++i) {
+    double* c_row = c + i * ldc;
+    for (Index l = 0; l < k; ++l) {
+      const double a_il = alpha * OpAt(a, lda, op_a, i, l);
+      if (a_il == 0.0) continue;
+      if (op_b == Op::kNone) {
+        const double* b_row = b + l * ldb;
+        for (Index j = 0; j < n; ++j) c_row[j] += a_il * b_row[j];
+      } else {
+        const double* b_col = b + l;
+        for (Index j = 0; j < n; ++j) c_row[j] += a_il * b_col[j * ldb];
+      }
+    }
+  }
+}
+
+}  // namespace lrm::linalg::kernels

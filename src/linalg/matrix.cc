@@ -4,12 +4,14 @@
 #include <cmath>
 #include <sstream>
 
+#include "linalg/kernels/kernels.h"
+
 namespace lrm::linalg {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = static_cast<Index>(rows.size());
   cols_ = rows_ > 0 ? static_cast<Index>(rows.begin()->size()) : 0;
-  data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+  data_.reserve(CheckedCount(rows_, cols_));
   for (const auto& row : rows) {
     LRM_CHECK_EQ(static_cast<Index>(row.size()), cols_);
     data_.insert(data_.end(), row.begin(), row.end());
@@ -31,7 +33,7 @@ Matrix Matrix::Diagonal(const Vector& diagonal) {
 
 Matrix Matrix::FromRowMajor(Index rows, Index cols,
                             std::vector<double> values) {
-  LRM_CHECK_EQ(static_cast<Index>(values.size()), rows * cols);
+  LRM_CHECK_EQ(values.size(), CheckedCount(rows, cols));
   Matrix result;
   result.rows_ = rows;
   result.cols_ = cols;
@@ -71,11 +73,17 @@ void Matrix::Fill(double value) {
 }
 
 void Matrix::Resize(Index rows, Index cols) {
-  LRM_CHECK_GE(rows, 0);
-  LRM_CHECK_GE(cols, 0);
+  const std::size_t count = CheckedCount(rows, cols);
   rows_ = rows;
   cols_ = cols;
-  data_.assign(static_cast<std::size_t>(rows * cols), 0.0);
+  if (count <= data_.capacity()) {
+    // Guaranteed in-place: resize() cannot reallocate below capacity, so
+    // solver workspaces that shrink and regrow stop hitting the allocator.
+    data_.resize(count);
+    std::fill(data_.begin(), data_.end(), 0.0);
+  } else {
+    data_.assign(count, 0.0);
+  }
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
@@ -93,7 +101,7 @@ Matrix& Matrix::operator-=(const Matrix& other) {
 }
 
 Matrix& Matrix::operator*=(double scalar) {
-  for (double& x : data_) x *= scalar;
+  kernels::Scale(size(), scalar, data());
   return *this;
 }
 
@@ -105,10 +113,7 @@ Matrix& Matrix::operator/=(double scalar) {
 void Matrix::Axpy(double scalar, const Matrix& other) {
   LRM_CHECK_EQ(rows_, other.rows_);
   LRM_CHECK_EQ(cols_, other.cols_);
-  const double* __restrict src = other.data();
-  double* __restrict dst = data();
-  const std::size_t n = data_.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] += scalar * src[i];
+  kernels::Axpy(size(), scalar, other.data(), data());
 }
 
 std::string Matrix::ToString() const {
@@ -153,20 +158,9 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   LRM_CHECK_EQ(a.cols(), b.rows());
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
-  // i-k-j ordering: the innermost loop streams rows of B and C, which keeps
-  // both in cache and auto-vectorizes.
-  for (Index i = 0; i < m; ++i) {
-    double* __restrict c_row = c.RowPtr(i);
-    const double* a_row = a.RowPtr(i);
-    for (Index l = 0; l < k; ++l) {
-      const double a_il = a_row[l];
-      if (a_il == 0.0) continue;
-      const double* __restrict b_row = b.RowPtr(l);
-      for (Index j = 0; j < n; ++j) {
-        c_row[j] += a_il * b_row[j];
-      }
-    }
-  }
+  kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, m, n, k, 1.0,
+                a.data(), a.cols(), b.data(), b.cols(), 0.0, c.data(),
+                c.cols());
   return c;
 }
 
@@ -174,10 +168,7 @@ Vector operator*(const Matrix& a, const Vector& x) {
   LRM_CHECK_EQ(a.cols(), x.size());
   Vector y(a.rows());
   for (Index i = 0; i < a.rows(); ++i) {
-    const double* row = a.RowPtr(i);
-    double acc = 0.0;
-    for (Index j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
+    y[i] = kernels::Dot(a.cols(), a.RowPtr(i), x.data());
   }
   return y;
 }
@@ -186,20 +177,9 @@ Matrix MultiplyAtB(const Matrix& a, const Matrix& b) {
   LRM_CHECK_EQ(a.rows(), b.rows());
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(k, n);
-  // C = Σ_l a_l ⊗ b_l (rank-1 updates over shared rows); streams rows of
-  // both inputs.
-  for (Index l = 0; l < m; ++l) {
-    const double* a_row = a.RowPtr(l);
-    const double* __restrict b_row = b.RowPtr(l);
-    for (Index i = 0; i < k; ++i) {
-      const double a_li = a_row[i];
-      if (a_li == 0.0) continue;
-      double* __restrict c_row = c.RowPtr(i);
-      for (Index j = 0; j < n; ++j) {
-        c_row[j] += a_li * b_row[j];
-      }
-    }
-  }
+  kernels::Gemm(kernels::Op::kTranspose, kernels::Op::kNone, k, n, m, 1.0,
+                a.data(), a.cols(), b.data(), b.cols(), 0.0, c.data(),
+                c.cols());
   return c;
 }
 
@@ -207,17 +187,9 @@ Matrix MultiplyABt(const Matrix& a, const Matrix& b) {
   LRM_CHECK_EQ(a.cols(), b.cols());
   const Index m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  // c_ij = <row_i(A), row_j(B)>: contiguous dot products.
-  for (Index i = 0; i < m; ++i) {
-    const double* a_row = a.RowPtr(i);
-    double* c_row = c.RowPtr(i);
-    for (Index j = 0; j < n; ++j) {
-      const double* b_row = b.RowPtr(j);
-      double acc = 0.0;
-      for (Index l = 0; l < k; ++l) acc += a_row[l] * b_row[l];
-      c_row[j] = acc;
-    }
-  }
+  kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, m, n, k, 1.0,
+                a.data(), a.cols(), b.data(), b.cols(), 0.0, c.data(),
+                c.cols());
   return c;
 }
 
@@ -225,10 +197,9 @@ Vector MultiplyAtX(const Matrix& a, const Vector& x) {
   LRM_CHECK_EQ(a.rows(), x.size());
   Vector y(a.cols());
   for (Index i = 0; i < a.rows(); ++i) {
-    const double* row = a.RowPtr(i);
     const double x_i = x[i];
     if (x_i == 0.0) continue;
-    for (Index j = 0; j < a.cols(); ++j) y[j] += x_i * row[j];
+    kernels::Axpy(a.cols(), x_i, a.RowPtr(i), y.data());
   }
   return y;
 }
@@ -253,11 +224,7 @@ double FrobeniusNorm(const Matrix& a) {
 }
 
 double SquaredFrobeniusNorm(const Matrix& a) {
-  double result = 0.0;
-  const double* p = a.data();
-  const Index n = a.size();
-  for (Index i = 0; i < n; ++i) result += p[i] * p[i];
-  return result;
+  return kernels::SquaredNorm(a.size(), a.data());
 }
 
 double Trace(const Matrix& a) {
@@ -268,12 +235,10 @@ double Trace(const Matrix& a) {
 }
 
 double MaxColumnAbsSum(const Matrix& a) {
+  if (a.cols() == 0) return 0.0;
   Vector sums(a.cols());
-  for (Index i = 0; i < a.rows(); ++i) {
-    const double* row = a.RowPtr(i);
-    for (Index j = 0; j < a.cols(); ++j) sums[j] += std::abs(row[j]);
-  }
-  return a.cols() == 0 ? 0.0 : NormInf(sums);
+  kernels::ColumnAbsSums(a.rows(), a.cols(), a.data(), a.cols(), sums.data());
+  return NormInf(sums);
 }
 
 double ColumnAbsSum(const Matrix& a, Index j) {
@@ -304,13 +269,6 @@ bool AllFinite(const Matrix& a) {
   const double* p = a.data();
   for (Index i = 0; i < a.size(); ++i) {
     if (!std::isfinite(p[i])) return false;
-  }
-  return true;
-}
-
-bool AllFinite(const Vector& a) {
-  for (Index i = 0; i < a.size(); ++i) {
-    if (!std::isfinite(a[i])) return false;
   }
   return true;
 }

@@ -1,11 +1,18 @@
 // Dense row-major double-precision matrix with the operations the paper's
 // algorithms need: GEMM (all transpose variants), norms, traces, column
 // manipulation, and elementwise arithmetic.
+//
+// The arithmetic lowers to the pointer-level kernels in linalg/kernels/
+// (blocked/threaded GEMM with runtime dispatch); see src/linalg/README.md
+// for the layering and linalg/matrix_view.h for non-owning views and the
+// allocation-free `*Into` variants of the products below.
 
 #ifndef LRM_LINALG_MATRIX_H_
 #define LRM_LINALG_MATRIX_H_
 
+#include <cstddef>
 #include <initializer_list>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -25,21 +32,11 @@ class Matrix {
 
   /// Zero matrix of the given shape.
   Matrix(Index rows, Index cols)
-      : rows_(rows),
-        cols_(cols),
-        data_(static_cast<std::size_t>(rows * cols), 0.0) {
-    LRM_CHECK_GE(rows, 0);
-    LRM_CHECK_GE(cols, 0);
-  }
+      : rows_(rows), cols_(cols), data_(CheckedCount(rows, cols), 0.0) {}
 
   /// Matrix of the given shape filled with `value`.
   Matrix(Index rows, Index cols, double value)
-      : rows_(rows),
-        cols_(cols),
-        data_(static_cast<std::size_t>(rows * cols), value) {
-    LRM_CHECK_GE(rows, 0);
-    LRM_CHECK_GE(cols, 0);
-  }
+      : rows_(rows), cols_(cols), data_(CheckedCount(rows, cols), value) {}
 
   /// From nested braced lists (row major):
   /// Matrix m{{1, 2}, {3, 4}};
@@ -58,22 +55,22 @@ class Matrix {
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
   /// Total number of entries.
-  Index size() const { return rows_ * cols_; }
+  Index size() const { return static_cast<Index>(data_.size()); }
   bool empty() const { return data_.empty(); }
 
   double& operator()(Index i, Index j) {
     LRM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
-    return data_[static_cast<std::size_t>(i * cols_ + j)];
+    return data_[Offset(i, j)];
   }
   double operator()(Index i, Index j) const {
     LRM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
-    return data_[static_cast<std::size_t>(i * cols_ + j)];
+    return data_[Offset(i, j)];
   }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  double* RowPtr(Index i) { return data() + i * cols_; }
-  const double* RowPtr(Index i) const { return data() + i * cols_; }
+  double* RowPtr(Index i) { return data() + Offset(i, 0); }
+  const double* RowPtr(Index i) const { return data() + Offset(i, 0); }
 
   /// Copies row i into a Vector.
   Vector Row(Index i) const;
@@ -90,7 +87,11 @@ class Matrix {
   /// Sets every entry to `value`.
   void Fill(double value);
 
-  /// Resizes to rows×cols, zero-filling (old contents discarded).
+  /// Resizes to rows×cols, zero-filling (old contents discarded). Reuses
+  /// the existing allocation when the new entry count fits the current
+  /// capacity, so workspace matrices resized in loops stop allocating after
+  /// the high-water mark — but note any outstanding MatrixView is
+  /// invalidated regardless.
   void Resize(Index rows, Index cols);
 
   Matrix& operator+=(const Matrix& other);
@@ -105,6 +106,26 @@ class Matrix {
   std::string ToString() const;
 
  private:
+  // rows·cols as std::size_t, aborting when the product overflows Index
+  // (all offset arithmetic below assumes entry counts fit a ptrdiff_t).
+  static std::size_t CheckedCount(Index rows, Index cols) {
+    LRM_CHECK_GE(rows, 0);
+    LRM_CHECK_GE(cols, 0);
+    const std::size_t count =
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+    LRM_CHECK(rows == 0 ||
+              count / static_cast<std::size_t>(rows) ==
+                  static_cast<std::size_t>(cols));
+    LRM_CHECK_LE(count,
+                 static_cast<std::size_t>(std::numeric_limits<Index>::max()));
+    return count;
+  }
+
+  std::size_t Offset(Index i, Index j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(j);
+  }
+
   Index rows_ = 0;
   Index cols_ = 0;
   std::vector<double> data_;
@@ -116,7 +137,9 @@ Matrix operator*(Matrix a, double scalar);
 Matrix operator*(double scalar, Matrix a);
 Matrix operator-(Matrix a);  // negation
 
-/// \brief C = A·B. Dimensions must agree. Cache-blocked i-k-j kernel.
+/// \brief C = A·B. Dimensions must agree. Lowers to the dispatched GEMM in
+/// linalg/kernels/ (blocked + threaded for large shapes); use MultiplyInto
+/// (linalg/matrix_view.h) to reuse an output buffer instead of allocating.
 Matrix operator*(const Matrix& a, const Matrix& b);
 
 /// \brief y = A·x.
@@ -163,11 +186,9 @@ double MaxAbs(const Matrix& a);
 /// \brief True iff shapes match and entries differ by at most `tol`.
 bool ApproxEqual(const Matrix& a, const Matrix& b, double tol);
 
-/// \brief True iff every entry is finite (no NaN/±Inf).
+/// \brief True iff every entry of the matrix is finite (no NaN/±Inf). The
+/// Vector overload lives with the other vector utilities in vector.h.
 bool AllFinite(const Matrix& a);
-
-/// \brief True iff every entry is finite (no NaN/±Inf).
-bool AllFinite(const Vector& a);
 
 /// \brief True iff the matrix equals its transpose within `tol`.
 bool IsSymmetric(const Matrix& a, double tol = 1e-12);

@@ -1,0 +1,126 @@
+#include "linalg/matrix_view.h"
+
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg {
+
+namespace {
+
+// Resizes *c to rows×cols when beta == 0 (fresh output); with beta != 0 the
+// existing contents participate, so the shape must already agree.
+void PrepareGemmOutput(Index rows, Index cols, double beta, Matrix* c) {
+  if (beta == 0.0) {
+    if (c->rows() != rows || c->cols() != cols) c->Resize(rows, cols);
+  } else {
+    LRM_CHECK_EQ(c->rows(), rows);
+    LRM_CHECK_EQ(c->cols(), cols);
+  }
+}
+
+}  // namespace
+
+Matrix ConstMatrixView::ToMatrix() const {
+  Matrix result;
+  CopyInto(*this, &result);
+  return result;
+}
+
+bool ViewsOverlap(ConstMatrixView a, ConstMatrixView b) {
+  if (a.empty() || b.empty()) return false;
+  const double* a_end = a.RowPtr(a.rows() - 1) + a.cols();
+  const double* b_end = b.RowPtr(b.rows() - 1) + b.cols();
+  return a.data() < b_end && b.data() < a_end;
+}
+
+void GemmInto(double alpha, ConstMatrixView a, bool transpose_a,
+              ConstMatrixView b, bool transpose_b, double beta, Matrix* c) {
+  LRM_CHECK(c != nullptr);
+  const Index m = transpose_a ? a.cols() : a.rows();
+  const Index k = transpose_a ? a.rows() : a.cols();
+  const Index k_b = transpose_b ? b.cols() : b.rows();
+  const Index n = transpose_b ? b.rows() : b.cols();
+  LRM_CHECK_EQ(k, k_b);
+  // Writing C in place while A or B still feeds the product would corrupt
+  // the result; require distinct buffers.
+  LRM_CHECK(!ViewsOverlap(*c, a));
+  LRM_CHECK(!ViewsOverlap(*c, b));
+  PrepareGemmOutput(m, n, beta, c);
+  kernels::Gemm(transpose_a ? kernels::Op::kTranspose : kernels::Op::kNone,
+                transpose_b ? kernels::Op::kTranspose : kernels::Op::kNone, m,
+                n, k, alpha, a.data(), a.stride(), b.data(), b.stride(), beta,
+                c->data(), c->cols());
+}
+
+void MultiplyInto(ConstMatrixView a, ConstMatrixView b, Matrix* c) {
+  GemmInto(1.0, a, false, b, false, 0.0, c);
+}
+
+void MultiplyAtBInto(ConstMatrixView a, ConstMatrixView b, Matrix* c) {
+  GemmInto(1.0, a, true, b, false, 0.0, c);
+}
+
+void MultiplyABtInto(ConstMatrixView a, ConstMatrixView b, Matrix* c) {
+  GemmInto(1.0, a, false, b, true, 0.0, c);
+}
+
+void MultiplyAtBtInto(ConstMatrixView a, ConstMatrixView b, Matrix* c) {
+  GemmInto(1.0, a, true, b, true, 0.0, c);
+}
+
+void GramAtAInto(ConstMatrixView a, Matrix* c) {
+  GemmInto(1.0, a, true, a, false, 0.0, c);
+}
+
+void GramAAtInto(ConstMatrixView a, Matrix* c) {
+  GemmInto(1.0, a, false, a, true, 0.0, c);
+}
+
+void TransposeInto(ConstMatrixView a, Matrix* c) {
+  LRM_CHECK(c != nullptr);
+  LRM_CHECK(!ViewsOverlap(*c, a));
+  if (c->rows() != a.cols() || c->cols() != a.rows()) {
+    c->Resize(a.cols(), a.rows());
+  }
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    for (Index j = 0; j < a.cols(); ++j) (*c)(j, i) = row[j];
+  }
+}
+
+void CopyInto(ConstMatrixView a, Matrix* c) {
+  LRM_CHECK(c != nullptr);
+  LRM_CHECK(!ViewsOverlap(*c, a));
+  if (c->rows() != a.rows() || c->cols() != a.cols()) {
+    c->Resize(a.rows(), a.cols());
+  }
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* src = a.RowPtr(i);
+    double* dst = c->RowPtr(i);
+    for (Index j = 0; j < a.cols(); ++j) dst[j] = src[j];
+  }
+}
+
+void MultiplyInto(ConstMatrixView a, const Vector& x, Vector* y) {
+  LRM_CHECK(y != nullptr);
+  LRM_CHECK_EQ(a.cols(), x.size());
+  LRM_CHECK(y->data() != x.data());
+  if (y->size() != a.rows()) *y = Vector(a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    (*y)[i] = kernels::Dot(a.cols(), a.RowPtr(i), x.data());
+  }
+}
+
+void MultiplyAtXInto(ConstMatrixView a, const Vector& x, Vector* y) {
+  LRM_CHECK(y != nullptr);
+  LRM_CHECK_EQ(a.rows(), x.size());
+  LRM_CHECK(y->data() != x.data());
+  if (y->size() != a.cols()) *y = Vector(a.cols());
+  y->Fill(0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double x_i = x[i];
+    if (x_i == 0.0) continue;
+    kernels::Axpy(a.cols(), x_i, a.RowPtr(i), y->data());
+  }
+}
+
+}  // namespace lrm::linalg

@@ -1,0 +1,160 @@
+// Non-owning matrix views and the buffer-reusing (`*Into`) operation
+// variants built on the kernel layer.
+//
+// A view is (data, rows, cols, stride) over row-major doubles: entry (i, j)
+// lives at data[i·stride + j]. Views convert implicitly from Matrix, so
+// every `*Into` entry point accepts owning matrices, whole-matrix views, and
+// strided sub-blocks alike. Views never outlive their backing storage —
+// holding one across a Resize() of the source Matrix is a use-after-free,
+// exactly like an invalidated iterator.
+//
+// The `*Into` functions write their result into a caller-owned Matrix,
+// resizing it only when the shape changes (Matrix::Resize reuses capacity),
+// so per-iteration temporaries in solver loops become allocation-free after
+// the first pass. The output must not alias any input — checked, because a
+// GEMM that reads what it just wrote produces garbage silently.
+
+#ifndef LRM_LINALG_MATRIX_VIEW_H_
+#define LRM_LINALG_MATRIX_VIEW_H_
+
+#include "base/check.h"
+#include "linalg/matrix.h"
+
+namespace lrm::linalg {
+
+/// \brief Read-only non-owning view of a row-major double buffer.
+class ConstMatrixView {
+ public:
+  /// Empty 0×0 view.
+  ConstMatrixView() = default;
+
+  /// Views an entire matrix (implicit: Matrix arguments bind to view
+  /// parameters directly).
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), stride_(m.cols()) {}
+
+  /// Views `rows`×`cols` entries of `data` with row stride `stride`.
+  ConstMatrixView(const double* data, Index rows, Index cols, Index stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    LRM_CHECK_GE(rows, 0);
+    LRM_CHECK_GE(cols, 0);
+    LRM_CHECK_GE(stride, cols);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  const double* data() const { return data_; }
+  const double* RowPtr(Index i) const { return data_ + i * stride_; }
+
+  double operator()(Index i, Index j) const {
+    LRM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * stride_ + j];
+  }
+
+  /// Sub-block of `rows`×`cols` starting at (row, col); shares storage.
+  ConstMatrixView Block(Index row, Index col, Index rows, Index cols) const {
+    LRM_CHECK(row >= 0 && rows >= 0 && row + rows <= rows_);
+    LRM_CHECK(col >= 0 && cols >= 0 && col + cols <= cols_);
+    return ConstMatrixView(data_ + row * stride_ + col, rows, cols, stride_);
+  }
+
+  /// Owning copy.
+  Matrix ToMatrix() const;
+
+ private:
+  const double* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index stride_ = 0;
+};
+
+/// \brief Mutable non-owning view; converts to ConstMatrixView.
+class MatrixView {
+ public:
+  MatrixView() = default;
+
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), stride_(m.cols()) {}
+
+  MatrixView(double* data, Index rows, Index cols, Index stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    LRM_CHECK_GE(rows, 0);
+    LRM_CHECK_GE(cols, 0);
+    LRM_CHECK_GE(stride, cols);
+  }
+
+  operator ConstMatrixView() const {  // NOLINT(google-explicit-constructor)
+    return ConstMatrixView(data_, rows_, cols_, stride_);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  double* data() const { return data_; }
+  double* RowPtr(Index i) const { return data_ + i * stride_; }
+
+  double& operator()(Index i, Index j) const {
+    LRM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * stride_ + j];
+  }
+
+  MatrixView Block(Index row, Index col, Index rows, Index cols) const {
+    LRM_CHECK(row >= 0 && rows >= 0 && row + rows <= rows_);
+    LRM_CHECK(col >= 0 && cols >= 0 && col + cols <= cols_);
+    return MatrixView(data_ + row * stride_ + col, rows, cols, stride_);
+  }
+
+ private:
+  double* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index stride_ = 0;
+};
+
+/// \brief True iff the two views can touch a common double (conservative:
+/// compares the address ranges the views span).
+bool ViewsOverlap(ConstMatrixView a, ConstMatrixView b);
+
+/// \brief C = alpha·op(A)·op(B) + beta·C, the workhorse behind every
+/// `Multiply*Into`. With beta == 0, C is resized to the product shape and
+/// overwritten; otherwise C's shape must already match (its contents feed
+/// the accumulation). C must not alias A or B (checked).
+void GemmInto(double alpha, ConstMatrixView a, bool transpose_a,
+              ConstMatrixView b, bool transpose_b, double beta, Matrix* c);
+
+/// \brief C = A·B without allocating when C already has the product shape.
+void MultiplyInto(ConstMatrixView a, ConstMatrixView b, Matrix* c);
+
+/// \brief C = Aᵀ·B (neither transpose is materialized).
+void MultiplyAtBInto(ConstMatrixView a, ConstMatrixView b, Matrix* c);
+
+/// \brief C = A·Bᵀ.
+void MultiplyABtInto(ConstMatrixView a, ConstMatrixView b, Matrix* c);
+
+/// \brief C = Aᵀ·Bᵀ.
+void MultiplyAtBtInto(ConstMatrixView a, ConstMatrixView b, Matrix* c);
+
+/// \brief C = AᵀA (cols×cols Gram matrix).
+void GramAtAInto(ConstMatrixView a, Matrix* c);
+
+/// \brief C = AAᵀ (rows×rows Gram matrix).
+void GramAAtInto(ConstMatrixView a, Matrix* c);
+
+/// \brief C = Aᵀ as an explicit copy.
+void TransposeInto(ConstMatrixView a, Matrix* c);
+
+/// \brief C = A (materializes a view; reuses C's buffer when shapes match).
+void CopyInto(ConstMatrixView a, Matrix* c);
+
+/// \brief y = A·x without allocating when y already has A.rows() entries.
+void MultiplyInto(ConstMatrixView a, const Vector& x, Vector* y);
+
+/// \brief y = Aᵀ·x.
+void MultiplyAtXInto(ConstMatrixView a, const Vector& x, Vector* y);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_MATRIX_VIEW_H_

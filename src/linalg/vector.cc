@@ -111,6 +111,13 @@ double Sum(const Vector& a) {
   return result;
 }
 
+bool AllFinite(const Vector& a) {
+  for (Index i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) return false;
+  }
+  return true;
+}
+
 bool ApproxEqual(const Vector& a, const Vector& b, double tol) {
   if (a.size() != b.size()) return false;
   for (Index i = 0; i < a.size(); ++i) {

@@ -100,6 +100,9 @@ double NormInf(const Vector& a);
 /// \brief Sum of entries.
 double Sum(const Vector& a);
 
+/// \brief True iff every entry of the vector is finite (no NaN/±Inf).
+bool AllFinite(const Vector& a);
+
 /// \brief True iff dimensions match and entries differ by at most `tol`.
 bool ApproxEqual(const Vector& a, const Vector& b, double tol);
 

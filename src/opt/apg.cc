@@ -1,6 +1,7 @@
 #include "opt/apg.h"
 
 #include <cmath>
+#include <utility>
 
 namespace lrm::opt {
 
@@ -18,6 +19,14 @@ double InnerProduct(const Matrix& a, const Matrix& b) {
   for (Index i = 0; i < n; ++i) result += pa[i] * pb[i];
   return result;
 }
+
+// Per-solve scratch hoisted out of the iteration loop. The gradient matrix
+// is still produced by the caller's callback each iteration (the generic
+// std::function API returns by value); the specialized QuadraticApg solver
+// is the fully allocation-free path.
+struct ApgWorkspace {
+  Matrix s, diff, x_next, step, movement;
+};
 
 }  // namespace
 
@@ -43,34 +52,34 @@ StatusOr<ApgResult> AcceleratedProjectedGradient(
   double delta = 1.0;       // δ_{t-1}
 
   ApgResult result;
+  ApgWorkspace ws;  // loop temporaries, allocated once
   for (int t = 0; t < options.max_iterations; ++t) {
     // Momentum extrapolation S = X_t + α (X_t − X_{t−1}).
     const double alpha =
         options.use_momentum ? (delta_prev - 1.0) / delta : 0.0;
-    Matrix s = x;
+    ws.s = x;
     if (alpha != 0.0) {
-      Matrix diff = x;
-      diff -= x_prev;
-      s.Axpy(alpha, diff);
+      ws.diff = x;
+      ws.diff -= x_prev;
+      ws.s.Axpy(alpha, ws.diff);
     }
 
-    const Matrix grad_s = gradient(s);
-    const double f_s = objective(s);
+    const Matrix grad_s = gradient(ws.s);
+    const double f_s = objective(ws.s);
 
     // Backtracking: find ω with f(X⁺) ≤ f(S) + <∇f(S), X⁺−S> + ω/2‖X⁺−S‖².
-    Matrix x_next;
     bool accepted = false;
     for (int j = 0; j < options.max_backtracks; ++j) {
-      x_next = s;
-      x_next.Axpy(-1.0 / omega, grad_s);
-      projection(x_next);
+      ws.x_next = ws.s;
+      ws.x_next.Axpy(-1.0 / omega, grad_s);
+      projection(ws.x_next);
 
-      Matrix step = x_next;
-      step -= s;
-      const double step_sq = linalg::SquaredFrobeniusNorm(step);
+      ws.step = ws.x_next;
+      ws.step -= ws.s;
+      const double step_sq = linalg::SquaredFrobeniusNorm(ws.step);
       const double upper =
-          f_s + InnerProduct(grad_s, step) + 0.5 * omega * step_sq;
-      if (objective(x_next) <= upper + 1e-12 * std::abs(upper)) {
+          f_s + InnerProduct(grad_s, ws.step) + 0.5 * omega * step_sq;
+      if (objective(ws.x_next) <= upper + 1e-12 * std::abs(upper)) {
         accepted = true;
         break;
       }
@@ -86,13 +95,15 @@ StatusOr<ApgResult> AcceleratedProjectedGradient(
       return result;
     }
 
-    Matrix movement = x_next;
-    movement -= x;
-    const double move_norm = linalg::FrobeniusNorm(movement);
+    ws.movement = ws.x_next;
+    ws.movement -= x;
+    const double move_norm = linalg::FrobeniusNorm(ws.movement);
     const double x_norm = linalg::FrobeniusNorm(x);
 
-    x_prev = std::move(x);
-    x = std::move(x_next);
+    // Rotate: X_prev ← X, X ← X_next; the displaced buffer becomes next
+    // iteration's x_next scratch.
+    std::swap(x_prev, x);
+    std::swap(x, ws.x_next);
 
     const double next_delta =
         0.5 * (1.0 + std::sqrt(1.0 + 4.0 * delta * delta));

@@ -1,8 +1,10 @@
 #include "opt/quadratic_apg.h"
 
 #include <cmath>
+#include <utility>
 
 #include "base/string_util.h"
+#include "linalg/matrix_view.h"
 
 namespace lrm::opt {
 
@@ -36,7 +38,8 @@ double EstimateLargestEigenvalue(const Matrix& h, int steps) {
 StatusOr<QuadraticApgResult> QuadraticApg(const Matrix& h, const Matrix& t,
                                           const MatrixProjection& projection,
                                           const Matrix& initial,
-                                          const QuadraticApgOptions& options) {
+                                          const QuadraticApgOptions& options,
+                                          QuadraticApgWorkspace* workspace) {
   if (!projection) {
     return Status::InvalidArgument("QuadraticApg: null projection");
   }
@@ -49,55 +52,59 @@ StatusOr<QuadraticApgResult> QuadraticApg(const Matrix& h, const Matrix& t,
     return Status::InvalidArgument("QuadraticApg: bad initial shape");
   }
 
+  QuadraticApgWorkspace local;
+  QuadraticApgWorkspace& ws = workspace != nullptr ? *workspace : local;
+
   QuadraticApgResult result;
   // Safety margin on λmax covers the power iteration's underestimate.
   const double lipschitz =
       1.02 * EstimateLargestEigenvalue(h, options.power_iterations);
   result.lipschitz = lipschitz;
 
-  Matrix x = initial;
-  projection(x);
+  ws.x = initial;
+  projection(ws.x);
   if (lipschitz <= 0.0) {
     // H ≈ 0: the objective is linear; the minimizer over a bounded set is
     // the projection of an arbitrarily long step along +T.
-    Matrix step = t;
-    step *= 1e6 / std::max(1e-12, linalg::MaxAbs(t));
-    x += step;
-    projection(x);
-    result.solution = std::move(x);
+    ws.x.Axpy(1e6 / std::max(1e-12, linalg::MaxAbs(t)), t);
+    projection(ws.x);
+    result.solution = std::move(ws.x);
     result.converged = true;
     return result;
   }
 
   const double inv_lipschitz = 1.0 / lipschitz;
-  Matrix x_prev = x;
+  ws.x_prev = ws.x;
   double delta_prev = 0.0;
   double delta = 1.0;
 
   for (int it = 0; it < options.max_iterations; ++it) {
     // Momentum point S = X + α(X − X_prev), then one projected gradient
-    // step from S with the exact 1/λmax(H) step size.
+    // step from S with the exact 1/λmax(H) step size. All buffers live in
+    // the workspace, so iterations after the first do not allocate.
     const double alpha = (delta_prev - 1.0) / delta;
-    Matrix s = x;
+    ws.s = ws.x;
     if (alpha != 0.0) {
-      Matrix diff = x;
-      diff -= x_prev;
-      s.Axpy(alpha, diff);
+      ws.movement = ws.x;  // borrow as the X − X_prev difference
+      ws.movement -= ws.x_prev;
+      ws.s.Axpy(alpha, ws.movement);
     }
 
-    Matrix grad = h * s;  // the one expensive product per iteration
-    grad -= t;
-    Matrix x_next = std::move(s);
-    x_next.Axpy(-inv_lipschitz, grad);
-    projection(x_next);
+    // The one expensive product per iteration.
+    linalg::MultiplyInto(h, ws.s, &ws.grad);
+    ws.grad -= t;
+    ws.s.Axpy(-inv_lipschitz, ws.grad);  // S becomes X_next in place
+    projection(ws.s);
 
-    Matrix movement = x_next;
-    movement -= x;
-    const double move_norm = linalg::FrobeniusNorm(movement);
-    const double x_norm = linalg::FrobeniusNorm(x);
+    ws.movement = ws.s;
+    ws.movement -= ws.x;
+    const double move_norm = linalg::FrobeniusNorm(ws.movement);
+    const double x_norm = linalg::FrobeniusNorm(ws.x);
 
-    x_prev = std::move(x);
-    x = std::move(x_next);
+    // Rotate buffers: X_prev ← X, X ← X_next; the old X_prev storage is
+    // recycled as the next iteration's S scratch.
+    std::swap(ws.x_prev, ws.x);
+    std::swap(ws.x, ws.s);
     delta_prev = delta;
     delta = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * delta * delta));
     result.iterations = it + 1;
@@ -108,7 +115,7 @@ StatusOr<QuadraticApgResult> QuadraticApg(const Matrix& h, const Matrix& t,
     }
   }
 
-  result.solution = std::move(x);
+  result.solution = std::move(ws.x);
   return result;
 }
 

@@ -31,6 +31,14 @@ struct QuadraticApgOptions {
   int power_iterations = 30;
 };
 
+/// \brief Scratch buffers for QuadraticApg, hoisted out of the iteration
+/// loop. Pass the same instance to successive solves (the ALM inner loop
+/// issues thousands) so iterations are allocation-free after the first;
+/// contents are overwritten by every call and are meaningless between calls.
+struct QuadraticApgWorkspace {
+  linalg::Matrix x, x_prev, s, grad, movement;
+};
+
 /// \brief Result of a QuadraticApg run.
 struct QuadraticApgResult {
   linalg::Matrix solution;
@@ -42,12 +50,14 @@ struct QuadraticApgResult {
 
 /// \brief Minimizes ½<X,HX> − <T,X> over the set enforced by `projection`,
 /// starting from `initial` (projected on entry). H must be symmetric PSD
-/// with rows(H) == rows(T); the iterate has T's shape.
-StatusOr<QuadraticApgResult> QuadraticApg(const linalg::Matrix& h,
-                                          const linalg::Matrix& t,
-                                          const MatrixProjection& projection,
-                                          const linalg::Matrix& initial,
-                                          const QuadraticApgOptions& options = {});
+/// with rows(H) == rows(T); the iterate has T's shape. `workspace` is
+/// optional scratch — reuse one instance across calls to avoid per-call
+/// allocation (the solution buffer itself is always freshly moved out).
+StatusOr<QuadraticApgResult> QuadraticApg(
+    const linalg::Matrix& h, const linalg::Matrix& t,
+    const MatrixProjection& projection, const linalg::Matrix& initial,
+    const QuadraticApgOptions& options = {},
+    QuadraticApgWorkspace* workspace = nullptr);
 
 }  // namespace lrm::opt
 

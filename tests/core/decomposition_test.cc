@@ -212,6 +212,69 @@ TEST(DecompositionTest, PerQueryVarianceMatchesHandComputation) {
   EXPECT_DOUBLE_EQ(v[1], 8.0);  // 2·4
 }
 
+TEST(DecompositionTest, RandomizedInitMatchesExactInitAtScale) {
+  // Large enough (min dim ≥ kRandomizedInitMinDim) that the sketched
+  // automatic-rank path engages; the decomposition must still meet γ and
+  // land on the same r as the exact spectrum.
+  const Matrix w = LowRankMatrix(17, 200, 260, 10);
+  DecompositionOptions options;
+  options.gamma = 0.05;
+
+  ASSERT_GE(std::min(w.rows(), w.cols()), kRandomizedInitMinDim);
+  options.use_randomized_init = true;
+  const StatusOr<Decomposition> sketched = DecomposeWorkload(w, options);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_TRUE(sketched->converged);
+  ExpectFeasible(w, *sketched, options.gamma, 1e-5);
+  EXPECT_EQ(sketched->b.cols(), 12);  // ⌈1.2·rank⌉
+
+  options.use_randomized_init = false;
+  const StatusOr<Decomposition> exact = DecomposeWorkload(w, options);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->converged);
+  ExpectFeasible(w, *exact, options.gamma, 1e-5);
+  // At this size the exact path runs through GramSvd, whose squared
+  // condition number inflates the 1e-9 rank estimate with noise; the
+  // sketch's clamped cutoff recovers the true rank — never a larger r.
+  EXPECT_LE(sketched->b.cols(), exact->b.cols());
+}
+
+TEST(DecompositionTest, RandomizedInitKeepsExactPathBelowSizeThreshold) {
+  // Below kRandomizedInitMinDim the flag is moot: small problems stay on
+  // the exact SVD, whose rank estimate is authoritative.
+  rng::Engine engine(23);
+  const Matrix w = linalg::RandomGaussianMatrix(engine, 32, 32);
+  DecompositionOptions options;
+  options.gamma = 5.0;
+  options.use_randomized_init = true;
+  const StatusOr<Decomposition> d = DecomposeWorkload(w, options);
+  ASSERT_TRUE(d.ok());
+  ExpectFeasible(w, *d, options.gamma, 1e-5);
+  // r = ⌈1.2·32⌉ proves the exact rank estimate ran.
+  EXPECT_EQ(d->b.cols(), 39);
+}
+
+TEST(DecompositionTest, RandomizedInitFallsBackWhenSketchSaturates) {
+  // Large enough to engage the sketched path, but full rank: every sketch
+  // up to min(m, n)/2 stays saturated (no resolvable tail), so the init
+  // must fall back to the exact SVD instead of truncating the spectrum.
+  rng::Engine engine(29);
+  const Matrix w = linalg::RandomGaussianMatrix(engine, 200, 200);
+  ASSERT_GE(std::min(w.rows(), w.cols()), kRandomizedInitMinDim);
+  DecompositionOptions options;
+  options.gamma = 50.0;  // generous: only the init path is under test
+  options.max_outer_iterations = 3;
+  options.use_randomized_init = true;
+  const StatusOr<Decomposition> d = DecomposeWorkload(w, options);
+  ASSERT_TRUE(d.ok());
+  // r = ⌈1.2·200⌉ is only reachable through the exact full-spectrum
+  // estimate; a truncated sketch would have produced r ≤ 120.
+  EXPECT_EQ(d->b.cols(), 240);
+  for (Index j = 0; j < d->l.cols(); ++j) {
+    EXPECT_LE(linalg::ColumnAbsSum(d->l, j), 1.0 + 1e-5);
+  }
+}
+
 TEST(DecompositionTest, WorksOnGeneratedWorkloads) {
   for (auto kind : {workload::WorkloadKind::kWDiscrete,
                     workload::WorkloadKind::kWRange,

@@ -1,0 +1,252 @@
+// Cross-checks the blocked/threaded GEMM and the level-1 kernels against
+// the scalar reference on random rectangular shapes, including empty and
+// single-row/column edges. The blocked kernel is validated to a tight
+// floating-point tolerance against the reference (their accumulation
+// associativity differs by design); the threaded kernel is validated
+// bitwise against the single-threaded blocked kernel, which the row-strip
+// partition guarantees.
+
+#include "linalg/kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+#include "tests/support/matchers.h"
+
+namespace lrm::linalg::kernels {
+namespace {
+
+struct Shape {
+  Index m, n, k;
+};
+
+const Shape kShapes[] = {
+    {0, 5, 3},   {5, 0, 3},   {4, 4, 0},    {1, 1, 1},    {1, 7, 3},
+    {7, 1, 3},   {3, 3, 3},   {17, 13, 11}, {64, 48, 80}, {129, 65, 33},
+    {97, 101, 257},  // spills every blocking dimension at least once
+};
+
+const double kAlphaBeta[][2] = {{1.0, 0.0}, {2.5, 0.0}, {1.0, 1.0},
+                                {0.5, -0.25}};
+
+// Row-major buffer of op-independent storage for an operand that is m×k
+// after op is applied.
+std::vector<double> StoredOperand(Op op, Index m, Index k, rng::Engine& rng) {
+  const Index rows = op == Op::kNone ? m : k;
+  const Index cols = op == Op::kNone ? k : m;
+  std::vector<double> data(static_cast<std::size_t>(rows * cols));
+  for (double& x : data) x = rng.NextDouble() * 2.0 - 1.0;
+  return data;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+class KernelsGemmTest : public ::testing::TestWithParam<int> {};
+
+TEST(KernelsGemmTest, BlockedMatchesReferenceAcrossShapesOpsAndScalars) {
+  rng::Engine rng(1234);
+  for (const Shape& shape : kShapes) {
+    for (Op op_a : {Op::kNone, Op::kTranspose}) {
+      for (Op op_b : {Op::kNone, Op::kTranspose}) {
+        for (const auto& ab : kAlphaBeta) {
+          const double alpha = ab[0], beta = ab[1];
+          const auto a = StoredOperand(op_a, shape.m, shape.k, rng);
+          const auto b = StoredOperand(op_b, shape.k, shape.n, rng);
+          const Index lda = op_a == Op::kNone ? shape.k : shape.m;
+          const Index ldb = op_b == Op::kNone ? shape.n : shape.k;
+
+          std::vector<double> c_init(
+              static_cast<std::size_t>(shape.m * shape.n));
+          for (double& x : c_init) x = rng.NextDouble() * 2.0 - 1.0;
+
+          std::vector<double> c_ref = c_init;
+          GemmReference(op_a, op_b, shape.m, shape.n, shape.k, alpha,
+                        a.data(), lda, b.data(), ldb, beta, c_ref.data(),
+                        shape.n);
+          std::vector<double> c_blk = c_init;
+          GemmBlocked(op_a, op_b, shape.m, shape.n, shape.k, alpha, a.data(),
+                      lda, b.data(), ldb, beta, c_blk.data(), shape.n,
+                      /*threads=*/1);
+
+          const double tol =
+              1e-13 * static_cast<double>(shape.k + 1) * std::abs(alpha) +
+              1e-13;
+          EXPECT_LE(MaxAbsDiff(c_ref, c_blk), tol)
+              << "shape " << shape.m << "x" << shape.n << "x" << shape.k
+              << " op_a=" << static_cast<int>(op_a)
+              << " op_b=" << static_cast<int>(op_b) << " alpha=" << alpha
+              << " beta=" << beta;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsGemmTest, ThreadedIsBitwiseIdenticalToSingleThread) {
+  rng::Engine rng(99);
+  // Row counts straddling several kMc strips so the partition is exercised.
+  for (Index m : {Index{1}, Index{97}, Index{190}, Index{301}}) {
+    const Index n = 65, k = 130;
+    const auto a = StoredOperand(Op::kNone, m, k, rng);
+    const auto b = StoredOperand(Op::kNone, k, n, rng);
+    std::vector<double> c1(static_cast<std::size_t>(m * n));
+    std::vector<double> c4(c1.size());
+    GemmBlocked(Op::kNone, Op::kNone, m, n, k, 1.0, a.data(), k, b.data(), n,
+                0.0, c1.data(), n, /*threads=*/1);
+    GemmBlocked(Op::kNone, Op::kNone, m, n, k, 1.0, a.data(), k, b.data(), n,
+                0.0, c4.data(), n, /*threads=*/4);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(double)))
+        << "thread partition changed results at m=" << m;
+  }
+}
+
+TEST(KernelsGemmTest, BetaZeroOverwritesUninitializedOutput) {
+  // beta == 0 must not read C: signaling garbage (NaN) must be overwritten.
+  const Index m = 5, n = 6, k = 4;
+  rng::Engine rng(7);
+  const auto a = StoredOperand(Op::kNone, m, k, rng);
+  const auto b = StoredOperand(Op::kNone, k, n, rng);
+  std::vector<double> c(static_cast<std::size_t>(m * n),
+                        std::numeric_limits<double>::quiet_NaN());
+  GemmBlocked(Op::kNone, Op::kNone, m, n, k, 1.0, a.data(), k, b.data(), n,
+              0.0, c.data(), n, 1);
+  for (double x : c) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(KernelsGemmTest, StridedOperandsAndOutput) {
+  // Operate on an interior block of larger buffers: lda/ldb/ldc > cols.
+  const Index m = 9, n = 7, k = 8;
+  const Index lda = 13, ldb = 11, ldc = 19;
+  rng::Engine rng(21);
+  std::vector<double> a(static_cast<std::size_t>(m * lda));
+  std::vector<double> b(static_cast<std::size_t>(k * ldb));
+  for (double& x : a) x = rng.NextDouble();
+  for (double& x : b) x = rng.NextDouble();
+  std::vector<double> c_ref(static_cast<std::size_t>(m * ldc), 3.25);
+  std::vector<double> c_blk = c_ref;
+  GemmReference(Op::kNone, Op::kNone, m, n, k, 1.0, a.data(), lda, b.data(),
+                ldb, 0.0, c_ref.data(), ldc);
+  GemmBlocked(Op::kNone, Op::kNone, m, n, k, 1.0, a.data(), lda, b.data(),
+              ldb, 0.0, c_blk.data(), ldc, 1);
+  EXPECT_LE(MaxAbsDiff(c_ref, c_blk), 1e-12);
+  // Entries beyond each row's n columns are padding and must be untouched.
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = n; j < ldc; ++j) {
+      EXPECT_EQ(c_blk[static_cast<std::size_t>(i * ldc + j)], 3.25);
+    }
+  }
+}
+
+TEST(KernelsDispatchTest, ImplOverrideRoutesToBothKernels) {
+  const Index n = 40;
+  rng::Engine rng(5);
+  const auto a = StoredOperand(Op::kNone, n, n, rng);
+  const auto b = StoredOperand(Op::kNone, n, n, rng);
+  std::vector<double> c_auto(static_cast<std::size_t>(n * n));
+  std::vector<double> c_ref(c_auto.size());
+  std::vector<double> c_blk(c_auto.size());
+
+  SetGemmImpl(GemmImpl::kReference);
+  Gemm(Op::kNone, Op::kNone, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+       c_ref.data(), n);
+  SetGemmImpl(GemmImpl::kBlocked);
+  Gemm(Op::kNone, Op::kNone, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+       c_blk.data(), n);
+  SetGemmImpl(GemmImpl::kAuto);
+  Gemm(Op::kNone, Op::kNone, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+       c_auto.data(), n);
+
+  EXPECT_LE(MaxAbsDiff(c_ref, c_blk), 1e-12);
+  EXPECT_LE(MaxAbsDiff(c_ref, c_auto), 1e-12);
+}
+
+TEST(KernelsDispatchTest, ThreadOverrideRoundTrips) {
+  SetGemmThreads(3);
+  EXPECT_EQ(GemmThreads(), 3);
+  SetGemmThreads(0);  // back to the environment default
+  EXPECT_GE(GemmThreads(), 1);
+}
+
+TEST(KernelsLevel1Test, AxpyAxpbyScale) {
+  const Index n = 257;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  std::vector<double> expected(static_cast<std::size_t>(n));
+  rng::Engine rng(11);
+  for (Index i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.NextDouble();
+    y[static_cast<std::size_t>(i)] = rng.NextDouble();
+  }
+
+  expected = y;
+  for (Index i = 0; i < n; ++i) {
+    expected[static_cast<std::size_t>(i)] +=
+        1.5 * x[static_cast<std::size_t>(i)];
+  }
+  Axpy(n, 1.5, x.data(), y.data());
+  EXPECT_EQ(y, expected);
+
+  for (Index i = 0; i < n; ++i) {
+    expected[static_cast<std::size_t>(i)] =
+        -2.0 * x[static_cast<std::size_t>(i)] +
+        0.5 * y[static_cast<std::size_t>(i)];
+  }
+  Axpby(n, -2.0, x.data(), 0.5, y.data());
+  EXPECT_EQ(y, expected);
+
+  for (double& v : expected) v *= 3.0;
+  Scale(n, 3.0, y.data());
+  EXPECT_EQ(y, expected);
+}
+
+TEST(KernelsLevel1Test, DotAndSquaredNorm) {
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  const std::vector<double> y = {4.0, 5.0, -6.0};
+  EXPECT_DOUBLE_EQ(Dot(3, x.data(), y.data()), 4.0 - 10.0 - 18.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(3, x.data()), 14.0);
+  EXPECT_DOUBLE_EQ(Dot(0, x.data(), y.data()), 0.0);
+}
+
+TEST(KernelsLevel1Test, ColumnReductionsMatchNaiveLoops) {
+  const Index m = 23, n = 17, lda = 21;
+  std::vector<double> a(static_cast<std::size_t>(m * lda));
+  rng::Engine rng(31);
+  for (double& v : a) v = rng.NextDouble() * 2.0 - 1.0;
+
+  std::vector<double> abs_sums(static_cast<std::size_t>(n), -1.0);
+  std::vector<double> sq_norms(static_cast<std::size_t>(n), -1.0);
+  ColumnAbsSums(m, n, a.data(), lda, abs_sums.data());
+  ColumnSquaredNorms(m, n, a.data(), lda, sq_norms.data());
+
+  for (Index j = 0; j < n; ++j) {
+    double want_abs = 0.0, want_sq = 0.0;
+    for (Index i = 0; i < m; ++i) {
+      const double v = a[static_cast<std::size_t>(i * lda + j)];
+      want_abs += std::abs(v);
+      want_sq += v * v;
+    }
+    EXPECT_NEAR(abs_sums[static_cast<std::size_t>(j)], want_abs, 1e-12);
+    EXPECT_NEAR(sq_norms[static_cast<std::size_t>(j)], want_sq, 1e-12);
+  }
+  // m == 0 must still clear the output.
+  ColumnAbsSums(0, n, a.data(), lda, abs_sums.data());
+  for (Index j = 0; j < n; ++j) {
+    EXPECT_EQ(abs_sums[static_cast<std::size_t>(j)], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lrm::linalg::kernels

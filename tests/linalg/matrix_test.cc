@@ -149,6 +149,37 @@ TEST(MatrixTest, AxpyAndFill) {
   EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 0.0);
 }
 
+TEST(MatrixTest, ResizeZeroFillsAndReusesCapacity) {
+  Matrix a(8, 8, 5.0);
+  const double* buffer = a.data();
+
+  // Shrinking (or refitting within capacity) must not reallocate, and the
+  // contents are discarded to zero either way.
+  a.Resize(4, 6);
+  EXPECT_EQ(a.rows(), 4);
+  EXPECT_EQ(a.cols(), 6);
+  EXPECT_EQ(a.data(), buffer);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 0.0);
+
+  a(0, 0) = 9.0;
+  a.Resize(8, 8);  // still within the original 64-entry capacity
+  EXPECT_EQ(a.data(), buffer);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 0.0);
+
+  a.Resize(0, 3);  // degenerate shapes stay legal
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(MatrixTest, EntryCountOverflowAborts) {
+  // rows·cols overflowing ptrdiff_t must abort instead of wrapping into a
+  // small allocation that out-of-bounds every accessor afterwards.
+  const Index huge = Index{1} << 40;
+  EXPECT_DEATH(Matrix(huge, huge), "CHECK failed");
+  Matrix a;
+  EXPECT_DEATH(a.Resize(huge, huge), "CHECK failed");
+}
+
 // Property suite: the fast kernels must agree with the naive reference on
 // random rectangular shapes.
 class GemmPropertyTest

@@ -1,0 +1,183 @@
+// MatrixView/ConstMatrixView semantics and the buffer-reusing `*Into`
+// operations: correctness against the allocating forms, buffer reuse
+// (no reallocation when shapes repeat), sub-block views as operands, and
+// the aliasing guards that keep an output from overlapping an input.
+
+#include "linalg/matrix_view.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+#include "tests/support/matchers.h"
+
+namespace lrm::linalg {
+namespace {
+
+Matrix MakeRandom(Index rows, Index cols, std::uint64_t seed) {
+  rng::Engine engine(seed);
+  return RandomGaussianMatrix(engine, rows, cols);
+}
+
+TEST(MatrixViewTest, WholeMatrixViewAccessors) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  ConstMatrixView view = m;
+  EXPECT_EQ(view.rows(), 2);
+  EXPECT_EQ(view.cols(), 3);
+  EXPECT_EQ(view.stride(), 3);
+  EXPECT_EQ(view.data(), m.data());
+  EXPECT_EQ(view(1, 2), 6.0);
+  EXPECT_FALSE(view.empty());
+}
+
+TEST(MatrixViewTest, BlockSharesStorageAndStride) {
+  Matrix m(4, 5);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 5; ++j) m(i, j) = 10.0 * i + j;
+  }
+  ConstMatrixView block = ConstMatrixView(m).Block(1, 2, 2, 3);
+  EXPECT_EQ(block.rows(), 2);
+  EXPECT_EQ(block.cols(), 3);
+  EXPECT_EQ(block.stride(), 5);
+  EXPECT_EQ(block(0, 0), 12.0);
+  EXPECT_EQ(block(1, 2), 24.0);
+
+  const Matrix copy = block.ToMatrix();
+  EXPECT_MATRIX_NEAR(copy, (Matrix{{12.0, 13.0, 14.0}, {22.0, 23.0, 24.0}}),
+                     0.0);
+}
+
+TEST(MatrixViewTest, MutableViewWritesThrough) {
+  Matrix m(3, 3);
+  MatrixView view = m;
+  view(1, 1) = 42.0;
+  view.Block(0, 2, 2, 1)(0, 0) = 7.0;
+  EXPECT_EQ(m(1, 1), 42.0);
+  EXPECT_EQ(m(0, 2), 7.0);
+}
+
+TEST(MatrixViewTest, ViewsOverlapIsConservativeOnRanges) {
+  Matrix m(4, 4);
+  Matrix other(4, 4);
+  EXPECT_TRUE(ViewsOverlap(m, m));
+  EXPECT_FALSE(ViewsOverlap(m, other));
+  EXPECT_FALSE(ViewsOverlap(m, ConstMatrixView()));
+  // Disjoint row blocks of one matrix do not overlap.
+  ConstMatrixView top = ConstMatrixView(m).Block(0, 0, 2, 4);
+  ConstMatrixView bottom = ConstMatrixView(m).Block(2, 0, 2, 4);
+  EXPECT_FALSE(ViewsOverlap(top, bottom));
+  EXPECT_TRUE(ViewsOverlap(top, m));
+}
+
+TEST(MultiplyIntoTest, MatchesAllocatingFormsForAllTransposeVariants) {
+  const Matrix a = MakeRandom(7, 5, 1);
+  const Matrix b = MakeRandom(5, 6, 2);
+  const Matrix at = Transpose(a);
+  const Matrix bt = Transpose(b);
+  const Matrix want = a * b;
+
+  Matrix c;
+  MultiplyInto(a, b, &c);
+  EXPECT_MATRIX_NEAR(c, want, 1e-12);
+  MultiplyAtBInto(at, b, &c);
+  EXPECT_MATRIX_NEAR(c, want, 1e-12);
+  MultiplyABtInto(a, bt, &c);
+  EXPECT_MATRIX_NEAR(c, want, 1e-12);
+  MultiplyAtBtInto(at, bt, &c);
+  EXPECT_MATRIX_NEAR(c, want, 1e-12);
+}
+
+TEST(MultiplyIntoTest, GramAndTransposeAndCopy) {
+  const Matrix a = MakeRandom(6, 4, 3);
+  Matrix c;
+  GramAtAInto(a, &c);
+  EXPECT_MATRIX_NEAR(c, GramAtA(a), 1e-12);
+  GramAAtInto(a, &c);
+  EXPECT_MATRIX_NEAR(c, GramAAt(a), 1e-12);
+  TransposeInto(a, &c);
+  EXPECT_MATRIX_NEAR(c, Transpose(a), 0.0);
+  CopyInto(a, &c);
+  EXPECT_MATRIX_NEAR(c, a, 0.0);
+}
+
+TEST(MultiplyIntoTest, GemmIntoAccumulatesWithBeta) {
+  const Matrix a = MakeRandom(4, 3, 4);
+  const Matrix b = MakeRandom(3, 5, 5);
+  Matrix c = MakeRandom(4, 5, 6);
+  Matrix want = c;
+  want *= 0.5;
+  want.Axpy(2.0, a * b);
+
+  GemmInto(2.0, a, false, b, false, 0.5, &c);
+  EXPECT_MATRIX_NEAR(c, want, 1e-12);
+}
+
+TEST(MultiplyIntoTest, ReusesOutputBufferAcrossRepeatedShapes) {
+  const Matrix a = MakeRandom(8, 8, 7);
+  const Matrix b = MakeRandom(8, 8, 8);
+  Matrix c;
+  MultiplyInto(a, b, &c);
+  const double* buffer = c.data();
+  MultiplyInto(a, b, &c);  // same shape: must not reallocate
+  EXPECT_EQ(c.data(), buffer);
+}
+
+TEST(MultiplyIntoTest, SubBlockOperandsOfOneParentAreLegal) {
+  // Both operands view into the same parent; only the output must be
+  // distinct storage.
+  const Matrix parent = MakeRandom(10, 10, 9);
+  ConstMatrixView left = ConstMatrixView(parent).Block(0, 0, 4, 6);
+  ConstMatrixView right = ConstMatrixView(parent).Block(4, 0, 6, 5);
+  Matrix c;
+  MultiplyInto(left, right, &c);
+  EXPECT_MATRIX_NEAR(
+      c, SliceRows(SliceCols(parent, 0, 6), 0, 4) *
+             SliceCols(SliceRows(parent, 4, 10), 0, 5),
+      1e-12);
+}
+
+TEST(MultiplyIntoTest, VectorForms) {
+  const Matrix a = MakeRandom(6, 4, 10);
+  rng::Engine engine(11);
+  Vector x(4);
+  for (Index i = 0; i < 4; ++i) x[i] = engine.NextDouble();
+  Vector y_long(6);
+  for (Index i = 0; i < 6; ++i) y_long[i] = engine.NextDouble();
+
+  Vector y;
+  MultiplyInto(a, x, &y);
+  EXPECT_VECTOR_NEAR(y, a * x, 1e-12);
+  Vector z;
+  MultiplyAtXInto(a, y_long, &z);
+  EXPECT_VECTOR_NEAR(z, MultiplyAtX(a, y_long), 1e-12);
+}
+
+using MatrixViewDeathTest = ::testing::Test;
+
+TEST(MatrixViewDeathTest, OutputAliasingAnInputAborts) {
+  Matrix a = MakeRandom(4, 4, 12);
+  Matrix b = MakeRandom(4, 4, 13);
+  EXPECT_DEATH(MultiplyInto(a, b, &a), "CHECK failed");
+  EXPECT_DEATH(MultiplyInto(a, b, &b), "CHECK failed");
+  EXPECT_DEATH(TransposeInto(a, &a), "CHECK failed");
+  EXPECT_DEATH(CopyInto(a, &a), "CHECK failed");
+}
+
+TEST(MatrixViewDeathTest, OutputAliasingAnInputSubBlockAborts) {
+  // Even a partial overlap (output vs. a block view of itself) must abort.
+  Matrix parent = MakeRandom(8, 8, 14);
+  ConstMatrixView block = ConstMatrixView(parent).Block(2, 2, 4, 4);
+  Matrix b = MakeRandom(4, 8, 15);
+  EXPECT_DEATH(MultiplyInto(block, b, &parent), "CHECK failed");
+}
+
+TEST(MatrixViewDeathTest, GemmIntoShapeMismatchWithBetaAborts) {
+  const Matrix a = MakeRandom(4, 3, 16);
+  const Matrix b = MakeRandom(3, 5, 17);
+  Matrix c(2, 2);  // wrong shape: beta != 0 must not silently resize
+  EXPECT_DEATH(GemmInto(1.0, a, false, b, false, 1.0, &c), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace lrm::linalg
