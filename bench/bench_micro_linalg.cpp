@@ -128,6 +128,75 @@ void BM_CholeskySolve(benchmark::State& state) {
 }
 BENCHMARK(BM_CholeskySolve)->Arg(64)->Arg(128)->Arg(256);
 
+// --- Factorization tier: blocked (auto dispatch) vs. forced-scalar -------
+//
+// The *Scalar variants pin kernels::SetFactorImpl(kReference) around the
+// loop; the unsuffixed variants run the production dispatch. The stored
+// baselines carry both so compare_benchmarks.py can gate the RATIO
+// (hardware-independent) on CI runners whose absolute timings differ from
+// the baseline box.
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeSpd(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::CholeskyFactor(a));
+  }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_CholeskyFactorScalar(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeSpd(n, 5);
+  kernels::SetFactorImpl(kernels::FactorImpl::kReference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::CholeskyFactor(a));
+  }
+  kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
+}
+BENCHMARK(BM_CholeskyFactorScalar)->Arg(256)->Arg(512);
+
+// Square QR through the production dispatch (blocked at these sizes).
+void BM_QrFactor(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(n, n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::HouseholderQr(a));
+  }
+}
+BENCHMARK(BM_QrFactor)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_QrFactorScalar(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeRandom(n, n, 12);
+  kernels::SetFactorImpl(kernels::FactorImpl::kReference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::HouseholderQr(a));
+  }
+  kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
+}
+BENCHMARK(BM_QrFactorScalar)->Arg(256);
+
+// The decomposition-init hot shape (tall range-finder orthonormalization)
+// at the acceptance-criterion size 1024×256.
+void BM_OrthonormalizeColumns1024x256(benchmark::State& state) {
+  const Matrix a = MakeRandom(1024, 256, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::OrthonormalizeColumns(a));
+  }
+}
+BENCHMARK(BM_OrthonormalizeColumns1024x256);
+
+void BM_OrthonormalizeColumns1024x256Scalar(benchmark::State& state) {
+  const Matrix a = MakeRandom(1024, 256, 13);
+  kernels::SetFactorImpl(kernels::FactorImpl::kReference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::OrthonormalizeColumns(a));
+  }
+  kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
+}
+BENCHMARK(BM_OrthonormalizeColumns1024x256Scalar);
+
 void BM_SymmetricEigen(benchmark::State& state) {
   const Index n = state.range(0);
   const Matrix a = MakeSpd(n, 7);
@@ -135,7 +204,18 @@ void BM_SymmetricEigen(benchmark::State& state) {
     benchmark::DoNotOptimize(lrm::linalg::SymmetricEigen(a));
   }
 }
-BENCHMARK(BM_SymmetricEigen)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_SymmetricEigen)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_SymmetricEigenScalar(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeSpd(n, 7);
+  kernels::SetFactorImpl(kernels::FactorImpl::kReference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::SymmetricEigen(a));
+  }
+  kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
+}
+BENCHMARK(BM_SymmetricEigenScalar)->Arg(256);
 
 void BM_JacobiSvd(benchmark::State& state) {
   const Index n = state.range(0);

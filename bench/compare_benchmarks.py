@@ -12,12 +12,29 @@ benchmark slower than baseline by more than the tolerance fails the test.
 
 Baselines are machine-specific (they record absolute nanoseconds on the box
 that generated them); regenerate with --update after an intentional change
-or on new hardware. Environment knobs:
+or on new hardware.
 
-    LRM_BENCH_TOLERANCE    overrides --tolerance (fraction, e.g. 0.4)
-    LRM_BENCH_REPORT_ONLY  "1" reports regressions without failing — for CI
-                           runners whose hardware does not match the stored
-                           baseline.
+A baseline file may additionally carry a "relative" section gating the RATIO
+between two benchmarks from the same run:
+
+    "relative": [{"name": "BM_QrFactor/256",
+                  "reference": "BM_QrFactorScalar/256",
+                  "max_ratio": 0.5}, ...]
+
+fails when real_time(name) / real_time(reference) exceeds max_ratio. Ratios
+are hardware-independent (both sides run on the same machine seconds apart),
+so relative gates stay ENFORCING even under LRM_BENCH_REPORT_ONLY — this is
+what lets CI run `ctest -L bench` as a real gate on heterogeneous runners.
+--update preserves the section verbatim. Environment knobs:
+
+    LRM_BENCH_TOLERANCE      overrides --tolerance (fraction, e.g. 0.4)
+    LRM_BENCH_REPORT_ONLY    "1" reports absolute regressions without
+                             failing — for runners whose hardware does not
+                             match the stored baseline. Relative gates still
+                             enforce.
+    LRM_BENCH_SKIP_RELATIVE  "1" disables the relative gates too (escape
+                             hatch for pathological environments, e.g.
+                             emulation).
 """
 
 import argparse
@@ -59,6 +76,36 @@ def min_real_times_ns(report):
     return times
 
 
+def check_relative(specs, measured, skip):
+    """Checks ratio gates; returns the list of violation messages."""
+    violations = []
+    if not specs:
+        return violations
+    print()
+    for spec in specs:
+        name, ref = spec["name"], spec["reference"]
+        max_ratio = float(spec["max_ratio"])
+        if name not in measured or ref not in measured:
+            violations.append(
+                f"relative gate {name} vs {ref}: benchmark missing from this "
+                f"run (filter stale?)")
+            continue
+        ratio = (measured[name] / measured[ref] if measured[ref] > 0
+                 else float("inf"))
+        ok = ratio <= max_ratio
+        flag = "ok" if ok else "RELATIVE REGRESSION"
+        print(f"{name:<44} / {ref}: {ratio:.3f}x "
+              f"(max {max_ratio:.3f})  {flag}")
+        if not ok:
+            violations.append(
+                f"{name} is {ratio:.3f}x of {ref}, above the "
+                f"{max_ratio:.3f} gate")
+    if skip and violations:
+        print("LRM_BENCH_SKIP_RELATIVE=1: ignoring relative violations")
+        return []
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", required=True)
@@ -89,6 +136,15 @@ def main():
                     measured.items())
             },
         }
+        # The relative section is hand-maintained policy, not measurement:
+        # carry it over verbatim.
+        try:
+            with open(args.baseline) as f:
+                old_relative = json.load(f).get("relative")
+            if old_relative:
+                baseline["relative"] = old_relative
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)
@@ -98,7 +154,8 @@ def main():
 
     try:
         with open(args.baseline) as f:
-            baseline = json.load(f)["benchmarks"]
+            baseline_doc = json.load(f)
+            baseline = baseline_doc["benchmarks"]
     except FileNotFoundError:
         raise SystemExit(
             f"no baseline at {args.baseline}; generate one with --update")
@@ -123,14 +180,29 @@ def main():
     for name in sorted(set(baseline) - set(measured)):
         print(f"{name:<44} missing from this run (baseline stale?)")
 
+    relative_violations = check_relative(
+        baseline_doc.get("relative", []), measured,
+        skip=os.environ.get("LRM_BENCH_SKIP_RELATIVE") == "1")
+
+    failed = False
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{tolerance:.0%} vs. {args.baseline}")
         if report_only:
             print("LRM_BENCH_REPORT_ONLY=1: reporting without failing")
-            return
+        else:
+            failed = True
+    if relative_violations:
+        # Ratio gates compare two benchmarks from this same run, so foreign
+        # hardware is no excuse: they enforce even in report-only mode.
+        print(f"\n{len(relative_violations)} relative gate(s) violated:")
+        for message in relative_violations:
+            print(f"  {message}")
+        failed = True
+    if failed:
         raise SystemExit(1)
-    print("\nall benchmarks within tolerance")
+    if not regressions:
+        print("\nall benchmarks within tolerance")
 
 
 if __name__ == "__main__":

@@ -102,12 +102,15 @@ bool TrySketchedInit(const Matrix& w, const DecompositionOptions& options,
   const double rel_tol = std::max(options.rank_tolerance, 1e-7);
   // 96 starting columns resolve the common figure workloads (rank ≈ m/5 at
   // m ≤ 512) in one sketch; an exactly-saturated sketch cannot prove the
-  // tail is empty, so saturation doubles the width and retries.
+  // tail is empty, so saturation doubles the width and retries. The shared
+  // workspace keeps the retries (and each sketch's power iterations) from
+  // reallocating the range-finder buffers.
+  linalg::RandomizedSvdWorkspace sketch_ws;
   for (Index sketch = std::min<Index>(96, cap);; sketch = 2 * sketch) {
     sketch = std::min(sketch, cap);
     linalg::RandomizedSvdOptions rsvd;
     rsvd.seed = options.seed;
-    auto attempt = linalg::RandomizedSvd(w, sketch, rsvd);
+    auto attempt = linalg::RandomizedSvd(w, sketch, rsvd, &sketch_ws);
     if (!attempt.ok()) return false;
     const Index rank = linalg::NumericalRank(attempt.value(), rel_tol);
     if (rank < sketch) {

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "base/string_util.h"
+#include "linalg/householder_wy.h"
+#include "linalg/kernels/kernels.h"
 
 namespace lrm::linalg {
 
 namespace {
+
+namespace kernels = lrm::linalg::kernels;
 
 double Hypot(double a, double b) { return std::hypot(a, b); }
 
@@ -95,10 +100,15 @@ void Tred2(Matrix& v, Vector& d, Vector& e) {
   e[0] = 0.0;
 }
 
-// Implicit-shift QL iteration on the tridiagonal (d, e); eigenvectors are
-// accumulated into v. Port of EISPACK tql2. Returns false on non-convergence.
-bool Tql2(Matrix& v, Vector& d, Vector& e) {
-  const Index n = v.rows();
+// Implicit-shift QL iteration on the tridiagonal (d, e); the rotations are
+// accumulated into the ROWS of vt (row i of vt ends up as eigenvector i, so
+// callers pass the transposed starting basis and transpose back). Port of
+// EISPACK tql2, re-oriented so the innermost rotation loop streams two
+// contiguous rows instead of striding down two columns — the accumulation
+// is the dominant O(n³) term of the whole eigensolve and runs several
+// times faster on contiguous memory. Returns false on non-convergence.
+bool Tql2Rows(Matrix& vt, Vector& d, Vector& e) {
+  const Index n = vt.rows();
   for (Index i = 1; i < n; ++i) e[i - 1] = e[i];
   e[n - 1] = 0.0;
 
@@ -146,10 +156,12 @@ bool Tql2(Matrix& v, Vector& d, Vector& e) {
           c = p / r;
           p = c * d[i] - s * g;
           d[i + 1] = h + s * (c * g + s * d[i]);
+          double* row_i = vt.RowPtr(i);
+          double* row_i1 = vt.RowPtr(i + 1);
           for (Index k = 0; k < n; ++k) {
-            h = v(k, i + 1);
-            v(k, i + 1) = s * v(k, i) + c * h;
-            v(k, i) = c * v(k, i) - s * h;
+            h = row_i1[k];
+            row_i1[k] = s * row_i[k] + c * h;
+            row_i[k] = c * row_i[k] - s * h;
           }
         }
         p = -s * s2 * c3 * el1 * e[l] / dl1;
@@ -161,7 +173,7 @@ bool Tql2(Matrix& v, Vector& d, Vector& e) {
     e[l] = 0.0;
   }
 
-  // Sort eigenvalues ascending, permuting eigenvectors along.
+  // Sort eigenvalues ascending, permuting eigenvector rows along.
   for (Index i = 0; i < n - 1; ++i) {
     Index k = i;
     double p = d[i];
@@ -174,10 +186,163 @@ bool Tql2(Matrix& v, Vector& d, Vector& e) {
     if (k != i) {
       d[k] = d[i];
       d[i] = p;
-      for (Index j = 0; j < n; ++j) std::swap(v(j, i), v(j, k));
+      std::swap_ranges(vt.RowPtr(i), vt.RowPtr(i) + n, vt.RowPtr(k));
     }
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Blocked tridiagonalization (LAPACK sytrd/latrd structure, lower storage).
+//
+// The similarity reduction A → Qᵀ·A·Q = tridiag(d, e) is organized in panels
+// of kTridiagPanel reflectors. Within a panel only the current column is
+// updated (a pair of skinny GEMVs against the accumulated V/W panels); the
+// bulk of the flops — the symmetric rank-2·jb update of the trailing matrix
+// A ← A − V·Wᵀ − W·Vᵀ — is deferred to two GEMMs per panel. Reflector tails
+// persist below the first subdiagonal of the working matrix (exactly where
+// the reduction zeroed it), so Q can be re-accumulated afterwards from
+// compact-WY blocks without extra storage.
+// ---------------------------------------------------------------------------
+
+constexpr Index kTridiagPanel = 32;
+
+bool UseBlockedEigen(Index n) { return kernels::UseBlockedFactor(n >= 128); }
+
+// Width of the panel starting at reduction offset `off` (the last reflector
+// annihilates below the subdiagonal of column n-3).
+Index TridiagPanelWidth(Index n, Index off) {
+  return std::min<Index>(kTridiagPanel, n - 2 - off);
+}
+
+// Reduces the symmetric working matrix `m` to tridiagonal (d, e) in place.
+// On return d holds the diagonal, e[1:] the subdiagonal (e[0] = 0), tau the
+// reflector scalars, and column c of `m` keeps the tail of reflector v_c
+// below row c+1 (v_c has an implicit 1 at row c+1).
+void BlockedTridiagonalize(Matrix& m, Vector& d, Vector& e,
+                           std::vector<double>& tau) {
+  const Index n = m.rows();
+  tau.assign(static_cast<std::size_t>(n), 0.0);
+  Matrix v_panel, w_panel;
+  std::vector<double> p(static_cast<std::size_t>(n));
+  std::vector<double> u1(kTridiagPanel), u2(kTridiagPanel);
+
+  Index off = 0;
+  while (n - off > 2) {
+    const Index nt = n - off;
+    const Index jb = TridiagPanelWidth(n, off);
+    v_panel.Resize(nt, jb);  // zero-filled; columns gain their support below
+    w_panel.Resize(nt, jb);
+    double* s = m.data() + off * n + off;  // S(i, j) = s[i·n + j]
+
+    for (Index i = 0; i < jb; ++i) {
+      double* v_col = v_panel.data() + i;  // column i, leading dimension jb
+      if (i > 0) {
+        // Catch column i up with the panel's earlier reflectors:
+        // S(i:nt, i) −= V(i:nt, 0:i)·W(i, 0:i)ᵀ + W(i:nt, 0:i)·V(i, 0:i)ᵀ.
+        kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, nt - i, 1, i,
+                      -1.0, v_panel.RowPtr(i), jb, w_panel.RowPtr(i), 1, 1.0,
+                      s + i * n + i, n);
+        kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, nt - i, 1, i,
+                      -1.0, w_panel.RowPtr(i), jb, v_panel.RowPtr(i), 1, 1.0,
+                      s + i * n + i, n);
+      }
+      d[off + i] = s[i * n + i];
+
+      // Reflector annihilating S(i+2:nt, i); beta lands on the subdiagonal.
+      const Index len = nt - i - 1;
+      double* x = s + (i + 1) * n + i;
+      const double t = internal::MakeHouseholder(len, x, n);
+      tau[static_cast<std::size_t>(off + i)] = t;
+      e[off + i + 1] = x[0];
+      v_col[(i + 1) * jb] = 1.0;
+      for (Index r = i + 2; r < nt; ++r) v_col[r * jb] = s[r * n + i];
+
+      // w = tau·(S₂₂·v − V·(Wᵀv) − W·(Vᵀv)) − ½·tau·(wᵀv)·v, where S₂₂ is
+      // the trailing block untouched by this panel so far.
+      const double* v_tail = v_col + (i + 1) * jb;
+      kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, len, 1, len, 1.0,
+                    s + (i + 1) * n + (i + 1), n, v_tail, jb, 0.0, p.data(),
+                    1);
+      if (i > 0) {
+        kernels::Gemm(kernels::Op::kTranspose, kernels::Op::kNone, i, 1, len,
+                      1.0, w_panel.RowPtr(i + 1), jb, v_tail, jb, 0.0,
+                      u1.data(), 1);
+        kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, len, 1, i, -1.0,
+                      v_panel.RowPtr(i + 1), jb, u1.data(), 1, 1.0, p.data(),
+                      1);
+        kernels::Gemm(kernels::Op::kTranspose, kernels::Op::kNone, i, 1, len,
+                      1.0, v_panel.RowPtr(i + 1), jb, v_tail, jb, 0.0,
+                      u2.data(), 1);
+        kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, len, 1, i, -1.0,
+                      w_panel.RowPtr(i + 1), jb, u2.data(), 1, 1.0, p.data(),
+                      1);
+      }
+      double wv = 0.0;
+      for (Index r = 0; r < len; ++r) {
+        p[static_cast<std::size_t>(r)] *= t;
+        wv += p[static_cast<std::size_t>(r)] * v_tail[r * jb];
+      }
+      const double alpha = -0.5 * t * wv;
+      double* w_col = w_panel.data() + i;
+      for (Index r = 0; r < len; ++r) {
+        w_col[(i + 1 + r) * jb] =
+            p[static_cast<std::size_t>(r)] + alpha * v_tail[r * jb];
+      }
+    }
+
+    // Deferred symmetric rank-2·jb update of the trailing matrix:
+    // S(jb:nt, jb:nt) −= V₂·W₂ᵀ + W₂·V₂ᵀ.
+    const Index rest = nt - jb;
+    kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rest, rest, jb,
+                  -1.0, v_panel.RowPtr(jb), jb, w_panel.RowPtr(jb), jb, 1.0,
+                  s + jb * n + jb, n);
+    kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rest, rest, jb,
+                  -1.0, w_panel.RowPtr(jb), jb, v_panel.RowPtr(jb), jb, 1.0,
+                  s + jb * n + jb, n);
+    off += jb;
+  }
+
+  // 2×2 (or smaller) tail is already tridiagonal.
+  if (n >= 2) {
+    d[n - 2] = m(n - 2, n - 2);
+    e[n - 1] = m(n - 1, n - 2);
+  }
+  if (n >= 1) d[n - 1] = m(n - 1, n - 1);
+  e[0] = 0.0;
+}
+
+// Accumulates Q = H_0·H_1·…·H_{n-3} (the tridiagonalizing transform, so
+// A = Q·T·Qᵀ) by applying the compact-WY blocks to the identity in reverse
+// panel order — three GEMMs per panel via ApplyBlockReflectorLeft.
+void FormTridiagQ(const Matrix& m, const std::vector<double>& tau, Matrix* q) {
+  const Index n = m.rows();
+  q->Resize(n, n);
+  for (Index i = 0; i < n; ++i) (*q)(i, i) = 1.0;
+
+  // Reconstruct the forward panel partition, then walk it backwards.
+  std::vector<Index> offsets;
+  for (Index off = 0; n - off > 2; off += TridiagPanelWidth(n, off)) {
+    offsets.push_back(off);
+  }
+  std::vector<double> v, t, scratch;
+  for (auto it = offsets.rbegin(); it != offsets.rend(); ++it) {
+    const Index off = *it;
+    const Index jb = TridiagPanelWidth(n, off);
+    const Index rows = n - off - 1;  // reflector support starts at off+1
+    v.resize(static_cast<std::size_t>(rows * jb));
+    internal::ExtractPanelV(m.data() + (off + 1) * n + off, n, rows, jb,
+                            v.data());
+    t.resize(static_cast<std::size_t>(jb * jb));
+    internal::BuildBlockT(v.data(), jb, rows, jb, tau.data() + off, t.data(),
+                          jb);
+    // Columns ≤ off of Q are still identity columns with no support in rows
+    // ≥ off+1; restrict the update to the live block.
+    internal::ApplyBlockReflectorLeft(v.data(), jb, t.data(), jb, rows, jb,
+                                      /*transpose_t=*/false,
+                                      q->data() + (off + 1) * n + (off + 1),
+                                      n, n - off - 1, &scratch);
+  }
 }
 
 }  // namespace
@@ -203,12 +368,29 @@ StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
 
   Vector d(n);
   Vector e(n);
-  Tred2(v, d, e);
-  if (!Tql2(v, d, e)) {
+  // Both paths hand Tql2Rows the TRANSPOSED starting basis (rows =
+  // tridiagonalizing transform columns) so the rotation loops stream
+  // contiguously, and transpose back at the end — two O(n²) copies against
+  // the O(n³) accumulation.
+  Matrix vt;
+  if (UseBlockedEigen(n)) {
+    // GEMM-rich path: blocked tridiagonalization, Q re-accumulated from the
+    // compact-WY blocks, then the same implicit-shift QL on the tridiagonal
+    // rotates Q's columns into the eigenvectors.
+    std::vector<double> tau;
+    BlockedTridiagonalize(v, d, e, tau);
+    Matrix q;
+    FormTridiagQ(v, tau, &q);
+    vt = Transpose(q);
+  } else {
+    Tred2(v, d, e);
+    vt = Transpose(v);
+  }
+  if (!Tql2Rows(vt, d, e)) {
     return Status::NumericalError(
         "SymmetricEigen: QL iteration failed to converge");
   }
-  return SymmetricEigenResult{std::move(d), std::move(v)};
+  return SymmetricEigenResult{std::move(d), Transpose(vt)};
 }
 
 StatusOr<Matrix> ProjectToPsdCone(const Matrix& a, double floor) {

@@ -1,5 +1,16 @@
 // Symmetric eigendecomposition via Householder tridiagonalization followed
-// by the implicit-shift QL iteration (the classic EISPACK tred2/tql2 pair).
+// by the implicit-shift QL iteration.
+//
+// Two tridiagonalization paths behind one API (dispatch mirrors the GEMM
+// kernels; LRM_FACTOR_KERNEL / kernels::SetFactorImpl force either):
+//
+//  * scalar  — the classic EISPACK tred2 loop; the reference, and the
+//              default below n = 128.
+//  * blocked — LAPACK sytrd/latrd-style panels: per-column GEMVs inside a
+//              panel, the dominant symmetric rank-2·jb trailing update as
+//              two GEMMs, and Q re-accumulated from compact-WY block
+//              reflectors (linalg/householder_wy.h). The QL iteration on
+//              the tridiagonal is shared with the scalar path.
 //
 // Used by: the Gram-matrix SVD (singular values of W from eigenvalues of the
 // smaller Gram matrix), the matrix mechanism's PSD-cone projection, and the

@@ -1,0 +1,108 @@
+#include "linalg/householder_wy.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace lrm::linalg::internal {
+
+namespace kernels = lrm::linalg::kernels;
+
+double MakeHouseholder(Index n, double* x, Index incx) {
+  if (n <= 1) return 0.0;
+  double tail_sq = 0.0;
+  for (Index i = 1; i < n; ++i) {
+    const double xi = x[i * incx];
+    tail_sq += xi * xi;
+  }
+  const double alpha = x[0];
+  if (tail_sq == 0.0) return 0.0;
+  double beta = -std::copysign(std::sqrt(alpha * alpha + tail_sq), alpha);
+  const double tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  for (Index i = 1; i < n; ++i) x[i * incx] *= inv;
+  x[0] = beta;
+  return tau;
+}
+
+void PanelQr(double* a, Index lda, Index m, Index jb, double* tau) {
+  for (Index c = 0; c < jb; ++c) {
+    double* col = a + c * lda + c;  // a(c, c)
+    tau[c] = MakeHouseholder(m - c, col, lda);
+    if (tau[c] == 0.0 || c + 1 >= jb) continue;
+    // Apply H_c = I − tau·v·vᵀ to the remaining panel columns. The panel is
+    // at most a few dozen columns wide, so scalar loops are fine here; the
+    // trailing matrix beyond the panel gets the blocked GEMM treatment.
+    const double beta = col[0];
+    col[0] = 1.0;  // materialize the unit head for the dot products
+    for (Index j = c + 1; j < jb; ++j) {
+      double* col_j = a + c * lda + j;
+      double dot = 0.0;
+      for (Index i = 0; i < m - c; ++i) dot += col[i * lda] * col_j[i * lda];
+      const double s = -tau[c] * dot;
+      for (Index i = 0; i < m - c; ++i) col_j[i * lda] += s * col[i * lda];
+    }
+    col[0] = beta;
+  }
+}
+
+void ExtractPanelV(const double* a, Index lda, Index m, Index jb, double* v) {
+  for (Index i = 0; i < m; ++i) {
+    const double* a_row = a + i * lda;
+    double* v_row = v + i * jb;
+    for (Index j = 0; j < jb; ++j) {
+      v_row[j] = i > j ? a_row[j] : (i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+void BuildBlockT(const double* v, Index ldv, Index m, Index jb,
+                 const double* tau, double* t, Index ldt) {
+  // Forward columnwise larft: T(0:i, i) = −tau_i·T(0:i,0:i)·(Vᵀ·v_i),
+  // T(i, i) = tau_i. Column i of V is supported on rows i..m-1.
+  for (Index i = 0; i < jb; ++i) {
+    double* t_col = t + i;
+    for (Index r = i + 1; r < jb; ++r) t[r * ldt + i] = 0.0;
+    t[i * ldt + i] = tau[i];
+    if (i == 0 || tau[i] == 0.0) {
+      for (Index r = 0; r < i; ++r) t_col[r * ldt] = 0.0;
+      continue;
+    }
+    // y = V(:, 0:i)ᵀ·v_i — dot products start at row i where v_i begins.
+    for (Index r = 0; r < i; ++r) {
+      double dot = 0.0;
+      for (Index row = i; row < m; ++row) {
+        dot += v[row * ldv + r] * v[row * ldv + i];
+      }
+      t_col[r * ldt] = dot;
+    }
+    // T(0:i, i) = −tau_i·T(0:i,0:i)·y in place, front to back: entry r of
+    // the upper-triangular product reads only y_c with c ≥ r, so ascending
+    // order overwrites each slot after its last use.
+    for (Index r = 0; r < i; ++r) {
+      double sum = 0.0;
+      for (Index c = r; c < i; ++c) sum += t[r * ldt + c] * t_col[c * ldt];
+      t_col[r * ldt] = -tau[i] * sum;
+    }
+  }
+}
+
+void ApplyBlockReflectorLeft(const double* v, Index ldv, const double* t,
+                             Index ldt, Index m, Index jb, bool transpose_t,
+                             double* c, Index ldc, Index n,
+                             std::vector<double>* scratch) {
+  if (m == 0 || n == 0 || jb == 0) return;
+  LRM_CHECK_GE(jb, 0);
+  scratch->resize(static_cast<std::size_t>(2 * jb * n));
+  double* w = scratch->data();        // jb×n
+  double* tw = scratch->data() + jb * n;  // jb×n
+  // W = Vᵀ·C, TW = op(T)·W, C ← C − V·TW.
+  kernels::Gemm(kernels::Op::kTranspose, kernels::Op::kNone, jb, n, m, 1.0, v,
+                ldv, c, ldc, 0.0, w, n);
+  kernels::Gemm(transpose_t ? kernels::Op::kTranspose : kernels::Op::kNone,
+                kernels::Op::kNone, jb, n, jb, 1.0, t, ldt, w, n, 0.0, tw, n);
+  kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, m, n, jb, -1.0, v,
+                ldv, tw, n, 1.0, c, ldc);
+}
+
+}  // namespace lrm::linalg::internal

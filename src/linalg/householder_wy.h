@@ -1,0 +1,68 @@
+// Compact-WY block Householder machinery shared by the blocked
+// factorizations (qr.cc, eigen_sym.cc).
+//
+// A block of jb elementary reflectors H_i = I − tau_i·v_i·v_iᵀ composes into
+//
+//     H_0·H_1·…·H_{jb-1} = I − V·T·Vᵀ
+//
+// with V m×jb unit-lower-trapezoidal (column i is zero above row i, one at
+// row i) and T jb×jb upper triangular (Schreiber & Van Loan 1989; LAPACK's
+// larft/larfb). Applying the composed block to a matrix is three GEMMs
+// instead of jb rank-1 updates — that is the entire point of the blocked
+// tier.
+//
+// Everything here is raw pointer-level like linalg/kernels/: row-major
+// buffers with explicit leading dimensions, caller-owned scratch.
+
+#ifndef LRM_LINALG_HOUSEHOLDER_WY_H_
+#define LRM_LINALG_HOUSEHOLDER_WY_H_
+
+#include <vector>
+
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg::internal {
+
+using kernels::Index;
+
+/// \brief Generates an elementary reflector H = I − tau·v·vᵀ with v(0) = 1
+/// that maps the n-vector x (stride `incx`) to (beta, 0, …, 0).
+///
+/// On return x(0) holds beta and x(1:) holds the tail of v (LAPACK larfg
+/// convention). Returns tau; tau == 0 (x already collinear with e₀) leaves
+/// x untouched.
+double MakeHouseholder(Index n, double* x, Index incx);
+
+/// \brief Unblocked Householder QR of an m×jb panel stored at `a` (leading
+/// dimension lda), in place: R lands on/above the diagonal, the reflector
+/// tails below it (unit diagonal implicit). tau receives jb scalar factors.
+void PanelQr(double* a, Index lda, Index m, Index jb, double* tau);
+
+/// \brief Copies the unit-lower-trapezoidal V (m×jb) out of a PanelQr-
+/// factored panel into `v` (leading dimension jb): explicit ones on the
+/// diagonal, explicit zeros above, so V can feed plain GEMMs.
+void ExtractPanelV(const double* a, Index lda, Index m, Index jb, double* v);
+
+/// \brief Builds the jb×jb upper-triangular T of the compact-WY form from V
+/// (m×jb, leading dimension ldv, unit-lower-trapezoidal with explicit
+/// ones/zeros) and tau. T's strict lower triangle is zero-filled so T can
+/// feed plain GEMMs.
+void BuildBlockT(const double* v, Index ldv, Index m, Index jb,
+                 const double* tau, double* t, Index ldt);
+
+/// \brief Applies the block reflector from the left:
+///
+///   C ← (I − V·T·Vᵀ)·C      (transpose_t == false, i.e. H_0·…·H_{jb-1}·C)
+///   C ← (I − V·Tᵀ·Vᵀ)·C     (transpose_t == true,  i.e. the inverse order —
+///                            (H_0·…·H_{jb-1})ᵀ·C)
+///
+/// with C m×n (leading dimension ldc). Three GEMMs through kernels::Gemm;
+/// `scratch` is resized to 2·jb·n doubles and reused across calls.
+void ApplyBlockReflectorLeft(const double* v, Index ldv, const double* t,
+                             Index ldt, Index m, Index jb, bool transpose_t,
+                             double* c, Index ldc, Index n,
+                             std::vector<double>* scratch);
+
+}  // namespace lrm::linalg::internal
+
+#endif  // LRM_LINALG_HOUSEHOLDER_WY_H_

@@ -19,6 +19,9 @@ std::atomic<int> g_thread_override{0};
 // Matches GemmImpl values shifted by one; 0 = "not overridden".
 std::atomic<int> g_impl_override{0};
 
+// Matches FactorImpl values shifted by one; 0 = "not overridden".
+std::atomic<int> g_factor_override{0};
+
 int EnvThreadDefault() {
   if (const char* env = std::getenv("LRM_GEMM_THREADS")) {
     const int parsed = std::atoi(env);
@@ -34,6 +37,14 @@ GemmImpl EnvImplDefault() {
     if (std::strcmp(env, "blocked") == 0) return GemmImpl::kBlocked;
   }
   return GemmImpl::kAuto;
+}
+
+FactorImpl EnvFactorDefault() {
+  if (const char* env = std::getenv("LRM_FACTOR_KERNEL")) {
+    if (std::strcmp(env, "reference") == 0) return FactorImpl::kReference;
+    if (std::strcmp(env, "blocked") == 0) return FactorImpl::kBlocked;
+  }
+  return FactorImpl::kAuto;
 }
 
 }  // namespace
@@ -63,6 +74,32 @@ void SetGemmImpl(GemmImpl impl) {
   g_impl_override.store(
       impl == GemmImpl::kAuto ? 0 : static_cast<int>(impl) + 1,
       std::memory_order_relaxed);
+}
+
+FactorImpl ActiveFactorImpl() {
+  const int override = g_factor_override.load(std::memory_order_relaxed);
+  if (override > 0) return static_cast<FactorImpl>(override - 1);
+  static const FactorImpl env_default = EnvFactorDefault();
+  return env_default;
+}
+
+void SetFactorImpl(FactorImpl impl) {
+  // kAuto clears the override so LRM_FACTOR_KERNEL shows through again.
+  g_factor_override.store(
+      impl == FactorImpl::kAuto ? 0 : static_cast<int>(impl) + 1,
+      std::memory_order_relaxed);
+}
+
+bool UseBlockedFactor(bool auto_blocked) {
+  switch (ActiveFactorImpl()) {
+    case FactorImpl::kReference:
+      return false;
+    case FactorImpl::kBlocked:
+      return true;
+    case FactorImpl::kAuto:
+      break;
+  }
+  return auto_blocked;
 }
 
 }  // namespace lrm::linalg::kernels

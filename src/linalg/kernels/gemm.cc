@@ -254,9 +254,12 @@ void Gemm(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
   }
   const Index flops = m * n * k;
   // Below ~32³ multiply-adds the packing traffic exceeds the compute; the
-  // streaming reference loop wins there.
+  // streaming reference loop wins there. Matrix–vector shapes (one output
+  // row or column) are memory-bound and the packed micro-kernel pads them
+  // to full 4×8 tiles, so the reference loop wins at any size.
   constexpr Index kBlockedThreshold = 32 * 32 * 32;
-  if (impl == GemmImpl::kAuto && flops < kBlockedThreshold) {
+  if (impl == GemmImpl::kAuto && (flops < kBlockedThreshold || m == 1 ||
+                                  n == 1)) {
     GemmReference(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     return;
   }

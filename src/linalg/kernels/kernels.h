@@ -14,11 +14,16 @@
 //                    micro-kernel.
 //
 // Gemm() dispatches between them from runtime configuration (see below) and
-// problem size. Dispatch knobs, resolved once on first use:
+// problem size. The remaining level-3 kernels (Syrk, Trsm in level3.cc)
+// follow the same pattern: a scalar reference flavor plus a blocked flavor
+// whose bulk work lowers to Gemm(). Dispatch knobs, resolved once on first
+// use:
 //
-//   LRM_GEMM_THREADS  — worker thread cap (default: hardware concurrency);
-//                       SetGemmThreads() overrides programmatically.
-//   LRM_GEMM_KERNEL   — "auto" (default), "reference", or "blocked".
+//   LRM_GEMM_THREADS   — worker thread cap (default: hardware concurrency);
+//                        SetGemmThreads() overrides programmatically.
+//   LRM_GEMM_KERNEL    — "auto" (default), "reference", or "blocked".
+//   LRM_FACTOR_KERNEL  — same values, for the blocked factorization tier
+//                        built on these kernels (qr/cholesky/eigen_sym).
 
 #ifndef LRM_LINALG_KERNELS_KERNELS_H_
 #define LRM_LINALG_KERNELS_KERNELS_H_
@@ -32,8 +37,17 @@ using Index = std::ptrdiff_t;
 /// Whether a GEMM operand is used as stored or transposed.
 enum class Op { kNone, kTranspose };
 
+/// Which side a triangular operand multiplies from (Trsm).
+enum class Side { kLeft, kRight };
+
 /// GEMM implementation selector (see Gemm() dispatch rules).
 enum class GemmImpl { kAuto, kReference, kBlocked };
+
+/// Factorization-tier implementation selector (blocked QR / Cholesky /
+/// tridiagonalization in linalg/{qr,cholesky,eigen_sym}.cc). Mirrors
+/// GemmImpl: kReference forces the scalar loops, kBlocked forces the
+/// GEMM-rich blocked algorithms, kAuto picks by problem size.
+enum class FactorImpl { kAuto, kReference, kBlocked };
 
 /// \brief Worker threads GEMM may use. Resolved once from LRM_GEMM_THREADS
 /// (falling back to std::thread::hardware_concurrency), unless overridden.
@@ -50,6 +64,19 @@ GemmImpl ActiveGemmImpl();
 /// \brief Overrides ActiveGemmImpl() (tests/benchmarks); `kAuto` restores
 /// the LRM_GEMM_KERNEL environment default. Thread-safe.
 void SetGemmImpl(GemmImpl impl);
+
+/// \brief Active factorization-tier choice. Resolved once from
+/// LRM_FACTOR_KERNEL ("auto" | "reference" | "blocked") unless overridden.
+FactorImpl ActiveFactorImpl();
+
+/// \brief Overrides ActiveFactorImpl() (tests/benchmarks); `kAuto` restores
+/// the LRM_FACTOR_KERNEL environment default. Thread-safe.
+void SetFactorImpl(FactorImpl impl);
+
+/// \brief Resolves the factorization dispatch for one call site:
+/// kReference → false, kBlocked → true, kAuto → `auto_blocked` (the
+/// caller's own size heuristic). Keeps the three-way switch in one place.
+bool UseBlockedFactor(bool auto_blocked);
 
 /// \brief C = alpha·op(A)·op(B) + beta·C with op(A) m×k, op(B) k×n, C m×n.
 ///
@@ -74,6 +101,46 @@ void GemmReference(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
 void GemmBlocked(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
                  const double* a, Index lda, const double* b, Index ldb,
                  double beta, double* c, Index ldc, int threads);
+
+/// \brief Symmetric rank-k update, lower triangle only:
+/// C = alpha·op(A)·op(A)ᵀ + beta·C with op(A) n×k and C n×n. Only the lower
+/// triangle of C (including the diagonal) is read or written; the strict
+/// upper triangle is never touched. beta == 0 overwrites without reading.
+/// Dispatches like Gemm (reference for tiny updates or when configured,
+/// otherwise tiled: GEMM off-diagonal blocks + scalar diagonal tiles).
+void Syrk(Op op_a, Index n, Index k, double alpha, const double* a, Index lda,
+          double beta, double* c, Index ldc);
+
+/// \brief Scalar reference Syrk; same contract as Syrk().
+void SyrkReference(Op op_a, Index n, Index k, double alpha, const double* a,
+                   Index lda, double beta, double* c, Index ldc);
+
+/// \brief Tiled Syrk; same contract as Syrk(). Off-diagonal blocks lower to
+/// Gemm() (so they inherit its dispatch), diagonal tiles stay scalar.
+void SyrkBlocked(Op op_a, Index n, Index k, double alpha, const double* a,
+                 Index lda, double beta, double* c, Index ldc);
+
+/// \brief Triangular solve with a lower-triangular matrix and multiple
+/// right-hand sides, in place:
+///
+///   side == kLeft:   op(L)·X = alpha·B   (L is m×m)
+///   side == kRight:  X·op(L) = alpha·B   (L is n×n)
+///
+/// B is m×n and is overwritten with X. Only the lower triangle of L's
+/// storage is read (the strict upper triangle is ignored); the diagonal is
+/// non-unit and must be nonzero. Dispatches like Gemm: block substitution
+/// with GEMM trailing updates for large solves, scalar loops otherwise.
+void Trsm(Side side, Op op_l, Index m, Index n, double alpha, const double* l,
+          Index ldl, double* b, Index ldb);
+
+/// \brief Scalar reference Trsm; same contract as Trsm().
+void TrsmReference(Side side, Op op_l, Index m, Index n, double alpha,
+                   const double* l, Index ldl, double* b, Index ldb);
+
+/// \brief Blocked Trsm (diagonal-block reference solves + GEMM updates);
+/// same contract as Trsm().
+void TrsmBlocked(Side side, Op op_l, Index m, Index n, double alpha,
+                 const double* l, Index ldl, double* b, Index ldb);
 
 /// \brief y += alpha·x over n entries.
 void Axpy(Index n, double alpha, const double* x, double* y);

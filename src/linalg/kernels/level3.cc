@@ -1,0 +1,247 @@
+// Level-3 kernels beyond GEMM: symmetric rank-k update (Syrk) and
+// triangular solve with multiple right-hand sides (Trsm), both restricted to
+// lower-triangular storage — the only form the blocked factorizations need.
+//
+// The blocked flavors do not re-implement cache blocking: they carve the
+// problem into tiles whose bulk work is a plain GEMM and let Gemm() bring
+// the packed micro-kernel (and its dispatch rules) along. Only the
+// triangular tiles — a vanishing fraction of the flops — stay scalar.
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg::kernels {
+
+namespace {
+
+// Tile edge for both Syrk and Trsm. Large enough that off-diagonal GEMM
+// calls clear Gemm()'s own blocked-dispatch threshold once k is nontrivial.
+constexpr Index kTileSize = 64;
+
+// Entry (i, k) of op(A) for A stored with leading dimension lda.
+inline double OpAt(const double* a, Index lda, Op op, Index i, Index k) {
+  return op == Op::kNone ? a[i * lda + k] : a[k * lda + i];
+}
+
+// Row i of op(A) as a (pointer, stride) pair so dot products can stream.
+inline const double* OpRow(const double* a, Index lda, Op op, Index i) {
+  return op == Op::kNone ? a + i * lda : a + i;
+}
+inline Index OpRowStride(Index lda, Op op) { return op == Op::kNone ? 1 : lda; }
+
+}  // namespace
+
+void SyrkReference(Op op_a, Index n, Index k, double alpha, const double* a,
+                   Index lda, double beta, double* c, Index ldc) {
+  LRM_CHECK_GE(n, 0);
+  LRM_CHECK_GE(k, 0);
+  const Index stride = OpRowStride(lda, op_a);
+  for (Index i = 0; i < n; ++i) {
+    const double* row_i = OpRow(a, lda, op_a, i);
+    double* c_row = c + i * ldc;
+    for (Index j = 0; j <= i; ++j) {
+      const double* row_j = OpRow(a, lda, op_a, j);
+      double dot = 0.0;
+      for (Index l = 0; l < k; ++l) {
+        dot += row_i[l * stride] * row_j[l * stride];
+      }
+      const double prior = beta == 0.0 ? 0.0 : beta * c_row[j];
+      c_row[j] = prior + alpha * dot;
+    }
+  }
+}
+
+void SyrkBlocked(Op op_a, Index n, Index k, double alpha, const double* a,
+                 Index lda, double beta, double* c, Index ldc) {
+  LRM_CHECK_GE(n, 0);
+  LRM_CHECK_GE(k, 0);
+  for (Index i0 = 0; i0 < n; i0 += kTileSize) {
+    const Index ib = std::min(kTileSize, n - i0);
+    // Strictly-left part of this block row: complete rectangles, one GEMM.
+    if (i0 > 0) {
+      const double* a_i = op_a == Op::kNone ? a + i0 * lda : a + i0;
+      Gemm(op_a, op_a == Op::kNone ? Op::kTranspose : Op::kNone, ib, i0, k,
+           alpha, a_i, lda, a, lda, beta, c + i0 * ldc, ldc);
+    }
+    // Triangular diagonal tile stays scalar.
+    const double* a_d = op_a == Op::kNone ? a + i0 * lda : a + i0;
+    SyrkReference(op_a, ib, k, alpha, a_d, lda, beta, c + i0 * ldc + i0, ldc);
+  }
+}
+
+void Syrk(Op op_a, Index n, Index k, double alpha, const double* a, Index lda,
+          double beta, double* c, Index ldc) {
+  if (n == 0) return;
+  const GemmImpl impl = ActiveGemmImpl();
+  // Same small-shape rule as Gemm: below ~32³ multiply-adds the tiling and
+  // GEMM packing overhead exceed the compute.
+  constexpr Index kBlockedThreshold = 2 * 32 * 32 * 32;
+  if (impl == GemmImpl::kReference ||
+      (impl == GemmImpl::kAuto && n * n * k < kBlockedThreshold)) {
+    SyrkReference(op_a, n, k, alpha, a, lda, beta, c, ldc);
+    return;
+  }
+  SyrkBlocked(op_a, n, k, alpha, a, lda, beta, c, ldc);
+}
+
+void TrsmReference(Side side, Op op_l, Index m, Index n, double alpha,
+                   const double* l, Index ldl, double* b, Index ldb) {
+  LRM_CHECK_GE(m, 0);
+  LRM_CHECK_GE(n, 0);
+  if (m == 0 || n == 0) return;
+  if (alpha != 1.0) {
+    for (Index i = 0; i < m; ++i) {
+      double* b_row = b + i * ldb;
+      for (Index j = 0; j < n; ++j) b_row[j] *= alpha;
+    }
+  }
+  if (side == Side::kLeft) {
+    if (op_l == Op::kNone) {
+      // L·X = B: forward substitution over rows, all columns at once.
+      for (Index i = 0; i < m; ++i) {
+        double* b_i = b + i * ldb;
+        const double* l_row = l + i * ldl;
+        for (Index r = 0; r < i; ++r) {
+          const double l_ir = l_row[r];
+          if (l_ir == 0.0) continue;
+          const double* b_r = b + r * ldb;
+          for (Index j = 0; j < n; ++j) b_i[j] -= l_ir * b_r[j];
+        }
+        const double inv = 1.0 / l_row[i];
+        for (Index j = 0; j < n; ++j) b_i[j] *= inv;
+      }
+    } else {
+      // Lᵀ·X = B: back substitution over rows.
+      for (Index i = m - 1; i >= 0; --i) {
+        double* b_i = b + i * ldb;
+        for (Index r = i + 1; r < m; ++r) {
+          const double l_ri = l[r * ldl + i];
+          if (l_ri == 0.0) continue;
+          const double* b_r = b + r * ldb;
+          for (Index j = 0; j < n; ++j) b_i[j] -= l_ri * b_r[j];
+        }
+        const double inv = 1.0 / l[i * ldl + i];
+        for (Index j = 0; j < n; ++j) b_i[j] *= inv;
+      }
+    }
+    return;
+  }
+  // side == kRight: each row of B solves independently against the n×n L.
+  for (Index i = 0; i < m; ++i) {
+    double* x = b + i * ldb;
+    if (op_l == Op::kNone) {
+      // x·L = b: (x·L)_j = Σ_{r≥j} x_r·L(r, j) — back substitution.
+      for (Index j = n - 1; j >= 0; --j) {
+        double sum = x[j];
+        for (Index r = j + 1; r < n; ++r) sum -= x[r] * l[r * ldl + j];
+        x[j] = sum / l[j * ldl + j];
+      }
+    } else {
+      // x·Lᵀ = b: (x·Lᵀ)_j = Σ_{r≤j} L(j, r)·x_r — forward substitution.
+      for (Index j = 0; j < n; ++j) {
+        double sum = x[j];
+        const double* l_row = l + j * ldl;
+        for (Index r = 0; r < j; ++r) sum -= x[r] * l_row[r];
+        x[j] = sum / l_row[j];
+      }
+    }
+  }
+}
+
+void TrsmBlocked(Side side, Op op_l, Index m, Index n, double alpha,
+                 const double* l, Index ldl, double* b, Index ldb) {
+  LRM_CHECK_GE(m, 0);
+  LRM_CHECK_GE(n, 0);
+  if (m == 0 || n == 0) return;
+  // Fold alpha in once up front; every step below then runs at alpha == 1
+  // (a per-step beta=alpha in the GEMM would rescale untouched rows again
+  // on every iteration).
+  if (alpha != 1.0) {
+    for (Index i = 0; i < m; ++i) {
+      double* b_row = b + i * ldb;
+      for (Index j = 0; j < n; ++j) b_row[j] *= alpha;
+    }
+  }
+  // The triangular dimension: block substitution runs along it, with each
+  // diagonal block solved by the reference kernel and the remaining
+  // right-hand-side panel updated by one GEMM per step.
+  if (side == Side::kLeft) {
+    if (op_l == Op::kNone) {
+      for (Index i0 = 0; i0 < m; i0 += kTileSize) {
+        const Index ib = std::min(kTileSize, m - i0);
+        TrsmReference(side, op_l, ib, n, 1.0, l + i0 * ldl + i0, ldl,
+                      b + i0 * ldb, ldb);
+        const Index rest = m - i0 - ib;
+        if (rest > 0) {
+          // B(i0+ib:, :) −= L(i0+ib:, i0:i0+ib)·X_block.
+          Gemm(Op::kNone, Op::kNone, rest, n, ib, -1.0,
+               l + (i0 + ib) * ldl + i0, ldl, b + i0 * ldb, ldb, 1.0,
+               b + (i0 + ib) * ldb, ldb);
+        }
+      }
+    } else {
+      for (Index i0 = ((m - 1) / kTileSize) * kTileSize; i0 >= 0;
+           i0 -= kTileSize) {
+        const Index ib = std::min(kTileSize, m - i0);
+        TrsmReference(side, op_l, ib, n, 1.0, l + i0 * ldl + i0, ldl,
+                      b + i0 * ldb, ldb);
+        if (i0 > 0) {
+          // B(0:i0, :) −= L(i0:i0+ib, 0:i0)ᵀ·X_block.
+          Gemm(Op::kTranspose, Op::kNone, i0, n, ib, -1.0, l + i0 * ldl, ldl,
+               b + i0 * ldb, ldb, 1.0, b, ldb);
+        }
+        if (i0 == 0) break;
+      }
+    }
+    return;
+  }
+  if (op_l == Op::kNone) {
+    for (Index j0 = ((n - 1) / kTileSize) * kTileSize; j0 >= 0;
+         j0 -= kTileSize) {
+      const Index jb = std::min(kTileSize, n - j0);
+      TrsmReference(side, op_l, m, jb, 1.0, l + j0 * ldl + j0, ldl, b + j0,
+                    ldb);
+      if (j0 > 0) {
+        // B(:, 0:j0) −= X_block·L(j0:j0+jb, 0:j0).
+        Gemm(Op::kNone, Op::kNone, m, j0, jb, -1.0, b + j0, ldb,
+             l + j0 * ldl, ldl, 1.0, b, ldb);
+      }
+      if (j0 == 0) break;
+    }
+    return;
+  }
+  for (Index j0 = 0; j0 < n; j0 += kTileSize) {
+    const Index jb = std::min(kTileSize, n - j0);
+    TrsmReference(side, op_l, m, jb, 1.0, l + j0 * ldl + j0, ldl, b + j0,
+                  ldb);
+    const Index rest = n - j0 - jb;
+    if (rest > 0) {
+      // B(:, j0+jb:) −= X_block·L(j0+jb:, j0:j0+jb)ᵀ.
+      Gemm(Op::kNone, Op::kTranspose, m, rest, jb, -1.0, b + j0, ldb,
+           l + (j0 + jb) * ldl + j0, ldl, 1.0, b + j0 + jb, ldb);
+    }
+  }
+}
+
+void Trsm(Side side, Op op_l, Index m, Index n, double alpha, const double* l,
+          Index ldl, double* b, Index ldb) {
+  if (m == 0 || n == 0) return;
+  const Index tri = side == Side::kLeft ? m : n;
+  const Index rhs = side == Side::kLeft ? n : m;
+  const GemmImpl impl = ActiveGemmImpl();
+  constexpr Index kBlockedThreshold = 2 * 32 * 32 * 32;
+  // A single-tile triangle can't amortize any GEMM, but only kAuto may take
+  // that shortcut — a forced kBlocked must exercise the blocked flavor,
+  // exactly like Gemm and Syrk.
+  if (impl == GemmImpl::kReference ||
+      (impl == GemmImpl::kAuto &&
+       (tri <= kTileSize || tri * tri * rhs < kBlockedThreshold))) {
+    TrsmReference(side, op_l, m, n, alpha, l, ldl, b, ldb);
+    return;
+  }
+  TrsmBlocked(side, op_l, m, n, alpha, l, ldl, b, ldb);
+}
+
+}  // namespace lrm::linalg::kernels

@@ -5,12 +5,18 @@
 namespace lrm::linalg {
 
 Matrix RandomGaussianMatrix(rng::Engine& engine, Index rows, Index cols) {
-  Matrix result(rows, cols);
-  double* p = result.data();
-  for (Index i = 0; i < result.size(); ++i) {
+  Matrix result;
+  RandomGaussianMatrixInto(engine, rows, cols, &result);
+  return result;
+}
+
+void RandomGaussianMatrixInto(rng::Engine& engine, Index rows, Index cols,
+                              Matrix* out) {
+  out->Resize(rows, cols);
+  double* p = out->data();
+  for (Index i = 0; i < out->size(); ++i) {
     p[i] = rng::SampleGaussian(engine);
   }
-  return result;
 }
 
 Vector RandomGaussianVector(rng::Engine& engine, Index n) {

@@ -12,6 +12,11 @@ namespace lrm::linalg {
 /// \brief rows×cols matrix of i.i.d. standard normal entries.
 Matrix RandomGaussianMatrix(rng::Engine& engine, Index rows, Index cols);
 
+/// \brief Fills `*out` (resized to rows×cols, reusing capacity) with i.i.d.
+/// standard normal entries — the workspace form for sketching loops.
+void RandomGaussianMatrixInto(rng::Engine& engine, Index rows, Index cols,
+                              Matrix* out);
+
 /// \brief Vector of i.i.d. standard normal entries.
 Vector RandomGaussianVector(rng::Engine& engine, Index n);
 

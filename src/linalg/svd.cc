@@ -178,7 +178,8 @@ StatusOr<SvdResult> GramSvd(const Matrix& a) {
 }
 
 StatusOr<SvdResult> RandomizedSvd(const Matrix& a, Index target_rank,
-                                  const RandomizedSvdOptions& options) {
+                                  const RandomizedSvdOptions& options,
+                                  RandomizedSvdWorkspace* workspace) {
   if (a.rows() == 0 || a.cols() == 0) {
     return Status::InvalidArgument("RandomizedSvd: empty matrix");
   }
@@ -189,26 +190,33 @@ StatusOr<SvdResult> RandomizedSvd(const Matrix& a, Index target_rank,
   const Index sketch =
       std::min(max_rank, target_rank + std::max<Index>(options.oversample, 0));
 
+  RandomizedSvdWorkspace local;
+  RandomizedSvdWorkspace& ws = workspace != nullptr ? *workspace : local;
+
   rng::Engine engine(options.seed);
-  // Range finder: Y = A·Ω, then orthonormalize.
-  Matrix omega = RandomGaussianMatrix(engine, a.cols(), sketch);
-  Matrix y = a * omega;
-  LRM_ASSIGN_OR_RETURN(Matrix q, OrthonormalizeColumns(y));
+  // Range finder: Y = A·Ω, then orthonormalize. Every product below writes
+  // into a workspace buffer and every orthonormalization reuses the shared
+  // QR scratch, so passes after the first allocate nothing.
+  RandomGaussianMatrixInto(engine, a.cols(), sketch, &ws.omega);
+  MultiplyInto(a, ws.omega, &ws.y);
+  LRM_RETURN_IF_ERROR(OrthonormalizeColumnsInto(ws.y, &ws.q, &ws.qr));
 
   // Power iterations sharpen the spectrum: Q ← orth(A·orth(Aᵀ·Q)).
   for (int it = 0; it < options.power_iterations; ++it) {
-    LRM_ASSIGN_OR_RETURN(Matrix z, OrthonormalizeColumns(MultiplyAtB(a, q)));
-    LRM_ASSIGN_OR_RETURN(q, OrthonormalizeColumns(a * z));
+    MultiplyAtBInto(a, ws.q, &ws.z);
+    LRM_RETURN_IF_ERROR(OrthonormalizeColumnsInto(ws.z, &ws.z, &ws.qr));
+    MultiplyInto(a, ws.z, &ws.y);
+    LRM_RETURN_IF_ERROR(OrthonormalizeColumnsInto(ws.y, &ws.q, &ws.qr));
   }
 
   // Project and decompose the small matrix B = Qᵀ·A (sketch×n).
-  Matrix b = MultiplyAtB(q, a);
-  LRM_ASSIGN_OR_RETURN(SvdResult small, JacobiSvd(b));
+  MultiplyAtBInto(ws.q, a, &ws.b);
+  LRM_ASSIGN_OR_RETURN(SvdResult small, JacobiSvd(ws.b));
 
-  Matrix u = q * small.u;  // m×sketch
+  MultiplyInto(ws.q, small.u, &ws.u_full);  // m×sketch
   const Index k = std::min(target_rank, small.singular_values.size());
   SvdResult result;
-  result.u = SliceCols(u, 0, k);
+  result.u = SliceCols(ws.u_full, 0, k);
   result.v = SliceCols(small.v, 0, k);
   result.singular_values = Vector(k);
   for (Index i = 0; i < k; ++i) {

@@ -17,6 +17,7 @@
 
 #include "base/status_or.h"
 #include "linalg/matrix.h"
+#include "linalg/qr.h"
 #include "rng/engine.h"
 
 namespace lrm::linalg {
@@ -61,9 +62,26 @@ struct RandomizedSvdOptions {
   std::uint64_t seed = 42;
 };
 
-/// \brief Randomized top-`target_rank` SVD (Halko et al. 2011).
+/// \brief Reusable buffers for RandomizedSvd. Callers that sketch the same
+/// matrix repeatedly (the decomposition's rank search doubles the sketch
+/// width until the spectrum tail resolves) hold one of these so the range
+/// finder and power iterations stop allocating per pass; every buffer grows
+/// to the high-water mark and is reused via the `*Into` kernels.
+struct RandomizedSvdWorkspace {
+  Matrix omega;     // n×sketch Gaussian test matrix
+  Matrix y;         // m×sketch range-finder / power-iteration product
+  Matrix z;         // n×sketch power-iteration product
+  Matrix q;         // m×sketch orthonormal range basis
+  Matrix b;         // sketch×n projected matrix
+  Matrix u_full;    // m×sketch left factor before truncation
+  QrWorkspace qr;   // blocked-QR scratch shared by every orthonormalization
+};
+
+/// \brief Randomized top-`target_rank` SVD (Halko et al. 2011). Pass a
+/// workspace to make repeated sketches allocation-free at steady state.
 StatusOr<SvdResult> RandomizedSvd(const Matrix& a, Index target_rank,
-                                  const RandomizedSvdOptions& options = {});
+                                  const RandomizedSvdOptions& options = {},
+                                  RandomizedSvdWorkspace* workspace = nullptr);
 
 /// \brief Shape threshold of the Svd() dispatcher: min(m, n) at or below
 /// this uses JacobiSvd, larger shapes use GramSvd.

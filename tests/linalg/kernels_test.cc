@@ -180,6 +180,153 @@ TEST(KernelsDispatchTest, ThreadOverrideRoundTrips) {
   EXPECT_GE(GemmThreads(), 1);
 }
 
+TEST(KernelsSyrkTest, BlockedMatchesReferenceAndLeavesUpperUntouched) {
+  rng::Engine rng(71);
+  for (Index n : {Index{1}, Index{7}, Index{63}, Index{64}, Index{130}}) {
+    for (Index k : {Index{0}, Index{1}, Index{33}, Index{96}}) {
+      for (Op op : {Op::kNone, Op::kTranspose}) {
+        for (const auto& ab : kAlphaBeta) {
+          const double alpha = ab[0], beta = ab[1];
+          const auto a = StoredOperand(op, n, k, rng);
+          const Index lda = op == Op::kNone ? std::max<Index>(k, 1) : n;
+          // Sentinel-filled C: the strict upper triangle must survive.
+          std::vector<double> c_ref(static_cast<std::size_t>(n * n), 7.5);
+          std::vector<double> c_blk = c_ref;
+          SyrkReference(op, n, k, alpha, a.data(), lda, beta, c_ref.data(),
+                        n);
+          SyrkBlocked(op, n, k, alpha, a.data(), lda, beta, c_blk.data(), n);
+          const double tol =
+              1e-13 * static_cast<double>(k + 1) * std::abs(alpha) + 1e-13;
+          EXPECT_LE(MaxAbsDiff(c_ref, c_blk), tol)
+              << "n=" << n << " k=" << k << " op=" << static_cast<int>(op)
+              << " alpha=" << alpha << " beta=" << beta;
+          for (Index i = 0; i < n; ++i) {
+            for (Index j = i + 1; j < n; ++j) {
+              ASSERT_EQ(c_blk[static_cast<std::size_t>(i * n + j)], 7.5)
+                  << "upper triangle touched at " << i << "," << j;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsSyrkTest, MatchesExplicitGemmOnLowerTriangle) {
+  const Index n = 50, k = 20;
+  rng::Engine rng(73);
+  const auto a = StoredOperand(Op::kNone, n, k, rng);
+  std::vector<double> full(static_cast<std::size_t>(n * n));
+  GemmReference(Op::kNone, Op::kTranspose, n, n, k, 2.0, a.data(), k,
+                a.data(), k, 0.0, full.data(), n);
+  std::vector<double> c(static_cast<std::size_t>(n * n), 0.0);
+  Syrk(Op::kNone, n, k, 2.0, a.data(), k, 0.0, c.data(), n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j <= i; ++j) {
+      EXPECT_NEAR(c[static_cast<std::size_t>(i * n + j)],
+                  full[static_cast<std::size_t>(i * n + j)], 1e-11);
+    }
+  }
+}
+
+// Random lower-triangular matrix with garbage in the strict upper triangle
+// (which Trsm must ignore) and a diagonal dominating both its row and its
+// column, so every substitution direction is well conditioned and the
+// recover-known-X check stays meaningful at n ≈ 100.
+std::vector<double> RandomLowerTriangular(Index n, Index ldl,
+                                          rng::Engine& rng) {
+  std::vector<double> l(static_cast<std::size_t>(n * ldl));
+  for (double& x : l) x = rng.NextDouble() * 2.0 - 1.0;
+  for (Index i = 0; i < n; ++i) {
+    double dominance = 2.0 + rng.NextDouble();
+    for (Index j = 0; j < i; ++j) {
+      dominance += std::abs(l[static_cast<std::size_t>(i * ldl + j)]);
+    }
+    for (Index r = i + 1; r < n; ++r) {
+      dominance += std::abs(l[static_cast<std::size_t>(r * ldl + i)]);
+    }
+    l[static_cast<std::size_t>(i * ldl + i)] = dominance;
+  }
+  return l;
+}
+
+TEST(KernelsTrsmTest, RecoversKnownSolutionAllVariants) {
+  rng::Engine rng(79);
+  for (Index m : {Index{1}, Index{5}, Index{65}, Index{130}}) {
+    for (Index n : {Index{1}, Index{9}, Index{70}, Index{129}}) {
+      for (Side side : {Side::kLeft, Side::kRight}) {
+        for (Op op : {Op::kNone, Op::kTranspose}) {
+          const Index tri = side == Side::kLeft ? m : n;
+          const auto l = RandomLowerTriangular(tri, tri, rng);
+          std::vector<double> x(static_cast<std::size_t>(m * n));
+          for (double& v : x) v = rng.NextDouble() * 2.0 - 1.0;
+          // B = op(L)·X (left) or X·op(L) (right), built with the GEMM
+          // oracle on the lower-triangularized L.
+          std::vector<double> l_clean = l;
+          for (Index i = 0; i < tri; ++i) {
+            for (Index j = i + 1; j < tri; ++j) {
+              l_clean[static_cast<std::size_t>(i * tri + j)] = 0.0;
+            }
+          }
+          std::vector<double> b(static_cast<std::size_t>(m * n));
+          if (side == Side::kLeft) {
+            GemmReference(op, Op::kNone, m, n, m, 1.0, l_clean.data(), tri,
+                          x.data(), n, 0.0, b.data(), n);
+          } else {
+            GemmReference(Op::kNone, op, m, n, n, 1.0, x.data(), n,
+                          l_clean.data(), tri, 0.0, b.data(), n);
+          }
+          std::vector<double> solved_ref = b;
+          TrsmReference(side, op, m, n, 1.0, l.data(), tri,
+                        solved_ref.data(), n);
+          std::vector<double> solved_blk = b;
+          TrsmBlocked(side, op, m, n, 1.0, l.data(), tri, solved_blk.data(),
+                      n);
+          const double tol = 1e-10 * static_cast<double>(tri);
+          EXPECT_LE(MaxAbsDiff(solved_ref, x), tol)
+              << "reference m=" << m << " n=" << n
+              << " side=" << static_cast<int>(side)
+              << " op=" << static_cast<int>(op);
+          EXPECT_LE(MaxAbsDiff(solved_blk, x), tol)
+              << "blocked m=" << m << " n=" << n
+              << " side=" << static_cast<int>(side)
+              << " op=" << static_cast<int>(op);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTrsmTest, AlphaScalesAndStridedBuffersWork) {
+  const Index m = 40, n = 30, ldb = 37, ldl = 45;
+  rng::Engine rng(83);
+  const auto l = RandomLowerTriangular(m, ldl, rng);
+  std::vector<double> b(static_cast<std::size_t>(m * ldb));
+  for (double& v : b) v = rng.NextDouble();
+  std::vector<double> b_ref = b;
+  std::vector<double> b_blk = b;
+  TrsmReference(Side::kLeft, Op::kNone, m, n, 0.5, l.data(), ldl,
+                b_ref.data(), ldb);
+  TrsmBlocked(Side::kLeft, Op::kNone, m, n, 0.5, l.data(), ldl, b_blk.data(),
+              ldb);
+  EXPECT_LE(MaxAbsDiff(b_ref, b_blk), 1e-12);
+  // Padding columns beyond n must be untouched.
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = n; j < ldb; ++j) {
+      EXPECT_EQ(b_blk[static_cast<std::size_t>(i * ldb + j)],
+                b[static_cast<std::size_t>(i * ldb + j)]);
+    }
+  }
+}
+
+TEST(KernelsDispatchTest, FactorImplOverrideRoundTrips) {
+  SetFactorImpl(FactorImpl::kReference);
+  EXPECT_EQ(ActiveFactorImpl(), FactorImpl::kReference);
+  SetFactorImpl(FactorImpl::kBlocked);
+  EXPECT_EQ(ActiveFactorImpl(), FactorImpl::kBlocked);
+  SetFactorImpl(FactorImpl::kAuto);  // back to the environment default
+}
+
 TEST(KernelsLevel1Test, AxpyAxpbyScale) {
   const Index n = 257;
   std::vector<double> x(static_cast<std::size_t>(n));
