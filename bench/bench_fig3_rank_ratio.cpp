@@ -40,8 +40,13 @@ int main(int argc, char** argv) {
     eval::Table table({"ratio", "r", "err eps=1", "err eps=0.1",
                        "err eps=0.01", "decomp time (s)"});
     for (double ratio : ratios) {
-      const auto r = static_cast<linalg::Index>(
-          std::max(1.0, std::ceil(ratio * static_cast<double>(*rank))));
+      // r beyond max(m, n) is rejected by the options validation (rows of
+      // L past a basis of R^n are redundant); clamp so the full-grid
+      // ratios on full-rank square workloads stay runnable.
+      const auto r = std::min<linalg::Index>(
+          std::max(m, n),
+          static_cast<linalg::Index>(
+              std::max(1.0, std::ceil(ratio * static_cast<double>(*rank)))));
       std::vector<std::string> row{StrFormat("%.1f", ratio),
                                    StrFormat("%td", r)};
       auto mech = bench::MakeMechanism(bench::MechanismId::kLRM,

@@ -69,6 +69,11 @@ def min_real_times_ns(report):
         # library versions, where no aggregates are emitted either).
         if entry.get("run_type", "iteration") != "iteration":
             continue
+        # A benchmark that aborted via SkipWithError carries no meaningful
+        # time; dropping it here makes any gate that references it fail as
+        # "missing from this run" instead of passing on garbage.
+        if entry.get("error_occurred"):
+            continue
         name = entry.get("run_name", entry["name"])
         ns = entry["real_time"] * TIME_UNIT_TO_NS[entry.get("time_unit", "ns")]
         if name not in times or ns < times[name]:

@@ -1,131 +1,13 @@
 #include "core/decomposition.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "base/logging.h"
-#include "base/string_util.h"
-#include "linalg/cholesky.h"
-#include "linalg/matrix_view.h"
-#include "linalg/svd.h"
-#include "opt/l1_projection.h"
-#include "opt/quadratic_apg.h"
+#include "base/check.h"
+#include "core/alm_solver.h"
 
 namespace lrm::core {
 
 using linalg::Index;
 using linalg::Matrix;
 using linalg::Vector;
-
-namespace {
-
-double InnerProduct(const Matrix& a, const Matrix& b) {
-  double result = 0.0;
-  const double* pa = a.data();
-  const double* pb = b.data();
-  const Index n = a.size();
-  for (Index i = 0; i < n; ++i) result += pa[i] * pb[i];
-  return result;
-}
-
-// Builds a diagonally-scaled SVD initialization B₀ = U·Σ·D⁻¹, L₀ = D·Vᵀ
-// (padded with zeros when r exceeds the available spectrum).
-//
-// Lemma 3 uses the flat scaling D = I/√r, giving tr(B₀ᵀB₀) = r·Σλ².
-// Optimizing D under the Cauchy–Schwarz surrogate of the L1 constraint
-// (‖column‖₁ ≤ ‖d‖₂ since V's rows have 2-norm ≤ 1) gives d_k ∝ √λ_k and
-// tr(B₀ᵀB₀) = (Σλ)², which is never worse (Cauchy–Schwarz) and is ~r/log²r
-// better for the 1/k spectra of range workloads. Feasibility is exact for
-// ‖d‖₂ ≤ 1, and the caller renormalizes to Δ(L₀) = 1 anyway (Lemma 2).
-void InitializeFromSvd(const linalg::SvdResult& svd, Index r, Index m,
-                       Index n, Matrix& b, Matrix& l) {
-  const Index available = std::min(r, svd.singular_values.size());
-  b.Resize(m, r);
-  l.Resize(r, n);
-  double sigma_sum = 0.0;
-  for (Index k = 0; k < available; ++k) {
-    sigma_sum += svd.singular_values[k];
-  }
-  if (sigma_sum <= 0.0) return;  // zero workload: zero factors are optimal
-  for (Index k = 0; k < available; ++k) {
-    const double sigma = svd.singular_values[k];
-    if (sigma <= 0.0) continue;  // keep padded/null directions at zero
-    const double d_k = std::sqrt(sigma / sigma_sum);
-    const double b_scale = sigma / d_k;
-    for (Index i = 0; i < m; ++i) {
-      b(i, k) = b_scale * svd.u(i, k);
-    }
-    for (Index j = 0; j < n; ++j) {
-      l(k, j) = d_k * svd.v(j, k);
-    }
-  }
-  // Zero rows of L are still feasible (‖0‖₁ ≤ 1); the optimizer can
-  // recruit them as extra intermediate queries.
-}
-
-// Scratch for every temporary the ALM loop touches, allocated once per
-// solve. The loop body below writes each buffer through the `*Into` kernels
-// (linalg/matrix_view.h), so iterations after the first are allocation-free
-// apart from the L-solver's returned solution.
-struct AlmWorkspace {
-  Matrix rhs;       // βWLᵀ + πLᵀ              (m×r)
-  Matrix rhs_t;     // rhsᵀ                     (r×m)
-  Matrix gram;      // βLLᵀ + I                 (r×r)
-  Matrix b_t;       // Bᵀ from the SPD solve    (r×m)
-  Matrix h;         // βBᵀB                     (r×r)
-  Matrix target;    // βW + π                   (m×n)
-  Matrix t_matrix;  // Bᵀ·target                (r×n)
-  Matrix residual;  // W − BL                   (m×n)
-  Matrix llt, grad, curv;  // gradient-ablation B update
-  opt::QuadraticApgWorkspace apg;
-};
-
-// ws.residual = W − B·L without materializing the product.
-void ResidualInto(const Matrix& w, const Matrix& b, const Matrix& l,
-                  Matrix* residual) {
-  *residual = w;
-  linalg::GemmInto(-1.0, b, false, l, false, 1.0, residual);
-}
-
-// Sketched initialization for the automatic-rank path: grows a randomized
-// SVD until the spectrum tail drops below the rank cutoff, so both the rank
-// estimate and the (B₀, L₀) triplets come out of one sketch. Returns false
-// (leaving `svd`/`r` untouched) when the sketch hits min(m, n)/2 without
-// resolving the tail — a near-full-rank W, where the exact path is the
-// right tool anyway.
-bool TrySketchedInit(const Matrix& w, const DecompositionOptions& options,
-                     linalg::SvdResult* svd, Index* r) {
-  const Index min_dim = std::min(w.rows(), w.cols());
-  const Index cap = min_dim / 2;
-  // The Gram-path caveat in EstimateRank applies to sketches too: tail
-  // values below ~√ε·σ₁ are numerical noise, not spectrum.
-  const double rel_tol = std::max(options.rank_tolerance, 1e-7);
-  // 96 starting columns resolve the common figure workloads (rank ≈ m/5 at
-  // m ≤ 512) in one sketch; an exactly-saturated sketch cannot prove the
-  // tail is empty, so saturation doubles the width and retries. The shared
-  // workspace keeps the retries (and each sketch's power iterations) from
-  // reallocating the range-finder buffers.
-  linalg::RandomizedSvdWorkspace sketch_ws;
-  for (Index sketch = std::min<Index>(96, cap);; sketch = 2 * sketch) {
-    sketch = std::min(sketch, cap);
-    linalg::RandomizedSvdOptions rsvd;
-    rsvd.seed = options.seed;
-    auto attempt = linalg::RandomizedSvd(w, sketch, rsvd, &sketch_ws);
-    if (!attempt.ok()) return false;
-    const Index rank = linalg::NumericalRank(attempt.value(), rel_tol);
-    if (rank < sketch) {
-      *svd = std::move(attempt).value();
-      *r = static_cast<Index>(
-          std::ceil(1.2 * static_cast<double>(std::max<Index>(rank, 1))));
-      LRM_LOG_DEBUG << "DecomposeWorkload: sketched rank(W)=" << rank
-                    << " (sketch " << sketch << "), using r=" << *r;
-      return true;
-    }
-    if (sketch >= cap) return false;
-  }
-}
-
-}  // namespace
 
 Vector Decomposition::PerQueryNoiseVariance(double epsilon) const {
   LRM_CHECK_GT(epsilon, 0.0);
@@ -142,241 +24,11 @@ Vector Decomposition::PerQueryNoiseVariance(double epsilon) const {
 
 StatusOr<Decomposition> DecomposeWorkload(const Matrix& w,
                                           const DecompositionOptions& options) {
-  const Index m = w.rows();
-  const Index n = w.cols();
-  if (m == 0 || n == 0) {
-    return Status::InvalidArgument("DecomposeWorkload: empty workload");
-  }
-  if (!linalg::AllFinite(w)) {
-    return Status::InvalidArgument(
-        "DecomposeWorkload: workload contains NaN or Inf");
-  }
-  if (options.gamma < 0.0) {
-    return Status::InvalidArgument("DecomposeWorkload: gamma must be >= 0");
-  }
-  if (options.beta_initial <= 0.0 || options.beta_growth <= 1.0) {
-    return Status::InvalidArgument(
-        "DecomposeWorkload: beta_initial must be > 0 and beta_growth > 1");
-  }
-  if (options.rank < 0 || options.rank > 8 * std::min(m, n)) {
-    return Status::InvalidArgument(StrFormat(
-        "DecomposeWorkload: rank %td out of range", options.rank));
-  }
-
-  // --- Choose r and initialize from the spectrum of W. ---
-  Index r = options.rank;
-  linalg::SvdResult svd;
-  bool initialized = false;
-  if (options.use_randomized_init) {
-    if (r > 0 && r < std::min(m, n) / 2) {
-      // Only the top-r triplets are needed; sketch instead of a full SVD.
-      linalg::RandomizedSvdOptions rsvd;
-      rsvd.seed = options.seed;
-      LRM_ASSIGN_OR_RETURN(svd, linalg::RandomizedSvd(w, r, rsvd));
-      initialized = true;
-    } else if (r == 0 && std::min(m, n) >= kRandomizedInitMinDim) {
-      initialized = TrySketchedInit(w, options, &svd, &r);
-    }
-  }
-  if (!initialized) {
-    LRM_ASSIGN_OR_RETURN(svd, linalg::Svd(w));
-    if (r == 0) {
-      const Index rank_w = linalg::NumericalRank(svd, options.rank_tolerance);
-      r = static_cast<Index>(
-          std::ceil(1.2 * static_cast<double>(std::max<Index>(rank_w, 1))));
-      LRM_LOG_DEBUG << "DecomposeWorkload: rank(W)=" << rank_w
-                    << ", using r=" << r;
-    }
-  }
-
-  Matrix b, l;
-  InitializeFromSvd(svd, r, m, n, b, l);
-  // Tighten the initializer to the constraint boundary (Lemma 2 rescaling):
-  // same product, Δ(L) = 1 exactly, smaller tr(BᵀB).
-  {
-    const double delta0 = linalg::MaxColumnAbsSum(l);
-    if (delta0 > 0.0) {
-      l /= delta0;
-      b *= delta0;
-    }
-  }
-
-  // --- Algorithm 1: inexact augmented Lagrangian loop. ---
-  //
-  // Failure mode the β schedule guards against: if β starts too small, the
-  // first B-update (ridge) collapses B, the constrained L-update then parks
-  // L at a vertex of the L1 ball, and at that mutual fixed point the
-  // residual R = W − BL satisfies BᵀR = 0 and RLᵀ = 0 — the multiplier π
-  // (a scalar multiple of R) becomes invisible to both updates and the
-  // iteration stalls forever. Starting at β = O(r) and growing β whenever
-  // the residual stagnates keeps the iterate in the feasible basin.
-  Matrix pi(m, n);  // multiplier π⁽⁰⁾ = 0
-  double beta = options.beta_initial * static_cast<double>(std::max<Index>(r, 1));
-
-  Decomposition result;
-  AlmWorkspace ws;
-  // Best feasible iterate (τ ≤ γ) by scale — the relaxed program's true
-  // objective — plus the minimum-residual iterate as a fallback.
-  Matrix best_b, best_l;
-  double best_scale = std::numeric_limits<double>::infinity();
-  double best_residual = std::numeric_limits<double>::infinity();
-  Matrix fallback_b = b, fallback_l = l;
-  ResidualInto(w, b, l, &ws.residual);
-  double fallback_residual = linalg::FrobeniusNorm(ws.residual);
-
-  double apg_lipschitz = 1.0;  // warm-started Lipschitz estimate
-  double previous_tau = std::numeric_limits<double>::infinity();
-  int feasible_without_improvement = 0;
-  int outer = 0;
-  for (outer = 1; outer <= options.max_outer_iterations; ++outer) {
-    // -- Approximately solve the subproblem by alternating B and L. --
-    double previous_objective = std::numeric_limits<double>::infinity();
-    for (int inner = 0; inner < options.max_inner_iterations; ++inner) {
-      // B update (Eq. 9): B = (βWLᵀ + πLᵀ)(βLLᵀ + I)⁻¹.
-      if (options.use_closed_form_b) {
-        linalg::GemmInto(beta, w, false, l, true, 0.0, &ws.rhs);  // βW·Lᵀ
-        linalg::GemmInto(1.0, pi, false, l, true, 1.0, &ws.rhs);  // + π·Lᵀ
-        linalg::GramAAtInto(l, &ws.gram);  // L·Lᵀ (r×r)
-        ws.gram *= beta;
-        for (Index d = 0; d < r; ++d) ws.gram(d, d) += 1.0;
-        // B·G = RHS with G SPD ⇒ Bᵀ = G⁻¹·RHSᵀ.
-        linalg::TransposeInto(ws.rhs, &ws.rhs_t);
-        LRM_ASSIGN_OR_RETURN(ws.b_t, linalg::SolveSpd(ws.gram, ws.rhs_t));
-        linalg::TransposeInto(ws.b_t, &b);
-      } else {
-        // Ablation path: one gradient step on B with exact line search.
-        // ∂J/∂B = B − πLᵀ + βB(LLᵀ) − βWLᵀ.
-        ws.grad = b;
-        linalg::GemmInto(-1.0, pi, false, l, true, 1.0, &ws.grad);
-        linalg::GramAAtInto(l, &ws.llt);
-        linalg::GemmInto(beta, b, false, ws.llt, false, 1.0, &ws.grad);
-        linalg::GemmInto(-beta, w, false, l, true, 1.0, &ws.grad);
-        // Exact step for this quadratic: t = ‖∇‖² / <∇, ∇(I + βLLᵀ)>.
-        ws.curv = ws.grad;
-        linalg::GemmInto(beta, ws.grad, false, ws.llt, false, 1.0, &ws.curv);
-        const double denom = InnerProduct(ws.grad, ws.curv);
-        const double t =
-            denom > 0.0 ? InnerProduct(ws.grad, ws.grad) / denom : 0.0;
-        b.Axpy(-t, ws.grad);
-      }
-
-      // L update (Formula 10) by Nesterov APG with per-column L1
-      // projection. Precompute H = βBᵀB and T = Bᵀ(βW + π).
-      linalg::GramAtAInto(b, &ws.h);
-      ws.h *= beta;
-      ws.target = pi;
-      ws.target.Axpy(beta, w);  // βW + π
-      linalg::MultiplyAtBInto(b, ws.target, &ws.t_matrix);  // r×n
-
-      auto projection = [](Matrix& candidate) {
-        opt::ProjectColumnsOntoL1Ball(candidate, 1.0);
-      };
-
-      if (options.use_fast_l_solver) {
-        opt::QuadraticApgOptions q_options;
-        q_options.max_iterations = options.l_max_iterations;
-        q_options.tolerance = options.l_tolerance;
-        LRM_ASSIGN_OR_RETURN(
-            opt::QuadraticApgResult q,
-            opt::QuadraticApg(ws.h, ws.t_matrix, projection, l, q_options,
-                              &ws.apg));
-        l = std::move(q.solution);
-      } else {
-        auto objective = [&ws](const Matrix& candidate) {
-          // G(L) = ½<L, H·L> − <T, L> (β folded into H and T).
-          const Matrix hl = ws.h * candidate;
-          return 0.5 * InnerProduct(candidate, hl) -
-                 InnerProduct(ws.t_matrix, candidate);
-        };
-        auto gradient = [&ws](const Matrix& candidate) {
-          Matrix g = ws.h * candidate;
-          g -= ws.t_matrix;
-          return g;
-        };
-        opt::ApgOptions apg_options;
-        apg_options.max_iterations = options.l_max_iterations;
-        apg_options.tolerance = options.l_tolerance;
-        apg_options.initial_lipschitz = apg_lipschitz;
-        LRM_ASSIGN_OR_RETURN(
-            opt::ApgResult apg,
-            opt::AcceleratedProjectedGradient(objective, gradient,
-                                              projection, l, apg_options));
-        l = std::move(apg.solution);
-        // Reuse the learned curvature, backing off slightly so the
-        // estimate can shrink when β stops growing.
-        apg_lipschitz = std::max(1.0, apg.final_lipschitz * 0.5);
-      }
-
-      // Subproblem objective J for the inner stopping rule.
-      ResidualInto(w, b, l, &ws.residual);
-      const double j_value = 0.5 * linalg::SquaredFrobeniusNorm(b) +
-                             InnerProduct(pi, ws.residual) +
-                             0.5 * beta *
-                                 linalg::SquaredFrobeniusNorm(ws.residual);
-      if (std::abs(previous_objective - j_value) <=
-          options.inner_tolerance * std::max(1.0, std::abs(j_value))) {
-        break;
-      }
-      previous_objective = j_value;
-    }
-
-    // -- Outer bookkeeping (Algorithm 1 lines 7–13). --
-    ResidualInto(w, b, l, &ws.residual);
-    const double tau = linalg::FrobeniusNorm(ws.residual);
-    result.outer_iterations = outer;
-
-    if (tau <= options.gamma) {
-      const double scale = linalg::SquaredFrobeniusNorm(b);
-      if (scale < best_scale * (1.0 - 1e-3)) {
-        best_scale = scale;
-        best_residual = tau;
-        best_b = b;
-        best_l = l;
-        feasible_without_improvement = 0;
-      } else if (++feasible_without_improvement >=
-                 options.polish_patience) {
-        break;  // feasible and the objective has plateaued
-      }
-    } else if (tau < fallback_residual) {
-      fallback_residual = tau;
-      fallback_b = b;
-      fallback_l = l;
-    }
-    if (beta >= options.beta_max) break;
-
-    if (outer % options.beta_update_every == 0 ||
-        tau > options.stagnation_ratio * previous_tau) {
-      beta *= options.beta_growth;
-    }
-    previous_tau = tau;
-    pi.Axpy(beta, ws.residual);
-  }
-
-  if (std::isfinite(best_scale)) {
-    result.converged = true;
-    b = std::move(best_b);
-    l = std::move(best_l);
-    result.residual = best_residual;
-  } else {
-    result.converged = false;
-    b = std::move(fallback_b);
-    l = std::move(fallback_l);
-    result.residual = fallback_residual;
-  }
-
-  // Lemma 2 renormalization: scale so Δ(B, L) = 1 exactly, which can only
-  // shrink tr(BᵀB) when the constraint was slack.
-  const double delta = linalg::MaxColumnAbsSum(l);
-  if (delta > 0.0 && delta < 1.0) {
-    b *= delta;
-    l /= delta;
-  }
-
-  result.b = std::move(b);
-  result.l = std::move(l);
-  result.scale = linalg::SquaredFrobeniusNorm(result.b);
-  result.sensitivity = linalg::MaxColumnAbsSum(result.l);
-  return result;
+  // One-shot compatibility wrapper: a throwaway solver, so every call is a
+  // cold solve. Hold a DecompositionSolver (core/alm_solver.h) to reuse
+  // factors across related workloads or γ/ε sweep cells.
+  DecompositionSolver solver(options);
+  return solver.Solve(w);
 }
 
 }  // namespace lrm::core

@@ -120,6 +120,9 @@ struct Decomposition {
   /// True iff the residual met γ (as opposed to hitting the β or iteration
   /// caps).
   bool converged = false;
+  /// True iff the solve was seeded from retained/supplied factors instead
+  /// of a cold spectrum initialization (see core/alm_solver.h).
+  bool warm_started = false;
 
   /// Lemma 1: expected squared noise error 2·Φ·Δ²/ε² of the mechanism that
   /// publishes B(LD + Lap(Δ/ε)^r). Excludes the structural error of a
@@ -134,7 +137,10 @@ struct Decomposition {
   linalg::Vector PerQueryNoiseVariance(double epsilon) const;
 };
 
-/// \brief Runs Algorithm 1 on workload matrix `w`.
+/// \brief Runs Algorithm 1 on workload matrix `w` — a one-shot (always
+/// cold) wrapper over core/alm_solver.h's DecompositionSolver, which is the
+/// API to hold on to when solving related workloads or sweeping γ: its
+/// retained factors warm-start subsequent solves.
 ///
 /// Returns a feasible decomposition even when the iteration caps are hit
 /// (inspect Decomposition::converged / residual); only invalid inputs and

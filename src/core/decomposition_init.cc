@@ -1,0 +1,141 @@
+#include "core/decomposition_init.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace lrm::core {
+
+using linalg::Index;
+using linalg::Matrix;
+
+void InitializeFromSvd(const linalg::SvdResult& svd, Index r, Index m,
+                       Index n, Matrix& b, Matrix& l) {
+  const Index available = std::min(r, svd.singular_values.size());
+  b.Resize(m, r);
+  l.Resize(r, n);
+  double sigma_sum = 0.0;
+  for (Index k = 0; k < available; ++k) {
+    sigma_sum += svd.singular_values[k];
+  }
+  if (sigma_sum <= 0.0) return;  // zero workload: zero factors are optimal
+  for (Index k = 0; k < available; ++k) {
+    const double sigma = svd.singular_values[k];
+    if (sigma <= 0.0) continue;  // keep padded/null directions at zero
+    const double d_k = std::sqrt(sigma / sigma_sum);
+    const double b_scale = sigma / d_k;
+    for (Index i = 0; i < m; ++i) {
+      b(i, k) = b_scale * svd.u(i, k);
+    }
+    for (Index j = 0; j < n; ++j) {
+      l(k, j) = d_k * svd.v(j, k);
+    }
+  }
+  // Zero rows of L are still feasible (‖0‖₁ ≤ 1); the optimizer can
+  // recruit them as extra intermediate queries.
+}
+
+bool TrySketchedInit(const Matrix& w, const DecompositionOptions& options,
+                     linalg::SvdResult* svd, Index* r) {
+  const Index min_dim = std::min(w.rows(), w.cols());
+  const Index cap = min_dim / 2;
+  // The Gram-path caveat in EstimateRank applies to sketches too: tail
+  // values below ~√ε·σ₁ are numerical noise, not spectrum.
+  const double rel_tol = std::max(options.rank_tolerance, 1e-7);
+  // 96 starting columns resolve the common figure workloads (rank ≈ m/5 at
+  // m ≤ 512) in one sketch; an exactly-saturated sketch cannot prove the
+  // tail is empty, so saturation doubles the width and retries. The shared
+  // workspace keeps the retries (and each sketch's power iterations) from
+  // reallocating the range-finder buffers.
+  linalg::RandomizedSvdWorkspace sketch_ws;
+  for (Index sketch = std::min<Index>(96, cap);; sketch = 2 * sketch) {
+    sketch = std::min(sketch, cap);
+    linalg::RandomizedSvdOptions rsvd;
+    rsvd.seed = options.seed;
+    auto attempt = linalg::RandomizedSvd(w, sketch, rsvd, &sketch_ws);
+    if (!attempt.ok()) return false;
+    const Index rank = linalg::NumericalRank(attempt.value(), rel_tol);
+    if (rank < sketch) {
+      *svd = std::move(attempt).value();
+      *r = static_cast<Index>(
+          std::ceil(1.2 * static_cast<double>(std::max<Index>(rank, 1))));
+      LRM_LOG_DEBUG << "DecompositionSolver: sketched rank(W)=" << rank
+                    << " (sketch " << sketch << "), using r=" << *r;
+      return true;
+    }
+    if (sketch >= cap) return false;
+  }
+}
+
+StatusOr<InitFactors> ColdInit(const Matrix& w,
+                               const DecompositionOptions& options) {
+  const Index m = w.rows();
+  const Index n = w.cols();
+
+  // --- Choose r and initialize from the spectrum of W. ---
+  Index r = options.rank;
+  linalg::SvdResult svd;
+  bool initialized = false;
+  if (options.use_randomized_init) {
+    if (r > 0 && r < std::min(m, n) / 2) {
+      // Only the top-r triplets are needed; sketch instead of a full SVD.
+      linalg::RandomizedSvdOptions rsvd;
+      rsvd.seed = options.seed;
+      LRM_ASSIGN_OR_RETURN(svd, linalg::RandomizedSvd(w, r, rsvd));
+      initialized = true;
+    } else if (r == 0 && std::min(m, n) >= kRandomizedInitMinDim) {
+      initialized = TrySketchedInit(w, options, &svd, &r);
+    }
+  }
+  if (!initialized) {
+    LRM_ASSIGN_OR_RETURN(svd, linalg::Svd(w));
+    if (r == 0) {
+      const Index rank_w = linalg::NumericalRank(svd, options.rank_tolerance);
+      r = static_cast<Index>(
+          std::ceil(1.2 * static_cast<double>(std::max<Index>(rank_w, 1))));
+      LRM_LOG_DEBUG << "DecompositionSolver: rank(W)=" << rank_w
+                    << ", using r=" << r;
+    }
+  }
+
+  InitFactors init;
+  init.rank = r;
+  init.warm = false;
+  InitializeFromSvd(svd, r, m, n, init.b, init.l);
+  // Tighten the initializer to the constraint boundary (Lemma 2 rescaling):
+  // same product, Δ(L) = 1 exactly, smaller tr(BᵀB).
+  const double delta0 = linalg::MaxColumnAbsSum(init.l);
+  if (delta0 > 0.0) {
+    init.l /= delta0;
+    init.b *= delta0;
+  }
+  return init;
+}
+
+StatusOr<InitFactors> WarmInit(Matrix b, Matrix l) {
+  if (b.cols() != l.rows() || b.rows() == 0 || l.cols() == 0) {
+    return Status::InvalidArgument(
+        "WarmInit: seed factors do not conform (B is m×r, L is r×n)");
+  }
+  if (!linalg::AllFinite(b) || !linalg::AllFinite(l)) {
+    return Status::InvalidArgument(
+        "WarmInit: seed factors contain NaN or Inf");
+  }
+  InitFactors init;
+  init.rank = b.cols();
+  init.warm = true;
+  init.b = std::move(b);
+  init.l = std::move(l);
+  // An infeasible seed (Δ > 1) would hand the L-subproblem an iterate
+  // outside its own constraint set; the Lemma 2 rescaling restores
+  // feasibility without moving the product B·L.
+  const double delta0 = linalg::MaxColumnAbsSum(init.l);
+  if (delta0 > 1.0) {
+    init.l /= delta0;
+    init.b *= delta0;
+  }
+  return init;
+}
+
+}  // namespace lrm::core

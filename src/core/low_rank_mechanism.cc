@@ -1,5 +1,7 @@
 #include "core/low_rank_mechanism.h"
 
+#include <utility>
+
 #include "linalg/random_matrix.h"
 
 namespace lrm::core {
@@ -7,10 +9,33 @@ namespace lrm::core {
 using linalg::Vector;
 
 Status LowRankMechanism::PrepareImpl() {
-  LRM_ASSIGN_OR_RETURN(
-      decomposition_,
-      DecomposeWorkload(workload().matrix(), options_.decomposition));
+  // A stateless (non-warm) prepare must not be influenced by earlier
+  // workloads, so the solver is wiped unless this instance is a session or
+  // an explicit hint was just seeded.
+  if (!options_.warm_start && !hint_pending_) solver_.Reset();
+  hint_pending_ = false;
+  solver_.set_options(options_.decomposition);
+  LRM_ASSIGN_OR_RETURN(decomposition_, solver_.Solve(workload().matrix()));
   return Status::OK();
+}
+
+Status LowRankMechanism::PrepareWithHint(
+    std::shared_ptr<const workload::Workload> workload,
+    const Decomposition& hint) {
+  LRM_RETURN_IF_ERROR(solver_.SeedFactors(hint.b, hint.l));
+  hint_pending_ = true;
+  const Status status = Prepare(std::move(workload));
+  // Prepare may fail before PrepareImpl consumes the seed; a stale hard
+  // seed must not poison the session's next solve.
+  hint_pending_ = false;
+  if (!status.ok()) solver_.ClearSeed();
+  return status;
+}
+
+Status LowRankMechanism::PrepareWithHint(const workload::Workload& workload,
+                                         const Decomposition& hint) {
+  return PrepareWithHint(
+      std::make_shared<const workload::Workload>(workload), hint);
 }
 
 StatusOr<Vector> LowRankMechanism::AnswerImpl(const Vector& data,

@@ -10,6 +10,7 @@
 #ifndef LRM_CORE_LOW_RANK_MECHANISM_H_
 #define LRM_CORE_LOW_RANK_MECHANISM_H_
 
+#include "core/alm_solver.h"
 #include "core/decomposition.h"
 #include "mechanism/mechanism.h"
 
@@ -19,17 +20,46 @@ namespace lrm::core {
 struct LowRankMechanismOptions {
   /// Settings of the ALM workload decomposition.
   DecompositionOptions decomposition;
+
+  /// Retain the ALM solver across Prepare() calls: a re-Prepare on a
+  /// same-shaped workload (a new γ via set_decomposition_options, a
+  /// perturbed W, the next sweep cell) warm-starts from the previous
+  /// factors instead of paying a cold SVD initialization. Off by default
+  /// so one-shot uses keep the stateless cold-solve semantics; sweep
+  /// sessions (eval/sweep.h) turn it on.
+  bool warm_start = false;
 };
 
 /// \brief The paper's mechanism: decomposition at Prepare() time (public,
-/// data-independent), noisy release at Answer() time.
+/// data-independent), noisy release at Answer() time. With
+/// options.warm_start the instance is a *session*: successive Prepare()
+/// calls reuse the retained solver factors.
 class LowRankMechanism : public mechanism::Mechanism {
  public:
   LowRankMechanism() = default;
   explicit LowRankMechanism(LowRankMechanismOptions options)
-      : options_(std::move(options)) {}
+      : options_(std::move(options)), solver_(options_.decomposition) {}
 
   std::string_view name() const override { return "LRM"; }
+
+  /// Seeds the solver with `hint`'s factors and prepares on `workload` —
+  /// warm even when options.warm_start is false (an explicit hint wins).
+  /// The hint must conform to the workload shape (InvalidArgument
+  /// otherwise); typical sources are a previous decomposition() of a
+  /// related workload or a factorization computed offline.
+  Status PrepareWithHint(std::shared_ptr<const workload::Workload> workload,
+                         const Decomposition& hint);
+  Status PrepareWithHint(const workload::Workload& workload,
+                         const Decomposition& hint);
+
+  /// Replaces the decomposition options for subsequent Prepare() calls
+  /// without discarding solver state: with warm_start on, re-preparing
+  /// under a new γ resumes from the previous factors.
+  void set_decomposition_options(const DecompositionOptions& options) {
+    options_.decomposition = options;
+  }
+
+  const LowRankMechanismOptions& options() const { return options_; }
 
   /// Lemma 1 noise error 2·Φ·Δ²/ε². Exact when the decomposition residual
   /// is zero; with a non-zero residual the (data-dependent) structural term
@@ -43,6 +73,11 @@ class LowRankMechanism : public mechanism::Mechanism {
   /// The decomposition found at Prepare() time.
   const Decomposition& decomposition() const { return decomposition_; }
 
+  /// The retained solver (inspect last_was_warm(), or Reset() it to force
+  /// the next Prepare() cold).
+  DecompositionSolver& solver() { return solver_; }
+  const DecompositionSolver& solver() const { return solver_; }
+
  protected:
   Status PrepareImpl() override;
   StatusOr<linalg::Vector> AnswerImpl(const linalg::Vector& data,
@@ -51,7 +86,11 @@ class LowRankMechanism : public mechanism::Mechanism {
 
  private:
   LowRankMechanismOptions options_;
+  DecompositionSolver solver_;
   Decomposition decomposition_;
+  // Set by PrepareWithHint for the duration of the Prepare() it issues, so
+  // PrepareImpl knows not to Reset() the seeded solver.
+  bool hint_pending_ = false;
 };
 
 }  // namespace lrm::core

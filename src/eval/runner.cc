@@ -1,5 +1,6 @@
 #include "eval/runner.h"
 
+#include "base/string_util.h"
 #include "base/timer.h"
 #include "eval/metrics.h"
 #include "rng/engine.h"
@@ -31,6 +32,12 @@ StatusOr<RunResult> EvaluatePreparedMechanism(
   if (!mech.prepared()) {
     return Status::FailedPrecondition(
         "EvaluatePreparedMechanism: mechanism not prepared");
+  }
+  if (data.size() != workload.domain_size()) {
+    return Status::InvalidArgument(StrFormat(
+        "EvaluatePreparedMechanism: data has %td entries, workload domain "
+        "is %td",
+        data.size(), workload.domain_size()));
   }
 
   const linalg::Vector exact = workload.Answer(data);

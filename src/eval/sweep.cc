@@ -1,0 +1,92 @@
+#include "eval/sweep.h"
+
+#include <utility>
+
+#include "base/timer.h"
+
+namespace lrm::eval {
+
+namespace {
+
+core::LowRankMechanismOptions SessionOptions(const SweepOptions& options) {
+  core::LowRankMechanismOptions mech = options.mechanism;
+  mech.warm_start = options.warm_start;
+  return mech;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)), mech_(SessionOptions(options_)) {}
+
+StatusOr<SweepSummary> SweepRunner::Run(
+    const std::vector<std::shared_ptr<const workload::Workload>>& workloads,
+    const linalg::Vector& data, const std::vector<double>& gammas,
+    const std::vector<double>& epsilons) {
+  if (workloads.empty() || gammas.empty() || epsilons.empty()) {
+    return Status::InvalidArgument(
+        "SweepRunner::Run: workloads, gammas and epsilons must all be "
+        "non-empty");
+  }
+  for (const auto& workload : workloads) {
+    if (workload == nullptr) {
+      return Status::InvalidArgument("SweepRunner::Run: null workload");
+    }
+  }
+
+  SweepSummary summary;
+  summary.cells.reserve(workloads.size() * gammas.size() * epsilons.size());
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const workload::Workload& workload = *workloads[wi];
+    for (double gamma : gammas) {
+      // One strategy search per (workload, γ) pane; every ε reuses it.
+      core::DecompositionOptions decomposition =
+          options_.mechanism.decomposition;
+      decomposition.gamma = gamma;
+      mech_.set_decomposition_options(decomposition);
+
+      WallTimer prepare_timer;
+      LRM_RETURN_IF_ERROR(mech_.Prepare(workloads[wi]));
+      const double prepare_seconds = prepare_timer.ElapsedSeconds();
+      summary.total_prepare_seconds += prepare_seconds;
+      ++summary.prepares;
+      if (mech_.decomposition().warm_started) ++summary.warm_prepares;
+
+      bool first_epsilon = true;
+      for (double epsilon : epsilons) {
+        SweepCellResult cell;
+        cell.workload_index = wi;
+        cell.gamma = gamma;
+        cell.epsilon = epsilon;
+        cell.warm_started = mech_.decomposition().warm_started;
+        cell.outer_iterations = mech_.decomposition().outer_iterations;
+        cell.expected_squared_error =
+            mech_.ExpectedSquaredError(epsilon).value_or(0.0);
+        LRM_ASSIGN_OR_RETURN(
+            cell.run, EvaluatePreparedMechanism(mech_, workload, data,
+                                                epsilon, options_.run));
+        if (first_epsilon) {
+          cell.run.prepare_seconds = prepare_seconds;
+          first_epsilon = false;
+        }
+        summary.total_answer_seconds +=
+            cell.run.avg_answer_seconds * cell.run.repetitions;
+        summary.total_avg_squared_error += cell.run.avg_squared_error;
+        summary.total_expected_squared_error += cell.expected_squared_error;
+        summary.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return summary;
+}
+
+StatusOr<SweepSummary> SweepRunner::Run(
+    std::shared_ptr<const workload::Workload> workload,
+    const linalg::Vector& data, const std::vector<double>& gammas,
+    const std::vector<double>& epsilons) {
+  std::vector<std::shared_ptr<const workload::Workload>> workloads;
+  workloads.push_back(std::move(workload));
+  return Run(workloads, data, gammas, epsilons);
+}
+
+}  // namespace lrm::eval

@@ -1,0 +1,117 @@
+// Sweep-aware evaluation sessions.
+//
+// The paper's experiments (§6) are grids: γ × ε (Figure 2), r × ε
+// (Figure 3), domain/query sizes × ε (Figures 4–9). The strategy search is
+// data- and ε-independent, and consecutive grid cells solve closely related
+// relaxed programs — so one LowRankMechanism *session* can answer a whole
+// grid, preparing once per (workload, γ) pane and warm-starting each
+// prepare from the previous pane's factors (core/alm_solver.h).
+//
+// SweepRunner drives a (workload, γ, ε) grid through such a session,
+// recording per-cell error and prepare/answer timings plus session totals,
+// so the warm-vs-cold comparison (bench/bench_sweep.cpp) and the figure
+// binaries have one authoritative loop to share.
+
+#ifndef LRM_EVAL_SWEEP_H_
+#define LRM_EVAL_SWEEP_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "base/status_or.h"
+#include "core/low_rank_mechanism.h"
+#include "eval/runner.h"
+#include "workload/workload.h"
+
+namespace lrm::eval {
+
+/// \brief Options for SweepRunner.
+struct SweepOptions {
+  /// Base mechanism settings; gamma is overridden per grid cell and
+  /// warm_start by the flag below.
+  core::LowRankMechanismOptions mechanism;
+  /// Per-cell evaluation settings (repetitions, master seed).
+  RunOptions run;
+  /// Reuse solver factors cell-to-cell. Off reproduces the per-cell cold
+  /// DecomposeWorkload baseline (every pane pays a full SVD init and ALM
+  /// run) — the comparison bench_sweep gates on.
+  bool warm_start = true;
+};
+
+/// \brief Measured outcome of one (workload, γ, ε) grid cell.
+struct SweepCellResult {
+  /// Position in the grid.
+  std::size_t workload_index = 0;
+  double gamma = 0.0;
+  double epsilon = 0.0;
+
+  /// Whether this cell's prepare resumed from retained factors. Only
+  /// meaningful on the first ε cell of a (workload, γ) pane — later ε
+  /// cells reuse the prepared strategy outright.
+  bool warm_started = false;
+  /// Outer ALM iterations the pane's prepare spent (solver effort).
+  int outer_iterations = 0;
+  /// Analytic Lemma-1 noise error 2·Φ·Δ²/ε² of the prepared strategy
+  /// (excludes the data-dependent structural term).
+  double expected_squared_error = 0.0;
+
+  /// Empirical error and timings. run.prepare_seconds carries the pane's
+  /// strategy-search time on the pane's first ε cell and is 0 on the rest
+  /// (the EvaluatePreparedMechanism contract).
+  RunResult run;
+};
+
+/// \brief Aggregates of one sweep: the per-cell grid plus session totals.
+struct SweepSummary {
+  std::vector<SweepCellResult> cells;
+
+  /// Number of strategy searches run (one per (workload, γ) pane) and how
+  /// many of them warm-started.
+  int prepares = 0;
+  int warm_prepares = 0;
+
+  /// Session totals across all panes/cells.
+  double total_prepare_seconds = 0.0;
+  double total_answer_seconds = 0.0;
+  double total_avg_squared_error = 0.0;
+  double total_expected_squared_error = 0.0;
+};
+
+/// \brief Drives (workload, γ, ε) grids through one retained
+/// LowRankMechanism session. The session outlives Run(): chaining Run()
+/// calls (or sweeping related workload lists) keeps reusing factors.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Sweeps the full grid: for each workload, for each γ, prepare the
+  /// session mechanism (warm when enabled and the shapes conform), then
+  /// evaluate every ε on `data`. Workloads are shared handles — build them
+  /// once with std::make_shared and no copies of W are made. All workloads
+  /// must match data.size(); cells are visited in (workload, γ, ε)
+  /// lexicographic order so related panes sit next to each other.
+  StatusOr<SweepSummary> Run(
+      const std::vector<std::shared_ptr<const workload::Workload>>& workloads,
+      const linalg::Vector& data, const std::vector<double>& gammas,
+      const std::vector<double>& epsilons);
+
+  /// Single-workload convenience overload.
+  StatusOr<SweepSummary> Run(
+      std::shared_ptr<const workload::Workload> workload,
+      const linalg::Vector& data, const std::vector<double>& gammas,
+      const std::vector<double>& epsilons);
+
+  /// The retained session mechanism (e.g. to seed it via PrepareWithHint
+  /// or Reset() its solver between unrelated sweeps).
+  core::LowRankMechanism& mechanism() { return mech_; }
+  const core::LowRankMechanism& mechanism() const { return mech_; }
+
+ private:
+  SweepOptions options_;
+  core::LowRankMechanism mech_;
+};
+
+}  // namespace lrm::eval
+
+#endif  // LRM_EVAL_SWEEP_H_

@@ -5,17 +5,29 @@
 namespace lrm::mechanism {
 
 Status Mechanism::Prepare(const workload::Workload& workload) {
+  return Prepare(std::make_shared<const workload::Workload>(workload));
+}
+
+Status Mechanism::Prepare(workload::Workload&& workload) {
+  return Prepare(
+      std::make_shared<const workload::Workload>(std::move(workload)));
+}
+
+Status Mechanism::Prepare(std::shared_ptr<const workload::Workload> workload) {
   // Unbind first: after a failed (re-)Prepare the mechanism must report
   // unprepared rather than silently answer from stale state.
   prepared_ = false;
-  if (workload.num_queries() == 0 || workload.domain_size() == 0) {
+  if (workload == nullptr) {
+    return Status::InvalidArgument("Mechanism::Prepare: null workload");
+  }
+  if (workload->num_queries() == 0 || workload->domain_size() == 0) {
     return Status::InvalidArgument("Mechanism::Prepare: empty workload");
   }
-  if (!linalg::AllFinite(workload.matrix())) {
+  if (!linalg::AllFinite(workload->matrix())) {
     return Status::InvalidArgument(
         "Mechanism::Prepare: workload contains NaN or Inf");
   }
-  workload_ = workload;
+  workload_ = std::move(workload);
   LRM_RETURN_IF_ERROR(PrepareImpl());
   prepared_ = true;
   return Status::OK();
@@ -28,10 +40,10 @@ StatusOr<linalg::Vector> Mechanism::Answer(const linalg::Vector& data,
     return Status::FailedPrecondition(
         "Mechanism::Answer called before Prepare()");
   }
-  if (data.size() != workload_.domain_size()) {
+  if (data.size() != workload_->domain_size()) {
     return Status::InvalidArgument(StrFormat(
         "Mechanism::Answer: data has %td entries, workload domain is %td",
-        data.size(), workload_.domain_size()));
+        data.size(), workload_->domain_size()));
   }
   if (epsilon <= 0.0) {
     return Status::InvalidArgument(

@@ -32,7 +32,17 @@ class Mechanism {
 
   /// Binds the mechanism to a workload and runs any (data-independent)
   /// strategy optimization. Must be called before Answer().
+  ///
+  /// The workload is held through a shared immutable handle, so the three
+  /// overloads differ only in how it gets there: the lvalue overload copies
+  /// once, the rvalue overload moves, and the shared_ptr overload shares —
+  /// a sweep that fans one large W out to several mechanisms (or many
+  /// sweep cells) should build the workload once with
+  /// `std::make_shared<const workload::Workload>(...)` and pass the handle,
+  /// paying zero per-mechanism copies.
   Status Prepare(const workload::Workload& workload);
+  Status Prepare(workload::Workload&& workload);
+  Status Prepare(std::shared_ptr<const workload::Workload> workload);
 
   /// Releases ε-differentially private answers to all m queries.
   ///
@@ -55,6 +65,13 @@ class Mechanism {
   /// True once Prepare() has succeeded.
   bool prepared() const { return prepared_; }
 
+  /// The shared handle behind the bound workload; lets a caller hand the
+  /// same W to another mechanism without a copy. Null before the first
+  /// Prepare().
+  const std::shared_ptr<const workload::Workload>& workload_handle() const {
+    return workload_;
+  }
+
  protected:
   /// Mechanism-specific preparation; `workload()` is already set.
   virtual Status PrepareImpl() = 0;
@@ -65,10 +82,10 @@ class Mechanism {
                                               rng::Engine& engine) const = 0;
 
   /// The workload bound by Prepare(). Only valid when prepared().
-  const workload::Workload& workload() const { return workload_; }
+  const workload::Workload& workload() const { return *workload_; }
 
  private:
-  workload::Workload workload_;
+  std::shared_ptr<const workload::Workload> workload_;
   bool prepared_ = false;
 };
 

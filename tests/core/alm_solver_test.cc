@@ -1,0 +1,428 @@
+#include "core/alm_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+#include "workload/generators.h"
+
+namespace lrm::core {
+namespace {
+
+using linalg::Index;
+using linalg::Matrix;
+
+Matrix LowRankMatrix(std::uint64_t seed, Index m, Index n, Index rank) {
+  rng::Engine engine(seed);
+  return linalg::RandomGaussianMatrix(engine, m, rank) *
+         linalg::RandomGaussianMatrix(engine, rank, n);
+}
+
+// The contracts every returned decomposition must satisfy regardless of how
+// it was seeded: columns of L in the unit L1 ball, residual as reported,
+// residual ≤ γ when converged.
+void ExpectContracts(const Matrix& w, const Decomposition& d, double gamma,
+                     double tol = 1e-6) {
+  for (Index j = 0; j < d.l.cols(); ++j) {
+    EXPECT_LE(linalg::ColumnAbsSum(d.l, j), 1.0 + tol) << "column " << j;
+  }
+  EXPECT_LE(d.sensitivity, 1.0 + tol);
+  EXPECT_NEAR(linalg::FrobeniusNorm(w - d.b * d.l), d.residual,
+              1e-6 * (1.0 + d.residual));
+  if (d.converged) {
+    EXPECT_LE(d.residual, gamma + tol);
+  }
+}
+
+TEST(ValidateDecompositionOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateDecompositionOptions({}, 16, 24).ok());
+}
+
+TEST(ValidateDecompositionOptionsTest, RejectsEveryBadKnob) {
+  const auto expect_invalid = [](DecompositionOptions options) {
+    const Status status = ValidateDecompositionOptions(options, 16, 24);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status.ToString();
+  };
+  {
+    DecompositionOptions o;
+    o.gamma = -1e-9;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.rank = -1;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.rank = 25;  // > max(m, n) = 24
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.beta_initial = 0.0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.beta_growth = 1.0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.beta_max = 0.5;  // < beta_initial = 1
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.beta_update_every = 0;  // would be a modulo-by-zero in the schedule
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.stagnation_ratio = 0.0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.max_outer_iterations = 0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.max_inner_iterations = 0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.l_max_iterations = 0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.inner_tolerance = -1.0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.l_tolerance = -1.0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.polish_patience = 0;
+    expect_invalid(o);
+  }
+  {
+    DecompositionOptions o;
+    o.rank_tolerance = 0.0;
+    expect_invalid(o);
+  }
+}
+
+TEST(ValidateDecompositionOptionsTest, RankMayExceedMinDimension) {
+  // The paper's §1 example decomposes a 3×4 workload with r = 4 > m;
+  // noise-on-data itself is the r = n case. Only r > max(m, n) is absurd.
+  DecompositionOptions options;
+  options.rank = 24;
+  EXPECT_TRUE(ValidateDecompositionOptions(options, 16, 24).ok());
+}
+
+TEST(DecompositionSolverTest, ColdSolveMatchesDecomposeWorkload) {
+  const Matrix w = LowRankMatrix(1, 20, 30, 4);
+  DecompositionOptions options;
+  options.gamma = 1e-3;
+  DecompositionSolver solver(options);
+  const StatusOr<Decomposition> from_solver = solver.Solve(w);
+  const StatusOr<Decomposition> from_wrapper = DecomposeWorkload(w, options);
+  ASSERT_TRUE(from_solver.ok());
+  ASSERT_TRUE(from_wrapper.ok());
+  EXPECT_FALSE(from_solver->warm_started);
+  EXPECT_FALSE(solver.last_was_warm());
+  // The wrapper is a throwaway solver: identical inputs, identical bits.
+  EXPECT_TRUE(ApproxEqual(from_solver->b, from_wrapper->b, 0.0));
+  EXPECT_TRUE(ApproxEqual(from_solver->l, from_wrapper->l, 0.0));
+  EXPECT_EQ(from_solver->outer_iterations, from_wrapper->outer_iterations);
+}
+
+TEST(DecompositionSolverTest, ManualPhaseLoopReproducesSolve) {
+  // The public phases ARE the solver: driving them by hand must reproduce
+  // Solve() bit for bit (minus factor retention, which only Solve does).
+  const Matrix w = LowRankMatrix(2, 18, 26, 5);
+  DecompositionOptions options;
+  options.gamma = 1e-2;
+
+  DecompositionSolver manual(options);
+  StatusOr<AlmState> state = manual.InitializeState(w);
+  ASSERT_TRUE(state.ok());
+  for (int outer = 1; outer <= options.max_outer_iterations; ++outer) {
+    ASSERT_TRUE(manual.RunAlternation(w, &*state).ok());
+    if (manual.RecordIterateAndAdvanceSchedule(w, &*state) ==
+        DecompositionSolver::OuterAction::kStop) {
+      break;
+    }
+  }
+  const Decomposition from_phases = manual.Finalize(&*state);
+  EXPECT_FALSE(manual.has_retained_factors());
+
+  DecompositionSolver solver(options);
+  const StatusOr<Decomposition> from_solve = solver.Solve(w);
+  ASSERT_TRUE(from_solve.ok());
+  EXPECT_TRUE(solver.has_retained_factors());
+  EXPECT_TRUE(ApproxEqual(from_phases.b, from_solve->b, 0.0));
+  EXPECT_TRUE(ApproxEqual(from_phases.l, from_solve->l, 0.0));
+  EXPECT_EQ(from_phases.outer_iterations, from_solve->outer_iterations);
+  EXPECT_EQ(from_phases.converged, from_solve->converged);
+}
+
+TEST(DecompositionSolverTest, WarmResolveBeatsColdAcrossWorkloadFamilies) {
+  // The tentpole contract: a warm re-solve of the same W reconverges in
+  // fewer outer iterations to an equal-or-better Lemma-1 error, and never
+  // violates the feasibility contracts.
+  for (auto kind : {workload::WorkloadKind::kWDiscrete,
+                    workload::WorkloadKind::kWRange,
+                    workload::WorkloadKind::kWRelated}) {
+    SCOPED_TRACE(workload::WorkloadKindName(kind));
+    const StatusOr<workload::Workload> w =
+        workload::GenerateWorkload(kind, 24, 48, 5, 11);
+    ASSERT_TRUE(w.ok());
+    DecompositionOptions options;
+    options.gamma = 0.1;
+    DecompositionSolver solver(options);
+
+    const StatusOr<Decomposition> cold = solver.Solve(w->matrix());
+    ASSERT_TRUE(cold.ok());
+    EXPECT_FALSE(cold->warm_started);
+    ExpectContracts(w->matrix(), *cold, options.gamma, 1e-5);
+
+    const StatusOr<Decomposition> warm = solver.Solve(w->matrix());
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm->warm_started);
+    EXPECT_TRUE(solver.last_was_warm());
+    ExpectContracts(w->matrix(), *warm, options.gamma, 1e-5);
+
+    EXPECT_LT(warm->outer_iterations, cold->outer_iterations);
+    // The feasible seed is recorded as the initial best, so the warm
+    // result can only match or improve on the cold one.
+    ASSERT_TRUE(cold->converged);
+    EXPECT_TRUE(warm->converged);
+    EXPECT_LE(warm->ExpectedNoiseError(1.0),
+              cold->ExpectedNoiseError(1.0) * (1.0 + 1e-9));
+  }
+}
+
+TEST(DecompositionSolverTest, WarmStartAcrossGammaChangeKeepsContracts) {
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(20, 40, 21);
+  ASSERT_TRUE(w.ok());
+  DecompositionOptions options;
+  options.gamma = 0.05;
+  DecompositionSolver solver(options);
+  const StatusOr<Decomposition> tight = solver.Solve(w->matrix());
+  ASSERT_TRUE(tight.ok());
+
+  options.gamma = 0.5;
+  solver.set_options(options);
+  EXPECT_TRUE(solver.has_retained_factors());
+  const StatusOr<Decomposition> loose = solver.Solve(w->matrix());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose->warm_started);
+  EXPECT_TRUE(loose->converged);
+  ExpectContracts(w->matrix(), *loose, 0.5, 1e-5);
+  // The γ = 0.05 solution is feasible at γ = 0.5, so the warm solve can
+  // only match or improve on it.
+  EXPECT_LE(loose->ExpectedNoiseError(1.0),
+            tight->ExpectedNoiseError(1.0) * (1.0 + 1e-9));
+}
+
+TEST(DecompositionSolverTest, WarmStartOnPerturbedWorkload) {
+  const Matrix w1 = LowRankMatrix(3, 24, 36, 6);
+  rng::Engine engine(17);
+  Matrix w2 = w1;
+  w2.Axpy(0.01, linalg::RandomGaussianMatrix(engine, 24, 36));
+
+  DecompositionOptions options;
+  options.gamma = 0.5;
+  DecompositionSolver solver(options);
+  ASSERT_TRUE(solver.Solve(w1).ok());
+
+  const StatusOr<Decomposition> warm = solver.Solve(w2);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  EXPECT_TRUE(warm->converged);
+  ExpectContracts(w2, *warm, options.gamma, 1e-5);
+}
+
+TEST(DecompositionSolverTest, SeedFactorsWarmStartsAFreshSolver) {
+  const Matrix w = LowRankMatrix(4, 20, 28, 4);
+  DecompositionOptions options;
+  options.gamma = 0.05;
+  DecompositionSolver donor(options);
+  const StatusOr<Decomposition> cold = donor.Solve(w);
+  ASSERT_TRUE(cold.ok());
+
+  DecompositionSolver recipient(options);
+  ASSERT_TRUE(recipient.SeedFactors(cold->b, cold->l).ok());
+  const StatusOr<Decomposition> warm = recipient.Solve(w);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  EXPECT_LT(warm->outer_iterations, cold->outer_iterations);
+  EXPECT_LE(warm->ExpectedNoiseError(1.0),
+            cold->ExpectedNoiseError(1.0) * (1.0 + 1e-9));
+}
+
+TEST(DecompositionSolverTest, SeedFactorsRescalesInfeasibleSeeds) {
+  // A seed with Δ(L) > 1 would start outside the L1 constraint set; the
+  // Lemma 2 rescaling restores feasibility without moving B·L.
+  const Matrix w = LowRankMatrix(5, 12, 16, 3);
+  DecompositionOptions options;
+  options.gamma = 0.5;
+  DecompositionSolver donor(options);
+  const StatusOr<Decomposition> cold = donor.Solve(w);
+  ASSERT_TRUE(cold.ok());
+
+  Matrix b = cold->b;
+  Matrix l = cold->l;
+  l *= 7.0;  // Δ(L) now ≈ 7
+  b /= 7.0;  // same product
+  DecompositionSolver recipient(options);
+  ASSERT_TRUE(recipient.SeedFactors(std::move(b), std::move(l)).ok());
+  const StatusOr<Decomposition> warm = recipient.Solve(w);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  ExpectContracts(w, *warm, options.gamma, 1e-5);
+  EXPECT_LE(warm->ExpectedNoiseError(1.0),
+            cold->ExpectedNoiseError(1.0) * (1.0 + 1e-9));
+}
+
+TEST(DecompositionSolverTest, SeedFactorsRejectsNonConformingFactors) {
+  DecompositionSolver solver;
+  EXPECT_EQ(solver.SeedFactors(Matrix(3, 2), Matrix(3, 4)).code(),
+            StatusCode::kInvalidArgument);  // b.cols != l.rows
+  EXPECT_EQ(solver.SeedFactors(Matrix(), Matrix()).code(),
+            StatusCode::kInvalidArgument);
+  Matrix nan_b(3, 2);
+  nan_b(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(solver.SeedFactors(std::move(nan_b), Matrix(2, 4)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DecompositionSolverTest, MismatchedSeedIsAnErrorAndDoesNotPoison) {
+  const Matrix w = LowRankMatrix(6, 10, 14, 3);
+  DecompositionOptions options;
+  options.gamma = 0.5;
+  DecompositionSolver solver(options);
+  // 5×2 · 2×7 seed against a 10×14 workload: hard seeds must not silently
+  // fall back — the caller asserted conformance.
+  ASSERT_TRUE(solver.SeedFactors(Matrix(5, 2), Matrix(2, 7)).ok());
+  EXPECT_EQ(solver.Solve(w).status().code(), StatusCode::kInvalidArgument);
+  // The bad seed is consumed: the next solve runs cold and succeeds.
+  const StatusOr<Decomposition> cold = solver.Solve(w);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->warm_started);
+}
+
+TEST(DecompositionSolverTest, SaturatedPenaltyDoesNotPoisonTheSession) {
+  // An infeasible pane (r < rank(W), tiny γ) saturates β at beta_max.
+  // Resuming that dual state would stop every later warm solve after one
+  // outer iteration forever; the session must re-enter with a fresh
+  // penalty schedule instead.
+  const Matrix w = LowRankMatrix(12, 12, 18, 6);
+  DecompositionOptions options;
+  options.rank = 2;
+  options.gamma = 1e-6;
+  options.beta_max = 1e4;
+  options.max_outer_iterations = 80;
+  DecompositionSolver solver(options);
+  const StatusOr<Decomposition> saturated = solver.Solve(w);
+  ASSERT_TRUE(saturated.ok());
+  EXPECT_FALSE(saturated->converged);
+
+  options.gamma = 1e3;  // trivially feasible even at rank 2
+  solver.set_options(options);
+  const StatusOr<Decomposition> warm = solver.Solve(w);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  EXPECT_TRUE(warm->converged);
+  // A poisoned (saturated) resume would report exactly one outer
+  // iteration.
+  EXPECT_GT(warm->outer_iterations, 1);
+}
+
+TEST(DecompositionSolverTest, AbsurdSeedRankRejected) {
+  // Hard seeds get the same resource guard as the rank knob (widened by
+  // the automatic-rank headroom): r = 100 on a 16×24 workload must be an
+  // error, not a silent blow-up.
+  const Matrix w = LowRankMatrix(13, 16, 24, 3);
+  DecompositionSolver solver;
+  ASSERT_TRUE(solver.SeedFactors(Matrix(16, 100), Matrix(100, 24)).ok());
+  EXPECT_EQ(solver.Solve(w).status().code(), StatusCode::kInvalidArgument);
+  // The bad seed is consumed; the next solve runs cold.
+  const StatusOr<Decomposition> cold = solver.Solve(w);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->warm_started);
+}
+
+TEST(DecompositionSolverTest, ResetForcesColdSolve) {
+  const Matrix w = LowRankMatrix(7, 16, 20, 4);
+  DecompositionOptions options;
+  options.gamma = 0.1;
+  DecompositionSolver solver(options);
+  ASSERT_TRUE(solver.Solve(w).ok());
+  EXPECT_TRUE(solver.has_retained_factors());
+  solver.Reset();
+  EXPECT_FALSE(solver.has_retained_factors());
+  const StatusOr<Decomposition> again = solver.Solve(w);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->warm_started);
+}
+
+TEST(DecompositionSolverTest, ShapeChangeFallsBackToColdSolve) {
+  DecompositionOptions options;
+  options.gamma = 0.1;
+  DecompositionSolver solver(options);
+  ASSERT_TRUE(solver.Solve(LowRankMatrix(8, 16, 20, 4)).ok());
+  // A session re-bound to a differently shaped workload must keep working
+  // (retained factors are a soft seed).
+  const StatusOr<Decomposition> other =
+      solver.Solve(LowRankMatrix(9, 8, 12, 2));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->warm_started);
+}
+
+TEST(DecompositionSolverTest, ExplicitRankChangeForcesColdSolve) {
+  const Matrix w = LowRankMatrix(10, 16, 20, 4);
+  DecompositionOptions options;
+  options.gamma = 0.1;
+  options.rank = 5;
+  DecompositionSolver solver(options);
+  ASSERT_TRUE(solver.Solve(w).ok());
+  options.rank = 8;  // retained factors have r = 5: they cannot seed this
+  solver.set_options(options);
+  const StatusOr<Decomposition> resized = solver.Solve(w);
+  ASSERT_TRUE(resized.ok());
+  EXPECT_FALSE(resized->warm_started);
+  EXPECT_EQ(resized->b.cols(), 8);
+}
+
+TEST(DecompositionSolverTest, WarmSolveIsDeterministic) {
+  const Matrix w = LowRankMatrix(11, 20, 26, 5);
+  DecompositionOptions options;
+  options.gamma = 0.1;
+  DecompositionSolver s1(options), s2(options);
+  ASSERT_TRUE(s1.Solve(w).ok());
+  ASSERT_TRUE(s2.Solve(w).ok());
+  const StatusOr<Decomposition> w1 = s1.Solve(w);
+  const StatusOr<Decomposition> w2 = s2.Solve(w);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_TRUE(ApproxEqual(w1->b, w2->b, 0.0));
+  EXPECT_TRUE(ApproxEqual(w1->l, w2->l, 0.0));
+}
+
+}  // namespace
+}  // namespace lrm::core

@@ -146,5 +146,93 @@ TEST(LowRankMechanismTest, NameIsLrm) {
   EXPECT_EQ(LowRankMechanism().name(), "LRM");
 }
 
+TEST(LowRankMechanismTest, WarmSessionResumesAcrossPrepares) {
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(24, 48, 19);
+  ASSERT_TRUE(w.ok());
+  LowRankMechanismOptions options;
+  options.decomposition.gamma = 0.1;
+  options.warm_start = true;
+  LowRankMechanism session(options);
+
+  ASSERT_TRUE(session.Prepare(*w).ok());
+  const Decomposition cold = session.decomposition();
+  EXPECT_FALSE(cold.warm_started);
+
+  // Re-preparing under a looser γ resumes from the retained factors.
+  DecompositionOptions looser = options.decomposition;
+  looser.gamma = 0.5;
+  session.set_decomposition_options(looser);
+  ASSERT_TRUE(session.Prepare(*w).ok());
+  EXPECT_TRUE(session.decomposition().warm_started);
+  EXPECT_TRUE(session.solver().last_was_warm());
+  EXPECT_LT(session.decomposition().outer_iterations, cold.outer_iterations);
+  EXPECT_LE(session.decomposition().ExpectedNoiseError(1.0),
+            cold.ExpectedNoiseError(1.0) * (1.0 + 1e-9));
+}
+
+TEST(LowRankMechanismTest, DefaultPrepareStaysCold) {
+  // Without warm_start the mechanism keeps the stateless semantics: every
+  // Prepare() is an independent cold solve, so repeated prepares are
+  // bit-identical.
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(16, 32, 23);
+  ASSERT_TRUE(w.ok());
+  LowRankMechanism mech(TightOptions());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const Decomposition first = mech.decomposition();
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  EXPECT_FALSE(mech.decomposition().warm_started);
+  EXPECT_TRUE(ApproxEqual(mech.decomposition().b, first.b, 0.0));
+  EXPECT_TRUE(ApproxEqual(mech.decomposition().l, first.l, 0.0));
+}
+
+TEST(LowRankMechanismTest, PrepareWithHintWarmStartsColdMechanism) {
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(20, 40, 29);
+  ASSERT_TRUE(w.ok());
+  LowRankMechanismOptions options;
+  options.decomposition.gamma = 0.1;
+
+  LowRankMechanism donor(options);
+  ASSERT_TRUE(donor.Prepare(*w).ok());
+
+  LowRankMechanism recipient(options);  // warm_start stays false
+  ASSERT_TRUE(recipient.PrepareWithHint(*w, donor.decomposition()).ok());
+  EXPECT_TRUE(recipient.decomposition().warm_started);
+  EXPECT_LT(recipient.decomposition().outer_iterations,
+            donor.decomposition().outer_iterations);
+  EXPECT_LE(recipient.decomposition().ExpectedNoiseError(1.0),
+            donor.decomposition().ExpectedNoiseError(1.0) * (1.0 + 1e-9));
+
+  rng::Engine engine(31);
+  const StatusOr<Vector> noisy =
+      recipient.Answer(Vector(40, 1.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 20);
+}
+
+TEST(LowRankMechanismTest, PrepareWithHintRejectsMismatchedHint) {
+  const StatusOr<workload::Workload> small =
+      workload::GenerateWRange(6, 12, 37);
+  const StatusOr<workload::Workload> large =
+      workload::GenerateWRange(20, 40, 37);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  LowRankMechanismOptions options;
+  options.decomposition.gamma = 0.1;
+  LowRankMechanism donor(options);
+  ASSERT_TRUE(donor.Prepare(*small).ok());
+
+  LowRankMechanism recipient(options);
+  EXPECT_EQ(
+      recipient.PrepareWithHint(*large, donor.decomposition()).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_FALSE(recipient.prepared());
+  // The failed hint must not poison the next plain Prepare.
+  ASSERT_TRUE(recipient.Prepare(*large).ok());
+  EXPECT_FALSE(recipient.decomposition().warm_started);
+}
+
 }  // namespace
 }  // namespace lrm::core

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "eval/metrics.h"
 #include "mechanism/laplace.h"
+#include "rng/engine.h"
 #include "workload/generators.h"
 
 namespace lrm::eval {
@@ -98,6 +103,87 @@ TEST(RunnerTest, EvaluatePreparedRejectsUnpreparedMechanism) {
                 .status()
                 .code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(RunnerTest, EvaluatePreparedSplitStreamDeterminism) {
+  // The repetition streams are split off the master seed, so the same seed
+  // must reproduce the identical error statistics — and a different seed
+  // must not.
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(6, 16, 31);
+  ASSERT_TRUE(w.ok());
+  mechanism::NoiseOnResultsMechanism mech;
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const Vector data(16, 4.0);
+  RunOptions options;
+  options.repetitions = 7;
+  options.seed = 2024;
+
+  const StatusOr<RunResult> a =
+      EvaluatePreparedMechanism(mech, *w, data, 0.5, options);
+  const StatusOr<RunResult> b =
+      EvaluatePreparedMechanism(mech, *w, data, 0.5, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->avg_squared_error, b->avg_squared_error);
+  EXPECT_DOUBLE_EQ(a->stddev_squared_error, b->stddev_squared_error);
+
+  options.seed = 2025;
+  const StatusOr<RunResult> c =
+      EvaluatePreparedMechanism(mech, *w, data, 0.5, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->avg_squared_error, c->avg_squared_error);
+}
+
+TEST(RunnerTest, StatisticsMatchHandRolledReference) {
+  // Replays the exact split-stream protocol by hand and checks the
+  // accumulator's mean and unbiased sample stddev against a two-pass
+  // computation.
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(5, 12, 8);
+  ASSERT_TRUE(w.ok());
+  mechanism::NoiseOnResultsMechanism mech;
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const Vector data(12, 2.5);
+  RunOptions options;
+  options.repetitions = 9;
+  options.seed = 777;
+
+  const StatusOr<RunResult> result =
+      EvaluatePreparedMechanism(mech, *w, data, 1.0, options);
+  ASSERT_TRUE(result.ok());
+
+  const Vector exact = w->Answer(data);
+  rng::Engine master(options.seed);
+  std::vector<double> errors;
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    rng::Engine stream = master.Split();
+    const StatusOr<Vector> noisy = mech.Answer(data, 1.0, stream);
+    ASSERT_TRUE(noisy.ok());
+    errors.push_back(TotalSquaredError(exact, *noisy));
+  }
+  double mean = 0.0;
+  for (double e : errors) mean += e;
+  mean /= static_cast<double>(errors.size());
+  double sum_sq = 0.0;
+  for (double e : errors) sum_sq += (e - mean) * (e - mean);
+  const double stddev =
+      std::sqrt(sum_sq / static_cast<double>(errors.size() - 1));
+
+  EXPECT_NEAR(result->avg_squared_error, mean, 1e-9 * (1.0 + mean));
+  EXPECT_NEAR(result->stddev_squared_error, stddev, 1e-9 * (1.0 + stddev));
+}
+
+TEST(RunnerTest, EvaluatePreparedReportsZeroPrepareSeconds) {
+  // The contract sweeps rely on: evaluating a prepared mechanism never
+  // charges strategy-search time to the cell.
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(4, 8, 3);
+  ASSERT_TRUE(w.ok());
+  mechanism::NoiseOnDataMechanism mech;
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const StatusOr<RunResult> result =
+      EvaluatePreparedMechanism(mech, *w, Vector(8, 1.0), 1.0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->prepare_seconds, 0.0);
+  EXPECT_GT(result->avg_answer_seconds, 0.0);
 }
 
 TEST(RunnerTest, StdDevIsPositiveForRandomMechanism) {

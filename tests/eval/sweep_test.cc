@@ -1,0 +1,177 @@
+#include "eval/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/generators.h"
+
+namespace lrm::eval {
+namespace {
+
+using linalg::Vector;
+
+std::shared_ptr<const workload::Workload> RangeWorkload(
+    linalg::Index m = 16, linalg::Index n = 32, std::uint64_t seed = 7) {
+  auto w = workload::GenerateWRange(m, n, seed);
+  LRM_CHECK(w.ok());
+  return std::make_shared<const workload::Workload>(*std::move(w));
+}
+
+SweepOptions SmallSweepOptions(bool warm) {
+  SweepOptions options;
+  options.warm_start = warm;
+  options.run.repetitions = 3;
+  options.run.seed = 99;
+  return options;
+}
+
+TEST(SweepRunnerTest, GridShapeOrderingAndPrepareAccounting) {
+  SweepRunner runner(SmallSweepOptions(/*warm=*/true));
+  const auto w = RangeWorkload();
+  const StatusOr<SweepSummary> summary =
+      runner.Run(w, Vector(32, 2.0), {0.1, 0.5}, {1.0, 0.5});
+  ASSERT_TRUE(summary.ok());
+
+  ASSERT_EQ(summary->cells.size(), 4);
+  ASSERT_EQ(summary->prepares, 2);
+  EXPECT_EQ(summary->warm_prepares, 1);
+
+  // (workload, γ, ε) lexicographic order.
+  EXPECT_DOUBLE_EQ(summary->cells[0].gamma, 0.1);
+  EXPECT_DOUBLE_EQ(summary->cells[0].epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(summary->cells[1].gamma, 0.1);
+  EXPECT_DOUBLE_EQ(summary->cells[1].epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(summary->cells[3].gamma, 0.5);
+
+  // First pane cold, second warm (the session retained the factors).
+  EXPECT_FALSE(summary->cells[0].warm_started);
+  EXPECT_TRUE(summary->cells[2].warm_started);
+
+  // Prepare time is attributed to the first ε cell of each pane; the other
+  // ε cells reuse the strategy outright (prepare_seconds == 0 contract).
+  EXPECT_GT(summary->cells[0].run.prepare_seconds, 0.0);
+  EXPECT_EQ(summary->cells[1].run.prepare_seconds, 0.0);
+  EXPECT_GT(summary->cells[2].run.prepare_seconds, 0.0);
+  EXPECT_EQ(summary->cells[3].run.prepare_seconds, 0.0);
+  EXPECT_GE(summary->total_prepare_seconds,
+            summary->cells[0].run.prepare_seconds +
+                summary->cells[2].run.prepare_seconds);
+
+  // Every cell carries the analytic error and solver effort of its pane.
+  for (const SweepCellResult& cell : summary->cells) {
+    EXPECT_GT(cell.expected_squared_error, 0.0);
+    EXPECT_GT(cell.outer_iterations, 0);
+    EXPECT_EQ(cell.run.repetitions, 3);
+  }
+}
+
+TEST(SweepRunnerTest, ColdModeNeverWarmStarts) {
+  SweepRunner runner(SmallSweepOptions(/*warm=*/false));
+  const StatusOr<SweepSummary> summary =
+      runner.Run(RangeWorkload(), Vector(32, 1.0), {0.1, 0.5, 2.0}, {1.0});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->prepares, 3);
+  EXPECT_EQ(summary->warm_prepares, 0);
+  for (const SweepCellResult& cell : summary->cells) {
+    EXPECT_FALSE(cell.warm_started);
+  }
+}
+
+TEST(SweepRunnerTest, WarmSessionNoWorseErrorAndNoMoreIterations) {
+  const auto w = RangeWorkload(16, 32, 13);
+  const Vector data(32, 3.0);
+  const std::vector<double> gammas = {0.05, 0.5};
+  const std::vector<double> epsilons = {1.0, 0.1};
+
+  SweepRunner warm_runner(SmallSweepOptions(/*warm=*/true));
+  SweepRunner cold_runner(SmallSweepOptions(/*warm=*/false));
+  const StatusOr<SweepSummary> warm =
+      warm_runner.Run(w, data, gammas, epsilons);
+  const StatusOr<SweepSummary> cold =
+      cold_runner.Run(w, data, gammas, epsilons);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(cold.ok());
+
+  // Cell-by-cell: the warm session spends no more solver effort and lands
+  // an equal-or-better analytic error on every pane (the warm seed is the
+  // previous pane's polished solution, recorded as the initial best).
+  ASSERT_EQ(warm->cells.size(), cold->cells.size());
+  for (std::size_t i = 0; i < warm->cells.size(); ++i) {
+    EXPECT_LE(warm->cells[i].outer_iterations,
+              cold->cells[i].outer_iterations)
+        << "cell " << i;
+  }
+  EXPECT_LE(warm->total_expected_squared_error,
+            cold->total_expected_squared_error * 1.05);
+  // The second pane actually warm-started and was strictly cheaper.
+  EXPECT_TRUE(warm->cells[2].warm_started);
+  EXPECT_LT(warm->cells[2].outer_iterations,
+            cold->cells[2].outer_iterations);
+}
+
+TEST(SweepRunnerTest, SessionPersistsAcrossRunCalls) {
+  SweepRunner runner(SmallSweepOptions(/*warm=*/true));
+  const auto w = RangeWorkload();
+  const Vector data(32, 1.0);
+  ASSERT_TRUE(runner.Run(w, data, {0.5}, {1.0}).ok());
+  const StatusOr<SweepSummary> second = runner.Run(w, data, {0.5}, {1.0});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->warm_prepares, 1);
+  EXPECT_TRUE(second->cells[0].warm_started);
+}
+
+TEST(SweepRunnerTest, FactorsChainAcrossRelatedWorkloads) {
+  // Same-shaped workloads in one sweep: the second workload's first pane
+  // resumes from the first workload's factors.
+  const auto w1 = RangeWorkload(16, 32, 5);
+  const auto w2 = RangeWorkload(16, 32, 6);
+  SweepRunner runner(SmallSweepOptions(/*warm=*/true));
+  const StatusOr<SweepSummary> summary =
+      runner.Run({w1, w2}, Vector(32, 1.0), {0.5}, {1.0});
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->cells.size(), 2);
+  EXPECT_EQ(summary->cells[1].workload_index, 1);
+  EXPECT_TRUE(summary->cells[1].warm_started);
+  EXPECT_EQ(summary->warm_prepares, 1);
+}
+
+TEST(SweepRunnerTest, SharesWorkloadStorageWithTheSession) {
+  const auto w = RangeWorkload();
+  SweepRunner runner(SmallSweepOptions(/*warm=*/true));
+  ASSERT_TRUE(runner.Run(w, Vector(32, 1.0), {0.5}, {1.0}).ok());
+  // The session mechanism holds the same Workload object, not a copy.
+  EXPECT_EQ(runner.mechanism().workload_handle().get(), w.get());
+}
+
+TEST(SweepRunnerTest, RejectsDegenerateGrids) {
+  SweepRunner runner;
+  const auto w = RangeWorkload();
+  const Vector data(32, 1.0);
+  EXPECT_FALSE(
+      runner
+          .Run(std::vector<std::shared_ptr<const workload::Workload>>{},
+               data, {0.5}, {1.0})
+          .ok());
+  EXPECT_FALSE(runner.Run(w, data, {}, {1.0}).ok());
+  EXPECT_FALSE(runner.Run(w, data, {0.5}, {}).ok());
+  EXPECT_EQ(runner
+                .Run(std::vector<std::shared_ptr<const workload::Workload>>{
+                         nullptr},
+                     data, {0.5}, {1.0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SweepRunnerTest, PropagatesEvaluationErrors) {
+  SweepRunner runner(SmallSweepOptions(/*warm=*/true));
+  // Data/domain mismatch surfaces from the evaluation layer.
+  EXPECT_FALSE(runner.Run(RangeWorkload(), Vector(7, 1.0), {0.5}, {1.0}).ok());
+  // Invalid γ surfaces from the solver's options validation.
+  EXPECT_FALSE(
+      runner.Run(RangeWorkload(), Vector(32, 1.0), {-1.0}, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace lrm::eval

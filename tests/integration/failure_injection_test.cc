@@ -94,7 +94,7 @@ TEST(FailureInjectionTest, RunnerPropagatesMechanismErrors) {
 TEST(FailureInjectionTest, DecompositionRejectsAbsurdRanks) {
   const Matrix w = CleanMatrix();
   core::DecompositionOptions options;
-  options.rank = 10000;  // 8·min(m,n) guard
+  options.rank = 10000;  // max(m,n) guard
   EXPECT_EQ(core::DecomposeWorkload(w, options).status().code(),
             StatusCode::kInvalidArgument);
   options.rank = -3;

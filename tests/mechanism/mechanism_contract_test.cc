@@ -187,5 +187,42 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+TEST_P(MechanismContractTest, SharedWorkloadPrepareSharesStorage) {
+  // Sweeps fan one (possibly huge) W out to several mechanisms; the
+  // shared-handle overload must bind the same object, not deep-copy it.
+  const auto w = std::make_shared<const workload::Workload>(SmallWorkload());
+  auto m1 = GetParam().make();
+  auto m2 = GetParam().make();
+  ASSERT_TRUE(m1->Prepare(w).ok());
+  ASSERT_TRUE(m2->Prepare(w).ok());
+  EXPECT_EQ(m1->workload_handle().get(), w.get());
+  EXPECT_EQ(m2->workload_handle().get(), w.get());
+  EXPECT_EQ(w.use_count(), 3);
+
+  rng::Engine engine(11);
+  const auto noisy = m1->Answer(Vector(16, 1.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 6);
+}
+
+TEST_P(MechanismContractTest, MoveOverloadPreparesWithoutCopy) {
+  auto mech = GetParam().make();
+  workload::Workload w = SmallWorkload();
+  const double* storage = w.matrix().data();
+  ASSERT_TRUE(mech->Prepare(std::move(w)).ok());
+  // The moved-from matrix's storage now lives inside the mechanism.
+  EXPECT_EQ(mech->workload_handle()->matrix().data(), storage);
+  rng::Engine engine(12);
+  EXPECT_TRUE(mech->Answer(Vector(16, 1.0), 1.0, engine).ok());
+}
+
+TEST(MechanismWorkloadHandleTest, NullHandleRejected) {
+  mechanism::NoiseOnDataMechanism mech;
+  EXPECT_EQ(
+      mech.Prepare(std::shared_ptr<const workload::Workload>()).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_FALSE(mech.prepared());
+}
+
 }  // namespace
 }  // namespace lrm
