@@ -89,6 +89,10 @@ StatusOr<InitFactors> ColdInit(const Matrix& w,
     }
   }
   if (!initialized) {
+    // Exact fallback: near-full-rank W, where the sketch cannot prove the
+    // tail empty. Svd() → GramSvd → SymmetricEigen rides the D&C
+    // tridiagonal dispatch here, so this path scales to the paper's
+    // n ≈ 4096 domains instead of stalling in the QL iteration.
     LRM_ASSIGN_OR_RETURN(svd, linalg::Svd(w));
     if (r == 0) {
       const Index rank_w = linalg::NumericalRank(svd, options.rank_tolerance);

@@ -11,7 +11,10 @@
 //                   rank(W) and produces the top-r triplets in one pass;
 //                   engages at scale (see kRandomizedInitMinDim).
 //  * exact SVD    — Jacobi/Gram SVD of W; small problems and the fallback
-//                   when the sketch cannot resolve the spectrum tail.
+//                   when the sketch cannot resolve the spectrum tail. The
+//                   Gram path's eigensolve dispatches to divide-and-conquer
+//                   at size (linalg/eigen_dc.h), so near-full-rank workloads
+//                   no longer hit the QL iteration's n ≈ 1024 wall.
 
 #ifndef LRM_CORE_DECOMPOSITION_INIT_H_
 #define LRM_CORE_DECOMPOSITION_INIT_H_

@@ -1,0 +1,434 @@
+#include "linalg/eigen_dc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "linalg/kernels/kernels.h"
+#include "linalg/tridiag_ql.h"
+
+namespace lrm::linalg {
+
+namespace {
+
+namespace kernels = lrm::linalg::kernels;
+
+// Subproblems at or below this size are solved by the QL iteration directly;
+// the merge machinery only pays off once its GEMM outweighs rotation work
+// (LAPACK draws the same line at SMLSIZ = 25).
+constexpr Index kDcLeafSize = 32;
+
+// Column support classes for the merge GEMM split (LAPACK dlaed2's COLTYP):
+// a column inherited from the first half has support in rows [lo, mid) only,
+// one from the second half in [mid, hi); a deflation rotation across the
+// split makes both columns dense. The two merge GEMMs below skip the
+// structurally-zero half of the top/bottom classes.
+enum ColType { kColTop = 0, kColDense = 1, kColBottom = 2 };
+
+// The full problem threaded through the recursion: d/e are the caller's
+// tridiagonal buffers (indexed globally), v the n×n eigenvector matrix kept
+// block-diagonal per recursion span, ws the shared merge scratch.
+struct DcProblem {
+  double* d;
+  double* e;
+  Matrix* v;
+  TridiagDcWorkspace* ws;
+};
+
+// ---------------------------------------------------------------------------
+// Secular equation
+// ---------------------------------------------------------------------------
+
+// Solves 1 + rho·Σᵢ zᵢ²/(dl[i] − λ) = 0 for its j-th root (ascending).
+// Interlacing puts root j strictly inside (dl[j], dl[j+1]), and the last one
+// inside (dl[kk-1], dl[kk-1] + rho·‖z‖²]. The iteration works in the
+// coordinate mu = λ − dl[origin], with origin the nearer bracket end, so
+// dl[i] − λ = (dl[i] − dl[origin]) − mu is formed without cancellation for
+// every pole — that difference array is what the Löwner refresh and the
+// eigenvector assembly consume, and its accuracy (not the root's) is what
+// orthogonality rests on. A Newton step is safeguarded by a sign-tracking
+// bisection bracket; the secular function is strictly increasing between
+// consecutive poles, so the bracket always converges.
+//
+// Writes λ_j to *lambda_out and dl[i] − λ_j for all i into delta_row.
+void SecularRoot(Index kk, Index j, const double* dl, const double* z,
+                 double rho, double* lambda_out, double* delta_row) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  double zsq = 0.0;
+  for (Index i = 0; i < kk; ++i) zsq += z[i] * z[i];
+
+  // Pick the origin pole and the initial bracket [a, b] for mu.
+  Index origin = j;
+  double a = 0.0;
+  double b = rho * zsq;  // f(dl[kk-1] + rho·‖z‖²) ≥ 0: valid last-root bound
+  if (j < kk - 1) {
+    const double gap = dl[j + 1] - dl[j];
+    // The sign of f at the interval midpoint decides which half holds the
+    // root, i.e. which end is the nearer (cancellation-free) origin.
+    double fmid = 1.0;
+    for (Index i = 0; i < kk; ++i) {
+      const double diff = (dl[i] - dl[j]) - 0.5 * gap;
+      fmid += rho * z[i] * z[i] / diff;
+    }
+    if (fmid >= 0.0) {
+      origin = j;
+      a = 0.0;
+      b = 0.5 * gap;
+    } else {
+      origin = j + 1;
+      a = -0.5 * gap;
+      b = 0.0;
+    }
+  }
+
+  double mu = 0.5 * (a + b);
+  for (int iter = 0; iter < 100; ++iter) {
+    double f = 1.0;
+    double fp = 0.0;
+    double fabs_sum = 1.0;
+    for (Index i = 0; i < kk; ++i) {
+      const double diff = (dl[i] - dl[origin]) - mu;
+      const double term = rho * z[i] * z[i] / diff;
+      f += term;
+      fp += term / diff;
+      fabs_sum += std::abs(term);
+    }
+    if (std::abs(f) <= 8.0 * eps * fabs_sum) break;
+    if (f > 0.0) {
+      b = mu;
+    } else {
+      a = mu;
+    }
+    double next = mu;
+    if (std::isfinite(f) && fp > 0.0) next = mu - f / fp;
+    if (!(next > a && next < b)) next = 0.5 * (a + b);  // Newton left bracket
+    if (next == mu) break;  // bracket exhausted at working precision
+    mu = next;
+  }
+
+  *lambda_out = dl[origin] + mu;
+  for (Index i = 0; i < kk; ++i) {
+    delta_row[i] = (dl[i] - dl[origin]) - mu;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge step (LAPACK dlaed1/dlaed2/dlaed3 structure)
+// ---------------------------------------------------------------------------
+
+// Merges the solved children [lo, mid) and [mid, hi): the span entries of d
+// hold both children's eigenvalues (each run ascending) and v's span block
+// is block-diagonal with the children's eigenvectors. `beta` is the original
+// subdiagonal coupling e[mid] whose rank-one contribution was subtracted
+// before the children were solved. On return d[lo, hi) is ascending and v's
+// span block holds the merged eigenvectors.
+void MergeSpan(const DcProblem& p, Index lo, Index mid, Index hi,
+               double beta) {
+  TridiagDcWorkspace& ws = *p.ws;
+  Matrix& v = *p.v;
+  const Index m = hi - lo;
+  const Index n1 = mid - lo;
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  // z = Qᵀu for u = e_{mid-1} + sign(beta)·e_mid, scaled to unit norm
+  // (‖u‖² = 2); the rank-one weight doubles in exchange.
+  const double rho = 2.0 * std::abs(beta);
+  const double ssign = beta >= 0.0 ? 1.0 : -1.0;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  ws.z.resize(static_cast<std::size_t>(m));
+  for (Index k = 0; k < n1; ++k) {
+    ws.z[static_cast<std::size_t>(k)] = inv_sqrt2 * v(mid - 1, lo + k);
+  }
+  for (Index k = n1; k < m; ++k) {
+    ws.z[static_cast<std::size_t>(k)] = inv_sqrt2 * ssign * v(mid, lo + k);
+  }
+
+  // Merge the two ascending runs into one sorted order.
+  ws.perm.resize(static_cast<std::size_t>(m));
+  {
+    Index ia = 0, ib = n1, t = 0;
+    while (ia < n1 || ib < m) {
+      const bool take_a =
+          ib >= m || (ia < n1 && p.d[lo + ia] <= p.d[lo + ib]);
+      ws.perm[static_cast<std::size_t>(t++)] = take_a ? ia++ : ib++;
+    }
+  }
+  ws.dsort.resize(static_cast<std::size_t>(m));
+  ws.zsort.resize(static_cast<std::size_t>(m));
+  ws.cols.resize(static_cast<std::size_t>(m));
+  ws.ctype.resize(static_cast<std::size_t>(m));
+  double zmax = 0.0, dmax = 0.0;
+  for (Index i = 0; i < m; ++i) {
+    const Index src = ws.perm[static_cast<std::size_t>(i)];
+    ws.dsort[static_cast<std::size_t>(i)] = p.d[lo + src];
+    ws.zsort[static_cast<std::size_t>(i)] = ws.z[static_cast<std::size_t>(src)];
+    ws.cols[static_cast<std::size_t>(i)] = lo + src;
+    ws.ctype[static_cast<std::size_t>(i)] = src < n1 ? kColTop : kColBottom;
+    zmax = std::max(zmax, std::abs(ws.zsort[static_cast<std::size_t>(i)]));
+    dmax = std::max(dmax, std::abs(ws.dsort[static_cast<std::size_t>(i)]));
+  }
+
+  // --- Deflation (dlaed2) -------------------------------------------------
+  // Entry i deflates when its z-component contributes nothing at working
+  // precision (rho·|z_i| ≤ tol: its subproblem eigenpair is already an
+  // eigenpair of the merged problem), or when two merged eigenvalues are
+  // close enough that a Givens rotation can zero one z-component while
+  // perturbing the matrix by at most |t·c·s| ≤ tol.
+  const double tol = 8.0 * eps * std::max(dmax, zmax);
+  ws.dl.resize(static_cast<std::size_t>(m));
+  ws.zsec.resize(static_cast<std::size_t>(m));
+  ws.scol.resize(static_cast<std::size_t>(m));
+  ws.stype.resize(static_cast<std::size_t>(m));
+  ws.ddefl.resize(static_cast<std::size_t>(m));
+  ws.dcol.resize(static_cast<std::size_t>(m));
+  Index nsurv = 0;
+  Index ndefl = 0;
+  const auto deflate = [&](Index i) {
+    ws.ddefl[static_cast<std::size_t>(ndefl)] =
+        ws.dsort[static_cast<std::size_t>(i)];
+    ws.dcol[static_cast<std::size_t>(ndefl)] =
+        ws.cols[static_cast<std::size_t>(i)];
+    ++ndefl;
+  };
+  const auto survive = [&](Index i) {
+    ws.dl[static_cast<std::size_t>(nsurv)] =
+        ws.dsort[static_cast<std::size_t>(i)];
+    ws.zsec[static_cast<std::size_t>(nsurv)] =
+        ws.zsort[static_cast<std::size_t>(i)];
+    ws.scol[static_cast<std::size_t>(nsurv)] =
+        ws.cols[static_cast<std::size_t>(i)];
+    ws.stype[static_cast<std::size_t>(nsurv)] =
+        ws.ctype[static_cast<std::size_t>(i)];
+    ++nsurv;
+  };
+  Index prev = -1;
+  for (Index i = 0; i < m; ++i) {
+    if (rho * std::abs(ws.zsort[static_cast<std::size_t>(i)]) <= tol) {
+      deflate(i);
+      continue;
+    }
+    if (prev < 0) {
+      prev = i;
+      continue;
+    }
+    // Candidate pair (prev, i): try to rotate z_prev away.
+    double c = ws.zsort[static_cast<std::size_t>(i)];
+    double s = ws.zsort[static_cast<std::size_t>(prev)];
+    const double tau = std::hypot(c, s);
+    const double t = ws.dsort[static_cast<std::size_t>(i)] -
+                     ws.dsort[static_cast<std::size_t>(prev)];
+    c /= tau;
+    s = -s / tau;
+    if (std::abs(t * c * s) <= tol) {
+      ws.zsort[static_cast<std::size_t>(i)] = tau;
+      ws.zsort[static_cast<std::size_t>(prev)] = 0.0;
+      const Index cp = ws.cols[static_cast<std::size_t>(prev)];
+      const Index ci = ws.cols[static_cast<std::size_t>(i)];
+      for (Index r = lo; r < hi; ++r) {
+        const double x = v(r, cp);
+        const double y = v(r, ci);
+        v(r, cp) = c * x + s * y;
+        v(r, ci) = c * y - s * x;
+      }
+      if (ws.ctype[static_cast<std::size_t>(prev)] !=
+          ws.ctype[static_cast<std::size_t>(i)]) {
+        ws.ctype[static_cast<std::size_t>(prev)] = kColDense;
+        ws.ctype[static_cast<std::size_t>(i)] = kColDense;
+      }
+      const double dp = ws.dsort[static_cast<std::size_t>(prev)] * c * c +
+                        ws.dsort[static_cast<std::size_t>(i)] * s * s;
+      ws.dsort[static_cast<std::size_t>(i)] =
+          ws.dsort[static_cast<std::size_t>(prev)] * s * s +
+          ws.dsort[static_cast<std::size_t>(i)] * c * c;
+      ws.dsort[static_cast<std::size_t>(prev)] = dp;
+      deflate(prev);
+      prev = i;
+    } else {
+      survive(prev);
+      prev = i;
+    }
+  }
+  if (prev >= 0) survive(prev);
+  const Index kk = nsurv;
+
+  if (kk > 0) {
+    // --- Secular roots + Löwner z-refresh (dlaed4 / dlaed3) ---------------
+    ws.lambda.resize(static_cast<std::size_t>(kk));
+    ws.delta.Resize(kk, kk);  // delta(j, i) = dl[i] − λ_j
+    for (Index j = 0; j < kk; ++j) {
+      SecularRoot(kk, j, ws.dl.data(), ws.zsec.data(), rho,
+                  &ws.lambda[static_cast<std::size_t>(j)], ws.delta.RowPtr(j));
+    }
+    // Refresh z so that the λ just computed are EXACT eigenvalues of
+    // D + rho·ẑẑᵀ (Gu–Eisenstat): ẑᵢ² = Πⱼ(λⱼ−dᵢ) / (rho·Π_{j≠i}(dⱼ−dᵢ)),
+    // evaluated as interleaved ratios of interlacing quantities so every
+    // partial product stays O(1).
+    ws.zhat.resize(static_cast<std::size_t>(kk));
+    for (Index i = 0; i < kk; ++i) {
+      double prod = -ws.delta(i, i) / rho;  // (λᵢ − dᵢ)/rho > 0
+      for (Index j = 0; j < kk; ++j) {
+        if (j == i) continue;
+        prod *= ws.delta(j, i) / (ws.dl[static_cast<std::size_t>(i)] -
+                                  ws.dl[static_cast<std::size_t>(j)]);
+      }
+      ws.zhat[static_cast<std::size_t>(i)] = std::copysign(
+          std::sqrt(std::max(prod, 0.0)),
+          ws.zsec[static_cast<std::size_t>(i)]);
+    }
+
+    // --- Eigenvector assembly ---------------------------------------------
+    // Group survivors by column support so each GEMM skips the structurally
+    // zero half (dlaed3's two-multiply scheme).
+    ws.pack.resize(static_cast<std::size_t>(kk));
+    Index kt = 0, kd = 0, kb = 0;
+    for (Index i = 0; i < kk; ++i) {
+      const int ty = ws.stype[static_cast<std::size_t>(i)];
+      kt += ty == kColTop;
+      kd += ty == kColDense;
+      kb += ty == kColBottom;
+    }
+    {
+      Index at = 0, ad = kt, ab = kt + kd;
+      for (Index i = 0; i < kk; ++i) {
+        switch (ws.stype[static_cast<std::size_t>(i)]) {
+          case kColTop:
+            ws.pack[static_cast<std::size_t>(at++)] = i;
+            break;
+          case kColDense:
+            ws.pack[static_cast<std::size_t>(ad++)] = i;
+            break;
+          default:
+            ws.pack[static_cast<std::size_t>(ab++)] = i;
+            break;
+        }
+      }
+    }
+    // Secular eigenvector c of root j: ẑᵢ/(dᵢ − λⱼ), normalized. Rows follow
+    // the packed survivor order so they line up with q_pack's columns.
+    ws.s_pack.Resize(kk, kk);
+    for (Index j = 0; j < kk; ++j) {
+      double norm_sq = 0.0;
+      for (Index c2 = 0; c2 < kk; ++c2) {
+        const Index i = ws.pack[static_cast<std::size_t>(c2)];
+        const double w = ws.zhat[static_cast<std::size_t>(i)] / ws.delta(j, i);
+        ws.s_pack(c2, j) = w;
+        norm_sq += w * w;
+      }
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (Index c2 = 0; c2 < kk; ++c2) ws.s_pack(c2, j) *= inv;
+    }
+    ws.q_pack.Resize(m, kk);
+    for (Index c2 = 0; c2 < kk; ++c2) {
+      const Index surv = ws.pack[static_cast<std::size_t>(c2)];
+      const Index src_col = ws.scol[static_cast<std::size_t>(surv)];
+      for (Index r = 0; r < m; ++r) ws.q_pack(r, c2) = v(lo + r, src_col);
+    }
+    // u = Q·S in two support-aware GEMMs: top rows see top+dense columns,
+    // bottom rows see dense+bottom columns. Resize zero-fills, so row bands
+    // with an empty inner dimension are already correct.
+    ws.u.Resize(m, kk);
+    if (n1 > 0 && kt + kd > 0) {
+      kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, n1, kk, kt + kd,
+                    1.0, ws.q_pack.data(), kk, ws.s_pack.data(), kk, 0.0,
+                    ws.u.data(), kk);
+    }
+    if (m - n1 > 0 && kd + kb > 0) {
+      kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, m - n1, kk,
+                    kd + kb, 1.0, ws.q_pack.RowPtr(n1) + kt, kk,
+                    ws.s_pack.RowPtr(kt), kk, 0.0, ws.u.RowPtr(n1), kk);
+    }
+  }
+
+  // --- Write back in globally ascending order -----------------------------
+  ws.staged.Resize(m, ndefl);
+  for (Index t = 0; t < ndefl; ++t) {
+    const Index src_col = ws.dcol[static_cast<std::size_t>(t)];
+    for (Index r = 0; r < m; ++r) ws.staged(r, t) = v(lo + r, src_col);
+  }
+  const auto value = [&](Index idx) {
+    return idx < kk ? ws.lambda[static_cast<std::size_t>(idx)]
+                    : ws.ddefl[static_cast<std::size_t>(idx - kk)];
+  };
+  ws.order.resize(static_cast<std::size_t>(m));
+  for (Index i = 0; i < m; ++i) ws.order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(ws.order.begin(), ws.order.end(),
+                   [&](Index x, Index y) { return value(x) < value(y); });
+  for (Index pos = 0; pos < m; ++pos) {
+    const Index idx = ws.order[static_cast<std::size_t>(pos)];
+    p.d[lo + pos] = value(idx);
+    if (idx < kk) {
+      for (Index r = 0; r < m; ++r) v(lo + r, lo + pos) = ws.u(r, idx);
+    } else {
+      for (Index r = 0; r < m; ++r) {
+        v(lo + r, lo + pos) = ws.staged(r, idx - kk);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recursion
+// ---------------------------------------------------------------------------
+
+Status SolveSpan(const DcProblem& p, Index lo, Index hi) {
+  const Index m = hi - lo;
+  TridiagDcWorkspace& ws = *p.ws;
+  if (m <= kDcLeafSize) {
+    // QL leaf: rotations accumulate into rows of an identity basis, so row i
+    // of the result is eigenvector i of the leaf block. The eigenvalues land
+    // directly in the caller's d span; only the (destroyed) subdiagonal
+    // needs a scratch copy.
+    ws.leaf_e.resize(static_cast<std::size_t>(m));
+    ws.leaf_vt.Resize(m, m);
+    for (Index i = 0; i < m; ++i) {
+      ws.leaf_vt(i, i) = 1.0;
+      ws.leaf_e[static_cast<std::size_t>(i)] = i > 0 ? p.e[lo + i] : 0.0;
+    }
+    if (!internal::TridiagQlRows(ws.leaf_vt, p.d + lo, ws.leaf_e.data())) {
+      return Status::NumericalError(
+          "TridiagEigenDc: leaf QL iteration failed to converge");
+    }
+    for (Index i = 0; i < m; ++i) {
+      for (Index r = 0; r < m; ++r) {
+        (*p.v)(lo + r, lo + i) = ws.leaf_vt(i, r);
+      }
+    }
+    return Status::OK();
+  }
+
+  // Cuppen's splitting: T = diag(T₁', T₂') + |β|·u·uᵀ with β = e[mid] and
+  // u = e_{mid-1} + sign(β)·e_mid; the children solve the boundary-corrected
+  // blocks, the merge adds the rank-one coupling back.
+  const Index mid = lo + m / 2;
+  const double beta = p.e[mid];
+  p.d[mid - 1] -= std::abs(beta);
+  p.d[mid] -= std::abs(beta);
+  LRM_RETURN_IF_ERROR(SolveSpan(p, lo, mid));
+  LRM_RETURN_IF_ERROR(SolveSpan(p, mid, hi));
+  MergeSpan(p, lo, mid, hi, beta);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TridiagEigenDc(Vector& d, Vector& e, Matrix* v,
+                      TridiagDcWorkspace* workspace) {
+  LRM_CHECK(v != nullptr);
+  const Index n = d.size();
+  if (e.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("TridiagEigenDc: diagonal has %td entries, subdiagonal "
+                  "buffer %td (want equal sizes, e[0] ignored)",
+                  n, e.size()));
+  }
+  v->Resize(n, n);  // zero-fills: the recursion only writes span blocks
+  if (n == 0) return Status::OK();
+  TridiagDcWorkspace local;
+  TridiagDcWorkspace& ws = workspace != nullptr ? *workspace : local;
+  const DcProblem problem{d.data(), e.data(), v, &ws};
+  return SolveSpan(problem, 0, n);
+}
+
+}  // namespace lrm::linalg

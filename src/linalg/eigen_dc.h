@@ -1,0 +1,80 @@
+// Divide-and-conquer eigensolver for symmetric tridiagonal matrices
+// (Cuppen 1981; Gu & Eisenstat 1995; LAPACK stedc/laed1-4 structure).
+//
+// The tridiagonal is split in half by subtracting a rank-one coupling
+// (Cuppen's trick), each half is solved recursively (leaves fall back to
+// the implicit-shift QL iteration in linalg/tridiag_ql.h), and the two
+// spectra are merged by solving the secular equation of the rank-one
+// update with safeguarded root-finding. Deflation removes merged entries
+// whose z-component is negligible and rotates away near-equal eigenvalue
+// pairs before any secular work happens. Eigenvectors of the merged
+// problem are assembled with the Löwner-formula z-refresh (which makes
+// them orthogonal to working precision regardless of how tightly the
+// secular roots converged) and back-multiplied onto the subproblem bases
+// with two kernels::Gemm calls per merge — the dominant O(n³) work rides
+// the blocked, row-strip-threaded GEMM tier, which is what lets
+// SymmetricEigen scale past the QL iteration's n ≈ 1024 wall.
+//
+// This replaces the O(n²)-rotation QL accumulation as the production
+// tridiagonal backend (LRM_FACTOR_KERNEL=dc, and `auto` at size); QL stays
+// the reference oracle (tests/linalg/eigen_properties_test.cc compares the
+// two spectra at 1e-10 scale).
+
+#ifndef LRM_LINALG_EIGEN_DC_H_
+#define LRM_LINALG_EIGEN_DC_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "linalg/matrix.h"
+
+namespace lrm::linalg {
+
+/// \brief Reusable scratch for TridiagEigenDc. Merges never overlap (the
+/// recursion finishes both children before merging), so one set of buffers
+/// sized to the largest merged problem serves the whole tree; all buffers
+/// grow to the high-water mark and stay there, making repeated solves
+/// through one workspace allocation-free and bitwise deterministic.
+struct TridiagDcWorkspace {
+  std::vector<double> z;       ///< rank-one vector in the merged eigenbasis
+  std::vector<double> zsort;   ///< z permuted into merged order
+  std::vector<double> dsort;   ///< merged eigenvalues, ascending
+  std::vector<double> dl;      ///< surviving (non-deflated) poles
+  std::vector<double> zsec;    ///< surviving z-components
+  std::vector<double> zhat;    ///< Löwner-refreshed z
+  std::vector<double> lambda;  ///< secular roots
+  std::vector<double> ddefl;   ///< deflated eigenvalues
+  std::vector<Index> perm;     ///< ascending merge permutation
+  std::vector<Index> cols;     ///< V column holding each merged entry
+  std::vector<Index> scol;     ///< V column per surviving entry
+  std::vector<Index> dcol;     ///< V column per deflated entry
+  std::vector<Index> pack;     ///< survivors grouped top / dense / bottom
+  std::vector<int> ctype;      ///< column support: top / dense / bottom
+  std::vector<int> stype;      ///< survivor column support classes
+  std::vector<Index> order;    ///< final merged output order
+  Matrix delta;    ///< delta(j, i) = dl[i] − λ_j, kept cancellation-free
+  Matrix s_pack;   ///< secular eigenvectors, rows in packed survivor order
+  Matrix q_pack;   ///< packed non-deflated V columns (m×K)
+  Matrix u;        ///< merge GEMM output (m×K)
+  Matrix staged;   ///< deflated columns staged for the final re-sort
+  Matrix leaf_vt;  ///< leaf QL rotation basis
+  std::vector<double> leaf_e;  ///< leaf subdiagonal copy (QL destroys it)
+};
+
+/// \brief Computes all eigenpairs of the symmetric tridiagonal matrix with
+/// diagonal `d` (n entries) and subdiagonal `e[1:]` (e[0] is ignored — the
+/// same convention as the QL iteration).
+///
+/// On success `d` holds the eigenvalues in ascending order, `v` (resized to
+/// n×n) holds the matching orthonormal eigenvectors as columns, and `e` is
+/// destroyed. `workspace` may be null (scratch is then allocated per call);
+/// passing the same workspace to repeated solves is allocation-free at
+/// steady state and bitwise reproducible.
+///
+/// \returns kNumericalError if a leaf QL solve fails to converge.
+Status TridiagEigenDc(Vector& d, Vector& e, Matrix* v,
+                      TridiagDcWorkspace* workspace = nullptr);
+
+}  // namespace lrm::linalg
+
+#endif  // LRM_LINALG_EIGEN_DC_H_

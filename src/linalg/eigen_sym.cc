@@ -5,16 +5,17 @@
 #include <vector>
 
 #include "base/string_util.h"
+#include "linalg/eigen_dc.h"
 #include "linalg/householder_wy.h"
 #include "linalg/kernels/kernels.h"
+#include "linalg/matrix_view.h"
+#include "linalg/tridiag_ql.h"
 
 namespace lrm::linalg {
 
 namespace {
 
 namespace kernels = lrm::linalg::kernels;
-
-double Hypot(double a, double b) { return std::hypot(a, b); }
 
 // Householder reduction of a symmetric matrix (stored in v, modified in
 // place to accumulate the transformation) to tridiagonal form. `d` receives
@@ -100,98 +101,6 @@ void Tred2(Matrix& v, Vector& d, Vector& e) {
   e[0] = 0.0;
 }
 
-// Implicit-shift QL iteration on the tridiagonal (d, e); the rotations are
-// accumulated into the ROWS of vt (row i of vt ends up as eigenvector i, so
-// callers pass the transposed starting basis and transpose back). Port of
-// EISPACK tql2, re-oriented so the innermost rotation loop streams two
-// contiguous rows instead of striding down two columns — the accumulation
-// is the dominant O(n³) term of the whole eigensolve and runs several
-// times faster on contiguous memory. Returns false on non-convergence.
-bool Tql2Rows(Matrix& vt, Vector& d, Vector& e) {
-  const Index n = vt.rows();
-  for (Index i = 1; i < n; ++i) e[i - 1] = e[i];
-  e[n - 1] = 0.0;
-
-  double f = 0.0;
-  double tst1 = 0.0;
-  const double eps = std::numeric_limits<double>::epsilon();
-  for (Index l = 0; l < n; ++l) {
-    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
-    Index m = l;
-    while (m < n) {
-      if (std::abs(e[m]) <= eps * tst1) break;
-      ++m;
-    }
-    if (m > l) {
-      int iter = 0;
-      do {
-        if (++iter > 50) return false;
-        double g = d[l];
-        double p = (d[l + 1] - g) / (2.0 * e[l]);
-        double r = Hypot(p, 1.0);
-        if (p < 0) r = -r;
-        d[l] = e[l] / (p + r);
-        d[l + 1] = e[l] * (p + r);
-        const double dl1 = d[l + 1];
-        double h = g - d[l];
-        for (Index i = l + 2; i < n; ++i) d[i] -= h;
-        f += h;
-
-        p = d[m];
-        double c = 1.0;
-        double c2 = c;
-        double c3 = c;
-        const double el1 = e[l + 1];
-        double s = 0.0;
-        double s2 = 0.0;
-        for (Index i = m - 1; i >= l; --i) {
-          c3 = c2;
-          c2 = c;
-          s2 = s;
-          g = c * e[i];
-          h = c * p;
-          r = Hypot(p, e[i]);
-          e[i + 1] = s * r;
-          s = e[i] / r;
-          c = p / r;
-          p = c * d[i] - s * g;
-          d[i + 1] = h + s * (c * g + s * d[i]);
-          double* row_i = vt.RowPtr(i);
-          double* row_i1 = vt.RowPtr(i + 1);
-          for (Index k = 0; k < n; ++k) {
-            h = row_i1[k];
-            row_i1[k] = s * row_i[k] + c * h;
-            row_i[k] = c * row_i[k] - s * h;
-          }
-        }
-        p = -s * s2 * c3 * el1 * e[l] / dl1;
-        e[l] = s * p;
-        d[l] = c * p;
-      } while (std::abs(e[l]) > eps * tst1);
-    }
-    d[l] += f;
-    e[l] = 0.0;
-  }
-
-  // Sort eigenvalues ascending, permuting eigenvector rows along.
-  for (Index i = 0; i < n - 1; ++i) {
-    Index k = i;
-    double p = d[i];
-    for (Index j = i + 1; j < n; ++j) {
-      if (d[j] < p) {
-        k = j;
-        p = d[j];
-      }
-    }
-    if (k != i) {
-      d[k] = d[i];
-      d[i] = p;
-      std::swap_ranges(vt.RowPtr(i), vt.RowPtr(i) + n, vt.RowPtr(k));
-    }
-  }
-  return true;
-}
-
 // ---------------------------------------------------------------------------
 // Blocked tridiagonalization (LAPACK sytrd/latrd structure, lower storage).
 //
@@ -207,7 +116,34 @@ bool Tql2Rows(Matrix& vt, Vector& d, Vector& e) {
 
 constexpr Index kTridiagPanel = 32;
 
-bool UseBlockedEigen(Index n) { return kernels::UseBlockedFactor(n >= 128); }
+// `auto` engages the GEMM-rich tier (blocked tridiagonalization + D&C
+// tridiagonal solve) from this size; below it the scalar tred2 + QL pair
+// wins on overhead.
+constexpr Index kBlockedEigenMinDim = 128;
+
+// Resolved per-call dispatch: which tridiagonalization, which tridiagonal
+// eigensolver. kDc is the production path at size; kBlocked keeps the QL
+// iteration on the blocked reduction (the perf oracle the dc/QL bench gate
+// compares against); kReference is the all-scalar seed behavior.
+struct EigenDispatch {
+  bool blocked_tridiag;
+  bool dc_tridiag_solver;
+};
+
+EigenDispatch ResolveEigenDispatch(Index n) {
+  switch (kernels::ActiveFactorImpl()) {
+    case kernels::FactorImpl::kReference:
+      return {false, false};
+    case kernels::FactorImpl::kBlocked:
+      return {true, false};
+    case kernels::FactorImpl::kDc:
+      return {true, true};
+    case kernels::FactorImpl::kAuto:
+      break;
+  }
+  const bool at_size = n >= kBlockedEigenMinDim;
+  return {at_size, at_size};
+}
 
 // Width of the panel starting at reduction offset `off` (the last reflector
 // annihilates below the subdiagonal of column n-3).
@@ -220,12 +156,17 @@ Index TridiagPanelWidth(Index n, Index off) {
 // reflector scalars, and column c of `m` keeps the tail of reflector v_c
 // below row c+1 (v_c has an implicit 1 at row c+1).
 void BlockedTridiagonalize(Matrix& m, Vector& d, Vector& e,
-                           std::vector<double>& tau) {
+                           SymmetricEigenWorkspace& ws) {
   const Index n = m.rows();
-  tau.assign(static_cast<std::size_t>(n), 0.0);
-  Matrix v_panel, w_panel;
-  std::vector<double> p(static_cast<std::size_t>(n));
-  std::vector<double> u1(kTridiagPanel), u2(kTridiagPanel);
+  ws.tau.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<double>& tau = ws.tau;
+  Matrix& v_panel = ws.v_panel;
+  Matrix& w_panel = ws.w_panel;
+  ws.panel_p.resize(static_cast<std::size_t>(n));
+  ws.panel_vc.resize(static_cast<std::size_t>(n));
+  std::vector<double>& p = ws.panel_p;
+  std::vector<double>& vc = ws.panel_vc;
+  double u1[kTridiagPanel], u2[kTridiagPanel];
 
   Index off = 0;
   while (n - off > 2) {
@@ -259,47 +200,75 @@ void BlockedTridiagonalize(Matrix& m, Vector& d, Vector& e,
       for (Index r = i + 2; r < nt; ++r) v_col[r * jb] = s[r * n + i];
 
       // w = tau·(S₂₂·v − V·(Wᵀv) − W·(Vᵀv)) − ½·tau·(wᵀv)·v, where S₂₂ is
-      // the trailing block untouched by this panel so far.
+      // the trailing block untouched by this panel so far. The reflector
+      // tail is copied to contiguous storage first (at panel stride jb
+      // every access was a fresh cache line), and the product runs through
+      // the symmetric level-2 kernel, which reads only S₂₂'s lower
+      // triangle — this multiply is the one O(n³) term of the reduction
+      // that cannot defer into a GEMM, and it dominated the 1024 solve
+      // (~1.0 s through the general GEMV path, ~0.2 s as a symv).
       const double* v_tail = v_col + (i + 1) * jb;
-      kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, len, 1, len, 1.0,
-                    s + (i + 1) * n + (i + 1), n, v_tail, jb, 0.0, p.data(),
-                    1);
+      for (Index r = 0; r < len; ++r) {
+        vc[static_cast<std::size_t>(r)] = v_tail[r * jb];
+      }
+      kernels::SymvLower(len, 1.0, s + (i + 1) * n + (i + 1), n, vc.data(),
+                         0.0, p.data());
       if (i > 0) {
-        kernels::Gemm(kernels::Op::kTranspose, kernels::Op::kNone, i, 1, len,
-                      1.0, w_panel.RowPtr(i + 1), jb, v_tail, jb, 0.0,
-                      u1.data(), 1);
+        // u1 = Wᵀv and u2 = Vᵀv in one fused pass: the panels are row-major,
+        // so accumulating per-row outer contributions reads both W and V
+        // contiguously (the transposed-GEMV form strides by jb instead).
+        for (Index j = 0; j < i; ++j) {
+          u1[j] = 0.0;
+          u2[j] = 0.0;
+        }
+        const double* w_rows = w_panel.RowPtr(i + 1);
+        const double* v_rows = v_panel.RowPtr(i + 1);
+        for (Index r = 0; r < len; ++r) {
+          const double vr = vc[static_cast<std::size_t>(r)];
+          const double* w_row = w_rows + r * jb;
+          const double* v_row = v_rows + r * jb;
+          for (Index j = 0; j < i; ++j) {
+            u1[j] += w_row[j] * vr;
+            u2[j] += v_row[j] * vr;
+          }
+        }
         kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, len, 1, i, -1.0,
-                      v_panel.RowPtr(i + 1), jb, u1.data(), 1, 1.0, p.data(),
+                      v_panel.RowPtr(i + 1), jb, u1, 1, 1.0, p.data(),
                       1);
-        kernels::Gemm(kernels::Op::kTranspose, kernels::Op::kNone, i, 1, len,
-                      1.0, v_panel.RowPtr(i + 1), jb, v_tail, jb, 0.0,
-                      u2.data(), 1);
         kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, len, 1, i, -1.0,
-                      w_panel.RowPtr(i + 1), jb, u2.data(), 1, 1.0, p.data(),
+                      w_panel.RowPtr(i + 1), jb, u2, 1, 1.0, p.data(),
                       1);
       }
       double wv = 0.0;
       for (Index r = 0; r < len; ++r) {
         p[static_cast<std::size_t>(r)] *= t;
-        wv += p[static_cast<std::size_t>(r)] * v_tail[r * jb];
+        wv += p[static_cast<std::size_t>(r)] * vc[static_cast<std::size_t>(r)];
       }
       const double alpha = -0.5 * t * wv;
       double* w_col = w_panel.data() + i;
       for (Index r = 0; r < len; ++r) {
         w_col[(i + 1 + r) * jb] =
-            p[static_cast<std::size_t>(r)] + alpha * v_tail[r * jb];
+            p[static_cast<std::size_t>(r)] +
+            alpha * vc[static_cast<std::size_t>(r)];
       }
     }
 
     // Deferred symmetric rank-2·jb update of the trailing matrix:
-    // S(jb:nt, jb:nt) −= V₂·W₂ᵀ + W₂·V₂ᵀ.
+    // S(jb:nt, jb:nt) −= V₂·W₂ᵀ + W₂·V₂ᵀ. Only the lower trapezoid is
+    // maintained (row strips of 128, each updating columns up to its last
+    // row) — the symv above never reads the strict upper triangle, so
+    // updating it would be pure wasted bandwidth.
     const Index rest = nt - jb;
-    kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rest, rest, jb,
-                  -1.0, v_panel.RowPtr(jb), jb, w_panel.RowPtr(jb), jb, 1.0,
-                  s + jb * n + jb, n);
-    kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rest, rest, jb,
-                  -1.0, w_panel.RowPtr(jb), jb, v_panel.RowPtr(jb), jb, 1.0,
-                  s + jb * n + jb, n);
+    constexpr Index kTrailStrip = 128;
+    for (Index r0 = 0; r0 < rest; r0 += kTrailStrip) {
+      const Index rb = std::min(kTrailStrip, rest - r0);
+      kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rb, r0 + rb,
+                    jb, -1.0, v_panel.RowPtr(jb + r0), jb,
+                    w_panel.RowPtr(jb), jb, 1.0, s + (jb + r0) * n + jb, n);
+      kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rb, r0 + rb,
+                    jb, -1.0, w_panel.RowPtr(jb + r0), jb,
+                    v_panel.RowPtr(jb), jb, 1.0, s + (jb + r0) * n + jb, n);
+    }
     off += jb;
   }
 
@@ -315,19 +284,21 @@ void BlockedTridiagonalize(Matrix& m, Vector& d, Vector& e,
 // Accumulates Q = H_0·H_1·…·H_{n-3} (the tridiagonalizing transform, so
 // A = Q·T·Qᵀ) by applying the compact-WY blocks to the identity in reverse
 // panel order — three GEMMs per panel via ApplyBlockReflectorLeft.
-void FormTridiagQ(const Matrix& m, const std::vector<double>& tau, Matrix* q) {
+void FormTridiagQ(const Matrix& m, SymmetricEigenWorkspace& ws, Matrix* q) {
+  const std::vector<double>& tau = ws.tau;
   const Index n = m.rows();
   q->Resize(n, n);
   for (Index i = 0; i < n; ++i) (*q)(i, i) = 1.0;
+  if (n <= 2) return;
 
-  // Reconstruct the forward panel partition, then walk it backwards.
-  std::vector<Index> offsets;
-  for (Index off = 0; n - off > 2; off += TridiagPanelWidth(n, off)) {
-    offsets.push_back(off);
-  }
-  std::vector<double> v, t, scratch;
-  for (auto it = offsets.rbegin(); it != offsets.rend(); ++it) {
-    const Index off = *it;
+  // Walk the forward panel partition backwards. Forward offsets advance by
+  // the panel width, which is kTridiagPanel for every panel but the last,
+  // so they are exactly the multiples of kTridiagPanel below n − 2.
+  std::vector<double>& v = ws.wy_v;
+  std::vector<double>& t = ws.wy_t;
+  std::vector<double>& scratch = ws.wy_apply;
+  const Index last_off = ((n - 3) / kTridiagPanel) * kTridiagPanel;
+  for (Index off = last_off; off >= 0; off -= kTridiagPanel) {
     const Index jb = TridiagPanelWidth(n, off);
     const Index rows = n - off - 1;  // reflector support starts at off+1
     v.resize(static_cast<std::size_t>(rows * jb));
@@ -348,6 +319,11 @@ void FormTridiagQ(const Matrix& m, const std::vector<double>& tau, Matrix* q) {
 }  // namespace
 
 StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
+  return SymmetricEigen(a, nullptr);
+}
+
+StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a,
+                                              SymmetricEigenWorkspace* ws) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument(
         StrFormat("SymmetricEigen: matrix is %td x %td, expected square",
@@ -358,39 +334,50 @@ StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
     return SymmetricEigenResult{Vector(), Matrix()};
   }
 
+  SymmetricEigenWorkspace local;
+  SymmetricEigenWorkspace& w = ws != nullptr ? *ws : local;
+
   // Symmetrize to absorb roundoff asymmetry in the caller's input.
-  Matrix v(n, n);
+  w.work.Resize(n, n);
   for (Index i = 0; i < n; ++i) {
     for (Index j = 0; j < n; ++j) {
-      v(i, j) = 0.5 * (a(i, j) + a(j, i));
+      w.work(i, j) = 0.5 * (a(i, j) + a(j, i));
     }
   }
 
   Vector d(n);
   Vector e(n);
-  // Both paths hand Tql2Rows the TRANSPOSED starting basis (rows =
+  const EigenDispatch dispatch = ResolveEigenDispatch(n);
+  if (dispatch.dc_tridiag_solver) {
+    // Production path: blocked tridiagonalization, then divide-and-conquer
+    // on the tridiagonal (eigen_dc.h) and one GEMM rotating the tridiagonal
+    // eigenbasis back through the accumulated transform.
+    BlockedTridiagonalize(w.work, d, e, w);
+    FormTridiagQ(w.work, w, &w.q);
+    LRM_RETURN_IF_ERROR(TridiagEigenDc(d, e, &w.vt, &w.dc));
+    Matrix vectors(n, n);
+    kernels::Gemm(kernels::Op::kNone, kernels::Op::kNone, n, n, n, 1.0,
+                  w.q.data(), n, w.vt.data(), n, 0.0, vectors.data(), n);
+    return SymmetricEigenResult{std::move(d), std::move(vectors)};
+  }
+
+  // QL paths hand TridiagQlRows the TRANSPOSED starting basis (rows =
   // tridiagonalizing transform columns) so the rotation loops stream
   // contiguously, and transpose back at the end — two O(n²) copies against
   // the O(n³) accumulation.
-  Matrix vt;
-  if (UseBlockedEigen(n)) {
-    // GEMM-rich path: blocked tridiagonalization, Q re-accumulated from the
-    // compact-WY blocks, then the same implicit-shift QL on the tridiagonal
-    // rotates Q's columns into the eigenvectors.
-    std::vector<double> tau;
-    BlockedTridiagonalize(v, d, e, tau);
-    Matrix q;
-    FormTridiagQ(v, tau, &q);
-    vt = Transpose(q);
+  if (dispatch.blocked_tridiag) {
+    BlockedTridiagonalize(w.work, d, e, w);
+    FormTridiagQ(w.work, w, &w.q);
+    TransposeInto(w.q, &w.vt);
   } else {
-    Tred2(v, d, e);
-    vt = Transpose(v);
+    Tred2(w.work, d, e);
+    TransposeInto(w.work, &w.vt);
   }
-  if (!Tql2Rows(vt, d, e)) {
+  if (!internal::TridiagQlRows(w.vt, d.data(), e.data())) {
     return Status::NumericalError(
         "SymmetricEigen: QL iteration failed to converge");
   }
-  return SymmetricEigenResult{std::move(d), Transpose(vt)};
+  return SymmetricEigenResult{std::move(d), Transpose(w.vt)};
 }
 
 StatusOr<Matrix> ProjectToPsdCone(const Matrix& a, double floor) {

@@ -1,16 +1,22 @@
 // Symmetric eigendecomposition via Householder tridiagonalization followed
-// by the implicit-shift QL iteration.
+// by a tridiagonal eigensolver.
 //
-// Two tridiagonalization paths behind one API (dispatch mirrors the GEMM
-// kernels; LRM_FACTOR_KERNEL / kernels::SetFactorImpl force either):
+// Three paths behind one API (dispatch mirrors the GEMM kernels;
+// LRM_FACTOR_KERNEL / kernels::SetFactorImpl force any of them):
 //
-//  * scalar  — the classic EISPACK tred2 loop; the reference, and the
-//              default below n = 128.
+//  * scalar  — the classic EISPACK tred2 loop + implicit-shift QL; the
+//              reference, and the default below n = 128.
 //  * blocked — LAPACK sytrd/latrd-style panels: per-column GEMVs inside a
 //              panel, the dominant symmetric rank-2·jb trailing update as
 //              two GEMMs, and Q re-accumulated from compact-WY block
 //              reflectors (linalg/householder_wy.h). The QL iteration on
 //              the tridiagonal is shared with the scalar path.
+//  * dc      — blocked tridiagonalization as above, but the tridiagonal is
+//              solved by Cuppen divide-and-conquer (linalg/eigen_dc.h):
+//              secular-equation merges with deflation, eigenvectors
+//              assembled by GEMM. This replaces the QL iteration's O(n²)
+//              rotation sweeps as the production path at size (`auto`
+//              picks it from n = 128) and is what unlocks n ≥ 2048.
 //
 // Used by: the Gram-matrix SVD (singular values of W from eigenvalues of the
 // smaller Gram matrix), the matrix mechanism's PSD-cone projection, and the
@@ -19,7 +25,10 @@
 #ifndef LRM_LINALG_EIGEN_SYM_H_
 #define LRM_LINALG_EIGEN_SYM_H_
 
+#include <vector>
+
 #include "base/status_or.h"
+#include "linalg/eigen_dc.h"
 #include "linalg/matrix.h"
 
 namespace lrm::linalg {
@@ -32,14 +41,36 @@ struct SymmetricEigenResult {
   Matrix eigenvectors;
 };
 
+/// \brief Reusable scratch for SymmetricEigen: the symmetrized working
+/// copy, the accumulated tridiagonalizing transform, the tridiagonal
+/// eigenvector basis, and the divide-and-conquer merge scratch (secular
+/// roots, deflation bookkeeping, packed GEMM operands). Repeated solves
+/// through one workspace are allocation-free at steady state (beyond the
+/// returned result) and bitwise deterministic.
+struct SymmetricEigenWorkspace {
+  Matrix work;  ///< symmetrized input, consumed by the tridiagonalization
+  Matrix q;     ///< accumulated tridiagonalizing transform
+  Matrix vt;    ///< tridiagonal eigenvectors (dc) / transposed basis (QL)
+  std::vector<double> tau;  ///< blocked-path reflector scalars
+  Matrix v_panel, w_panel;  ///< latrd panel factors (n×32 each)
+  std::vector<double> panel_p, panel_vc;  ///< panel symv / reflector scratch
+  std::vector<double> wy_v, wy_t, wy_apply;  ///< compact-WY blocks for Q
+  TridiagDcWorkspace dc;  ///< secular-solve / merge scratch
+};
+
 /// \brief Computes all eigenpairs of a symmetric matrix.
 ///
 /// The input is symmetrized as (A + Aᵀ)/2 to absorb roundoff asymmetry.
-/// O(n³) with a small constant; handles n in the thousands.
+/// O(n³) with a small constant; the dc path handles n in the several
+/// thousands (the QL paths wall out near n ≈ 1024).
 ///
-/// \returns kNumericalError if the QL iteration fails to converge (virtually
-/// impossible for genuinely symmetric input).
+/// \returns kNumericalError if the tridiagonal iteration fails to converge
+/// (virtually impossible for genuinely symmetric input).
 StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a);
+
+/// \brief Same, with caller-owned scratch (see SymmetricEigenWorkspace).
+StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a,
+                                              SymmetricEigenWorkspace* ws);
 
 /// \brief Projects a symmetric matrix onto the cone of positive
 /// semi-definite matrices with minimum eigenvalue `floor` (clamps the

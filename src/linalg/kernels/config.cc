@@ -43,6 +43,7 @@ FactorImpl EnvFactorDefault() {
   if (const char* env = std::getenv("LRM_FACTOR_KERNEL")) {
     if (std::strcmp(env, "reference") == 0) return FactorImpl::kReference;
     if (std::strcmp(env, "blocked") == 0) return FactorImpl::kBlocked;
+    if (std::strcmp(env, "dc") == 0) return FactorImpl::kDc;
   }
   return FactorImpl::kAuto;
 }
@@ -95,6 +96,9 @@ bool UseBlockedFactor(bool auto_blocked) {
     case FactorImpl::kReference:
       return false;
     case FactorImpl::kBlocked:
+    case FactorImpl::kDc:
+      // kDc only changes the tridiagonal eigensolver; for every other
+      // factorization it means "the GEMM-rich path", i.e. blocked.
       return true;
     case FactorImpl::kAuto:
       break;

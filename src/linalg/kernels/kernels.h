@@ -22,8 +22,10 @@
 //   LRM_GEMM_THREADS   — worker thread cap (default: hardware concurrency);
 //                        SetGemmThreads() overrides programmatically.
 //   LRM_GEMM_KERNEL    — "auto" (default), "reference", or "blocked".
-//   LRM_FACTOR_KERNEL  — same values, for the blocked factorization tier
-//                        built on these kernels (qr/cholesky/eigen_sym).
+//   LRM_FACTOR_KERNEL  — "auto" / "reference" / "blocked" / "dc", for the
+//                        factorization tier built on these kernels
+//                        (qr/cholesky/eigen_sym; "dc" additionally swaps the
+//                        tridiagonal QL iteration for divide-and-conquer).
 
 #ifndef LRM_LINALG_KERNELS_KERNELS_H_
 #define LRM_LINALG_KERNELS_KERNELS_H_
@@ -46,8 +48,11 @@ enum class GemmImpl { kAuto, kReference, kBlocked };
 /// Factorization-tier implementation selector (blocked QR / Cholesky /
 /// tridiagonalization in linalg/{qr,cholesky,eigen_sym}.cc). Mirrors
 /// GemmImpl: kReference forces the scalar loops, kBlocked forces the
-/// GEMM-rich blocked algorithms, kAuto picks by problem size.
-enum class FactorImpl { kAuto, kReference, kBlocked };
+/// GEMM-rich blocked algorithms, kAuto picks by problem size. kDc
+/// additionally selects the divide-and-conquer tridiagonal eigensolver
+/// (linalg/eigen_dc.h) inside SymmetricEigen; QR and Cholesky treat it
+/// like kBlocked (they have no QL-vs-D&C split).
+enum class FactorImpl { kAuto, kReference, kBlocked, kDc };
 
 /// \brief Worker threads GEMM may use. Resolved once from LRM_GEMM_THREADS
 /// (falling back to std::thread::hardware_concurrency), unless overridden.
@@ -66,7 +71,8 @@ GemmImpl ActiveGemmImpl();
 void SetGemmImpl(GemmImpl impl);
 
 /// \brief Active factorization-tier choice. Resolved once from
-/// LRM_FACTOR_KERNEL ("auto" | "reference" | "blocked") unless overridden.
+/// LRM_FACTOR_KERNEL ("auto" | "reference" | "blocked" | "dc") unless
+/// overridden.
 FactorImpl ActiveFactorImpl();
 
 /// \brief Overrides ActiveFactorImpl() (tests/benchmarks); `kAuto` restores
@@ -74,8 +80,8 @@ FactorImpl ActiveFactorImpl();
 void SetFactorImpl(FactorImpl impl);
 
 /// \brief Resolves the factorization dispatch for one call site:
-/// kReference → false, kBlocked → true, kAuto → `auto_blocked` (the
-/// caller's own size heuristic). Keeps the three-way switch in one place.
+/// kReference → false, kBlocked/kDc → true, kAuto → `auto_blocked` (the
+/// caller's own size heuristic). Keeps the multi-way switch in one place.
 bool UseBlockedFactor(bool auto_blocked);
 
 /// \brief C = alpha·op(A)·op(B) + beta·C with op(A) m×k, op(B) k×n, C m×n.
@@ -101,6 +107,15 @@ void GemmReference(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
 void GemmBlocked(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
                  const double* a, Index lda, const double* b, Index ldb,
                  double beta, double* c, Index ldc, int threads);
+
+/// \brief Symmetric matrix–vector product y = alpha·A·x + beta·y where A is
+/// n×n symmetric and ONLY its lower triangle (including the diagonal) is
+/// read — the strict upper triangle may hold garbage. beta == 0 overwrites
+/// y without reading it. Single-pass over the stored triangle with each
+/// element applied to both sides (BLAS dsymv semantics, lower storage);
+/// the tridiagonalization panel is the hot caller.
+void SymvLower(Index n, double alpha, const double* a, Index lda,
+               const double* x, double beta, double* y);
 
 /// \brief Symmetric rank-k update, lower triangle only:
 /// C = alpha·op(A)·op(A)ᵀ + beta·C with op(A) n×k and C n×n. Only the lower

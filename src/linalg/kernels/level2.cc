@@ -1,0 +1,48 @@
+// Level-2 kernels: symmetric matrix–vector product.
+//
+// SymvLower exists because the tridiagonalization panel (latrd) multiplies
+// the symmetric trailing matrix by the current reflector once per column —
+// the only O(n³) term of the reduction that cannot be deferred into a GEMM.
+// Routing it through the general GEMV path costs twice: the full square is
+// streamed although the matrix is symmetric, and a single-accumulator dot
+// chain leaves the core latency-bound. This kernel reads each lower-triangle
+// element once, applies it to both y[i] and y[j], and splits the reduction
+// across independent accumulators so the loop is throughput-bound.
+
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg::kernels {
+
+void SymvLower(Index n, double alpha, const double* a, Index lda,
+               const double* x, double beta, double* y) {
+  if (beta == 0.0) {
+    for (Index i = 0; i < n; ++i) y[i] = 0.0;
+  } else if (beta != 1.0) {
+    for (Index i = 0; i < n; ++i) y[i] *= beta;
+  }
+  for (Index i = 0; i < n; ++i) {
+    const double* row = a + i * lda;
+    const double xi = alpha * x[i];
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    Index j = 0;
+    for (; j + 4 <= i; j += 4) {
+      const double a0 = row[j], a1 = row[j + 1];
+      const double a2 = row[j + 2], a3 = row[j + 3];
+      s0 += a0 * x[j];
+      s1 += a1 * x[j + 1];
+      s2 += a2 * x[j + 2];
+      s3 += a3 * x[j + 3];
+      y[j] += a0 * xi;
+      y[j + 1] += a1 * xi;
+      y[j + 2] += a2 * xi;
+      y[j + 3] += a3 * xi;
+    }
+    for (; j < i; ++j) {
+      s0 += row[j] * x[j];
+      y[j] += row[j] * xi;
+    }
+    y[i] += alpha * ((s0 + s1) + (s2 + s3)) + row[i] * xi;
+  }
+}
+
+}  // namespace lrm::linalg::kernels

@@ -49,7 +49,10 @@ StatusOr<SvdResult> JacobiSvd(const Matrix& a, const SvdOptions& options = {});
 /// \brief SVD via symmetric eigendecomposition of the smaller Gram matrix.
 ///
 /// Singular values below √ε·σ₁ lose relative accuracy (the Gram step squares
-/// the condition number); fine for rank estimation and solver seeding.
+/// the condition number); fine for rank estimation and solver seeding. The
+/// eigensolve rides the SymmetricEigen dispatch, so at size it runs the
+/// divide-and-conquer tridiagonal path (linalg/eigen_dc.h) — this is what
+/// keeps the exact-SVD fallback usable at the paper's n ≈ 4096 domains.
 StatusOr<SvdResult> GramSvd(const Matrix& a);
 
 /// \brief Options for RandomizedSvd.

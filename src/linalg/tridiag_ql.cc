@@ -1,0 +1,94 @@
+#include "linalg/tridiag_ql.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lrm::linalg::internal {
+
+bool TridiagQlRows(Matrix& vt, double* d, double* e) {
+  const Index n = vt.rows();
+  for (Index i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (Index l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    Index m = l;
+    while (m < n) {
+      if (std::abs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+    if (m > l) {
+      int iter = 0;
+      do {
+        if (++iter > 50) return false;
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = std::hypot(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (Index i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (Index i = m - 1; i >= l; --i) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = std::hypot(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+          double* row_i = vt.RowPtr(i);
+          double* row_i1 = vt.RowPtr(i + 1);
+          for (Index k = 0; k < n; ++k) {
+            h = row_i1[k];
+            row_i1[k] = s * row_i[k] + c * h;
+            row_i[k] = c * row_i[k] - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvector rows along.
+  for (Index i = 0; i < n - 1; ++i) {
+    Index k = i;
+    double p = d[i];
+    for (Index j = i + 1; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      d[k] = d[i];
+      d[i] = p;
+      std::swap_ranges(vt.RowPtr(i), vt.RowPtr(i) + n, vt.RowPtr(k));
+    }
+  }
+  return true;
+}
+
+}  // namespace lrm::linalg::internal

@@ -1,0 +1,28 @@
+// Implicit-shift QL iteration on a symmetric tridiagonal matrix — the
+// shared tridiagonal backend of the eigen tier. SymmetricEigen's reference
+// and blocked paths run it on the full reduced matrix; the divide-and-
+// conquer solver (linalg/eigen_dc.h) runs it on the leaf blocks of its
+// merge tree and keeps it as the oracle the D&C results are tested against.
+
+#ifndef LRM_LINALG_TRIDIAG_QL_H_
+#define LRM_LINALG_TRIDIAG_QL_H_
+
+#include "linalg/matrix.h"
+
+namespace lrm::linalg::internal {
+
+/// \brief Implicit-shift QL iteration on the tridiagonal (d, e); both point
+/// at vt.rows() entries, d holding the diagonal and e[1:] the subdiagonal
+/// (e[0] is ignored, e is destroyed). The rotations are accumulated into
+/// the ROWS of `vt` (row i of vt ends up as eigenvector i, so callers pass
+/// the transposed starting basis and transpose back). Port of EISPACK tql2,
+/// re-oriented so the innermost rotation loop streams two contiguous rows
+/// instead of striding down two columns — the accumulation is the dominant
+/// O(n³) term of a full eigensolve and runs several times faster on
+/// contiguous memory. On return d holds the eigenvalues ascending and vt's
+/// rows are permuted along. Returns false on non-convergence.
+bool TridiagQlRows(Matrix& vt, double* d, double* e);
+
+}  // namespace lrm::linalg::internal
+
+#endif  // LRM_LINALG_TRIDIAG_QL_H_

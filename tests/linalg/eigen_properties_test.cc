@@ -1,0 +1,223 @@
+// Property-based spectral suite for the symmetric eigensolver tier.
+//
+// Matrices are GENERATED per spectral shape (random symmetric, clustered
+// eigenvalues, rank-deficient Grams, graded spectra, Wilkinson pairs,
+// ±pairs straddling the deflation threshold) and every implementation
+// behind the LRM_FACTOR_KERNEL dispatch (scalar QL, blocked QL, divide-and-
+// conquer) must satisfy the defining properties on all of them:
+//
+//   * residual:       ‖A·V − V·Λ‖_max ≤ tol·‖A‖
+//   * orthonormality: ‖VᵀV − I‖_max  ≤ tol
+//   * ordering:       λ₀ ≤ λ₁ ≤ … ≤ λ_{n-1}
+//
+// plus cross-implementation eigenvalue agreement: the dc spectrum must
+// match the QL oracle at 1e-10 scale (eigenvalues are unique, so they
+// compare directly even where eigenvectors do not).
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/kernels/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+#include "tests/support/matchers.h"
+
+namespace lrm::linalg {
+namespace {
+
+namespace kernels = lrm::linalg::kernels;
+
+class ScopedFactorImpl {
+ public:
+  explicit ScopedFactorImpl(kernels::FactorImpl impl) {
+    kernels::SetFactorImpl(impl);
+  }
+  ~ScopedFactorImpl() { kernels::SetFactorImpl(kernels::FactorImpl::kAuto); }
+};
+
+// Conjugates diag(spectrum) by a random orthogonal factor so the matrix is
+// dense but the spectrum is exactly known by construction.
+Matrix FromSpectrum(rng::Engine& engine, const Vector& spectrum) {
+  const Index n = spectrum.size();
+  const StatusOr<Matrix> q =
+      OrthonormalizeColumns(RandomGaussianMatrix(engine, n, n));
+  LRM_CHECK(q.ok());
+  Matrix scaled = *q;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) scaled(i, j) *= spectrum[j];
+  }
+  return MultiplyABt(scaled, *q);
+}
+
+Matrix RandomSymmetric(rng::Engine& engine, Index n) {
+  const Matrix g = RandomGaussianMatrix(engine, n, n);
+  Matrix a = g + Transpose(g);
+  a *= 0.5;
+  return a;
+}
+
+// A few tight clusters of exactly-repeated eigenvalues — the shape that
+// drives the D&C merge through heavy Givens deflation.
+Matrix ClusteredSpectrum(rng::Engine& engine, Index n) {
+  Vector spectrum(n);
+  const double centers[] = {-3.0, 0.0, 1.0, 7.5};
+  for (Index i = 0; i < n; ++i) {
+    spectrum[i] = centers[i % 4];
+  }
+  return FromSpectrum(engine, spectrum);
+}
+
+// Rank-deficient PSD Gram matrix: most of the spectrum collapses to zero,
+// exercising the tiny-z deflation branch en masse.
+Matrix RankDeficientGram(rng::Engine& engine, Index n) {
+  const Index r = std::max<Index>(2, n / 8);
+  const Matrix g = RandomGaussianMatrix(engine, n, r);
+  return MultiplyABt(g, g);
+}
+
+// Eigenvalues spanning ~12 orders of magnitude.
+Matrix GradedSpectrum(rng::Engine& engine, Index n) {
+  Vector spectrum(n);
+  for (Index i = 0; i < n; ++i) {
+    spectrum[i] = std::pow(10.0, -12.0 * static_cast<double>(i) /
+                                     static_cast<double>(std::max<Index>(
+                                         n - 1, 1)));
+  }
+  return FromSpectrum(engine, spectrum);
+}
+
+// Wilkinson-style W⁺ tridiagonal: diagonal |i − (n−1)/2| with unit
+// off-diagonals. Its large eigenvalues come in famously close (but not
+// equal) pairs that sit right at deflation tolerances.
+Matrix Wilkinson(Index n) {
+  Matrix w(n, n);
+  const double center = static_cast<double>(n - 1) / 2.0;
+  for (Index i = 0; i < n; ++i) {
+    w(i, i) = std::abs(static_cast<double>(i) - center);
+    if (i + 1 < n) {
+      w(i, i + 1) = 1.0;
+      w(i + 1, i) = 1.0;
+    }
+  }
+  return w;
+}
+
+// ± pairs split by perturbations straddling the deflation threshold
+// (~8·eps·‖A‖): exact ties, ties broken at 1e-15, 1e-12, and 1e-8 — the
+// deflate / don't-deflate decision must not cost correctness either way.
+Matrix PlusMinusPairs(rng::Engine& engine, Index n) {
+  Vector spectrum(n);
+  const double splits[] = {0.0, 1e-15, 1e-12, 1e-8};
+  for (Index i = 0; i < n; i += 2) {
+    const double base = 1.0 + static_cast<double>(i) / n;
+    const double split = splits[(i / 2) % 4];
+    spectrum[i] = base;
+    if (i + 1 < n) spectrum[i + 1] = -(base + split);
+  }
+  return FromSpectrum(engine, spectrum);
+}
+
+using Generator = Matrix (*)(rng::Engine&, Index);
+
+Matrix WilkinsonAdapter(rng::Engine&, Index n) { return Wilkinson(n); }
+
+struct SpectralCase {
+  const char* name;
+  Generator generate;
+};
+
+constexpr SpectralCase kCases[] = {
+    {"RandomSymmetric", &RandomSymmetric},
+    {"ClusteredSpectrum", &ClusteredSpectrum},
+    {"RankDeficientGram", &RankDeficientGram},
+    {"GradedSpectrum", &GradedSpectrum},
+    {"Wilkinson", &WilkinsonAdapter},
+    {"PlusMinusPairs", &PlusMinusPairs},
+};
+
+void CheckSpectralProperties(const Matrix& a, const SymmetricEigenResult& eig,
+                             const char* label) {
+  SCOPED_TRACE(label);
+  const Index n = a.rows();
+  ASSERT_EQ(eig.eigenvalues.size(), n);
+  ASSERT_EQ(eig.eigenvectors.rows(), n);
+  ASSERT_EQ(eig.eigenvectors.cols(), n);
+  const double norm = std::max(MaxAbs(a), 1e-300);
+  const double tol = 1e-12 * static_cast<double>(n);
+
+  // A·V = V·Λ.
+  const Matrix av = a * eig.eigenvectors;
+  Matrix vl = eig.eigenvectors;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) vl(i, j) *= eig.eigenvalues[j];
+  }
+  EXPECT_MATRIX_NEAR(av, vl, tol * norm);
+
+  // VᵀV = I.
+  EXPECT_MATRIX_NEAR(GramAtA(eig.eigenvectors), Matrix::Identity(n), tol);
+
+  // Ascending order.
+  for (Index i = 1; i < n; ++i) {
+    EXPECT_GE(eig.eigenvalues[i], eig.eigenvalues[i - 1]) << "position " << i;
+  }
+}
+
+class EigenSpectralPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EigenSpectralPropertyTest, AllImplementationsSatisfyProperties) {
+  const auto [case_index, n] = GetParam();
+  const SpectralCase& spectral_case = kCases[case_index];
+  SCOPED_TRACE(spectral_case.name);
+  rng::Engine engine(static_cast<std::uint64_t>(case_index) * 7919 + n);
+  const Matrix a = spectral_case.generate(engine, n);
+
+  StatusOr<SymmetricEigenResult> ql = Status::InvalidArgument("unset");
+  StatusOr<SymmetricEigenResult> dc = Status::InvalidArgument("unset");
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kReference);
+    const StatusOr<SymmetricEigenResult> scalar = SymmetricEigen(a);
+    ASSERT_TRUE(scalar.ok());
+    CheckSpectralProperties(a, *scalar, "scalar QL");
+  }
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kBlocked);
+    ql = SymmetricEigen(a);
+    ASSERT_TRUE(ql.ok());
+    CheckSpectralProperties(a, *ql, "blocked QL");
+  }
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kDc);
+    dc = SymmetricEigen(a);
+    ASSERT_TRUE(dc.ok());
+    CheckSpectralProperties(a, *dc, "divide-and-conquer");
+  }
+
+  // Eigenvalues are unique: dc must match the QL oracle at 1e-10 scale.
+  const double scale = std::max(MaxAbs(a), 1.0) * n;
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(dc->eigenvalues[i], ql->eigenvalues[i], 1e-10 * scale)
+        << "eigenvalue " << i;
+  }
+}
+
+// Sizes below, at, and above the leaf size (32) and the auto-dispatch
+// threshold (128), including odd splits and multi-level merge trees.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EigenSpectralPropertyTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(16, 33, 64, 97, 160, 257)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(kCases[std::get<0>(info.param)].name) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace lrm::linalg

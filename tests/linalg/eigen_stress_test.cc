@@ -1,0 +1,155 @@
+// Stress tier for the divide-and-conquer eigensolver: the n = 2048 regime
+// that the QL iteration could not reach in tolerable time, plus the first
+// n = 4096 eigen run, and bitwise workspace-reuse determinism.
+//
+// Runtime budget: the full sizes (2048 / 4096) are reserved for optimized
+// builds — roughly 10 s for the 2048 solves and ~40 s for the 4096 one on
+// the baseline box. Under sanitizers or -O0 those would balloon into tens
+// of minutes of instrumented GEMM, so LRM_SANITIZED_BUILD (set by the CMake
+// sanitizer option) and NDEBUG-less builds scale the sizes down; the same
+// code paths (leaf QL, multi-level merges, deflation, packed GEMMs) are
+// exercised either way, which is what the sanitizers are there to check.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/matrix.h"
+#include "linalg/random_matrix.h"
+#include "linalg/svd.h"
+#include "rng/engine.h"
+#include "tests/support/matchers.h"
+
+namespace lrm::linalg {
+namespace {
+
+#if defined(LRM_SANITIZED_BUILD) || !defined(NDEBUG)
+constexpr Index kLargeN = 384;   // sanitizer / unoptimized budget
+constexpr Index kHugeN = 512;
+#else
+constexpr Index kLargeN = 2048;  // the size this PR unlocks
+constexpr Index kHugeN = 4096;   // paper-scale domains (ROADMAP item 1)
+#endif
+
+Matrix MakeSpd(Index n, std::uint64_t seed) {
+  rng::Engine engine(seed);
+  const Matrix g = RandomGaussianMatrix(engine, n, n);
+  Matrix a = GramAtA(g);
+  for (Index i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(EigenStressTest, SymmetricEigenAtLargeN) {
+  const Matrix a = MakeSpd(kLargeN, 21);
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+
+  const double scale = MaxAbs(a) * static_cast<double>(kLargeN);
+  // Full defining-property checks: A·V = V·Λ and VᵀV = I.
+  Matrix vl = eig->eigenvectors;
+  for (Index j = 0; j < kLargeN; ++j) {
+    for (Index i = 0; i < kLargeN; ++i) vl(i, j) *= eig->eigenvalues[j];
+  }
+  EXPECT_MATRIX_NEAR(a * eig->eigenvectors, vl, 1e-12 * scale);
+  EXPECT_MATRIX_NEAR(GramAtA(eig->eigenvectors), Matrix::Identity(kLargeN),
+                     1e-12 * kLargeN);
+  double trace_sum = 0.0;
+  for (Index i = 0; i < kLargeN; ++i) {
+    if (i > 0) {
+      ASSERT_GE(eig->eigenvalues[i], eig->eigenvalues[i - 1]);
+    }
+    trace_sum += eig->eigenvalues[i];
+  }
+  EXPECT_NEAR(trace_sum, Trace(a), 1e-10 * scale);
+}
+
+TEST(EigenStressTest, GramSvdAtLargeN) {
+  // The exact-SVD fallback shape: a tall workload whose Gram eigensolve
+  // rides the dc dispatch.
+  rng::Engine engine(22);
+  const Matrix a = RandomGaussianMatrix(engine, kLargeN, kLargeN / 2);
+  const StatusOr<SvdResult> svd = GramSvd(a);
+  ASSERT_TRUE(svd.ok());
+
+  const Index k = kLargeN / 2;
+  ASSERT_EQ(svd->singular_values.size(), k);
+  for (Index i = 0; i < k; ++i) {
+    ASSERT_GE(svd->singular_values[i], 0.0);
+    if (i > 0) {
+      ASSERT_LE(svd->singular_values[i], svd->singular_values[i - 1]);
+    }
+  }
+  EXPECT_MATRIX_NEAR(GramAtA(svd->u), Matrix::Identity(k), 1e-9 * kLargeN);
+  EXPECT_MATRIX_NEAR(GramAtA(svd->v), Matrix::Identity(k), 1e-9 * kLargeN);
+  // A·V = U·Σ ties the three factors together in one GEMM pass.
+  Matrix us = svd->u;
+  for (Index j = 0; j < k; ++j) {
+    for (Index i = 0; i < us.rows(); ++i) us(i, j) *= svd->singular_values[j];
+  }
+  EXPECT_MATRIX_NEAR(a * svd->v, us, 1e-9 * MaxAbs(a) * kLargeN);
+}
+
+TEST(EigenStressTest, WorkspaceReuseIsBitwiseDeterministic) {
+  // Two solves through one workspace must be bit-identical to each other
+  // AND to the workspace-free call: the merge scratch is fully overwritten
+  // before every read, so buffer history can never leak into results.
+  const Index n = 512;
+  const Matrix a = MakeSpd(n, 23);
+  const StatusOr<SymmetricEigenResult> fresh = SymmetricEigen(a);
+  ASSERT_TRUE(fresh.ok());
+
+  SymmetricEigenWorkspace ws;
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE(pass);
+    const StatusOr<SymmetricEigenResult> reused = SymmetricEigen(a, &ws);
+    ASSERT_TRUE(reused.ok());
+    EXPECT_VECTOR_NEAR(reused->eigenvalues, fresh->eigenvalues, 0.0);
+    EXPECT_MATRIX_NEAR(reused->eigenvectors, fresh->eigenvectors, 0.0);
+  }
+}
+
+TEST(EigenStressTest, SymmetricEigenAtHugeNCompletes) {
+  // The n = 4096 run the QL wall made impossible: assert completion plus
+  // O(n²) checks (ordering, trace identity, sampled eigenpair residuals) —
+  // the full O(n³) property GEMMs are already covered at kLargeN.
+  const Matrix a = MakeSpd(kHugeN, 29);
+  const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+
+  double trace_sum = 0.0;
+  for (Index i = 0; i < kHugeN; ++i) {
+    if (i > 0) {
+      ASSERT_GE(eig->eigenvalues[i], eig->eigenvalues[i - 1]);
+    }
+    trace_sum += eig->eigenvalues[i];
+  }
+  const double scale = MaxAbs(a) * static_cast<double>(kHugeN);
+  EXPECT_NEAR(trace_sum, Trace(a), 1e-10 * scale);
+
+  // Sampled residuals ‖A·v_j − λ_j·v_j‖∞ and pairwise orthogonality.
+  rng::Engine engine(31);
+  for (int s = 0; s < 16; ++s) {
+    const Index j =
+        static_cast<Index>(engine.Next() % static_cast<std::uint64_t>(kHugeN));
+    double norm_sq = 0.0;
+    for (Index i = 0; i < kHugeN; ++i) {
+      norm_sq += eig->eigenvectors(i, j) * eig->eigenvectors(i, j);
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-10 * kHugeN);
+    double max_resid = 0.0;
+    for (Index i = 0; i < kHugeN; ++i) {
+      double av = 0.0;
+      for (Index k2 = 0; k2 < kHugeN; ++k2) {
+        av += a(i, k2) * eig->eigenvectors(k2, j);
+      }
+      max_resid = std::max(
+          max_resid,
+          std::abs(av - eig->eigenvalues[j] * eig->eigenvectors(i, j)));
+    }
+    EXPECT_LE(max_resid, 1e-12 * scale) << "eigenpair " << j;
+  }
+}
+
+}  // namespace
+}  // namespace lrm::linalg

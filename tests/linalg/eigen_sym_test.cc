@@ -4,12 +4,16 @@
 
 #include <cmath>
 
+#include "linalg/kernels/kernels.h"
+#include "linalg/qr.h"
 #include "linalg/random_matrix.h"
 #include "rng/engine.h"
 #include "tests/support/matchers.h"
 
 namespace lrm::linalg {
 namespace {
+
+namespace kernels = lrm::linalg::kernels;
 
 Matrix RandomSymmetric(rng::Engine& engine, Index n) {
   const Matrix g = RandomGaussianMatrix(engine, n, n);
@@ -93,6 +97,48 @@ TEST_P(SymmetricEigenPropertyTest, EigenvaluesAscendAndMatchTrace) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SymmetricEigenPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 8, 17, 33, 64));
+
+// Repeated eigenvalues make the eigenvectors non-unique (any orthonormal
+// basis of the eigenspace is valid), which is exactly when orthogonality is
+// easiest to lose — rotations inside a degenerate cluster cost nothing in
+// the residual. Every implementation must still return an orthonormal V.
+TEST(SymmetricEigenTest, RepeatedEigenvaluesKeepEigenvectorsOrthonormal) {
+  for (const Index n : {24, 160}) {
+    // Three distinct eigenvalues, each with multiplicity n/3 (n not
+    // divisible by 3 pads the last cluster), conjugated by a random
+    // orthogonal basis so the degeneracy is not axis-aligned.
+    Vector spectrum(n);
+    const double values[] = {2.0, -1.0, 5.0};
+    for (Index i = 0; i < n; ++i) spectrum[i] = values[(3 * i) / n];
+    rng::Engine engine(static_cast<std::uint64_t>(n) * 613 + 11);
+    const StatusOr<Matrix> q =
+        OrthonormalizeColumns(RandomGaussianMatrix(engine, n, n));
+    ASSERT_TRUE(q.ok());
+    Matrix scaled = *q;
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < n; ++i) scaled(i, j) *= spectrum[j];
+    }
+    const Matrix a = MultiplyABt(scaled, *q);
+
+    for (kernels::FactorImpl impl :
+         {kernels::FactorImpl::kReference, kernels::FactorImpl::kBlocked,
+          kernels::FactorImpl::kDc}) {
+      SCOPED_TRACE(static_cast<int>(impl));
+      kernels::SetFactorImpl(impl);
+      const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+      kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
+      ASSERT_TRUE(eig.ok());
+      EXPECT_MATRIX_NEAR(GramAtA(eig->eigenvectors), Matrix::Identity(n),
+                         1e-11 * n);
+      // The repeated eigenvalues themselves must come out exact-ish.
+      Matrix vl = eig->eigenvectors;
+      for (Index j = 0; j < n; ++j) {
+        for (Index i = 0; i < n; ++i) vl(i, j) *= eig->eigenvalues[j];
+      }
+      EXPECT_MATRIX_NEAR(a * eig->eigenvectors, vl, 1e-11 * n);
+    }
+  }
+}
 
 TEST(ProjectToPsdConeTest, PsdInputUnchanged) {
   rng::Engine engine(5);

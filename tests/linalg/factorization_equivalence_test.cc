@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "linalg/cholesky.h"
+#include "linalg/eigen_dc.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/kernels/kernels.h"
 #include "linalg/qr.h"
@@ -257,42 +258,47 @@ TEST(CholeskyEquivalenceTest, BlockedSolveMatchesDirectSubstitution) {
 
 class EigenEquivalenceTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(EigenEquivalenceTest, BlockedMatchesScalar) {
+TEST_P(EigenEquivalenceTest, BlockedAndDcMatchScalar) {
   const Index n = GetParam();
   rng::Engine engine(static_cast<std::uint64_t>(n) * 131 + 3);
   const Matrix a = RandomSymmetric(engine, n);
 
   StatusOr<SymmetricEigenResult> scalar_eig = Status::InvalidArgument("unset");
-  StatusOr<SymmetricEigenResult> blocked_eig = Status::InvalidArgument("unset");
   {
     ScopedFactorImpl force(kernels::FactorImpl::kReference);
     scalar_eig = SymmetricEigen(a);
   }
-  {
-    ScopedFactorImpl force(kernels::FactorImpl::kBlocked);
-    blocked_eig = SymmetricEigen(a);
-  }
   ASSERT_TRUE(scalar_eig.ok());
-  ASSERT_TRUE(blocked_eig.ok());
 
-  // Eigenvalues are unique: compare directly at 1e-10 scale.
-  const double scale = std::max(1.0, MaxAbs(a)) * n;
-  ASSERT_EQ(blocked_eig->eigenvalues.size(), n);
-  for (Index i = 0; i < n; ++i) {
-    EXPECT_NEAR(blocked_eig->eigenvalues[i], scalar_eig->eigenvalues[i],
-                1e-11 * scale)
-        << "eigenvalue " << i;
+  for (kernels::FactorImpl impl :
+       {kernels::FactorImpl::kBlocked, kernels::FactorImpl::kDc}) {
+    SCOPED_TRACE(impl == kernels::FactorImpl::kDc ? "dc" : "blocked");
+    StatusOr<SymmetricEigenResult> eig = Status::InvalidArgument("unset");
+    {
+      ScopedFactorImpl force(impl);
+      eig = SymmetricEigen(a);
+    }
+    ASSERT_TRUE(eig.ok());
+
+    // Eigenvalues are unique: compare directly at 1e-10 scale.
+    const double scale = std::max(1.0, MaxAbs(a)) * n;
+    ASSERT_EQ(eig->eigenvalues.size(), n);
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_NEAR(eig->eigenvalues[i], scalar_eig->eigenvalues[i],
+                  1e-11 * scale)
+          << "eigenvalue " << i;
+    }
+    // Eigenvectors are unique only up to sign (and rotation in repeated
+    // eigenspaces): check the defining properties instead.
+    EXPECT_MATRIX_NEAR(GramAtA(eig->eigenvectors), Matrix::Identity(n),
+                       1e-11 * n);
+    Matrix scaled = eig->eigenvectors;
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < n; ++i) scaled(i, j) *= eig->eigenvalues[j];
+    }
+    EXPECT_MATRIX_NEAR(MultiplyABt(scaled, eig->eigenvectors), a,
+                       1e-11 * scale);
   }
-  // Eigenvectors are unique only up to sign (and rotation in repeated
-  // eigenspaces): check the defining properties instead.
-  EXPECT_MATRIX_NEAR(GramAtA(blocked_eig->eigenvectors), Matrix::Identity(n),
-                     1e-11 * n);
-  Matrix scaled = blocked_eig->eigenvectors;
-  for (Index j = 0; j < n; ++j) {
-    for (Index i = 0; i < n; ++i) scaled(i, j) *= blocked_eig->eigenvalues[j];
-  }
-  EXPECT_MATRIX_NEAR(MultiplyABt(scaled, blocked_eig->eigenvectors), a,
-                     1e-11 * scale);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, EigenEquivalenceTest,
@@ -300,12 +306,13 @@ INSTANTIATE_TEST_SUITE_P(Sizes, EigenEquivalenceTest,
                                            170));
 
 TEST(EigenEquivalenceTest, RankDeficientInput) {
-  // Rank-4 PSD matrix at a size where kAuto already picks the blocked path.
+  // Rank-4 PSD matrix at a size where kAuto already picks the dc path.
   rng::Engine engine(23);
   const Matrix g = RandomGaussianMatrix(engine, 140, 4);
   const Matrix a = MultiplyABt(g, g);
   for (kernels::FactorImpl impl :
-       {kernels::FactorImpl::kReference, kernels::FactorImpl::kBlocked}) {
+       {kernels::FactorImpl::kReference, kernels::FactorImpl::kBlocked,
+        kernels::FactorImpl::kDc}) {
     ScopedFactorImpl force(impl);
     const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
     ASSERT_TRUE(eig.ok());
@@ -339,22 +346,166 @@ TEST(EigenEquivalenceTest, GradedSpectrum) {
   const Matrix a = MultiplyABt(scaled, *q_or);
 
   StatusOr<SymmetricEigenResult> scalar_eig = Status::InvalidArgument("unset");
-  StatusOr<SymmetricEigenResult> blocked_eig = Status::InvalidArgument("unset");
   {
     ScopedFactorImpl force(kernels::FactorImpl::kReference);
     scalar_eig = SymmetricEigen(a);
   }
-  {
-    ScopedFactorImpl force(kernels::FactorImpl::kBlocked);
-    blocked_eig = SymmetricEigen(a);
-  }
   ASSERT_TRUE(scalar_eig.ok());
-  ASSERT_TRUE(blocked_eig.ok());
+  for (kernels::FactorImpl impl :
+       {kernels::FactorImpl::kBlocked, kernels::FactorImpl::kDc}) {
+    SCOPED_TRACE(impl == kernels::FactorImpl::kDc ? "dc" : "blocked");
+    StatusOr<SymmetricEigenResult> eig = Status::InvalidArgument("unset");
+    {
+      ScopedFactorImpl force(impl);
+      eig = SymmetricEigen(a);
+    }
+    ASSERT_TRUE(eig.ok());
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_NEAR(eig->eigenvalues[i], scalar_eig->eigenvalues[i], 1e-12 * n)
+          << "eigenvalue " << i;
+    }
+  }
+}
+
+// --- Divide-and-conquer deflation branches --------------------------------
+//
+// The merge step has three escape hatches ahead of any secular work: tiny
+// z-components (the subproblem eigenpair is already an eigenpair of the
+// merged problem), a Givens rotation for (near-)equal eigenvalue pairs, and
+// the rho = 0 short-circuit when the halves are exactly decoupled. Each test
+// constructs a tridiagonal that provably forces one branch and checks the
+// solution against the defining properties and the dense QL oracle.
+
+Matrix DenseTridiagonal(const Vector& d, const Vector& e) {
+  const Index n = d.size();
+  Matrix t(n, n);
   for (Index i = 0; i < n; ++i) {
-    EXPECT_NEAR(blocked_eig->eigenvalues[i], scalar_eig->eigenvalues[i],
-                1e-12 * n)
+    t(i, i) = d[i];
+    if (i > 0) {
+      t(i, i - 1) = e[i];
+      t(i - 1, i) = e[i];
+    }
+  }
+  return t;
+}
+
+void CheckTridiagDcAgainstOracle(const Vector& d0, const Vector& e0,
+                                 const char* label) {
+  SCOPED_TRACE(label);
+  const Index n = d0.size();
+  Vector d = d0;
+  Vector e = e0;
+  Matrix v;
+  ASSERT_TRUE(TridiagEigenDc(d, e, &v).ok());
+
+  const Matrix t = DenseTridiagonal(d0, e0);
+  StatusOr<SymmetricEigenResult> oracle = Status::InvalidArgument("unset");
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kReference);
+    oracle = SymmetricEigen(t);
+  }
+  ASSERT_TRUE(oracle.ok());
+
+  const double scale = std::max(1.0, MaxAbs(t)) * n;
+  for (Index i = 0; i < n; ++i) {
+    if (i > 0) {
+      EXPECT_GE(d[i], d[i - 1]) << "ordering at " << i;
+    }
+    EXPECT_NEAR(d[i], oracle->eigenvalues[i], 1e-11 * scale)
         << "eigenvalue " << i;
   }
+  EXPECT_MATRIX_NEAR(GramAtA(v), Matrix::Identity(n), 1e-11 * n);
+  const Matrix tv = t * v;
+  Matrix vl = v;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) vl(i, j) *= d[j];
+  }
+  EXPECT_MATRIX_NEAR(tv, vl, 1e-11 * scale);
+}
+
+TEST(TridiagDcDeflationTest, ZeroCouplingDeflatesEveryMerge) {
+  // All subdiagonals zero: rho = 0 at every merge, so every entry takes the
+  // tiny-z branch and no secular equation is ever solved. The result must
+  // be the sorted diagonal with unit eigenvector columns.
+  const Index n = 80;
+  Vector d(n), e(n);
+  for (Index i = 0; i < n; ++i) {
+    d[i] = static_cast<double>((i * 37) % n) - static_cast<double>(n) / 2.0;
+  }
+  CheckTridiagDcAgainstOracle(d, e, "rho = 0 everywhere");
+
+  Vector dd = d;
+  Vector ee = e;
+  Matrix v;
+  ASSERT_TRUE(TridiagEigenDc(dd, ee, &v).ok());
+  // Eigenvectors of a diagonal matrix with distinct entries are signed unit
+  // vectors: every column has exactly one ±1 entry.
+  for (Index j = 0; j < n; ++j) {
+    Index support = 0;
+    for (Index i = 0; i < n; ++i) {
+      if (v(i, j) != 0.0) {
+        ++support;
+        EXPECT_NEAR(std::abs(v(i, j)), 1.0, 0.0);
+      }
+    }
+    EXPECT_EQ(support, 1) << "column " << j;
+  }
+}
+
+TEST(TridiagDcDeflationTest, IdenticalHalvesForceGivensBranch) {
+  // Two bitwise-identical 40-blocks joined by a coupling: the half spectra
+  // are exactly equal pairwise, and the survivor rule forbids equal poles,
+  // so every pair must go through the Givens rotation branch.
+  const Index half = 40, n = 2 * half;
+  Vector d(n), e(n);
+  for (Index i = 0; i < half; ++i) {
+    const double di = std::cos(static_cast<double>(i) * 1.7) * 3.0;
+    const double ei = 0.5 + 0.4 * std::sin(static_cast<double>(i) * 2.3);
+    d[i] = di;
+    d[half + i] = di;
+    if (i > 0) {
+      e[i] = ei;
+      e[half + i] = ei;
+    }
+  }
+  e[half] = 0.7;  // the Cuppen coupling between the identical halves
+  CheckTridiagDcAgainstOracle(d, e, "identical halves");
+}
+
+TEST(TridiagDcDeflationTest, InteriorDecouplingForcesExactZeroZ) {
+  // A zero subdiagonal INSIDE the first half decouples rows [0, 24): the
+  // eigenvectors of that sub-block have exactly zero weight on the merge
+  // boundary row, so their z-components are exactly zero at the top merge —
+  // the tiny-z branch with rho > 0.
+  const Index n = 96;
+  Vector d(n), e(n);
+  for (Index i = 0; i < n; ++i) {
+    d[i] = std::sin(static_cast<double>(i) * 0.9) * 2.0;
+    if (i > 0) e[i] = 0.3 + 0.2 * std::cos(static_cast<double>(i) * 1.1);
+  }
+  e[24] = 0.0;
+  CheckTridiagDcAgainstOracle(d, e, "interior decoupling");
+}
+
+TEST(TridiagDcDeflationTest, NearEqualPairsAtDeflationThreshold) {
+  // Eigenvalue pairs split by 0, 1e-15, 1e-12, 1e-8: straddles the
+  // |t·c·s| ≤ tol decision, so both outcomes of the Givens test occur.
+  const Index n = 64;
+  Vector d(n), e(n);
+  const double splits[] = {0.0, 1e-15, 1e-12, 1e-8};
+  for (Index i = 0; i < n; i += 2) {
+    const double base = 1.0 + static_cast<double>(i) * 0.1;
+    d[i] = base;
+    if (i + 1 < n) d[i + 1] = base + splits[(i / 2) % 4];
+  }
+  for (Index i = 1; i < n; ++i) e[i] = 1e-14;  // whisper-weak couplings
+  CheckTridiagDcAgainstOracle(d, e, "near-equal pairs");
+}
+
+TEST(TridiagDcDeflationTest, MismatchedBufferSizesRejected) {
+  Vector d(4), e(3);
+  Matrix v;
+  EXPECT_EQ(TridiagEigenDc(d, e, &v).code(), StatusCode::kInvalidArgument);
 }
 
 TEST(RandomizedSvdEquivalenceTest, WorkspaceReuseIsDeterministic) {

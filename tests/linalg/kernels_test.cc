@@ -367,6 +367,61 @@ TEST(KernelsLevel1Test, DotAndSquaredNorm) {
   EXPECT_DOUBLE_EQ(Dot(0, x.data(), y.data()), 0.0);
 }
 
+TEST(KernelsSymvTest, MatchesFullGemvReadingOnlyLowerTriangle) {
+  const Index n = 37, lda = 41;
+  rng::Engine rng(47);
+  std::vector<double> a(static_cast<std::size_t>(n * lda));
+  for (double& v : a) v = rng.NextDouble() * 2.0 - 1.0;
+  // Symmetrize the lower triangle into a full reference copy, then poison
+  // the strict upper triangle of the kernel's input: SymvLower must never
+  // read it.
+  std::vector<double> full(static_cast<std::size_t>(n * lda));
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      const Index lo = std::max(i, j) * lda + std::min(i, j);
+      full[static_cast<std::size_t>(i * lda + j)] =
+          a[static_cast<std::size_t>(lo)];
+    }
+    for (Index j = i + 1; j < n; ++j) {
+      a[static_cast<std::size_t>(i * lda + j)] =
+          std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.NextDouble() * 2.0 - 1.0;
+
+  std::vector<double> want(static_cast<std::size_t>(n));
+  GemmReference(Op::kNone, Op::kNone, n, 1, n, 0.75, full.data(), lda,
+                x.data(), 1, 0.0, want.data(), 1);
+
+  // beta == 0 overwrites garbage.
+  std::vector<double> got(static_cast<std::size_t>(n), 1e300);
+  SymvLower(n, 0.75, a.data(), lda, x.data(), 0.0, got.data());
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                want[static_cast<std::size_t>(i)], 1e-12)
+        << i;
+  }
+
+  // beta == 1 accumulates; beta == -2 scales.
+  std::vector<double> acc(static_cast<std::size_t>(n), 3.0);
+  SymvLower(n, 0.75, a.data(), lda, x.data(), 1.0, acc.data());
+  std::vector<double> scaled(static_cast<std::size_t>(n), 3.0);
+  SymvLower(n, 0.75, a.data(), lda, x.data(), -2.0, scaled.data());
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(acc[static_cast<std::size_t>(i)],
+                want[static_cast<std::size_t>(i)] + 3.0, 1e-12);
+    EXPECT_NEAR(scaled[static_cast<std::size_t>(i)],
+                want[static_cast<std::size_t>(i)] - 6.0, 1e-12);
+  }
+
+  // n == 0 and n == 1 degenerate shapes.
+  SymvLower(0, 1.0, a.data(), lda, x.data(), 0.0, got.data());
+  double y1 = -7.0;
+  SymvLower(1, 2.0, a.data(), lda, x.data(), 0.0, &y1);
+  EXPECT_NEAR(y1, 2.0 * a[0] * x[0], 1e-15);
+}
+
 TEST(KernelsLevel1Test, ColumnReductionsMatchNaiveLoops) {
   const Index m = 23, n = 17, lda = 21;
   std::vector<double> a(static_cast<std::size_t>(m * lda));
