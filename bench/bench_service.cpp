@@ -1,0 +1,150 @@
+// Service-path benchmark: what the prepared-mechanism cache buys per
+// request.
+//
+// Two arms over the same 512×1024 WRange workload and the same reduced
+// solver budget (bench_sweep's):
+//
+//   BM_ServiceColdPrepareEachRequest — cache capacity 0: every request pays
+//       the full ALM strategy search (the no-service baseline of one
+//       prepare per request).
+//   BM_ServiceCachedAnswer — a warmed cache: requests after the first skip
+//       straight to the noisy release, submitted from 4 worker threads.
+//
+// Both report manual time PER REQUEST, so the stored relative gate
+// (cached/cold ≤ 0.1, i.e. the cache must be at least 10× faster per
+// request) is hardware-independent and enforces even under
+// LRM_BENCH_REPORT_ONLY. Counters surface the service-side latency
+// distribution (p50/p99 of prepare+answer service time), cache hit rate,
+// and throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "base/check.h"
+#include "base/timer.h"
+#include "eval/metrics.h"
+#include "service/answer_service.h"
+#include "workload/generators.h"
+
+namespace {
+
+constexpr lrm::linalg::Index kM = 512;
+constexpr lrm::linalg::Index kN = 1024;
+
+// Solver budget mirroring bench_sweep: the gate is a per-request ratio, so
+// both arms sharing one budget keeps it budget-independent.
+lrm::service::AnswerServiceOptions ServiceBenchOptions(
+    std::size_t cache_capacity) {
+  lrm::service::AnswerServiceOptions options;
+  options.num_threads = 4;
+  options.cache.capacity = cache_capacity;
+  auto& d = options.cache.mechanism.decomposition;
+  d.max_inner_iterations = 2;
+  d.l_max_iterations = 8;
+  d.l_tolerance = 1e-6;
+  d.max_outer_iterations = 30;
+  d.polish_patience = 3;
+  return options;
+}
+
+std::shared_ptr<const lrm::workload::Workload> BenchWorkload() {
+  static const auto workload = [] {
+    auto w = lrm::workload::GenerateWRange(kM, kN, 2012);
+    LRM_CHECK(w.ok());
+    return std::make_shared<const lrm::workload::Workload>(*std::move(w));
+  }();
+  return workload;
+}
+
+lrm::service::BatchAnswerRequest BenchRequest() {
+  lrm::service::BatchAnswerRequest request;
+  request.tenant = "bench";
+  request.epsilon = 1.0;
+  request.workload = BenchWorkload();
+  return request;
+}
+
+void BM_ServiceColdPrepareEachRequest512x1024(benchmark::State& state) {
+  constexpr int kRequests = 2;
+  for (auto _ : state) {
+    // Capacity 0 disables the cache: every request re-runs the strategy
+    // search, the cost profile of serving without a prepared-cache layer.
+    lrm::service::AnswerService service(lrm::linalg::Vector(kN, 25.0),
+                                        ServiceBenchOptions(0));
+    LRM_CHECK(service.RegisterTenant("bench", 1e6).ok());
+    lrm::WallTimer timer;
+    for (int i = 0; i < kRequests; ++i) {
+      const auto response = service.Answer(BenchRequest());
+      if (!response.ok()) {
+        state.SkipWithError(response.status().ToString().c_str());
+        return;
+      }
+    }
+    state.SetIterationTime(timer.ElapsedSeconds() / kRequests);
+    state.counters["requests"] = kRequests;
+    state.counters["hit_rate"] = service.stats().cache.HitRate();
+  }
+}
+BENCHMARK(BM_ServiceColdPrepareEachRequest512x1024)
+    ->Iterations(1)
+    ->Repetitions(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceCachedAnswer512x1024(benchmark::State& state) {
+  constexpr int kRequests = 128;
+  for (auto _ : state) {
+    lrm::service::AnswerService service(lrm::linalg::Vector(kN, 25.0),
+                                        ServiceBenchOptions(64));
+    LRM_CHECK(service.RegisterTenant("bench", 1e6).ok());
+    // Warm the cache with one request; the paid-once prepare is what the
+    // service amortizes, so it is excluded from the per-request time.
+    const auto warmup = service.Answer(BenchRequest());
+    if (!warmup.ok()) {
+      state.SkipWithError(warmup.status().ToString().c_str());
+      return;
+    }
+
+    std::vector<std::future<
+        lrm::StatusOr<lrm::service::BatchAnswerResponse>>>
+        futures;
+    futures.reserve(kRequests);
+    lrm::WallTimer timer;
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(service.Submit(BenchRequest()));
+    }
+    std::vector<double> service_seconds;
+    service_seconds.reserve(kRequests);
+    for (auto& future : futures) {
+      auto response = future.get();
+      if (!response.ok()) {
+        state.SkipWithError(response.status().ToString().c_str());
+        return;
+      }
+      service_seconds.push_back(response->prepare_seconds +
+                                response->answer_seconds);
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    state.SetIterationTime(elapsed / kRequests);
+
+    state.counters["requests"] = kRequests;
+    state.counters["hit_rate"] = service.stats().cache.HitRate();
+    state.counters["qps"] = kRequests / elapsed;
+    state.counters["p50_ms"] =
+        1e3 * lrm::eval::Percentile(service_seconds, 50.0);
+    state.counters["p99_ms"] =
+        1e3 * lrm::eval::Percentile(service_seconds, 99.0);
+  }
+}
+BENCHMARK(BM_ServiceCachedAnswer512x1024)
+    ->Iterations(1)
+    ->Repetitions(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

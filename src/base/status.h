@@ -35,6 +35,11 @@ enum class StatusCode : int {
   kInternal = 6,
   /// The requested feature/configuration combination is not implemented.
   kUnimplemented = 7,
+  /// A metered resource is exhausted — most importantly a tenant's privacy
+  /// budget (service/budget_manager.h). Callers must treat this as a typed
+  /// refusal: the request was well-formed but MUST NOT be served, and no
+  /// partial or noiseless answer accompanies it.
+  kResourceExhausted = 8,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -81,6 +86,9 @@ class Status {
   }
   static Status Unimplemented(std::string_view msg) {
     return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
   }
 
   /// True iff the status is OK.

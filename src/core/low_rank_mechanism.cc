@@ -19,10 +19,52 @@ Status LowRankMechanism::PrepareImpl() {
   return Status::OK();
 }
 
+namespace {
+
+// The hint must already conform to W (B m×r, L r×n): the solver would
+// diagnose the mismatch inside Solve(), but callers paying up-front costs
+// (the lvalue overload's deep copy) need the answer before that.
+Status ValidateHintShape(const workload::Workload& workload,
+                         const Decomposition& hint) {
+  if (hint.b.rows() != workload.num_queries() ||
+      hint.l.cols() != workload.domain_size() ||
+      hint.b.cols() != hint.l.rows()) {
+    return Status::InvalidArgument(
+        "LowRankMechanism::PrepareWithHint: hint factors do not conform to "
+        "the workload shape");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status LowRankMechanism::PrepareWithHint(
     std::shared_ptr<const workload::Workload> workload,
     const Decomposition& hint) {
+  LRM_RETURN_IF_ERROR(ValidateWorkload(workload.get()));
+  LRM_RETURN_IF_ERROR(ValidateHintShape(*workload, hint));
   LRM_RETURN_IF_ERROR(solver_.SeedFactors(hint.b, hint.l));
+  return PrepareSeeded(std::move(workload));
+}
+
+Status LowRankMechanism::PrepareWithHint(const workload::Workload& workload,
+                                         const Decomposition& hint) {
+  // Re-preparing the workload this mechanism already holds (a new hint, a
+  // new γ) must reuse the bound shared handle instead of deep-copying W.
+  if (workload_handle() && workload_handle().get() == &workload) {
+    return PrepareWithHint(workload_handle(), hint);
+  }
+  // Validate everything cheap BEFORE the one expensive step: a malformed
+  // workload or non-conforming hint must not pay a full W copy just to be
+  // rejected.
+  LRM_RETURN_IF_ERROR(ValidateWorkload(&workload));
+  LRM_RETURN_IF_ERROR(ValidateHintShape(workload, hint));
+  LRM_RETURN_IF_ERROR(solver_.SeedFactors(hint.b, hint.l));
+  return PrepareSeeded(std::make_shared<const workload::Workload>(workload));
+}
+
+Status LowRankMechanism::PrepareSeeded(
+    std::shared_ptr<const workload::Workload> workload) {
   hint_pending_ = true;
   const Status status = Prepare(std::move(workload));
   // Prepare may fail before PrepareImpl consumes the seed; a stale hard
@@ -30,12 +72,6 @@ Status LowRankMechanism::PrepareWithHint(
   hint_pending_ = false;
   if (!status.ok()) solver_.ClearSeed();
   return status;
-}
-
-Status LowRankMechanism::PrepareWithHint(const workload::Workload& workload,
-                                         const Decomposition& hint) {
-  return PrepareWithHint(
-      std::make_shared<const workload::Workload>(workload), hint);
 }
 
 StatusOr<Vector> LowRankMechanism::AnswerImpl(const Vector& data,

@@ -46,7 +46,10 @@ class LowRankMechanism : public mechanism::Mechanism {
   /// warm even when options.warm_start is false (an explicit hint wins).
   /// The hint must conform to the workload shape (InvalidArgument
   /// otherwise); typical sources are a previous decomposition() of a
-  /// related workload or a factorization computed offline.
+  /// related workload or a factorization computed offline. All validation
+  /// runs before any copy of W: the lvalue overload rejects malformed
+  /// inputs for free, and when it is passed the workload this mechanism
+  /// already holds it reuses the bound shared handle instead of copying.
   Status PrepareWithHint(std::shared_ptr<const workload::Workload> workload,
                          const Decomposition& hint);
   Status PrepareWithHint(const workload::Workload& workload,
@@ -85,6 +88,10 @@ class LowRankMechanism : public mechanism::Mechanism {
                                       rng::Engine& engine) const override;
 
  private:
+  // Shared tail of the PrepareWithHint overloads: runs Prepare() with the
+  // already-validated seed armed.
+  Status PrepareSeeded(std::shared_ptr<const workload::Workload> workload);
+
   LowRankMechanismOptions options_;
   DecompositionSolver solver_;
   Decomposition decomposition_;

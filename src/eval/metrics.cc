@@ -1,5 +1,6 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/check.h"
@@ -22,6 +23,18 @@ double MeanSquaredError(const linalg::Vector& exact,
   LRM_CHECK_GT(exact.size(), 0);
   return TotalSquaredError(exact, noisy) /
          static_cast<double>(exact.size());
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  LRM_CHECK_GE(p, 0.0);
+  LRM_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
 }
 
 void ErrorAccumulator::Add(double value) {

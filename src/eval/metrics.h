@@ -5,6 +5,8 @@
 #ifndef LRM_EVAL_METRICS_H_
 #define LRM_EVAL_METRICS_H_
 
+#include <vector>
+
 #include "linalg/vector.h"
 
 namespace lrm::eval {
@@ -17,6 +19,13 @@ double TotalSquaredError(const linalg::Vector& exact,
 /// \brief Per-query mean squared error ‖noisy − exact‖₂²/m.
 double MeanSquaredError(const linalg::Vector& exact,
                         const linalg::Vector& noisy);
+
+/// \brief The p-th percentile (p in [0, 100]) of `values` under linear
+/// interpolation between closest ranks — the convention of numpy's default
+/// and of most latency dashboards, so service p50/p99 numbers compare
+/// directly. Takes its argument by value (it must sort). Returns 0 when
+/// empty.
+double Percentile(std::vector<double> values, double p);
 
 /// \brief Running mean/variance accumulator (Welford) for repeated trials.
 class ErrorAccumulator {

@@ -1,5 +1,7 @@
 #include "mechanism/mechanism.h"
 
+#include <cmath>
+
 #include "base/string_util.h"
 
 namespace lrm::mechanism {
@@ -13,10 +15,7 @@ Status Mechanism::Prepare(workload::Workload&& workload) {
       std::make_shared<const workload::Workload>(std::move(workload)));
 }
 
-Status Mechanism::Prepare(std::shared_ptr<const workload::Workload> workload) {
-  // Unbind first: after a failed (re-)Prepare the mechanism must report
-  // unprepared rather than silently answer from stale state.
-  prepared_ = false;
+Status Mechanism::ValidateWorkload(const workload::Workload* workload) {
   if (workload == nullptr) {
     return Status::InvalidArgument("Mechanism::Prepare: null workload");
   }
@@ -27,8 +26,26 @@ Status Mechanism::Prepare(std::shared_ptr<const workload::Workload> workload) {
     return Status::InvalidArgument(
         "Mechanism::Prepare: workload contains NaN or Inf");
   }
+  return Status::OK();
+}
+
+Status Mechanism::Prepare(std::shared_ptr<const workload::Workload> workload) {
+  // A rejected argument must not disturb an existing binding: callers (and
+  // the prepared-mechanism cache, which fingerprints by workload_handle())
+  // rely on a failed re-Prepare never leaving the mechanism associated with
+  // a workload it did not prepare.
+  LRM_RETURN_IF_ERROR(ValidateWorkload(workload.get()));
+  // Past this point PrepareImpl overwrites mechanism state, so the old
+  // binding is gone either way: unbind up front, and on PrepareImpl failure
+  // clear the handle too — the half-prepared state matches neither the old
+  // workload nor the new one.
+  prepared_ = false;
   workload_ = std::move(workload);
-  LRM_RETURN_IF_ERROR(PrepareImpl());
+  const Status status = PrepareImpl();
+  if (!status.ok()) {
+    workload_.reset();
+    return status;
+  }
   prepared_ = true;
   return Status::OK();
 }
@@ -45,9 +62,13 @@ StatusOr<linalg::Vector> Mechanism::Answer(const linalg::Vector& data,
         "Mechanism::Answer: data has %td entries, workload domain is %td",
         data.size(), workload_->domain_size()));
   }
-  if (epsilon <= 0.0) {
+  // NaN compares false against everything, so `epsilon <= 0.0` alone lets
+  // ε = NaN through into sensitivity/ε (all-NaN "answers"), and ε = +Inf
+  // would scale the noise to zero — a silent noiseless release. Both must
+  // be refused before any data is touched.
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
     return Status::InvalidArgument(
-        "Mechanism::Answer: epsilon must be positive");
+        "Mechanism::Answer: epsilon must be positive and finite");
   }
   if (!linalg::AllFinite(data)) {
     return Status::InvalidArgument(

@@ -40,6 +40,14 @@ class Mechanism {
   /// sweep cells) should build the workload once with
   /// `std::make_shared<const workload::Workload>(...)` and pass the handle,
   /// paying zero per-mechanism copies.
+  ///
+  /// Failure contract (the prepared-mechanism cache fingerprints a
+  /// mechanism by workload_handle(), so the handle must never name a
+  /// workload the mechanism did not prepare): a rejected *argument* leaves
+  /// any previous successful binding fully intact — prepared() stays true
+  /// and the old workload keeps answering; a failure inside the
+  /// mechanism-specific preparation unbinds completely — prepared() is
+  /// false and workload_handle() is null.
   Status Prepare(const workload::Workload& workload);
   Status Prepare(workload::Workload&& workload);
   Status Prepare(std::shared_ptr<const workload::Workload> workload);
@@ -49,7 +57,15 @@ class Mechanism {
   /// `data` is the unit-count vector (length = domain size), `epsilon` the
   /// privacy budget, `engine` the noise source. Unit-count sensitivity is 1
   /// (adding/removing one record changes one count by 1), matching the
-  /// paper's setting.
+  /// paper's setting. ε must be positive and FINITE: ε = NaN would flow
+  /// into sensitivity/ε and ε = +Inf would release noiseless answers.
+  ///
+  /// Thread safety: Answer is const and implementations must not mutate
+  /// any member state — after one successful Prepare(), concurrent
+  /// Answer() calls from many threads (each with its own Engine) are safe
+  /// and deterministic per engine stream. This is what lets the serving
+  /// layer (src/service/) share one prepared mechanism across its worker
+  /// pool.
   StatusOr<linalg::Vector> Answer(const linalg::Vector& data, double epsilon,
                                   rng::Engine& engine) const;
 
@@ -71,6 +87,12 @@ class Mechanism {
   const std::shared_ptr<const workload::Workload>& workload_handle() const {
     return workload_;
   }
+
+  /// The argument checks Prepare() runs before binding (null/empty/
+  /// non-finite workload). Exposed so callers that must pay a cost before
+  /// Prepare — e.g. LowRankMechanism::PrepareWithHint deep-copying an
+  /// lvalue W — can reject malformed workloads first.
+  static Status ValidateWorkload(const workload::Workload* workload);
 
  protected:
   /// Mechanism-specific preparation; `workload()` is already set.

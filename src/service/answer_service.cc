@@ -1,0 +1,210 @@
+#include "service/answer_service.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "base/timer.h"
+
+namespace lrm::service {
+
+AnswerService::AnswerService(linalg::Vector data,
+                             AnswerServiceOptions options)
+    : data_(std::move(data)),
+      options_(options),
+      cache_(options.cache),
+      batcher_(QueryBatcherOptions{data_.size(), options.max_batch_queries}),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+  LRM_CHECK_GT(data_.size(), 0);
+}
+
+AnswerService::~AnswerService() {
+  // Cut and dispatch whatever single queries are still pending so their
+  // futures resolve instead of throwing broken_promise, then drain.
+  FlushQueries();
+  Drain();
+}
+
+Status AnswerService::RegisterTenant(const std::string& tenant,
+                                     double epsilon_budget) {
+  return budget_.RegisterTenant(tenant, epsilon_budget);
+}
+
+rng::Engine AnswerService::EngineForRequest(std::uint64_t request_id) const {
+  // SplitMix64 over (seed, id): adjacent ids land in well-mixed,
+  // independent engine states, and the stream depends on nothing but the
+  // master seed and the admission-order id — the determinism contract.
+  std::uint64_t state =
+      options_.seed + 0x9E3779B97F4A7C15ULL * (request_id + 1);
+  return rng::Engine(rng::SplitMix64(state));
+}
+
+StatusOr<std::uint64_t> AnswerService::Admit(
+    const BatchAnswerRequest& request) {
+  if (request.workload == nullptr) {
+    return Status::InvalidArgument("AnswerService: null workload");
+  }
+  if (request.workload->domain_size() != data_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "AnswerService: workload domain size %td does not match the "
+        "service data (%td)",
+        request.workload->domain_size(), data_.size()));
+  }
+  // The charge is the admission decision: it validates ε and the tenant,
+  // and refuses (typed, ledger untouched) when the budget cannot cover the
+  // release. Charging before the work is queued keeps refusals
+  // deterministic in submission order.
+  const Status charge = budget_.Charge(request.tenant, request.epsilon);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!charge.ok()) {
+    if (charge.code() == StatusCode::kResourceExhausted) {
+      ++stats_.requests_refused;
+    }
+    return charge;
+  }
+  ++stats_.requests_admitted;
+  return next_request_id_++;
+}
+
+StatusOr<BatchAnswerResponse> AnswerService::Serve(
+    const BatchAnswerRequest& request, std::uint64_t request_id) {
+  WallTimer prepare_timer;
+  StatusOr<PreparedLease> lease = cache_.GetOrPrepare(request.workload);
+  if (!lease.ok()) {
+    // Nothing was released; the charge must not stand.
+    (void)budget_.Refund(request.tenant, request.epsilon);
+    return lease.status();
+  }
+  const double prepare_seconds = prepare_timer.ElapsedSeconds();
+
+  WallTimer answer_timer;
+  rng::Engine engine = EngineForRequest(request_id);
+  StatusOr<linalg::Vector> answers =
+      lease->mechanism->Answer(data_, request.epsilon, engine);
+  if (!answers.ok()) {
+    (void)budget_.Refund(request.tenant, request.epsilon);
+    return answers.status();
+  }
+
+  BatchAnswerResponse response;
+  response.request_id = request_id;
+  response.answers = std::move(answers).value();
+  response.cache_hit = lease->cache_hit;
+  response.warm_started = lease->warm_started;
+  response.prepare_seconds = prepare_seconds;
+  response.answer_seconds = answer_timer.ElapsedSeconds();
+  const StatusOr<double> remaining = budget_.Remaining(request.tenant);
+  response.remaining_budget = remaining.ok() ? remaining.value() : 0.0;
+  return response;
+}
+
+StatusOr<BatchAnswerResponse> AnswerService::Answer(
+    const BatchAnswerRequest& request) {
+  LRM_ASSIGN_OR_RETURN(const std::uint64_t request_id, Admit(request));
+  return Serve(request, request_id);
+}
+
+std::future<StatusOr<BatchAnswerResponse>> AnswerService::Submit(
+    BatchAnswerRequest request) {
+  auto promise =
+      std::make_shared<std::promise<StatusOr<BatchAnswerResponse>>>();
+  std::future<StatusOr<BatchAnswerResponse>> future = promise->get_future();
+  const StatusOr<std::uint64_t> admitted = Admit(request);
+  if (!admitted.ok()) {
+    promise->set_value(admitted.status());
+    return future;
+  }
+  const std::uint64_t request_id = admitted.value();
+  auto shared_request =
+      std::make_shared<BatchAnswerRequest>(std::move(request));
+  pool_->Submit([this, promise, shared_request, request_id] {
+    promise->set_value(Serve(*shared_request, request_id));
+  });
+  return future;
+}
+
+std::future<StatusOr<double>> AnswerService::SubmitQuery(
+    const std::string& tenant, double epsilon, linalg::Vector query) {
+  std::promise<StatusOr<double>> promise;
+  std::future<StatusOr<double>> future = promise.get_future();
+  {
+    // Admission and waiter registration must be atomic: a concurrent
+    // SubmitQuery could fill the group and dispatch it in between, and a
+    // waiter registered late would never resolve.
+    std::lock_guard<std::mutex> lock(mu_);
+    const StatusOr<QueryBatcher::Ticket> ticket =
+        batcher_.Add(tenant, epsilon, std::move(query));
+    if (!ticket.ok()) {
+      promise.set_value(ticket.status());
+      return future;
+    }
+    pending_queries_[ticket->batch_sequence].emplace(ticket->row,
+                                                     std::move(promise));
+  }
+  DispatchBatches(batcher_.TakeReady());
+  return future;
+}
+
+void AnswerService::FlushQueries() { DispatchBatches(batcher_.Flush()); }
+
+void AnswerService::DispatchBatches(
+    std::vector<QueryBatcher::ReadyBatch> batches) {
+  for (QueryBatcher::ReadyBatch& batch : batches) {
+    // Collect the batch's waiters up front.
+    std::unordered_map<linalg::Index, std::promise<StatusOr<double>>>
+        waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = pending_queries_.find(batch.sequence);
+      if (it != pending_queries_.end()) {
+        waiters = std::move(it->second);
+        pending_queries_.erase(it);
+      }
+      ++stats_.batches_dispatched;
+    }
+
+    BatchAnswerRequest request;
+    request.tenant = std::move(batch.tenant);
+    request.epsilon = batch.epsilon;  // charged ONCE for the whole batch
+    request.workload = std::move(batch.workload);
+
+    auto shared_waiters = std::make_shared<
+        std::unordered_map<linalg::Index, std::promise<StatusOr<double>>>>(
+        std::move(waiters));
+    const StatusOr<std::uint64_t> admitted = Admit(request);
+    if (!admitted.ok()) {
+      for (auto& [row, waiter] : *shared_waiters) {
+        (void)row;
+        waiter.set_value(admitted.status());
+      }
+      continue;
+    }
+    const std::uint64_t request_id = admitted.value();
+    auto shared_request =
+        std::make_shared<BatchAnswerRequest>(std::move(request));
+    pool_->Submit([this, shared_request, shared_waiters, request_id] {
+      const StatusOr<BatchAnswerResponse> response =
+          Serve(*shared_request, request_id);
+      for (auto& [row, waiter] : *shared_waiters) {
+        if (response.ok()) {
+          waiter.set_value(response.value().answers[row]);
+        } else {
+          waiter.set_value(response.status());
+        }
+      }
+    });
+  }
+}
+
+void AnswerService::Drain() { pool_->Wait(); }
+
+AnswerServiceStats AnswerService::stats() const {
+  AnswerServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = stats_;
+  }
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+}  // namespace lrm::service

@@ -1,0 +1,189 @@
+// The batch-query answering service: the long-running front-end in front of
+// LowRankMechanism.
+//
+// Layering (bottom-up):
+//
+//   ThreadPool               workers executing answer tasks
+//   BudgetManager            per-tenant ε ledger, typed refusals
+//   PreparedMechanismCache   fingerprint-keyed prepared strategies
+//   QueryBatcher             single queries → workload batches
+//   AnswerService            admission, RNG stream assignment, dispatch
+//
+// The service owns the sensitive unit-count vector; tenants own only their
+// queries and their ε budgets. Every request travels: validate → charge
+// budget (typed RESOURCE_EXHAUSTED refusal when the ledger cannot cover ε)
+// → prepare-or-hit cache → answer with the request's private RNG stream.
+//
+// Determinism: each request is assigned a monotonically increasing id at
+// admission (Submit/Answer call order), and its noise stream is derived
+// from (service seed, id) alone — so for a fixed seed and submission order
+// the noise added to each release is bitwise identical no matter how the
+// worker threads interleave. The full released vector is additionally
+// deterministic whenever the request's strategy is pinned (a cache hit, or
+// a cold prepare); a warm-started miss reuses whatever same-shaped factors
+// the cache happens to hold, which under concurrent submission of distinct
+// workloads can depend on completion order. See src/service/README.md for
+// the privacy contract.
+
+#ifndef LRM_SERVICE_ANSWER_SERVICE_H_
+#define LRM_SERVICE_ANSWER_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status_or.h"
+#include "linalg/vector.h"
+#include "rng/engine.h"
+#include "service/batcher.h"
+#include "service/budget_manager.h"
+#include "service/prepared_cache.h"
+#include "service/thread_pool.h"
+#include "workload/workload.h"
+
+namespace lrm::service {
+
+/// \brief Options for AnswerService.
+struct AnswerServiceOptions {
+  /// Worker threads answering requests.
+  int num_threads = 4;
+  /// Master seed all per-request noise streams derive from.
+  std::uint64_t seed = 20120827;
+  /// Prepared-mechanism cache settings (mechanism options included).
+  PreparedCacheOptions cache;
+  /// Admission batching: single queries are coalesced per (tenant, ε)
+  /// until a group holds this many rows (QueryBatcher).
+  linalg::Index max_batch_queries = 64;
+};
+
+/// \brief One batch request: answer every query of `workload` at privacy
+/// cost ε against the service's data, charged to `tenant`.
+struct BatchAnswerRequest {
+  std::string tenant;
+  double epsilon = 0.0;
+  std::shared_ptr<const workload::Workload> workload;
+};
+
+/// \brief The released answers plus per-request serving metadata.
+struct BatchAnswerResponse {
+  /// Admission-order id; also names the noise stream used.
+  std::uint64_t request_id = 0;
+  /// ε-DP noisy answers, one per workload row.
+  linalg::Vector answers;
+  /// Strategy came from the cache (or a coalesced concurrent prepare).
+  bool cache_hit = false;
+  /// A cache miss that warm-started from a cached neighbor's factors.
+  bool warm_started = false;
+  /// Wall-clock the strategy search cost this request (≈0 on a hit).
+  double prepare_seconds = 0.0;
+  /// Wall-clock of the noisy release itself.
+  double answer_seconds = 0.0;
+  /// Tenant budget left after this charge.
+  double remaining_budget = 0.0;
+};
+
+/// \brief Service counters (monotonic).
+struct AnswerServiceStats {
+  std::int64_t requests_admitted = 0;
+  std::int64_t requests_refused = 0;  // budget refusals only
+  std::int64_t batches_dispatched = 0;  // via the single-query path
+  PreparedCacheStats cache;
+};
+
+/// \brief Single-process batch-query answering service.
+///
+/// Thread-safe. Submit() performs admission (validation + budget charge +
+/// request-id assignment) synchronously on the caller's thread — refusals
+/// are therefore deterministic in submission order — and runs the
+/// prepare/answer work on the worker pool.
+class AnswerService {
+ public:
+  /// `data` is the sensitive unit-count vector the service answers from.
+  AnswerService(linalg::Vector data, AnswerServiceOptions options = {});
+
+  /// Flushes pending query groups and drains the worker pool.
+  ~AnswerService();
+
+  AnswerService(const AnswerService&) = delete;
+  AnswerService& operator=(const AnswerService&) = delete;
+
+  /// Grants `tenant` a lifetime ε budget (BudgetManager semantics).
+  Status RegisterTenant(const std::string& tenant, double epsilon_budget);
+
+  /// Synchronous request path: admission + prepare/answer on the calling
+  /// thread. Budget exhaustion returns StatusCode::kResourceExhausted and
+  /// charges nothing.
+  StatusOr<BatchAnswerResponse> Answer(const BatchAnswerRequest& request);
+
+  /// Asynchronous request path: admission happens before this returns
+  /// (including the budget charge — an exhausted tenant learns immediately
+  /// via a ready future), the heavy work runs on the worker pool.
+  std::future<StatusOr<BatchAnswerResponse>> Submit(
+      BatchAnswerRequest request);
+
+  /// Single-query admission path: the query joins its (tenant, ε) batch
+  /// group; once the group holds max_batch_queries rows (or FlushQueries
+  /// runs) the whole group is charged ε ONCE, prepared, and answered as one
+  /// workload, and each future resolves to its query's noisy answer.
+  std::future<StatusOr<double>> SubmitQuery(const std::string& tenant,
+                                            double epsilon,
+                                            linalg::Vector query);
+
+  /// Cuts every pending query group and dispatches it, full or not.
+  void FlushQueries();
+
+  /// Blocks until all dispatched work has finished.
+  void Drain();
+
+  AnswerServiceStats stats() const;
+
+  /// Remaining ε for a tenant (ledger read-through).
+  StatusOr<double> RemainingBudget(const std::string& tenant) const {
+    return budget_.Remaining(tenant);
+  }
+
+  linalg::Index domain_size() const { return data_.size(); }
+
+ private:
+  // Admission: validates the request shape, charges the budget, assigns
+  // the request id. Returns the id.
+  StatusOr<std::uint64_t> Admit(const BatchAnswerRequest& request);
+
+  // The post-admission work: cache lookup/prepare + noisy release.
+  // Refunds the tenant when no answer was released.
+  StatusOr<BatchAnswerResponse> Serve(const BatchAnswerRequest& request,
+                                      std::uint64_t request_id);
+
+  // Noise stream for one request id: derived from the master seed only.
+  rng::Engine EngineForRequest(std::uint64_t request_id) const;
+
+  // Dispatches ready batches from the query batcher onto the pool.
+  void DispatchBatches(std::vector<QueryBatcher::ReadyBatch> batches);
+
+  linalg::Vector data_;
+  AnswerServiceOptions options_;
+
+  BudgetManager budget_;
+  PreparedMechanismCache cache_;
+  QueryBatcher batcher_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_request_id_ = 0;
+  AnswerServiceStats stats_;
+  // Futures for admitted single queries, keyed by (batch sequence, row).
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<linalg::Index,
+                                        std::promise<StatusOr<double>>>>
+      pending_queries_;
+
+  // Last member so workers die before anything they touch.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace lrm::service
+
+#endif  // LRM_SERVICE_ANSWER_SERVICE_H_

@@ -1,0 +1,106 @@
+#include "service/batcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_util.h"
+#include "linalg/matrix.h"
+
+namespace lrm::service {
+
+QueryBatcher::QueryBatcher(QueryBatcherOptions options)
+    : options_(options) {
+  LRM_CHECK_GT(options_.domain_size, 0);
+  LRM_CHECK_GT(options_.max_batch_queries, 0);
+}
+
+StatusOr<QueryBatcher::Ticket> QueryBatcher::Add(const std::string& tenant,
+                                                 double epsilon,
+                                                 linalg::Vector query) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "QueryBatcher::Add: epsilon must be positive and finite");
+  }
+  if (query.size() != options_.domain_size) {
+    return Status::InvalidArgument(StrFormat(
+        "QueryBatcher::Add: query has %td coefficients, domain size is %td",
+        query.size(), options_.domain_size));
+  }
+  if (!linalg::AllFinite(query)) {
+    return Status::InvalidArgument(
+        "QueryBatcher::Add: query contains NaN or Inf");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Group& group = groups_[{tenant, epsilon}];
+  if (group.rows.empty()) group.sequence = next_sequence_++;
+  Ticket ticket;
+  ticket.batch_sequence = group.sequence;
+  ticket.row = static_cast<linalg::Index>(group.rows.size());
+  group.rows.push_back(std::move(query));
+  return ticket;
+}
+
+QueryBatcher::ReadyBatch QueryBatcher::CutGroup(const std::string& tenant,
+                                                double epsilon,
+                                                Group&& group) const {
+  linalg::Matrix matrix(static_cast<linalg::Index>(group.rows.size()),
+                        options_.domain_size);
+  for (std::size_t i = 0; i < group.rows.size(); ++i) {
+    matrix.SetRow(static_cast<linalg::Index>(i), group.rows[i]);
+  }
+  ReadyBatch batch;
+  batch.sequence = group.sequence;
+  batch.tenant = tenant;
+  batch.epsilon = epsilon;
+  batch.workload = std::make_shared<const workload::Workload>(
+      StrFormat("batch/%s/%llu", tenant.c_str(),
+                static_cast<unsigned long long>(group.sequence)),
+      std::move(matrix));
+  return batch;
+}
+
+std::vector<QueryBatcher::ReadyBatch> QueryBatcher::TakeReady() {
+  std::vector<ReadyBatch> ready;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (static_cast<linalg::Index>(it->second.rows.size()) >=
+        options_.max_batch_queries) {
+      ready.push_back(CutGroup(it->first.first, it->first.second,
+                               std::move(it->second)));
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const ReadyBatch& a, const ReadyBatch& b) {
+              return a.sequence < b.sequence;
+            });
+  return ready;
+}
+
+std::vector<QueryBatcher::ReadyBatch> QueryBatcher::Flush() {
+  std::vector<ReadyBatch> ready;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, group] : groups_) {
+    ready.push_back(CutGroup(key.first, key.second, std::move(group)));
+  }
+  groups_.clear();
+  std::sort(ready.begin(), ready.end(),
+            [](const ReadyBatch& a, const ReadyBatch& b) {
+              return a.sequence < b.sequence;
+            });
+  return ready;
+}
+
+linalg::Index QueryBatcher::pending_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  linalg::Index count = 0;
+  for (const auto& [key, group] : groups_) {
+    (void)key;
+    count += static_cast<linalg::Index>(group.rows.size());
+  }
+  return count;
+}
+
+}  // namespace lrm::service

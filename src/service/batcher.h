@@ -1,0 +1,96 @@
+// Admission layer: coalesces individually submitted linear queries into
+// workload matrices.
+//
+// The whole economics of the low-rank mechanism favor batches — one
+// prepared strategy answers m queries with ONE ε charge (the batch is a
+// single release) — so the service batches eagerly: queries are grouped by
+// (tenant, ε) and a group is cut into a Workload matrix once it reaches
+// max_batch_queries (or on Flush). Queries from different tenants are never
+// coalesced into one release: a batch answer draws one joint noise vector,
+// and budget accounting must attribute that release to exactly one ledger.
+
+#ifndef LRM_SERVICE_BATCHER_H_
+#define LRM_SERVICE_BATCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status_or.h"
+#include "linalg/vector.h"
+#include "workload/workload.h"
+
+namespace lrm::service {
+
+/// \brief Options for QueryBatcher.
+struct QueryBatcherOptions {
+  /// Domain size n every admitted query must match.
+  linalg::Index domain_size = 0;
+  /// A (tenant, ε) group is cut into a batch once it holds this many
+  /// queries.
+  linalg::Index max_batch_queries = 64;
+};
+
+/// \brief Coalesces single linear queries into per-(tenant, ε) workload
+/// batches. Thread-safe.
+class QueryBatcher {
+ public:
+  /// Identifies one admitted query: the batch it will ride in (global
+  /// monotonically increasing sequence number) and its row there.
+  struct Ticket {
+    std::uint64_t batch_sequence = 0;
+    linalg::Index row = 0;
+  };
+
+  /// A group that has been cut: ready to prepare and answer as one
+  /// workload. Rows appear in admission order.
+  struct ReadyBatch {
+    std::uint64_t sequence = 0;
+    std::string tenant;
+    double epsilon = 0.0;
+    std::shared_ptr<const workload::Workload> workload;
+  };
+
+  explicit QueryBatcher(QueryBatcherOptions options);
+
+  /// Validates and admits one query row: the coefficient vector must have
+  /// exactly domain_size finite entries and ε must be positive and finite.
+  /// Returns the ticket locating the query in its eventual batch.
+  StatusOr<Ticket> Add(const std::string& tenant, double epsilon,
+                       linalg::Vector query);
+
+  /// Removes and returns every group that reached max_batch_queries.
+  std::vector<ReadyBatch> TakeReady();
+
+  /// Removes and returns ALL pending groups, full or not, in group-creation
+  /// order.
+  std::vector<ReadyBatch> Flush();
+
+  /// Queries admitted but not yet cut into a batch.
+  linalg::Index pending_queries() const;
+
+ private:
+  struct Group {
+    std::uint64_t sequence = 0;
+    std::vector<linalg::Vector> rows;
+  };
+
+  ReadyBatch CutGroup(const std::string& tenant, double epsilon,
+                      Group&& group) const;
+
+  QueryBatcherOptions options_;
+
+  mutable std::mutex mu_;
+  // Ordered map so Flush() drains groups deterministically; keys are
+  // (tenant, ε) and the group's sequence breaks same-key reuse apart.
+  std::map<std::pair<std::string, double>, Group> groups_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace lrm::service
+
+#endif  // LRM_SERVICE_BATCHER_H_

@@ -1,0 +1,98 @@
+#include "service/budget_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/string_util.h"
+
+namespace lrm::service {
+
+Status BudgetManager::RegisterTenant(const std::string& tenant,
+                                     double epsilon_budget) {
+  if (!std::isfinite(epsilon_budget) || epsilon_budget <= 0.0) {
+    return Status::InvalidArgument(
+        "BudgetManager::RegisterTenant: budget must be positive and finite");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      accounts_.emplace(tenant, Account{epsilon_budget, 0.0});
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition(StrFormat(
+        "BudgetManager::RegisterTenant: tenant '%s' already registered",
+        tenant.c_str()));
+  }
+  return Status::OK();
+}
+
+Status BudgetManager::Charge(const std::string& tenant, double epsilon) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "BudgetManager::Charge: epsilon must be positive and finite");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return Status::FailedPrecondition(StrFormat(
+        "BudgetManager::Charge: unknown tenant '%s'", tenant.c_str()));
+  }
+  Account& account = it->second;
+  // Strict accounting: a release the ledger cannot fully cover must not
+  // happen at all. The small relative slack absorbs accumulated floating-
+  // point round-off so a tenant can actually spend its nominal budget in
+  // many small charges without a spurious refusal on the last one.
+  const double slack = 1e-12 * account.budget;
+  if (account.spent + epsilon > account.budget + slack) {
+    return Status::ResourceExhausted(StrFormat(
+        "tenant '%s' privacy budget exhausted: requested epsilon %.6g, "
+        "remaining %.6g of %.6g",
+        tenant.c_str(), epsilon, account.budget - account.spent,
+        account.budget));
+  }
+  account.spent += epsilon;
+  return Status::OK();
+}
+
+Status BudgetManager::Refund(const std::string& tenant, double epsilon) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "BudgetManager::Refund: epsilon must be positive and finite");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return Status::FailedPrecondition(StrFormat(
+        "BudgetManager::Refund: unknown tenant '%s'", tenant.c_str()));
+  }
+  Account& account = it->second;
+  account.spent -= std::min(epsilon, account.spent);
+  return Status::OK();
+}
+
+StatusOr<double> BudgetManager::Remaining(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return Status::FailedPrecondition(StrFormat(
+        "BudgetManager::Remaining: unknown tenant '%s'", tenant.c_str()));
+  }
+  const double remaining = it->second.budget - it->second.spent;
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+StatusOr<double> BudgetManager::Spent(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    return Status::FailedPrecondition(StrFormat(
+        "BudgetManager::Spent: unknown tenant '%s'", tenant.c_str()));
+  }
+  return it->second.spent;
+}
+
+int BudgetManager::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(accounts_.size());
+}
+
+}  // namespace lrm::service

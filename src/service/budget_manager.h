@@ -1,0 +1,69 @@
+// Per-tenant privacy-budget accounting under sequential composition.
+//
+// Every released answer consumes ε from the requesting tenant's lifetime
+// budget; k releases at ε₁…ε_k compose to Σεᵢ-DP (sequential composition),
+// so the manager simply accumulates spend and refuses — with the typed
+// RESOURCE_EXHAUSTED status — any charge that would push a tenant past its
+// budget. Preparation (the strategy search) is data-independent and charges
+// nothing; see src/service/README.md for the full privacy contract.
+
+#ifndef LRM_SERVICE_BUDGET_MANAGER_H_
+#define LRM_SERVICE_BUDGET_MANAGER_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "base/status_or.h"
+
+namespace lrm::service {
+
+/// \brief Thread-safe per-tenant ε ledger.
+///
+/// A charge is atomic: it either fits entirely within the tenant's
+/// remaining budget and is recorded, or the ledger is untouched and the
+/// caller gets StatusCode::kResourceExhausted. There is no partial spend,
+/// and concurrent charges can never jointly overdraw a tenant.
+class BudgetManager {
+ public:
+  /// Creates a tenant with a lifetime ε budget. The budget must be positive
+  /// and finite (an infinite budget would defeat the accounting this class
+  /// exists for). Re-registering an existing tenant is an error — budgets
+  /// are immutable once granted, so a compromised request path cannot
+  /// "re-register" a tenant back to a full budget.
+  Status RegisterTenant(const std::string& tenant, double epsilon_budget);
+
+  /// Atomically records a spend of `epsilon` against the tenant.
+  ///   * unknown tenant            → FAILED_PRECONDITION
+  ///   * epsilon ≤ 0 or non-finite → INVALID_ARGUMENT
+  ///   * spend would exceed budget → RESOURCE_EXHAUSTED (ledger untouched)
+  Status Charge(const std::string& tenant, double epsilon);
+
+  /// Returns `epsilon` to the tenant, clamped to what was actually spent.
+  /// Used by the service when an already-charged request fails downstream
+  /// before any noisy answer was produced — nothing was released, so no
+  /// budget was consumed.
+  Status Refund(const std::string& tenant, double epsilon);
+
+  /// Budget remaining; errors on unknown tenants.
+  StatusOr<double> Remaining(const std::string& tenant) const;
+
+  /// Total ε spent so far; errors on unknown tenants.
+  StatusOr<double> Spent(const std::string& tenant) const;
+
+  /// Number of registered tenants.
+  int tenant_count() const;
+
+ private:
+  struct Account {
+    double budget = 0.0;
+    double spent = 0.0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Account> accounts_;
+};
+
+}  // namespace lrm::service
+
+#endif  // LRM_SERVICE_BUDGET_MANAGER_H_

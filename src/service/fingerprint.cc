@@ -1,0 +1,62 @@
+#include "service/fingerprint.h"
+
+#include <cstring>
+
+#include "base/string_util.h"
+
+namespace lrm::service {
+namespace {
+
+// FNV-1a over the IEEE-754 bit patterns. Hashing bits rather than values
+// means -0.0 and +0.0 (and different NaN payloads) fingerprint differently,
+// which is fine: Mechanism::Prepare rejects non-finite workloads, and a
+// -0.0/+0.0 split merely costs a duplicate cache entry, never a wrong hit.
+std::uint64_t Fnv1a(const double* values, std::size_t count,
+                    std::uint64_t basis) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t hash = basis;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[i], sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xFFu;
+      hash *= kPrime;
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string WorkloadFingerprint::ToString() const {
+  return StrFormat("%tdx%td:%016llx:%016llx", rows, cols,
+                   static_cast<unsigned long long>(digest_lo),
+                   static_cast<unsigned long long>(digest_hi));
+}
+
+std::size_t WorkloadFingerprintHash::operator()(
+    const WorkloadFingerprint& fp) const {
+  // The digests are already well mixed; fold in the shape so same-content
+  // different-shape keys (impossible today, cheap insurance anyway) split.
+  std::uint64_t h = fp.digest_lo ^ (fp.digest_hi * 0x9E3779B97F4A7C15ULL);
+  h ^= static_cast<std::uint64_t>(fp.rows) * 0xA24BAED4963EE407ULL;
+  h ^= static_cast<std::uint64_t>(fp.cols) * 0x9FB21C651E98DF25ULL;
+  return static_cast<std::size_t>(h);
+}
+
+WorkloadFingerprint FingerprintMatrix(const linalg::Matrix& matrix) {
+  WorkloadFingerprint fp;
+  fp.rows = matrix.rows();
+  fp.cols = matrix.cols();
+  const std::size_t count = static_cast<std::size_t>(matrix.size());
+  // Two independent FNV streams via different offset bases.
+  fp.digest_lo = Fnv1a(matrix.data(), count, 0xCBF29CE484222325ULL);
+  fp.digest_hi = Fnv1a(matrix.data(), count, 0x84222325CBF29CE4ULL);
+  return fp;
+}
+
+WorkloadFingerprint FingerprintWorkload(const workload::Workload& workload) {
+  return FingerprintMatrix(workload.matrix());
+}
+
+}  // namespace lrm::service

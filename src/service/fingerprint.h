@@ -1,0 +1,60 @@
+// Workload fingerprinting for the prepared-mechanism cache.
+//
+// Two requests carrying the same query matrix W must hit the same cache
+// entry even when the Workload objects (and their display names) differ, so
+// the fingerprint covers exactly the strategy-relevant content: the shape
+// and the matrix entries. Names are deliberately excluded — the strategy
+// search depends only on W.
+
+#ifndef LRM_SERVICE_FINGERPRINT_H_
+#define LRM_SERVICE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "workload/workload.h"
+
+namespace lrm::service {
+
+/// \brief Content hash of a workload matrix: shape plus two independent
+/// 64-bit digests over the entry bytes. A single 64-bit hash over millions
+/// of cached workloads would make silent collisions (one tenant's queries
+/// answered with another workload's strategy) merely unlikely; 128 bits
+/// plus the exact shape makes them negligible.
+struct WorkloadFingerprint {
+  linalg::Index rows = 0;
+  linalg::Index cols = 0;
+  std::uint64_t digest_lo = 0;
+  std::uint64_t digest_hi = 0;
+
+  friend bool operator==(const WorkloadFingerprint& a,
+                         const WorkloadFingerprint& b) {
+    return a.rows == b.rows && a.cols == b.cols &&
+           a.digest_lo == b.digest_lo && a.digest_hi == b.digest_hi;
+  }
+  friend bool operator!=(const WorkloadFingerprint& a,
+                         const WorkloadFingerprint& b) {
+    return !(a == b);
+  }
+
+  /// "mxn:lo:hi" rendering for logs and cache diagnostics.
+  std::string ToString() const;
+};
+
+/// \brief Hash functor for unordered_map keys.
+struct WorkloadFingerprintHash {
+  std::size_t operator()(const WorkloadFingerprint& fp) const;
+};
+
+/// \brief Fingerprints a raw matrix.
+WorkloadFingerprint FingerprintMatrix(const linalg::Matrix& matrix);
+
+/// \brief Fingerprints a workload (its matrix; the name does not
+/// participate).
+WorkloadFingerprint FingerprintWorkload(const workload::Workload& workload);
+
+}  // namespace lrm::service
+
+#endif  // LRM_SERVICE_FINGERPRINT_H_

@@ -1,0 +1,135 @@
+#include "service/prepared_cache.h"
+
+#include <utility>
+
+namespace lrm::service {
+
+PreparedMechanismCache::PreparedMechanismCache(PreparedCacheOptions options)
+    : options_(std::move(options)) {
+  // Warm starts are driven explicitly via PrepareWithHint below; a session
+  // mechanism retaining factors on its own would make cache entries depend
+  // on preparation order.
+  options_.mechanism.warm_start = false;
+}
+
+StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
+    std::shared_ptr<const workload::Workload> workload) {
+  if (workload == nullptr) {
+    return Status::InvalidArgument(
+        "PreparedMechanismCache::GetOrPrepare: null workload");
+  }
+  const WorkloadFingerprint fp = FingerprintWorkload(*workload);
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  std::shared_ptr<const core::LowRankMechanism> donor;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto hit = entries_.find(fp);
+    if (hit != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, hit->second.lru_position);
+      return PreparedLease{hit->second.mechanism, /*cache_hit=*/true,
+                           /*warm_started=*/false};
+    }
+    ++stats_.misses;
+    const auto pending = in_flight_.find(fp);
+    if (pending != in_flight_.end()) {
+      flight = pending->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      in_flight_.emplace(fp, flight);
+      owner = true;
+      if (options_.warm_start_misses) {
+        // Nearest cached decomposition = the most-recently-used entry whose
+        // shape conforms (hint factors must be m×r / r×n for this W).
+        for (const WorkloadFingerprint& candidate : lru_) {
+          if (candidate.rows == fp.rows && candidate.cols == fp.cols) {
+            donor = entries_.at(candidate).mechanism;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (!owner) {
+    // Another thread is preparing this exact workload; share its result.
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->done.wait(lock, [&flight] { return flight->finished; });
+    StatusOr<PreparedLease> shared = flight->result;
+    if (shared.ok()) {
+      // This caller paid a wait, not a strategy search.
+      shared.value().cache_hit = true;
+      shared.value().warm_started = false;
+    }
+    return shared;
+  }
+
+  // Expensive part, outside every lock.
+  auto mechanism =
+      std::make_shared<core::LowRankMechanism>(options_.mechanism);
+  Status prepare_status = Status::OK();
+  bool warm = false;
+  if (donor != nullptr) {
+    prepare_status =
+        mechanism->PrepareWithHint(workload, donor->decomposition());
+    warm = prepare_status.ok();
+    // A failed warm start (e.g. hint rank incompatible with an explicit
+    // options.rank) falls back to a cold prepare rather than failing the
+    // request.
+    if (!prepare_status.ok()) {
+      prepare_status = mechanism->Prepare(workload);
+    }
+  } else {
+    prepare_status = mechanism->Prepare(workload);
+  }
+
+  StatusOr<PreparedLease> result =
+      prepare_status.ok()
+          ? StatusOr<PreparedLease>(PreparedLease{
+                std::shared_ptr<const core::LowRankMechanism>(
+                    std::move(mechanism)),
+                /*cache_hit=*/false, warm})
+          : StatusOr<PreparedLease>(prepare_status);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    in_flight_.erase(fp);
+    if (result.ok()) {
+      if (warm) ++stats_.warm_misses;
+      if (options_.capacity > 0) {
+        lru_.push_front(fp);
+        entries_.emplace(fp, Entry{result.value().mechanism, lru_.begin()});
+        EvictIfNeeded();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = result;
+    flight->finished = true;
+  }
+  flight->done.notify_all();
+  return result;
+}
+
+void PreparedMechanismCache::EvictIfNeeded() {
+  while (entries_.size() > options_.capacity && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+PreparedCacheStats PreparedMechanismCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t PreparedMechanismCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace lrm::service

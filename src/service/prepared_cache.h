@@ -1,0 +1,128 @@
+// The prepared-mechanism cache: "prepare" is expensive (an ALM strategy
+// search, seconds at production sizes) and data-independent; "answer" is
+// cheap (two small GEMVs plus Laplace draws). The cache keys fully prepared
+// LowRankMechanism instances by workload fingerprint so that every request
+// after the first skips straight to the answer path, and warm-starts cache
+// misses from the nearest cached decomposition (PrepareWithHint), so even a
+// novel workload pays less than a cold solve when a same-shaped neighbor
+// exists.
+//
+// Sharing prepared strategies ACROSS tenants is deliberate and safe: a
+// decomposition is a function of the public workload W only — it embeds no
+// data and no noise — so one tenant can never learn about another's data
+// through a shared cache entry (src/service/README.md, privacy contract).
+
+#ifndef LRM_SERVICE_PREPARED_CACHE_H_
+#define LRM_SERVICE_PREPARED_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "base/status_or.h"
+#include "core/low_rank_mechanism.h"
+#include "service/fingerprint.h"
+#include "workload/workload.h"
+
+namespace lrm::service {
+
+/// \brief Options for PreparedMechanismCache.
+struct PreparedCacheOptions {
+  /// Maximum number of prepared mechanisms retained (LRU eviction).
+  /// Capacity 0 disables caching entirely: every request pays a cold
+  /// prepare — the baseline arm the service benchmark compares against.
+  std::size_t capacity = 64;
+
+  /// Mechanism settings used for every prepare. warm_start is ignored;
+  /// warm starts happen explicitly through PrepareWithHint on misses.
+  core::LowRankMechanismOptions mechanism;
+
+  /// Warm-start a miss from the most-recently-used cached entry whose
+  /// workload shape matches (PrepareWithHint with that entry's
+  /// decomposition). Off forces every miss cold.
+  bool warm_start_misses = true;
+};
+
+/// \brief Running cache statistics (monotonic counters).
+struct PreparedCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  /// Of the misses, how many warm-started from a cached neighbor.
+  std::int64_t warm_misses = 0;
+  std::int64_t evictions = 0;
+
+  double HitRate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// \brief What GetOrPrepare hands back: the shared prepared mechanism plus
+/// how it was obtained, so the service can report per-request cache
+/// behavior without racing on the global counters.
+struct PreparedLease {
+  std::shared_ptr<const core::LowRankMechanism> mechanism;
+  /// Served from an existing entry (or by waiting on a concurrent prepare
+  /// of the same workload) rather than by running a strategy search.
+  bool cache_hit = false;
+  /// The prepare this lease paid for warm-started from a cached neighbor.
+  bool warm_started = false;
+};
+
+/// \brief Thread-safe LRU cache of prepared LowRankMechanism instances
+/// keyed by workload fingerprint.
+///
+/// Concurrency: lookups and bookkeeping hold one mutex; the expensive
+/// prepare itself runs OUTSIDE the lock. Concurrent requests for the same
+/// fingerprint coalesce — one thread prepares, the rest wait for its result
+/// — while requests for different fingerprints prepare in parallel.
+class PreparedMechanismCache {
+ public:
+  explicit PreparedMechanismCache(PreparedCacheOptions options = {});
+
+  /// Returns a prepared mechanism for `workload`, preparing (and caching)
+  /// it on miss. The returned mechanism is shared and immutable — call its
+  /// const Answer() concurrently from any thread. Errors from preparation
+  /// propagate (and are not cached: a later retry re-prepares).
+  StatusOr<PreparedLease> GetOrPrepare(
+      std::shared_ptr<const workload::Workload> workload);
+
+  PreparedCacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::LowRankMechanism> mechanism;
+    // Position in lru_ (front = most recent).
+    std::list<WorkloadFingerprint>::iterator lru_position;
+  };
+
+  // One per in-flight prepare; later arrivals wait on `done`.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable done;
+    bool finished = false;
+    StatusOr<PreparedLease> result{Status::Internal("prepare not finished")};
+  };
+
+  // Pops the least-recently-used entries down to capacity. Requires mu_.
+  void EvictIfNeeded();
+
+  PreparedCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<WorkloadFingerprint, Entry, WorkloadFingerprintHash>
+      entries_;
+  std::unordered_map<WorkloadFingerprint, std::shared_ptr<InFlight>,
+                     WorkloadFingerprintHash>
+      in_flight_;
+  std::list<WorkloadFingerprint> lru_;
+  PreparedCacheStats stats_;
+};
+
+}  // namespace lrm::service
+
+#endif  // LRM_SERVICE_PREPARED_CACHE_H_

@@ -31,6 +31,8 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, CopySemantics) {
@@ -63,6 +65,8 @@ TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
             "INVALID_ARGUMENT");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotConverged), "NOT_CONVERGED");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
 }
 
 Status FailIfNegative(int x) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "eval/metrics.h"
 #include "linalg/random_matrix.h"
@@ -210,6 +212,77 @@ TEST(LowRankMechanismTest, PrepareWithHintWarmStartsColdMechanism) {
       recipient.Answer(Vector(40, 1.0), 1.0, engine);
   ASSERT_TRUE(noisy.ok());
   EXPECT_EQ(noisy->size(), 20);
+}
+
+TEST(LowRankMechanismTest, FailedPrepareImplClearsBinding) {
+  // The counterpart of the contract test's argument-rejection case: when
+  // the failure happens INSIDE preparation (here: invalid decomposition
+  // options diagnosed by the solver), the mechanism state is half
+  // overwritten, so the binding must be fully cleared — never left naming
+  // the workload that failed.
+  const StatusOr<workload::Workload> w = workload::GenerateWRange(8, 16, 41);
+  ASSERT_TRUE(w.ok());
+  LowRankMechanism mech(TightOptions());
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+
+  DecompositionOptions bad = TightOptions().decomposition;
+  bad.gamma = -1.0;  // rejected by ValidateDecompositionOptions in Solve()
+  mech.set_decomposition_options(bad);
+  const auto other = workload::GenerateWRange(8, 16, 43);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(mech.Prepare(*other).code(), StatusCode::kInvalidArgument);
+
+  EXPECT_FALSE(mech.prepared());
+  EXPECT_EQ(mech.workload_handle(), nullptr);
+  rng::Engine engine(17);
+  EXPECT_EQ(mech.Answer(Vector(16, 1.0), 1.0, engine).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // And the mechanism recovers: valid options + workload re-bind cleanly.
+  mech.set_decomposition_options(TightOptions().decomposition);
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  EXPECT_TRUE(mech.prepared());
+}
+
+TEST(LowRankMechanismTest, PrepareWithHintReusesBoundHandle) {
+  // Handing PrepareWithHint the workload the mechanism already holds (the
+  // cache's warm re-prepare path) must reuse the bound shared handle, not
+  // deep-copy W again.
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(20, 40, 53);
+  ASSERT_TRUE(w.ok());
+  const auto handle = std::make_shared<const workload::Workload>(*w);
+  LowRankMechanismOptions options;
+  options.decomposition.gamma = 0.1;
+  LowRankMechanism mech(options);
+  ASSERT_TRUE(mech.Prepare(handle).ok());
+  const Decomposition hint = mech.decomposition();
+
+  ASSERT_TRUE(mech.PrepareWithHint(*handle, hint).ok());
+  EXPECT_EQ(mech.workload_handle().get(), handle.get());
+  EXPECT_TRUE(mech.decomposition().warm_started);
+}
+
+TEST(LowRankMechanismTest, PrepareWithHintValidatesBeforeBinding) {
+  // A malformed workload must be rejected up front (before the lvalue
+  // overload's deep copy) and must not disturb the existing binding.
+  const StatusOr<workload::Workload> w =
+      workload::GenerateWRange(20, 40, 59);
+  ASSERT_TRUE(w.ok());
+  LowRankMechanismOptions options;
+  options.decomposition.gamma = 0.1;
+  LowRankMechanism mech(options);
+  ASSERT_TRUE(mech.Prepare(*w).ok());
+  const auto bound = mech.workload_handle();
+  const Decomposition hint = mech.decomposition();
+
+  linalg::Matrix poisoned(20, 40, 1.0);
+  poisoned(3, 7) = std::numeric_limits<double>::quiet_NaN();
+  const workload::Workload bad("poisoned", std::move(poisoned));
+  EXPECT_EQ(mech.PrepareWithHint(bad, hint).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(mech.prepared());
+  EXPECT_EQ(mech.workload_handle().get(), bound.get());
 }
 
 TEST(LowRankMechanismTest, PrepareWithHintRejectsMismatchedHint) {

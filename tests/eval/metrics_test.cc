@@ -27,6 +27,32 @@ TEST(MeanSquaredErrorTest, DividesByQueryCount) {
       MeanSquaredError(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 12.5);
 }
 
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(PercentileTest, LinearInterpolationMatchesNumpyConvention) {
+  const std::vector<double> values = {4.0, 1.0, 3.0, 2.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 4.0);
+  // numpy.percentile([1,2,3,4], 50) == 2.5, (…, 25) == 1.75
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(values, 25.0), 1.75);
+}
+
+TEST(PercentileTest, TailPercentilesOnLatencyLikeData) {
+  std::vector<double> latencies;
+  for (int i = 1; i <= 100; ++i) latencies.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(Percentile(latencies, 50.0), 50.5);
+  EXPECT_NEAR(Percentile(latencies, 99.0), 99.01, 1e-9);
+}
+
 TEST(ErrorAccumulatorTest, EmptyState) {
   ErrorAccumulator acc;
   EXPECT_EQ(acc.count(), 0);

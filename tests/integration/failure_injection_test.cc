@@ -71,15 +71,23 @@ TEST(FailureInjectionTest, PreparedFlagStaysFalseAfterRejectedPrepare) {
 
 TEST(FailureInjectionTest, RejectedPrepareDoesNotClobberPreviousBinding) {
   // A mechanism bound to a good workload, then fed a bad one: the failed
-  // Prepare must not leave it half-bound.
+  // Prepare must not leave it half-bound. Argument rejection happens before
+  // any state is touched, so the previous successful binding survives
+  // intact — the mechanism stays prepared on the OLD workload and keeps
+  // answering it (the answering service relies on this: a malformed
+  // re-Prepare must not take down a cached, working mechanism). Only a
+  // failure inside preparation itself unbinds (see
+  // core/low_rank_mechanism_test.cc, FailedPrepareImplClearsBinding).
   mechanism::NoiseOnResultsMechanism mech;
   ASSERT_TRUE(mech.Prepare(workload::Workload("good", CleanMatrix())).ok());
   Matrix poisoned = CleanMatrix();
   poisoned(0, 0) = kInf;
   EXPECT_FALSE(mech.Prepare(workload::Workload("bad", poisoned)).ok());
-  // The contract is conservative: after a failed re-Prepare the mechanism
-  // reports unprepared rather than silently answering with stale state.
-  EXPECT_FALSE(mech.prepared());
+  ASSERT_TRUE(mech.prepared());
+  ASSERT_NE(mech.workload_handle(), nullptr);
+  EXPECT_EQ(mech.workload_handle()->name(), "good");
+  rng::Engine engine(3);
+  EXPECT_TRUE(mech.Answer(Vector(3, 1.0), 1.0, engine).ok());
 }
 
 TEST(FailureInjectionTest, RunnerPropagatesMechanismErrors) {

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -100,6 +101,51 @@ TEST_P(MechanismContractTest, NonPositiveEpsilonRejected) {
   rng::Engine engine(3);
   EXPECT_FALSE(mech->Answer(Vector(16, 1.0), 0.0, engine).ok());
   EXPECT_FALSE(mech->Answer(Vector(16, 1.0), -2.0, engine).ok());
+}
+
+TEST_P(MechanismContractTest, NonFiniteEpsilonRejected) {
+  // Regression: `epsilon <= 0.0` is false for NaN, so ε = NaN used to flow
+  // into sensitivity/ε and come back as all-NaN "answers"; ε = +Inf scaled
+  // the noise to zero — a silent noiseless release of the data.
+  auto mech = GetParam().make();
+  ASSERT_TRUE(mech->Prepare(SmallWorkload()).ok());
+  rng::Engine engine(8);
+  const Vector data(16, 1.0);
+  for (const double eps :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    const auto noisy = mech->Answer(data, eps, engine);
+    EXPECT_EQ(noisy.status().code(), StatusCode::kInvalidArgument)
+        << GetParam().name << " accepted epsilon = " << eps;
+  }
+}
+
+TEST_P(MechanismContractTest, FailedRePrepareKeepsPreviousBinding) {
+  // Regression: a failed re-Prepare used to leave workload_handle() bound
+  // to the *rejected* workload while prepared() was false — a cache
+  // fingerprinting mechanisms by their handle would have associated this
+  // mechanism with a workload it never prepared. A rejected argument must
+  // leave the previous successful binding fully usable.
+  auto mech = GetParam().make();
+  ASSERT_TRUE(mech->Prepare(SmallWorkload()).ok());
+  const auto previous = mech->workload_handle();
+  ASSERT_NE(previous, nullptr);
+
+  linalg::Matrix poisoned(4, 16, 1.0);
+  poisoned(1, 3) = std::numeric_limits<double>::quiet_NaN();
+  const auto bad =
+      std::make_shared<const workload::Workload>("poisoned",
+                                                 std::move(poisoned));
+  EXPECT_EQ(mech->Prepare(bad).code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(mech->prepared()) << GetParam().name;
+  EXPECT_EQ(mech->workload_handle().get(), previous.get())
+      << GetParam().name << " rebound to a workload it never prepared";
+  rng::Engine engine(9);
+  const auto noisy = mech->Answer(Vector(16, 1.0), 1.0, engine);
+  ASSERT_TRUE(noisy.ok()) << GetParam().name;
+  EXPECT_EQ(noisy->size(), 6);
 }
 
 TEST_P(MechanismContractTest, AnswerHasOneEntryPerQuery) {

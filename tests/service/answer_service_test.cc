@@ -1,0 +1,260 @@
+// AnswerService end-to-end: admission, budget charging/refusals/refunds,
+// cache behavior surfaced per request, async submission, the single-query
+// batching path, and seed-determinism of the released answers.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/vector.h"
+#include "service/answer_service.h"
+#include "tests/support/matchers.h"
+#include "workload/generators.h"
+
+namespace lrm::service {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+constexpr Index kDomain = 24;
+
+AnswerServiceOptions FastOptions(int num_threads = 2) {
+  AnswerServiceOptions options;
+  options.num_threads = num_threads;
+  auto& d = options.cache.mechanism.decomposition;
+  d.max_outer_iterations = 10;
+  d.max_inner_iterations = 2;
+  d.l_max_iterations = 8;
+  d.polish_patience = 2;
+  return options;
+}
+
+Vector ServiceData() {
+  Vector data(kDomain);
+  for (Index i = 0; i < kDomain; ++i) data[i] = 10.0 + i;
+  return data;
+}
+
+std::shared_ptr<const workload::Workload> MakeWorkload(std::uint64_t seed) {
+  auto w = workload::GenerateWRange(12, kDomain, seed);
+  LRM_CHECK(w.ok());
+  return std::make_shared<const workload::Workload>(std::move(w).value());
+}
+
+BatchAnswerRequest MakeRequest(const std::string& tenant, double epsilon,
+                               std::uint64_t seed) {
+  BatchAnswerRequest request;
+  request.tenant = tenant;
+  request.epsilon = epsilon;
+  request.workload = MakeWorkload(seed);
+  return request;
+}
+
+TEST(AnswerServiceTest, AnswerChargesAndReportsCacheBehavior) {
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  const auto first = service.Answer(MakeRequest("acme", 0.25, 1));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->answers.size(), 12);
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_DOUBLE_EQ(first->remaining_budget, 0.75);
+  EXPECT_VECTOR_FINITE(first->answers);
+
+  const auto second = service.Answer(MakeRequest("acme", 0.25, 1));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_DOUBLE_EQ(second->remaining_budget, 0.5);
+  EXPECT_GT(second->request_id, first->request_id);
+  // The hit skipped the strategy search but still drew fresh noise.
+  EXPECT_FALSE(
+      test::VectorNearPred("a", "b", "0", first->answers, second->answers,
+                           0.0));
+
+  const AnswerServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests_admitted, 2);
+  EXPECT_EQ(stats.cache.hits, 1);
+  EXPECT_EQ(stats.cache.misses, 1);
+}
+
+TEST(AnswerServiceTest, BudgetExhaustionIsTypedAndChargesNothing) {
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 0.3).ok());
+  ASSERT_TRUE(service.Answer(MakeRequest("acme", 0.25, 1)).ok());
+
+  const auto refused = service.Answer(MakeRequest("acme", 0.25, 1));
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.05);
+  EXPECT_EQ(service.stats().requests_refused, 1);
+
+  // The typed refusal also surfaces through the async path, immediately.
+  auto future = service.Submit(MakeRequest("acme", 0.25, 1));
+  EXPECT_EQ(future.get().status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AnswerServiceTest, AdmissionValidatesRequests) {
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  BatchAnswerRequest null_workload;
+  null_workload.tenant = "acme";
+  null_workload.epsilon = 0.1;
+  EXPECT_EQ(service.Answer(null_workload).status().code(),
+            StatusCode::kInvalidArgument);
+
+  BatchAnswerRequest wrong_domain = MakeRequest("acme", 0.1, 1);
+  auto small = workload::GenerateWRange(4, kDomain / 2, 1);
+  ASSERT_TRUE(small.ok());
+  wrong_domain.workload = std::make_shared<const workload::Workload>(
+      std::move(small).value());
+  EXPECT_EQ(service.Answer(wrong_domain).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(service.Answer(MakeRequest("ghost", 0.1, 1)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service
+                .Answer(MakeRequest(
+                    "acme", std::numeric_limits<double>::quiet_NaN(), 1))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // None of the rejected requests consumed budget.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+}
+
+TEST(AnswerServiceTest, FailedPrepareRefundsTheCharge) {
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  BatchAnswerRequest request;
+  request.tenant = "acme";
+  request.epsilon = 0.25;
+  linalg::Matrix poisoned(4, kDomain);
+  poisoned(2, 3) = std::numeric_limits<double>::quiet_NaN();
+  request.workload =
+      std::make_shared<const workload::Workload>("bad", std::move(poisoned));
+
+  EXPECT_EQ(service.Answer(request).status().code(),
+            StatusCode::kInvalidArgument);
+  // The request was admitted (right tenant, right shape, valid ε) but no
+  // answer was released, so the charge was refunded.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+}
+
+TEST(AnswerServiceTest, FixedSeedAndOrderGiveBitwiseIdenticalAnswers) {
+  const auto run = [](bool async) {
+    AnswerService service(ServiceData(), FastOptions(/*num_threads=*/3));
+    LRM_CHECK(service.RegisterTenant("acme", 10.0).ok());
+    // Pin the strategies first: prepare both workloads sequentially (ids 0
+    // and 1) so the cold/warm prepare order — and hence the cached factors
+    // — is identical in both runs. Warm-started factors depend on what the
+    // cache already holds, so only the pinned-strategy part of the request
+    // stream is claimed bitwise-deterministic across interleavings.
+    LRM_CHECK(service.Answer(MakeRequest("acme", 0.5, 0)).ok());
+    LRM_CHECK(service.Answer(MakeRequest("acme", 0.5, 1)).ok());
+    std::vector<Vector> answers;
+    if (async) {
+      std::vector<std::future<StatusOr<BatchAnswerResponse>>> futures;
+      for (int i = 0; i < 4; ++i) {
+        futures.push_back(service.Submit(MakeRequest("acme", 0.5, i % 2)));
+      }
+      for (auto& f : futures) {
+        auto response = f.get();
+        LRM_CHECK(response.ok());
+        answers.push_back(std::move(response).value().answers);
+      }
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        auto response = service.Answer(MakeRequest("acme", 0.5, i % 2));
+        LRM_CHECK(response.ok());
+        answers.push_back(std::move(response).value().answers);
+      }
+    }
+    return answers;
+  };
+
+  // Same seed + same submission order ⇒ identical releases, regardless of
+  // sync vs. pool execution or worker interleaving.
+  const auto serial = run(/*async=*/false);
+  const auto threaded = run(/*async=*/true);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_VECTOR_NEAR(serial[i], threaded[i], 0.0);
+  }
+  // Distinct requests use distinct noise streams even for equal workloads.
+  EXPECT_FALSE(test::VectorNearPred("a", "b", "0", serial[0], serial[2],
+                                    0.0));
+}
+
+TEST(AnswerServiceTest, SingleQueriesBatchIntoOneCharge) {
+  AnswerServiceOptions options = FastOptions();
+  options.max_batch_queries = 3;
+  AnswerService service(ServiceData(), options);
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  std::vector<std::future<StatusOr<double>>> futures;
+  for (Index i = 0; i < 3; ++i) {
+    Vector query(kDomain, 0.0);
+    query[i] = 1.0;
+    futures.push_back(service.SubmitQuery("acme", 0.25, std::move(query)));
+  }
+  std::vector<double> answers;
+  for (auto& f : futures) {
+    auto a = f.get();
+    ASSERT_TRUE(a.ok());
+    answers.push_back(a.value());
+  }
+  service.Drain();
+
+  // One batch, charged ε ONCE for all three queries.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.75);
+  EXPECT_EQ(service.stats().batches_dispatched, 1);
+  // Noisy answers track the true counts at ε=0.25 without being exact.
+  const Vector data = ServiceData();
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_NEAR(answers[i], data[i], 400.0) << i;
+  }
+}
+
+TEST(AnswerServiceTest, FlushReleasesPartialGroupsAndRefusalsReachWaiters) {
+  AnswerServiceOptions options = FastOptions();
+  options.max_batch_queries = 64;  // nothing cuts on its own
+  AnswerService service(ServiceData(), options);
+  ASSERT_TRUE(service.RegisterTenant("acme", 0.2).ok());
+
+  auto ok_future = service.SubmitQuery("acme", 0.15, Vector(kDomain, 1.0));
+  auto poor_future = service.SubmitQuery("acme", 0.10, Vector(kDomain, 0.5));
+  auto bad = service.SubmitQuery("acme", -1.0, Vector(kDomain, 1.0));
+  EXPECT_EQ(bad.get().status().code(), StatusCode::kInvalidArgument);
+
+  service.FlushQueries();
+  service.Drain();
+
+  // First group fits the budget; the 0.10 group overdraws what remains and
+  // its waiter receives the typed refusal.
+  ASSERT_TRUE(ok_future.get().ok());
+  EXPECT_EQ(poor_future.get().status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.05);
+}
+
+TEST(AnswerServiceTest, DestructorResolvesPendingQueryFutures) {
+  auto future = [] {
+    AnswerServiceOptions options = FastOptions();
+    options.max_batch_queries = 64;
+    AnswerService service(ServiceData(), options);
+    LRM_CHECK(service.RegisterTenant("acme", 1.0).ok());
+    return service.SubmitQuery("acme", 0.25, Vector(kDomain, 1.0));
+    // Service dies here with the group uncut: the destructor must flush.
+  }();
+  EXPECT_TRUE(future.get().ok());
+}
+
+}  // namespace
+}  // namespace lrm::service

@@ -1,0 +1,115 @@
+// QueryBatcher: admission validation, per-(tenant, ε) grouping, and cut
+// semantics. Batching across tenants (or across ε levels) must never
+// happen — a batch is one release charged to one ledger.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "linalg/vector.h"
+#include "service/batcher.h"
+#include "tests/support/matchers.h"
+
+namespace lrm::service {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+Vector UnitQuery(Index n, Index coordinate) {
+  Vector q(n, 0.0);
+  q[coordinate] = 1.0;
+  return q;
+}
+
+QueryBatcher MakeBatcher(Index domain = 8, Index max_batch = 3) {
+  return QueryBatcher(QueryBatcherOptions{domain, max_batch});
+}
+
+TEST(QueryBatcherTest, AddValidatesEpsilonShapeAndFiniteness) {
+  QueryBatcher batcher = MakeBatcher();
+  EXPECT_EQ(batcher.Add("t", 0.0, UnitQuery(8, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(batcher
+                .Add("t", std::numeric_limits<double>::quiet_NaN(),
+                     UnitQuery(8, 0))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(batcher.Add("t", 0.5, UnitQuery(5, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  Vector poisoned = UnitQuery(8, 0);
+  poisoned[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(batcher.Add("t", 0.5, std::move(poisoned)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(batcher.pending_queries(), 0);
+}
+
+TEST(QueryBatcherTest, TicketsNumberRowsInAdmissionOrder) {
+  QueryBatcher batcher = MakeBatcher();
+  const auto t0 = batcher.Add("t", 0.5, UnitQuery(8, 0));
+  const auto t1 = batcher.Add("t", 0.5, UnitQuery(8, 1));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t0->batch_sequence, t1->batch_sequence);
+  EXPECT_EQ(t0->row, 0);
+  EXPECT_EQ(t1->row, 1);
+  EXPECT_EQ(batcher.pending_queries(), 2);
+}
+
+TEST(QueryBatcherTest, GroupCutsExactlyAtMaxBatchQueries) {
+  QueryBatcher batcher = MakeBatcher(/*domain=*/8, /*max_batch=*/3);
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 0)).ok());
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 1)).ok());
+  EXPECT_TRUE(batcher.TakeReady().empty());
+
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 2)).ok());
+  const auto ready = batcher.TakeReady();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].tenant, "t");
+  EXPECT_DOUBLE_EQ(ready[0].epsilon, 0.5);
+  ASSERT_NE(ready[0].workload, nullptr);
+  EXPECT_EQ(ready[0].workload->num_queries(), 3);
+  EXPECT_EQ(ready[0].workload->domain_size(), 8);
+  // Row i of the batch matrix is the i-th admitted query.
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_VECTOR_NEAR(ready[0].workload->matrix().Row(i), UnitQuery(8, i),
+                       0.0);
+  }
+  EXPECT_EQ(batcher.pending_queries(), 0);
+}
+
+TEST(QueryBatcherTest, TenantsAndEpsilonsNeverCoalesce) {
+  QueryBatcher batcher = MakeBatcher(/*domain=*/8, /*max_batch=*/2);
+  ASSERT_TRUE(batcher.Add("alice", 0.5, UnitQuery(8, 0)).ok());
+  ASSERT_TRUE(batcher.Add("bob", 0.5, UnitQuery(8, 1)).ok());
+  ASSERT_TRUE(batcher.Add("alice", 0.1, UnitQuery(8, 2)).ok());
+  // Three groups of one query each: nothing reached max_batch.
+  EXPECT_TRUE(batcher.TakeReady().empty());
+  EXPECT_EQ(batcher.pending_queries(), 3);
+
+  const auto all = batcher.Flush();
+  ASSERT_EQ(all.size(), 3u);
+  // Flush is ordered by group-creation sequence.
+  EXPECT_EQ(all[0].tenant, "alice");
+  EXPECT_DOUBLE_EQ(all[0].epsilon, 0.5);
+  EXPECT_EQ(all[1].tenant, "bob");
+  EXPECT_EQ(all[2].tenant, "alice");
+  EXPECT_DOUBLE_EQ(all[2].epsilon, 0.1);
+  EXPECT_LT(all[0].sequence, all[1].sequence);
+  EXPECT_LT(all[1].sequence, all[2].sequence);
+}
+
+TEST(QueryBatcherTest, SequenceAdvancesAcrossCuts) {
+  QueryBatcher batcher = MakeBatcher(/*domain=*/8, /*max_batch=*/1);
+  const auto t0 = batcher.Add("t", 0.5, UnitQuery(8, 0));
+  ASSERT_EQ(batcher.TakeReady().size(), 1u);
+  const auto t1 = batcher.Add("t", 0.5, UnitQuery(8, 1));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  // The same (tenant, ε) key starts a NEW batch after the cut.
+  EXPECT_LT(t0->batch_sequence, t1->batch_sequence);
+}
+
+}  // namespace
+}  // namespace lrm::service

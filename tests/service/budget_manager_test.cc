@@ -1,0 +1,137 @@
+// BudgetManager: sequential composition accounting with typed refusals.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "service/budget_manager.h"
+
+namespace lrm::service {
+namespace {
+
+TEST(BudgetManagerTest, RegisterChargeRemaining) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  EXPECT_EQ(budget.tenant_count(), 1);
+  EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 1.0);
+
+  ASSERT_TRUE(budget.Charge("acme", 0.25).ok());
+  ASSERT_TRUE(budget.Charge("acme", 0.25).ok());
+  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.5);
+  EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 0.5);
+}
+
+TEST(BudgetManagerTest, RegistrationValidatesBudget) {
+  BudgetManager budget;
+  EXPECT_EQ(budget.RegisterTenant("a", 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.RegisterTenant("a", -1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      budget.RegisterTenant("a", std::numeric_limits<double>::infinity())
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      budget.RegisterTenant("a", std::numeric_limits<double>::quiet_NaN())
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.tenant_count(), 0);
+}
+
+TEST(BudgetManagerTest, ReRegistrationRefused) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  ASSERT_TRUE(budget.Charge("acme", 0.9).ok());
+  // A re-register must not reset a nearly exhausted tenant.
+  EXPECT_EQ(budget.RegisterTenant("acme", 100.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 0.1);
+}
+
+TEST(BudgetManagerTest, UnknownTenantIsFailedPrecondition) {
+  BudgetManager budget;
+  EXPECT_EQ(budget.Charge("ghost", 0.1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(budget.Remaining("ghost").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(budget.Spent("ghost").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BudgetManagerTest, InvalidEpsilonRejected) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  const double bad[] = {0.0, -0.5,
+                        std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity()};
+  for (const double epsilon : bad) {
+    EXPECT_EQ(budget.Charge("acme", epsilon).code(),
+              StatusCode::kInvalidArgument)
+        << epsilon;
+  }
+  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.0);
+}
+
+TEST(BudgetManagerTest, OverdrawIsTypedAndLeavesLedgerUntouched) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  ASSERT_TRUE(budget.Charge("acme", 0.8).ok());
+
+  const Status refusal = budget.Charge("acme", 0.5);
+  EXPECT_EQ(refusal.code(), StatusCode::kResourceExhausted);
+  // No partial spend: the failed charge cost nothing.
+  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.8);
+  // A smaller request that does fit still succeeds afterwards.
+  EXPECT_TRUE(budget.Charge("acme", 0.2).ok());
+}
+
+TEST(BudgetManagerTest, ExactExhaustionIsAllowed) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  // Ten charges of 0.1 must sum to exactly the budget despite float
+  // round-off in the accumulator.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(budget.Charge("acme", 0.1).ok()) << i;
+  }
+  EXPECT_EQ(budget.Charge("acme", 0.01).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetManagerTest, RefundRestoresAndClamps) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  ASSERT_TRUE(budget.Charge("acme", 0.6).ok());
+  ASSERT_TRUE(budget.Refund("acme", 0.6).ok());
+  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.0);
+  // Refunding more than was spent clamps at zero instead of minting budget.
+  ASSERT_TRUE(budget.Charge("acme", 0.2).ok());
+  ASSERT_TRUE(budget.Refund("acme", 5.0).ok());
+  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.0);
+  EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 1.0);
+}
+
+TEST(BudgetManagerTest, ConcurrentChargesNeverJointlyOverdraw) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  // 8 threads each try 10 charges of 0.025: 2.0 requested against a budget
+  // of 1.0 — exactly 40 must succeed no matter the interleaving.
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget, &granted] {
+      for (int i = 0; i < 10; ++i) {
+        if (budget.Charge("acme", 0.025).ok()) ++granted;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(granted.load(), 40);
+  EXPECT_EQ(budget.Charge("acme", 0.025).code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lrm::service

@@ -1,0 +1,81 @@
+// Workload fingerprinting: the cache key must identify the matrix exactly
+// (shape + every coefficient bit) and nothing else — in particular not the
+// workload's display name.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "base/check.h"
+#include "linalg/matrix.h"
+#include "service/fingerprint.h"
+#include "workload/generators.h"
+
+namespace lrm::service {
+namespace {
+
+workload::Workload MakeWorkload(const std::string& name,
+                                std::uint64_t seed) {
+  auto w = workload::GenerateWRange(8, 24, seed);
+  LRM_CHECK(w.ok());
+  return workload::Workload(name, w.value().matrix());
+}
+
+TEST(FingerprintTest, EqualMatricesAgreeRegardlessOfName) {
+  const WorkloadFingerprint a = FingerprintWorkload(MakeWorkload("a", 1));
+  const WorkloadFingerprint b =
+      FingerprintWorkload(MakeWorkload("totally different name", 1));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(WorkloadFingerprintHash()(a), WorkloadFingerprintHash()(b));
+}
+
+TEST(FingerprintTest, DifferentMatricesDisagree) {
+  const WorkloadFingerprint a = FingerprintWorkload(MakeWorkload("w", 1));
+  const WorkloadFingerprint b = FingerprintWorkload(MakeWorkload("w", 2));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FingerprintTest, SingleEntryFlipChangesDigest) {
+  workload::Workload base = MakeWorkload("w", 3);
+  linalg::Matrix perturbed = base.matrix();
+  perturbed(3, 7) += 1e-15;  // least-significant-bit-scale change
+  const WorkloadFingerprint a = FingerprintWorkload(base);
+  const WorkloadFingerprint b =
+      FingerprintWorkload(workload::Workload("w", std::move(perturbed)));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FingerprintTest, ShapeIsPartOfTheKey) {
+  // A 2x6 and a 3x4 matrix with identical storage must not collide.
+  linalg::Matrix flat(2, 6);
+  linalg::Matrix tall(3, 4);
+  for (linalg::Index i = 0; i < 12; ++i) {
+    flat(i / 6, i % 6) = static_cast<double>(i);
+    tall(i / 4, i % 4) = static_cast<double>(i);
+  }
+  const WorkloadFingerprint a =
+      FingerprintWorkload(workload::Workload("flat", std::move(flat)));
+  const WorkloadFingerprint b =
+      FingerprintWorkload(workload::Workload("tall", std::move(tall)));
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.rows, 2);
+  EXPECT_EQ(a.cols, 6);
+}
+
+TEST(FingerprintTest, UsableAsUnorderedMapKey) {
+  std::unordered_map<WorkloadFingerprint, int, WorkloadFingerprintHash> map;
+  map[FingerprintWorkload(MakeWorkload("a", 1))] = 1;
+  map[FingerprintWorkload(MakeWorkload("b", 1))] = 2;  // same matrix
+  map[FingerprintWorkload(MakeWorkload("c", 9))] = 3;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at(FingerprintWorkload(MakeWorkload("z", 1))), 2);
+}
+
+TEST(FingerprintTest, ToStringMentionsShape) {
+  const WorkloadFingerprint fp = FingerprintWorkload(MakeWorkload("w", 1));
+  const std::string text = fp.ToString();
+  EXPECT_NE(text.find("8x24"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace lrm::service

@@ -1,0 +1,185 @@
+// PreparedMechanismCache: fingerprint-keyed reuse of prepared strategies,
+// LRU eviction, warm-started misses, and coalescing of concurrent prepares.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/check.h"
+#include "rng/engine.h"
+#include "service/prepared_cache.h"
+#include "tests/support/matchers.h"
+#include "workload/generators.h"
+
+namespace lrm::service {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+// Solver budget small enough that a cold prepare is milliseconds at the
+// 12x24 test scale; the cache semantics under test do not depend on how
+// polished the decomposition is.
+PreparedCacheOptions FastOptions() {
+  PreparedCacheOptions options;
+  auto& d = options.mechanism.decomposition;
+  d.max_outer_iterations = 10;
+  d.max_inner_iterations = 2;
+  d.l_max_iterations = 8;
+  d.polish_patience = 2;
+  return options;
+}
+
+std::shared_ptr<const workload::Workload> MakeWorkload(std::uint64_t seed) {
+  auto w = workload::GenerateWRange(12, 24, seed);
+  LRM_CHECK(w.ok());
+  return std::make_shared<const workload::Workload>(std::move(w).value());
+}
+
+TEST(PreparedCacheTest, MissThenHitSharesOnePreparedMechanism) {
+  PreparedMechanismCache cache(FastOptions());
+  const auto workload = MakeWorkload(1);
+
+  const auto first = cache.GetOrPrepare(workload);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  ASSERT_NE(first->mechanism, nullptr);
+  EXPECT_TRUE(first->mechanism->prepared());
+
+  // A DIFFERENT Workload object with the same matrix (and a different
+  // name) must hit: the fingerprint covers content, not identity.
+  auto copy = std::make_shared<const workload::Workload>(
+      "another name", workload->matrix());
+  const auto second = cache.GetOrPrepare(copy);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->mechanism.get(), first->mechanism.get());
+
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PreparedCacheTest, CachedMechanismAnswers) {
+  PreparedMechanismCache cache(FastOptions());
+  const auto lease = cache.GetOrPrepare(MakeWorkload(1));
+  ASSERT_TRUE(lease.ok());
+  rng::Engine a(99), b(99);
+  const auto first = lease->mechanism->Answer(Vector(24, 2.0), 1.0, a);
+  const auto again = lease->mechanism->Answer(Vector(24, 2.0), 1.0, b);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first->size(), 12);
+  EXPECT_VECTOR_NEAR(first.value(), again.value(), 0.0);
+}
+
+TEST(PreparedCacheTest, SameShapeMissWarmStartsFromNeighbor) {
+  PreparedMechanismCache cache(FastOptions());
+  const auto cold = cache.GetOrPrepare(MakeWorkload(1));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->warm_started);
+
+  const auto warm = cache.GetOrPrepare(MakeWorkload(2));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->cache_hit);
+  EXPECT_TRUE(warm->warm_started);
+  EXPECT_TRUE(warm->mechanism->prepared());
+
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.warm_misses, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PreparedCacheTest, WarmStartDisabledPreparesCold) {
+  PreparedCacheOptions options = FastOptions();
+  options.warm_start_misses = false;
+  PreparedMechanismCache cache(options);
+  ASSERT_TRUE(cache.GetOrPrepare(MakeWorkload(1)).ok());
+  const auto second = cache.GetOrPrepare(MakeWorkload(2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->warm_started);
+  EXPECT_EQ(cache.stats().warm_misses, 0);
+}
+
+TEST(PreparedCacheTest, LruEviction) {
+  PreparedCacheOptions options = FastOptions();
+  options.capacity = 1;
+  PreparedMechanismCache cache(options);
+  const auto w1 = MakeWorkload(1);
+  ASSERT_TRUE(cache.GetOrPrepare(w1).ok());
+  ASSERT_TRUE(cache.GetOrPrepare(MakeWorkload(2)).ok());  // evicts w1
+  EXPECT_EQ(cache.size(), 1u);
+  const auto again = cache.GetOrPrepare(w1);  // miss: w1 was evicted
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cache_hit);
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.evictions, 2);
+}
+
+TEST(PreparedCacheTest, CapacityZeroDisablesCaching) {
+  PreparedCacheOptions options = FastOptions();
+  options.capacity = 0;
+  PreparedMechanismCache cache(options);
+  const auto workload = MakeWorkload(1);
+  ASSERT_TRUE(cache.GetOrPrepare(workload).ok());
+  const auto second = cache.GetOrPrepare(workload);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(PreparedCacheTest, PrepareErrorsPropagateAndAreNotCached) {
+  PreparedMechanismCache cache(FastOptions());
+  auto poisoned = [] {
+    auto w = workload::GenerateWRange(12, 24, 7);
+    LRM_CHECK(w.ok());
+    linalg::Matrix m = w->matrix();
+    m(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    return std::make_shared<const workload::Workload>("bad", std::move(m));
+  }();
+  EXPECT_EQ(cache.GetOrPrepare(poisoned).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.GetOrPrepare(poisoned).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.GetOrPrepare(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PreparedCacheTest, ConcurrentRequestsForOneWorkloadCoalesce) {
+  PreparedMechanismCache cache(FastOptions());
+  const auto workload = MakeWorkload(5);
+  constexpr int kThreads = 4;
+  std::vector<StatusOr<PreparedLease>> leases(
+      kThreads, StatusOr<PreparedLease>(Status::Internal("unset")));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &workload, &leases, t] {
+      leases[t] = cache.GetOrPrepare(workload);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(leases[t].ok()) << t;
+    // Everyone shares the single prepared instance.
+    EXPECT_EQ(leases[t]->mechanism.get(), leases[0]->mechanism.get());
+  }
+  // Exactly one prepare ran; every request was either that prepare, a
+  // coalesced waiter, or a plain hit.
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lrm::service

@@ -1,0 +1,74 @@
+// ThreadPool: tasks run, Wait() is a full barrier, and the destructor
+// drains the queue instead of dropping submitted work.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "service/thread_pool.h"
+
+namespace lrm::service {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  std::atomic<int> count{0};
+  ThreadPool pool(0);
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    // No Wait(): destruction itself must run everything already submitted.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitFromManyThreads) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 25; ++i) {
+        pool.Submit([&count] { ++count; });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace lrm::service
