@@ -197,6 +197,18 @@ void BM_OrthonormalizeColumns1024x256Scalar(benchmark::State& state) {
 }
 BENCHMARK(BM_OrthonormalizeColumns1024x256Scalar);
 
+// Single-thread twin of the orthonormalization above — the threaded/single
+// ratio is gated relatively (min_cores = 8) like the eigen twins below.
+void BM_OrthonormalizeColumns1024x256SingleThread(benchmark::State& state) {
+  const Matrix a = MakeRandom(1024, 256, 13);
+  kernels::SetGemmThreads(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::OrthonormalizeColumns(a));
+  }
+  kernels::SetGemmThreads(0);
+}
+BENCHMARK(BM_OrthonormalizeColumns1024x256SingleThread);
+
 void BM_SymmetricEigen(benchmark::State& state) {
   const Index n = state.range(0);
   const Matrix a = MakeSpd(n, 7);
@@ -232,6 +244,25 @@ void BM_SymmetricEigenDc(benchmark::State& state) {
   kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
 }
 BENCHMARK(BM_SymmetricEigenDc)->Arg(1024)->Arg(2048)->Arg(4096);
+
+// Forced-single-thread twin of BM_SymmetricEigenDc: SetGemmThreads(1)
+// around the loop disables the shared task runtime (parallel Cuppen
+// subtrees, chunked secular solves, threaded GEMM/SymvLower underneath).
+// The stored baseline holds the threaded/single ratio as a relative gate
+// with min_cores = 8, so multi-core CI runners enforce the parallel
+// speedup while single-core boxes report-and-skip it.
+void BM_SymmetricEigenDcSingleThread(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = MakeSpd(n, 7);
+  kernels::SetFactorImpl(kernels::FactorImpl::kDc);
+  kernels::SetGemmThreads(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::SymmetricEigen(a));
+  }
+  kernels::SetGemmThreads(0);
+  kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
+}
+BENCHMARK(BM_SymmetricEigenDcSingleThread)->Arg(1024)->Arg(2048);
 
 void BM_SymmetricEigenQl(benchmark::State& state) {
   const Index n = state.range(0);

@@ -25,7 +25,19 @@ fails when real_time(name) / real_time(reference) exceeds max_ratio. Ratios
 are hardware-independent (both sides run on the same machine seconds apart),
 so relative gates stay ENFORCING even under LRM_BENCH_REPORT_ONLY — this is
 what lets CI run `ctest -L bench` as a real gate on heterogeneous runners.
---update preserves the section verbatim. Environment knobs:
+
+A relative spec may carry "min_cores": N. Gates comparing a threaded
+benchmark against its forced-single-thread twin only mean something when
+the machine can actually run N-ish workers — on a smaller box the ratio is
+~1.0 by construction and would always fail. Such gates report-and-skip
+when min(os.cpu_count(), LRM_GEMM_THREADS if set) < N, and enforce
+everywhere else.
+
+--update preserves the section verbatim, and stamps the environment the
+numbers came from into a "metadata" section (hardware_concurrency,
+lrm_gemm_threads) so a reader can tell whether a stored threaded/single
+pair was measured on a machine where threading could win. Environment
+knobs:
 
     LRM_BENCH_TOLERANCE      overrides --tolerance (fraction, e.g. 0.4)
     LRM_BENCH_REPORT_ONLY    "1" reports absolute regressions without
@@ -81,15 +93,38 @@ def min_real_times_ns(report):
     return times
 
 
+def effective_cores():
+    """Worker count this run can actually use: the machine's cores, capped
+    by LRM_GEMM_THREADS when the environment pins it."""
+    cores = os.cpu_count() or 1
+    env = os.environ.get("LRM_GEMM_THREADS")
+    if env:
+        try:
+            cores = min(cores, max(int(env), 1))
+        except ValueError:
+            pass
+    return cores
+
+
 def check_relative(specs, measured, skip):
     """Checks ratio gates; returns the list of violation messages."""
     violations = []
     if not specs:
         return violations
+    cores = effective_cores()
     print()
     for spec in specs:
         name, ref = spec["name"], spec["reference"]
         max_ratio = float(spec["max_ratio"])
+        min_cores = int(spec.get("min_cores", 0))
+        if min_cores > cores:
+            ratio = (measured[name] / measured[ref]
+                     if name in measured and measured.get(ref, 0) > 0
+                     else float("nan"))
+            print(f"{name:<44} / {ref}: {ratio:.3f}x "
+                  f"(max {max_ratio:.3f})  skipped: needs {min_cores} cores, "
+                  f"have {cores}")
+            continue
         if name not in measured or ref not in measured:
             violations.append(
                 f"relative gate {name} vs {ref}: benchmark missing from this "
@@ -136,6 +171,10 @@ def main():
     if args.update:
         baseline = {
             "filter": args.filter,
+            "metadata": {
+                "hardware_concurrency": os.cpu_count() or 1,
+                "lrm_gemm_threads": os.environ.get("LRM_GEMM_THREADS"),
+            },
             "benchmarks": {
                 name: {"real_time_ns": ns} for name, ns in sorted(
                     measured.items())

@@ -1,8 +1,8 @@
-#include "service/thread_pool.h"
+#include "base/thread_pool.h"
 
 #include <utility>
 
-namespace lrm::service {
+namespace lrm {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = num_threads < 1 ? 1 : num_threads;
@@ -31,8 +31,29 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+int ThreadPool::EnsureThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return 0;
+  int added = 0;
+  while (static_cast<int>(workers_.size()) < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    ++added;
+  }
+  return added;
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,13 +72,19 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }
   }
 }
 
-}  // namespace lrm::service
+}  // namespace lrm

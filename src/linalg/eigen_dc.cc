@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "base/check.h"
 #include "base/string_util.h"
 #include "linalg/kernels/kernels.h"
+#include "linalg/kernels/parallel.h"
 #include "linalg/tridiag_ql.h"
 
 namespace lrm::linalg {
@@ -20,6 +22,16 @@ namespace kernels = lrm::linalg::kernels;
 // (LAPACK draws the same line at SMLSIZ = 25).
 constexpr Index kDcLeafSize = 32;
 
+// Spans at least this large run their two children concurrently (left on a
+// shared-pool worker, right on the calling thread) when LRM_GEMM_THREADS
+// allows. Below it the fork bookkeeping outweighs the subtree.
+constexpr Index kDcParallelMin = 128;
+
+// Merge-phase loops hand work to the shared runtime in chunks of this many
+// roots/columns — a shape-only partition, so the split never depends on
+// the thread count.
+constexpr Index kDcChunk = 64;
+
 // Column support classes for the merge GEMM split (LAPACK dlaed2's COLTYP):
 // a column inherited from the first half has support in rows [lo, mid) only,
 // one from the second half in [mid, hi); a deflation rotation across the
@@ -29,12 +41,12 @@ enum ColType { kColTop = 0, kColDense = 1, kColBottom = 2 };
 
 // The full problem threaded through the recursion: d/e are the caller's
 // tridiagonal buffers (indexed globally), v the n×n eigenvector matrix kept
-// block-diagonal per recursion span, ws the shared merge scratch.
+// block-diagonal per recursion span. The merge scratch travels separately —
+// concurrent subtrees each carry their own workspace.
 struct DcProblem {
   double* d;
   double* e;
   Matrix* v;
-  TridiagDcWorkspace* ws;
 };
 
 // ---------------------------------------------------------------------------
@@ -124,9 +136,8 @@ void SecularRoot(Index kk, Index j, const double* dl, const double* z,
 // subdiagonal coupling e[mid] whose rank-one contribution was subtracted
 // before the children were solved. On return d[lo, hi) is ascending and v's
 // span block holds the merged eigenvectors.
-void MergeSpan(const DcProblem& p, Index lo, Index mid, Index hi,
-               double beta) {
-  TridiagDcWorkspace& ws = *p.ws;
+void MergeSpan(const DcProblem& p, Index lo, Index mid, Index hi, double beta,
+               TridiagDcWorkspace& ws) {
   Matrix& v = *p.v;
   const Index m = hi - lo;
   const Index n1 = mid - lo;
@@ -255,28 +266,40 @@ void MergeSpan(const DcProblem& p, Index lo, Index mid, Index hi,
 
   if (kk > 0) {
     // --- Secular roots + Löwner z-refresh (dlaed4 / dlaed3) ---------------
+    // Each root's iteration is independent (it reads only dl/zsec and
+    // writes its own lambda slot and delta row), so the kk roots run as
+    // kDcChunk-sized tasks on the shared runtime; every root is computed
+    // by the same arithmetic as the sequential walk, so the bits are
+    // thread-count independent.
     ws.lambda.resize(static_cast<std::size_t>(kk));
     ws.delta.Resize(kk, kk);  // delta(j, i) = dl[i] − λ_j
-    for (Index j = 0; j < kk; ++j) {
-      SecularRoot(kk, j, ws.dl.data(), ws.zsec.data(), rho,
-                  &ws.lambda[static_cast<std::size_t>(j)], ws.delta.RowPtr(j));
-    }
+    kernels::ParallelFor((kk + kDcChunk - 1) / kDcChunk, [&](Index task) {
+      const Index j1 = std::min(kk, (task + 1) * kDcChunk);
+      for (Index j = task * kDcChunk; j < j1; ++j) {
+        SecularRoot(kk, j, ws.dl.data(), ws.zsec.data(), rho,
+                    &ws.lambda[static_cast<std::size_t>(j)],
+                    ws.delta.RowPtr(j));
+      }
+    });
     // Refresh z so that the λ just computed are EXACT eigenvalues of
     // D + rho·ẑẑᵀ (Gu–Eisenstat): ẑᵢ² = Πⱼ(λⱼ−dᵢ) / (rho·Π_{j≠i}(dⱼ−dᵢ)),
     // evaluated as interleaved ratios of interlacing quantities so every
     // partial product stays O(1).
     ws.zhat.resize(static_cast<std::size_t>(kk));
-    for (Index i = 0; i < kk; ++i) {
-      double prod = -ws.delta(i, i) / rho;  // (λᵢ − dᵢ)/rho > 0
-      for (Index j = 0; j < kk; ++j) {
-        if (j == i) continue;
-        prod *= ws.delta(j, i) / (ws.dl[static_cast<std::size_t>(i)] -
-                                  ws.dl[static_cast<std::size_t>(j)]);
+    kernels::ParallelFor((kk + kDcChunk - 1) / kDcChunk, [&](Index task) {
+      const Index i1 = std::min(kk, (task + 1) * kDcChunk);
+      for (Index i = task * kDcChunk; i < i1; ++i) {
+        double prod = -ws.delta(i, i) / rho;  // (λᵢ − dᵢ)/rho > 0
+        for (Index j = 0; j < kk; ++j) {
+          if (j == i) continue;
+          prod *= ws.delta(j, i) / (ws.dl[static_cast<std::size_t>(i)] -
+                                    ws.dl[static_cast<std::size_t>(j)]);
+        }
+        ws.zhat[static_cast<std::size_t>(i)] = std::copysign(
+            std::sqrt(std::max(prod, 0.0)),
+            ws.zsec[static_cast<std::size_t>(i)]);
       }
-      ws.zhat[static_cast<std::size_t>(i)] = std::copysign(
-          std::sqrt(std::max(prod, 0.0)),
-          ws.zsec[static_cast<std::size_t>(i)]);
-    }
+    });
 
     // --- Eigenvector assembly ---------------------------------------------
     // Group survivors by column support so each GEMM skips the structurally
@@ -308,17 +331,21 @@ void MergeSpan(const DcProblem& p, Index lo, Index mid, Index hi,
     // Secular eigenvector c of root j: ẑᵢ/(dᵢ − λⱼ), normalized. Rows follow
     // the packed survivor order so they line up with q_pack's columns.
     ws.s_pack.Resize(kk, kk);
-    for (Index j = 0; j < kk; ++j) {
-      double norm_sq = 0.0;
-      for (Index c2 = 0; c2 < kk; ++c2) {
-        const Index i = ws.pack[static_cast<std::size_t>(c2)];
-        const double w = ws.zhat[static_cast<std::size_t>(i)] / ws.delta(j, i);
-        ws.s_pack(c2, j) = w;
-        norm_sq += w * w;
+    kernels::ParallelFor((kk + kDcChunk - 1) / kDcChunk, [&](Index task) {
+      const Index jend = std::min(kk, (task + 1) * kDcChunk);
+      for (Index j = task * kDcChunk; j < jend; ++j) {
+        double norm_sq = 0.0;
+        for (Index c2 = 0; c2 < kk; ++c2) {
+          const Index i = ws.pack[static_cast<std::size_t>(c2)];
+          const double w =
+              ws.zhat[static_cast<std::size_t>(i)] / ws.delta(j, i);
+          ws.s_pack(c2, j) = w;
+          norm_sq += w * w;
+        }
+        const double inv = 1.0 / std::sqrt(norm_sq);
+        for (Index c2 = 0; c2 < kk; ++c2) ws.s_pack(c2, j) *= inv;
       }
-      const double inv = 1.0 / std::sqrt(norm_sq);
-      for (Index c2 = 0; c2 < kk; ++c2) ws.s_pack(c2, j) *= inv;
-    }
+    });
     ws.q_pack.Resize(m, kk);
     for (Index c2 = 0; c2 < kk; ++c2) {
       const Index surv = ws.pack[static_cast<std::size_t>(c2)];
@@ -355,26 +382,36 @@ void MergeSpan(const DcProblem& p, Index lo, Index mid, Index hi,
   for (Index i = 0; i < m; ++i) ws.order[static_cast<std::size_t>(i)] = i;
   std::stable_sort(ws.order.begin(), ws.order.end(),
                    [&](Index x, Index y) { return value(x) < value(y); });
-  for (Index pos = 0; pos < m; ++pos) {
-    const Index idx = ws.order[static_cast<std::size_t>(pos)];
-    p.d[lo + pos] = value(idx);
-    if (idx < kk) {
-      for (Index r = 0; r < m; ++r) v(lo + r, lo + pos) = ws.u(r, idx);
-    } else {
-      for (Index r = 0; r < m; ++r) {
-        v(lo + r, lo + pos) = ws.staged(r, idx - kk);
+  // Each output position owns its own column of v and slot of d, so the
+  // O(m²) write-back runs as column-chunk tasks.
+  kernels::ParallelFor((m + kDcChunk - 1) / kDcChunk, [&](Index task) {
+    const Index pend = std::min(m, (task + 1) * kDcChunk);
+    for (Index pos = task * kDcChunk; pos < pend; ++pos) {
+      const Index idx = ws.order[static_cast<std::size_t>(pos)];
+      p.d[lo + pos] = value(idx);
+      if (idx < kk) {
+        for (Index r = 0; r < m; ++r) v(lo + r, lo + pos) = ws.u(r, idx);
+      } else {
+        for (Index r = 0; r < m; ++r) {
+          v(lo + r, lo + pos) = ws.staged(r, idx - kk);
+        }
       }
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
 // Recursion
 // ---------------------------------------------------------------------------
 
-Status SolveSpan(const DcProblem& p, Index lo, Index hi) {
+// `depth` counts forks along the right spine that kept using `ws`: the
+// fork at depth d parks its left child on ws.fork_children[d], so no two
+// concurrently-live subtrees ever share a workspace (the left subtree of
+// the fork at depth d runs concurrently with the whole remaining right
+// spine, including that spine's own deeper forks).
+Status SolveSpan(const DcProblem& p, Index lo, Index hi,
+                 TridiagDcWorkspace& ws, int depth) {
   const Index m = hi - lo;
-  TridiagDcWorkspace& ws = *p.ws;
   if (m <= kDcLeafSize) {
     // QL leaf: rotations accumulate into rows of an identity basis, so row i
     // of the result is eigenvector i of the leaf block. The eigenvalues land
@@ -405,9 +442,38 @@ Status SolveSpan(const DcProblem& p, Index lo, Index hi) {
   const double beta = p.e[mid];
   p.d[mid - 1] -= std::abs(beta);
   p.d[mid] -= std::abs(beta);
-  LRM_RETURN_IF_ERROR(SolveSpan(p, lo, mid));
-  LRM_RETURN_IF_ERROR(SolveSpan(p, mid, hi));
-  MergeSpan(p, lo, mid, hi, beta);
+  // The children touch disjoint spans of d/e/v, so they can run
+  // concurrently: the left subtree goes to the shared pool with its own
+  // workspace chain while this thread descends right. Every workspace
+  // buffer is fully (re)written before it is read within a solve, so which
+  // workspace object a subtree uses never changes the arithmetic — results
+  // stay bitwise identical whether the fork happens or not.
+  if (m >= kDcParallelMin && kernels::GemmThreads() > 1) {
+    if (static_cast<int>(ws.fork_children.size()) <= depth) {
+      ws.fork_children.resize(static_cast<std::size_t>(depth) + 1);
+    }
+    if (ws.fork_children[static_cast<std::size_t>(depth)] == nullptr) {
+      ws.fork_children[static_cast<std::size_t>(depth)] =
+          std::make_unique<TridiagDcWorkspace>();
+    }
+    // Raw pointer: deeper right-spine forks may resize fork_children, but
+    // the pointee never moves.
+    TridiagDcWorkspace* left_ws =
+        ws.fork_children[static_cast<std::size_t>(depth)].get();
+    Status left_status = Status::OK();
+    kernels::TaskGroup group;
+    group.Run([&p, lo, mid, left_ws, &left_status] {
+      left_status = SolveSpan(p, lo, mid, *left_ws, /*depth=*/0);
+    });
+    const Status right_status = SolveSpan(p, mid, hi, ws, depth + 1);
+    group.Wait();
+    LRM_RETURN_IF_ERROR(left_status);
+    LRM_RETURN_IF_ERROR(right_status);
+  } else {
+    LRM_RETURN_IF_ERROR(SolveSpan(p, lo, mid, ws, depth));
+    LRM_RETURN_IF_ERROR(SolveSpan(p, mid, hi, ws, depth));
+  }
+  MergeSpan(p, lo, mid, hi, beta, ws);
   return Status::OK();
 }
 
@@ -427,8 +493,8 @@ Status TridiagEigenDc(Vector& d, Vector& e, Matrix* v,
   if (n == 0) return Status::OK();
   TridiagDcWorkspace local;
   TridiagDcWorkspace& ws = workspace != nullptr ? *workspace : local;
-  const DcProblem problem{d.data(), e.data(), v, &ws};
-  return SolveSpan(problem, 0, n);
+  const DcProblem problem{d.data(), e.data(), v};
+  return SolveSpan(problem, 0, n, ws, /*depth=*/0);
 }
 
 }  // namespace lrm::linalg

@@ -23,6 +23,7 @@
 #ifndef LRM_LINALG_EIGEN_DC_H_
 #define LRM_LINALG_EIGEN_DC_H_
 
+#include <memory>
 #include <vector>
 
 #include "base/status.h"
@@ -30,11 +31,15 @@
 
 namespace lrm::linalg {
 
-/// \brief Reusable scratch for TridiagEigenDc. Merges never overlap (the
-/// recursion finishes both children before merging), so one set of buffers
-/// sized to the largest merged problem serves the whole tree; all buffers
-/// grow to the high-water mark and stay there, making repeated solves
-/// through one workspace allocation-free and bitwise deterministic.
+/// \brief Reusable scratch for TridiagEigenDc. Merges within one subtree
+/// never overlap (the recursion finishes both children before merging), so
+/// one set of buffers sized to the largest merged problem serves a whole
+/// subtree; all buffers grow to the high-water mark and stay there, making
+/// repeated solves through one workspace allocation-free and bitwise
+/// deterministic. When the recursion forks (LRM_GEMM_THREADS > 1) each
+/// left subtree runs on its own entry of `fork_children`, a lazily-built
+/// chain mirroring the parallel right spine of the tree, reused across
+/// solves like every other buffer.
 struct TridiagDcWorkspace {
   std::vector<double> z;       ///< rank-one vector in the merged eigenbasis
   std::vector<double> zsort;   ///< z permuted into merged order
@@ -59,6 +64,13 @@ struct TridiagDcWorkspace {
   Matrix staged;   ///< deflated columns staged for the final re-sort
   Matrix leaf_vt;  ///< leaf QL rotation basis
   std::vector<double> leaf_e;  ///< leaf subdiagonal copy (QL destroys it)
+  /// Scratch for left subtrees when the recursion runs both children
+  /// concurrently. The right spine of a fork keeps using this workspace, so
+  /// its fork at spine depth d hands fork_children[d] to that fork's left
+  /// child — every concurrently-live subtree then owns a distinct
+  /// workspace. Empty until the first parallel fork; grows to the spine
+  /// depth (≈ log₂(n / fork threshold)) and is reused across solves.
+  std::vector<std::unique_ptr<TridiagDcWorkspace>> fork_children;
 };
 
 /// \brief Computes all eigenpairs of the symmetric tridiagonal matrix with

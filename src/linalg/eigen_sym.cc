@@ -8,6 +8,7 @@
 #include "linalg/eigen_dc.h"
 #include "linalg/householder_wy.h"
 #include "linalg/kernels/kernels.h"
+#include "linalg/kernels/parallel.h"
 #include "linalg/matrix_view.h"
 #include "linalg/tridiag_ql.h"
 
@@ -258,9 +259,14 @@ void BlockedTridiagonalize(Matrix& m, Vector& d, Vector& e,
     // maintained (row strips of 128, each updating columns up to its last
     // row) — the symv above never reads the strict upper triangle, so
     // updating it would be pure wasted bandwidth.
+    // The strips touch disjoint rows of S, so they run as tasks on the
+    // shared runtime; within a strip the two accumulating GEMMs keep their
+    // order, so the bits match the sequential walk exactly.
     const Index rest = nt - jb;
     constexpr Index kTrailStrip = 128;
-    for (Index r0 = 0; r0 < rest; r0 += kTrailStrip) {
+    const Index num_strips = (rest + kTrailStrip - 1) / kTrailStrip;
+    kernels::ParallelFor(num_strips, [&](Index strip) {
+      const Index r0 = strip * kTrailStrip;
       const Index rb = std::min(kTrailStrip, rest - r0);
       kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rb, r0 + rb,
                     jb, -1.0, v_panel.RowPtr(jb + r0), jb,
@@ -268,7 +274,7 @@ void BlockedTridiagonalize(Matrix& m, Vector& d, Vector& e,
       kernels::Gemm(kernels::Op::kNone, kernels::Op::kTranspose, rb, r0 + rb,
                     jb, -1.0, w_panel.RowPtr(jb + r0), jb,
                     v_panel.RowPtr(jb), jb, 1.0, s + (jb + r0) * n + jb, n);
-    }
+    });
     off += jb;
   }
 

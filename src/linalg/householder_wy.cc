@@ -1,12 +1,23 @@
 #include "linalg/householder_wy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/check.h"
+#include "linalg/kernels/parallel.h"
 
 namespace lrm::linalg::internal {
 
 namespace kernels = lrm::linalg::kernels;
+
+namespace {
+
+// Panel helpers go parallel only past this many scalar multiply-adds; the
+// task boundaries below are all column/row counts derived from the panel
+// shape, so threaded and sequential runs produce identical bits.
+constexpr Index kPanelParallelWork = Index{1} << 15;
+
+}  // namespace
 
 double MakeHouseholder(Index n, double* x, Index incx) {
   if (n <= 1) return 0.0;
@@ -31,29 +42,58 @@ void PanelQr(double* a, Index lda, Index m, Index jb, double* tau) {
     tau[c] = MakeHouseholder(m - c, col, lda);
     if (tau[c] == 0.0 || c + 1 >= jb) continue;
     // Apply H_c = I − tau·v·vᵀ to the remaining panel columns. The panel is
-    // at most a few dozen columns wide, so scalar loops are fine here; the
-    // trailing matrix beyond the panel gets the blocked GEMM treatment.
+    // at most a few dozen columns wide, so scalar loops do the arithmetic;
+    // for tall panels the columns (mutually independent: each reads only
+    // `col` and writes its own column) are chunked across the shared task
+    // runtime. The trailing matrix beyond the panel gets the blocked GEMM
+    // treatment.
     const double beta = col[0];
     col[0] = 1.0;  // materialize the unit head for the dot products
-    for (Index j = c + 1; j < jb; ++j) {
+    const double tau_c = tau[c];
+    const Index rows = m - c;
+    const auto apply_to = [a, lda, c, col, tau_c, rows](Index j) {
       double* col_j = a + c * lda + j;
       double dot = 0.0;
-      for (Index i = 0; i < m - c; ++i) dot += col[i * lda] * col_j[i * lda];
-      const double s = -tau[c] * dot;
-      for (Index i = 0; i < m - c; ++i) col_j[i * lda] += s * col[i * lda];
+      for (Index i = 0; i < rows; ++i) dot += col[i * lda] * col_j[i * lda];
+      const double s = -tau_c * dot;
+      for (Index i = 0; i < rows; ++i) col_j[i * lda] += s * col[i * lda];
+    };
+    const Index cols = jb - c - 1;
+    if (rows * cols >= kPanelParallelWork && cols > 1) {
+      constexpr Index kColsPerTask = 4;
+      const Index num_tasks = (cols + kColsPerTask - 1) / kColsPerTask;
+      kernels::ParallelFor(num_tasks, [&](Index task) {
+        const Index j0 = c + 1 + task * kColsPerTask;
+        const Index j1 = std::min(jb, j0 + kColsPerTask);
+        for (Index j = j0; j < j1; ++j) apply_to(j);
+      });
+    } else {
+      for (Index j = c + 1; j < jb; ++j) apply_to(j);
     }
     col[0] = beta;
   }
 }
 
 void ExtractPanelV(const double* a, Index lda, Index m, Index jb, double* v) {
-  for (Index i = 0; i < m; ++i) {
-    const double* a_row = a + i * lda;
-    double* v_row = v + i * jb;
-    for (Index j = 0; j < jb; ++j) {
-      v_row[j] = i > j ? a_row[j] : (i == j ? 1.0 : 0.0);
+  const auto copy_rows = [a, lda, jb, v](Index i0, Index i1) {
+    for (Index i = i0; i < i1; ++i) {
+      const double* a_row = a + i * lda;
+      double* v_row = v + i * jb;
+      for (Index j = 0; j < jb; ++j) {
+        v_row[j] = i > j ? a_row[j] : (i == j ? 1.0 : 0.0);
+      }
     }
+  };
+  if (m * jb < kPanelParallelWork) {
+    copy_rows(0, m);
+    return;
   }
+  constexpr Index kRowsPerTask = 256;  // pure copy: rows are independent
+  const Index num_tasks = (m + kRowsPerTask - 1) / kRowsPerTask;
+  kernels::ParallelFor(num_tasks, [&](Index task) {
+    const Index i0 = task * kRowsPerTask;
+    copy_rows(i0, std::min(m, i0 + kRowsPerTask));
+  });
 }
 
 void BuildBlockT(const double* v, Index ldv, Index m, Index jb,
@@ -69,12 +109,28 @@ void BuildBlockT(const double* v, Index ldv, Index m, Index jb,
       continue;
     }
     // y = V(:, 0:i)ᵀ·v_i — dot products start at row i where v_i begins.
-    for (Index r = 0; r < i; ++r) {
-      double dot = 0.0;
-      for (Index row = i; row < m; ++row) {
-        dot += v[row * ldv + r] * v[row * ldv + i];
+    // The i dots are independent (disjoint t_col slots) and dominate the
+    // larft cost, so tall panels chunk them over the shared task runtime;
+    // each dot runs whole inside one task, keeping the bits thread-count
+    // independent.
+    const auto dots_for = [v, ldv, m, i, t_col, ldt](Index r0, Index r1) {
+      for (Index r = r0; r < r1; ++r) {
+        double dot = 0.0;
+        for (Index row = i; row < m; ++row) {
+          dot += v[row * ldv + r] * v[row * ldv + i];
+        }
+        t_col[r * ldt] = dot;
       }
-      t_col[r * ldt] = dot;
+    };
+    if ((m - i) * i >= kPanelParallelWork && i > 1) {
+      constexpr Index kDotsPerTask = 8;
+      const Index num_tasks = (i + kDotsPerTask - 1) / kDotsPerTask;
+      kernels::ParallelFor(num_tasks, [&](Index task) {
+        const Index r0 = task * kDotsPerTask;
+        dots_for(r0, std::min(i, r0 + kDotsPerTask));
+      });
+    } else {
+      dots_for(0, i);
     }
     // T(0:i, i) = −tau_i·T(0:i,0:i)·y in place, front to back: entry r of
     // the upper-triangular product reads only y_c with c ≥ r, so ascending

@@ -7,18 +7,20 @@
 //   packed B block (kKc×kNc ≈ 2 MB)  → L3/L2,
 //   packed A block (kMc×kKc ≈ 192 KB) → L2,
 //   one B micro-panel (kKc×kNr = 16 KB) → L1.
-// Threads split C by rows; a dot product is never split across threads, so
-// the result is bitwise independent of the thread count.
+// Threading rides the shared kernels runtime (parallel.h): C is cut into
+// row tasks whose boundaries depend only on m, and a dot product is never
+// split across tasks, so the result is bitwise independent of the thread
+// count and of which pool worker ran which strip.
 
 #include <algorithm>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "base/check.h"
 #include "linalg/kernels/kernels.h"
+#include "linalg/kernels/parallel.h"
 
 namespace lrm::linalg::kernels {
 
@@ -32,8 +34,11 @@ constexpr Index kNc = 1024;  // columns of a packed B block
 
 // Compile the hot path for newer vector ISAs with runtime selection; the
 // "default" clone keeps the binary runnable on any x86-64 (and the macro
-// collapses to nothing elsewhere).
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// collapses to nothing elsewhere). Disabled under ThreadSanitizer: the
+// glibc IFUNC resolver behind target_clones runs before the TSan runtime
+// has mapped its shadow memory, which segfaults at process start.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define LRM_KERNEL_TARGET_CLONES \
   __attribute__((target_clones("default", "avx2", "avx512f")))
 #else
@@ -145,8 +150,8 @@ void BlockedStrip(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
 
 // Packing scratch, checked out of a process-wide free list so the ~2 MB
 // buffers (and their faulted-in pages) survive across calls — hot loops
-// issue thousands of GEMMs, and worker threads are spawned per call, so
-// thread-local storage would be reallocated every time.
+// issue thousands of GEMMs, and tasks land on whichever shared-pool worker
+// is free, so thread-local storage would fragment the buffers per thread.
 struct PackScratch {
   std::vector<double> a, b;
 };
@@ -213,34 +218,28 @@ void GemmBlocked(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
   LRM_CHECK_GE(k, 0);
   if (m == 0 || n == 0) return;
 
-  // One strip of at least kMc rows per worker keeps the packing overhead
-  // amortized; excess workers would only repack B for no compute.
-  const Index max_strips = (m + kMc - 1) / kMc;
-  const Index workers =
-      std::min<Index>(std::max(threads, 1), std::max<Index>(max_strips, 1));
-  if (workers <= 1) {
+  // Rows are cut into tasks of two packed-A blocks each — big enough to
+  // amortize the B repack, small enough that the dynamic claim balances
+  // uneven workers. The boundaries depend only on m (never on `threads`),
+  // and each row of C is computed whole inside one task, so the bits are
+  // identical for every thread count.
+  constexpr Index kRowsPerTask = 2 * kMc;
+  const Index num_tasks = (m + kRowsPerTask - 1) / kRowsPerTask;
+  if (threads <= 1 || num_tasks <= 1) {
     RunStrip(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     return;
   }
 
-  // Split rows into kMc-aligned strips. Row i of C reads row i of op(A):
-  // offset `a` by rows for kNone and by columns for kTranspose.
-  const Index strips_per_worker = (max_strips + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (Index w = 0; w < workers; ++w) {
-    const Index row_begin = std::min(m, w * strips_per_worker * kMc);
-    const Index row_end = std::min(m, (w + 1) * strips_per_worker * kMc);
-    if (row_begin >= row_end) break;
+  // Row i of C reads row i of op(A): offset `a` by rows for kNone and by
+  // columns for kTranspose.
+  ParallelFor(num_tasks, threads, [&](Index task) {
+    const Index row_begin = task * kRowsPerTask;
+    const Index row_end = std::min(m, row_begin + kRowsPerTask);
     const double* a_strip =
         op_a == Op::kNone ? a + row_begin * lda : a + row_begin;
-    double* c_strip = c + row_begin * ldc;
-    pool.emplace_back([=] {
-      RunStrip(op_a, op_b, row_end - row_begin, n, k, alpha, a_strip, lda, b,
-               ldb, beta, c_strip, ldc);
-    });
-  }
-  for (std::thread& t : pool) t.join();
+    RunStrip(op_a, op_b, row_end - row_begin, n, k, alpha, a_strip, lda, b,
+             ldb, beta, c + row_begin * ldc, ldc);
+  });
 }
 
 void Gemm(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
@@ -260,6 +259,38 @@ void Gemm(Op op_a, Op op_b, Index m, Index n, Index k, double alpha,
   constexpr Index kBlockedThreshold = 32 * 32 * 32;
   if (impl == GemmImpl::kAuto && (flops < kBlockedThreshold || m == 1 ||
                                   n == 1)) {
+    // Large matrix–vector products still parallelize: chunk the long
+    // dimension and run the reference loop per chunk. Chunk boundaries
+    // depend only on the shape, and every output element's k-accumulation
+    // stays inside one chunk in the same order the monolithic call uses,
+    // so the bits match the plain reference call exactly.
+    constexpr Index kGemvThreadThreshold = Index{1} << 20;
+    if (flops >= kGemvThreadThreshold) {
+      const Index span_per_task =
+          std::max<Index>(256, (Index{1} << 19) / std::max<Index>(k, 1));
+      if (n == 1 && m > 1) {
+        const Index num_tasks = (m + span_per_task - 1) / span_per_task;
+        ParallelFor(num_tasks, [&](Index task) {
+          const Index i0 = task * span_per_task;
+          const Index rows = std::min(span_per_task, m - i0);
+          const double* a_strip = op_a == Op::kNone ? a + i0 * lda : a + i0;
+          GemmReference(op_a, op_b, rows, n, k, alpha, a_strip, lda, b, ldb,
+                        beta, c + i0 * ldc, ldc);
+        });
+        return;
+      }
+      if (m == 1 && n > 1) {
+        const Index num_tasks = (n + span_per_task - 1) / span_per_task;
+        ParallelFor(num_tasks, [&](Index task) {
+          const Index j0 = task * span_per_task;
+          const Index cols = std::min(span_per_task, n - j0);
+          const double* b_strip = op_b == Op::kNone ? b + j0 : b + j0 * ldb;
+          GemmReference(op_a, op_b, m, cols, k, alpha, a, lda, b_strip, ldb,
+                        beta, c + j0, ldc);
+        });
+        return;
+      }
+    }
     GemmReference(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     return;
   }

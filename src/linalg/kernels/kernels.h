@@ -16,8 +16,16 @@
 // Gemm() dispatches between them from runtime configuration (see below) and
 // problem size. The remaining level-3 kernels (Syrk, Trsm in level3.cc)
 // follow the same pattern: a scalar reference flavor plus a blocked flavor
-// whose bulk work lowers to Gemm(). Dispatch knobs, resolved once on first
-// use:
+// whose bulk work lowers to Gemm().
+//
+// Threading runs on the shared task-parallel runtime in parallel.h
+// (ParallelFor / TaskGroup over one persistent process-wide thread pool) —
+// GEMM row strips, the symv strip reduction, QR panel columns, latrd
+// trailing updates, and the Cuppen D&C subtree forks all draw workers from
+// the same pool, capped by GemmThreads(). Task partitions depend only on
+// problem shape, never on worker count, so every threaded kernel is
+// bitwise deterministic across LRM_GEMM_THREADS settings. Dispatch knobs,
+// resolved once on first use:
 //
 //   LRM_GEMM_THREADS   — worker thread cap (default: hardware concurrency);
 //                        SetGemmThreads() overrides programmatically.

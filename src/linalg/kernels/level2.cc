@@ -8,13 +8,88 @@
 // chain leaves the core latency-bound. This kernel reads each lower-triangle
 // element once, applies it to both y[i] and y[j], and splits the reduction
 // across independent accumulators so the loop is throughput-bound.
+//
+// Above kStripDim rows the triangle is cut into row strips and run on the
+// shared task runtime (parallel.h). The scatter side of a strip's rows
+// lands on y entries owned by EARLIER strips, so each strip accumulates
+// those contributions into a private partial row instead, and a second
+// phase folds the partials into y in ascending strip order. The strip
+// count and boundaries depend only on n — never on the thread count — and
+// both phases sum in fixed orders, so results are bitwise identical for
+// every LRM_GEMM_THREADS setting (though not to the single-strip layout,
+// which small n keeps unchanged).
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "linalg/kernels/kernels.h"
+#include "linalg/kernels/parallel.h"
 
 namespace lrm::linalg::kernels {
 
-void SymvLower(Index n, double alpha, const double* a, Index lda,
-               const double* x, double beta, double* y) {
+namespace {
+
+constexpr Index kStripDim = 256;  // rows per strip (and strip threshold)
+constexpr Index kMaxStrips = 16;
+
+// Fused dot + scatter over columns [j0, j1) of one triangle row: returns
+// sum(row[j] * x[j]) accumulated 4-wide and adds row[j] * xi into out[j].
+inline double DotScatter(const double* row, const double* x, Index j0,
+                         Index j1, double xi, double* out) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  Index j = j0;
+  for (; j + 4 <= j1; j += 4) {
+    const double a0 = row[j], a1 = row[j + 1];
+    const double a2 = row[j + 2], a3 = row[j + 3];
+    s0 += a0 * x[j];
+    s1 += a1 * x[j + 1];
+    s2 += a2 * x[j + 2];
+    s3 += a3 * x[j + 3];
+    out[j] += a0 * xi;
+    out[j + 1] += a1 * xi;
+    out[j + 2] += a2 * xi;
+    out[j + 3] += a3 * xi;
+  }
+  for (; j < j1; ++j) {
+    s0 += row[j] * x[j];
+    out[j] += row[j] * xi;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+// Partial-row scratch (kMaxStrips × n doubles per call), recycled through
+// a process-wide free list — latrd issues one SymvLower per column, and
+// concurrent factorizations on the shared pool must not share buffers.
+class PartialPool {
+ public:
+  std::unique_ptr<std::vector<double>> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return std::make_unique<std::vector<double>>();
+    std::unique_ptr<std::vector<double>> buffer = std::move(free_.back());
+    free_.pop_back();
+    return buffer;
+  }
+
+  void Release(std::unique_ptr<std::vector<double>> buffer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(buffer));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<std::vector<double>>> free_;
+};
+
+PartialPool& GlobalPartialPool() {
+  static PartialPool* pool = new PartialPool;  // leaked: outlive all threads
+  return *pool;
+}
+
+void SymvLowerSingle(Index n, double alpha, const double* a, Index lda,
+                     const double* x, double beta, double* y) {
   if (beta == 0.0) {
     for (Index i = 0; i < n; ++i) y[i] = 0.0;
   } else if (beta != 1.0) {
@@ -23,26 +98,76 @@ void SymvLower(Index n, double alpha, const double* a, Index lda,
   for (Index i = 0; i < n; ++i) {
     const double* row = a + i * lda;
     const double xi = alpha * x[i];
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    Index j = 0;
-    for (; j + 4 <= i; j += 4) {
-      const double a0 = row[j], a1 = row[j + 1];
-      const double a2 = row[j + 2], a3 = row[j + 3];
-      s0 += a0 * x[j];
-      s1 += a1 * x[j + 1];
-      s2 += a2 * x[j + 2];
-      s3 += a3 * x[j + 3];
-      y[j] += a0 * xi;
-      y[j + 1] += a1 * xi;
-      y[j + 2] += a2 * xi;
-      y[j + 3] += a3 * xi;
-    }
-    for (; j < i; ++j) {
-      s0 += row[j] * x[j];
-      y[j] += row[j] * xi;
-    }
-    y[i] += alpha * ((s0 + s1) + (s2 + s3)) + row[i] * xi;
+    const double dot = DotScatter(row, x, 0, i, xi, y);
+    y[i] += alpha * dot + row[i] * xi;
   }
+}
+
+}  // namespace
+
+void SymvLower(Index n, double alpha, const double* a, Index lda,
+               const double* x, double beta, double* y) {
+  const Index strips = std::min<Index>(kMaxStrips, n / kStripDim);
+  if (strips < 2) {
+    SymvLowerSingle(n, alpha, a, lda, x, beta, y);
+    return;
+  }
+
+  // Equal-work boundaries: rows [0, r) of the triangle hold ~r²/2 entries,
+  // so r_s = n·sqrt(s/S) balances the strips. Shape-only, so the same n
+  // always produces the same partition.
+  Index bounds[kMaxStrips + 1];
+  bounds[0] = 0;
+  for (Index s = 1; s < strips; ++s) {
+    const Index r = static_cast<Index>(std::llround(
+        static_cast<double>(n) *
+        std::sqrt(static_cast<double>(s) / static_cast<double>(strips))));
+    bounds[s] = std::min(n, std::max(bounds[s - 1], r));
+  }
+  bounds[strips] = n;
+
+  std::unique_ptr<std::vector<double>> lease = GlobalPartialPool().Acquire();
+  std::vector<double>& partials = *lease;
+  if (static_cast<Index>(partials.size()) < strips * n) {
+    partials.resize(static_cast<std::size_t>(strips * n));
+  }
+  double* scratch = partials.data();
+
+  // Phase 1: each strip scales its own y rows, then walks its rows fusing
+  // the dot with the scatter — columns owned by earlier strips go to the
+  // private partial row, columns inside the strip go straight to y.
+  ParallelFor(strips, [&](Index s) {
+    const Index r0 = bounds[s];
+    const Index r1 = bounds[s + 1];
+    double* part = scratch + s * n;
+    std::fill(part, part + r0, 0.0);
+    if (beta == 0.0) {
+      for (Index i = r0; i < r1; ++i) y[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (Index i = r0; i < r1; ++i) y[i] *= beta;
+    }
+    for (Index i = r0; i < r1; ++i) {
+      const double* row = a + i * lda;
+      const double xi = alpha * x[i];
+      double dot = DotScatter(row, x, 0, r0, xi, part);
+      dot += DotScatter(row, x, r0, i, xi, y);
+      y[i] += alpha * dot + row[i] * xi;
+    }
+  });
+
+  // Phase 2: fold the partial rows into y, each strip summing over its own
+  // y range in ascending strip order (a fixed reduction order).
+  ParallelFor(strips, [&](Index s) {
+    const Index r0 = bounds[s];
+    const Index r1 = bounds[s + 1];
+    for (Index t = s + 1; t < strips; ++t) {
+      if (bounds[t + 1] == bounds[t]) continue;  // scattered nothing
+      const double* part = scratch + t * n;
+      for (Index j = r0; j < r1; ++j) y[j] += part[j];
+    }
+  });
+
+  GlobalPartialPool().Release(std::move(lease));
 }
 
 }  // namespace lrm::linalg::kernels

@@ -1,0 +1,156 @@
+#include "linalg/kernels/parallel.h"
+
+#include <atomic>
+#include <utility>
+
+#include "base/thread_pool.h"
+
+namespace lrm::linalg::kernels {
+namespace {
+
+// One process-wide helper pool shared by every kernel. Created on first
+// parallel region and grown (never shrunk) to match the largest worker
+// count requested so far; deliberately leaked so worker threads never
+// race static destruction at process exit. `tokens` counts pool workers
+// not currently executing a kernels-tier task — Run()/ParallelFor only
+// hand work to the pool after winning a token, and run it inline
+// otherwise, which is what makes nested parallel regions deadlock-free.
+struct SharedPool {
+  std::mutex mu;               // guards pool creation/growth
+  ::lrm::ThreadPool* pool = nullptr;
+  int size = 0;                // workers in `pool` (== tokens ever issued)
+  std::atomic<int> tokens{0};  // free concurrency slots
+};
+
+SharedPool& State() {
+  static SharedPool* state = new SharedPool;
+  return *state;
+}
+
+// Grows the shared pool to at least `helpers` workers, minting one
+// concurrency token per new worker.
+void EnsurePoolFor(int helpers) {
+  if (helpers <= 0) return;
+  SharedPool& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.pool == nullptr) {
+    state.pool = new ::lrm::ThreadPool(helpers);
+    state.size = state.pool->num_threads();
+    state.tokens.fetch_add(state.size);
+  } else if (state.size < helpers) {
+    const int added = state.pool->EnsureThreads(helpers);
+    state.size += added;
+    state.tokens.fetch_add(added);
+  }
+}
+
+bool AcquireToken() {
+  std::atomic<int>& tokens = State().tokens;
+  int have = tokens.load();
+  while (have > 0) {
+    if (tokens.compare_exchange_weak(have, have - 1)) return true;
+  }
+  return false;
+}
+
+void ReleaseToken() { State().tokens.fetch_add(1); }
+
+}  // namespace
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Errors from tasks never observed via Wait() are dropped, matching
+    // the base ThreadPool destructor contract.
+  }
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  const int helpers = GemmThreads() - 1;
+  if (helpers > 0) EnsurePoolFor(helpers);
+  if (helpers > 0 && AcquireToken()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+    }
+    State().pool->Submit([this, task = std::move(task)] {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      ReleaseToken();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !error_) error_ = std::move(error);
+      if (--pending_ == 0) done_.notify_all();
+    });
+    return;
+  }
+  // No spare pool capacity (or threading disabled): run on this thread.
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void TaskGroup::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ParallelFor(Index num_tasks, int max_workers,
+                 const std::function<void(Index)>& body) {
+  if (num_tasks <= 0) return;
+  int workers = max_workers;
+  if (static_cast<Index>(workers) > num_tasks) {
+    workers = static_cast<int>(num_tasks);
+  }
+  if (workers <= 1) {
+    for (Index task = 0; task < num_tasks; ++task) body(task);
+    return;
+  }
+  EnsurePoolFor(workers - 1);
+
+  // Dynamic claim over a shape-derived task list: scheduling may race,
+  // the partition may not (see parallel.h).
+  std::atomic<Index> next{0};
+  const auto drain = [&next, num_tasks, &body] {
+    for (;;) {
+      const Index task = next.fetch_add(1);
+      if (task >= num_tasks) return;
+      try {
+        body(task);
+      } catch (...) {
+        // Stop further claims so the region winds down promptly.
+        next.store(num_tasks);
+        throw;
+      }
+    }
+  };
+
+  TaskGroup group;
+  for (int helper = 1; helper < workers; ++helper) group.Run(drain);
+  std::exception_ptr caller_error;
+  try {
+    drain();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  group.Wait();
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+void ParallelFor(Index num_tasks, const std::function<void(Index)>& body) {
+  ParallelFor(num_tasks, GemmThreads(), body);
+}
+
+}  // namespace lrm::linalg::kernels

@@ -1,0 +1,78 @@
+// Task-parallel runtime for the kernels tier, built on the persistent
+// base/thread_pool.h worker pool (one process-wide pool, grown lazily —
+// never a thread spawn per kernel call).
+//
+// The determinism contract every user of this header follows: the task
+// PARTITION is a function of the problem shape alone (never of the worker
+// count), tasks write disjoint outputs, and any cross-task reduction is
+// summed in fixed task order after the barrier. Scheduling — which worker
+// runs which task, in what order — is then free to race, and results stay
+// bitwise identical for every LRM_GEMM_THREADS setting. This is what lets
+// factorization_equivalence_test assert threaded == single-thread with
+// operator== instead of a tolerance.
+//
+// Nesting and deadlock-freedom: work is handed to the pool only after
+// winning a concurrency token (one token per pool worker). A caller that
+// holds no token runs the task inline on its own stack. Every blocked
+// waiter therefore waits on a task that holds a token, and a counting
+// argument bounds token holders by the worker count, so some worker can
+// always make progress — ParallelFor inside TaskGroup inside GEMM inside a
+// Cuppen subtree task is safe.
+
+#ifndef LRM_LINALG_KERNELS_PARALLEL_H_
+#define LRM_LINALG_KERNELS_PARALLEL_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "linalg/kernels/kernels.h"
+
+namespace lrm::linalg::kernels {
+
+/// \brief Runs body(task) for every task in [0, num_tasks), using at most
+/// `max_workers` concurrent executors (the calling thread plus shared pool
+/// workers; pool helpers are only used when a concurrency token is free).
+/// Tasks are claimed dynamically, so callers must keep each task
+/// independent with disjoint outputs; the partition itself must come from
+/// the problem shape so results are reproducible across worker counts.
+/// Rethrows the first exception any task threw. `max_workers <= 1` (or a
+/// single task) degrades to a plain ascending loop on the calling thread.
+void ParallelFor(Index num_tasks, int max_workers,
+                 const std::function<void(Index)>& body);
+
+/// \brief ParallelFor with max_workers = GemmThreads() — the kernels tier's
+/// one threading knob (LRM_GEMM_THREADS / SetGemmThreads).
+void ParallelFor(Index num_tasks, const std::function<void(Index)>& body);
+
+/// \brief A group of tasks that may run on shared pool workers, with a
+/// join. Run() hands the task to the pool when a concurrency token is free
+/// and otherwise executes it inline on the calling thread, so a TaskGroup
+/// never deadlocks and never oversubscribes: worst case it is a plain
+/// sequential loop. Wait() blocks until every Run() task finished and
+/// rethrows the first exception any of them threw. The destructor waits
+/// and swallows errors. Used for irregular fork/join work — the Cuppen
+/// divide-and-conquer recursion runs its left subtree as a group task
+/// while the caller descends into the right.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Run(std::function<void()> task);
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable done_;
+  std::exception_ptr error_;
+  int pending_ = 0;
+};
+
+}  // namespace lrm::linalg::kernels
+
+#endif  // LRM_LINALG_KERNELS_PARALLEL_H_

@@ -1,56 +1,18 @@
-// Fixed-size worker pool for the answering service.
-//
-// Deliberately minimal: a locked FIFO of std::function tasks drained by N
-// long-lived threads. Determinism in the service does NOT come from task
-// ordering here (workers race) — it comes from AnswerService assigning each
-// request its RNG stream at submission time, before the task ever reaches
-// the pool.
+// The worker pool moved to base/thread_pool.h when the factorization tier
+// (linalg/kernels/parallel.h) started sharing it; this shim keeps service
+// callers source-compatible. Determinism in the service still does NOT come
+// from task ordering in the pool (workers race) — it comes from
+// AnswerService assigning each request its RNG stream at submission time,
+// before the task ever reaches the pool.
 
 #ifndef LRM_SERVICE_THREAD_POOL_H_
 #define LRM_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "base/thread_pool.h"
 
 namespace lrm::service {
 
-/// \brief Fixed pool of worker threads draining a FIFO task queue.
-class ThreadPool {
- public:
-  /// Starts `num_threads` workers (clamped to at least 1).
-  explicit ThreadPool(int num_threads);
-
-  /// Drains outstanding tasks, then joins the workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues a task. Tasks submitted after shutdown began are rejected
-  /// silently (the service only shuts the pool down in its destructor,
-  /// after all submissions have completed).
-  void Submit(std::function<void()> task);
-
-  /// Blocks until every task submitted so far has finished executing.
-  void Wait();
-
-  int num_threads() const { return static_cast<int>(workers_.size()); }
-
- private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;  // tasks popped but not yet finished
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
-};
+using ::lrm::ThreadPool;
 
 }  // namespace lrm::service
 

@@ -1,15 +1,18 @@
-// ThreadPool: tasks run, Wait() is a full barrier, and the destructor
-// drains the queue instead of dropping submitted work.
+// ThreadPool: tasks run, Wait() is a full barrier that also surfaces task
+// exceptions, EnsureThreads only grows, and the destructor drains the
+// queue instead of dropping submitted work. (Moved from tests/service/
+// when the pool was promoted to base/ for the kernels runtime.)
+
+#include "base/thread_pool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
-#include "service/thread_pool.h"
-
-namespace lrm::service {
+namespace lrm {
 namespace {
 
 TEST(ThreadPoolTest, RunsSubmittedTasks) {
@@ -70,5 +73,41 @@ TEST(ThreadPoolTest, SubmitFromManyThreads) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterTaskException) {
+  std::atomic<int> count{0};
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error was collected by the Wait() above; the worker survived and
+  // the next batch runs (and waits) clean.
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, EnsureThreadsGrowsButNeverShrinks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  EXPECT_EQ(pool.EnsureThreads(5), 3);
+  EXPECT_EQ(pool.num_threads(), 5);
+  EXPECT_EQ(pool.EnsureThreads(3), 0);
+  EXPECT_EQ(pool.num_threads(), 5);
+  // New workers actually execute tasks.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 40; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 40);
+}
+
 }  // namespace
-}  // namespace lrm::service
+}  // namespace lrm

@@ -219,5 +219,49 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+// Restores the environment-default GEMM thread count on scope exit.
+class ScopedGemmThreads {
+ public:
+  explicit ScopedGemmThreads(int threads) { kernels::SetGemmThreads(threads); }
+  ~ScopedGemmThreads() { kernels::SetGemmThreads(0); }
+};
+
+// Every spectral shape, solved by the dc path at n = 257 (multi-level
+// merge tree past the parallel-fork threshold): the eigenpairs must be
+// BITWISE identical across thread counts — the runtime's determinism
+// contract, not a tolerance statement.
+class EigenThreadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenThreadSweepTest, DcEigenpairsAreBitwiseThreadCountInvariant) {
+  const int case_index = GetParam();
+  const SpectralCase& spectral_case = kCases[case_index];
+  SCOPED_TRACE(spectral_case.name);
+  const Index n = 257;
+  rng::Engine engine(static_cast<std::uint64_t>(case_index) * 6211 + n);
+  const Matrix a = spectral_case.generate(engine, n);
+  ScopedFactorImpl force(kernels::FactorImpl::kDc);
+
+  StatusOr<SymmetricEigenResult> baseline = Status::InvalidArgument("unset");
+  {
+    ScopedGemmThreads threads(1);
+    baseline = SymmetricEigen(a);
+  }
+  ASSERT_TRUE(baseline.ok());
+
+  for (int count : {2, 8}) {
+    SCOPED_TRACE(count);
+    ScopedGemmThreads threads(count);
+    const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+    ASSERT_TRUE(eig.ok());
+    EXPECT_VECTOR_NEAR(eig->eigenvalues, baseline->eigenvalues, 0.0);
+    EXPECT_MATRIX_NEAR(eig->eigenvectors, baseline->eigenvectors, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, EigenThreadSweepTest, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(kCases[info.param].name);
+                         });
+
 }  // namespace
 }  // namespace lrm::linalg

@@ -508,6 +508,83 @@ TEST(TridiagDcDeflationTest, MismatchedBufferSizesRejected) {
   EXPECT_EQ(TridiagEigenDc(d, e, &v).code(), StatusCode::kInvalidArgument);
 }
 
+// Restores the environment-default GEMM thread count on scope exit.
+class ScopedGemmThreads {
+ public:
+  explicit ScopedGemmThreads(int threads) { kernels::SetGemmThreads(threads); }
+  ~ScopedGemmThreads() { kernels::SetGemmThreads(0); }
+};
+
+TEST(ThreadSweepEquivalenceTest, EigenDcIsBitwiseIdenticalAcrossThreadCounts) {
+  // n = 300 crosses the parallel-fork threshold (128) twice, so the sweep
+  // exercises concurrent Cuppen subtrees with per-subtree workspaces, the
+  // chunked secular solves, and the threaded GEMM underneath — all of
+  // which promise bitwise thread-count independence.
+  rng::Engine engine(77);
+  const Matrix a = RandomSymmetric(engine, 300);
+  ScopedFactorImpl force(kernels::FactorImpl::kDc);
+
+  StatusOr<SymmetricEigenResult> baseline = Status::InvalidArgument("unset");
+  {
+    ScopedGemmThreads threads(1);
+    baseline = SymmetricEigen(a);
+  }
+  ASSERT_TRUE(baseline.ok());
+
+  for (int count : {2, 8}) {
+    SCOPED_TRACE(count);
+    ScopedGemmThreads threads(count);
+    const StatusOr<SymmetricEigenResult> eig = SymmetricEigen(a);
+    ASSERT_TRUE(eig.ok());
+    EXPECT_VECTOR_NEAR(eig->eigenvalues, baseline->eigenvalues, 0.0);
+    EXPECT_MATRIX_NEAR(eig->eigenvectors, baseline->eigenvectors, 0.0);
+  }
+}
+
+TEST(ThreadSweepEquivalenceTest, BlockedQrIsBitwiseIdenticalAcrossThreadCounts) {
+  // Tall panel QR: the threaded panel reflectors, block-T dots, and the
+  // trailing GEMMs must reproduce the single-thread bits exactly.
+  rng::Engine engine(78);
+  const Matrix a = RandomGaussianMatrix(engine, 500, 120);
+  ScopedFactorImpl force(kernels::FactorImpl::kBlocked);
+
+  StatusOr<Matrix> baseline = Status::InvalidArgument("unset");
+  {
+    ScopedGemmThreads threads(1);
+    baseline = OrthonormalizeColumns(a);
+  }
+  ASSERT_TRUE(baseline.ok());
+
+  for (int count : {2, 8}) {
+    SCOPED_TRACE(count);
+    ScopedGemmThreads threads(count);
+    const StatusOr<Matrix> q = OrthonormalizeColumns(a);
+    ASSERT_TRUE(q.ok());
+    EXPECT_MATRIX_NEAR(*q, *baseline, 0.0);
+  }
+}
+
+TEST(ThreadSweepEquivalenceTest, EigenWorkspaceReuseIsDeterministicThreaded) {
+  // Workspace reuse at 8 threads: repeated solves through one workspace
+  // (including the lazily-grown left_child chain) must stay bit-identical
+  // to the workspace-free call.
+  rng::Engine engine(79);
+  const Matrix a = RandomSymmetric(engine, 200);
+  ScopedFactorImpl force(kernels::FactorImpl::kDc);
+  ScopedGemmThreads threads(8);
+
+  const StatusOr<SymmetricEigenResult> plain = SymmetricEigen(a);
+  ASSERT_TRUE(plain.ok());
+  SymmetricEigenWorkspace ws;
+  for (int pass = 0; pass < 3; ++pass) {
+    SCOPED_TRACE(pass);
+    const StatusOr<SymmetricEigenResult> reused = SymmetricEigen(a, &ws);
+    ASSERT_TRUE(reused.ok());
+    EXPECT_VECTOR_NEAR(reused->eigenvalues, plain->eigenvalues, 0.0);
+    EXPECT_MATRIX_NEAR(reused->eigenvectors, plain->eigenvectors, 0.0);
+  }
+}
+
 TEST(RandomizedSvdEquivalenceTest, WorkspaceReuseIsDeterministic) {
   // The workspace-reusing path must produce bit-identical results across
   // repeated calls (same seed) and match the workspace-free call.

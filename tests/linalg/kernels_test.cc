@@ -113,6 +113,103 @@ TEST(KernelsGemmTest, ThreadedIsBitwiseIdenticalToSingleThread) {
   }
 }
 
+// Restores the environment-default thread count on scope exit.
+struct ScopedGemmThreads {
+  explicit ScopedGemmThreads(int threads) { SetGemmThreads(threads); }
+  ~ScopedGemmThreads() { SetGemmThreads(0); }
+};
+
+TEST(KernelsGemmTest, DispatchIsBitwiseIdenticalAcrossThreadCounts) {
+  // Full Gemm() dispatch at awkward shapes: a single column (threaded GEMV
+  // row chunks), a single row (column chunks), and row counts that are not
+  // multiples of the blocked kernel's strip size. Shapes are big enough to
+  // cross both thread thresholds, so the parallel paths really run; the
+  // shape-only partitions must keep the bits identical to threads == 1.
+  struct GemmCase {
+    Index m, n, k;
+  };
+  const GemmCase cases[] = {
+      {2048, 1, 600},  // n == 1: row-chunked reference GEMV
+      {1, 2048, 600},  // m == 1: column-chunked reference GEMV
+      {301, 160, 64},  // blocked, m not a multiple of the task strip
+      {97, 257, 101},  // blocked, spills every blocking dimension
+  };
+  rng::Engine rng(2024);
+  for (const GemmCase& c : cases) {
+    const auto a = StoredOperand(Op::kNone, c.m, c.k, rng);
+    const auto b = StoredOperand(Op::kNone, c.k, c.n, rng);
+    std::vector<double> baseline(static_cast<std::size_t>(c.m * c.n));
+    {
+      ScopedGemmThreads scoped(1);
+      Gemm(Op::kNone, Op::kNone, c.m, c.n, c.k, 1.25, a.data(), c.k, b.data(),
+           c.n, 0.0, baseline.data(), c.n);
+    }
+    for (int threads : {2, 8}) {
+      ScopedGemmThreads scoped(threads);
+      std::vector<double> got(baseline.size(), -1.0);
+      Gemm(Op::kNone, Op::kNone, c.m, c.n, c.k, 1.25, a.data(), c.k, b.data(),
+           c.n, 0.0, got.data(), c.n);
+      EXPECT_EQ(0, std::memcmp(baseline.data(), got.data(),
+                               got.size() * sizeof(double)))
+          << "shape " << c.m << "x" << c.n << "x" << c.k << " at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(KernelsSymvTest, StripPartitionIsBitwiseIdenticalAcrossThreadCounts) {
+  // n = 700 crosses the strip threshold (two strips), n = 1500 uses more;
+  // the strip count and boundaries depend only on n, so every thread count
+  // must reproduce the threads == 1 bits exactly.
+  rng::Engine rng(501);
+  for (Index n : {Index{700}, Index{1500}}) {
+    std::vector<double> a(static_cast<std::size_t>(n * n));
+    for (double& v : a) v = rng.NextDouble() * 2.0 - 1.0;
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (double& v : x) v = rng.NextDouble() * 2.0 - 1.0;
+    std::vector<double> baseline(static_cast<std::size_t>(n), 0.5);
+    {
+      ScopedGemmThreads scoped(1);
+      SymvLower(n, 1.5, a.data(), n, x.data(), -0.5, baseline.data());
+    }
+    for (int threads : {2, 8}) {
+      ScopedGemmThreads scoped(threads);
+      std::vector<double> got(static_cast<std::size_t>(n), 0.5);
+      SymvLower(n, 1.5, a.data(), n, x.data(), -0.5, got.data());
+      EXPECT_EQ(0, std::memcmp(baseline.data(), got.data(),
+                               got.size() * sizeof(double)))
+          << "n=" << n << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(KernelsSymvTest, StripPartitionMatchesGemvReference) {
+  // Accuracy of the multi-strip path (the small-n test above only covers
+  // the single-strip layout): compare against the full symmetric GEMV.
+  const Index n = 700;
+  rng::Engine rng(502);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (double& v : a) v = rng.NextDouble() * 2.0 - 1.0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      a[static_cast<std::size_t>(i * n + j)] =
+          a[static_cast<std::size_t>(j * n + i)];
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.NextDouble() * 2.0 - 1.0;
+  std::vector<double> want(static_cast<std::size_t>(n));
+  GemmReference(Op::kNone, Op::kNone, n, 1, n, 1.0, a.data(), n, x.data(), 1,
+                0.0, want.data(), 1);
+  std::vector<double> got(static_cast<std::size_t>(n), 1e300);
+  SymvLower(n, 1.0, a.data(), n, x.data(), 0.0, got.data());
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                want[static_cast<std::size_t>(i)], 1e-11)
+        << i;
+  }
+}
+
 TEST(KernelsGemmTest, BetaZeroOverwritesUninitializedOutput) {
   // beta == 0 must not read C: signaling garbage (NaN) must be overwritten.
   const Index m = 5, n = 6, k = 4;
