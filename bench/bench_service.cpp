@@ -9,13 +9,19 @@
 //       prepare per request).
 //   BM_ServiceCachedAnswer — a warmed cache: requests after the first skip
 //       straight to the noisy release, submitted from 4 worker threads.
+//   BM_ServiceOverloadedBurstSheds — a warmed cache behind a tight
+//       admission bound (max_pending_requests = 8): a 256-request burst is
+//       mostly shed with typed UNAVAILABLE; the arm reports the p99 of the
+//       requests that WERE served, showing shedding keeps tail latency
+//       bounded instead of letting the queue grow.
 //
-// Both report manual time PER REQUEST, so the stored relative gate
-// (cached/cold ≤ 0.1, i.e. the cache must be at least 10× faster per
+// The first two report manual time PER REQUEST, so the stored relative
+// gate (cached/cold ≤ 0.1, i.e. the cache must be at least 10× faster per
 // request) is hardware-independent and enforces even under
 // LRM_BENCH_REPORT_ONLY. Counters surface the service-side latency
 // distribution (p50/p99 of prepare+answer service time), cache hit rate,
-// and throughput.
+// throughput, and the per-reason refusal counters (shed / budget /
+// validation / deadline) plus degraded releases.
 
 #include <benchmark/benchmark.h>
 
@@ -140,6 +146,77 @@ void BM_ServiceCachedAnswer512x1024(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServiceCachedAnswer512x1024)
+    ->Iterations(1)
+    ->Repetitions(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceOverloadedBurstSheds512x1024(benchmark::State& state) {
+  constexpr int kBurst = 256;
+  constexpr std::size_t kMaxPending = 8;
+  for (auto _ : state) {
+    lrm::service::AnswerServiceOptions options = ServiceBenchOptions(64);
+    options.max_pending_requests = kMaxPending;
+    lrm::service::AnswerService service(lrm::linalg::Vector(kN, 25.0),
+                                        options);
+    LRM_CHECK(service.RegisterTenant("bench", 1e6).ok());
+    const auto warmup = service.Answer(BenchRequest());
+    if (!warmup.ok()) {
+      state.SkipWithError(warmup.status().ToString().c_str());
+      return;
+    }
+
+    std::vector<std::future<
+        lrm::StatusOr<lrm::service::BatchAnswerResponse>>>
+        futures;
+    futures.reserve(kBurst);
+    lrm::WallTimer timer;
+    for (int i = 0; i < kBurst; ++i) {
+      futures.push_back(service.Submit(BenchRequest()));
+    }
+    std::vector<double> served_seconds;
+    served_seconds.reserve(kBurst);
+    for (auto& future : futures) {
+      auto response = future.get();
+      if (response.ok()) {
+        served_seconds.push_back(response->prepare_seconds +
+                                 response->answer_seconds);
+      } else if (response.status().code() !=
+                 lrm::StatusCode::kUnavailable) {
+        // Shedding is the point of the arm; anything else is a bug.
+        state.SkipWithError(response.status().ToString().c_str());
+        return;
+      }
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    if (served_seconds.empty()) {
+      state.SkipWithError("burst shed every request");
+      return;
+    }
+    // Per SERVED request: shed requests cost a synchronous refusal, not a
+    // worker; the time that matters is what admitted work experienced.
+    state.SetIterationTime(elapsed /
+                           static_cast<double>(served_seconds.size()));
+
+    const lrm::service::AnswerServiceStats stats = service.stats();
+    state.counters["burst"] = kBurst;
+    state.counters["served"] =
+        static_cast<double>(served_seconds.size());
+    state.counters["shed"] = static_cast<double>(stats.refused_shed);
+    state.counters["refused_budget"] =
+        static_cast<double>(stats.refused_budget);
+    state.counters["refused_validation"] =
+        static_cast<double>(stats.refused_validation);
+    state.counters["refused_deadline"] =
+        static_cast<double>(stats.refused_deadline);
+    state.counters["degraded"] =
+        static_cast<double>(stats.degraded_releases);
+    state.counters["p99_served_ms"] =
+        1e3 * lrm::eval::Percentile(served_seconds, 99.0);
+    state.counters["qps"] = served_seconds.size() / elapsed;
+  }
+}
+BENCHMARK(BM_ServiceOverloadedBurstSheds512x1024)
     ->Iterations(1)
     ->Repetitions(1)
     ->UseManualTime()

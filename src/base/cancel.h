@@ -1,0 +1,147 @@
+// Cooperative cancellation: a CancelSource owns the decision to stop
+// (an explicit Cancel() or a wall-clock deadline), and the CancelTokens it
+// hands out are cheap, copyable views that long-running work polls at its
+// natural checkpoints.
+//
+// The library never preempts a thread: cancellation only takes effect where
+// the work chooses to check — e.g. the ALM solver tests its token between
+// outer iterations (core/alm_solver.h), so an expired request aborts within
+// one iteration, with every invariant intact. A default-constructed token
+// is never cancelled and costs one null check per poll, so APIs can accept
+// a token unconditionally.
+//
+// Check() maps the two cancellation causes onto the two typed codes the
+// service tier's failure contract is written in: an explicit Cancel() →
+// StatusCode::kCancelled, a passed deadline → StatusCode::kDeadlineExceeded.
+
+#ifndef LRM_BASE_CANCEL_H_
+#define LRM_BASE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace lrm {
+
+class CancelSource;
+
+/// \brief Read-only view of a CancelSource. Copyable, thread-safe; a
+/// default-constructed token can never be cancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True if this token is connected to a source that could still cancel
+  /// it (i.e. not default-constructed).
+  bool can_be_cancelled() const { return state_ != nullptr; }
+
+  /// True once the source was cancelled or its deadline passed.
+  bool cancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_acquire) !=
+        static_cast<int>(StatusCode::kOk)) {
+      return true;
+    }
+    return state_->has_deadline &&
+           std::chrono::steady_clock::now() >= state_->deadline;
+  }
+
+  /// OK while live; a typed kCancelled / kDeadlineExceeded status —
+  /// prefixed with `what` — once cancelled. Long-running work returns this
+  /// status straight up the stack.
+  Status Check(std::string_view what) const {
+    if (state_ == nullptr) return Status::OK();
+    const int reason = state_->cancelled.load(std::memory_order_acquire);
+    if (reason == static_cast<int>(StatusCode::kCancelled)) {
+      return Status::Cancelled(std::string(what) + ": cancelled");
+    }
+    if (reason == static_cast<int>(StatusCode::kDeadlineExceeded) ||
+        (state_->has_deadline &&
+         std::chrono::steady_clock::now() >= state_->deadline)) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      ": deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// The deadline, if the source carries one (steady clock).
+  bool has_deadline() const {
+    return state_ != nullptr && state_->has_deadline;
+  }
+  std::chrono::steady_clock::time_point deadline() const {
+    return state_ != nullptr ? state_->deadline
+                             : std::chrono::steady_clock::time_point::max();
+  }
+
+ private:
+  friend class CancelSource;
+
+  struct State {
+    // StatusCode of the cancellation, kOk while live. Only ever transitions
+    // away from kOk (first cause wins).
+    std::atomic<int> cancelled{static_cast<int>(StatusCode::kOk)};
+    bool has_deadline = false;  // immutable after construction
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  explicit CancelToken(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+/// \brief Owner side: create one per unit of cancellable work, pass
+/// token() down the call stack, call Cancel() (or let the deadline pass)
+/// to stop it.
+class CancelSource {
+ public:
+  /// A source with no deadline; cancels only via Cancel().
+  CancelSource() : state_(std::make_shared<CancelToken::State>()) {}
+
+  /// A source whose tokens expire at `deadline` (steady clock).
+  static CancelSource WithDeadline(
+      std::chrono::steady_clock::time_point deadline) {
+    CancelSource source;
+    auto* state = const_cast<CancelToken::State*>(source.state_.get());
+    state->has_deadline = true;
+    state->deadline = deadline;
+    return source;
+  }
+
+  /// A source whose tokens expire `seconds` from now. Non-finite or
+  /// negative budgets are the caller's bug to validate; a zero/negative
+  /// budget yields an already-expired token.
+  static CancelSource WithTimeout(double seconds) {
+    return WithDeadline(std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds)));
+  }
+
+  /// Cancels every token (idempotent; the first cause wins, so a deadline
+  /// that already fired is recorded as the deadline, not as this Cancel()).
+  void Cancel() const {
+    auto* state = const_cast<CancelToken::State*>(state_.get());
+    const int cause =
+        state->has_deadline &&
+                std::chrono::steady_clock::now() >= state->deadline
+            ? static_cast<int>(StatusCode::kDeadlineExceeded)
+            : static_cast<int>(StatusCode::kCancelled);
+    int expected = static_cast<int>(StatusCode::kOk);
+    state->cancelled.compare_exchange_strong(expected, cause,
+                                             std::memory_order_acq_rel);
+  }
+
+  CancelToken token() const { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<const CancelToken::State> state_;
+};
+
+}  // namespace lrm
+
+#endif  // LRM_BASE_CANCEL_H_

@@ -40,6 +40,19 @@ enum class StatusCode : int {
   /// refusal: the request was well-formed but MUST NOT be served, and no
   /// partial or noiseless answer accompanies it.
   kResourceExhausted = 8,
+  /// The operation's deadline passed before it could complete. The work was
+  /// aborted cooperatively (base/cancel.h) and nothing was released; in the
+  /// service tier the request's budget charge is refunded.
+  kDeadlineExceeded = 9,
+  /// The component is temporarily unable to accept the request — e.g. the
+  /// answering service shed it because its worker queue is at capacity.
+  /// Retrying after a backoff is expected to succeed; the message carries a
+  /// retry-after hint.
+  kUnavailable = 10,
+  /// The operation was cancelled by its owner (explicit CancelSource::
+  /// Cancel(), or a service shutting down with the request still pending).
+  /// Nothing was released.
+  kCancelled = 11,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -89,6 +102,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string_view msg) {
     return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status Cancelled(std::string_view msg) {
+    return Status(StatusCode::kCancelled, msg);
   }
 
   /// True iff the status is OK.

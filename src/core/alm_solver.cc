@@ -140,6 +140,10 @@ void DecompositionSolver::ClearSeed() {
 }
 
 StatusOr<AlmState> DecompositionSolver::InitializeState(const Matrix& w) {
+  // Cheapest place to honor a deadline that expired while the request sat
+  // in a queue: before the (potentially expensive) SVD initialization.
+  LRM_RETURN_IF_ERROR(
+      cancel_token_.Check("DecompositionSolver::InitializeState"));
   const Index m = w.rows();
   const Index n = w.cols();
   if (m == 0 || n == 0) {
@@ -259,6 +263,11 @@ Status DecompositionSolver::RunAlternation(const Matrix& w, AlmState* state) {
 
   double previous_objective = std::numeric_limits<double>::infinity();
   for (int inner = 0; inner < options_.max_inner_iterations; ++inner) {
+    // Cooperative cancellation checkpoint: one atomic load (plus a clock
+    // read under a deadline) per B/L alternation, each of which costs
+    // multiple GEMMs — an expired request aborts within one alternation.
+    LRM_RETURN_IF_ERROR(
+        cancel_token_.Check("DecompositionSolver::RunAlternation"));
     // B update (Eq. 9): B = (βWLᵀ + πLᵀ)(βLLᵀ + I)⁻¹.
     if (options_.use_closed_form_b) {
       linalg::GemmInto(beta, w, false, l, true, 0.0, &ws.rhs);  // βW·Lᵀ
@@ -424,6 +433,7 @@ StatusOr<Decomposition> DecompositionSolver::Solve(const Matrix& w) {
 
   // --- Algorithm 1: inexact augmented Lagrangian loop. ---
   for (int outer = 1; outer <= options_.max_outer_iterations; ++outer) {
+    LRM_RETURN_IF_ERROR(cancel_token_.Check("DecompositionSolver::Solve"));
     LRM_RETURN_IF_ERROR(RunAlternation(w, &state));
     if (RecordIterateAndAdvanceSchedule(w, &state) == OuterAction::kStop) {
       break;

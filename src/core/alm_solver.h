@@ -24,7 +24,9 @@
 #define LRM_CORE_ALM_SOLVER_H_
 
 #include <limits>
+#include <utility>
 
+#include "base/cancel.h"
 #include "base/status_or.h"
 #include "core/decomposition.h"
 #include "core/decomposition_init.h"
@@ -144,6 +146,20 @@ class DecompositionSolver {
   /// Drops only a pending SeedFactors() seed, keeping retained factors.
   void ClearSeed();
 
+  /// Arms cooperative cancellation for subsequent solves: the token is
+  /// polled at initialization and between ALM iterations (outer and
+  /// inner), so a Solve() whose token expires aborts within one iteration
+  /// with the token's typed kDeadlineExceeded / kCancelled status.
+  /// Retained factors from earlier successful solves survive the abort; an
+  /// aborted solve retains nothing. A default-constructed token (the
+  /// default) disables cancellation; callers serving multiple requests
+  /// through one solver must re-arm (or clear) per request, since the
+  /// token persists across solves.
+  void set_cancel_token(CancelToken token) {
+    cancel_token_ = std::move(token);
+  }
+  const CancelToken& cancel_token() const { return cancel_token_; }
+
   /// Whether the most recent Solve() warm-started.
   bool last_was_warm() const { return last_was_warm_; }
 
@@ -194,6 +210,8 @@ class DecompositionSolver {
   // One-shot caller-supplied seed (hard seed; mismatch is an error).
   linalg::Matrix seed_b_, seed_l_;
   bool has_seed_ = false;
+
+  CancelToken cancel_token_;
 
   bool last_was_warm_ = false;
 };

@@ -10,6 +10,7 @@
 #ifndef LRM_CORE_LOW_RANK_MECHANISM_H_
 #define LRM_CORE_LOW_RANK_MECHANISM_H_
 
+#include "base/cancel.h"
 #include "core/alm_solver.h"
 #include "core/decomposition.h"
 #include "mechanism/mechanism.h"
@@ -80,6 +81,17 @@ class LowRankMechanism : public mechanism::Mechanism {
   /// the next Prepare() cold).
   DecompositionSolver& solver() { return solver_; }
   const DecompositionSolver& solver() const { return solver_; }
+
+  /// Arms cooperative cancellation for subsequent Prepare() calls: the
+  /// token is polled between ALM iterations, so a prepare whose deadline
+  /// passes fails with the token's typed status instead of holding its
+  /// thread for the full strategy search. The token persists until
+  /// replaced — a session serving multiple requests must re-arm (or pass a
+  /// default token) per request. Answer() never consults the token: a
+  /// release is milliseconds and always runs to completion.
+  void set_cancel_token(CancelToken token) {
+    solver_.set_cancel_token(std::move(token));
+  }
 
  protected:
   Status PrepareImpl() override;

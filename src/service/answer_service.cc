@@ -1,27 +1,75 @@
 #include "service/answer_service.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "base/string_util.h"
 #include "base/timer.h"
+#include "mechanism/laplace.h"
 
 namespace lrm::service {
+namespace {
+
+PreparedCacheOptions CacheOptionsWithInjector(
+    const AnswerServiceOptions& options) {
+  PreparedCacheOptions cache = options.cache;
+  if (cache.fault_injector == nullptr) {
+    cache.fault_injector = options.fault_injector;
+  }
+  return cache;
+}
+
+QueryBatcherOptions BatcherOptions(linalg::Index domain_size,
+                                   const AnswerServiceOptions& options) {
+  QueryBatcherOptions batcher;
+  batcher.domain_size = domain_size;
+  batcher.max_batch_queries = options.max_batch_queries;
+  batcher.max_linger_seconds = options.batch_linger_seconds;
+  return batcher;
+}
+
+}  // namespace
 
 AnswerService::AnswerService(linalg::Vector data,
                              AnswerServiceOptions options)
     : data_(std::move(data)),
       options_(options),
-      cache_(options.cache),
-      batcher_(QueryBatcherOptions{data_.size(), options.max_batch_queries}),
+      cache_(CacheOptionsWithInjector(options)),
+      batcher_(BatcherOptions(data_.size(), options)),
       pool_(std::make_unique<ThreadPool>(options.num_threads)) {
   LRM_CHECK_GT(data_.size(), 0);
+  StartLingerTicker();
 }
 
 AnswerService::~AnswerService() {
-  // Cut and dispatch whatever single queries are still pending so their
-  // futures resolve instead of throwing broken_promise, then drain.
-  FlushQueries();
-  Drain();
+  StopLingerTicker();
+  // Resolve every never-dispatched single-query future with a typed status
+  // instead of breaking its promise — and instead of spending tenants'
+  // budgets on strategy searches during destruction. The groups were never
+  // cut, so nothing was charged: discarding them owes no refund.
+  (void)batcher_.Flush();
+  decltype(pending_queries_) abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abandoned.swap(pending_queries_);
+  }
+  for (auto& [sequence, waiters] : abandoned) {
+    (void)sequence;
+    for (auto& [row, waiter] : waiters) {
+      (void)row;
+      waiter.set_value(Status::Cancelled(
+          "AnswerService: service destroyed before the batch group was "
+          "cut; the query was never charged"));
+    }
+  }
+  // In-flight work still completes normally; ServeGuarded keeps worker
+  // exceptions out of the pool, but a destructor must not throw either way.
+  try {
+    Drain();
+  } catch (...) {
+  }
 }
 
 Status AnswerService::RegisterTenant(const std::string& tenant,
@@ -38,16 +86,35 @@ rng::Engine AnswerService::EngineForRequest(std::uint64_t request_id) const {
   return rng::Engine(rng::SplitMix64(state));
 }
 
+CancelToken AnswerService::TokenForRequest(
+    const BatchAnswerRequest& request) const {
+  if (!std::isfinite(request.timeout_seconds)) return CancelToken();
+  // The source may die here; the token keeps the shared deadline state
+  // alive. The clock starts now — i.e. at admission, not at dispatch —
+  // so queueing delay counts against the request's budget.
+  return CancelSource::WithTimeout(request.timeout_seconds).token();
+}
+
 StatusOr<std::uint64_t> AnswerService::Admit(
     const BatchAnswerRequest& request) {
+  Status invalid = Status::OK();
   if (request.workload == nullptr) {
-    return Status::InvalidArgument("AnswerService: null workload");
-  }
-  if (request.workload->domain_size() != data_.size()) {
-    return Status::InvalidArgument(StrFormat(
+    invalid = Status::InvalidArgument("AnswerService: null workload");
+  } else if (request.workload->domain_size() != data_.size()) {
+    invalid = Status::InvalidArgument(StrFormat(
         "AnswerService: workload domain size %td does not match the "
         "service data (%td)",
         request.workload->domain_size(), data_.size()));
+  } else if (std::isnan(request.timeout_seconds) ||
+             request.timeout_seconds <= 0.0) {
+    invalid = Status::InvalidArgument(
+        "AnswerService: timeout_seconds must be positive (infinity means "
+        "no deadline)");
+  }
+  if (!invalid.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.refused_validation;
+    return invalid;
   }
   // The charge is the admission decision: it validates ε and the tenant,
   // and refuses (typed, ledger untouched) when the budget cannot cover the
@@ -57,7 +124,11 @@ StatusOr<std::uint64_t> AnswerService::Admit(
   std::lock_guard<std::mutex> lock(mu_);
   if (!charge.ok()) {
     if (charge.code() == StatusCode::kResourceExhausted) {
-      ++stats_.requests_refused;
+      ++stats_.refused_budget;
+    } else {
+      // Unknown tenant (FAILED_PRECONDITION) or malformed ε
+      // (INVALID_ARGUMENT): the request never should have been made.
+      ++stats_.refused_validation;
     }
     return charge;
   }
@@ -65,14 +136,78 @@ StatusOr<std::uint64_t> AnswerService::Admit(
   return next_request_id_++;
 }
 
+Status AnswerService::TryReserveSlot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_pending_requests > 0 &&
+      in_flight_ >= options_.max_pending_requests) {
+    ++stats_.refused_shed;
+    // Retry-after estimate: draining the current queue at the observed
+    // average serve time across the worker threads. Before any serve has
+    // completed, guess conservatively.
+    const double avg_serve =
+        completed_serves_ > 0
+            ? total_serve_seconds_ / static_cast<double>(completed_serves_)
+            : 0.05;
+    const double retry_after =
+        avg_serve * static_cast<double>(in_flight_) /
+        static_cast<double>(std::max(1, options_.num_threads));
+    return Status::Unavailable(StrFormat(
+        "AnswerService: shedding load (%llu async requests in flight, "
+        "limit %llu); retry after ~%.3f s",
+        static_cast<unsigned long long>(in_flight_),
+        static_cast<unsigned long long>(options_.max_pending_requests),
+        retry_after));
+  }
+  ++in_flight_;
+  return Status::OK();
+}
+
+void AnswerService::ReleaseSlot(double serve_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  if (serve_seconds >= 0.0) {
+    total_serve_seconds_ += serve_seconds;
+    ++completed_serves_;
+  }
+}
+
+Status AnswerService::DeadlineGate(const char* site,
+                                   const CancelToken& token) {
+  if (options_.fault_injector != nullptr) {
+    LRM_RETURN_IF_ERROR(options_.fault_injector->Check(site));
+  }
+  return token.Check(site);
+}
+
 StatusOr<BatchAnswerResponse> AnswerService::Serve(
-    const BatchAnswerRequest& request, std::uint64_t request_id) {
+    const BatchAnswerRequest& request, std::uint64_t request_id,
+    const CancelToken& token) {
+  if (options_.fault_injector != nullptr) {
+    // May THROW when the site is armed with ThrowAt — exactly the worker
+    // death ServeGuarded exists to contain.
+    const Status fault = options_.fault_injector->Check(kFaultSiteServe);
+    if (!fault.ok()) {
+      return ResolveServeFailure(request, request_id, fault,
+                                 /*prepare_seconds=*/0.0);
+    }
+  }
+
   WallTimer prepare_timer;
-  StatusOr<PreparedLease> lease = cache_.GetOrPrepare(request.workload);
+  Status gate = DeadlineGate(kFaultSiteDeadlineBeforePrepare, token);
+  if (!gate.ok()) {
+    return ResolveServeFailure(request, request_id, gate,
+                               prepare_timer.ElapsedSeconds());
+  }
+  StatusOr<PreparedLease> lease =
+      cache_.GetOrPrepare(request.workload, token);
   if (!lease.ok()) {
-    // Nothing was released; the charge must not stand.
-    (void)budget_.Refund(request.tenant, request.epsilon);
-    return lease.status();
+    return ResolveServeFailure(request, request_id, lease.status(),
+                               prepare_timer.ElapsedSeconds());
+  }
+  gate = DeadlineGate(kFaultSiteDeadlineBeforeAnswer, token);
+  if (!gate.ok()) {
+    return ResolveServeFailure(request, request_id, gate,
+                               prepare_timer.ElapsedSeconds());
   }
   const double prepare_seconds = prepare_timer.ElapsedSeconds();
 
@@ -81,6 +216,9 @@ StatusOr<BatchAnswerResponse> AnswerService::Serve(
   StatusOr<linalg::Vector> answers =
       lease->mechanism->Answer(data_, request.epsilon, engine);
   if (!answers.ok()) {
+    // The release itself failed, not the strategy search: the Laplace
+    // fallback's release would fail for the same reason, so refund and
+    // propagate instead of degrading.
     (void)budget_.Refund(request.tenant, request.epsilon);
     return answers.status();
   }
@@ -97,10 +235,75 @@ StatusOr<BatchAnswerResponse> AnswerService::Serve(
   return response;
 }
 
+StatusOr<BatchAnswerResponse> AnswerService::ResolveServeFailure(
+    const BatchAnswerRequest& request, std::uint64_t request_id,
+    Status cause, double prepare_seconds) {
+  if (request.allow_degraded) {
+    Status fault = Status::OK();
+    if (options_.fault_injector != nullptr) {
+      fault = options_.fault_injector->Check(kFaultSiteDegraded);
+    }
+    if (fault.ok()) {
+      // Identity-strategy release: Lap(1/ε) on every unit count, workload
+      // evaluated on the noisy counts. Plain ε-DP at the SAME charge the
+      // request already paid, from the SAME per-request noise stream the
+      // low-rank release would have used — so a degraded release is
+      // bitwise reproducible for a fixed seed and submission order.
+      mechanism::NoiseOnDataMechanism fallback;
+      if (fallback.Prepare(request.workload).ok()) {
+        WallTimer answer_timer;
+        rng::Engine engine = EngineForRequest(request_id);
+        StatusOr<linalg::Vector> answers =
+            fallback.Answer(data_, request.epsilon, engine);
+        if (answers.ok()) {
+          BatchAnswerResponse response;
+          response.request_id = request_id;
+          response.answers = std::move(answers).value();
+          response.degraded = true;
+          response.prepare_seconds = prepare_seconds;
+          response.answer_seconds = answer_timer.ElapsedSeconds();
+          const StatusOr<double> remaining =
+              budget_.Remaining(request.tenant);
+          response.remaining_budget =
+              remaining.ok() ? remaining.value() : 0.0;
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.degraded_releases;
+          return response;
+        }
+      }
+    }
+  }
+  // No answer was released on any path: the charge must not stand.
+  (void)budget_.Refund(request.tenant, request.epsilon);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cause.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.refused_deadline;
+    }
+  }
+  return cause;
+}
+
+StatusOr<BatchAnswerResponse> AnswerService::ServeGuarded(
+    const BatchAnswerRequest& request, std::uint64_t request_id,
+    const CancelToken& token) {
+  try {
+    return Serve(request, request_id, token);
+  } catch (const std::exception& e) {
+    (void)budget_.Refund(request.tenant, request.epsilon);
+    return Status::Internal(
+        StrFormat("AnswerService: worker task died: %s", e.what()));
+  } catch (...) {
+    (void)budget_.Refund(request.tenant, request.epsilon);
+    return Status::Internal(
+        "AnswerService: worker task died with a non-standard exception");
+  }
+}
+
 StatusOr<BatchAnswerResponse> AnswerService::Answer(
     const BatchAnswerRequest& request) {
   LRM_ASSIGN_OR_RETURN(const std::uint64_t request_id, Admit(request));
-  return Serve(request, request_id);
+  return ServeGuarded(request, request_id, TokenForRequest(request));
 }
 
 std::future<StatusOr<BatchAnswerResponse>> AnswerService::Submit(
@@ -108,16 +311,29 @@ std::future<StatusOr<BatchAnswerResponse>> AnswerService::Submit(
   auto promise =
       std::make_shared<std::promise<StatusOr<BatchAnswerResponse>>>();
   std::future<StatusOr<BatchAnswerResponse>> future = promise->get_future();
+  // Overload gate first: a shed request is refused before any charge, so
+  // shedding never perturbs the ledger.
+  const Status slot = TryReserveSlot();
+  if (!slot.ok()) {
+    promise->set_value(slot);
+    return future;
+  }
   const StatusOr<std::uint64_t> admitted = Admit(request);
   if (!admitted.ok()) {
+    ReleaseSlot(/*serve_seconds=*/-1.0);
     promise->set_value(admitted.status());
     return future;
   }
   const std::uint64_t request_id = admitted.value();
+  const CancelToken token = TokenForRequest(request);
   auto shared_request =
       std::make_shared<BatchAnswerRequest>(std::move(request));
-  pool_->Submit([this, promise, shared_request, request_id] {
-    promise->set_value(Serve(*shared_request, request_id));
+  pool_->Submit([this, promise, shared_request, request_id, token] {
+    WallTimer serve_timer;
+    StatusOr<BatchAnswerResponse> result =
+        ServeGuarded(*shared_request, request_id, token);
+    ReleaseSlot(serve_timer.ElapsedSeconds());
+    promise->set_value(std::move(result));
   });
   return future;
 }
@@ -147,7 +363,7 @@ std::future<StatusOr<double>> AnswerService::SubmitQuery(
 void AnswerService::FlushQueries() { DispatchBatches(batcher_.Flush()); }
 
 void AnswerService::DispatchBatches(
-    std::vector<QueryBatcher::ReadyBatch> batches) {
+    std::vector<QueryBatcher::ReadyBatch> batches, bool cut_by_linger) {
   for (QueryBatcher::ReadyBatch& batch : batches) {
     // Collect the batch's waiters up front.
     std::unordered_map<linalg::Index, std::promise<StatusOr<double>>>
@@ -160,6 +376,7 @@ void AnswerService::DispatchBatches(
         pending_queries_.erase(it);
       }
       ++stats_.batches_dispatched;
+      if (cut_by_linger) ++stats_.batches_cut_by_linger;
     }
 
     BatchAnswerRequest request;
@@ -170,20 +387,33 @@ void AnswerService::DispatchBatches(
     auto shared_waiters = std::make_shared<
         std::unordered_map<linalg::Index, std::promise<StatusOr<double>>>>(
         std::move(waiters));
-    const StatusOr<std::uint64_t> admitted = Admit(request);
-    if (!admitted.ok()) {
+    const auto refuse_all = [&shared_waiters](const Status& status) {
       for (auto& [row, waiter] : *shared_waiters) {
         (void)row;
-        waiter.set_value(admitted.status());
+        waiter.set_value(status);
       }
+    };
+    const Status slot = TryReserveSlot();
+    if (!slot.ok()) {
+      refuse_all(slot);
+      continue;
+    }
+    const StatusOr<std::uint64_t> admitted = Admit(request);
+    if (!admitted.ok()) {
+      ReleaseSlot(/*serve_seconds=*/-1.0);
+      refuse_all(admitted.status());
       continue;
     }
     const std::uint64_t request_id = admitted.value();
+    const CancelToken token = TokenForRequest(request);
     auto shared_request =
         std::make_shared<BatchAnswerRequest>(std::move(request));
-    pool_->Submit([this, shared_request, shared_waiters, request_id] {
+    pool_->Submit([this, shared_request, shared_waiters, request_id,
+                   token] {
+      WallTimer serve_timer;
       const StatusOr<BatchAnswerResponse> response =
-          Serve(*shared_request, request_id);
+          ServeGuarded(*shared_request, request_id, token);
+      ReleaseSlot(serve_timer.ElapsedSeconds());
       for (auto& [row, waiter] : *shared_waiters) {
         if (response.ok()) {
           waiter.set_value(response.value().answers[row]);
@@ -193,6 +423,36 @@ void AnswerService::DispatchBatches(
       }
     });
   }
+}
+
+void AnswerService::StartLingerTicker() {
+  const double linger = options_.batch_linger_seconds;
+  if (!std::isfinite(linger) || linger <= 0.0) return;
+  // Tick at a quarter of the linger bound (clamped to [1ms, 250ms]) so a
+  // stale group overshoots its bound by at most ~25% at sane settings.
+  const auto period = std::chrono::duration<double>(
+      std::min(std::max(linger / 4.0, 0.001), 0.25));
+  ticker_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> lock(ticker_mu_);
+    while (!ticker_stop_) {
+      ticker_cv_.wait_for(lock, period, [this] { return ticker_stop_; });
+      if (ticker_stop_) break;
+      lock.unlock();
+      DispatchBatches(
+          batcher_.TakeExpired(std::chrono::steady_clock::now()),
+          /*cut_by_linger=*/true);
+      lock.lock();
+    }
+  });
+}
+
+void AnswerService::StopLingerTicker() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
 }
 
 void AnswerService::Drain() { pool_->Wait(); }

@@ -12,6 +12,8 @@ QueryBatcher::QueryBatcher(QueryBatcherOptions options)
     : options_(options) {
   LRM_CHECK_GT(options_.domain_size, 0);
   LRM_CHECK_GT(options_.max_batch_queries, 0);
+  LRM_CHECK(!std::isnan(options_.max_linger_seconds) &&
+            options_.max_linger_seconds > 0.0);
 }
 
 StatusOr<QueryBatcher::Ticket> QueryBatcher::Add(const std::string& tenant,
@@ -32,7 +34,10 @@ StatusOr<QueryBatcher::Ticket> QueryBatcher::Add(const std::string& tenant,
   }
   std::lock_guard<std::mutex> lock(mu_);
   Group& group = groups_[{tenant, epsilon}];
-  if (group.rows.empty()) group.sequence = next_sequence_++;
+  if (group.rows.empty()) {
+    group.sequence = next_sequence_++;
+    group.created = std::chrono::steady_clock::now();
+  }
   Ticket ticket;
   ticket.batch_sequence = group.sequence;
   ticket.row = static_cast<linalg::Index>(group.rows.size());
@@ -65,6 +70,34 @@ std::vector<QueryBatcher::ReadyBatch> QueryBatcher::TakeReady() {
   for (auto it = groups_.begin(); it != groups_.end();) {
     if (static_cast<linalg::Index>(it->second.rows.size()) >=
         options_.max_batch_queries) {
+      ready.push_back(CutGroup(it->first.first, it->first.second,
+                               std::move(it->second)));
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const ReadyBatch& a, const ReadyBatch& b) {
+              return a.sequence < b.sequence;
+            });
+  return ready;
+}
+
+std::vector<QueryBatcher::ReadyBatch> QueryBatcher::TakeExpired(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<ReadyBatch> ready;
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool linger_enabled = std::isfinite(options_.max_linger_seconds);
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    const Group& group = it->second;
+    const bool full = static_cast<linalg::Index>(group.rows.size()) >=
+                      options_.max_batch_queries;
+    const bool expired =
+        linger_enabled &&
+        std::chrono::duration<double>(now - group.created).count() >=
+            options_.max_linger_seconds;
+    if (full || expired) {
       ready.push_back(CutGroup(it->first.first, it->first.second,
                                std::move(it->second)));
       it = groups_.erase(it);

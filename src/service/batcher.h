@@ -12,7 +12,9 @@
 #ifndef LRM_SERVICE_BATCHER_H_
 #define LRM_SERVICE_BATCHER_H_
 
+#include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +35,13 @@ struct QueryBatcherOptions {
   /// A (tenant, ε) group is cut into a batch once it holds this many
   /// queries.
   linalg::Index max_batch_queries = 64;
+
+  /// Maximum time a group may linger un-cut after its FIRST query was
+  /// admitted before TakeExpired() considers it ready. Infinity (the
+  /// default) disables time-based cuts: a partial group then waits for
+  /// max_batch_queries or Flush(). A sparse tenant's first query would
+  /// otherwise wait unboundedly for batch-mates.
+  double max_linger_seconds = std::numeric_limits<double>::infinity();
 };
 
 /// \brief Coalesces single linear queries into per-(tenant, ε) workload
@@ -66,6 +75,13 @@ class QueryBatcher {
   /// Removes and returns every group that reached max_batch_queries.
   std::vector<ReadyBatch> TakeReady();
 
+  /// Removes and returns every group whose first query was admitted at or
+  /// before `now - max_linger_seconds` (plus any group that independently
+  /// reached max_batch_queries). Taking `now` as a parameter keeps the cut
+  /// decision testable without sleeping; production callers pass
+  /// steady_clock::now(). No-op when max_linger_seconds is infinite.
+  std::vector<ReadyBatch> TakeExpired(std::chrono::steady_clock::time_point now);
+
   /// Removes and returns ALL pending groups, full or not, in group-creation
   /// order.
   std::vector<ReadyBatch> Flush();
@@ -77,6 +93,8 @@ class QueryBatcher {
   struct Group {
     std::uint64_t sequence = 0;
     std::vector<linalg::Vector> rows;
+    // When the group's first query was admitted (the linger clock).
+    std::chrono::steady_clock::time_point created;
   };
 
   ReadyBatch CutGroup(const std::string& tenant, double epsilon,

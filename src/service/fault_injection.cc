@@ -1,0 +1,87 @@
+#include "service/fault_injection.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lrm::service {
+
+void FaultInjector::FailAt(const std::string& site, Status status,
+                           std::int64_t skip, std::int64_t times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Plan plan;
+  plan.throws = false;
+  plan.status = std::move(status);
+  plan.skip = skip;
+  plan.remaining = times;
+  sites_[site].plan = std::move(plan);
+}
+
+void FaultInjector::ThrowAt(const std::string& site,
+                            const std::string& message, std::int64_t skip,
+                            std::int64_t times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Plan plan;
+  plan.throws = true;
+  plan.message = message;
+  plan.skip = skip;
+  plan.remaining = times;
+  sites_[site].plan = std::move(plan);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.plan.reset();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+Status FaultInjector::Check(const std::string& site) {
+  bool should_throw = false;
+  std::string message;
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& s = sites_[site];
+    ++s.hits;
+    if (!s.plan.has_value()) return Status::OK();
+    Plan& plan = *s.plan;
+    if (plan.skip > 0) {
+      --plan.skip;
+      return Status::OK();
+    }
+    if (plan.remaining == 0) {
+      s.plan.reset();
+      return Status::OK();
+    }
+    if (plan.remaining > 0) --plan.remaining;
+    ++s.fired;
+    if (plan.throws) {
+      should_throw = true;
+      message = plan.message;
+    } else {
+      result = plan.status;
+    }
+    if (plan.remaining == 0) s.plan.reset();
+  }
+  // Throw outside the lock so the injector stays usable from the catch.
+  if (should_throw) throw std::runtime_error(message);
+  return result;
+}
+
+std::int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.hits : 0;
+}
+
+std::int64_t FaultInjector::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.fired : 0;
+}
+
+}  // namespace lrm::service

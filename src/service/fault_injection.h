@@ -1,0 +1,103 @@
+// Deterministic fault injection for the answering service's failure paths.
+//
+// Production code asks "should this step fail?" at a handful of named
+// sites; a test arms a site with exactly which invocation fails, how many
+// times, and with what status (or exception). There is NO randomness —
+// triggers are pure invocation counters — so a test that injects "the 3rd
+// prepare fails" reproduces bit-for-bit, and a run that re-executes the
+// same submission order hits the same faults. In production the injector
+// pointer is simply null and every Check() inlines to nothing.
+//
+// This is the seam tests/service/fault_injection_test.cc uses to prove the
+// service's two global invariants under arbitrary failure placement:
+//   * ledger conservation — ε spent == Σ ε of requests that actually
+//     released an answer (degraded or not), and
+//   * typed resolution — every future resolves with a Status; no broken
+//     promises, no hangs.
+
+#ifndef LRM_SERVICE_FAULT_INJECTION_H_
+#define LRM_SERVICE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "base/status.h"
+
+namespace lrm::service {
+
+// Instrumented sites. Constants rather than ad-hoc literals so tests and
+// production code cannot drift apart silently.
+//
+// The strategy search inside PreparedMechanismCache::GetOrPrepare (the
+// owner of a coalesced prepare checks it immediately before solving).
+inline constexpr char kFaultSitePrepare[] = "cache.prepare";
+// Entry of AnswerService::Serve — the body of a worker-pool task. Armed
+// with Throw(), this simulates a task that dies by exception.
+inline constexpr char kFaultSiteServe[] = "service.serve";
+// The deadline gates inside Serve: arming these with a kDeadlineExceeded
+// status forces "the deadline passed exactly here" without real clocks.
+inline constexpr char kFaultSiteDeadlineBeforePrepare[] =
+    "service.deadline.before_prepare";
+inline constexpr char kFaultSiteDeadlineBeforeAnswer[] =
+    "service.deadline.before_answer";
+// The identity-strategy fallback release (AnswerService::DegradedRelease):
+// failing it drives the refund-everything terminal path.
+inline constexpr char kFaultSiteDegraded[] = "service.degraded";
+
+/// \brief Site-keyed, invocation-counted fault plan. Thread-safe; shared
+/// by every component of one AnswerService via
+/// AnswerServiceOptions::fault_injector.
+class FaultInjector {
+ public:
+  /// Arms `site`: after `skip` more un-faulted invocations, the next
+  /// `times` invocations (negative = every one from then on) return
+  /// `status` from Check(). Re-arming a site replaces its plan; counters
+  /// of past invocations are kept.
+  void FailAt(const std::string& site, Status status, std::int64_t skip = 0,
+              std::int64_t times = 1);
+
+  /// Like FailAt, but the triggered Check() THROWS std::runtime_error
+  /// (`message`) instead of returning — exercising the exception-safety of
+  /// worker-pool tasks, which must still resolve their promises.
+  void ThrowAt(const std::string& site, const std::string& message,
+               std::int64_t skip = 0, std::int64_t times = 1);
+
+  /// Removes the plan (not the counters) for `site`.
+  void Disarm(const std::string& site);
+
+  /// Removes every plan and every counter.
+  void Reset();
+
+  /// Called by production code at each instrumented site. OK (and counted)
+  /// when the site is unarmed or the plan says not yet.
+  Status Check(const std::string& site);
+
+  /// Total invocations of `site` so far (armed or not).
+  std::int64_t hits(const std::string& site) const;
+  /// How many invocations of `site` were actually faulted.
+  std::int64_t fired(const std::string& site) const;
+
+ private:
+  struct Plan {
+    bool throws = false;
+    Status status;
+    std::string message;
+    std::int64_t skip = 0;       // un-faulted invocations left before firing
+    std::int64_t remaining = 1;  // faulted invocations left; negative = ∞
+  };
+  struct Site {
+    std::int64_t hits = 0;
+    std::int64_t fired = 0;
+    std::optional<Plan> plan;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+}  // namespace lrm::service
+
+#endif  // LRM_SERVICE_FAULT_INJECTION_H_

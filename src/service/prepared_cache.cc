@@ -1,5 +1,6 @@
 #include "service/prepared_cache.h"
 
+#include <chrono>
 #include <utility>
 
 namespace lrm::service {
@@ -13,7 +14,7 @@ PreparedMechanismCache::PreparedMechanismCache(PreparedCacheOptions options)
 }
 
 StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
-    std::shared_ptr<const workload::Workload> workload) {
+    std::shared_ptr<const workload::Workload> workload, CancelToken token) {
   if (workload == nullptr) {
     return Status::InvalidArgument(
         "PreparedMechanismCache::GetOrPrepare: null workload");
@@ -55,8 +56,19 @@ StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
 
   if (!owner) {
     // Another thread is preparing this exact workload; share its result.
+    // Poll this caller's own token while waiting: the owner may be working
+    // toward a later deadline, and a waiter must not overstay its own.
     std::unique_lock<std::mutex> lock(flight->mu);
-    flight->done.wait(lock, [&flight] { return flight->finished; });
+    if (token.can_be_cancelled()) {
+      while (!flight->finished) {
+        LRM_RETURN_IF_ERROR(
+            token.Check("PreparedMechanismCache::GetOrPrepare (wait)"));
+        flight->done.wait_for(lock, std::chrono::milliseconds(10),
+                              [&flight] { return flight->finished; });
+      }
+    } else {
+      flight->done.wait(lock, [&flight] { return flight->finished; });
+    }
     StatusOr<PreparedLease> shared = flight->result;
     if (shared.ok()) {
       // This caller paid a wait, not a strategy search.
@@ -66,9 +78,33 @@ StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
     return shared;
   }
 
-  // Expensive part, outside every lock.
+  // Expensive part, outside every lock. Gate it first: an already-expired
+  // deadline (or an armed fault plan) must not start a strategy search.
+  Status gate = Status::OK();
+  if (options_.fault_injector != nullptr) {
+    gate = options_.fault_injector->Check(kFaultSitePrepare);
+  }
+  if (gate.ok()) {
+    gate = token.Check("PreparedMechanismCache::GetOrPrepare");
+  }
+  if (!gate.ok()) {
+    StatusOr<PreparedLease> failure(gate);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      in_flight_.erase(fp);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->result = failure;
+      flight->finished = true;
+    }
+    flight->done.notify_all();
+    return failure;
+  }
+
   auto mechanism =
       std::make_shared<core::LowRankMechanism>(options_.mechanism);
+  mechanism->set_cancel_token(token);
   Status prepare_status = Status::OK();
   bool warm = false;
   if (donor != nullptr) {
@@ -77,8 +113,11 @@ StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
     warm = prepare_status.ok();
     // A failed warm start (e.g. hint rank incompatible with an explicit
     // options.rank) falls back to a cold prepare rather than failing the
-    // request.
-    if (!prepare_status.ok()) {
+    // request — unless the failure IS the cancellation, which a retry
+    // would only hit again.
+    if (!prepare_status.ok() &&
+        prepare_status.code() != StatusCode::kDeadlineExceeded &&
+        prepare_status.code() != StatusCode::kCancelled) {
       prepare_status = mechanism->Prepare(workload);
     }
   } else {

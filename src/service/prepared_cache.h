@@ -22,8 +22,10 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "base/cancel.h"
 #include "base/status_or.h"
 #include "core/low_rank_mechanism.h"
+#include "service/fault_injection.h"
 #include "service/fingerprint.h"
 #include "workload/workload.h"
 
@@ -44,6 +46,11 @@ struct PreparedCacheOptions {
   /// workload shape matches (PrepareWithHint with that entry's
   /// decomposition). Off forces every miss cold.
   bool warm_start_misses = true;
+
+  /// Test-only fault seam, consulted at kFaultSitePrepare immediately
+  /// before a strategy search. Not owned; must outlive the cache. Null (the
+  /// default) disables injection entirely.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// \brief Running cache statistics (monotonic counters).
@@ -87,8 +94,19 @@ class PreparedMechanismCache {
   /// it on miss. The returned mechanism is shared and immutable — call its
   /// const Answer() concurrently from any thread. Errors from preparation
   /// propagate (and are not cached: a later retry re-prepares).
+  ///
+  /// `token` bounds the work this call may do: the owner of a miss checks
+  /// it before starting the strategy search and the solver polls it between
+  /// ALM iterations, so an expired deadline aborts within one iteration
+  /// with the token's typed status. A cancelled prepare is never cached.
+  /// Coalesced waiters poll their OWN token while waiting: a waiter whose
+  /// deadline passes abandons the wait (the owner — who may have a later
+  /// deadline — keeps preparing, and its result is still cached). When the
+  /// owner's prepare fails, every waiter coalesced onto it inherits the
+  /// owner's failure status.
   StatusOr<PreparedLease> GetOrPrepare(
-      std::shared_ptr<const workload::Workload> workload);
+      std::shared_ptr<const workload::Workload> workload,
+      CancelToken token = {});
 
   PreparedCacheStats stats() const;
   std::size_t size() const;

@@ -1,0 +1,92 @@
+// CancelSource / CancelToken: typed cancellation causes, deadline
+// semantics, first-cause-wins, and cross-thread visibility.
+
+#include "base/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace lrm {
+namespace {
+
+TEST(CancelTest, DefaultTokenNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check("work").ok());
+  EXPECT_FALSE(token.has_deadline());
+}
+
+TEST(CancelTest, ExplicitCancelIsTypedCancelled) {
+  CancelSource source;
+  CancelToken token = source.token();
+  EXPECT_TRUE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check("work").ok());
+
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  const Status status = token.Check("AnswerService::Serve");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  // The caller's context is in the message, for logs and test failures.
+  EXPECT_NE(status.message().find("AnswerService::Serve"),
+            std::string::npos);
+}
+
+TEST(CancelTest, ExpiredDeadlineIsTypedDeadlineExceeded) {
+  const CancelSource source = CancelSource::WithTimeout(-1.0);
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check("work").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTest, FutureDeadlineStaysLiveUntilItPasses) {
+  const CancelSource source = CancelSource::WithTimeout(3600.0);
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check("work").ok());
+}
+
+TEST(CancelTest, FirstCauseWins) {
+  // A deadline that already fired is not overwritten by a later Cancel():
+  // the work aborted because time ran out, and the status says so.
+  const CancelSource source = CancelSource::WithTimeout(-1.0);
+  const CancelToken token = source.token();
+  source.Cancel();
+  EXPECT_EQ(token.Check("work").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTest, TokenOutlivesSourceAndCopiesShareState) {
+  CancelToken token;
+  {
+    CancelSource source;
+    token = source.token();
+    const CancelToken copy = token;
+    source.Cancel();
+    EXPECT_TRUE(copy.cancelled());
+  }
+  // The source is gone; the token still reports the decision.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check("work").code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTest, CancellationIsVisibleAcrossThreads) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  std::thread worker([token] {
+    // Poll like the ALM solver does between iterations.
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  source.Cancel();
+  worker.join();
+  EXPECT_EQ(token.Check("work").code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace lrm

@@ -409,6 +409,49 @@ TEST(DecompositionSolverTest, ExplicitRankChangeForcesColdSolve) {
   EXPECT_EQ(resized->b.cols(), 8);
 }
 
+TEST(DecompositionSolverTest, CancelledTokenAbortsSolveTyped) {
+  const Matrix w = LowRankMatrix(12, 16, 20, 4);
+  DecompositionOptions options;
+  options.gamma = 0.1;
+  DecompositionSolver solver(options);
+
+  CancelSource source;
+  source.Cancel();
+  solver.set_cancel_token(source.token());
+  const StatusOr<Decomposition> aborted = solver.Solve(w);
+  EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+  // An aborted solve retains nothing.
+  EXPECT_FALSE(solver.has_retained_factors());
+
+  // An expired deadline maps to the other typed cause.
+  solver.set_cancel_token(CancelSource::WithTimeout(-1.0).token());
+  EXPECT_EQ(solver.Solve(w).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  // Clearing the token (tokens persist across solves) restores service.
+  solver.set_cancel_token(CancelToken());
+  EXPECT_TRUE(solver.Solve(w).ok());
+}
+
+TEST(DecompositionSolverTest, AbortedSolveKeepsEarlierRetainedFactors) {
+  const Matrix w = LowRankMatrix(13, 16, 20, 4);
+  DecompositionOptions options;
+  options.gamma = 0.1;
+  DecompositionSolver solver(options);
+  ASSERT_TRUE(solver.Solve(w).ok());
+  ASSERT_TRUE(solver.has_retained_factors());
+
+  solver.set_cancel_token(CancelSource::WithTimeout(-1.0).token());
+  EXPECT_FALSE(solver.Solve(w).ok());
+  // Factors from the earlier successful solve survive the abort, so the
+  // session warm-starts again once the token is cleared.
+  EXPECT_TRUE(solver.has_retained_factors());
+  solver.set_cancel_token(CancelToken());
+  const StatusOr<Decomposition> resumed = solver.Solve(w);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(resumed->warm_started);
+}
+
 TEST(DecompositionSolverTest, WarmSolveIsDeterministic) {
   const Matrix w = LowRankMatrix(11, 20, 26, 5);
   DecompositionOptions options;

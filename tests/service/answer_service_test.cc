@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <limits>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "base/check.h"
@@ -90,7 +93,8 @@ TEST(AnswerServiceTest, BudgetExhaustionIsTypedAndChargesNothing) {
   const auto refused = service.Answer(MakeRequest("acme", 0.25, 1));
   EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
   EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.05);
-  EXPECT_EQ(service.stats().requests_refused, 1);
+  EXPECT_EQ(service.stats().refused_budget, 1);
+  EXPECT_EQ(service.stats().refused_validation, 0);
 
   // The typed refusal also surfaces through the async path, immediately.
   auto future = service.Submit(MakeRequest("acme", 0.25, 1));
@@ -124,8 +128,17 @@ TEST(AnswerServiceTest, AdmissionValidatesRequests) {
                 .code(),
             StatusCode::kInvalidArgument);
 
-  // None of the rejected requests consumed budget.
+  BatchAnswerRequest bad_timeout = MakeRequest("acme", 0.1, 1);
+  bad_timeout.timeout_seconds = -2.0;
+  EXPECT_EQ(service.Answer(bad_timeout).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // None of the rejected requests consumed budget, and all were counted as
+  // validation refusals (the unknown tenant included: it never should have
+  // reached the ledger).
   EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+  EXPECT_EQ(service.stats().refused_validation, 5);
+  EXPECT_EQ(service.stats().refused_budget, 0);
 }
 
 TEST(AnswerServiceTest, FailedPrepareRefundsTheCharge) {
@@ -244,16 +257,131 @@ TEST(AnswerServiceTest, FlushReleasesPartialGroupsAndRefusalsReachWaiters) {
   EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.05);
 }
 
-TEST(AnswerServiceTest, DestructorResolvesPendingQueryFutures) {
-  auto future = [] {
+TEST(AnswerServiceTest, DestructorResolvesPendingQueryFuturesCancelled) {
+  // Destruction with a half-full batch group: every undispatched future
+  // must resolve with the typed CANCELLED status — not hang, not throw
+  // broken_promise, and not spend budget on a strategy search during
+  // teardown (the group was never cut, so nothing was ever charged).
+  std::vector<std::future<StatusOr<double>>> futures;
+  double remaining_at_death = -1.0;
+  {
     AnswerServiceOptions options = FastOptions();
-    options.max_batch_queries = 64;
+    options.max_batch_queries = 64;  // nothing cuts on its own
     AnswerService service(ServiceData(), options);
     LRM_CHECK(service.RegisterTenant("acme", 1.0).ok());
-    return service.SubmitQuery("acme", 0.25, Vector(kDomain, 1.0));
-    // Service dies here with the group uncut: the destructor must flush.
-  }();
-  EXPECT_TRUE(future.get().ok());
+    for (int i = 0; i < 3; ++i) {
+      futures.push_back(
+          service.SubmitQuery("acme", 0.25, Vector(kDomain, 1.0)));
+    }
+    remaining_at_death = service.RemainingBudget("acme").value();
+  }
+  for (auto& future : futures) {
+    const auto result = future.get();
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_DOUBLE_EQ(remaining_at_death, 1.0);
+}
+
+TEST(AnswerServiceTest, DeadlineAbortsPrepareAndRefundsWhenNotDegradable) {
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  BatchAnswerRequest request = MakeRequest("acme", 0.25, 1);
+  request.timeout_seconds = 1e-9;  // expired before the strategy search
+  request.allow_degraded = false;
+  const auto refused = service.Answer(request);
+  EXPECT_EQ(refused.status().code(), StatusCode::kDeadlineExceeded);
+  // Nothing was released, so the admission charge was refunded.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+  EXPECT_EQ(service.stats().refused_deadline, 1);
+  EXPECT_EQ(service.stats().degraded_releases, 0);
+}
+
+TEST(AnswerServiceTest, DeadlineDegradesToLaplaceWhenAllowed) {
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  BatchAnswerRequest request = MakeRequest("acme", 0.25, 1);
+  request.timeout_seconds = 1e-9;
+  const auto degraded = service.Answer(request);  // allow_degraded default
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->answers.size(), 12);
+  EXPECT_VECTOR_FINITE(degraded->answers);
+  // The fallback release spent the SAME ε the low-rank release would have.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.75);
+  EXPECT_EQ(service.stats().degraded_releases, 1);
+  EXPECT_EQ(service.stats().refused_deadline, 0);
+}
+
+TEST(AnswerServiceTest, DegradedReleaseIsBitwiseReproducible) {
+  const auto run = [] {
+    AnswerService service(ServiceData(), FastOptions());
+    LRM_CHECK(service.RegisterTenant("acme", 1.0).ok());
+    BatchAnswerRequest request = MakeRequest("acme", 0.25, 7);
+    request.timeout_seconds = 1e-9;
+    auto response = service.Answer(request);
+    LRM_CHECK(response.ok());
+    LRM_CHECK(response->degraded);
+    return std::move(response).value().answers;
+  };
+  // Same seed, same submission order ⇒ the degraded release draws from the
+  // same per-request stream and is bitwise identical.
+  EXPECT_VECTOR_NEAR(run(), run(), 0.0);
+}
+
+TEST(AnswerServiceTest, OverloadShedsSubmitWithTypedUnavailable) {
+  AnswerServiceOptions options = FastOptions(/*num_threads=*/1);
+  options.max_pending_requests = 1;
+  AnswerService service(ServiceData(), options);
+  ASSERT_TRUE(service.RegisterTenant("acme", 100.0).ok());
+
+  // Burst past the single slot: everything beyond it is shed synchronously
+  // with UNAVAILABLE, before any budget charge. Budget is ample and the
+  // requests are valid, so UNAVAILABLE is the only possible failure.
+  std::vector<std::future<StatusOr<BatchAnswerResponse>>> futures;
+  for (int i = 0; i < 9; ++i) {
+    futures.push_back(service.Submit(MakeRequest("acme", 0.25, 1)));
+  }
+  service.Drain();
+
+  int served = 0;
+  int shed = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (result.ok()) {
+      ++served;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+      // The refusal carries a retry-after hint.
+      EXPECT_NE(result.status().message().find("retry after"),
+                std::string::npos);
+      ++shed;
+    }
+  }
+  EXPECT_GT(served, 0);
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(service.stats().refused_shed, shed);
+  // ε was spent exactly by the requests that released answers.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(),
+                   100.0 - 0.25 * served);
+}
+
+TEST(AnswerServiceTest, LingerTickerCutsStaleGroups) {
+  AnswerServiceOptions options = FastOptions();
+  options.max_batch_queries = 64;  // count-based cuts never fire
+  options.batch_linger_seconds = 0.02;
+  AnswerService service(ServiceData(), options);
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  auto future = service.SubmitQuery("acme", 0.25, Vector(kDomain, 1.0));
+  // Without FlushQueries, only the linger ticker can cut this group.
+  const auto answer = future.get();
+  ASSERT_TRUE(answer.ok());
+  service.Drain();
+  EXPECT_EQ(service.stats().batches_dispatched, 1);
+  EXPECT_GE(service.stats().batches_cut_by_linger, 1);
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.75);
 }
 
 }  // namespace

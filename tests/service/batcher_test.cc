@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <limits>
 
 #include "linalg/vector.h"
@@ -98,6 +99,55 @@ TEST(QueryBatcherTest, TenantsAndEpsilonsNeverCoalesce) {
   EXPECT_DOUBLE_EQ(all[2].epsilon, 0.1);
   EXPECT_LT(all[0].sequence, all[1].sequence);
   EXPECT_LT(all[1].sequence, all[2].sequence);
+}
+
+TEST(QueryBatcherTest, TakeExpiredCutsOnlyGroupsPastTheLingerBound) {
+  QueryBatcherOptions options{/*domain_size=*/8, /*max_batch_queries=*/10};
+  options.max_linger_seconds = 0.5;
+  QueryBatcher batcher(options);
+  // TakeExpired takes `now` as a parameter, so the linger decision is
+  // tested without sleeping: the group's clock started at Add time.
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 0)).ok());
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 1)).ok());
+
+  // Not yet: the group is younger than the bound.
+  EXPECT_TRUE(batcher.TakeExpired(start).empty());
+  EXPECT_EQ(batcher.pending_queries(), 2);
+
+  // Well past the bound: the partial group is cut.
+  const auto expired =
+      batcher.TakeExpired(start + std::chrono::seconds(2));
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].workload->num_queries(), 2);
+  EXPECT_EQ(batcher.pending_queries(), 0);
+}
+
+TEST(QueryBatcherTest, LingerClockRestartsWithEachNewGroup) {
+  QueryBatcherOptions options{/*domain_size=*/8, /*max_batch_queries=*/10};
+  options.max_linger_seconds = 0.5;
+  QueryBatcher batcher(options);
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 0)).ok());
+  const auto later = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(2);
+  ASSERT_EQ(batcher.TakeExpired(later).size(), 1u);
+  // The same key starts a NEW group with a fresh linger clock: queries
+  // added after a cut are not penalized by the old group's age.
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 1)).ok());
+  EXPECT_TRUE(batcher.TakeExpired(std::chrono::steady_clock::now()).empty());
+  EXPECT_EQ(batcher.pending_queries(), 1);
+}
+
+TEST(QueryBatcherTest, InfiniteLingerDisablesTimeBasedCuts) {
+  QueryBatcher batcher = MakeBatcher(/*domain=*/8, /*max_batch=*/3);
+  ASSERT_TRUE(batcher.Add("t", 0.5, UnitQuery(8, 0)).ok());
+  // Default options: no linger bound, so even a far-future `now` cuts
+  // nothing (a full group still would).
+  EXPECT_TRUE(batcher
+                  .TakeExpired(std::chrono::steady_clock::now() +
+                               std::chrono::hours(24 * 365))
+                  .empty());
+  EXPECT_EQ(batcher.pending_queries(), 1);
 }
 
 TEST(QueryBatcherTest, SequenceAdvancesAcrossCuts) {

@@ -113,6 +113,70 @@ TEST(BudgetManagerTest, RefundRestoresAndClamps) {
   EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 1.0);
 }
 
+TEST(BudgetManagerTest, ConcurrentRefundsAndChargesConserveTheLedger) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 10.0).ok());
+  // Half the threads run the service's failure path (charge, then refund
+  // the same ε), half run the success path (charge only). However the
+  // operations interleave, the end state must be exactly the successful
+  // charges: refunds may never mint budget and never erase another
+  // thread's spend.
+  constexpr int kPairs = 4;
+  constexpr int kRounds = 50;
+  constexpr double kEpsilon = 0.01;
+  std::atomic<int> kept{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2 * kPairs; ++t) {
+    const bool refunder = (t % 2 == 0);
+    threads.emplace_back([&budget, &kept, refunder] {
+      for (int i = 0; i < kRounds; ++i) {
+        if (!budget.Charge("acme", kEpsilon).ok()) continue;
+        if (refunder) {
+          ASSERT_TRUE(budget.Refund("acme", kEpsilon).ok());
+        } else {
+          ++kept;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_NEAR(budget.Spent("acme").value(), kept.load() * kEpsilon, 1e-9);
+}
+
+TEST(BudgetManagerTest, ConcurrentDoubleRefundsClampAtZeroSpend) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  ASSERT_TRUE(budget.Charge("acme", 0.5).ok());
+  // Many threads race to refund the one 0.5 charge several times over.
+  // Clamping is per-account: total spend never goes below zero, and
+  // remaining never exceeds the registered budget.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(budget.Refund("acme", 0.5).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.0);
+  EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 1.0);
+}
+
+TEST(BudgetManagerTest, RefundAfterExhaustionReopensTheLedger) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  ASSERT_TRUE(budget.Charge("acme", 1.0).ok());
+  EXPECT_EQ(budget.Charge("acme", 0.1).code(),
+            StatusCode::kResourceExhausted);
+  // The service's failure path refunds an exhausted tenant: subsequent
+  // charges that fit the restored headroom succeed again.
+  ASSERT_TRUE(budget.Refund("acme", 0.4).ok());
+  EXPECT_TRUE(budget.Charge("acme", 0.4).ok());
+  EXPECT_EQ(budget.Charge("acme", 0.1).code(),
+            StatusCode::kResourceExhausted);
+}
+
 TEST(BudgetManagerTest, ConcurrentChargesNeverJointlyOverdraw) {
   BudgetManager budget;
   ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());

@@ -1,0 +1,276 @@
+// Deterministic fault injection against the answering service, proving the
+// two failure-model invariants under arbitrary failure placement:
+//
+//   * ledger conservation — ε spent == Σ ε of the requests that actually
+//     released an answer (degraded releases included), no matter where a
+//     fault fired, and
+//   * typed resolution — every future resolves with a typed status; no
+//     broken promise, no hang, no exception escaping a worker.
+//
+// The injector is count-based (no RNG) and the storms run on ONE worker
+// thread, so every run replays the same faults against the same requests —
+// which also lets the degraded releases be compared bitwise across runs.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/vector.h"
+#include "service/answer_service.h"
+#include "service/fault_injection.h"
+#include "tests/support/matchers.h"
+#include "workload/generators.h"
+
+namespace lrm::service {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+constexpr Index kDomain = 24;
+
+Vector ServiceData() {
+  Vector data(kDomain);
+  for (Index i = 0; i < kDomain; ++i) data[i] = 10.0 + i;
+  return data;
+}
+
+std::shared_ptr<const workload::Workload> MakeWorkload(std::uint64_t seed) {
+  auto w = workload::GenerateWRange(12, kDomain, seed);
+  LRM_CHECK(w.ok());
+  return std::make_shared<const workload::Workload>(std::move(w).value());
+}
+
+BatchAnswerRequest MakeRequest(const std::string& tenant, double epsilon,
+                               std::uint64_t seed) {
+  BatchAnswerRequest request;
+  request.tenant = tenant;
+  request.epsilon = epsilon;
+  request.workload = MakeWorkload(seed);
+  return request;
+}
+
+AnswerServiceOptions FaultyOptions(FaultInjector* injector,
+                                   int num_threads = 1) {
+  AnswerServiceOptions options;
+  options.num_threads = num_threads;
+  options.fault_injector = injector;
+  auto& d = options.cache.mechanism.decomposition;
+  d.max_outer_iterations = 10;
+  d.max_inner_iterations = 2;
+  d.l_max_iterations = 8;
+  d.polish_patience = 2;
+  return options;
+}
+
+TEST(FaultInjectorTest, CountedPlansFireDeterministically) {
+  FaultInjector injector;
+  EXPECT_TRUE(injector.Check("s").ok());  // unarmed sites never fire
+
+  injector.FailAt("s", Status::Internal("boom"), /*skip=*/1, /*times=*/2);
+  EXPECT_TRUE(injector.Check("s").ok());  // skipped
+  EXPECT_EQ(injector.Check("s").code(), StatusCode::kInternal);
+  EXPECT_EQ(injector.Check("s").code(), StatusCode::kInternal);
+  EXPECT_TRUE(injector.Check("s").ok());  // plan exhausted
+  EXPECT_EQ(injector.hits("s"), 5);
+  EXPECT_EQ(injector.fired("s"), 2);
+
+  injector.ThrowAt("s", "kaboom");
+  EXPECT_THROW((void)injector.Check("s"), std::runtime_error);
+  EXPECT_TRUE(injector.Check("s").ok());
+
+  injector.FailAt("s", Status::Internal("forever"), /*skip=*/0,
+                  /*times=*/-1);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(injector.Check("s").ok());
+  injector.Disarm("s");
+  EXPECT_TRUE(injector.Check("s").ok());
+
+  injector.Reset();
+  EXPECT_EQ(injector.hits("s"), 0);
+  EXPECT_EQ(injector.fired("s"), 0);
+}
+
+TEST(FaultInjectionTest, PrepareFailureDegradesAndStillSpendsEpsilon) {
+  FaultInjector injector;
+  injector.FailAt(kFaultSitePrepare,
+                  Status::Internal("injected prepare failure"));
+  AnswerService service(ServiceData(), FaultyOptions(&injector));
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  const auto response = service.Answer(MakeRequest("acme", 0.25, 1));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->degraded);
+  EXPECT_VECTOR_FINITE(response->answers);
+  // A degraded release is a release: the charge stands.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 0.75);
+  EXPECT_EQ(service.stats().degraded_releases, 1);
+  EXPECT_EQ(injector.fired(kFaultSitePrepare), 1);
+}
+
+TEST(FaultInjectionTest, PrepareFailureWithoutDegradationRefunds) {
+  FaultInjector injector;
+  injector.FailAt(kFaultSitePrepare,
+                  Status::Internal("injected prepare failure"));
+  AnswerService service(ServiceData(), FaultyOptions(&injector));
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  BatchAnswerRequest request = MakeRequest("acme", 0.25, 1);
+  request.allow_degraded = false;
+  const auto response = service.Answer(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kInternal);
+  // Nothing was released, so the admitted charge was refunded in full.
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+  EXPECT_EQ(service.stats().degraded_releases, 0);
+}
+
+TEST(FaultInjectionTest, DegradedFallbackFailureRefundsOriginalCause) {
+  // Both the prepare AND the fallback release fail: the service must fall
+  // through to the refund path and surface the original cause.
+  FaultInjector injector;
+  injector.FailAt(kFaultSitePrepare,
+                  Status::DeadlineExceeded("injected deadline"));
+  injector.FailAt(kFaultSiteDegraded,
+                  Status::Internal("injected fallback failure"));
+  AnswerService service(ServiceData(), FaultyOptions(&injector));
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  const auto response = service.Answer(MakeRequest("acme", 0.25, 1));
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+  EXPECT_EQ(service.stats().refused_deadline, 1);
+}
+
+TEST(FaultInjectionTest, WorkerDeathByExceptionResolvesTypedAndRefunds) {
+  FaultInjector injector;
+  injector.ThrowAt(kFaultSiteServe, "injected worker death");
+  AnswerService service(ServiceData(), FaultyOptions(&injector));
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  auto future = service.Submit(MakeRequest("acme", 0.25, 1));
+  const auto result = future.get();  // resolves: the exception was caught
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("injected worker death"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+  // The pool captured no exception either: Drain() must not throw.
+  EXPECT_NO_THROW(service.Drain());
+}
+
+TEST(FaultInjectionTest, DeadlineGateFaultCountsAndRefundsAsDeadline) {
+  FaultInjector injector;
+  injector.FailAt(kFaultSiteDeadlineBeforeAnswer,
+                  Status::DeadlineExceeded("injected: expired after "
+                                           "prepare, before answer"));
+  AnswerService service(ServiceData(), FaultyOptions(&injector));
+  ASSERT_TRUE(service.RegisterTenant("acme", 1.0).ok());
+
+  BatchAnswerRequest request = MakeRequest("acme", 0.25, 1);
+  request.allow_degraded = false;
+  const auto response = service.Answer(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(service.RemainingBudget("acme").value(), 1.0);
+  EXPECT_EQ(service.stats().refused_deadline, 1);
+  // The strategy search DID run (the fault fired after it) and its result
+  // is cached: a retry hits the cache and releases normally.
+  const auto retry = service.Answer(MakeRequest("acme", 0.25, 1));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->cache_hit);
+}
+
+// One storm: 8 async requests on ONE worker (so serve order == submission
+// order and the count-based faults land on the same requests every run).
+// Request 4 dies by a thrown exception at serve entry; requests 1 and 2
+// fail their strategy search (request 1 forbids degradation and is
+// refunded, request 2 degrades and still spends).
+struct StormOutcome {
+  std::vector<StatusOr<BatchAnswerResponse>> results;
+  double spent = 0.0;
+  AnswerServiceStats stats;
+};
+
+StormOutcome RunFaultStorm() {
+  constexpr double kBudget = 100.0;
+  constexpr double kEpsilon = 0.25;
+  FaultInjector injector;
+  injector.FailAt(kFaultSitePrepare,
+                  Status::Internal("injected prepare failure"), /*skip=*/1,
+                  /*times=*/2);
+  injector.ThrowAt(kFaultSiteServe, "injected worker death", /*skip=*/4,
+                   /*times=*/1);
+  StormOutcome outcome;
+  {
+    AnswerService service(ServiceData(),
+                          FaultyOptions(&injector, /*num_threads=*/1));
+    LRM_CHECK(service.RegisterTenant("acme", kBudget).ok());
+    std::vector<std::future<StatusOr<BatchAnswerResponse>>> futures;
+    for (int i = 0; i < 8; ++i) {
+      BatchAnswerRequest request =
+          MakeRequest("acme", kEpsilon, /*seed=*/static_cast<unsigned>(i));
+      request.allow_degraded = (i % 2 == 0);
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& future : futures) {
+      // Typed resolution: get() returns a value for every request.
+      outcome.results.push_back(future.get());
+    }
+    outcome.spent = kBudget - service.RemainingBudget("acme").value();
+    outcome.stats = service.stats();
+  }
+  return outcome;
+}
+
+TEST(FaultInjectionTest, LedgerBalancesAndEveryFutureResolvesUnderStorm) {
+  const StormOutcome outcome = RunFaultStorm();
+  ASSERT_EQ(outcome.results.size(), 8u);
+
+  // The ledger invariant: ε was spent by exactly the requests that
+  // released an answer (normal or degraded), and nothing else.
+  double released_epsilon = 0.0;
+  for (const auto& result : outcome.results) {
+    if (result.ok()) released_epsilon += 0.25;
+  }
+  EXPECT_DOUBLE_EQ(outcome.spent, released_epsilon);
+
+  // The deterministic fault placement: request 4 died at serve entry,
+  // request 1 failed prepare un-degradable, request 2 degraded.
+  EXPECT_FALSE(outcome.results[1].ok());
+  EXPECT_EQ(outcome.results[1].status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(outcome.results[4].ok());
+  EXPECT_NE(outcome.results[4].status().message().find(
+                "injected worker death"),
+            std::string::npos);
+  ASSERT_TRUE(outcome.results[2].ok());
+  EXPECT_TRUE(outcome.results[2].value().degraded);
+  for (const int i : {0, 3, 5, 6, 7}) {
+    ASSERT_TRUE(outcome.results[i].ok()) << i;
+    EXPECT_FALSE(outcome.results[i].value().degraded) << i;
+  }
+  EXPECT_EQ(outcome.stats.degraded_releases, 1);
+  EXPECT_EQ(outcome.stats.requests_admitted, 8);
+}
+
+TEST(FaultInjectionTest, StormReleasesAreBitwiseReproducible) {
+  // Same seed, same submission order, same (deterministic) faults ⇒ every
+  // released vector — the degraded one included — is bitwise identical
+  // across runs.
+  const StormOutcome first = RunFaultStorm();
+  const StormOutcome second = RunFaultStorm();
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    ASSERT_EQ(first.results[i].ok(), second.results[i].ok()) << i;
+    if (!first.results[i].ok()) continue;
+    EXPECT_EQ(first.results[i].value().degraded,
+              second.results[i].value().degraded)
+        << i;
+    EXPECT_VECTOR_NEAR(first.results[i].value().answers,
+                       second.results[i].value().answers, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lrm::service

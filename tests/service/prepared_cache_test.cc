@@ -181,5 +181,39 @@ TEST(PreparedCacheTest, ConcurrentRequestsForOneWorkloadCoalesce) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(PreparedCacheTest, ExpiredTokenAbortsTypedAndIsNotCached) {
+  PreparedMechanismCache cache(FastOptions());
+  const auto workload = MakeWorkload(6);
+  const auto aborted = cache.GetOrPrepare(
+      workload, CancelSource::WithTimeout(-1.0).token());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+  // The cancelled prepare was not cached: a later unbounded retry runs a
+  // real strategy search and succeeds.
+  EXPECT_EQ(cache.size(), 0u);
+  const auto retry = cache.GetOrPrepare(workload);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_FALSE(retry->cache_hit);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PreparedCacheTest, InjectedPrepareFaultPropagatesToCoalescedWaiters) {
+  FaultInjector injector;
+  injector.FailAt(kFaultSitePrepare,
+                  Status::Internal("injected prepare failure"));
+  PreparedCacheOptions options = FastOptions();
+  options.fault_injector = &injector;
+  PreparedMechanismCache cache(options);
+  const auto workload = MakeWorkload(7);
+
+  // The owner hits the armed fault; nothing is cached.
+  const auto failed = cache.GetOrPrepare(workload);
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(cache.size(), 0u);
+  // The plan fired once: the retry prepares normally.
+  const auto retry = cache.GetOrPrepare(workload);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(injector.fired(kFaultSitePrepare), 1);
+}
+
 }  // namespace
 }  // namespace lrm::service

@@ -1,0 +1,229 @@
+// Multi-threaded stress on the answering service: concurrent Submit
+// bursts, SubmitQuery + FlushQueries races, destruction with work still in
+// flight, and concurrent submission under a tight shedding limit. These
+// run under `ctest -L stress` (and under TSan in CI); the assertions are
+// the service's global invariants — every future resolves with a typed
+// status and the tenant ledger balances against the answers actually
+// released — not any particular interleaving.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/vector.h"
+#include "service/answer_service.h"
+#include "workload/generators.h"
+
+namespace lrm::service {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+constexpr Index kDomain = 16;
+
+Vector ServiceData() {
+  Vector data(kDomain);
+  for (Index i = 0; i < kDomain; ++i) data[i] = 5.0 + i;
+  return data;
+}
+
+std::shared_ptr<const workload::Workload> MakeWorkload(std::uint64_t seed) {
+  auto w = workload::GenerateWRange(8, kDomain, seed);
+  LRM_CHECK(w.ok());
+  return std::make_shared<const workload::Workload>(std::move(w).value());
+}
+
+AnswerServiceOptions StressOptions(int num_threads = 4) {
+  AnswerServiceOptions options;
+  options.num_threads = num_threads;
+  auto& d = options.cache.mechanism.decomposition;
+  d.max_outer_iterations = 6;
+  d.max_inner_iterations = 2;
+  d.l_max_iterations = 6;
+  d.polish_patience = 2;
+  return options;
+}
+
+TEST(ServiceStressTest, ConcurrentSubmittersLedgerBalances) {
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 8;
+  constexpr double kEpsilon = 0.125;
+  constexpr double kBudget = 3.0;  // < 32·ε = 4.0: some requests refuse
+
+  AnswerService service(ServiceData(), StressOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", kBudget).ok());
+
+  std::vector<std::vector<std::future<StatusOr<BatchAnswerResponse>>>>
+      futures(kSubmitters);
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&service, &futures, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          BatchAnswerRequest request;
+          request.tenant = "acme";
+          request.epsilon = kEpsilon;
+          request.workload =
+              MakeWorkload(static_cast<unsigned>(i % 3));  // cache contention
+          futures[t].push_back(service.Submit(std::move(request)));
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+  service.Drain();
+
+  int released = 0;
+  for (auto& per_thread : futures) {
+    for (auto& future : per_thread) {
+      const auto result = future.get();  // every future resolves, typed
+      if (result.ok()) {
+        ++released;
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      }
+    }
+  }
+  // ε was spent by exactly the requests that released.
+  EXPECT_NEAR(service.RemainingBudget("acme").value(),
+              kBudget - kEpsilon * released, 1e-9);
+  const AnswerServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests_admitted, released);
+  EXPECT_EQ(stats.refused_budget,
+            kSubmitters * kPerThread - released);
+}
+
+TEST(ServiceStressTest, ConcurrentSingleQueriesAndFlushes) {
+  constexpr int kSubmitters = 3;
+  constexpr int kPerThread = 20;
+
+  AnswerServiceOptions options = StressOptions();
+  options.max_batch_queries = 4;
+  AnswerService service(ServiceData(), options);
+  ASSERT_TRUE(service.RegisterTenant("acme", 1000.0).ok());
+
+  std::vector<std::vector<std::future<StatusOr<double>>>> futures(
+      kSubmitters);
+  std::atomic<bool> keep_flushing{true};
+  std::thread flusher([&service, &keep_flushing] {
+    // Race FlushQueries against concurrent Adds and count-based cuts.
+    while (keep_flushing.load()) {
+      service.FlushQueries();
+      std::this_thread::yield();
+    }
+  });
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&service, &futures, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          Vector query(kDomain, 0.0);
+          query[(t * kPerThread + i) % kDomain] = 1.0;
+          futures[t].push_back(
+              service.SubmitQuery("acme", 0.25, std::move(query)));
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+  keep_flushing.store(false);
+  flusher.join();
+  service.FlushQueries();
+  service.Drain();
+
+  // Every admitted query resolves with an answer (budget is ample), no
+  // matter how Adds, cuts and flushes interleaved.
+  for (auto& per_thread : futures) {
+    for (auto& future : per_thread) {
+      const auto result = future.get();
+      EXPECT_TRUE(result.ok()) << result.status().message();
+    }
+  }
+}
+
+TEST(ServiceStressTest, DestructionWithWorkInFlightResolvesEverything) {
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<StatusOr<BatchAnswerResponse>>> submitted;
+    std::vector<std::future<StatusOr<double>>> queries;
+    {
+      AnswerServiceOptions options = StressOptions(/*num_threads=*/2);
+      options.max_batch_queries = 64;  // the query groups stay uncut
+      AnswerService service(ServiceData(), options);
+      LRM_CHECK(service.RegisterTenant("acme", 100.0).ok());
+      for (int i = 0; i < 6; ++i) {
+        BatchAnswerRequest request;
+        request.tenant = "acme";
+        request.epsilon = 0.25;
+        request.workload = MakeWorkload(static_cast<unsigned>(i));
+        submitted.push_back(service.Submit(std::move(request)));
+        queries.push_back(
+            service.SubmitQuery("acme", 0.5, Vector(kDomain, 1.0)));
+      }
+      // Destructor runs with Submit work in flight and query groups uncut.
+    }
+    for (auto& future : submitted) {
+      EXPECT_TRUE(future.get().ok());  // in-flight work completed normally
+    }
+    for (auto& future : queries) {
+      // Undispatched queries were resolved typed, not abandoned.
+      EXPECT_EQ(future.get().status().code(), StatusCode::kCancelled);
+    }
+  }
+}
+
+TEST(ServiceStressTest, ConcurrentSubmitUnderSheddingNeverLosesAFuture) {
+  AnswerServiceOptions options = StressOptions(/*num_threads=*/2);
+  options.max_pending_requests = 2;
+  AnswerService service(ServiceData(), options);
+  ASSERT_TRUE(service.RegisterTenant("acme", 1000.0).ok());
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 10;
+  std::vector<std::vector<std::future<StatusOr<BatchAnswerResponse>>>>
+      futures(kSubmitters);
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&service, &futures, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          BatchAnswerRequest request;
+          request.tenant = "acme";
+          request.epsilon = 0.1;
+          request.workload = MakeWorkload(static_cast<unsigned>(t));
+          futures[t].push_back(service.Submit(std::move(request)));
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+  service.Drain();
+
+  int released = 0;
+  std::int64_t shed = 0;
+  for (auto& per_thread : futures) {
+    for (auto& future : per_thread) {
+      const auto result = future.get();
+      if (result.ok()) {
+        ++released;
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+        ++shed;
+      }
+    }
+  }
+  EXPECT_EQ(released + shed, kSubmitters * kPerThread);
+  EXPECT_NEAR(service.RemainingBudget("acme").value(),
+              1000.0 - 0.1 * released, 1e-9);
+  EXPECT_EQ(service.stats().refused_shed, shed);
+}
+
+}  // namespace
+}  // namespace lrm::service
