@@ -82,6 +82,29 @@ BENCHMARK(BM_DecompositionInit2048_ExactSvd)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);  // minutes-scale eigendecomposition; once is plenty
 
+// Exact-fallback init at a paper-scale domain (n = 4096): randomized init
+// off, automatic rank — the path that now rides PartialGramSvdWithRank
+// (Sturm-count rank search + top-k inverse iteration on the 1024² Gram
+// matrix) instead of a full eigendecomposition. Before the partial tier
+// this shape was the minutes-scale wall the 2048 exact bench already
+// documents; now it is a first-class bench.
+void BM_DecompositionInit4096_Partial(benchmark::State& state) {
+  const Index m = 1024, n = 4096, s = 128;
+  const auto workload = lrm::workload::GenerateWRelated(m, n, s, 5);
+  lrm::core::DecompositionOptions options = BenchOptions();
+  options.use_randomized_init = false;
+  options.max_outer_iterations = 1;
+  options.max_inner_iterations = 1;
+  options.l_max_iterations = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lrm::core::DecomposeWorkload(workload->matrix(), options));
+  }
+}
+BENCHMARK(BM_DecompositionInit4096_Partial)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);  // one init pass is the measurement
+
 void BM_L1ColumnProjection(benchmark::State& state) {
   const Index r = state.range(0);
   const Index n = 8 * r;

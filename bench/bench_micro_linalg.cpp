@@ -264,6 +264,27 @@ void BM_SymmetricEigenDcSingleThread(benchmark::State& state) {
 }
 BENCHMARK(BM_SymmetricEigenDcSingleThread)->Arg(1024)->Arg(2048);
 
+// The partial-spectrum path at the rank-search shape k = n/8: blocked
+// tridiagonalization + Sturm bisection + cluster inverse iteration +
+// compact-WY back-transformation, never forming Q or the full eigenbasis.
+// The baseline's relative gate holds partial/2048 at ≤ 0.6× Dc/2048. Both
+// arms pay the same latrd reduction, and on the 1-core baseline box it is
+// ~90% of the partial arm (3.4 s of 3.7 s; the subset stages are ~0.3 s vs
+// ~3.8 s for the D&C tridiagonal solve they replace) — so the end-to-end
+// ratio floor is ~0.47 and the gate needs headroom for CPU-steal noise on
+// top of it, not a tighter bound the shared reduction can never meet.
+void BM_PartialSymmetricEigen(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index k = n / 8;
+  const Matrix a = MakeSpd(n, 7);
+  kernels::SetFactorImpl(kernels::FactorImpl::kPartial);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrm::linalg::PartialSymmetricEigen(a, k));
+  }
+  kernels::SetFactorImpl(kernels::FactorImpl::kAuto);
+}
+BENCHMARK(BM_PartialSymmetricEigen)->Arg(1024)->Arg(2048);
+
 void BM_SymmetricEigenQl(benchmark::State& state) {
   const Index n = state.range(0);
   const Matrix a = MakeSpd(n, 7);

@@ -36,7 +36,13 @@ everywhere else.
 --update preserves the section verbatim, and stamps the environment the
 numbers came from into a "metadata" section (hardware_concurrency,
 lrm_gemm_threads) so a reader can tell whether a stored threaded/single
-pair was measured on a machine where threading could win. Environment
+pair was measured on a machine where threading could win. Because the
+ratio gates are acceptance criteria, --update REFUSES to write a baseline
+that would orphan one: if a carried gate's "name" or "reference" is
+missing from the measured set (someone narrowed --filter or deleted the
+benchmark), the update aborts with the orphaned pairs listed. Pass
+--remove-relative to confirm the removal; the orphaned specs are then
+dropped (and listed) while the still-measurable ones are kept. Environment
 knobs:
 
     LRM_BENCH_TOLERANCE      overrides --tolerance (fraction, e.g. 0.4)
@@ -157,6 +163,10 @@ def main():
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run")
+    parser.add_argument("--remove-relative", action="store_true",
+                        help="with --update: allow dropping relative-gate "
+                             "pairs whose benchmarks this run no longer "
+                             "measures (refused otherwise)")
     args = parser.parse_args()
 
     tolerance = float(os.environ.get("LRM_BENCH_TOLERANCE", args.tolerance))
@@ -181,14 +191,36 @@ def main():
             },
         }
         # The relative section is hand-maintained policy, not measurement:
-        # carry it over verbatim.
+        # carry it over verbatim — but never silently. A gate whose "name"
+        # or "reference" this run no longer measures would rot into a
+        # permanent "missing from this run" failure (or worse, vanish), so
+        # an --update that would orphan one aborts unless --remove-relative
+        # spells out the intent to drop it.
         try:
             with open(args.baseline) as f:
                 old_relative = json.load(f).get("relative")
+        except (FileNotFoundError, json.JSONDecodeError):
+            old_relative = None
+        if old_relative:
+            orphaned = [spec for spec in old_relative
+                        if spec["name"] not in measured
+                        or spec["reference"] not in measured]
+            if orphaned and not args.remove_relative:
+                for spec in orphaned:
+                    sys.stderr.write(
+                        f"relative gate {spec['name']} vs "
+                        f"{spec['reference']}: not measured by this run\n")
+                raise SystemExit(
+                    f"--update would orphan {len(orphaned)} relative "
+                    f"gate(s); widen --filter to cover them, or pass "
+                    f"--remove-relative to drop them")
+            if orphaned:
+                for spec in orphaned:
+                    print(f"--remove-relative: dropping gate "
+                          f"{spec['name']} vs {spec['reference']}")
+                old_relative = [s for s in old_relative if s not in orphaned]
             if old_relative:
                 baseline["relative"] = old_relative
-        except (FileNotFoundError, json.JSONDecodeError):
-            pass
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)

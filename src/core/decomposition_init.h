@@ -9,12 +9,24 @@
 //                   and workload-delta updates build on.
 //  * sketched SVD — randomized range finder (Halko et al.) that estimates
 //                   rank(W) and produces the top-r triplets in one pass;
-//                   engages at scale (see kRandomizedInitMinDim).
-//  * exact SVD    — Jacobi/Gram SVD of W; small problems and the fallback
-//                   when the sketch cannot resolve the spectrum tail. The
-//                   Gram path's eigensolve dispatches to divide-and-conquer
-//                   at size (linalg/eigen_dc.h), so near-full-rank workloads
-//                   no longer hit the QL iteration's n ≈ 1024 wall.
+//                   engages at scale (see kRandomizedInitMinDim). The
+//                   rank search doubles the sketch width on saturation,
+//                   reusing (never redrawing) the already-drawn Gaussian
+//                   test columns across attempts.
+//  * exact SVD    — small problems and the fallback when the sketch cannot
+//                   resolve the spectrum tail. Small shapes take the full
+//                   Jacobi SVD; at size the fallback is partial-spectrum
+//                   (linalg::PartialGramSvd / PartialGramSvdWithRank):
+//                   Sturm-count rank search plus inverse iteration on the
+//                   reduced Gram matrix produce exactly the top triplets
+//                   the Lemma-3 construction reads, in O(p²·r) after the
+//                   blocked reduction instead of a full O(p³) eigensolve.
+//
+// Rank-tolerance convention (see svd.h NumericalRank): every tolerance is
+// RELATIVE to the top singular value. Spectra that came through a Gram
+// factorization (the sketch confirmation and the at-size exact fallback)
+// clamp the tolerance through linalg::GramRankTolerance; the small-shape
+// Jacobi path uses options.rank_tolerance raw.
 
 #ifndef LRM_CORE_DECOMPOSITION_INIT_H_
 #define LRM_CORE_DECOMPOSITION_INIT_H_
@@ -56,9 +68,12 @@ void InitializeFromSvd(const linalg::SvdResult& svd, linalg::Index r,
 /// \brief Sketched initialization for the automatic-rank path: grows a
 /// randomized SVD until the spectrum tail drops below the rank cutoff, so
 /// both the rank estimate and the (B₀, L₀) triplets come out of one sketch.
-/// Returns false (leaving `svd`/`r` untouched) when the sketch hits
-/// min(m, n)/2 without resolving the tail — a near-full-rank W, where the
-/// exact path is the right tool anyway.
+/// Widening is append-only: one Gaussian engine feeds a persistent test
+/// matrix and each retry draws only the new columns, so the columns are
+/// deterministic and independent of the doubling schedule. Returns false
+/// (leaving `svd`/`r` untouched) when the sketch hits min(m, n)/2 without
+/// resolving the tail — a near-full-rank W, where the exact (partial-
+/// spectrum) path is the right tool anyway.
 bool TrySketchedInit(const linalg::Matrix& w,
                      const DecompositionOptions& options,
                      linalg::SvdResult* svd, linalg::Index* r);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "base/string_util.h"
@@ -10,6 +11,7 @@
 #include "linalg/kernels/kernels.h"
 #include "linalg/kernels/parallel.h"
 #include "linalg/matrix_view.h"
+#include "linalg/tridiag_partial.h"
 #include "linalg/tridiag_ql.h"
 
 namespace lrm::linalg {
@@ -138,6 +140,9 @@ EigenDispatch ResolveEigenDispatch(Index n) {
     case kernels::FactorImpl::kBlocked:
       return {true, false};
     case kernels::FactorImpl::kDc:
+    case kernels::FactorImpl::kPartial:
+      // kPartial only affects the subset solver; a full-spectrum solve
+      // takes the production (blocked + D&C) route.
       return {true, true};
     case kernels::FactorImpl::kAuto:
       break;
@@ -322,6 +327,90 @@ void FormTridiagQ(const Matrix& m, SymmetricEigenWorkspace& ws, Matrix* q) {
   }
 }
 
+// Applies the accumulated tridiagonalizing transform to a dense n×k matrix
+// in place (x ← Q·x), walking the compact-WY panels in reverse order exactly
+// like FormTridiagQ but without ever materializing Q — O(n²·k) instead of
+// O(n³). Rows 0..off of x are untouched by the panel at `off` (its
+// reflectors have no support there), matching Q's unit leading column.
+void BackTransformTridiagVectors(const Matrix& m, SymmetricEigenWorkspace& ws,
+                                 Matrix* x) {
+  const Index n = m.rows();
+  const Index k = x->cols();
+  if (n <= 2) return;
+  std::vector<double>& v = ws.wy_v;
+  std::vector<double>& t = ws.wy_t;
+  std::vector<double>& scratch = ws.wy_apply;
+  const Index last_off = ((n - 3) / kTridiagPanel) * kTridiagPanel;
+  for (Index off = last_off; off >= 0; off -= kTridiagPanel) {
+    const Index jb = TridiagPanelWidth(n, off);
+    const Index rows = n - off - 1;
+    v.resize(static_cast<std::size_t>(rows * jb));
+    internal::ExtractPanelV(m.data() + (off + 1) * n + off, n, rows, jb,
+                            v.data());
+    t.resize(static_cast<std::size_t>(jb * jb));
+    internal::BuildBlockT(v.data(), jb, rows, jb, ws.tau.data() + off,
+                          t.data(), jb);
+    internal::ApplyBlockReflectorLeft(v.data(), jb, t.data(), jb, rows, jb,
+                                      /*transpose_t=*/false,
+                                      x->data() + (off + 1) * k, k, k,
+                                      &scratch);
+  }
+}
+
+void SymmetrizeInto(const Matrix& a, Matrix* out) {
+  const Index n = a.rows();
+  out->Resize(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      (*out)(i, j) = 0.5 * (a(i, j) + a(j, i));
+    }
+  }
+}
+
+// Top-k tail of a full decomposition (eigenvalues are ascending).
+SymmetricEigenResult SliceTopK(const SymmetricEigenResult& full, Index k) {
+  const Index n = full.eigenvalues.size();
+  SymmetricEigenResult out;
+  out.eigenvalues = Vector(k);
+  for (Index i = 0; i < k; ++i) {
+    out.eigenvalues[i] = full.eigenvalues[n - k + i];
+  }
+  out.eigenvectors = SliceCols(full.eigenvectors, n - k, n);
+  return out;
+}
+
+// Whether PartialSymmetricEigen runs the true subset path (bisection +
+// inverse iteration) or slices a full solve. kAuto wants both the blocked
+// tier engaged (n ≥ 128) and an actual subset (2k ≤ n) — above half the
+// spectrum, D&C's one-shot assembly wins.
+bool UsePartialPath(Index n, Index k) {
+  switch (kernels::ActiveFactorImpl()) {
+    case kernels::FactorImpl::kReference:
+    case kernels::FactorImpl::kBlocked:
+    case kernels::FactorImpl::kDc:
+      return false;
+    case kernels::FactorImpl::kPartial:
+      return true;
+    case kernels::FactorImpl::kAuto:
+      break;
+  }
+  return n >= kBlockedEigenMinDim && 2 * k <= n;
+}
+
+// Count of eigenvalues of tridiag(d, e) strictly above
+// relative_cutoff·max(λ_max, 0). The epsilon bump keeps eigenvalues equal to
+// the threshold (in particular the all-zero spectrum, threshold 0) out of
+// the count.
+Index CountAboveRelativeCutoff(Index n, const double* d, const double* e,
+                               double relative_cutoff) {
+  const double lambda_max = internal::TridiagMaxEigenvalue(n, d, e);
+  const double threshold = relative_cutoff * std::max(lambda_max, 0.0);
+  const double bump =
+      4.0 * std::numeric_limits<double>::epsilon() * threshold +
+      std::numeric_limits<double>::min();
+  return n - internal::TridiagCountBelow(n, d, e, threshold + bump);
+}
+
 }  // namespace
 
 StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
@@ -344,12 +433,7 @@ StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a,
   SymmetricEigenWorkspace& w = ws != nullptr ? *ws : local;
 
   // Symmetrize to absorb roundoff asymmetry in the caller's input.
-  w.work.Resize(n, n);
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = 0; j < n; ++j) {
-      w.work(i, j) = 0.5 * (a(i, j) + a(j, i));
-    }
-  }
+  SymmetrizeInto(a, &w.work);
 
   Vector d(n);
   Vector e(n);
@@ -384,6 +468,127 @@ StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a,
         "SymmetricEigen: QL iteration failed to converge");
   }
   return SymmetricEigenResult{std::move(d), Transpose(w.vt)};
+}
+
+StatusOr<SymmetricEigenResult> PartialSymmetricEigen(
+    const Matrix& a, Index k, SymmetricEigenWorkspace* ws) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(StrFormat(
+        "PartialSymmetricEigen: matrix is %td x %td, expected square",
+        a.rows(), a.cols()));
+  }
+  const Index n = a.rows();
+  if (n == 0 || k <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "PartialSymmetricEigen: need k >= 1 and a nonempty matrix "
+        "(k=%td, n=%td)",
+        k, n));
+  }
+  k = std::min(k, n);
+  if (!UsePartialPath(n, k)) {
+    LRM_ASSIGN_OR_RETURN(SymmetricEigenResult full, SymmetricEigen(a, ws));
+    return SliceTopK(full, k);
+  }
+
+  SymmetricEigenWorkspace local;
+  SymmetricEigenWorkspace& w = ws != nullptr ? *ws : local;
+  SymmetrizeInto(a, &w.work);
+  Vector d(n);
+  Vector e(n);
+  BlockedTridiagonalize(w.work, d, e, w);
+  Vector lambda;
+  Matrix vectors;
+  LRM_RETURN_IF_ERROR(internal::TridiagTopKEigen(
+      n, d.data(), e.data(), k, &lambda, &vectors, &w.partial));
+  BackTransformTridiagVectors(w.work, w, &vectors);
+  return SymmetricEigenResult{std::move(lambda), std::move(vectors)};
+}
+
+StatusOr<SymmetricEigenResult> PartialSymmetricEigenAboveCutoff(
+    const Matrix& a, double relative_cutoff, double growth, Index* count,
+    SymmetricEigenWorkspace* ws) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(StrFormat(
+        "PartialSymmetricEigenAboveCutoff: matrix is %td x %td, expected "
+        "square",
+        a.rows(), a.cols()));
+  }
+  const Index n = a.rows();
+  if (n == 0 || relative_cutoff < 0.0 || !(growth > 0.0)) {
+    return Status::InvalidArgument(
+        "PartialSymmetricEigenAboveCutoff: need a nonempty matrix, "
+        "relative_cutoff >= 0 and growth > 0");
+  }
+  const auto rank_to_k = [n, growth](Index c) {
+    const double grown = std::ceil(growth * static_cast<double>(c));
+    return std::min<Index>(n, std::max<Index>(1, static_cast<Index>(grown)));
+  };
+
+  const kernels::FactorImpl impl = kernels::ActiveFactorImpl();
+  if (impl == kernels::FactorImpl::kReference ||
+      impl == kernels::FactorImpl::kBlocked ||
+      impl == kernels::FactorImpl::kDc) {
+    // Forced full-solve flavors: count directly off the full spectrum.
+    LRM_ASSIGN_OR_RETURN(SymmetricEigenResult full, SymmetricEigen(a, ws));
+    const double threshold =
+        relative_cutoff * std::max(full.eigenvalues[n - 1], 0.0);
+    Index c = 0;
+    for (Index i = 0; i < n; ++i) {
+      if (full.eigenvalues[i] > threshold) ++c;
+    }
+    *count = c;
+    return SliceTopK(full, rank_to_k(c));
+  }
+
+  SymmetricEigenWorkspace local;
+  SymmetricEigenWorkspace& w = ws != nullptr ? *ws : local;
+  SymmetrizeInto(a, &w.work);
+  Vector d(n);
+  Vector e(n);
+  BlockedTridiagonalize(w.work, d, e, w);
+  const Index c = CountAboveRelativeCutoff(n, d.data(), e.data(),
+                                           relative_cutoff);
+  *count = c;
+  const Index k = rank_to_k(c);
+  if (impl == kernels::FactorImpl::kAuto && 2 * k > n) {
+    // Near-full spectrum: D&C's one-shot assembly beats k inverse
+    // iterations. The redundant reduction is the price of a rare path.
+    LRM_ASSIGN_OR_RETURN(SymmetricEigenResult full, SymmetricEigen(a, ws));
+    return SliceTopK(full, k);
+  }
+  Vector lambda;
+  Matrix vectors;
+  LRM_RETURN_IF_ERROR(internal::TridiagTopKEigen(
+      n, d.data(), e.data(), k, &lambda, &vectors, &w.partial));
+  BackTransformTridiagVectors(w.work, w, &vectors);
+  return SymmetricEigenResult{std::move(lambda), std::move(vectors)};
+}
+
+StatusOr<Index> SymmetricEigenCountAbove(const Matrix& a,
+                                         double relative_cutoff,
+                                         SymmetricEigenWorkspace* ws) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(StrFormat(
+        "SymmetricEigenCountAbove: matrix is %td x %td, expected square",
+        a.rows(), a.cols()));
+  }
+  const Index n = a.rows();
+  if (n == 0) return Index{0};
+  if (relative_cutoff < 0.0) {
+    return Status::InvalidArgument(
+        "SymmetricEigenCountAbove: relative_cutoff must be >= 0");
+  }
+  SymmetricEigenWorkspace local;
+  SymmetricEigenWorkspace& w = ws != nullptr ? *ws : local;
+  SymmetrizeInto(a, &w.work);
+  Vector d(n);
+  Vector e(n);
+  if (ResolveEigenDispatch(n).blocked_tridiag) {
+    BlockedTridiagonalize(w.work, d, e, w);
+  } else {
+    Tred2(w.work, d, e);
+  }
+  return CountAboveRelativeCutoff(n, d.data(), e.data(), relative_cutoff);
 }
 
 StatusOr<Matrix> ProjectToPsdCone(const Matrix& a, double floor) {

@@ -18,6 +18,15 @@
 //              rotation sweeps as the production path at size (`auto`
 //              picks it from n = 128) and is what unlocks n ≥ 2048.
 //
+// PartialSymmetricEigen adds a fourth, subset path ("partial"): the same
+// blocked tridiagonalization, then bisection with Sturm-sequence counts for
+// just the top-k eigenvalues and inverse iteration (cluster-reorthogonal-
+// ized) for their vectors (linalg/tridiag_partial.h), back-transformed
+// through the compact-WY reflector blocks. That replaces the O(n³)
+// eigenvector accumulation with O(n²·k) work — the enabler for rank search
+// at n ≥ 4096 domains, where the spectrum's top r ≪ n is all the LRM
+// decomposition ever reads.
+//
 // Used by: the Gram-matrix SVD (singular values of W from eigenvalues of the
 // smaller Gram matrix), the matrix mechanism's PSD-cone projection, and the
 // strategy reconstruction A = Σ √λᵢ vᵢ vᵢᵀ (paper Appendix B).
@@ -30,6 +39,7 @@
 #include "base/status_or.h"
 #include "linalg/eigen_dc.h"
 #include "linalg/matrix.h"
+#include "linalg/tridiag_partial.h"
 
 namespace lrm::linalg {
 
@@ -56,6 +66,7 @@ struct SymmetricEigenWorkspace {
   std::vector<double> panel_p, panel_vc;  ///< panel symv / reflector scratch
   std::vector<double> wy_v, wy_t, wy_apply;  ///< compact-WY blocks for Q
   TridiagDcWorkspace dc;  ///< secular-solve / merge scratch
+  internal::TridiagPartialWorkspace partial;  ///< bisection bookkeeping
 };
 
 /// \brief Computes all eigenpairs of a symmetric matrix.
@@ -71,6 +82,43 @@ StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a);
 /// \brief Same, with caller-owned scratch (see SymmetricEigenWorkspace).
 StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a,
                                               SymmetricEigenWorkspace* ws);
+
+/// \brief Computes only the k largest eigenpairs of a symmetric matrix:
+/// `eigenvalues` holds λ_{n-k} ≤ … ≤ λ_{n-1} (ascending — exactly the tail
+/// SymmetricEigen would return) and `eigenvectors` is n×k.
+///
+/// The subset path costs O(n²·k) after the O(n³)-lite blocked
+/// tridiagonalization: Sturm-count bisection locates the k eigenvalues,
+/// inverse iteration with in-cluster reorthogonalization builds their
+/// tridiagonal eigenvectors, and the compact-WY blocks back-transform them
+/// without ever forming the full Q. Dispatch (LRM_FACTOR_KERNEL /
+/// kernels::SetFactorImpl): kAuto takes the subset path when
+/// n ≥ 128 and 2·k ≤ n and otherwise slices a full solve; kPartial forces
+/// the subset path at any size; kReference/kBlocked/kDc slice the
+/// corresponding full solve (the D&C slice is the equivalence oracle).
+/// Requires 1 ≤ k (k is clamped to n).
+StatusOr<SymmetricEigenResult> PartialSymmetricEigen(
+    const Matrix& a, Index k, SymmetricEigenWorkspace* ws = nullptr);
+
+/// \brief Rank-adaptive variant for spectrum search: one reduction, then a
+/// Sturm count of the eigenvalues above `relative_cutoff · max(λ_max, 0)`
+/// (λ_max located by bisection first), then the top
+/// min(max(⌈growth·count⌉, 1), n) eigenpairs by the same subset machinery.
+/// `*count` receives the Sturm count. This is what lets the decomposition's
+/// exact-rank fallback pay one tridiagonalization instead of a full solve:
+/// the count IS the numerical rank of the underlying Gram spectrum (see
+/// svd.h PartialGramSvdWithRank).
+StatusOr<SymmetricEigenResult> PartialSymmetricEigenAboveCutoff(
+    const Matrix& a, double relative_cutoff, double growth, Index* count,
+    SymmetricEigenWorkspace* ws = nullptr);
+
+/// \brief Number of eigenvalues above `relative_cutoff · max(λ_max, 0)`,
+/// with no eigenvectors: one tridiagonalization plus two bisections — the
+/// cheapest exact rank probe available (used by EstimateRank at size).
+StatusOr<Index> SymmetricEigenCountAbove(const Matrix& a,
+                                         double relative_cutoff,
+                                         SymmetricEigenWorkspace* ws =
+                                             nullptr);
 
 /// \brief Projects a symmetric matrix onto the cone of positive
 /// semi-definite matrices with minimum eigenvalue `floor` (clamps the

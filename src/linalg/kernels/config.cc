@@ -44,6 +44,7 @@ FactorImpl EnvFactorDefault() {
     if (std::strcmp(env, "reference") == 0) return FactorImpl::kReference;
     if (std::strcmp(env, "blocked") == 0) return FactorImpl::kBlocked;
     if (std::strcmp(env, "dc") == 0) return FactorImpl::kDc;
+    if (std::strcmp(env, "partial") == 0) return FactorImpl::kPartial;
   }
   return FactorImpl::kAuto;
 }
@@ -97,8 +98,9 @@ bool UseBlockedFactor(bool auto_blocked) {
       return false;
     case FactorImpl::kBlocked:
     case FactorImpl::kDc:
-      // kDc only changes the tridiagonal eigensolver; for every other
-      // factorization it means "the GEMM-rich path", i.e. blocked.
+    case FactorImpl::kPartial:
+      // kDc/kPartial only change the tridiagonal eigensolver; for every
+      // other factorization they mean "the GEMM-rich path", i.e. blocked.
       return true;
     case FactorImpl::kAuto:
       break;

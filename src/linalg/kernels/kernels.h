@@ -30,10 +30,13 @@
 //   LRM_GEMM_THREADS   — worker thread cap (default: hardware concurrency);
 //                        SetGemmThreads() overrides programmatically.
 //   LRM_GEMM_KERNEL    — "auto" (default), "reference", or "blocked".
-//   LRM_FACTOR_KERNEL  — "auto" / "reference" / "blocked" / "dc", for the
-//                        factorization tier built on these kernels
-//                        (qr/cholesky/eigen_sym; "dc" additionally swaps the
-//                        tridiagonal QL iteration for divide-and-conquer).
+//   LRM_FACTOR_KERNEL  — "auto" / "reference" / "blocked" / "dc" /
+//                        "partial", for the factorization tier built on
+//                        these kernels (qr/cholesky/eigen_sym; "dc"
+//                        additionally swaps the tridiagonal QL iteration for
+//                        divide-and-conquer, "partial" forces the
+//                        bisection + inverse-iteration subset eigensolver
+//                        inside PartialSymmetricEigen).
 
 #ifndef LRM_LINALG_KERNELS_KERNELS_H_
 #define LRM_LINALG_KERNELS_KERNELS_H_
@@ -59,8 +62,11 @@ enum class GemmImpl { kAuto, kReference, kBlocked };
 /// GEMM-rich blocked algorithms, kAuto picks by problem size. kDc
 /// additionally selects the divide-and-conquer tridiagonal eigensolver
 /// (linalg/eigen_dc.h) inside SymmetricEigen; QR and Cholesky treat it
-/// like kBlocked (they have no QL-vs-D&C split).
-enum class FactorImpl { kAuto, kReference, kBlocked, kDc };
+/// like kBlocked (they have no QL-vs-D&C split). kPartial forces the
+/// Sturm-bisection + inverse-iteration subset path inside
+/// PartialSymmetricEigen even below its auto threshold; full-spectrum
+/// solves and the other factorizations treat it like kDc.
+enum class FactorImpl { kAuto, kReference, kBlocked, kDc, kPartial };
 
 /// \brief Worker threads GEMM may use. Resolved once from LRM_GEMM_THREADS
 /// (falling back to std::thread::hardware_concurrency), unless overridden.
@@ -79,8 +85,8 @@ GemmImpl ActiveGemmImpl();
 void SetGemmImpl(GemmImpl impl);
 
 /// \brief Active factorization-tier choice. Resolved once from
-/// LRM_FACTOR_KERNEL ("auto" | "reference" | "blocked" | "dc") unless
-/// overridden.
+/// LRM_FACTOR_KERNEL ("auto" | "reference" | "blocked" | "dc" | "partial")
+/// unless overridden.
 FactorImpl ActiveFactorImpl();
 
 /// \brief Overrides ActiveFactorImpl() (tests/benchmarks); `kAuto` restores

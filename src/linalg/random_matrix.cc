@@ -19,6 +19,23 @@ void RandomGaussianMatrixInto(rng::Engine& engine, Index rows, Index cols,
   }
 }
 
+void AppendGaussianColumns(rng::Engine& engine, Index rows, Index added,
+                           Matrix* out) {
+  const Index old_cols = out->size() == 0 ? 0 : out->cols();
+  Matrix grown(rows, old_cols + added);
+  for (Index i = 0; i < (old_cols > 0 ? rows : 0); ++i) {
+    for (Index j = 0; j < old_cols; ++j) grown(i, j) = (*out)(i, j);
+  }
+  // Column-major draw so each appended column consumes a contiguous run of
+  // the engine's stream regardless of how many columns came before it.
+  for (Index j = old_cols; j < old_cols + added; ++j) {
+    for (Index i = 0; i < rows; ++i) {
+      grown(i, j) = rng::SampleGaussian(engine);
+    }
+  }
+  *out = std::move(grown);
+}
+
 Vector RandomGaussianVector(rng::Engine& engine, Index n) {
   Vector result(n);
   for (Index i = 0; i < n; ++i) result[i] = rng::SampleGaussian(engine);

@@ -87,6 +87,47 @@ Status JacobiOrthogonalize(Matrix& work, Matrix& v,
       "JacobiSvd: not converged after %d sweeps", options.max_sweeps));
 }
 
+// Converts an ascending symmetric eigen factorization of the Gram matrix
+// (AAᵀ when use_aat, AᵀA otherwise) into descending singular triplets of A
+// and recovers the other factor as Aᵀ·U·Σ⁻¹ (resp. A·V·Σ⁻¹). `eig` may hold
+// the full spectrum or any top-k suffix — the recovery is per-column.
+SvdResult RecoverSvdFromGramEigen(const Matrix& a, bool use_aat,
+                                  const SymmetricEigenResult& eig) {
+  const Index p = eig.eigenvectors.rows();
+  const Index k = eig.eigenvalues.size();
+  // Eigenvalues ascending; convert to descending singular values.
+  Vector s(k);
+  Matrix w(p, k);  // eigenvectors reordered descending
+  for (Index j = 0; j < k; ++j) {
+    const Index src = k - 1 - j;
+    const double lambda = std::max(eig.eigenvalues[src], 0.0);
+    s[j] = std::sqrt(lambda);
+    for (Index i = 0; i < p; ++i) w(i, j) = eig.eigenvectors(i, src);
+  }
+
+  // Recover the other factor: if W holds eigenvectors of AAᵀ (i.e. U), then
+  // V = Aᵀ U Σ⁻¹; symmetric in the other case.
+  const double cutoff =
+      (k > 0 ? s[0] : 0.0) * std::numeric_limits<double>::epsilon() *
+      static_cast<double>(std::max(a.rows(), a.cols()));
+  if (use_aat) {
+    Matrix u = std::move(w);            // m×k
+    Matrix v = MultiplyAtB(a, u);       // n×k = Aᵀ·U
+    for (Index j = 0; j < k; ++j) {
+      const double inv = s[j] > cutoff ? 1.0 / s[j] : 0.0;
+      for (Index i = 0; i < v.rows(); ++i) v(i, j) *= inv;
+    }
+    return SvdResult{std::move(u), std::move(s), std::move(v)};
+  }
+  Matrix v = std::move(w);         // n×k
+  Matrix u = a * v;                // m×k = A·V
+  for (Index j = 0; j < k; ++j) {
+    const double inv = s[j] > cutoff ? 1.0 / s[j] : 0.0;
+    for (Index i = 0; i < u.rows(); ++i) u(i, j) *= inv;
+  }
+  return SvdResult{std::move(u), std::move(s), std::move(v)};
+}
+
 }  // namespace
 
 Matrix SvdResult::Reconstruct() const {
@@ -142,39 +183,38 @@ StatusOr<SvdResult> GramSvd(const Matrix& a) {
   const bool use_aat = a.rows() <= a.cols();
   const Matrix gram = use_aat ? GramAAt(a) : GramAtA(a);
   LRM_ASSIGN_OR_RETURN(SymmetricEigenResult eig, SymmetricEigen(gram));
+  return RecoverSvdFromGramEigen(a, use_aat, eig);
+}
 
-  const Index k = gram.rows();
-  // Eigenvalues ascending; convert to descending singular values.
-  Vector s(k);
-  Matrix w(k, k);  // eigenvectors reordered descending
-  for (Index j = 0; j < k; ++j) {
-    const Index src = k - 1 - j;
-    const double lambda = std::max(eig.eigenvalues[src], 0.0);
-    s[j] = std::sqrt(lambda);
-    for (Index i = 0; i < k; ++i) w(i, j) = eig.eigenvectors(i, src);
+StatusOr<SvdResult> PartialGramSvd(const Matrix& a, Index k) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("PartialGramSvd: empty matrix");
   }
+  if (k <= 0) {
+    return Status::InvalidArgument("PartialGramSvd: k must be > 0");
+  }
+  const bool use_aat = a.rows() <= a.cols();
+  const Matrix gram = use_aat ? GramAAt(a) : GramAtA(a);
+  LRM_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
+                       PartialSymmetricEigen(gram, k));
+  return RecoverSvdFromGramEigen(a, use_aat, eig);
+}
 
-  // Recover the other factor: if W holds eigenvectors of AAᵀ (i.e. U), then
-  // V = Aᵀ U Σ⁻¹; symmetric in the other case.
-  const double cutoff =
-      (s.size() > 0 ? s[0] : 0.0) * std::numeric_limits<double>::epsilon() *
-      static_cast<double>(std::max(a.rows(), a.cols()));
-  if (use_aat) {
-    Matrix u = w;                       // m×k
-    Matrix v = MultiplyAtB(a, u);       // n×k = Aᵀ·U
-    for (Index j = 0; j < k; ++j) {
-      const double inv = s[j] > cutoff ? 1.0 / s[j] : 0.0;
-      for (Index i = 0; i < v.rows(); ++i) v(i, j) *= inv;
-    }
-    return SvdResult{std::move(u), std::move(s), std::move(v)};
+StatusOr<SvdResult> PartialGramSvdWithRank(const Matrix& a, double rel_tol,
+                                           double growth, Index* rank) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("PartialGramSvdWithRank: empty matrix");
   }
-  Matrix v = w;                    // n×k
-  Matrix u = a * v;                // m×k = A·V
-  for (Index j = 0; j < k; ++j) {
-    const double inv = s[j] > cutoff ? 1.0 / s[j] : 0.0;
-    for (Index i = 0; i < u.rows(); ++i) u(i, j) *= inv;
-  }
-  return SvdResult{std::move(u), std::move(s), std::move(v)};
+  const bool use_aat = a.rows() <= a.cols();
+  const Matrix gram = use_aat ? GramAAt(a) : GramAtA(a);
+  // σ > tol·σ₁ on A is λ > tol²·λ_max on the Gram matrix.
+  const double tol = GramRankTolerance(rel_tol);
+  Index count = 0;
+  LRM_ASSIGN_OR_RETURN(
+      SymmetricEigenResult eig,
+      PartialSymmetricEigenAboveCutoff(gram, tol * tol, growth, &count));
+  if (rank != nullptr) *rank = count;
+  return RecoverSvdFromGramEigen(a, use_aat, eig);
 }
 
 StatusOr<SvdResult> RandomizedSvd(const Matrix& a, Index target_rank,
@@ -194,11 +234,37 @@ StatusOr<SvdResult> RandomizedSvd(const Matrix& a, Index target_rank,
   RandomizedSvdWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   rng::Engine engine(options.seed);
+  RandomGaussianMatrixInto(engine, a.cols(), sketch, &ws.omega);
+  return RandomizedSvdWithTestMatrix(a, target_rank, ws.omega, options,
+                                     &ws);
+}
+
+StatusOr<SvdResult> RandomizedSvdWithTestMatrix(
+    const Matrix& a, Index target_rank, const Matrix& omega,
+    const RandomizedSvdOptions& options, RandomizedSvdWorkspace* workspace) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("RandomizedSvd: empty matrix");
+  }
+  if (target_rank <= 0) {
+    return Status::InvalidArgument("RandomizedSvd: target_rank must be > 0");
+  }
+  if (omega.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        "RandomizedSvd: test matrix must have a.cols() rows");
+  }
+  if (omega.cols() <= 0 || omega.cols() > std::min(a.rows(), a.cols())) {
+    return Status::InvalidArgument(
+        "RandomizedSvd: test matrix width must be in [1, min(m, n)]");
+  }
+
+  RandomizedSvdWorkspace local;
+  RandomizedSvdWorkspace& ws = workspace != nullptr ? *workspace : local;
+
   // Range finder: Y = A·Ω, then orthonormalize. Every product below writes
   // into a workspace buffer and every orthonormalization reuses the shared
-  // QR scratch, so passes after the first allocate nothing.
-  RandomGaussianMatrixInto(engine, a.cols(), sketch, &ws.omega);
-  MultiplyInto(a, ws.omega, &ws.y);
+  // QR scratch, so passes after the first allocate nothing. (`omega` may
+  // alias ws.omega — it is only read, never resized, in this function.)
+  MultiplyInto(a, omega, &ws.y);
   LRM_RETURN_IF_ERROR(OrthonormalizeColumnsInto(ws.y, &ws.q, &ws.qr));
 
   // Power iterations sharpen the spectrum: Q ← orth(A·orth(Aᵀ·Q)).
@@ -243,13 +309,20 @@ Index NumericalRank(const SvdResult& svd, double rel_tol) {
 }
 
 StatusOr<Index> EstimateRank(const Matrix& a, double rel_tol) {
-  LRM_ASSIGN_OR_RETURN(SvdResult svd, Svd(a));
-  if (std::min(a.rows(), a.cols()) > kSvdJacobiDispatchLimit) {
-    // The Gram path squares the condition number: singular values below
-    // ~√ε·σ₁ are numerical noise, so tighter cutoffs would overcount.
-    rel_tol = std::max(rel_tol, 1e-7);
+  if (std::min(a.rows(), a.cols()) <= kSvdJacobiDispatchLimit) {
+    LRM_ASSIGN_OR_RETURN(SvdResult svd, JacobiSvd(a));
+    return NumericalRank(svd, rel_tol);
   }
-  return NumericalRank(svd, rel_tol);
+  // At size, count instead of decompose: σ > tol·σ₁ on A is λ > tol²·λ_max
+  // on the Gram matrix, and a Sturm count answers that with one
+  // tridiagonalization and two bisections — no eigenvectors at all. The
+  // tolerance floor compensates the squared condition number (singular
+  // values below ~√ε·σ₁ are numerical noise; tighter cutoffs would
+  // overcount).
+  const double tol = GramRankTolerance(rel_tol);
+  const bool use_aat = a.rows() <= a.cols();
+  const Matrix gram = use_aat ? GramAAt(a) : GramAtA(a);
+  return SymmetricEigenCountAbove(gram, tol * tol);
 }
 
 Matrix PseudoInverseFromSvd(const SvdResult& svd, double rel_tol) {

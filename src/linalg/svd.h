@@ -55,6 +55,22 @@ StatusOr<SvdResult> JacobiSvd(const Matrix& a, const SvdOptions& options = {});
 /// keeps the exact-SVD fallback usable at the paper's n ≈ 4096 domains.
 StatusOr<SvdResult> GramSvd(const Matrix& a);
 
+/// \brief Top-k truncation of GramSvd: only the k largest singular triplets,
+/// via PartialSymmetricEigen on the smaller Gram matrix — O(p²·k) after the
+/// reduction instead of the full O(p³) eigensolve (p = min(m, n)). Same
+/// accuracy caveat as GramSvd. k is clamped to p.
+StatusOr<SvdResult> PartialGramSvd(const Matrix& a, Index k);
+
+/// \brief Rank-adaptive PartialGramSvd: one reduction of the Gram matrix, a
+/// Sturm count of singular values above rel_tol·σ₁ (`*rank` receives it —
+/// the numerical rank under GramSvd's conventions), then the top
+/// min(⌈growth·rank⌉, p) triplets, all without ever computing the rest of
+/// the spectrum. `rel_tol` is clamped through GramRankTolerance(). This is
+/// the decomposition's exact-fallback workhorse: rank search plus the
+/// Lemma-3 triplets in a single partial factorization.
+StatusOr<SvdResult> PartialGramSvdWithRank(const Matrix& a, double rel_tol,
+                                           double growth, Index* rank);
+
 /// \brief Options for RandomizedSvd.
 struct RandomizedSvdOptions {
   /// Oversampling columns added to the target rank.
@@ -86,6 +102,19 @@ StatusOr<SvdResult> RandomizedSvd(const Matrix& a, Index target_rank,
                                   const RandomizedSvdOptions& options = {},
                                   RandomizedSvdWorkspace* workspace = nullptr);
 
+/// \brief RandomizedSvd with a caller-supplied Gaussian test matrix `omega`
+/// (a.cols() × sketch; the sketch width is omega's column count, which must
+/// be ≥ target_rank's effective truncation). This is the column-reuse seam
+/// for sketch-doubling rank search: the caller appends fresh columns to the
+/// same omega across attempts (linalg/random_matrix.h
+/// AppendGaussianColumns) instead of redrawing the whole test matrix, so
+/// widening a sketch reuses every product structure already paid for and
+/// the draw order stays deterministic.
+StatusOr<SvdResult> RandomizedSvdWithTestMatrix(
+    const Matrix& a, Index target_rank, const Matrix& omega,
+    const RandomizedSvdOptions& options = {},
+    RandomizedSvdWorkspace* workspace = nullptr);
+
 /// \brief Shape threshold of the Svd() dispatcher: min(m, n) at or below
 /// this uses JacobiSvd, larger shapes use GramSvd.
 inline constexpr Index kSvdJacobiDispatchLimit = 160;
@@ -94,10 +123,31 @@ inline constexpr Index kSvdJacobiDispatchLimit = 160;
 StatusOr<SvdResult> Svd(const Matrix& a);
 
 /// \brief Number of singular values > rel_tol · σ_max.
+///
+/// The tolerance is RELATIVE — always a fraction of the largest singular
+/// value, never an absolute threshold; there is no absolute-tolerance
+/// variant in this codebase. Callers holding a spectrum that came through a
+/// Gram factorization (GramSvd, PartialGramSvd, the sketched range finders)
+/// must clamp their tolerance through GramRankTolerance() first: the Gram
+/// step squares the condition number, so values below ~√ε·σ₁ are numerical
+/// noise and a tighter cutoff would count garbage as spectrum.
 Index NumericalRank(const SvdResult& svd, double rel_tol = 1e-9);
 
-/// \brief Numerical rank of `a`: exact (full SVD) when min(m,n) ≤ 1024,
-/// sketched otherwise.
+/// \brief Floor on relative rank tolerances for Gram-derived spectra
+/// (~√ε: singular values below this fraction of σ₁ cannot be resolved once
+/// the spectrum has been squared).
+inline constexpr double kGramRankTolFloor = 1e-7;
+
+/// \brief Effective relative rank tolerance on the Gram path:
+/// max(rel_tol, kGramRankTolFloor).
+inline double GramRankTolerance(double rel_tol) {
+  return rel_tol > kGramRankTolFloor ? rel_tol : kGramRankTolFloor;
+}
+
+/// \brief Numerical rank of `a`: exact Jacobi SVD when
+/// min(m,n) ≤ kSvdJacobiDispatchLimit; above it, a Sturm count on the
+/// reduced Gram matrix (SymmetricEigenCountAbove) — no eigenvectors, no
+/// full spectrum, with rel_tol clamped through GramRankTolerance().
 StatusOr<Index> EstimateRank(const Matrix& a, double rel_tol = 1e-9);
 
 /// \brief Moore–Penrose pseudo-inverse from a precomputed SVD; singular

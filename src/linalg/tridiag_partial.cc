@@ -1,0 +1,424 @@
+#include "linalg/tridiag_partial.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "base/string_util.h"
+#include "linalg/kernels/parallel.h"
+
+namespace lrm::linalg::internal {
+
+namespace {
+
+namespace kernels = lrm::linalg::kernels;
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+// An unreduced diagonal span of the tridiagonal: couplings at both ends are
+// negligible, so its spectrum is independent of the rest of the matrix and
+// its eigenvectors are supported on [begin, begin + size) alone.
+struct Block {
+  Index begin = 0;
+  Index size = 0;
+  double lo = 0.0;     // widened Gershgorin lower bound
+  double hi = 0.0;     // widened Gershgorin upper bound
+  double norm = 0.0;   // max(|lo|, |hi|): the block's spectral scale
+};
+
+// Smallest admissible |pivot| in the Sturm recurrence (LAPACK dstebz's
+// pivmin): keeps e²/pivot finite for any representable e.
+double ComputePivmin(Index n, const double* e) {
+  double emax2 = 1.0;
+  for (Index i = 1; i < n; ++i) emax2 = std::max(emax2, e[i] * e[i]);
+  return std::numeric_limits<double>::min() * emax2;
+}
+
+// Number of eigenvalues of the span (d[0..nb), couplings e[1..nb)) strictly
+// below x: the count of negative pivots of the LDLᵀ recurrence of T − x·I.
+// e[0] — the coupling to whatever precedes the span — is never read.
+Index CountBelowSpan(const double* d, const double* e, Index nb, double x,
+                     double pivmin) {
+  Index count = 0;
+  double q = d[0] - x;
+  if (std::abs(q) <= pivmin) q = -pivmin;
+  if (q < 0.0) ++count;
+  for (Index i = 1; i < nb; ++i) {
+    q = d[i] - x - e[i] * e[i] / q;
+    if (std::abs(q) <= pivmin) q = -pivmin;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+// Splits the tridiagonal into independent blocks where the coupling is
+// negligible relative to its neighboring diagonals, and computes widened
+// Gershgorin bounds per block (widened so count(lo) = 0 and count(hi) = nb
+// hold exactly for the bisection invariants).
+std::vector<Block> SplitBlocks(Index n, const double* d, const double* e,
+                               double pivmin) {
+  std::vector<Block> blocks;
+  Index begin = 0;
+  for (Index i = 1; i <= n; ++i) {
+    const bool split =
+        i == n ||
+        std::abs(e[i]) <= kEps * (std::abs(d[i - 1]) + std::abs(d[i]));
+    if (!split) continue;
+    Block b;
+    b.begin = begin;
+    b.size = i - begin;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (Index r = begin; r < i; ++r) {
+      const double radius = (r > begin ? std::abs(e[r]) : 0.0) +
+                            (r + 1 < i ? std::abs(e[r + 1]) : 0.0);
+      lo = std::min(lo, d[r] - radius);
+      hi = std::max(hi, d[r] + radius);
+    }
+    b.norm = std::max(std::abs(lo), std::abs(hi));
+    const double slack =
+        2.0 * kEps * b.norm * static_cast<double>(b.size) + 2.0 * pivmin;
+    b.lo = lo - slack;
+    b.hi = hi + slack;
+    blocks.push_back(b);
+    begin = i;
+  }
+  return blocks;
+}
+
+// Locates the j-th (0-based, ascending) eigenvalue of the span by bisection.
+// Invariant: count(lo) ≤ j < count(hi).
+double BisectEigenvalue(const double* d, const double* e, Index nb, Index j,
+                        double lo, double hi, double norm, double pivmin) {
+  for (int it = 0; it < 256; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // interval is at ulp resolution
+    if (CountBelowSpan(d, e, nb, mid, pivmin) > j) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    const double tol =
+        0.5 * kEps * (std::abs(lo) + std::abs(hi) + norm) + 2.0 * pivmin;
+    if (hi - lo <= tol) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+// ---------------------------------------------------------------------------
+// Inverse iteration (LAPACK dlagtf/dlagts structure): tridiagonal LU with
+// partial pivoting of T − λ·I, then repeated solves from a deterministic
+// pseudorandom start vector, reorthogonalized against earlier vectors of the
+// same eigenvalue cluster.
+// ---------------------------------------------------------------------------
+
+// LU factors of the shifted span, partial pivoting. On entry diag/sup/sub
+// hold T − λ·I; on return diag is U's diagonal, sup its first superdiagonal,
+// sup2 its second (fill-in), sub the L multipliers, and swapped[i] records
+// whether rows i and i+1 were exchanged.
+void FactorShiftedTridiag(Index nb, double* diag, double* sup, double* sub,
+                          double* sup2, unsigned char* swapped) {
+  for (Index i = 0; i + 1 < nb; ++i) {
+    if (std::abs(diag[i]) >= std::abs(sub[i])) {
+      const double mult = diag[i] != 0.0 ? sub[i] / diag[i] : 0.0;
+      sub[i] = mult;
+      diag[i + 1] -= mult * sup[i];
+      if (i + 2 < nb) sup2[i] = 0.0;
+      swapped[i] = 0;
+    } else {
+      const double mult = diag[i] / sub[i];
+      diag[i] = sub[i];
+      const double temp = diag[i + 1];
+      diag[i + 1] = sup[i] - mult * temp;
+      if (i + 2 < nb) {
+        sup2[i] = sup[i + 1];
+        sup[i + 1] = -mult * sup2[i];
+      }
+      sup[i] = temp;
+      sub[i] = mult;
+      swapped[i] = 1;
+    }
+  }
+}
+
+// Solves (T − λ·I)·y = rhs in place from the factors above. Pivots are
+// floored in magnitude to piv_floor so the (intentionally) near-singular
+// solve amplifies the null direction instead of dividing by zero, and the
+// whole vector is rescaled whenever an entry grows past kGrowLimit — the
+// solution then solves a scaled right-hand side, which inverse iteration is
+// indifferent to.
+void SolveShiftedTridiag(Index nb, const double* diag, const double* sup,
+                         const double* sub, const double* sup2,
+                         const unsigned char* swapped, double piv_floor,
+                         double* y) {
+  constexpr double kGrowLimit = 1e100;
+  for (Index i = 0; i + 1 < nb; ++i) {
+    if (swapped[i] == 0) {
+      y[i + 1] -= sub[i] * y[i];
+    } else {
+      const double temp = y[i];
+      y[i] = y[i + 1];
+      y[i + 1] = temp - sub[i] * y[i];
+    }
+  }
+  const auto floored = [piv_floor](double p) {
+    if (std::abs(p) >= piv_floor) return p;
+    return p < 0.0 ? -piv_floor : piv_floor;
+  };
+  const auto rescale_if_huge = [&](Index solved_from) {
+    const double mag = std::abs(y[solved_from]);
+    if (mag <= kGrowLimit) return;
+    const double s = kGrowLimit / mag;
+    for (Index r = 0; r < nb; ++r) y[r] *= s;
+  };
+  y[nb - 1] /= floored(diag[nb - 1]);
+  rescale_if_huge(nb - 1);
+  if (nb >= 2) {
+    y[nb - 2] = (y[nb - 2] - sup[nb - 2] * y[nb - 1]) / floored(diag[nb - 2]);
+    rescale_if_huge(nb - 2);
+  }
+  for (Index i = nb - 3; i >= 0; --i) {
+    y[i] = (y[i] - sup[i] * y[i + 1] - sup2[i] * y[i + 2]) / floored(diag[i]);
+    rescale_if_huge(i);
+  }
+}
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Deterministic start vector for output column `col`, entries in [-0.5, 0.5).
+// Keyed by the column (not by task or thread), so results are bitwise
+// reproducible across LRM_GEMM_THREADS.
+void FillStartVector(Index col, std::uint64_t salt, Index nb, double* x) {
+  std::uint64_t state =
+      (static_cast<std::uint64_t>(col) + 1) * 0xD1B54A32D192ED03ull + salt;
+  for (Index i = 0; i < nb; ++i) {
+    x[i] =
+        static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53 - 0.5;
+  }
+}
+
+// One eigenvalue cluster of one block: output columns (into z) and the
+// cluster-adjusted shifts to invert at, both ascending.
+struct Cluster {
+  Index block = 0;
+  std::vector<Index> cols;
+  std::vector<double> shifts;
+};
+
+// Inverse iteration for every member of one cluster, in ascending order,
+// each reorthogonalized (modified Gram-Schmidt, fixed order) against the
+// members already accepted. Writes the block's support rows of each output
+// column of z; rows outside the block stay zero. Returns false if a vector
+// never came out finite and nonzero.
+bool SolveCluster(const Cluster& cluster, const Block& blk, const double* d,
+                  const double* e, Matrix* z) {
+  const Index nb = blk.size;
+  const Index b0 = blk.begin;
+  const Index kcols = z->cols();
+  const double scale = std::max(blk.norm, std::numeric_limits<double>::min());
+  const double piv_floor = std::max(
+      kEps * scale, std::numeric_limits<double>::min() * 1e16);
+  const double growth_accept = 1.0 / (std::sqrt(kEps) * scale);
+  constexpr int kMaxIterations = 5;
+
+  std::vector<double> diag(nb), sup(nb), sub(nb), sup2(nb), x(nb), y(nb);
+  std::vector<unsigned char> swapped(nb);
+  double* zdata = z->data();
+
+  for (std::size_t m = 0; m < cluster.cols.size(); ++m) {
+    const Index col = cluster.cols[m];
+    const double shift = cluster.shifts[m];
+    for (Index i = 0; i < nb; ++i) {
+      diag[i] = d[b0 + i] - shift;
+      const double coupling = i + 1 < nb ? e[b0 + i + 1] : 0.0;
+      sup[i] = coupling;
+      sub[i] = coupling;
+    }
+    FactorShiftedTridiag(nb, diag.data(), sup.data(), sub.data(), sup2.data(),
+                         swapped.data());
+
+    bool accepted = false;
+    for (std::uint64_t attempt = 0; attempt < 3 && !accepted; ++attempt) {
+      FillStartVector(col, attempt * 0x9E3779B97F4A7C15ull, nb, x.data());
+      for (int iter = 0; iter < kMaxIterations; ++iter) {
+        std::copy(x.begin(), x.end(), y.begin());
+        SolveShiftedTridiag(nb, diag.data(), sup.data(), sub.data(),
+                            sup2.data(), swapped.data(), piv_floor, y.data());
+        // Project out the cluster members already accepted (their support is
+        // this same block, rows b0..b0+nb).
+        for (std::size_t p = 0; p < m; ++p) {
+          const Index pcol = cluster.cols[p];
+          double dot = 0.0;
+          for (Index i = 0; i < nb; ++i) {
+            dot += y[i] * zdata[(b0 + i) * kcols + pcol];
+          }
+          for (Index i = 0; i < nb; ++i) {
+            y[i] -= dot * zdata[(b0 + i) * kcols + pcol];
+          }
+        }
+        double norm2 = 0.0;
+        for (Index i = 0; i < nb; ++i) norm2 += y[i] * y[i];
+        const double norm = std::sqrt(norm2);
+        if (!std::isfinite(norm) || norm == 0.0) break;  // reseed and retry
+        const double inv = 1.0 / norm;
+        for (Index i = 0; i < nb; ++i) x[i] = y[i] * inv;
+        if (iter >= 1 && norm >= growth_accept) {
+          accepted = true;
+          break;
+        }
+        if (iter == kMaxIterations - 1) accepted = true;  // best effort
+      }
+    }
+    if (!accepted) return false;
+    for (Index i = 0; i < nb; ++i) zdata[(b0 + i) * kcols + col] = x[i];
+  }
+  return true;
+}
+
+}  // namespace
+
+Index TridiagCountBelow(Index n, const double* d, const double* e, double x) {
+  if (n <= 0) return 0;
+  const double pivmin = ComputePivmin(n, e);
+  return CountBelowSpan(d, e, n, x, pivmin);
+}
+
+double TridiagMaxEigenvalue(Index n, const double* d, const double* e) {
+  const double pivmin = ComputePivmin(n, e);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (Index i = 0; i < n; ++i) {
+    const double radius =
+        (i > 0 ? std::abs(e[i]) : 0.0) + (i + 1 < n ? std::abs(e[i + 1]) : 0.0);
+    lo = std::min(lo, d[i] - radius);
+    hi = std::max(hi, d[i] + radius);
+  }
+  const double norm = std::max(std::abs(lo), std::abs(hi));
+  const double slack = 2.0 * kEps * norm * static_cast<double>(n) +
+                       2.0 * pivmin;
+  return BisectEigenvalue(d, e, n, n - 1, lo - slack, hi + slack, norm,
+                          pivmin);
+}
+
+Status TridiagTopKEigen(Index n, const double* d, const double* e, Index k,
+                        Vector* eigenvalues, Matrix* z,
+                        TridiagPartialWorkspace* ws) {
+  if (n <= 0 || k <= 0 || k > n) {
+    return Status::InvalidArgument(
+        StrFormat("TridiagTopKEigen: need 1 <= k <= n, got k=%td n=%td", k,
+                  n));
+  }
+  TridiagPartialWorkspace local;
+  TridiagPartialWorkspace& w = ws != nullptr ? *ws : local;
+
+  const double pivmin = ComputePivmin(n, e);
+  const std::vector<Block> blocks = SplitBlocks(n, d, e, pivmin);
+
+  // Candidate eigenvalues: each block contributes its top min(k, size), so
+  // the global top k is always covered. Every candidate is one independent
+  // bisection task.
+  Index total = 0;
+  for (const Block& b : blocks) total += std::min(k, b.size);
+  w.cand_value.resize(static_cast<std::size_t>(total));
+  w.cand_block.resize(static_cast<std::size_t>(total));
+  w.cand_index.resize(static_cast<std::size_t>(total));
+  Index c = 0;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Index nb = blocks[bi].size;
+    const Index take = std::min(k, nb);
+    for (Index j = nb - take; j < nb; ++j, ++c) {
+      w.cand_block[static_cast<std::size_t>(c)] = static_cast<Index>(bi);
+      w.cand_index[static_cast<std::size_t>(c)] = j;
+    }
+  }
+  kernels::ParallelFor(total, [&](Index cand) {
+    const Block& b =
+        blocks[static_cast<std::size_t>(w.cand_block[
+            static_cast<std::size_t>(cand)])];
+    w.cand_value[static_cast<std::size_t>(cand)] = BisectEigenvalue(
+        d + b.begin, e + b.begin, b.size,
+        w.cand_index[static_cast<std::size_t>(cand)], b.lo, b.hi, b.norm,
+        pivmin);
+  });
+
+  // Global top k, ascending. Ties break by (block, in-block index) so the
+  // selection — and with it the output column order — is deterministic.
+  w.order.resize(static_cast<std::size_t>(total));
+  std::iota(w.order.begin(), w.order.end(), Index{0});
+  std::sort(w.order.begin(), w.order.end(), [&](Index a, Index b) {
+    const auto ia = static_cast<std::size_t>(a);
+    const auto ib = static_cast<std::size_t>(b);
+    if (w.cand_value[ia] != w.cand_value[ib]) {
+      return w.cand_value[ia] < w.cand_value[ib];
+    }
+    if (w.cand_block[ia] != w.cand_block[ib]) {
+      return w.cand_block[ia] < w.cand_block[ib];
+    }
+    return w.cand_index[ia] < w.cand_index[ib];
+  });
+  w.selected.assign(w.order.end() - k, w.order.end());
+
+  *eigenvalues = Vector(k);
+  for (Index i = 0; i < k; ++i) {
+    (*eigenvalues)[i] =
+        w.cand_value[static_cast<std::size_t>(w.selected[
+            static_cast<std::size_t>(i)])];
+  }
+  z->Resize(n, k);  // zero-filled; blocks write only their support rows
+
+  // Group each block's selected eigenvalues into clusters (gap ≤ 10⁻³ of
+  // the block's spectral scale, the dstein threshold) and separate
+  // numerically coincident shifts so each inverse iteration has its own
+  // pole. Reported eigenvalues stay the bisected ones; only the shifts used
+  // for the solves are perturbed.
+  std::vector<Cluster> clusters;
+  w.solve_lambda.resize(static_cast<std::size_t>(k));
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const double ortol = 1e-3 * std::max(blocks[bi].norm, pivmin);
+    const double sep = 10.0 * kEps * std::max(blocks[bi].norm, pivmin);
+    Cluster* current = nullptr;
+    for (Index i = 0; i < k; ++i) {
+      const auto cand = static_cast<std::size_t>(
+          w.selected[static_cast<std::size_t>(i)]);
+      if (w.cand_block[cand] != static_cast<Index>(bi)) continue;
+      const double value = w.cand_value[cand];
+      if (current == nullptr || value - current->shifts.back() > ortol) {
+        clusters.emplace_back();
+        current = &clusters.back();
+        current->block = static_cast<Index>(bi);
+        current->cols.push_back(i);
+        current->shifts.push_back(value);
+      } else {
+        current->cols.push_back(i);
+        current->shifts.push_back(
+            std::max(value, current->shifts.back() + sep));
+      }
+    }
+  }
+
+  std::atomic<bool> failed{false};
+  kernels::ParallelFor(static_cast<Index>(clusters.size()), [&](Index ci) {
+    const Cluster& cluster = clusters[static_cast<std::size_t>(ci)];
+    const Block& blk = blocks[static_cast<std::size_t>(cluster.block)];
+    if (!SolveCluster(cluster, blk, d, e, z)) {
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (failed.load(std::memory_order_relaxed)) {
+    return Status::NumericalError(
+        "TridiagTopKEigen: inverse iteration produced no finite eigenvector");
+  }
+  return Status::OK();
+}
+
+}  // namespace lrm::linalg::internal

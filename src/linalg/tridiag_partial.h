@@ -1,0 +1,71 @@
+// Partial spectrum of a symmetric tridiagonal matrix: the top-k eigenpairs
+// without touching the rest of the spectrum.
+//
+// Eigenvalues come from bisection on Sturm-sequence counts (the LAPACK
+// dstebz recipe): the count of eigenvalues below x is the number of negative
+// pivots in the LDLᵀ recurrence of T − x·I, so each eigenvalue is located
+// independently to full precision in O(n·log(range/ulp)) — and the k
+// bisections are embarrassingly parallel. Eigenvectors come from inverse
+// iteration on (T − λ·I) with partial-pivoting tridiagonal LU (the dstein
+// recipe), reorthogonalized inside clusters of nearby eigenvalues so
+// repeated/close eigenvalues still yield an orthonormal basis. Total cost is
+// O(n·k) plus the bisections — the O(n²·k) term of a partial *dense* solve
+// lives entirely in the tridiagonalization and back-transformation
+// (eigen_sym.cc), never here.
+//
+// Determinism: bisection tasks and per-cluster inverse iterations run on
+// kernels::ParallelFor with one task per eigenvalue/cluster and disjoint
+// outputs, and inverse-iteration start vectors are derived from a SplitMix64
+// stream keyed by the output column — results are bitwise identical across
+// LRM_GEMM_THREADS settings.
+
+#ifndef LRM_LINALG_TRIDIAG_PARTIAL_H_
+#define LRM_LINALG_TRIDIAG_PARTIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/status_or.h"
+#include "linalg/matrix.h"
+
+namespace lrm::linalg::internal {
+
+using Index = std::ptrdiff_t;
+
+/// \brief Number of eigenvalues of the symmetric tridiagonal (d, e) that are
+/// strictly below `x` (up to the pivot safeguard). `d` has n entries, `e`
+/// follows the eigen_sym convention: e[i] couples rows i-1 and i, e[0] is
+/// ignored. O(n).
+Index TridiagCountBelow(Index n, const double* d, const double* e, double x);
+
+/// \brief Largest eigenvalue of the symmetric tridiagonal (d, e), located by
+/// bisection inside the Gershgorin bound. Same conventions as
+/// TridiagCountBelow.
+double TridiagMaxEigenvalue(Index n, const double* d, const double* e);
+
+/// \brief Reusable scratch for TridiagTopKEigen (candidate eigenvalue
+/// buffers, block/cluster bookkeeping). Value-semantic plain vectors; reuse
+/// across solves keeps the candidate phase allocation-free at steady state.
+struct TridiagPartialWorkspace {
+  std::vector<double> cand_value;   // bisected candidate eigenvalues
+  std::vector<Index> cand_block;    // candidate → block id
+  std::vector<Index> cand_index;    // candidate → index within its block
+  std::vector<Index> order;         // candidate sort permutation
+  std::vector<Index> selected;      // global top-k candidate ids, ascending
+  std::vector<double> solve_lambda; // cluster-adjusted shifts, per column
+};
+
+/// \brief Computes the k largest eigenpairs of the symmetric tridiagonal
+/// (d, e): `eigenvalues` receives λ_{n-k} ≤ … ≤ λ_{n-1} (ascending, aligned
+/// with SymmetricEigen's tail) and `z` the corresponding orthonormal
+/// eigenvectors as its k columns (z is resized to n×k). Requires
+/// 1 ≤ k ≤ n. The matrix is split into independent blocks where the
+/// coupling |e[i]| is negligible; eigenvectors of distinct blocks have
+/// disjoint support and are exactly orthogonal.
+Status TridiagTopKEigen(Index n, const double* d, const double* e, Index k,
+                        Vector* eigenvalues, Matrix* z,
+                        TridiagPartialWorkspace* ws);
+
+}  // namespace lrm::linalg::internal
+
+#endif  // LRM_LINALG_TRIDIAG_PARTIAL_H_

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/decomposition_init.h"
 #include "linalg/random_matrix.h"
 #include "linalg/svd.h"
 #include "rng/engine.h"
@@ -176,6 +178,67 @@ TEST(DecompositionTest, DeterministicGivenSeed) {
   ASSERT_TRUE(d2.ok());
   EXPECT_TRUE(ApproxEqual(d1->b, d2->b, 0.0));
   EXPECT_TRUE(ApproxEqual(d1->l, d2->l, 0.0));
+}
+
+// Sketch-doubling rank confirmation: rank 100 saturates the 96-column
+// starting sketch, forcing one doubling (to the 128-column cap). The lock:
+// (a) the search is bitwise deterministic across runs, and (b) its result
+// equals a single batch solve over a test matrix drawn AT FINAL WIDTH from
+// a fresh engine — which can only hold because widening appends columns to
+// the persistent test matrix in a prefix-stable draw order instead of
+// redrawing it (AppendGaussianColumns contract).
+TEST(DecompositionInitTest, SketchDoublingReusesTestColumnsDeterministically) {
+  const Index m = 256;
+  const Matrix w = LowRankMatrix(17, m, m, 100);
+  DecompositionOptions options;
+
+  linalg::SvdResult first, second;
+  Index r1 = 0, r2 = 0;
+  ASSERT_TRUE(TrySketchedInit(w, options, &first, &r1));
+  ASSERT_TRUE(TrySketchedInit(w, options, &second, &r2));
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, 120);  // ⌈1.2·100⌉
+  EXPECT_TRUE(ApproxEqual(first.u, second.u, 0.0));
+  EXPECT_TRUE(ApproxEqual(first.v, second.v, 0.0));
+
+  // Replay: widths are min(m, sketch + oversample) for sketch = 96, then
+  // min(m/2, 192) = 128 — so 104 then 136 columns of one engine(seed).
+  rng::Engine engine(options.seed);
+  Matrix omega;
+  linalg::AppendGaussianColumns(engine, m, 136, &omega);
+  linalg::RandomizedSvdOptions rsvd;
+  rsvd.seed = options.seed;
+  const StatusOr<linalg::SvdResult> batch =
+      linalg::RandomizedSvdWithTestMatrix(w, 128, omega, rsvd);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(ApproxEqual(first.u, batch->u, 0.0));
+  EXPECT_TRUE(ApproxEqual(first.v, batch->v, 0.0));
+}
+
+// The at-size exact fallback (randomized init off) rides the partial
+// Gram SVD: automatic rank must land on ⌈1.2·rank(W)⌉ and the Lemma-3
+// factors must reproduce a workload whose rank fits inside them.
+TEST(DecompositionInitTest, PartialExactFallbackMatchesAutoRank) {
+  const Matrix w = LowRankMatrix(19, 200, 220, 12);
+  DecompositionOptions options;
+  options.use_randomized_init = false;
+  const StatusOr<InitFactors> init = ColdInit(w, options);
+  ASSERT_TRUE(init.ok());
+  EXPECT_EQ(init->rank, 15);  // ⌈1.2·12⌉
+  EXPECT_EQ(init->b.cols(), 15);
+  EXPECT_EQ(init->l.rows(), 15);
+  EXPECT_LE(linalg::FrobeniusNorm(w - init->b * init->l),
+            1e-6 * linalg::FrobeniusNorm(w));
+  EXPECT_NEAR(linalg::MaxColumnAbsSum(init->l), 1.0, 1e-12);
+
+  // Caller-pinned rank takes the top-r partial path and stays consistent
+  // with the automatic one on the shared prefix.
+  DecompositionOptions pinned = options;
+  pinned.rank = 15;
+  const StatusOr<InitFactors> pinned_init = ColdInit(w, pinned);
+  ASSERT_TRUE(pinned_init.ok());
+  EXPECT_TRUE(ApproxEqual(init->b, pinned_init->b, 1e-8));
+  EXPECT_TRUE(ApproxEqual(init->l, pinned_init->l, 1e-8));
 }
 
 TEST(DecompositionTest, ExpectedNoiseErrorFormula) {

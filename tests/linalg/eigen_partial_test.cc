@@ -1,0 +1,371 @@
+// Partial-spectrum eigensolver suite (PartialSymmetricEigen and friends):
+// dispatch behavior across every LRM_FACTOR_KERNEL flavor, agreement with
+// the full divide-and-conquer oracle, the rank-adaptive AboveCutoff /
+// CountAbove entry points, workspace-reuse and thread-count determinism,
+// and the argument-validation edges. The generated-spectra property matrix
+// (clustered, Wilkinson, ± pairs, rank-deficient, …) lives in
+// eigen_properties_test.cc; this file owns everything dispatch- and
+// API-shaped.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/kernels/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/random_matrix.h"
+#include "rng/engine.h"
+#include "tests/support/matchers.h"
+
+namespace lrm::linalg {
+namespace {
+
+namespace kernels = lrm::linalg::kernels;
+
+class ScopedFactorImpl {
+ public:
+  explicit ScopedFactorImpl(kernels::FactorImpl impl) {
+    kernels::SetFactorImpl(impl);
+  }
+  ~ScopedFactorImpl() { kernels::SetFactorImpl(kernels::FactorImpl::kAuto); }
+};
+
+// Restores the environment-default GEMM thread count on scope exit.
+class ScopedGemmThreads {
+ public:
+  explicit ScopedGemmThreads(int threads) { kernels::SetGemmThreads(threads); }
+  ~ScopedGemmThreads() { kernels::SetGemmThreads(0); }
+};
+
+// Conjugates diag(spectrum) by a random orthogonal factor so the matrix is
+// dense but the spectrum is exactly known by construction.
+Matrix FromSpectrum(rng::Engine& engine, const Vector& spectrum) {
+  const Index n = spectrum.size();
+  const StatusOr<Matrix> q =
+      OrthonormalizeColumns(RandomGaussianMatrix(engine, n, n));
+  LRM_CHECK(q.ok());
+  Matrix scaled = *q;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) scaled(i, j) *= spectrum[j];
+  }
+  return MultiplyABt(scaled, *q);
+}
+
+Matrix RandomSymmetric(rng::Engine& engine, Index n) {
+  const Matrix g = RandomGaussianMatrix(engine, n, n);
+  Matrix a = g + Transpose(g);
+  a *= 0.5;
+  return a;
+}
+
+// Defining subset properties: k ascending eigenvalues matching the tail of
+// the full D&C spectrum, unit residuals, orthonormal columns.
+void CheckPartialAgainstOracle(const Matrix& a, const SymmetricEigenResult& eig,
+                               const SymmetricEigenResult& oracle, Index k,
+                               const char* label) {
+  SCOPED_TRACE(label);
+  const Index n = a.rows();
+  ASSERT_EQ(eig.eigenvalues.size(), k);
+  ASSERT_EQ(eig.eigenvectors.rows(), n);
+  ASSERT_EQ(eig.eigenvectors.cols(), k);
+  const double norm = std::max(MaxAbs(a), 1e-300);
+  const double tol = 1e-12 * static_cast<double>(n);
+
+  // Top-k eigenvalue agreement with the full solve, ascending tail order.
+  const double scale = std::max(MaxAbs(a), 1.0) * static_cast<double>(n);
+  for (Index i = 0; i < k; ++i) {
+    EXPECT_NEAR(eig.eigenvalues[i], oracle.eigenvalues[n - k + i],
+                1e-10 * scale)
+        << "eigenvalue " << i;
+    if (i > 0) {
+      EXPECT_GE(eig.eigenvalues[i], eig.eigenvalues[i - 1]);
+    }
+  }
+
+  // A·V = V·Λ.
+  const Matrix av = a * eig.eigenvectors;
+  Matrix vl = eig.eigenvectors;
+  for (Index j = 0; j < k; ++j) {
+    for (Index i = 0; i < n; ++i) vl(i, j) *= eig.eigenvalues[j];
+  }
+  EXPECT_MATRIX_NEAR(av, vl, tol * norm);
+
+  // VᵀV = I (across clusters too — the reorthogonalization contract).
+  EXPECT_MATRIX_NEAR(GramAtA(eig.eigenvectors), Matrix::Identity(k), tol);
+}
+
+// Every dispatch flavor must agree with the full D&C oracle on the top-k:
+// kReference/kBlocked/kDc slice a full solve, kPartial forces bisection +
+// inverse iteration at any size, kAuto picks by shape. Sizes straddle the
+// blocked threshold (128); k values hit singletons, the rank-search regime,
+// and the half-spectrum boundary.
+class PartialDispatchTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartialDispatchTest, AllDispatchFlavorsMatchOracle) {
+  const auto [n_int, k_int] = GetParam();
+  const Index n = n_int;
+  const Index k = std::min<Index>(k_int, n);
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 31337 + k);
+  const Matrix a = RandomSymmetric(engine, n);
+
+  StatusOr<SymmetricEigenResult> oracle = Status::InvalidArgument("unset");
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kDc);
+    oracle = SymmetricEigen(a);
+  }
+  ASSERT_TRUE(oracle.ok());
+
+  const struct {
+    kernels::FactorImpl impl;
+    const char* name;
+  } flavors[] = {
+      {kernels::FactorImpl::kReference, "reference"},
+      {kernels::FactorImpl::kBlocked, "blocked"},
+      {kernels::FactorImpl::kDc, "dc"},
+      {kernels::FactorImpl::kPartial, "partial"},
+      {kernels::FactorImpl::kAuto, "auto"},
+  };
+  for (const auto& flavor : flavors) {
+    ScopedFactorImpl force(flavor.impl);
+    const StatusOr<SymmetricEigenResult> eig = PartialSymmetricEigen(a, k);
+    ASSERT_TRUE(eig.ok()) << flavor.name << ": " << eig.status().message();
+    CheckPartialAgainstOracle(a, *eig, *oracle, k, flavor.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartialDispatchTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                      std::make_tuple(2, 2), std::make_tuple(5, 2),
+                      std::make_tuple(33, 4), std::make_tuple(64, 64),
+                      std::make_tuple(97, 13), std::make_tuple(160, 20),
+                      std::make_tuple(257, 1), std::make_tuple(257, 32),
+                      std::make_tuple(257, 129)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PartialSymmetricEigenTest, KLargerThanNClampsToFullSpectrum) {
+  rng::Engine engine(7);
+  const Matrix a = RandomSymmetric(engine, 40);
+  StatusOr<SymmetricEigenResult> oracle = Status::InvalidArgument("unset");
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kDc);
+    oracle = SymmetricEigen(a);
+  }
+  ASSERT_TRUE(oracle.ok());
+  const StatusOr<SymmetricEigenResult> eig = PartialSymmetricEigen(a, 100);
+  ASSERT_TRUE(eig.ok());
+  CheckPartialAgainstOracle(a, *eig, *oracle, 40, "clamped");
+}
+
+TEST(PartialSymmetricEigenTest, RejectsBadArguments) {
+  rng::Engine engine(11);
+  const Matrix a = RandomSymmetric(engine, 8);
+  EXPECT_EQ(PartialSymmetricEigen(a, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PartialSymmetricEigen(Matrix(3, 5), 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PartialSymmetricEigen(Matrix(), 1).status().code(),
+            StatusCode::kInvalidArgument);
+  Index count = 0;
+  EXPECT_EQ(
+      PartialSymmetricEigenAboveCutoff(a, -0.5, 1.2, &count).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PartialSymmetricEigenAboveCutoff(a, 0.5, 0.0, &count).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(SymmetricEigenCountAbove(Matrix(3, 5), 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The subset path must be bitwise reproducible: reusing one workspace
+// across solves, or solving through a fresh one, yields identical bits
+// (start vectors are keyed by output column, not by any global state).
+TEST(PartialSymmetricEigenTest, WorkspaceReuseIsBitwiseDeterministic) {
+  ScopedFactorImpl force(kernels::FactorImpl::kPartial);
+  rng::Engine engine(23);
+  const Matrix a = RandomSymmetric(engine, 150);
+  const Index k = 18;
+
+  SymmetricEigenWorkspace ws;
+  const StatusOr<SymmetricEigenResult> first = PartialSymmetricEigen(a, k, &ws);
+  ASSERT_TRUE(first.ok());
+  const StatusOr<SymmetricEigenResult> reused =
+      PartialSymmetricEigen(a, k, &ws);
+  ASSERT_TRUE(reused.ok());
+  const StatusOr<SymmetricEigenResult> fresh = PartialSymmetricEigen(a, k);
+  ASSERT_TRUE(fresh.ok());
+
+  EXPECT_VECTOR_NEAR(reused->eigenvalues, first->eigenvalues, 0.0);
+  EXPECT_MATRIX_NEAR(reused->eigenvectors, first->eigenvectors, 0.0);
+  EXPECT_VECTOR_NEAR(fresh->eigenvalues, first->eigenvalues, 0.0);
+  EXPECT_MATRIX_NEAR(fresh->eigenvectors, first->eigenvectors, 0.0);
+}
+
+// Bisection intervals and cluster solves are partitioned by shape only, so
+// the bits must not depend on LRM_GEMM_THREADS.
+TEST(PartialSymmetricEigenTest, EigenpairsAreBitwiseThreadCountInvariant) {
+  ScopedFactorImpl force(kernels::FactorImpl::kPartial);
+  rng::Engine engine(29);
+  const Matrix a = RandomSymmetric(engine, 257);
+  const Index k = 32;
+
+  StatusOr<SymmetricEigenResult> baseline = Status::InvalidArgument("unset");
+  {
+    ScopedGemmThreads threads(1);
+    baseline = PartialSymmetricEigen(a, k);
+  }
+  ASSERT_TRUE(baseline.ok());
+  for (int count : {2, 8}) {
+    SCOPED_TRACE(count);
+    ScopedGemmThreads threads(count);
+    const StatusOr<SymmetricEigenResult> eig = PartialSymmetricEigen(a, k);
+    ASSERT_TRUE(eig.ok());
+    EXPECT_VECTOR_NEAR(eig->eigenvalues, baseline->eigenvalues, 0.0);
+    EXPECT_MATRIX_NEAR(eig->eigenvectors, baseline->eigenvectors, 0.0);
+  }
+}
+
+// Rank-adaptive entry point on a spectrum with a known gap structure: the
+// Sturm count must report exactly the eigenvalues above the cutoff, and the
+// returned subset must be the grown top-k.
+class AboveCutoffTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AboveCutoffTest, CountsAndGrowsKnownSpectrum) {
+  const Index n = GetParam();  // straddles the blocked/Tred2 boundary
+  rng::Engine engine(static_cast<std::uint64_t>(n) * 101);
+  Vector spectrum(n);  // zero-filled
+  spectrum[n - 1] = 1.0;
+  spectrum[n - 2] = 0.5;
+  spectrum[n - 3] = 0.1;
+  spectrum[n - 4] = 1e-3;
+  spectrum[n - 5] = 1e-9;
+  const Matrix a = FromSpectrum(engine, spectrum);
+
+  // 1.0, 0.5, 0.1 sit above 1e-2·λ_max; 1e-3 and below do not.
+  Index count = 0;
+  const StatusOr<SymmetricEigenResult> eig =
+      PartialSymmetricEigenAboveCutoff(a, 1e-2, 1.5, &count);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_EQ(count, 3);
+  ASSERT_EQ(eig->eigenvalues.size(), 5);  // ⌈1.5·3⌉
+  EXPECT_NEAR(eig->eigenvalues[4], 1.0, 1e-10 * n);
+  EXPECT_NEAR(eig->eigenvalues[3], 0.5, 1e-10 * n);
+  EXPECT_NEAR(eig->eigenvalues[2], 0.1, 1e-10 * n);
+  EXPECT_MATRIX_NEAR(GramAtA(eig->eigenvectors), Matrix::Identity(5),
+                     1e-12 * n);
+
+  // The count-only probe agrees without computing any vectors.
+  const StatusOr<Index> probed = SymmetricEigenCountAbove(a, 1e-2);
+  ASSERT_TRUE(probed.ok());
+  EXPECT_EQ(*probed, 3);
+
+  // Forced full-solve flavors report the same count.
+  for (kernels::FactorImpl impl :
+       {kernels::FactorImpl::kReference, kernels::FactorImpl::kDc}) {
+    ScopedFactorImpl force(impl);
+    Index forced_count = 0;
+    const StatusOr<SymmetricEigenResult> forced =
+        PartialSymmetricEigenAboveCutoff(a, 1e-2, 1.5, &forced_count);
+    ASSERT_TRUE(forced.ok());
+    EXPECT_EQ(forced_count, 3);
+    EXPECT_EQ(forced->eigenvalues.size(), 5);
+  }
+
+  // Oversized growth clamps k to n (near-full-spectrum fallback path).
+  Index clamped_count = 0;
+  const StatusOr<SymmetricEigenResult> clamped =
+      PartialSymmetricEigenAboveCutoff(a, 1e-2, 1e9, &clamped_count);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped_count, 3);
+  EXPECT_EQ(clamped->eigenvalues.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AboveCutoffTest, ::testing::Values(33, 160),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(AboveCutoffTest, ZeroMatrixCountsZeroAndReturnsOnePair) {
+  const Matrix a(96, 96);  // all zeros
+  Index count = 99;
+  const StatusOr<SymmetricEigenResult> eig =
+      PartialSymmetricEigenAboveCutoff(a, 1e-7, 1.2, &count);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_EQ(count, 0);
+  ASSERT_EQ(eig->eigenvalues.size(), 1);  // k = max(1, ⌈1.2·0⌉)
+  EXPECT_NEAR(eig->eigenvalues[0], 0.0, 1e-14);
+  EXPECT_MATRIX_NEAR(GramAtA(eig->eigenvectors), Matrix::Identity(1), 1e-12);
+
+  const StatusOr<Index> probed = SymmetricEigenCountAbove(a, 1e-7);
+  ASSERT_TRUE(probed.ok());
+  EXPECT_EQ(*probed, 0);
+}
+
+// AboveCutoff agrees with a brute-force count on the full D&C spectrum for
+// a spectrum with eigenvalues scattered around the threshold.
+TEST(AboveCutoffTest, MatchesBruteForceCountNearThreshold) {
+  const Index n = 160;
+  rng::Engine engine(1234);
+  Vector spectrum(n);
+  for (Index i = 0; i < n; ++i) {
+    // Geometric decay crossing 1e-4·λ_max around i ≈ 61.
+    spectrum[i] = std::pow(0.87, static_cast<double>(i));
+  }
+  const Matrix a = FromSpectrum(engine, spectrum);
+
+  StatusOr<SymmetricEigenResult> full = Status::InvalidArgument("unset");
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kDc);
+    full = SymmetricEigen(a);
+  }
+  ASSERT_TRUE(full.ok());
+  const double cutoff = 1e-4;
+  const double threshold = cutoff * full->eigenvalues[n - 1];
+  Index expected = 0;
+  for (Index i = 0; i < n; ++i) {
+    if (full->eigenvalues[i] > threshold) ++expected;
+  }
+
+  const StatusOr<Index> probed = SymmetricEigenCountAbove(a, cutoff);
+  ASSERT_TRUE(probed.ok());
+  EXPECT_EQ(*probed, expected);
+}
+
+// The tridiagonal internals: Sturm counts and the extreme-eigenvalue probe
+// on a matrix whose spectrum is known in closed form (the free Laplacian
+// [-1, 2, -1] has λ_j = 2 − 2·cos(π·j/(n+1))).
+TEST(TridiagInternalsTest, SturmCountMatchesClosedFormLaplacian) {
+  const Index n = 64;
+  std::vector<double> d(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> e(static_cast<std::size_t>(n), -1.0);
+  e[0] = 0.0;  // e[0] unused by convention
+
+  std::vector<double> lambda(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    lambda[static_cast<std::size_t>(j)] =
+        2.0 - 2.0 * std::cos(M_PI * static_cast<double>(j + 1) /
+                             static_cast<double>(n + 1));
+  }
+  // Count below a point between every pair of adjacent eigenvalues.
+  for (Index j = 0; j + 1 < n; ++j) {
+    const double mid = 0.5 * (lambda[static_cast<std::size_t>(j)] +
+                              lambda[static_cast<std::size_t>(j + 1)]);
+    EXPECT_EQ(internal::TridiagCountBelow(n, d.data(), e.data(), mid), j + 1)
+        << "between eigenvalues " << j << " and " << j + 1;
+  }
+  EXPECT_NEAR(internal::TridiagMaxEigenvalue(n, d.data(), e.data()),
+              lambda[static_cast<std::size_t>(n - 1)], 1e-12);
+}
+
+}  // namespace
+}  // namespace lrm::linalg

@@ -263,5 +263,101 @@ INSTANTIATE_TEST_SUITE_P(Cases, EigenThreadSweepTest, ::testing::Range(0, 6),
                            return std::string(kCases[info.param].name);
                          });
 
+// The partial solver (bisection + cluster-reorthogonalized inverse
+// iteration, forced via kPartial) over the same generated-spectra matrix:
+// its top-k must agree with the full D&C oracle at 1e-10 scale, its columns
+// must be orthonormal even inside clusters, and the eigenpairs must satisfy
+// the residual property. k spans a singleton, the rank-search regime, and
+// half the spectrum so the cluster detector sees cuts at every shape.
+class PartialEigenSpectralPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartialEigenSpectralPropertyTest, PartialSolverMatchesDcOracle) {
+  const auto [case_index, n] = GetParam();
+  const SpectralCase& spectral_case = kCases[case_index];
+  SCOPED_TRACE(spectral_case.name);
+  rng::Engine engine(static_cast<std::uint64_t>(case_index) * 4409 + n);
+  const Matrix a = spectral_case.generate(engine, n);
+
+  StatusOr<SymmetricEigenResult> dc = Status::InvalidArgument("unset");
+  {
+    ScopedFactorImpl force(kernels::FactorImpl::kDc);
+    dc = SymmetricEigen(a);
+  }
+  ASSERT_TRUE(dc.ok());
+
+  const double norm = std::max(MaxAbs(a), 1e-300);
+  const double scale = std::max(MaxAbs(a), 1.0) * n;
+  const double tol = 1e-12 * static_cast<double>(n);
+  ScopedFactorImpl force(kernels::FactorImpl::kPartial);
+  const Index dim = n;
+  for (Index k : {Index{1}, std::max<Index>(1, dim / 8), dim / 2}) {
+    SCOPED_TRACE(k);
+    const StatusOr<SymmetricEigenResult> part = PartialSymmetricEigen(a, k);
+    ASSERT_TRUE(part.ok()) << part.status().message();
+    ASSERT_EQ(part->eigenvalues.size(), k);
+
+    for (Index i = 0; i < k; ++i) {
+      EXPECT_NEAR(part->eigenvalues[i], dc->eigenvalues[n - k + i],
+                  1e-10 * scale)
+          << "eigenvalue " << i;
+    }
+
+    const Matrix av = a * part->eigenvectors;
+    Matrix vl = part->eigenvectors;
+    for (Index j = 0; j < k; ++j) {
+      for (Index i = 0; i < n; ++i) vl(i, j) *= part->eigenvalues[j];
+    }
+    EXPECT_MATRIX_NEAR(av, vl, tol * norm);
+    EXPECT_MATRIX_NEAR(GramAtA(part->eigenvectors), Matrix::Identity(k), tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartialEigenSpectralPropertyTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(64, 97, 160, 257)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(kCases[std::get<0>(info.param)].name) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Same determinism contract as the dc sweep, for the subset path: bisection
+// candidates and cluster solves are partitioned by shape only, so the
+// eigenpairs must be BITWISE identical across thread counts.
+class PartialThreadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialThreadSweepTest, EigenpairsAreBitwiseThreadCountInvariant) {
+  const int case_index = GetParam();
+  const SpectralCase& spectral_case = kCases[case_index];
+  SCOPED_TRACE(spectral_case.name);
+  const Index n = 257;
+  const Index k = 32;
+  rng::Engine engine(static_cast<std::uint64_t>(case_index) * 9973 + n);
+  const Matrix a = spectral_case.generate(engine, n);
+  ScopedFactorImpl force(kernels::FactorImpl::kPartial);
+
+  StatusOr<SymmetricEigenResult> baseline = Status::InvalidArgument("unset");
+  {
+    ScopedGemmThreads threads(1);
+    baseline = PartialSymmetricEigen(a, k);
+  }
+  ASSERT_TRUE(baseline.ok());
+
+  for (int count : {2, 8}) {
+    SCOPED_TRACE(count);
+    ScopedGemmThreads threads(count);
+    const StatusOr<SymmetricEigenResult> eig = PartialSymmetricEigen(a, k);
+    ASSERT_TRUE(eig.ok());
+    EXPECT_VECTOR_NEAR(eig->eigenvalues, baseline->eigenvalues, 0.0);
+    EXPECT_MATRIX_NEAR(eig->eigenvectors, baseline->eigenvectors, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, PartialThreadSweepTest, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(kCases[info.param].name);
+                         });
+
 }  // namespace
 }  // namespace lrm::linalg

@@ -1,14 +1,19 @@
 // Stress tier for the divide-and-conquer eigensolver: the n = 2048 regime
 // that the QL iteration could not reach in tolerable time, plus the first
-// n = 4096 eigen run, and bitwise workspace-reuse determinism.
+// n = 4096 eigen run, bitwise workspace-reuse determinism, and the first
+// n = 8192 rank-search runs (partial-spectrum only — a full solve at 8192
+// would need hours and gigabytes the subset path never touches).
 //
-// Runtime budget: the full sizes (2048 / 4096) are reserved for optimized
-// builds — roughly 10 s for the 2048 solves and ~40 s for the 4096 one on
-// the baseline box. Under sanitizers or -O0 those would balloon into tens
-// of minutes of instrumented GEMM, so LRM_SANITIZED_BUILD (set by the CMake
-// sanitizer option) and NDEBUG-less builds scale the sizes down; the same
-// code paths (leaf QL, multi-level merges, deflation, packed GEMMs) are
-// exercised either way, which is what the sanitizers are there to check.
+// Runtime budget: the full sizes (2048 / 4096 / 8192) are reserved for
+// optimized builds — roughly 10 s for the 2048 solves, ~40 s for the 4096
+// one, and a few minutes (dominated by one blocked tridiagonalization) for
+// the 8192 rank search on the baseline box. Under sanitizers or -O0 those
+// would balloon into tens of minutes of instrumented GEMM, so
+// LRM_SANITIZED_BUILD (set by the CMake sanitizer option) and NDEBUG-less
+// builds scale the sizes down; the same code paths (leaf QL, multi-level
+// merges, deflation, packed GEMMs, Sturm bisection, cluster inverse
+// iteration) are exercised either way, which is what the sanitizers are
+// there to check.
 
 #include <gtest/gtest.h>
 
@@ -27,9 +32,11 @@ namespace {
 #if defined(LRM_SANITIZED_BUILD) || !defined(NDEBUG)
 constexpr Index kLargeN = 384;   // sanitizer / unoptimized budget
 constexpr Index kHugeN = 512;
+constexpr Index kRankSearchN = 640;
 #else
 constexpr Index kLargeN = 2048;  // the size this PR unlocks
 constexpr Index kHugeN = 4096;   // paper-scale domains (ROADMAP item 1)
+constexpr Index kRankSearchN = 8192;  // partial-spectrum rank search only
 #endif
 
 Matrix MakeSpd(Index n, std::uint64_t seed) {
@@ -149,6 +156,78 @@ TEST(EigenStressTest, SymmetricEigenAtHugeNCompletes) {
     }
     EXPECT_LE(max_resid, 1e-12 * scale) << "eigenpair " << j;
   }
+}
+
+TEST(EigenStressTest, PartialRankSearchAtRankSearchN) {
+  // The run the full solvers cannot do: rank search on an n = 8192
+  // symmetric matrix. One blocked tridiagonalization, a Sturm count, and
+  // k ≪ n inverse iterations — never a full eigenvector accumulation.
+  const Index rank = kRankSearchN / 85;  // 96 at full size
+  rng::Engine engine(37);
+  const Matrix g = RandomGaussianMatrix(engine, kRankSearchN, rank);
+  const Matrix a = MultiplyABt(g, g);  // PSD, exactly rank `rank`
+
+  Index count = 0;
+  const StatusOr<SymmetricEigenResult> eig =
+      PartialSymmetricEigenAboveCutoff(a, 1e-9, 1.2, &count);
+  ASSERT_TRUE(eig.ok()) << eig.status().message();
+  EXPECT_EQ(count, rank);
+  const Index k = eig->eigenvalues.size();
+  ASSERT_EQ(k, static_cast<Index>(std::ceil(1.2 * rank)));
+
+  // The nonzero spectrum is entirely inside the subset, so the partial
+  // eigenvalue sum must reproduce the trace (an O(n) full-matrix check).
+  double top_sum = 0.0;
+  for (Index i = 0; i < k; ++i) {
+    if (i > 0) {
+      ASSERT_GE(eig->eigenvalues[i], eig->eigenvalues[i - 1]);
+    }
+    top_sum += eig->eigenvalues[i];
+  }
+  const double scale = MaxAbs(a) * static_cast<double>(kRankSearchN);
+  EXPECT_NEAR(top_sum, Trace(a), 1e-10 * scale);
+
+  // Sampled eigenpair residuals ‖A·v_j − λ_j·v_j‖∞ across the subset.
+  for (Index j : {Index{0}, k / 2, k - 1}) {
+    double norm_sq = 0.0;
+    for (Index i = 0; i < kRankSearchN; ++i) {
+      norm_sq += eig->eigenvectors(i, j) * eig->eigenvectors(i, j);
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-10 * kRankSearchN);
+    double max_resid = 0.0;
+    for (Index i = 0; i < kRankSearchN; ++i) {
+      double av = 0.0;
+      for (Index k2 = 0; k2 < kRankSearchN; ++k2) {
+        av += a(i, k2) * eig->eigenvectors(k2, j);
+      }
+      max_resid = std::max(
+          max_resid,
+          std::abs(av - eig->eigenvalues[j] * eig->eigenvectors(i, j)));
+    }
+    EXPECT_LE(max_resid, 1e-12 * scale) << "eigenpair " << j;
+  }
+}
+
+TEST(EigenStressTest, PartialGramRankSearchAtPaperScaleDomain) {
+  // The decomposition's exact-fallback shape at an 8192-column domain: a
+  // wide low-rank workload whose rank search and Lemma-3 triplets come out
+  // of one PartialGramSvdWithRank call (Gram side is the small m×m).
+  const Index m = kRankSearchN / 16;  // 512 queries at full size
+  const Index true_rank = m / 12;
+  rng::Engine engine(41);
+  const Matrix w = RandomGaussianMatrix(engine, m, true_rank) *
+                   RandomGaussianMatrix(engine, true_rank, kRankSearchN);
+
+  Index rank = 0;
+  const StatusOr<SvdResult> svd =
+      PartialGramSvdWithRank(w, 1e-9, 1.2, &rank);
+  ASSERT_TRUE(svd.ok()) << svd.status().message();
+  EXPECT_EQ(rank, true_rank);
+  const Index k = svd->singular_values.size();
+  ASSERT_EQ(k, static_cast<Index>(std::ceil(1.2 * true_rank)));
+  // The subset covers the whole nonzero spectrum: the truncated triplets
+  // reconstruct W.
+  EXPECT_MATRIX_NEAR(svd->Reconstruct(), w, 1e-7 * FrobeniusNorm(w));
 }
 
 }  // namespace

@@ -421,6 +421,10 @@ TEST(KernelsDispatchTest, FactorImplOverrideRoundTrips) {
   EXPECT_EQ(ActiveFactorImpl(), FactorImpl::kReference);
   SetFactorImpl(FactorImpl::kBlocked);
   EXPECT_EQ(ActiveFactorImpl(), FactorImpl::kBlocked);
+  SetFactorImpl(FactorImpl::kDc);
+  EXPECT_EQ(ActiveFactorImpl(), FactorImpl::kDc);
+  SetFactorImpl(FactorImpl::kPartial);
+  EXPECT_EQ(ActiveFactorImpl(), FactorImpl::kPartial);
   SetFactorImpl(FactorImpl::kAuto);  // back to the environment default
 }
 

@@ -211,6 +211,160 @@ TEST(PinvTest, RankDeficientMatrix) {
   EXPECT_MATRIX_NEAR(a * (*pinv) * a, a, 1e-7 * FrobeniusNorm(a));
 }
 
+// Dense orthogonal-conjugation construction with an exactly known spectrum:
+// A = Q₁·diag(σ)·Q₂ᵀ with random orthogonal factors.
+Matrix FromSingularValues(rng::Engine& engine, Index m, Index n,
+                          const Vector& sigma) {
+  const StatusOr<Matrix> q1 =
+      OrthonormalizeColumns(RandomGaussianMatrix(engine, m, m));
+  const StatusOr<Matrix> q2 =
+      OrthonormalizeColumns(RandomGaussianMatrix(engine, n, n));
+  LRM_CHECK(q1.ok() && q2.ok());
+  Matrix scaled(m, n);
+  for (Index j = 0; j < std::min(m, n); ++j) {
+    const double s = j < sigma.size() ? sigma[j] : 0.0;
+    for (Index i = 0; i < m; ++i) scaled(i, j) = (*q1)(i, j) * s;
+  }
+  return MultiplyABt(scaled, *q2);
+}
+
+TEST(PartialGramSvdTest, TopKAgreesWithGramSvd) {
+  rng::Engine engine(51);
+  const Matrix a = RandomGaussianMatrix(engine, 210, 200);
+  const StatusOr<SvdResult> full = GramSvd(a);
+  const StatusOr<SvdResult> part = PartialGramSvd(a, 12);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->singular_values.size(), 12);
+  ASSERT_EQ(part->u.rows(), 210);
+  ASSERT_EQ(part->v.rows(), 200);
+  for (Index i = 0; i < 12; ++i) {
+    EXPECT_NEAR(part->singular_values[i], full->singular_values[i],
+                1e-7 * (1.0 + full->singular_values[0]))
+        << "singular value " << i;
+  }
+  EXPECT_MATRIX_NEAR(GramAtA(part->u), Matrix::Identity(12), 1e-8 * 200);
+  EXPECT_MATRIX_NEAR(GramAtA(part->v), Matrix::Identity(12), 1e-8 * 200);
+}
+
+TEST(PartialGramSvdTest, LowRankReconstructsFromTopK) {
+  rng::Engine engine(52);
+  const Matrix a = RandomLowRank(engine, 200, 220, 9);
+  const StatusOr<SvdResult> part = PartialGramSvd(a, 9);
+  ASSERT_TRUE(part.ok());
+  EXPECT_MATRIX_NEAR(part->Reconstruct(), a, 1e-6 * FrobeniusNorm(a));
+}
+
+TEST(PartialGramSvdTest, RejectsBadArguments) {
+  EXPECT_EQ(PartialGramSvd(Matrix(), 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PartialGramSvd(Matrix::Identity(4), 0).status().code(),
+            StatusCode::kInvalidArgument);
+  Index rank = 0;
+  EXPECT_EQ(PartialGramSvdWithRank(Matrix(), 1e-9, 1.2, &rank)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Graded spectrum straddling the tolerance — the regression lock for the
+// relative-tolerance convention (svd.h NumericalRank): on the Gram path a
+// requested tolerance below kGramRankTolFloor is clamped to it, and
+// tolerances above the floor are honored as given. The same matrix, probed
+// at two tolerances, must produce the two different documented counts from
+// both EstimateRank and PartialGramSvdWithRank.
+TEST(PartialGramSvdTest, WithRankHonorsGradedSpectrumTolerances) {
+  rng::Engine engine(53);
+  const Index p = 200;
+  Vector sigma(6);
+  sigma[0] = 1.0;
+  sigma[1] = 1e-2;
+  sigma[2] = 1e-4;
+  sigma[3] = 1e-6;
+  sigma[4] = 1e-8;  // below the 1e-7 Gram floor: never countable at size
+  sigma[5] = 1e-10;
+  const Matrix a = FromSingularValues(engine, p, p + 16, sigma);
+
+  // rel_tol below the floor clamps to 1e-7: counts {1, 1e-2, 1e-4, 1e-6}.
+  Index rank = 0;
+  const StatusOr<SvdResult> fine =
+      PartialGramSvdWithRank(a, 1e-9, 1.2, &rank);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(rank, 4);
+  ASSERT_EQ(fine->singular_values.size(), 5);  // ⌈1.2·4⌉
+  EXPECT_NEAR(fine->singular_values[0], 1.0, 1e-7);
+  EXPECT_NEAR(fine->singular_values[3], 1e-6, 1e-9);
+
+  // rel_tol above the floor is honored raw: counts {1, 1e-2, 1e-4}.
+  const StatusOr<SvdResult> coarse =
+      PartialGramSvdWithRank(a, 1e-5, 1.2, &rank);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(rank, 3);
+  EXPECT_EQ(coarse->singular_values.size(), 4);
+
+  // EstimateRank follows the same convention on the same matrix.
+  const StatusOr<Index> est_fine = EstimateRank(a, 1e-9);
+  const StatusOr<Index> est_coarse = EstimateRank(a, 1e-5);
+  ASSERT_TRUE(est_fine.ok());
+  ASSERT_TRUE(est_coarse.ok());
+  EXPECT_EQ(*est_fine, 4);
+  EXPECT_EQ(*est_coarse, 3);
+}
+
+TEST(AppendGaussianColumnsTest, AppendsArePrefixStable) {
+  rng::Engine piecewise(7001);
+  Matrix in_pieces;
+  AppendGaussianColumns(piecewise, 17, 3, &in_pieces);
+  const Matrix after_first = in_pieces;
+  AppendGaussianColumns(piecewise, 17, 2, &in_pieces);
+
+  rng::Engine batch(7001);
+  Matrix at_once;
+  AppendGaussianColumns(batch, 17, 5, &at_once);
+
+  ASSERT_EQ(in_pieces.rows(), 17);
+  ASSERT_EQ(in_pieces.cols(), 5);
+  EXPECT_MATRIX_NEAR(in_pieces, at_once, 0.0);
+  // The widened matrix keeps the original columns bitwise.
+  for (Index j = 0; j < 3; ++j) {
+    for (Index i = 0; i < 17; ++i) {
+      EXPECT_EQ(in_pieces(i, j), after_first(i, j));
+    }
+  }
+}
+
+TEST(RandomizedSvdWithTestMatrixTest, MatchesInternalDrawAndValidates) {
+  rng::Engine engine(54);
+  const Matrix a = RandomLowRank(engine, 60, 80, 5);
+  RandomizedSvdOptions options;
+  options.seed = 99;
+
+  // Reproduce the internal draw by hand: same engine, same width, same
+  // row-major fill — the overload must give bitwise the same factors.
+  const StatusOr<SvdResult> internal_draw = RandomizedSvd(a, 5, options);
+  rng::Engine omega_engine(options.seed);
+  Matrix omega;
+  RandomGaussianMatrixInto(omega_engine, 80, 13, &omega);  // 5 + oversample 8
+  const StatusOr<SvdResult> supplied =
+      RandomizedSvdWithTestMatrix(a, 5, omega, options);
+  ASSERT_TRUE(internal_draw.ok());
+  ASSERT_TRUE(supplied.ok());
+  EXPECT_MATRIX_NEAR(supplied->u, internal_draw->u, 0.0);
+  EXPECT_VECTOR_NEAR(supplied->singular_values,
+                     internal_draw->singular_values, 0.0);
+  EXPECT_MATRIX_NEAR(supplied->v, internal_draw->v, 0.0);
+
+  // Shape validation: rows must equal a.cols(), width within [1, min(m,n)].
+  EXPECT_EQ(RandomizedSvdWithTestMatrix(a, 5, Matrix(79, 13), options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RandomizedSvdWithTestMatrix(a, 5, Matrix(80, 61), options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SvdDispatchTest, LargeMatrixUsesGramPath) {
   rng::Engine engine(48);
   // min(m,n) = 200 > kSvdJacobiDispatchLimit; exercises the GramSvd
