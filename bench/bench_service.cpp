@@ -19,9 +19,12 @@
 // gate (cached/cold ≤ 0.1, i.e. the cache must be at least 10× faster per
 // request) is hardware-independent and enforces even under
 // LRM_BENCH_REPORT_ONLY. Counters surface the service-side latency
-// distribution (p50/p99 of prepare+answer service time), cache hit rate,
-// throughput, and the per-reason refusal counters (shed / budget /
-// validation / deadline) plus degraded releases.
+// distribution — p50/p99 taken from the service's own
+// obs::Histogram registry snapshots (service.serve_seconds et al.), with a
+// DeltaSince against the post-warmup snapshot so the paid-once prepare
+// never pollutes the tail — plus per-stage medians (prepare/answer), ALM
+// iteration counts, cache hit rate, throughput, and the per-reason refusal
+// counters (shed / budget / validation / deadline) plus degraded releases.
 
 #include <benchmark/benchmark.h>
 
@@ -31,7 +34,7 @@
 
 #include "base/check.h"
 #include "base/timer.h"
-#include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "service/answer_service.h"
 #include "workload/generators.h"
 
@@ -73,6 +76,16 @@ lrm::service::BatchAnswerRequest BenchRequest() {
   return request;
 }
 
+// The named histogram from a registry snapshot (empty when absent — the
+// quantile methods then return NaN, which the JSON writer renders and
+// compare_benchmarks.py treats as ungateable rather than as zero latency).
+lrm::obs::HistogramSnapshot HistogramFrom(
+    const lrm::obs::RegistrySnapshot& snapshot, const std::string& name) {
+  const auto it = snapshot.histograms.find(name);
+  return it != snapshot.histograms.end() ? it->second
+                                         : lrm::obs::HistogramSnapshot{};
+}
+
 void BM_ServiceColdPrepareEachRequest512x1024(benchmark::State& state) {
   constexpr int kRequests = 2;
   for (auto _ : state) {
@@ -90,8 +103,15 @@ void BM_ServiceColdPrepareEachRequest512x1024(benchmark::State& state) {
       }
     }
     state.SetIterationTime(timer.ElapsedSeconds() / kRequests);
+    const auto metrics = service.MetricsSnapshot();
     state.counters["requests"] = kRequests;
     state.counters["hit_rate"] = service.stats().cache.HitRate();
+    state.counters["alm_iterations"] = static_cast<double>(
+        metrics.counters.count("alm.iterations")
+            ? metrics.counters.at("alm.iterations")
+            : 0);
+    state.counters["p50_prepare_ms"] =
+        1e3 * HistogramFrom(metrics, "service.prepare_seconds").Quantile(0.5);
   }
 }
 BENCHMARK(BM_ServiceColdPrepareEachRequest512x1024)
@@ -107,12 +127,15 @@ void BM_ServiceCachedAnswer512x1024(benchmark::State& state) {
                                         ServiceBenchOptions(64));
     LRM_CHECK(service.RegisterTenant("bench", 1e6).ok());
     // Warm the cache with one request; the paid-once prepare is what the
-    // service amortizes, so it is excluded from the per-request time.
+    // service amortizes, so it is excluded from the per-request time — and
+    // from the latency distribution, by snapshotting the service
+    // histograms here and taking a DeltaSince afterwards.
     const auto warmup = service.Answer(BenchRequest());
     if (!warmup.ok()) {
       state.SkipWithError(warmup.status().ToString().c_str());
       return;
     }
+    const auto before = service.MetricsSnapshot();
 
     std::vector<std::future<
         lrm::StatusOr<lrm::service::BatchAnswerResponse>>>
@@ -122,27 +145,33 @@ void BM_ServiceCachedAnswer512x1024(benchmark::State& state) {
     for (int i = 0; i < kRequests; ++i) {
       futures.push_back(service.Submit(BenchRequest()));
     }
-    std::vector<double> service_seconds;
-    service_seconds.reserve(kRequests);
     for (auto& future : futures) {
       auto response = future.get();
       if (!response.ok()) {
         state.SkipWithError(response.status().ToString().c_str());
         return;
       }
-      service_seconds.push_back(response->prepare_seconds +
-                                response->answer_seconds);
     }
     const double elapsed = timer.ElapsedSeconds();
     state.SetIterationTime(elapsed / kRequests);
 
+    // Service-side latency distribution, straight from the registry: the
+    // burst's serve_seconds samples are the cumulative snapshot minus the
+    // warmup-time one.
+    const auto after = service.MetricsSnapshot();
+    const auto serves =
+        HistogramFrom(after, "service.serve_seconds")
+            .DeltaSince(HistogramFrom(before, "service.serve_seconds"));
+    const auto answers =
+        HistogramFrom(after, "service.answer_seconds")
+            .DeltaSince(HistogramFrom(before, "service.answer_seconds"));
     state.counters["requests"] = kRequests;
     state.counters["hit_rate"] = service.stats().cache.HitRate();
     state.counters["qps"] = kRequests / elapsed;
-    state.counters["p50_ms"] =
-        1e3 * lrm::eval::Percentile(service_seconds, 50.0);
-    state.counters["p99_ms"] =
-        1e3 * lrm::eval::Percentile(service_seconds, 99.0);
+    state.counters["p50_ms"] = 1e3 * serves.Quantile(0.5);
+    state.counters["p99_ms"] = 1e3 * serves.Quantile(0.99);
+    state.counters["p50_answer_ms"] = 1e3 * answers.Quantile(0.5);
+    state.counters["serve_samples"] = static_cast<double>(serves.count);
   }
 }
 BENCHMARK(BM_ServiceCachedAnswer512x1024)
@@ -165,6 +194,7 @@ void BM_ServiceOverloadedBurstSheds512x1024(benchmark::State& state) {
       state.SkipWithError(warmup.status().ToString().c_str());
       return;
     }
+    const auto before = service.MetricsSnapshot();
 
     std::vector<std::future<
         lrm::StatusOr<lrm::service::BatchAnswerResponse>>>
@@ -174,13 +204,11 @@ void BM_ServiceOverloadedBurstSheds512x1024(benchmark::State& state) {
     for (int i = 0; i < kBurst; ++i) {
       futures.push_back(service.Submit(BenchRequest()));
     }
-    std::vector<double> served_seconds;
-    served_seconds.reserve(kBurst);
+    int served = 0;
     for (auto& future : futures) {
       auto response = future.get();
       if (response.ok()) {
-        served_seconds.push_back(response->prepare_seconds +
-                                 response->answer_seconds);
+        ++served;
       } else if (response.status().code() !=
                  lrm::StatusCode::kUnavailable) {
         // Shedding is the point of the arm; anything else is a bug.
@@ -189,19 +217,21 @@ void BM_ServiceOverloadedBurstSheds512x1024(benchmark::State& state) {
       }
     }
     const double elapsed = timer.ElapsedSeconds();
-    if (served_seconds.empty()) {
+    if (served == 0) {
       state.SkipWithError("burst shed every request");
       return;
     }
     // Per SERVED request: shed requests cost a synchronous refusal, not a
     // worker; the time that matters is what admitted work experienced.
-    state.SetIterationTime(elapsed /
-                           static_cast<double>(served_seconds.size()));
+    state.SetIterationTime(elapsed / static_cast<double>(served));
 
+    const auto after = service.MetricsSnapshot();
+    const auto serves =
+        HistogramFrom(after, "service.serve_seconds")
+            .DeltaSince(HistogramFrom(before, "service.serve_seconds"));
     const lrm::service::AnswerServiceStats stats = service.stats();
     state.counters["burst"] = kBurst;
-    state.counters["served"] =
-        static_cast<double>(served_seconds.size());
+    state.counters["served"] = static_cast<double>(served);
     state.counters["shed"] = static_cast<double>(stats.refused_shed);
     state.counters["refused_budget"] =
         static_cast<double>(stats.refused_budget);
@@ -211,9 +241,8 @@ void BM_ServiceOverloadedBurstSheds512x1024(benchmark::State& state) {
         static_cast<double>(stats.refused_deadline);
     state.counters["degraded"] =
         static_cast<double>(stats.degraded_releases);
-    state.counters["p99_served_ms"] =
-        1e3 * lrm::eval::Percentile(served_seconds, 99.0);
-    state.counters["qps"] = served_seconds.size() / elapsed;
+    state.counters["p99_served_ms"] = 1e3 * serves.Quantile(0.99);
+    state.counters["qps"] = served / elapsed;
   }
 }
 BENCHMARK(BM_ServiceOverloadedBurstSheds512x1024)

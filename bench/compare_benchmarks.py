@@ -26,6 +26,24 @@ are hardware-independent (both sides run on the same machine seconds apart),
 so relative gates stay ENFORCING even under LRM_BENCH_REPORT_ONLY — this is
 what lets CI run `ctest -L bench` as a real gate on heterogeneous runners.
 
+A baseline may also carry "counter_gates", gating user counters (the
+state.counters[...] values benchmarks export: cache hit rates, histogram
+p50/p99 latencies, refusal counts) from a single run:
+
+    "counter_gates": [
+        {"name": "BM_ServiceCachedAnswer512x1024/...", "counter": "hit_rate",
+         "min": 0.99},
+        {"name": "...", "counter": "p99_ms",
+         "reference": "...", "reference_counter": "p50_ms",
+         "max_ratio": 20.0}]
+
+The absolute form fails when the measured counter falls outside [min, max]
+(either bound optional); the ratio form fails when counter/reference_counter
+exceeds max_ratio. Both compare numbers from the same run on the same
+machine, so — like the relative section — counter gates stay ENFORCING
+under LRM_BENCH_REPORT_ONLY. A non-finite measured counter (a NaN p50 from
+an empty histogram) fails the gate rather than passing vacuously.
+
 A relative spec may carry "min_cores": N. Gates comparing a threaded
 benchmark against its forced-single-thread twin only mean something when
 the machine can actually run N-ish workers — on a smaller box the ratio is
@@ -42,8 +60,13 @@ that would orphan one: if a carried gate's "name" or "reference" is
 missing from the measured set (someone narrowed --filter or deleted the
 benchmark), the update aborts with the orphaned pairs listed. Pass
 --remove-relative to confirm the removal; the orphaned specs are then
-dropped (and listed) while the still-measurable ones are kept. Environment
-knobs:
+dropped (and listed) while the still-measurable ones are kept. Counter
+gates get the same protection: an --update whose run no longer measures a
+gated counter (benchmark gone, counter renamed — exactly how a latency
+gate silently rots) aborts unless --remove-counter-gates confirms the
+drop. --update also records each benchmark's measured counters alongside
+its time, so a baseline documents the counter values its gates were
+calibrated against. Environment knobs:
 
     LRM_BENCH_TOLERANCE      overrides --tolerance (fraction, e.g. 0.4)
     LRM_BENCH_REPORT_ONLY    "1" reports absolute regressions without
@@ -57,6 +80,7 @@ knobs:
 
 import argparse
 import json
+import math
 import os
 import subprocess
 import sys
@@ -97,6 +121,86 @@ def min_real_times_ns(report):
         if name not in times or ns < times[name]:
             times[name] = ns
     return times
+
+
+def counters_by_benchmark(report):
+    """User counters per benchmark name (iteration rows only). When a name
+    ran several repetitions the counters of the LAST repetition win — they
+    are monotone run facts (hit rates, percentile estimates), not timings
+    to minimize over."""
+    counters = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        if entry.get("error_occurred"):
+            continue
+        name = entry.get("run_name", entry["name"])
+        row = {key: value for key, value in entry.items()
+               if isinstance(value, (int, float)) and not isinstance(
+                   value, bool) and key not in (
+                       "real_time", "cpu_time", "iterations",
+                       "repetitions", "repetition_index", "family_index",
+                       "per_family_instance_index", "threads")}
+        if row:
+            counters[name] = row
+    return counters
+
+
+def check_counter_gates(specs, counters):
+    """Checks counter gates; returns the list of violation messages.
+    Counter gates compare numbers from this same run, so they enforce even
+    under LRM_BENCH_REPORT_ONLY (same policy as the relative section)."""
+    violations = []
+    if not specs:
+        return violations
+    print()
+    for spec in specs:
+        name, counter = spec["name"], spec["counter"]
+        value = counters.get(name, {}).get(counter)
+        label = f"{name}:{counter}"
+        if value is None:
+            violations.append(
+                f"counter gate {label}: not measured by this run "
+                f"(filter stale, or the counter was renamed?)")
+            continue
+        if not math.isfinite(value):
+            violations.append(
+                f"counter gate {label}: measured value is {value}, "
+                f"not finite")
+            continue
+        if "reference" in spec or "reference_counter" in spec:
+            ref_name = spec.get("reference", name)
+            ref_counter = spec["reference_counter"]
+            ref = counters.get(ref_name, {}).get(ref_counter)
+            ref_label = f"{ref_name}:{ref_counter}"
+            if ref is None or not math.isfinite(ref) or ref <= 0:
+                violations.append(
+                    f"counter gate {label} / {ref_label}: reference "
+                    f"is {ref}, cannot form a ratio")
+                continue
+            max_ratio = float(spec["max_ratio"])
+            ratio = value / ref
+            ok = ratio <= max_ratio
+            flag = "ok" if ok else "COUNTER GATE VIOLATED"
+            print(f"{label:<44} / {ref_label}: {ratio:.3f}x "
+                  f"(max {max_ratio:.3f})  {flag}")
+            if not ok:
+                violations.append(
+                    f"{label} is {ratio:.3f}x of {ref_label}, above the "
+                    f"{max_ratio:.3f} gate")
+            continue
+        lo = spec.get("min")
+        hi = spec.get("max")
+        ok = ((lo is None or value >= float(lo)) and
+              (hi is None or value <= float(hi)))
+        bounds = "[{}, {}]".format("-inf" if lo is None else lo,
+                                   "inf" if hi is None else hi)
+        flag = "ok" if ok else "COUNTER GATE VIOLATED"
+        print(f"{label:<44} = {value:.6g} (want {bounds})  {flag}")
+        if not ok:
+            violations.append(
+                f"{label} = {value:.6g}, outside {bounds}")
+    return violations
 
 
 def effective_cores():
@@ -167,6 +271,10 @@ def main():
                         help="with --update: allow dropping relative-gate "
                              "pairs whose benchmarks this run no longer "
                              "measures (refused otherwise)")
+    parser.add_argument("--remove-counter-gates", action="store_true",
+                        help="with --update: allow dropping counter gates "
+                             "whose benchmark or counter this run no "
+                             "longer measures (refused otherwise)")
     args = parser.parse_args()
 
     tolerance = float(os.environ.get("LRM_BENCH_TOLERANCE", args.tolerance))
@@ -175,6 +283,7 @@ def main():
     report = run_benchmark(args.binary, args.filter, args.min_time,
                            args.repetitions)
     measured = min_real_times_ns(report)
+    measured_counters = counters_by_benchmark(report)
     if not measured:
         raise SystemExit(f"filter '{args.filter}' matched no benchmarks")
 
@@ -186,8 +295,10 @@ def main():
                 "lrm_gemm_threads": os.environ.get("LRM_GEMM_THREADS"),
             },
             "benchmarks": {
-                name: {"real_time_ns": ns} for name, ns in sorted(
-                    measured.items())
+                name: {"real_time_ns": ns,
+                       **({"counters": measured_counters[name]}
+                          if name in measured_counters else {})}
+                for name, ns in sorted(measured.items())
             },
         }
         # The relative section is hand-maintained policy, not measurement:
@@ -198,9 +309,10 @@ def main():
         # spells out the intent to drop it.
         try:
             with open(args.baseline) as f:
-                old_relative = json.load(f).get("relative")
+                old_doc = json.load(f)
         except (FileNotFoundError, json.JSONDecodeError):
-            old_relative = None
+            old_doc = {}
+        old_relative = old_doc.get("relative")
         if old_relative:
             orphaned = [spec for spec in old_relative
                         if spec["name"] not in measured
@@ -221,6 +333,38 @@ def main():
                 old_relative = [s for s in old_relative if s not in orphaned]
             if old_relative:
                 baseline["relative"] = old_relative
+        # Counter gates are acceptance criteria too (the hit-rate and
+        # histogram-latency gates): same orphan protection as "relative".
+        old_counter_gates = old_doc.get("counter_gates")
+        if old_counter_gates:
+            def gate_measured(spec):
+                if spec["counter"] not in measured_counters.get(
+                        spec["name"], {}):
+                    return False
+                if "reference_counter" in spec or "reference" in spec:
+                    ref_name = spec.get("reference", spec["name"])
+                    if spec["reference_counter"] not in \
+                            measured_counters.get(ref_name, {}):
+                        return False
+                return True
+            orphaned = [s for s in old_counter_gates if not gate_measured(s)]
+            if orphaned and not args.remove_counter_gates:
+                for spec in orphaned:
+                    sys.stderr.write(
+                        f"counter gate {spec['name']}:{spec['counter']}: "
+                        f"not measured by this run\n")
+                raise SystemExit(
+                    f"--update would orphan {len(orphaned)} counter "
+                    f"gate(s); widen --filter to cover them, or pass "
+                    f"--remove-counter-gates to drop them")
+            if orphaned:
+                for spec in orphaned:
+                    print(f"--remove-counter-gates: dropping gate "
+                          f"{spec['name']}:{spec['counter']}")
+                old_counter_gates = [s for s in old_counter_gates
+                                     if s not in orphaned]
+            if old_counter_gates:
+                baseline["counter_gates"] = old_counter_gates
         os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)
@@ -259,6 +403,8 @@ def main():
     relative_violations = check_relative(
         baseline_doc.get("relative", []), measured,
         skip=os.environ.get("LRM_BENCH_SKIP_RELATIVE") == "1")
+    counter_violations = check_counter_gates(
+        baseline_doc.get("counter_gates", []), measured_counters)
 
     failed = False
     if regressions:
@@ -273,6 +419,13 @@ def main():
         # hardware is no excuse: they enforce even in report-only mode.
         print(f"\n{len(relative_violations)} relative gate(s) violated:")
         for message in relative_violations:
+            print(f"  {message}")
+        failed = True
+    if counter_violations:
+        # Same policy: counters are facts of this run, not of the hardware
+        # the baseline was recorded on.
+        print(f"\n{len(counter_violations)} counter gate(s) violated:")
+        for message in counter_violations:
             print(f"  {message}")
         failed = True
     if failed:

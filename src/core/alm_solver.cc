@@ -8,6 +8,7 @@
 #include "base/string_util.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix_view.h"
+#include "obs/stage_timer.h"
 #include "opt/apg.h"
 #include "opt/l1_projection.h"
 
@@ -434,6 +435,8 @@ StatusOr<Decomposition> DecompositionSolver::Solve(const Matrix& w) {
   // --- Algorithm 1: inexact augmented Lagrangian loop. ---
   for (int outer = 1; outer <= options_.max_outer_iterations; ++outer) {
     LRM_RETURN_IF_ERROR(cancel_token_.Check("DecompositionSolver::Solve"));
+    obs::ScopedStageTimer iteration_span(stage_metrics_.iteration_seconds,
+                                         stage_metrics_.iterations);
     LRM_RETURN_IF_ERROR(RunAlternation(w, &state));
     if (RecordIterateAndAdvanceSchedule(w, &state) == OuterAction::kStop) {
       break;

@@ -31,9 +31,21 @@
 #include "core/decomposition.h"
 #include "core/decomposition_init.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
 #include "opt/quadratic_apg.h"
 
 namespace lrm::core {
+
+/// \brief Optional stage-tracing sinks for the solver (obs tier). Null
+/// members disable the corresponding site; the struct itself is cheap to
+/// copy and holds no ownership — the metrics must outlive the solver's
+/// solves (the service keeps them in its MetricRegistry).
+struct SolverStageMetrics {
+  /// Wall-clock of one outer ALM iteration (alternation + bookkeeping).
+  obs::Histogram* iteration_seconds = nullptr;
+  /// Outer ALM iterations started, across all solves.
+  obs::Counter* iterations = nullptr;
+};
 
 /// \brief Checks every DecompositionOptions knob against the workload shape
 /// before the solver touches it: negative γ, a rank target outside
@@ -160,6 +172,15 @@ class DecompositionSolver {
   }
   const CancelToken& cancel_token() const { return cancel_token_; }
 
+  /// Arms per-iteration stage tracing for subsequent Solve() calls: each
+  /// outer ALM iteration is timed into `metrics.iteration_seconds` and
+  /// counted in `metrics.iterations`. Default (all-null) disables tracing;
+  /// the referenced metrics must outlive the solver's solves.
+  void set_stage_metrics(const SolverStageMetrics& metrics) {
+    stage_metrics_ = metrics;
+  }
+  const SolverStageMetrics& stage_metrics() const { return stage_metrics_; }
+
   /// Whether the most recent Solve() warm-started.
   bool last_was_warm() const { return last_was_warm_; }
 
@@ -212,6 +233,7 @@ class DecompositionSolver {
   bool has_seed_ = false;
 
   CancelToken cancel_token_;
+  SolverStageMetrics stage_metrics_;
 
   bool last_was_warm_ = false;
 };

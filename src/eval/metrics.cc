@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "base/check.h"
 
@@ -26,7 +27,9 @@ double MeanSquaredError(const linalg::Vector& exact,
 }
 
 double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
+  // NaN, not 0: an empty sample set has no percentile, and 0 reads as
+  // "zero latency" in bench output when a run sheds every request.
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   LRM_CHECK_GE(p, 0.0);
   LRM_CHECK_LE(p, 100.0);
   std::sort(values.begin(), values.end());

@@ -23,8 +23,10 @@ double MeanSquaredError(const linalg::Vector& exact,
 /// \brief The p-th percentile (p in [0, 100]) of `values` under linear
 /// interpolation between closest ranks — the convention of numpy's default
 /// and of most latency dashboards, so service p50/p99 numbers compare
-/// directly. Takes its argument by value (it must sort). Returns 0 when
-/// empty.
+/// directly. Takes its argument by value (it must sort). Returns NaN when
+/// empty: an empty sample set has no percentile, and callers that print
+/// one (e.g. a bench run that shed every request) must not report it as
+/// zero latency.
 double Percentile(std::vector<double> values, double p);
 
 /// \brief Running mean/variance accumulator (Welford) for repeated trials.

@@ -1,0 +1,183 @@
+#include "obs/export.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "base/check.h"
+#include "base/logging.h"
+
+namespace lrm::obs {
+namespace {
+
+// Metric names are dotted identifiers by convention, but the exporter must
+// not produce invalid JSON for a hostile name either.
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+// JSON has no NaN/Inf literals; render them as null.
+void AppendJsonNumber(std::ostringstream* out, double value) {
+  if (std::isfinite(value)) {
+    *out << value;
+  } else {
+    *out << "null";
+  }
+}
+
+void AppendHistogramJson(std::ostringstream* out,
+                         const HistogramSnapshot& h) {
+  *out << "{\"count\": " << h.count << ", \"sum\": ";
+  AppendJsonNumber(out, h.sum);
+  *out << ", \"min\": ";
+  AppendJsonNumber(out, h.min);
+  *out << ", \"max\": ";
+  AppendJsonNumber(out, h.max);
+  *out << ", \"mean\": ";
+  AppendJsonNumber(out, h.Mean());
+  *out << ", \"p50\": ";
+  AppendJsonNumber(out, h.Quantile(0.50));
+  *out << ", \"p90\": ";
+  AppendJsonNumber(out, h.Quantile(0.90));
+  *out << ", \"p99\": ";
+  AppendJsonNumber(out, h.Quantile(0.99));
+  *out << ", \"edges\": [";
+  for (std::size_t i = 0; i < h.edges.size(); ++i) {
+    if (i > 0) *out << ", ";
+    AppendJsonNumber(out, h.edges[i]);
+  }
+  *out << "], \"bucket_counts\": [";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (i > 0) *out << ", ";
+    *out << h.counts[i];
+  }
+  *out << "]}";
+}
+
+}  // namespace
+
+std::string ToText(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(6);
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "counter   " << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "gauge     " << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << "histogram " << name << " count=" << h.count;
+    if (h.count > 0) {
+      out << " mean=" << h.Mean() << " min=" << h.min << " max=" << h.max
+          << " p50=" << h.Quantile(0.50) << " p90=" << h.Quantile(0.90)
+          << " p99=" << h.Quantile(0.99);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ToJson(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out << ": " << value;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out << ": ";
+    AppendJsonNumber(&out, value);
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out << ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out << ": ";
+    AppendHistogramJson(&out, h);
+  }
+  out << "}}";
+  return out.str();
+}
+
+PeriodicReporter::PeriodicReporter(const MetricRegistry* registry,
+                                   PeriodicReporterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  LRM_CHECK(registry_ != nullptr);
+  LRM_CHECK(std::isfinite(options_.period_seconds) &&
+            options_.period_seconds > 0.0);
+  if (!options_.format) options_.format = ToText;
+  if (!options_.sink) {
+    options_.sink = [](const std::string& report) {
+      LRM_LOG_INFO << "metrics report\n" << report;
+    };
+  }
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto period = std::chrono::duration<double>(
+        options_.period_seconds);
+    while (!stop_) {
+      if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+      lock.unlock();
+      ReportNow();
+      lock.lock();
+    }
+  });
+}
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+void PeriodicReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stop_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (options_.report_on_stop) ReportNow();
+}
+
+void PeriodicReporter::ReportNow() const {
+  options_.sink(options_.format(registry_->Snapshot()));
+  reports_emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace lrm::obs

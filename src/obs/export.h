@@ -1,0 +1,95 @@
+// Snapshot exporters (text and JSON) and the periodic reporter thread.
+//
+// Both exporters render a RegistrySnapshot — call MetricRegistry::Snapshot()
+// (or HistogramSnapshot::DeltaSince for interval views) and hand the result
+// over; they never touch live metrics. Formats are documented with examples
+// in src/service/README.md (observability section).
+
+#ifndef LRM_OBS_EXPORT_H_
+#define LRM_OBS_EXPORT_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace lrm::obs {
+
+/// \brief Human-oriented text rendering, one metric per line:
+///
+///   counter   service.requests_admitted 128
+///   gauge     service.in_flight 3
+///   histogram service.serve_seconds count=128 mean=0.0021 min=0.0018
+///       max=0.0102 p50=0.0020 p90=0.0024 p99=0.0087
+std::string ToText(const RegistrySnapshot& snapshot);
+
+/// \brief Machine-oriented JSON rendering:
+///
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"service.serve_seconds": {
+///        "count": N, "sum": s, "min": m, "max": M, "mean": µ,
+///        "p50": ..., "p90": ..., "p99": ...,
+///        "edges": [...], "bucket_counts": [...]}}}
+///
+/// edges are the finite-bucket upper bounds; bucket_counts has one extra
+/// trailing entry (the overflow bucket). Non-finite numbers render as null
+/// (JSON has no NaN/Inf).
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+/// \brief Options for PeriodicReporter.
+struct PeriodicReporterOptions {
+  /// Interval between reports. Must be positive and finite.
+  double period_seconds = 60.0;
+  /// Receives each rendered report. Defaults to the process log at INFO
+  /// level (visible once SetLogLevel(kInfo) or lower).
+  std::function<void(const std::string&)> sink;
+  /// Renders snapshots; defaults to ToText.
+  std::function<std::string(const RegistrySnapshot&)> format;
+  /// Emit one last report from Stop()/the destructor, so a short-lived
+  /// process still reports its final state.
+  bool report_on_stop = true;
+};
+
+/// \brief Background thread that snapshots a registry every
+/// period_seconds and hands the rendered report to the sink. Stop() (and
+/// the destructor) joins the thread; the registry must outlive the
+/// reporter.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(const MetricRegistry* registry,
+                   PeriodicReporterOptions options = {});
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stops and joins the reporter thread. Idempotent.
+  void Stop();
+
+  /// Snapshots, renders and emits one report immediately (also callable
+  /// after Stop()).
+  void ReportNow() const;
+
+  /// Reports emitted so far (periodic + ReportNow + the stop report).
+  std::int64_t reports_emitted() const {
+    return reports_emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const MetricRegistry* registry_;
+  PeriodicReporterOptions options_;
+
+  mutable std::atomic<std::int64_t> reports_emitted_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lrm::obs
+
+#endif  // LRM_OBS_EXPORT_H_

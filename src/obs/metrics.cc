@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+
+namespace lrm::obs {
+namespace {
+
+// Round-robin shard assignment: each thread gets a stable slot on first
+// touch. Modulo happens at use so one process-wide counter serves every
+// histogram.
+std::size_t ThisThreadSlot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+// Relaxed CAS add for atomic doubles (no fetch_add for FP in C++17).
+void AtomicAdd(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+// One shard: a private copy of the bucket array plus sum/min/max, so
+// threads mapped to different shards never touch the same cache lines on
+// the Record path. Merged (in fixed shard order) by Snapshot().
+struct Histogram::Shard {
+  explicit Shard(std::size_t buckets)
+      : counts(new std::atomic<std::int64_t>[buckets]) {
+    for (std::size_t i = 0; i < buckets; ++i) {
+      counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts;
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{kInf};
+  std::atomic<double> max{-kInf};
+};
+
+Histogram::Histogram(HistogramOptions options) {
+  LRM_CHECK_GT(options.min_value, 0.0);
+  LRM_CHECK_GT(options.growth, 1.0);
+  LRM_CHECK_GT(options.buckets, 0);
+  edges_.reserve(options.buckets);
+  double edge = options.min_value;
+  for (int i = 0; i < options.buckets; ++i) {
+    edges_.push_back(edge);
+    edge *= options.growth;
+  }
+  shards_.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(edges_.size() + 1));
+  }
+}
+
+Histogram::~Histogram() = default;
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) {
+    nan_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // First bucket whose upper edge covers the value; past-the-end = the
+  // overflow bucket. ~5 comparisons over a ~30-entry array — cheaper and
+  // exactly boundary-consistent vs. a log() followed by fix-ups.
+  const std::size_t bucket =
+      std::lower_bound(edges_.begin(), edges_.end(), value) - edges_.begin();
+  Shard& shard = *shards_[ThisThreadSlot() % kShards];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&shard.sum, value);
+  AtomicMin(&shard.min, value);
+  AtomicMax(&shard.max, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.edges = edges_;
+  snapshot.counts.assign(edges_.size() + 1, 0);
+  snapshot.min = kInf;
+  snapshot.max = -kInf;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+      snapshot.counts[i] +=
+          shard->counts[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard->sum.load(std::memory_order_relaxed);
+    snapshot.min =
+        std::min(snapshot.min, shard->min.load(std::memory_order_relaxed));
+    snapshot.max =
+        std::max(snapshot.max, shard->max.load(std::memory_order_relaxed));
+  }
+  for (const std::int64_t c : snapshot.counts) snapshot.count += c;
+  if (snapshot.count == 0) {
+    snapshot.min = 0.0;
+    snapshot.max = 0.0;
+    snapshot.sum = 0.0;
+  }
+  return snapshot;
+}
+
+double HistogramSnapshot::Mean() const {
+  return count > 0 ? sum / static_cast<double>(count) : kNaN;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return kNaN;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // The same rank convention as eval::Percentile / numpy: the q-quantile
+  // of N samples sits at fractional order statistic q·(N−1).
+  const double rank = q * static_cast<double>(count - 1);
+  std::int64_t before = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double last_in_bucket =
+        static_cast<double>(before + counts[i] - 1);
+    if (rank <= last_in_bucket) {
+      const double lower = i == 0 ? 0.0 : edges[i - 1];
+      const double upper = i < edges.size() ? edges[i] : max;
+      // Linear interpolation across the bucket by rank position: sample
+      // j of c (0-based) sits at lower + (j+1)/c · width. Stays inside
+      // (lower, upper], hence within one bucket width of the true order
+      // statistic; the [min, max] clamp sharpens the edge buckets.
+      const double position =
+          (rank - static_cast<double>(before) + 1.0) /
+          static_cast<double>(counts[i]);
+      const double estimate = lower + position * (upper - lower);
+      return std::min(std::max(estimate, min), max);
+    }
+    before += counts[i];
+  }
+  return max;
+}
+
+double HistogramSnapshot::QuantileErrorBound(double q) const {
+  if (count == 0) return kNaN;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count - 1);
+  std::int64_t before = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (rank <= static_cast<double>(before + counts[i] - 1)) {
+      const double lower = i == 0 ? 0.0 : edges[i - 1];
+      const double upper = i < edges.size() ? edges[i] : max;
+      return upper - lower;
+    }
+    before += counts[i];
+  }
+  return edges.empty() ? 0.0 : max - edges.back();
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  delta.edges = edges;
+  delta.counts.assign(counts.size(), 0);
+  LRM_CHECK_EQ(earlier.counts.size(), counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    delta.counts[i] = counts[i] - earlier.counts[i];
+    LRM_CHECK_GE(delta.counts[i], 0);
+    delta.count += delta.counts[i];
+  }
+  delta.sum = sum - earlier.sum;
+  if (delta.count == 0) return delta;
+  // Exact per-interval extremes are unrecoverable from cumulative
+  // snapshots; bound them by the outermost non-empty delta buckets,
+  // clamped to the cumulative extremes.
+  std::size_t first = 0;
+  while (delta.counts[first] == 0) ++first;
+  std::size_t last = delta.counts.size() - 1;
+  while (delta.counts[last] == 0) --last;
+  delta.min = std::max(first == 0 ? 0.0 : edges[first - 1], min);
+  delta.max = std::min(last < edges.size() ? edges[last] : max, max);
+  return delta;
+}
+
+Counter* MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name,
+                                     const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+}  // namespace lrm::obs

@@ -1,0 +1,202 @@
+// In-process metrics: named counters, gauges, and log-bucketed latency
+// histograms behind a MetricRegistry.
+//
+// Design constraints (this substrate sits on the service request path):
+//
+//   * The hot path is lock-free. Counter::Add and Histogram::Record are a
+//     handful of relaxed atomic operations — never a mutex — so recording a
+//     latency sample cannot contend with the admission path the way the old
+//     copy-the-struct-under-the-service-mutex counters did.
+//   * Histograms shard their buckets per thread. Each recording thread is
+//     assigned (round-robin, on first touch) one of kHistogramShards shard
+//     slots; threads sharing a slot still only contend on atomic adds.
+//     Snapshot() merges the shards, so a merged histogram's total count is
+//     exactly the number of Record() calls that happened-before the
+//     snapshot.
+//   * Metrics are created once and never removed: the registry hands out
+//     stable pointers its callers cache at wiring time, so steady-state
+//     recording never touches the registry mutex either.
+//
+// Quantiles are estimated from the log-spaced bucket boundaries by linear
+// interpolation inside the bucket containing the requested rank; the
+// estimate is always inside that bucket, so its error against the exact
+// sorted-sample percentile is at most one bucket width (~`growth`-factor
+// relative error). That is the precision contract bench_service's p50/p99
+// and the latency gates in compare_benchmarks.py rely on.
+//
+// Stage timing spans are layered on top in stage_timer.h; text/JSON export
+// and the periodic reporter live in export.h.
+
+#ifndef LRM_OBS_METRICS_H_
+#define LRM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lrm::obs {
+
+/// \brief Monotonically increasing counter. All operations are relaxed
+/// atomics: safe from any thread, never blocking.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(std::int64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value (queue depth, cache size).
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Histogram bucket layout: `buckets` finite buckets with
+/// geometrically growing upper edges edge[i] = min_value·growthⁱ, plus one
+/// overflow bucket. Bucket i spans (edge[i−1], edge[i]] with edge[−1] = 0;
+/// values ≤ min_value land in bucket 0, values beyond the last edge in the
+/// overflow bucket. The defaults cover 1 µs … ~9 min at 2× resolution —
+/// tuned for latency in seconds, the registry's dominant unit.
+struct HistogramOptions {
+  double min_value = 1e-6;
+  double growth = 2.0;
+  int buckets = 29;
+};
+
+/// \brief One merged, immutable view of a histogram. Cheap value type.
+struct HistogramSnapshot {
+  /// Upper edges of the finite buckets (size = options.buckets).
+  std::vector<double> edges;
+  /// Per-bucket counts, size edges.size() + 1; the last entry is the
+  /// overflow bucket.
+  std::vector<std::int64_t> counts;
+  std::int64_t count = 0;
+  double sum = 0.0;
+  /// Exact extremes of the recorded samples (not bucket edges). When the
+  /// snapshot is empty min > max.
+  double min = 0.0;
+  double max = 0.0;
+
+  bool empty() const { return count == 0; }
+
+  /// Arithmetic mean of the recorded samples (exact — from sum/count, not
+  /// buckets). NaN when empty.
+  double Mean() const;
+
+  /// The q-quantile (q in [0, 1]) estimated from the buckets: the rank
+  /// q·(count−1) — the same linear-interpolation convention as
+  /// eval::Percentile — is located in its bucket and linearly interpolated
+  /// across that bucket's span, clamped to [min, max]. The estimate lies
+  /// within the bucket holding the true order statistic, so the error
+  /// against an exact sorted-sample percentile is at most that bucket's
+  /// width. NaN when empty.
+  double Quantile(double q) const;
+
+  /// Width of the bucket that Quantile(q) falls in — the quantile
+  /// estimation error bound at q. NaN when empty.
+  double QuantileErrorBound(double q) const;
+
+  /// The samples recorded between `earlier` and this snapshot, as a
+  /// snapshot: counts/count/sum subtract. `earlier` must be an older
+  /// snapshot of the SAME histogram. min/max cannot be subtracted, so the
+  /// delta's extremes are widened to the edges of its outermost non-empty
+  /// buckets (clamped to this snapshot's exact extremes) — quantile error
+  /// stays ≤ one bucket width. This is how an interval p50/p99 (periodic
+  /// reports, bench arms that exclude warmup) is derived from cumulative
+  /// histograms.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+};
+
+/// \brief Log-bucketed, thread-sharded histogram. Record() is lock-free;
+/// Snapshot() merges the shards.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+  ~Histogram();  // out of line: Shard is incomplete here
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample: a relaxed atomic add on this thread's shard.
+  /// NaN samples are dropped (counted in nan_dropped); negative samples
+  /// clamp into the first bucket (min/max still record the true value).
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// NaN samples dropped by Record (a recording-site bug, never silent).
+  std::int64_t nan_dropped() const {
+    return nan_dropped_.load(std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  struct Shard;
+
+  static constexpr int kShards = 8;
+
+  std::vector<double> edges_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> nan_dropped_{0};
+};
+
+/// \brief Everything a registry held at one instant. std::map so exports
+/// and test expectations see a deterministic (sorted) order.
+struct RegistrySnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// \brief Owner of named metrics. Lookup-or-create takes a mutex; the
+/// returned pointers are stable for the registry's lifetime, so callers
+/// resolve them once at wiring time and record lock-free afterwards.
+///
+/// Names are dotted paths ("service.serve_seconds"); the convention — and
+/// the stage-span hierarchy the service registers — is documented in
+/// src/service/README.md.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. A histogram's
+  /// options only apply at creation; later callers get the existing
+  /// instance regardless of the options they pass.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       const HistogramOptions& options = {});
+
+  /// Point-in-time view of every metric (histogram shards merged).
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lrm::obs
+
+#endif  // LRM_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+// RAII stage-timing span: times a scope into a Histogram and (optionally)
+// counts entries into a Counter. Null metric pointers make the span a
+// no-op, so instrumentation sites stay unconditional — a component built
+// without a registry simply passes nullptr through and pays two branch
+// instructions.
+//
+// Stages form a hierarchy by naming convention, not by runtime nesting:
+// "service.serve_seconds" encloses "service.prepare_seconds" and
+// "service.answer_seconds", which enclose "alm.iteration_seconds" — see
+// the span table in src/service/README.md.
+
+#ifndef LRM_OBS_STAGE_TIMER_H_
+#define LRM_OBS_STAGE_TIMER_H_
+
+#include "base/timer.h"
+#include "obs/metrics.h"
+
+namespace lrm::obs {
+
+/// \brief Times its own lifetime into `histogram` (seconds). Records
+/// exactly once: at destruction, or earlier via Stop(). Movable-from
+/// nothing, copyable-from nothing — it is a scope marker.
+class ScopedStageTimer {
+ public:
+  /// `entered`, when given, is incremented immediately — a stage-entry
+  /// counter snapshot readers can compare against the histogram count to
+  /// see how many spans are currently in flight.
+  explicit ScopedStageTimer(Histogram* histogram,
+                            Counter* entered = nullptr)
+      : histogram_(histogram) {
+    if (entered != nullptr) entered->Increment();
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+  ~ScopedStageTimer() { Stop(); }
+
+  /// Records the elapsed span now (idempotent) and returns the elapsed
+  /// seconds, so call sites that also report the duration elsewhere
+  /// measure it exactly once.
+  double Stop() {
+    const double elapsed = timer_.ElapsedSeconds();
+    if (!done_) {
+      done_ = true;
+      if (histogram_ != nullptr) histogram_->Record(elapsed);
+    }
+    return elapsed;
+  }
+
+  /// Abandons the span: nothing is recorded at destruction. For paths
+  /// that turn out not to be the stage they started as (e.g. a request
+  /// refused at admission should not pollute the serve histogram).
+  void Cancel() { done_ = true; }
+
+  /// Elapsed seconds so far without recording anything.
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  Histogram* histogram_;
+  WallTimer timer_;
+  bool done_ = false;
+};
+
+}  // namespace lrm::obs
+
+#endif  // LRM_OBS_STAGE_TIMER_H_

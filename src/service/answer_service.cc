@@ -8,25 +8,33 @@
 #include "base/string_util.h"
 #include "base/timer.h"
 #include "mechanism/laplace.h"
+#include "obs/stage_timer.h"
 
 namespace lrm::service {
 namespace {
 
 PreparedCacheOptions CacheOptionsWithInjector(
-    const AnswerServiceOptions& options) {
+    const AnswerServiceOptions& options, obs::MetricRegistry* registry) {
   PreparedCacheOptions cache = options.cache;
   if (cache.fault_injector == nullptr) {
     cache.fault_injector = options.fault_injector;
   }
+  // The cache publishes cache.* / alm.* into the service registry so one
+  // snapshot covers the whole serving stack.
+  if (cache.registry == nullptr) cache.registry = registry;
   return cache;
 }
 
 QueryBatcherOptions BatcherOptions(linalg::Index domain_size,
-                                   const AnswerServiceOptions& options) {
+                                   const AnswerServiceOptions& options,
+                                   obs::MetricRegistry* registry) {
   QueryBatcherOptions batcher;
   batcher.domain_size = domain_size;
   batcher.max_batch_queries = options.max_batch_queries;
   batcher.max_linger_seconds = options.batch_linger_seconds;
+  batcher.queries_admitted = registry->counter("batcher.queries_admitted");
+  batcher.batches_cut = registry->counter("batcher.batches_cut");
+  batcher.batch_rows = registry->histogram("batcher.batch_rows");
   return batcher;
 }
 
@@ -36,10 +44,31 @@ AnswerService::AnswerService(linalg::Vector data,
                              AnswerServiceOptions options)
     : data_(std::move(data)),
       options_(options),
-      cache_(CacheOptionsWithInjector(options)),
-      batcher_(BatcherOptions(data_.size(), options)),
+      cache_(CacheOptionsWithInjector(options, &registry_)),
+      batcher_(BatcherOptions(data_.size(), options, &registry_)),
       pool_(std::make_unique<ThreadPool>(options.num_threads)) {
   LRM_CHECK_GT(data_.size(), 0);
+  requests_admitted_ = registry_.counter("service.requests_admitted");
+  refused_budget_ = registry_.counter("service.refused_budget");
+  refused_validation_ = registry_.counter("service.refused_validation");
+  refused_shed_ = registry_.counter("service.refused_shed");
+  refused_deadline_ = registry_.counter("service.refused_deadline");
+  degraded_releases_ = registry_.counter("service.degraded_releases");
+  batches_dispatched_ = registry_.counter("service.batches_dispatched");
+  batches_cut_by_linger_ =
+      registry_.counter("service.batches_cut_by_linger");
+  admission_seconds_ = registry_.histogram("service.admission_seconds");
+  serve_seconds_ = registry_.histogram("service.serve_seconds");
+  prepare_seconds_ = registry_.histogram("service.prepare_seconds");
+  answer_seconds_ = registry_.histogram("service.answer_seconds");
+  in_flight_gauge_ = registry_.gauge("service.in_flight");
+  if (std::isfinite(options_.report_period_seconds) &&
+      options_.report_period_seconds > 0.0) {
+    obs::PeriodicReporterOptions reporter;
+    reporter.period_seconds = options_.report_period_seconds;
+    reporter_ =
+        std::make_unique<obs::PeriodicReporter>(&registry_, reporter);
+  }
   StartLingerTicker();
 }
 
@@ -97,6 +126,7 @@ CancelToken AnswerService::TokenForRequest(
 
 StatusOr<std::uint64_t> AnswerService::Admit(
     const BatchAnswerRequest& request) {
+  obs::ScopedStageTimer admission_span(admission_seconds_);
   Status invalid = Status::OK();
   if (request.workload == nullptr) {
     invalid = Status::InvalidArgument("AnswerService: null workload");
@@ -112,8 +142,7 @@ StatusOr<std::uint64_t> AnswerService::Admit(
         "no deadline)");
   }
   if (!invalid.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.refused_validation;
+    refused_validation_->Increment();
     return invalid;
   }
   // The charge is the admission decision: it validates ε and the tenant,
@@ -121,54 +150,56 @@ StatusOr<std::uint64_t> AnswerService::Admit(
   // release. Charging before the work is queued keeps refusals
   // deterministic in submission order.
   const Status charge = budget_.Charge(request.tenant, request.epsilon);
-  std::lock_guard<std::mutex> lock(mu_);
   if (!charge.ok()) {
     if (charge.code() == StatusCode::kResourceExhausted) {
-      ++stats_.refused_budget;
+      refused_budget_->Increment();
     } else {
       // Unknown tenant (FAILED_PRECONDITION) or malformed ε
       // (INVALID_ARGUMENT): the request never should have been made.
-      ++stats_.refused_validation;
+      refused_validation_->Increment();
     }
     return charge;
   }
-  ++stats_.requests_admitted;
-  return next_request_id_++;
+  requests_admitted_->Increment();
+  return next_request_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status AnswerService::TryReserveSlot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Optimistic reserve: take the slot, then undo if the queue was already
+  // full. The hot (admitted) path is one relaxed RMW — no service mutex.
+  const std::size_t depth =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (options_.max_pending_requests > 0 &&
-      in_flight_ >= options_.max_pending_requests) {
-    ++stats_.refused_shed;
+      depth >= options_.max_pending_requests) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    refused_shed_->Increment();
     // Retry-after estimate: draining the current queue at the observed
-    // average serve time across the worker threads. Before any serve has
-    // completed, guess conservatively.
+    // average serve time across the worker threads (the serve_seconds
+    // histogram carries count and sum). Before any serve has completed,
+    // guess conservatively. The shed path is cold, so a histogram
+    // snapshot here is fine.
+    const obs::HistogramSnapshot serves = serve_seconds_->Snapshot();
     const double avg_serve =
-        completed_serves_ > 0
-            ? total_serve_seconds_ / static_cast<double>(completed_serves_)
-            : 0.05;
+        serves.count > 0 ? serves.sum / static_cast<double>(serves.count)
+                         : 0.05;
     const double retry_after =
-        avg_serve * static_cast<double>(in_flight_) /
+        avg_serve * static_cast<double>(depth) /
         static_cast<double>(std::max(1, options_.num_threads));
     return Status::Unavailable(StrFormat(
         "AnswerService: shedding load (%llu async requests in flight, "
         "limit %llu); retry after ~%.3f s",
-        static_cast<unsigned long long>(in_flight_),
+        static_cast<unsigned long long>(depth),
         static_cast<unsigned long long>(options_.max_pending_requests),
         retry_after));
   }
-  ++in_flight_;
+  in_flight_gauge_->Set(static_cast<double>(depth + 1));
   return Status::OK();
 }
 
-void AnswerService::ReleaseSlot(double serve_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (in_flight_ > 0) --in_flight_;
-  if (serve_seconds >= 0.0) {
-    total_serve_seconds_ += serve_seconds;
-    ++completed_serves_;
-  }
+void AnswerService::ReleaseSlot() {
+  const std::size_t before =
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  in_flight_gauge_->Set(static_cast<double>(before > 0 ? before - 1 : 0));
 }
 
 Status AnswerService::DeadlineGate(const char* site,
@@ -210,6 +241,9 @@ StatusOr<BatchAnswerResponse> AnswerService::Serve(
                                prepare_timer.ElapsedSeconds());
   }
   const double prepare_seconds = prepare_timer.ElapsedSeconds();
+  // Per-request prepare stage (≈0 on a cache hit; the search itself also
+  // lands in cache.prepare_seconds, which only actual prepares feed).
+  prepare_seconds_->Record(prepare_seconds);
 
   WallTimer answer_timer;
   rng::Engine engine = EngineForRequest(request_id);
@@ -230,6 +264,7 @@ StatusOr<BatchAnswerResponse> AnswerService::Serve(
   response.warm_started = lease->warm_started;
   response.prepare_seconds = prepare_seconds;
   response.answer_seconds = answer_timer.ElapsedSeconds();
+  answer_seconds_->Record(response.answer_seconds);
   const StatusOr<double> remaining = budget_.Remaining(request.tenant);
   response.remaining_budget = remaining.ok() ? remaining.value() : 0.0;
   return response;
@@ -266,8 +301,8 @@ StatusOr<BatchAnswerResponse> AnswerService::ResolveServeFailure(
               budget_.Remaining(request.tenant);
           response.remaining_budget =
               remaining.ok() ? remaining.value() : 0.0;
-          std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.degraded_releases;
+          answer_seconds_->Record(response.answer_seconds);
+          degraded_releases_->Increment();
           return response;
         }
       }
@@ -275,11 +310,8 @@ StatusOr<BatchAnswerResponse> AnswerService::ResolveServeFailure(
   }
   // No answer was released on any path: the charge must not stand.
   (void)budget_.Refund(request.tenant, request.epsilon);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (cause.code() == StatusCode::kDeadlineExceeded) {
-      ++stats_.refused_deadline;
-    }
+  if (cause.code() == StatusCode::kDeadlineExceeded) {
+    refused_deadline_->Increment();
   }
   return cause;
 }
@@ -287,6 +319,10 @@ StatusOr<BatchAnswerResponse> AnswerService::ResolveServeFailure(
 StatusOr<BatchAnswerResponse> AnswerService::ServeGuarded(
     const BatchAnswerRequest& request, std::uint64_t request_id,
     const CancelToken& token) {
+  // End-to-end serve stage: covers every outcome (released, degraded,
+  // refused, thrown) on both the sync and async paths, and feeds the
+  // retry-after estimate in TryReserveSlot.
+  obs::ScopedStageTimer serve_span(serve_seconds_);
   try {
     return Serve(request, request_id, token);
   } catch (const std::exception& e) {
@@ -320,7 +356,7 @@ std::future<StatusOr<BatchAnswerResponse>> AnswerService::Submit(
   }
   const StatusOr<std::uint64_t> admitted = Admit(request);
   if (!admitted.ok()) {
-    ReleaseSlot(/*serve_seconds=*/-1.0);
+    ReleaseSlot();
     promise->set_value(admitted.status());
     return future;
   }
@@ -329,10 +365,9 @@ std::future<StatusOr<BatchAnswerResponse>> AnswerService::Submit(
   auto shared_request =
       std::make_shared<BatchAnswerRequest>(std::move(request));
   pool_->Submit([this, promise, shared_request, request_id, token] {
-    WallTimer serve_timer;
     StatusOr<BatchAnswerResponse> result =
         ServeGuarded(*shared_request, request_id, token);
-    ReleaseSlot(serve_timer.ElapsedSeconds());
+    ReleaseSlot();
     promise->set_value(std::move(result));
   });
   return future;
@@ -375,9 +410,9 @@ void AnswerService::DispatchBatches(
         waiters = std::move(it->second);
         pending_queries_.erase(it);
       }
-      ++stats_.batches_dispatched;
-      if (cut_by_linger) ++stats_.batches_cut_by_linger;
     }
+    batches_dispatched_->Increment();
+    if (cut_by_linger) batches_cut_by_linger_->Increment();
 
     BatchAnswerRequest request;
     request.tenant = std::move(batch.tenant);
@@ -400,7 +435,7 @@ void AnswerService::DispatchBatches(
     }
     const StatusOr<std::uint64_t> admitted = Admit(request);
     if (!admitted.ok()) {
-      ReleaseSlot(/*serve_seconds=*/-1.0);
+      ReleaseSlot();
       refuse_all(admitted.status());
       continue;
     }
@@ -410,10 +445,9 @@ void AnswerService::DispatchBatches(
         std::make_shared<BatchAnswerRequest>(std::move(request));
     pool_->Submit([this, shared_request, shared_waiters, request_id,
                    token] {
-      WallTimer serve_timer;
       const StatusOr<BatchAnswerResponse> response =
           ServeGuarded(*shared_request, request_id, token);
-      ReleaseSlot(serve_timer.ElapsedSeconds());
+      ReleaseSlot();
       for (auto& [row, waiter] : *shared_waiters) {
         if (response.ok()) {
           waiter.set_value(response.value().answers[row]);
@@ -458,11 +492,18 @@ void AnswerService::StopLingerTicker() {
 void AnswerService::Drain() { pool_->Wait(); }
 
 AnswerServiceStats AnswerService::stats() const {
+  // Snapshot view over the registry counters — no lock: each counter is
+  // atomic and individually monotonic, which is all the old mutex gave
+  // across separate stats() calls.
   AnswerServiceStats stats;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats = stats_;
-  }
+  stats.requests_admitted = requests_admitted_->value();
+  stats.refused_budget = refused_budget_->value();
+  stats.refused_validation = refused_validation_->value();
+  stats.refused_shed = refused_shed_->value();
+  stats.refused_deadline = refused_deadline_->value();
+  stats.degraded_releases = degraded_releases_->value();
+  stats.batches_dispatched = batches_dispatched_->value();
+  stats.batches_cut_by_linger = batches_cut_by_linger_->value();
   stats.cache = cache_.stats();
   return stats;
 }

@@ -45,6 +45,7 @@
 #ifndef LRM_SERVICE_ANSWER_SERVICE_H_
 #define LRM_SERVICE_ANSWER_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -59,6 +60,8 @@
 #include "base/cancel.h"
 #include "base/status_or.h"
 #include "linalg/vector.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "rng/engine.h"
 #include "service/batcher.h"
 #include "service/budget_manager.h"
@@ -101,6 +104,13 @@ struct AnswerServiceOptions {
   /// owned; must outlive the service. Propagated into the cache unless
   /// cache.fault_injector is already set. Null disables injection.
   FaultInjector* fault_injector = nullptr;
+
+  /// Periodic metrics reporting: a positive finite value starts a
+  /// background obs::PeriodicReporter that renders the service registry
+  /// every this many seconds into the process log at INFO (plus one final
+  /// report at shutdown). 0 (the default) disables the reporter; the
+  /// registry is still live and snapshotable either way.
+  double report_period_seconds = 0.0;
 };
 
 /// \brief One batch request: answer every query of `workload` at privacy
@@ -149,6 +159,13 @@ struct BatchAnswerResponse {
 /// \brief Service counters (monotonic). Refusals are split by reason so an
 /// operator can tell overload (shed) from misconfiguration (validation)
 /// from ledger pressure (budget) at a glance.
+///
+/// Since the obs rewire this struct is a snapshot VIEW assembled from the
+/// service's registry-backed counters at stats() time (metric names in
+/// src/service/README.md); it is no longer the live accounting structure.
+/// Existing callers keep reading the same fields. Cross-field reads are
+/// individually monotonic but not a single atomic cut — exactly the
+/// guarantee the old mutex-guarded struct gave across stats() calls.
 struct AnswerServiceStats {
   std::int64_t requests_admitted = 0;
   /// Charge refused: the tenant's remaining ε cannot cover the request.
@@ -223,7 +240,26 @@ class AnswerService {
   /// Blocks until all dispatched work has finished.
   void Drain();
 
+  /// Snapshot view over the registry counters (see AnswerServiceStats).
   AnswerServiceStats stats() const;
+
+  /// The service's metric registry: every counter/histogram the service,
+  /// its batcher and its cache publish (service.*, batcher.*, cache.*,
+  /// alm.*). Snapshot it (or use MetricsSnapshot) and render with
+  /// obs::ToText / obs::ToJson.
+  const obs::MetricRegistry& registry() const { return registry_; }
+
+  /// Convenience: a coherent point-in-time snapshot of every metric.
+  obs::RegistrySnapshot MetricsSnapshot() const {
+    return registry_.Snapshot();
+  }
+
+  /// Refunds refused by the ledger because they exceeded recorded spend
+  /// (charge/refund pairing bug; see BudgetManager::Refund). Exposed so
+  /// fault-injection tests can assert the ledger never went creative.
+  std::int64_t over_refund_count() const {
+    return budget_.over_refund_count();
+  }
 
   /// Remaining ε for a tenant (ledger read-through).
   StatusOr<double> RemainingBudget(const std::string& tenant) const {
@@ -242,9 +278,10 @@ class AnswerService {
   // max_pending_requests slots are taken. Runs BEFORE Admit so a shed
   // request charges nothing.
   Status TryReserveSlot();
-  // Completes the slot reserved by TryReserveSlot and feeds the serve-time
-  // average behind the retry-after estimate.
-  void ReleaseSlot(double serve_seconds);
+  // Completes the slot reserved by TryReserveSlot. (The serve-time average
+  // behind the retry-after estimate now comes from the service.serve_seconds
+  // histogram, which ServeGuarded feeds.)
+  void ReleaseSlot();
 
   // The post-admission work: deadline gates + cache lookup/prepare + noisy
   // release, with the Laplace fallback on prepare failure. Refunds the
@@ -284,18 +321,38 @@ class AnswerService {
   linalg::Vector data_;
   AnswerServiceOptions options_;
 
+  // The registry every tier below publishes into. Declared before the
+  // members that hold pointers into it (cache_, batcher_, reporter_) so it
+  // outlives them; metric pointers are stable for the registry's lifetime.
+  obs::MetricRegistry registry_;
+  // Registry-backed counters replacing the old mutex-guarded stats struct:
+  // the hot path is a relaxed atomic add, never the service mutex.
+  obs::Counter* requests_admitted_ = nullptr;
+  obs::Counter* refused_budget_ = nullptr;
+  obs::Counter* refused_validation_ = nullptr;
+  obs::Counter* refused_shed_ = nullptr;
+  obs::Counter* refused_deadline_ = nullptr;
+  obs::Counter* degraded_releases_ = nullptr;
+  obs::Counter* batches_dispatched_ = nullptr;
+  obs::Counter* batches_cut_by_linger_ = nullptr;
+  // Stage histograms (seconds): admission ⊂ serve ⊃ prepare/answer.
+  obs::Histogram* admission_seconds_ = nullptr;
+  obs::Histogram* serve_seconds_ = nullptr;
+  obs::Histogram* prepare_seconds_ = nullptr;
+  obs::Histogram* answer_seconds_ = nullptr;
+  // Live depth of the async worker queue (the shedding gauge).
+  obs::Gauge* in_flight_gauge_ = nullptr;
+
   BudgetManager budget_;
   PreparedMechanismCache cache_;
   QueryBatcher batcher_;
+  std::unique_ptr<obs::PeriodicReporter> reporter_;
+
+  std::atomic<std::uint64_t> next_request_id_{0};
+  // Slots reserved but not released (the overload gate).
+  std::atomic<std::size_t> in_flight_{0};
 
   mutable std::mutex mu_;
-  std::uint64_t next_request_id_ = 0;
-  AnswerServiceStats stats_;
-  // Overload accounting (guarded by mu_): slots reserved but not released,
-  // plus the completed-serve time sum behind the retry-after estimate.
-  std::size_t in_flight_ = 0;
-  double total_serve_seconds_ = 0.0;
-  std::int64_t completed_serves_ = 0;
   // Futures for admitted single queries, keyed by (batch sequence, row).
   std::unordered_map<std::uint64_t,
                      std::unordered_map<linalg::Index,

@@ -7,6 +7,21 @@
 #include "linalg/matrix.h"
 
 namespace lrm::service {
+namespace {
+
+// Snaps ε onto a grid with 2⁻⁴⁰ relative resolution: round the binary
+// mantissa to 40 bits and rebuild the double. Values within ~1e-12
+// relative of each other land on the same grid point (or on adjacent
+// points, which merely splits a group — see the header contract); the
+// grid is ~4000× coarser than a double ulp yet ~12 orders of magnitude
+// finer than any ε distinction that matters for privacy accounting.
+double QuantizeEpsilon(double epsilon) {
+  int exponent = 0;
+  const double mantissa = std::frexp(epsilon, &exponent);
+  return std::ldexp(std::round(std::ldexp(mantissa, 40)), exponent - 40);
+}
+
+}  // namespace
 
 QueryBatcher::QueryBatcher(QueryBatcherOptions options)
     : options_(options) {
@@ -33,30 +48,41 @@ StatusOr<QueryBatcher::Ticket> QueryBatcher::Add(const std::string& tenant,
         "QueryBatcher::Add: query contains NaN or Inf");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  Group& group = groups_[{tenant, epsilon}];
+  Group& group = groups_[{tenant, QuantizeEpsilon(epsilon)}];
   if (group.rows.empty()) {
     group.sequence = next_sequence_++;
+    group.epsilon = epsilon;
     group.created = std::chrono::steady_clock::now();
+  } else {
+    // The batch is one release charged once: spending the group minimum
+    // keeps every member's privacy guarantee (ε' ≤ ε requested).
+    group.epsilon = std::min(group.epsilon, epsilon);
   }
   Ticket ticket;
   ticket.batch_sequence = group.sequence;
   ticket.row = static_cast<linalg::Index>(group.rows.size());
   group.rows.push_back(std::move(query));
+  if (options_.queries_admitted != nullptr) {
+    options_.queries_admitted->Increment();
+  }
   return ticket;
 }
 
 QueryBatcher::ReadyBatch QueryBatcher::CutGroup(const std::string& tenant,
-                                                double epsilon,
                                                 Group&& group) const {
   linalg::Matrix matrix(static_cast<linalg::Index>(group.rows.size()),
                         options_.domain_size);
   for (std::size_t i = 0; i < group.rows.size(); ++i) {
     matrix.SetRow(static_cast<linalg::Index>(i), group.rows[i]);
   }
+  if (options_.batches_cut != nullptr) options_.batches_cut->Increment();
+  if (options_.batch_rows != nullptr) {
+    options_.batch_rows->Record(static_cast<double>(group.rows.size()));
+  }
   ReadyBatch batch;
   batch.sequence = group.sequence;
   batch.tenant = tenant;
-  batch.epsilon = epsilon;
+  batch.epsilon = group.epsilon;
   batch.workload = std::make_shared<const workload::Workload>(
       StrFormat("batch/%s/%llu", tenant.c_str(),
                 static_cast<unsigned long long>(group.sequence)),
@@ -70,8 +96,7 @@ std::vector<QueryBatcher::ReadyBatch> QueryBatcher::TakeReady() {
   for (auto it = groups_.begin(); it != groups_.end();) {
     if (static_cast<linalg::Index>(it->second.rows.size()) >=
         options_.max_batch_queries) {
-      ready.push_back(CutGroup(it->first.first, it->first.second,
-                               std::move(it->second)));
+      ready.push_back(CutGroup(it->first.first, std::move(it->second)));
       it = groups_.erase(it);
     } else {
       ++it;
@@ -98,8 +123,7 @@ std::vector<QueryBatcher::ReadyBatch> QueryBatcher::TakeExpired(
         std::chrono::duration<double>(now - group.created).count() >=
             options_.max_linger_seconds;
     if (full || expired) {
-      ready.push_back(CutGroup(it->first.first, it->first.second,
-                               std::move(it->second)));
+      ready.push_back(CutGroup(it->first.first, std::move(it->second)));
       it = groups_.erase(it);
     } else {
       ++it;
@@ -116,7 +140,7 @@ std::vector<QueryBatcher::ReadyBatch> QueryBatcher::Flush() {
   std::vector<ReadyBatch> ready;
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, group] : groups_) {
-    ready.push_back(CutGroup(key.first, key.second, std::move(group)));
+    ready.push_back(CutGroup(key.first, std::move(group)));
   }
   groups_.clear();
   std::sort(ready.begin(), ready.end(),

@@ -8,6 +8,16 @@
 // max_batch_queries (or on Flush). Queries from different tenants are never
 // coalesced into one release: a batch answer draws one joint noise vector,
 // and budget accounting must attribute that release to exactly one ledger.
+//
+// Grouping contract for ε (see Add): epsilons are compared on a quantized
+// grid with 2⁻⁴⁰ relative resolution, not with exact double equality, so
+// two requests whose ε values differ only by floating-point round-off
+// (1.0/10 vs 0.1, an accumulated sum vs its closed form) land in the same
+// group instead of silently forking two half-empty batches. A merged group
+// is charged and answered at the MINIMUM ε of its members — never more
+// privacy loss than any member asked for. Near-equal values that straddle
+// a grid boundary may still split into two groups; that is a throughput
+// loss, never a correctness or privacy loss.
 
 #ifndef LRM_SERVICE_BATCHER_H_
 #define LRM_SERVICE_BATCHER_H_
@@ -24,6 +34,7 @@
 
 #include "base/status_or.h"
 #include "linalg/vector.h"
+#include "obs/metrics.h"
 #include "workload/workload.h"
 
 namespace lrm::service {
@@ -42,6 +53,12 @@ struct QueryBatcherOptions {
   /// max_batch_queries or Flush(). A sparse tenant's first query would
   /// otherwise wait unboundedly for batch-mates.
   double max_linger_seconds = std::numeric_limits<double>::infinity();
+
+  /// Optional observability sinks (obs tier). Null disables the site; the
+  /// metrics are not owned and must outlive the batcher.
+  obs::Counter* queries_admitted = nullptr;  ///< Successful Add() calls.
+  obs::Counter* batches_cut = nullptr;       ///< ReadyBatches produced.
+  obs::Histogram* batch_rows = nullptr;      ///< Rows per cut batch.
 };
 
 /// \brief Coalesces single linear queries into per-(tenant, ε) workload
@@ -69,6 +86,13 @@ class QueryBatcher {
   /// Validates and admits one query row: the coefficient vector must have
   /// exactly domain_size finite entries and ε must be positive and finite.
   /// Returns the ticket locating the query in its eventual batch.
+  ///
+  /// Groups are keyed by (tenant, ε quantized to a 2⁻⁴⁰-relative grid),
+  /// NOT by exact double equality: ε values that differ only in the last
+  /// few ulps (e.g. 1.0/10 vs 0.1 computed by summation) coalesce into one
+  /// batch. The cut batch's ReadyBatch::epsilon is the minimum ε admitted
+  /// into the group, so a merged release never spends more than any member
+  /// requested. See the file header for the full grouping contract.
   StatusOr<Ticket> Add(const std::string& tenant, double epsilon,
                        linalg::Vector query);
 
@@ -93,18 +117,21 @@ class QueryBatcher {
   struct Group {
     std::uint64_t sequence = 0;
     std::vector<linalg::Vector> rows;
+    // Minimum ε admitted into this group — the ε the cut batch charges.
+    // Members can differ by up to 2⁻⁴⁰ relative (the quantization grid).
+    double epsilon = 0.0;
     // When the group's first query was admitted (the linger clock).
     std::chrono::steady_clock::time_point created;
   };
 
-  ReadyBatch CutGroup(const std::string& tenant, double epsilon,
-                      Group&& group) const;
+  ReadyBatch CutGroup(const std::string& tenant, Group&& group) const;
 
   QueryBatcherOptions options_;
 
   mutable std::mutex mu_;
   // Ordered map so Flush() drains groups deterministically; keys are
-  // (tenant, ε) and the group's sequence breaks same-key reuse apart.
+  // (tenant, quantized ε) and the group's sequence breaks same-key reuse
+  // apart.
   std::map<std::pair<std::string, double>, Group> groups_;
   std::uint64_t next_sequence_ = 0;
 };

@@ -65,8 +65,24 @@ Status BudgetManager::Refund(const std::string& tenant, double epsilon) {
         "BudgetManager::Refund: unknown tenant '%s'", tenant.c_str()));
   }
   Account& account = it->second;
-  account.spent -= std::min(epsilon, account.spent);
+  // Mirror Charge's slack: a refund of exactly what was charged must
+  // succeed even after round-off drift, but anything beyond it is a
+  // charge/refund pairing bug — refuse and leave the ledger alone rather
+  // than minting budget the tenant never had.
+  const double slack = 1e-12 * account.budget;
+  if (epsilon > account.spent + slack) {
+    over_refunds_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition(StrFormat(
+        "BudgetManager::Refund: tenant '%s' refund %.6g exceeds recorded "
+        "spend %.6g; ledger untouched",
+        tenant.c_str(), epsilon, account.spent));
+  }
+  account.spent = std::max(0.0, account.spent - epsilon);
   return Status::OK();
+}
+
+std::int64_t BudgetManager::over_refund_count() const {
+  return over_refunds_.load(std::memory_order_relaxed);
 }
 
 StatusOr<double> BudgetManager::Remaining(const std::string& tenant) const {

@@ -10,6 +10,8 @@
 #ifndef LRM_SERVICE_BUDGET_MANAGER_H_
 #define LRM_SERVICE_BUDGET_MANAGER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -39,11 +41,25 @@ class BudgetManager {
   ///   * spend would exceed budget → RESOURCE_EXHAUSTED (ledger untouched)
   Status Charge(const std::string& tenant, double epsilon);
 
-  /// Returns `epsilon` to the tenant, clamped to what was actually spent.
-  /// Used by the service when an already-charged request fails downstream
-  /// before any noisy answer was produced — nothing was released, so no
-  /// budget was consumed.
+  /// Returns `epsilon` to the tenant. Used by the service when an
+  /// already-charged request fails downstream before any noisy answer was
+  /// produced — nothing was released, so no budget was consumed.
+  ///
+  /// A refund exceeding the tenant's recorded spend (beyond the same
+  /// floating-point slack Charge tolerates) is refused with
+  /// FAILED_PRECONDITION and the ledger is left untouched: an over-refund
+  /// means some charge/refund pairing upstream is broken, and silently
+  /// clamping it would mint budget the tenant never had while hiding the
+  /// bug. Refused refunds are counted in over_refund_count().
+  ///   * unknown tenant            → FAILED_PRECONDITION
+  ///   * epsilon ≤ 0 or non-finite → INVALID_ARGUMENT
+  ///   * epsilon > spent (+slack)  → FAILED_PRECONDITION (ledger untouched)
   Status Refund(const std::string& tenant, double epsilon);
+
+  /// Number of refunds refused because they exceeded the tenant's recorded
+  /// spend. Any nonzero value indicates a charge/refund pairing bug in a
+  /// caller; the ledger itself stays balanced.
+  std::int64_t over_refund_count() const;
 
   /// Budget remaining; errors on unknown tenants.
   StatusOr<double> Remaining(const std::string& tenant) const;
@@ -62,6 +78,7 @@ class BudgetManager {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Account> accounts_;
+  std::atomic<std::int64_t> over_refunds_{0};
 };
 
 }  // namespace lrm::service

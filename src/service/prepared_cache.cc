@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/stage_timer.h"
+
 namespace lrm::service {
 
 PreparedMechanismCache::PreparedMechanismCache(PreparedCacheOptions options)
@@ -11,6 +13,16 @@ PreparedMechanismCache::PreparedMechanismCache(PreparedCacheOptions options)
   // mechanism retaining factors on its own would make cache entries depend
   // on preparation order.
   options_.mechanism.warm_start = false;
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &owned_registry_;
+  hits_ = registry_->counter("cache.hits");
+  misses_ = registry_->counter("cache.misses");
+  warm_misses_ = registry_->counter("cache.warm_misses");
+  evictions_ = registry_->counter("cache.evictions");
+  prepare_seconds_ = registry_->histogram("cache.prepare_seconds");
+  solver_metrics_.iteration_seconds =
+      registry_->histogram("alm.iteration_seconds");
+  solver_metrics_.iterations = registry_->counter("alm.iterations");
 }
 
 StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
@@ -28,12 +40,12 @@ StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
     std::unique_lock<std::mutex> lock(mu_);
     const auto hit = entries_.find(fp);
     if (hit != entries_.end()) {
-      ++stats_.hits;
+      hits_->Increment();
       lru_.splice(lru_.begin(), lru_, hit->second.lru_position);
       return PreparedLease{hit->second.mechanism, /*cache_hit=*/true,
                            /*warm_started=*/false};
     }
-    ++stats_.misses;
+    misses_->Increment();
     const auto pending = in_flight_.find(fp);
     if (pending != in_flight_.end()) {
       flight = pending->second;
@@ -105,6 +117,8 @@ StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
   auto mechanism =
       std::make_shared<core::LowRankMechanism>(options_.mechanism);
   mechanism->set_cancel_token(token);
+  mechanism->solver().set_stage_metrics(solver_metrics_);
+  obs::ScopedStageTimer prepare_span(prepare_seconds_);
   Status prepare_status = Status::OK();
   bool warm = false;
   if (donor != nullptr) {
@@ -136,7 +150,7 @@ StatusOr<PreparedLease> PreparedMechanismCache::GetOrPrepare(
     std::unique_lock<std::mutex> lock(mu_);
     in_flight_.erase(fp);
     if (result.ok()) {
-      if (warm) ++stats_.warm_misses;
+      if (warm) warm_misses_->Increment();
       if (options_.capacity > 0) {
         lru_.push_front(fp);
         entries_.emplace(fp, Entry{result.value().mechanism, lru_.begin()});
@@ -157,13 +171,19 @@ void PreparedMechanismCache::EvictIfNeeded() {
   while (entries_.size() > options_.capacity && !lru_.empty()) {
     entries_.erase(lru_.back());
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_->Increment();
   }
 }
 
 PreparedCacheStats PreparedMechanismCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // A snapshot view over the registry counters — no lock: each counter is
+  // atomic, and the struct's fields were only ever individually monotonic.
+  PreparedCacheStats stats;
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.warm_misses = warm_misses_->value();
+  stats.evictions = evictions_->value();
+  return stats;
 }
 
 std::size_t PreparedMechanismCache::size() const {

@@ -25,6 +25,7 @@
 #include "base/cancel.h"
 #include "base/status_or.h"
 #include "core/low_rank_mechanism.h"
+#include "obs/metrics.h"
 #include "service/fault_injection.h"
 #include "service/fingerprint.h"
 #include "workload/workload.h"
@@ -51,9 +52,20 @@ struct PreparedCacheOptions {
   /// before a strategy search. Not owned; must outlive the cache. Null (the
   /// default) disables injection entirely.
   FaultInjector* fault_injector = nullptr;
+
+  /// Registry the cache publishes its metrics into (counters cache.hits /
+  /// cache.misses / cache.warm_misses / cache.evictions, histograms
+  /// cache.prepare_seconds and alm.iteration_seconds, counter
+  /// alm.iterations). Not owned; must outlive the cache. Null (the
+  /// default) makes the cache publish into a private registry — the
+  /// counters still back stats(), they just aren't exported anywhere.
+  obs::MetricRegistry* registry = nullptr;
 };
 
-/// \brief Running cache statistics (monotonic counters).
+/// \brief Snapshot view of the cache's monotonic counters. Since the obs
+/// rewire this is a value assembled from the registry-backed counters at
+/// stats() time, not the live accounting structure — existing callers keep
+/// reading the same fields.
 struct PreparedCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
@@ -108,8 +120,13 @@ class PreparedMechanismCache {
       std::shared_ptr<const workload::Workload> workload,
       CancelToken token = {});
 
+  /// Snapshot view assembled from the registry-backed counters.
   PreparedCacheStats stats() const;
   std::size_t size() const;
+
+  /// The registry this cache publishes into (the options' registry, or the
+  /// private fallback when none was supplied).
+  const obs::MetricRegistry& registry() const { return *registry_; }
 
  private:
   struct Entry {
@@ -131,6 +148,18 @@ class PreparedMechanismCache {
 
   PreparedCacheOptions options_;
 
+  // Fallback registry when options_.registry is null; registry_ points at
+  // whichever one is live. The metric pointers below are stable for the
+  // registry's lifetime (obs::MetricRegistry contract).
+  obs::MetricRegistry owned_registry_;
+  obs::MetricRegistry* registry_ = nullptr;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* warm_misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Histogram* prepare_seconds_ = nullptr;
+  core::SolverStageMetrics solver_metrics_;
+
   mutable std::mutex mu_;
   std::unordered_map<WorkloadFingerprint, Entry, WorkloadFingerprintHash>
       entries_;
@@ -138,7 +167,6 @@ class PreparedMechanismCache {
                      WorkloadFingerprintHash>
       in_flight_;
   std::list<WorkloadFingerprint> lru_;
-  PreparedCacheStats stats_;
 };
 
 }  // namespace lrm::service

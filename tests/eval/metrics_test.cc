@@ -27,8 +27,12 @@ TEST(MeanSquaredErrorTest, DividesByQueryCount) {
       MeanSquaredError(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 12.5);
 }
 
-TEST(PercentileTest, EmptyIsZero) {
-  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+TEST(PercentileTest, EmptyIsNaN) {
+  // NaN, not 0: an empty sample set has no percentile, and a 0 here once
+  // masked a benchmark arm that recorded no samples as "p99 = 0 ns".
+  EXPECT_TRUE(std::isnan(Percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(Percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(Percentile({}, 100.0)));
 }
 
 TEST(PercentileTest, SingleValue) {

@@ -1,0 +1,129 @@
+// Exporter (text/JSON) and PeriodicReporter tests.
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lrm::obs {
+namespace {
+
+RegistrySnapshot SampleSnapshot(MetricRegistry* registry) {
+  registry->counter("service.requests_admitted")->Add(128);
+  registry->gauge("service.in_flight")->Set(3.0);
+  Histogram* histogram = registry->histogram("service.serve_seconds");
+  for (int i = 0; i < 100; ++i) histogram->Record(0.002);
+  histogram->Record(0.1);
+  return registry->Snapshot();
+}
+
+TEST(ToTextTest, OneLinePerMetric) {
+  MetricRegistry registry;
+  const std::string text = ToText(SampleSnapshot(&registry));
+  EXPECT_NE(text.find("counter   service.requests_admitted 128"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gauge     service.in_flight 3"), std::string::npos);
+  EXPECT_NE(text.find("histogram service.serve_seconds count=101"),
+            std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+TEST(ToTextTest, EmptyHistogramPrintsOnlyCount) {
+  MetricRegistry registry;
+  registry.histogram("lat");
+  const std::string text = ToText(registry.Snapshot());
+  EXPECT_NE(text.find("histogram lat count=0"), std::string::npos);
+  // No NaN quantiles leak into the report.
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(ToJsonTest, ContainsSectionsAndHistogramFields) {
+  MetricRegistry registry;
+  const std::string json = ToJson(SampleSnapshot(&registry));
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"service.requests_admitted\": 128"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {"), std::string::npos);
+  for (const char* field :
+       {"\"count\"", "\"sum\"", "\"mean\"", "\"p50\"", "\"p90\"",
+        "\"p99\"", "\"edges\"", "\"bucket_counts\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(ToJsonTest, NonFiniteRendersAsNull) {
+  RegistrySnapshot snapshot;
+  snapshot.gauges["bad"] = std::nan("");
+  // An empty histogram has NaN mean/quantiles.
+  snapshot.histograms["empty"] = HistogramSnapshot{};
+  const std::string json = ToJson(snapshot);
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": null"), std::string::npos) << json;
+  // Never the bare tokens JSON parsers reject.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ToJsonTest, EscapesHostileNames) {
+  RegistrySnapshot snapshot;
+  snapshot.counters["we\"ird\\name\n"] = 1;
+  const std::string json = ToJson(snapshot);
+  EXPECT_NE(json.find("we\\\"ird\\\\name\\n"), std::string::npos) << json;
+}
+
+TEST(PeriodicReporterTest, EmitsPeriodicallyAndOnStop) {
+  MetricRegistry registry;
+  registry.counter("ticks")->Add(5);
+
+  std::mutex mu;
+  std::vector<std::string> reports;
+  PeriodicReporterOptions options;
+  options.period_seconds = 0.005;
+  options.sink = [&mu, &reports](const std::string& report) {
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(report);
+  };
+  PeriodicReporter reporter(&registry, options);
+  // Wait (bounded) for at least two periodic reports.
+  for (int i = 0; i < 1000 && reporter.reports_emitted() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(reporter.reports_emitted(), 2);
+  reporter.Stop();
+  const std::int64_t after_stop = reporter.reports_emitted();
+  EXPECT_GE(after_stop, 3);  // report_on_stop adds a final one
+  // Idempotent: a second Stop emits nothing more.
+  reporter.Stop();
+  EXPECT_EQ(reporter.reports_emitted(), after_stop);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_FALSE(reports.empty());
+  EXPECT_NE(reports.front().find("ticks 5"), std::string::npos);
+}
+
+TEST(PeriodicReporterTest, ReportNowWorksAfterStop) {
+  MetricRegistry registry;
+  std::atomic<int> sunk{0};
+  PeriodicReporterOptions options;
+  options.period_seconds = 60.0;
+  options.report_on_stop = false;
+  options.sink = [&sunk](const std::string&) { ++sunk; };
+  PeriodicReporter reporter(&registry, options);
+  reporter.Stop();
+  EXPECT_EQ(sunk.load(), 0);
+  reporter.ReportNow();
+  EXPECT_EQ(sunk.load(), 1);
+}
+
+}  // namespace
+}  // namespace lrm::obs

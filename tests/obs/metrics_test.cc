@@ -1,0 +1,262 @@
+// MetricRegistry / Histogram unit suite.
+//
+// The load-bearing property is the quantile precision contract: for any
+// sample set, HistogramSnapshot::Quantile(q) differs from the exact
+// sorted-sample percentile (eval::Percentile, the convention bench_service
+// used to compute by sorting) by at most QuantileErrorBound(q) — one bucket
+// width. The service benchmark and the latency gates in
+// compare_benchmarks.py rely on it.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "obs/stage_timer.h"
+
+namespace lrm::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_TRUE(snapshot.empty());
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_TRUE(std::isnan(snapshot.Mean()));
+  EXPECT_TRUE(std::isnan(snapshot.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(snapshot.QuantileErrorBound(0.5)));
+}
+
+TEST(HistogramTest, SingleSampleEveryQuantileIsTheSample) {
+  Histogram histogram;
+  histogram.Record(0.00321);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.00321);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.00321);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 0.00321);
+  // The [min, max] clamp collapses a single-sample histogram to the exact
+  // value at every quantile.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snapshot.Quantile(q), 0.00321) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, NanSamplesAreDroppedAndCounted) {
+  Histogram histogram;
+  histogram.Record(std::nan(""));
+  histogram.Record(1.0);
+  EXPECT_EQ(histogram.nan_dropped(), 1);
+  EXPECT_EQ(histogram.Snapshot().count, 1);
+}
+
+TEST(HistogramTest, NegativeAndZeroSamplesLandInFirstBucket) {
+  Histogram histogram;
+  histogram.Record(-3.0);
+  histogram.Record(0.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 2);
+  EXPECT_EQ(snapshot.counts[0], 2);
+  // min/max still record the true values.
+  EXPECT_DOUBLE_EQ(snapshot.min, -3.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.0);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesValuesBeyondLastEdge) {
+  HistogramOptions options;
+  options.min_value = 1.0;
+  options.growth = 2.0;
+  options.buckets = 4;  // edges 1, 2, 4, 8
+  Histogram histogram(options);
+  histogram.Record(100.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.counts.back(), 1);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 100.0);
+}
+
+// The precision contract, cross-checked against the exact sorted-sample
+// percentile on several synthetic shapes.
+void ExpectQuantilesWithinOneBucket(const std::vector<double>& samples) {
+  Histogram histogram;
+  for (const double sample : samples) histogram.Record(sample);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.count, static_cast<std::int64_t>(samples.size()));
+  for (const double q :
+       {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = eval::Percentile(samples, 100.0 * q);
+    const double estimate = snapshot.Quantile(q);
+    const double bound = snapshot.QuantileErrorBound(q);
+    EXPECT_LE(std::abs(estimate - exact), bound + 1e-12)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate
+        << " bound=" << bound;
+  }
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketOfExactUniform) {
+  std::mt19937_64 rng(20120827);
+  std::uniform_real_distribution<double> uniform(1e-5, 0.5);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) samples.push_back(uniform(rng));
+  ExpectQuantilesWithinOneBucket(samples);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketOfExactLogNormal) {
+  // Latency-shaped: long right tail spanning several decades.
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> lognormal(-7.0, 1.5);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) samples.push_back(lognormal(rng));
+  ExpectQuantilesWithinOneBucket(samples);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketOfExactBimodal) {
+  // Hit/miss-shaped: a fast mode and a 1000× slower mode.
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> fast(2e-4, 3e-5);
+  std::normal_distribution<double> slow(0.2, 0.03);
+  std::vector<double> samples;
+  samples.reserve(4000);
+  for (int i = 0; i < 4000; ++i) {
+    samples.push_back(std::abs(i % 10 == 0 ? slow(rng) : fast(rng)));
+  }
+  ExpectQuantilesWithinOneBucket(samples);
+}
+
+TEST(HistogramSnapshotTest, DeltaSinceIsolatesTheInterval) {
+  Histogram histogram;
+  histogram.Record(0.001);
+  histogram.Record(0.002);
+  const HistogramSnapshot warmup = histogram.Snapshot();
+  for (int i = 0; i < 100; ++i) histogram.Record(0.05);
+  const HistogramSnapshot delta =
+      histogram.Snapshot().DeltaSince(warmup);
+  EXPECT_EQ(delta.count, 100);
+  EXPECT_NEAR(delta.sum, 5.0, 1e-9);
+  EXPECT_NEAR(delta.Mean(), 0.05, 1e-9);
+  // The warmup samples (1–2 ms) must not drag the interval quantiles: all
+  // interval samples are 50 ms, so every quantile estimate lies in the
+  // bucket containing 0.05.
+  const double p50 = delta.Quantile(0.5);
+  EXPECT_LE(std::abs(p50 - 0.05), delta.QuantileErrorBound(0.5) + 1e-12);
+  EXPECT_GT(p50, 0.01);
+}
+
+TEST(HistogramSnapshotTest, DeltaOfIdenticalSnapshotsIsEmpty) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  const HistogramSnapshot delta = snapshot.DeltaSince(snapshot);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.sum, 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsMergeToExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(1e-4 * (1 + t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  // Shard merge must lose nothing: total count == Record() calls.
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+  EXPECT_NEAR(snapshot.sum,
+              kPerThread * 1e-4 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8), 1e-6);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1e-4);
+  EXPECT_DOUBLE_EQ(snapshot.max, 8e-4);
+}
+
+TEST(MetricRegistryTest, PointersAreStableAndShared) {
+  MetricRegistry registry;
+  Counter* counter = registry.counter("service.requests_admitted");
+  EXPECT_EQ(counter, registry.counter("service.requests_admitted"));
+  Histogram* histogram = registry.histogram("service.serve_seconds");
+  EXPECT_EQ(histogram, registry.histogram("service.serve_seconds"));
+  // Options only apply at creation.
+  HistogramOptions other;
+  other.buckets = 3;
+  EXPECT_EQ(histogram, registry.histogram("service.serve_seconds", other));
+  EXPECT_NE(histogram->edges().size(), 3u);
+}
+
+TEST(MetricRegistryTest, SnapshotCoversEveryMetricSorted) {
+  MetricRegistry registry;
+  registry.counter("b.count")->Add(2);
+  registry.counter("a.count")->Add(1);
+  registry.gauge("depth")->Set(4.0);
+  registry.histogram("lat")->Record(0.01);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters.begin()->first, "a.count");  // sorted
+  EXPECT_EQ(snapshot.counters.at("b.count"), 2);
+  EXPECT_EQ(snapshot.gauges.at("depth"), 4.0);
+  EXPECT_EQ(snapshot.histograms.at("lat").count, 1);
+}
+
+TEST(ScopedStageTimerTest, RecordsOnceAndCountsEntry) {
+  Histogram histogram;
+  Counter entered;
+  {
+    ScopedStageTimer span(&histogram, &entered);
+    EXPECT_EQ(entered.value(), 1);  // counted at entry, not exit
+    EXPECT_EQ(histogram.Snapshot().count, 0);
+  }
+  EXPECT_EQ(histogram.Snapshot().count, 1);
+}
+
+TEST(ScopedStageTimerTest, StopIsIdempotentAndReturnsElapsed) {
+  Histogram histogram;
+  ScopedStageTimer span(&histogram);
+  const double first = span.Stop();
+  EXPECT_GE(first, 0.0);
+  span.Stop();
+  EXPECT_EQ(histogram.Snapshot().count, 1);
+}
+
+TEST(ScopedStageTimerTest, CancelRecordsNothing) {
+  Histogram histogram;
+  {
+    ScopedStageTimer span(&histogram);
+    span.Cancel();
+  }
+  EXPECT_EQ(histogram.Snapshot().count, 0);
+}
+
+TEST(ScopedStageTimerTest, NullMetricsAreANoOp) {
+  ScopedStageTimer span(nullptr, nullptr);
+  EXPECT_GE(span.Stop(), 0.0);
+}
+
+}  // namespace
+}  // namespace lrm::obs

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
@@ -99,6 +100,43 @@ TEST(QueryBatcherTest, TenantsAndEpsilonsNeverCoalesce) {
   EXPECT_DOUBLE_EQ(all[2].epsilon, 0.1);
   EXPECT_LT(all[0].sequence, all[1].sequence);
   EXPECT_LT(all[1].sequence, all[2].sequence);
+}
+
+TEST(QueryBatcherTest, NearEqualEpsilonsCoalesceIntoOneGroup) {
+  // Regression: grouping used to key on the exact double bit pattern, so
+  // a tenant computing ε = 1.0 / 10 for one query and 0.1 for the next —
+  // or accumulating ε in a loop — silently lost all batching (every query
+  // became a singleton batch, a full prepare each). Keys are now
+  // quantized to a 2^-40 relative grid.
+  QueryBatcher batcher = MakeBatcher(/*domain=*/8, /*max_batch=*/3);
+  double accumulated = 0.0;
+  for (int i = 0; i < 10; ++i) accumulated += 0.01;  // 0.1 + ~1e-17 drift
+  ASSERT_TRUE(batcher.Add("t", 1.0 / 10, UnitQuery(8, 0)).ok());
+  ASSERT_TRUE(batcher.Add("t", 0.1, UnitQuery(8, 1)).ok());
+  ASSERT_TRUE(batcher.Add("t", accumulated, UnitQuery(8, 2)).ok());
+  const auto ready = batcher.TakeReady();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].workload->num_queries(), 3);
+  // The whole group is charged the MINIMUM member ε, so no member ever
+  // exceeds the privacy loss it asked for.
+  EXPECT_DOUBLE_EQ(ready[0].epsilon,
+                   std::min({1.0 / 10, 0.1, accumulated}));
+  EXPECT_LE(ready[0].epsilon, 0.1);
+}
+
+TEST(QueryBatcherTest, DistinctEpsilonsStillNeverCoalesce) {
+  // The quantization grid is ~12 orders of magnitude finer than any
+  // privacy-meaningful distinction: 0.1 vs 0.1000001 are different
+  // privacy levels and must stay different groups.
+  QueryBatcher batcher = MakeBatcher(/*domain=*/8, /*max_batch=*/2);
+  ASSERT_TRUE(batcher.Add("t", 0.1, UnitQuery(8, 0)).ok());
+  ASSERT_TRUE(batcher.Add("t", 0.1000001, UnitQuery(8, 1)).ok());
+  EXPECT_TRUE(batcher.TakeReady().empty());
+  EXPECT_EQ(batcher.pending_queries(), 2);
+  const auto all = batcher.Flush();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0].epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(all[1].epsilon, 0.1000001);
 }
 
 TEST(QueryBatcherTest, TakeExpiredCutsOnlyGroupsPastTheLingerBound) {

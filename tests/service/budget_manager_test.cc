@@ -100,16 +100,42 @@ TEST(BudgetManagerTest, ExactExhaustionIsAllowed) {
             StatusCode::kResourceExhausted);
 }
 
-TEST(BudgetManagerTest, RefundRestoresAndClamps) {
+TEST(BudgetManagerTest, RefundRestoresAndOverRefundIsRefused) {
   BudgetManager budget;
   ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
   ASSERT_TRUE(budget.Charge("acme", 0.6).ok());
   ASSERT_TRUE(budget.Refund("acme", 0.6).ok());
   EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.0);
-  // Refunding more than was spent clamps at zero instead of minting budget.
+  EXPECT_EQ(budget.over_refund_count(), 0);
+  // Refunding more than was spent is a charge/refund pairing bug in the
+  // caller: typed refusal, ledger untouched, incident counted. The old
+  // silent clamp-at-zero would have erased the 0.2 of recorded spend.
   ASSERT_TRUE(budget.Charge("acme", 0.2).ok());
-  ASSERT_TRUE(budget.Refund("acme", 5.0).ok());
-  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.0);
+  const Status refused = budget.Refund("acme", 5.0);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(refused.message().find("exceeds recorded spend"),
+            std::string::npos)
+      << refused.message();
+  EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.2);
+  EXPECT_EQ(budget.over_refund_count(), 1);
+  // A correctly paired refund still works afterwards.
+  ASSERT_TRUE(budget.Refund("acme", 0.2).ok());
+  EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 1.0);
+}
+
+TEST(BudgetManagerTest, ExactChargeRefundPairSurvivesAccumulatedDrift) {
+  BudgetManager budget;
+  ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
+  // 0.1 is not representable in binary; after ten charges the accumulator
+  // holds round-off. Refunding exactly what was charged must still
+  // succeed — the refusal threshold carries the same 1e-12·budget slack
+  // the Charge path uses, so FP drift never turns a correct pairing into
+  // a FAILED_PRECONDITION.
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(budget.Charge("acme", 0.1).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(budget.Refund("acme", 0.1).ok()) << i;
+  }
+  EXPECT_EQ(budget.over_refund_count(), 0);
   EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 1.0);
 }
 
@@ -143,22 +169,33 @@ TEST(BudgetManagerTest, ConcurrentRefundsAndChargesConserveTheLedger) {
   EXPECT_NEAR(budget.Spent("acme").value(), kept.load() * kEpsilon, 1e-9);
 }
 
-TEST(BudgetManagerTest, ConcurrentDoubleRefundsClampAtZeroSpend) {
+TEST(BudgetManagerTest, ConcurrentDoubleRefundsOnlyOneSucceeds) {
   BudgetManager budget;
   ASSERT_TRUE(budget.RegisterTenant("acme", 1.0).ok());
   ASSERT_TRUE(budget.Charge("acme", 0.5).ok());
   // Many threads race to refund the one 0.5 charge several times over.
-  // Clamping is per-account: total spend never goes below zero, and
-  // remaining never exceeds the registered budget.
+  // Exactly one refund can pair with the charge; every other attempt is a
+  // counted FAILED_PRECONDITION refusal, and however the threads
+  // interleave the ledger balances instead of silently clamping.
+  constexpr int kThreads = 8;
+  constexpr int kAttempts = 20;
+  std::atomic<int> succeeded{0};
   std::vector<std::thread> threads;
-  for (int t = 0; t < 8; ++t) {
-    threads.emplace_back([&budget] {
-      for (int i = 0; i < 20; ++i) {
-        ASSERT_TRUE(budget.Refund("acme", 0.5).ok());
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget, &succeeded] {
+      for (int i = 0; i < kAttempts; ++i) {
+        const Status status = budget.Refund("acme", 0.5);
+        if (status.ok()) {
+          ++succeeded;
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kFailedPrecondition);
+        }
       }
     });
   }
   for (std::thread& t : threads) t.join();
+  EXPECT_EQ(succeeded.load(), 1);
+  EXPECT_EQ(budget.over_refund_count(), kThreads * kAttempts - 1);
   EXPECT_DOUBLE_EQ(budget.Spent("acme").value(), 0.0);
   EXPECT_DOUBLE_EQ(budget.Remaining("acme").value(), 1.0);
 }

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <future>
 #include <stdexcept>
 #include <string>
@@ -190,6 +191,7 @@ TEST(FaultInjectionTest, DeadlineGateFaultCountsAndRefundsAsDeadline) {
 struct StormOutcome {
   std::vector<StatusOr<BatchAnswerResponse>> results;
   double spent = 0.0;
+  std::int64_t over_refunds = 0;
   AnswerServiceStats stats;
 };
 
@@ -219,6 +221,7 @@ StormOutcome RunFaultStorm() {
       outcome.results.push_back(future.get());
     }
     outcome.spent = kBudget - service.RemainingBudget("acme").value();
+    outcome.over_refunds = service.over_refund_count();
     outcome.stats = service.stats();
   }
   return outcome;
@@ -252,6 +255,12 @@ TEST(FaultInjectionTest, LedgerBalancesAndEveryFutureResolvesUnderStorm) {
   }
   EXPECT_EQ(outcome.stats.degraded_releases, 1);
   EXPECT_EQ(outcome.stats.requests_admitted, 8);
+
+  // Refund now REFUSES anything exceeding recorded spend instead of
+  // clamping, so a balanced ledger is only possible if every failure-path
+  // refund in the storm was correctly paired with its charge. Zero
+  // refused refunds proves the pairing — not a clamp — kept the books.
+  EXPECT_EQ(outcome.over_refunds, 0);
 }
 
 TEST(FaultInjectionTest, StormReleasesAreBitwiseReproducible) {

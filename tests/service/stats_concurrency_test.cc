@@ -1,0 +1,191 @@
+// stats()/MetricsSnapshot() racing live traffic — the suite the TSan CI job
+// exists for (the `service/` pattern in .github/workflows/ci.yml picks it
+// up). The obs rewire replaced the mutex-guarded stats struct with
+// registry-backed counters and sharded histograms; these tests pin down the
+// guarantees observers now rely on while Submit storms run:
+//
+//   * every read is race-free (TSan proves this part),
+//   * each individual counter is monotonic across repeated stats() calls,
+//   * a histogram snapshot never over-counts: serve_seconds.count observed
+//     BEFORE reading requests_admitted can never exceed it (each serve's
+//     Record happens-after its own admission increment),
+//   * at quiescence the shard-merged totals are exact — serve/answer
+//     histogram counts equal the number of admitted requests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/vector.h"
+#include "obs/metrics.h"
+#include "service/answer_service.h"
+#include "workload/generators.h"
+
+namespace lrm::service {
+namespace {
+
+using linalg::Index;
+using linalg::Vector;
+
+constexpr Index kDomain = 16;
+
+AnswerServiceOptions FastOptions() {
+  AnswerServiceOptions options;
+  options.num_threads = 3;
+  options.max_pending_requests = 0;  // no shedding: every submit is admitted
+  auto& d = options.cache.mechanism.decomposition;
+  d.max_outer_iterations = 6;
+  d.max_inner_iterations = 2;
+  d.l_max_iterations = 6;
+  d.polish_patience = 2;
+  return options;
+}
+
+Vector ServiceData() {
+  Vector data(kDomain);
+  for (Index i = 0; i < kDomain; ++i) data[i] = 5.0 + i;
+  return data;
+}
+
+BatchAnswerRequest MakeRequest(const std::string& tenant, double epsilon) {
+  auto w = workload::GenerateWRange(8, kDomain, /*seed=*/91);
+  LRM_CHECK(w.ok());
+  BatchAnswerRequest request;
+  request.tenant = tenant;
+  request.epsilon = epsilon;
+  request.workload =
+      std::make_shared<const workload::Workload>(std::move(w).value());
+  return request;
+}
+
+TEST(StatsConcurrencyTest, SnapshotsRaceSubmitStormWithoutTearing) {
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 24;
+
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 1e6).ok());
+
+  // Warm the cache synchronously so the storm below is all-hits and the
+  // readers get plenty of interleavings instead of one long cold prepare.
+  const auto warm = service.Answer(MakeRequest("acme", 0.1));
+  ASSERT_TRUE(warm.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> reads{0};
+
+  // Readers hammer both snapshot surfaces while writers submit.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&service, &done, &reads] {
+      std::int64_t last_admitted = 0;
+      std::int64_t last_serves = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        // Histogram first, counter second: each serve's Record
+        // happens-after its own admission increment, so this read order
+        // can only under-count serves relative to admissions.
+        const obs::RegistrySnapshot metrics = service.MetricsSnapshot();
+        const AnswerServiceStats stats = service.stats();
+        const auto it = metrics.histograms.find("service.serve_seconds");
+        const std::int64_t serves =
+            it == metrics.histograms.end() ? 0 : it->second.count;
+        ASSERT_LE(serves, stats.requests_admitted);
+        // Monotonic counters: no snapshot ever travels backwards.
+        ASSERT_GE(stats.requests_admitted, last_admitted);
+        ASSERT_GE(serves, last_serves);
+        ASSERT_EQ(stats.refused_shed, 0);
+        last_admitted = stats.requests_admitted;
+        last_serves = serves;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  std::vector<std::future<StatusOr<BatchAnswerResponse>>> futures(
+      kWriters * kPerWriter);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&service, &futures, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        futures[w * kPerWriter + i] =
+            service.Submit(MakeRequest("acme", 0.01));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  for (auto& future : futures) {
+    const auto response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status().message();
+  }
+  service.Drain();
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GT(reads.load(), 0);
+
+  // Quiescent: the shard merge must be exact, not approximately right.
+  const std::int64_t expected_admitted = 1 + kWriters * kPerWriter;
+  const AnswerServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests_admitted, expected_admitted);
+  const obs::RegistrySnapshot metrics = service.MetricsSnapshot();
+  EXPECT_EQ(metrics.histograms.at("service.serve_seconds").count,
+            expected_admitted);
+  EXPECT_EQ(metrics.histograms.at("service.answer_seconds").count,
+            expected_admitted);
+  EXPECT_EQ(metrics.counters.at("service.requests_admitted"),
+            expected_admitted);
+  // The storm was all cache hits; the one warmup request was the miss.
+  EXPECT_EQ(stats.cache.hits, expected_admitted - 1);
+  EXPECT_EQ(stats.cache.misses, 1);
+  EXPECT_EQ(service.over_refund_count(), 0);
+}
+
+TEST(StatsConcurrencyTest, RegistrySnapshotRacesBatcherTraffic) {
+  AnswerService service(ServiceData(), FastOptions());
+  ASSERT_TRUE(service.RegisterTenant("acme", 1e6).ok());
+
+  std::atomic<bool> done{false};
+  std::thread reader([&service, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::RegistrySnapshot metrics = service.MetricsSnapshot();
+      const auto admitted = metrics.counters.find("batcher.queries_admitted");
+      const auto cut = metrics.counters.find("batcher.batches_cut");
+      if (admitted != metrics.counters.end() &&
+          cut != metrics.counters.end()) {
+        // A cut batch implies at least one admitted query per batch.
+        ASSERT_LE(cut->second, admitted->second);
+      }
+    }
+  });
+
+  constexpr int kQueries = 96;
+  std::vector<std::future<StatusOr<double>>> futures;
+  futures.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    Vector query(kDomain);
+    for (Index j = 0; j < kDomain; ++j) query[j] = (i + j) % 3 == 0;
+    futures.push_back(service.SubmitQuery("acme", 0.05, std::move(query)));
+  }
+  service.FlushQueries();
+  for (auto& future : futures) {
+    const auto answer = future.get();
+    ASSERT_TRUE(answer.ok()) << answer.status().message();
+  }
+  service.Drain();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const obs::RegistrySnapshot metrics = service.MetricsSnapshot();
+  EXPECT_EQ(metrics.counters.at("batcher.queries_admitted"), kQueries);
+  EXPECT_GE(metrics.counters.at("batcher.batches_cut"), 1);
+  EXPECT_EQ(metrics.histograms.at("batcher.batch_rows").count,
+            metrics.counters.at("batcher.batches_cut"));
+}
+
+}  // namespace
+}  // namespace lrm::service
